@@ -1,0 +1,280 @@
+package repro
+
+// Benchmark harness: one benchmark per paper table/figure (each wraps the
+// corresponding experiment from internal/experiments, so `go test -bench=.`
+// regenerates every paper-vs-measured row), plus micro-benchmarks for the
+// individual solvers that show the dichotomy's operational shape — flow
+// solvers scale polynomially, the exact solver blows up on hard gadgets.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnfenc"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/hardness"
+	"repro/internal/ijp"
+	"repro/internal/reduction"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := experiments.RunByID(id)
+		if !rep.Matches() {
+			rep.Write(io.Discard)
+			b.Fatalf("experiment %s mismatched the paper", id)
+		}
+	}
+}
+
+// One benchmark per figure/table (see DESIGN.md section 3).
+
+func BenchmarkFig1Hypergraphs(b *testing.B)        { benchExperiment(b, "F1") }
+func BenchmarkFig2BasicHardQueries(b *testing.B)   { benchExperiment(b, "F2") }
+func BenchmarkFig3TrickyFlow(b *testing.B)         { benchExperiment(b, "F3") }
+func BenchmarkFig4Paths(b *testing.B)              { benchExperiment(b, "F4") }
+func BenchmarkFig5Dichotomy(b *testing.B)          { benchExperiment(b, "F5") }
+func BenchmarkFig6ChainExpansions(b *testing.B)    { benchExperiment(b, "F6") }
+func BenchmarkFig7ThreeConfluences(b *testing.B)   { benchExperiment(b, "F7") }
+func BenchmarkFig8OrProperty(b *testing.B)         { benchExperiment(b, "F8") }
+func BenchmarkFig10ChainGadget(b *testing.B)       { benchExperiment(b, "F10") }
+func BenchmarkFig11UnaryChainGadgets(b *testing.B) { benchExperiment(b, "F11") }
+func BenchmarkFig14PermGadget(b *testing.B)        { benchExperiment(b, "F14") }
+func BenchmarkFig16TriangleGadget(b *testing.B)    { benchExperiment(b, "F16") }
+func BenchmarkFig17IJPExamples(b *testing.B)       { benchExperiment(b, "F17") }
+func BenchmarkAppendixC2IJPSearch(b *testing.B)    { benchExperiment(b, "C2") }
+func BenchmarkAutoHardnessProofs(b *testing.B)     { benchExperiment(b, "C3") }
+func BenchmarkLemma21Variations(b *testing.B)      { benchExperiment(b, "S5") }
+func BenchmarkGenericReductions(b *testing.B)      { benchExperiment(b, "S6") }
+func BenchmarkThm37Enumeration(b *testing.B)       { benchExperiment(b, "S7") }
+func BenchmarkSec8Catalog(b *testing.B)            { benchExperiment(b, "S8") }
+func BenchmarkOracleCrossCheck(b *testing.B)       { benchExperiment(b, "X1") }
+func BenchmarkExecutableHardSide(b *testing.B)     { benchExperiment(b, "H1") }
+func BenchmarkThm25PseudoLinear(b *testing.B)      { benchExperiment(b, "T25") }
+
+// Micro-benchmarks: classifier and solvers.
+
+func BenchmarkClassifyChain(b *testing.B) {
+	q := MustParse("qchain :- R(x,y), R(y,z)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(q)
+	}
+}
+
+func BenchmarkClassifyTS3conf(b *testing.B) {
+	q := MustParse("qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(q)
+	}
+}
+
+// Scaling series for the PTIME flow solver (Proposition 12): who wins and
+// how it scales. Compare the same sizes under BenchmarkExact* below.
+
+func benchFlowConfluence(b *testing.B, n int) {
+	q := cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	rng := rand.New(rand.NewSource(7))
+	d := datagen.ConfluenceDB(rng, n, n, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.LinearFlow(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowConfluence50(b *testing.B)  { benchFlowConfluence(b, 50) }
+func BenchmarkFlowConfluence100(b *testing.B) { benchFlowConfluence(b, 100) }
+func BenchmarkFlowConfluence200(b *testing.B) { benchFlowConfluence(b, 200) }
+func BenchmarkFlowConfluence400(b *testing.B) { benchFlowConfluence(b, 400) }
+
+// Exact solver on the same confluence family: exponential-worst-case
+// algorithm on easy instances — already orders of magnitude slower than
+// flow at small sizes, which is why the sizes here stop at 40 while the
+// flow series above continues to 400. (Already at n=40 the exact search
+// takes minutes on this instance family.)
+
+func benchExactConfluence(b *testing.B, n int) {
+	q := cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	rng := rand.New(rand.NewSource(7))
+	d := datagen.ConfluenceDB(rng, n, n, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.Exact(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactConfluence10(b *testing.B) { benchExactConfluence(b, 10) }
+func BenchmarkExactConfluence20(b *testing.B) { benchExactConfluence(b, 20) }
+
+// Exact solver on hard gadget instances (3SAT chain gadgets): the budgeted
+// decision gets harder as the formula grows — the NP-complete side of the
+// dichotomy.
+
+func benchExactChainGadget(b *testing.B, m int) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(8))
+	psi := sat.Random3SAT(rng, 3, m)
+	red := reduction.NewChain3SAT(psi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.ExactWithBudget(q, red.DB, red.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactChainGadgetM1(b *testing.B) { benchExactChainGadget(b, 1) }
+func BenchmarkExactChainGadgetM2(b *testing.B) { benchExactChainGadget(b, 2) }
+func BenchmarkExactChainGadgetM3(b *testing.B) { benchExactChainGadget(b, 3) }
+
+// Specialized PTIME solvers.
+
+func BenchmarkPermCount(b *testing.B) {
+	q := cq.MustParse("qperm :- R(x,y), R(y,x)")
+	rng := rand.New(rand.NewSource(9))
+	d := datagen.PermDB(rng, 500, 50, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.SolvePermCount(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPermBipartiteVC(b *testing.B) {
+	q := cq.MustParse("qAperm :- A(x), R(x,y), R(y,x)")
+	rng := rand.New(rand.NewSource(10))
+	d := datagen.PermDB(rng, 300, 30, 200, "A")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.SolvePermBipartiteVC(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerm3Flow(b *testing.B) {
+	q := cq.MustParse("qA3permR :- A(x), R(x,y), R(y,z), R(z,y)")
+	rng := rand.New(rand.NewSource(11))
+	d := datagen.PermDB(rng, 200, 20, 150, "A")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.SolvePerm3Flow(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeletionPropagation(b *testing.B) {
+	q := MustParse("reach :- F(a,bb), F(bb,c)")
+	rng := rand.New(rand.NewSource(12))
+	d := NewDatabase()
+	for i := 0; i < 400; i++ {
+		d.AddNames("F", datagen.ConstName(rng.Intn(60)), datagen.ConstName(rng.Intn(60)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeletionPropagation(q, []string{"a", "c"}, d, []string{datagen.ConstName(1), datagen.ConstName(2)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks for the exact solver's design choices (DESIGN.md
+// section 4.1): the disjoint-packing lower bound and the superset
+// elimination. Same instances, same answers, different search effort.
+
+func benchAblation(b *testing.B, opts resilience.Options) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(13))
+	psi := sat.Random3SAT(rng, 3, 2)
+	red := reduction.NewChain3SAT(psi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.ExactWithOptions(q, red.DB, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationExactFull(b *testing.B) {
+	benchAblation(b, resilience.Options{})
+}
+
+func BenchmarkAblationExactNoLowerBound(b *testing.B) {
+	benchAblation(b, resilience.Options{DisableLowerBound: true})
+}
+
+func BenchmarkAblationExactKeepSupersets(b *testing.B) {
+	benchAblation(b, resilience.Options{KeepSupersets: true})
+}
+
+func BenchmarkAblationExactNeither(b *testing.B) {
+	benchAblation(b, resilience.Options{DisableLowerBound: true, KeepSupersets: true})
+}
+
+// Benchmarks for the cross-check oracle, responsibility, and the
+// executable-hardness machinery added on top of the core reproduction.
+
+func BenchmarkCNFDecide(b *testing.B) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(14))
+	d := datagen.Random(rng, q, 10, 28, 0)
+	res, err := resilience.Exact(q, d)
+	if err != nil {
+		b.Skip("unbreakable instance")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cnfenc.Decide(q, d, res.Rho); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResponsibility(b *testing.B) {
+	q := MustParse("reach :- F(a,bb), F(bb,c)")
+	rng := rand.New(rand.NewSource(15))
+	d := NewDatabase()
+	var tuples []Tuple
+	for i := 0; i < 40; i++ {
+		tuples = append(tuples, d.AddNames("F", datagen.ConstName(rng.Intn(12)), datagen.ConstName(rng.Intn(12))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := resilience.Responsibility(q, d, tuples[i%len(tuples)])
+		if err != nil && err != resilience.ErrNotCounterfactual {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHardnessBuildChain(b *testing.B) {
+	q := cq.MustParse("qachain :- A(x), R(x,y), R(y,z)")
+	for i := 0; i < b.N; i++ {
+		if _, err := hardness.Build(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchChainable3Chain(b *testing.B) {
+	q := cq.MustParse("q3chain :- R(x,y), R(y,z), R(z,w)")
+	for i := 0; i < b.N; i++ {
+		cert, _, _ := ijp.SearchChainable(q, 2, 8)
+		if cert == nil {
+			b.Fatal("no gadget found")
+		}
+	}
+}

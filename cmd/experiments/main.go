@@ -1,0 +1,54 @@
+// Command experiments regenerates every paper table and figure row and
+// prints paper-vs-measured reports (see DESIGN.md's per-experiment index
+// and EXPERIMENTS.md for the recorded outcomes).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments F5 F10     # run selected experiment ids
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		mismatches := experiments.RunAll(os.Stdout)
+		if mismatches > 0 {
+			fmt.Printf("%d MISMATCHED rows\n", mismatches)
+			os.Exit(1)
+		}
+		fmt.Println("all rows match the paper (modulo documented errata)")
+		return
+	}
+	bad := 0
+	for _, id := range ids {
+		if experiments.ByID(id) == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		rep := experiments.RunByID(id)
+		rep.Write(os.Stdout)
+		if !rep.Matches() {
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,248 @@
+// Command resil classifies conjunctive queries and computes resilience.
+//
+// Usage:
+//
+//	resil classify 'q :- R(x,y), R(y,z)'
+//	resil solve 'q :- R(x,y), R(y,z)' facts.txt
+//	resil witnesses 'q :- R(x,y), R(y,z)' facts.txt
+//	resil enumerate 'q :- R(x,y), R(y,z)' facts.txt
+//	resil responsibility 'q :- R(x,y), R(y,z)' facts.txt 'R(1,2)'
+//	resil ijp 'q :- R(x), S(x,y), R(y)'
+//	resil hardness 'q :- A(x), R(x,y), R(y,z)'
+//
+// The facts file holds one fact per line in the form R(a,b); blank lines
+// and lines starting with # are ignored.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, queryText := os.Args[1], os.Args[2]
+	q, err := repro.Parse(queryText)
+	if err != nil {
+		fatal(err)
+	}
+	switch cmd {
+	case "classify":
+		classify(q)
+	case "solve":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		d, err := loadFacts(os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		solve(q, d)
+	case "witnesses":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		d, err := loadFacts(os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		listWitnesses(q, d)
+	case "enumerate":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		d, err := loadFacts(os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		enumerate(q, d)
+	case "responsibility":
+		if len(os.Args) < 5 {
+			usage()
+		}
+		d, err := loadFacts(os.Args[3])
+		if err != nil {
+			fatal(err)
+		}
+		responsibility(q, d, os.Args[4])
+	case "ijp":
+		searchIJP(q)
+	case "hardness":
+		buildHardness(q)
+	default:
+		usage()
+	}
+}
+
+func enumerate(q *repro.Query, d *repro.Database) {
+	const maxSets = 50
+	rho, sets, err := repro.EnumerateMinimum(q, d, maxSets)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("resilience: %d\n", rho)
+	fmt.Printf("minimum contingency sets (showing up to %d):\n", maxSets)
+	for i, s := range sets {
+		parts := make([]string, len(s))
+		for j, t := range s {
+			parts[j] = d.TupleString(t)
+		}
+		fmt.Printf("  %2d: {%s}\n", i+1, strings.Join(parts, ", "))
+	}
+}
+
+func responsibility(q *repro.Query, d *repro.Database, factText string) {
+	probe, err := loadFactLine(d, factText)
+	if err != nil {
+		fatal(err)
+	}
+	k, gamma, err := repro.Responsibility(q, d, probe)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tuple:          %s\n", d.TupleString(probe))
+	fmt.Printf("contingency k:  %d\n", k)
+	fmt.Printf("responsibility: 1/%d\n", 1+k)
+	for _, t := range gamma {
+		fmt.Printf("  contingency tuple: %s\n", d.TupleString(t))
+	}
+}
+
+func buildHardness(q *repro.Query) {
+	r, err := repro.BuildHardness(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query:   %s\n", r.Target)
+	fmt.Printf("rule:    %s\n", r.Rule)
+	fmt.Printf("source:  %s\n", r.Source)
+	fmt.Printf("gadget:  %s\n", r.Gadget)
+}
+
+// loadFactLine parses one fact like "R(1,2)" against d's interner.
+func loadFactLine(d *repro.Database, text string) (repro.Tuple, error) {
+	open := strings.IndexByte(text, '(')
+	closeP := strings.LastIndexByte(text, ')')
+	if open <= 0 || closeP <= open {
+		return repro.Tuple{}, fmt.Errorf("malformed fact %q", text)
+	}
+	rel := strings.TrimSpace(text[:open])
+	var args []string
+	for _, part := range strings.Split(text[open+1:closeP], ",") {
+		args = append(args, strings.TrimSpace(part))
+	}
+	vals := make([]repro.Value, len(args))
+	for i, a := range args {
+		vals[i] = d.Const(a)
+	}
+	t := repro.Tuple{Rel: rel, Arity: uint8(len(vals))}
+	copy(t.Args[:], vals)
+	if !d.Has(t) {
+		return repro.Tuple{}, fmt.Errorf("fact %s not in database", text)
+	}
+	return t, nil
+}
+
+func classify(q *repro.Query) {
+	cl := repro.Classify(q)
+	fmt.Printf("query:       %s\n", q)
+	fmt.Printf("normalized:  %s\n", cl.Normalized)
+	fmt.Printf("complexity:  %s\n", cl.Verdict)
+	fmt.Printf("rule:        %s\n", cl.Rule)
+	fmt.Printf("certificate: %s\n", cl.Certificate)
+	fmt.Printf("algorithm:   %s\n", cl.Algorithm)
+	for i, sub := range cl.Components {
+		fmt.Printf("component %d: %s [%s]\n", i+1, sub.Verdict, sub.Rule)
+	}
+}
+
+func solve(q *repro.Query, d *repro.Database) {
+	res, cl, err := repro.Resilience(q, d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("complexity:  %s (%s)\n", cl.Verdict, cl.Rule)
+	fmt.Printf("method:      %s\n", res.Method)
+	fmt.Printf("witnesses:   %d\n", res.Witnesses)
+	fmt.Printf("resilience:  %d\n", res.Rho)
+	if len(res.ContingencySet) > 0 {
+		fmt.Println("contingency set:")
+		for _, t := range res.ContingencySet {
+			fmt.Printf("  %s\n", d.TupleString(t))
+		}
+	}
+}
+
+func listWitnesses(q *repro.Query, d *repro.Database) {
+	ws := repro.Witnesses(q, d)
+	fmt.Printf("%d witnesses\n", len(ws))
+	for _, w := range ws {
+		parts := make([]string, q.NumVars())
+		for v := 0; v < q.NumVars(); v++ {
+			parts[v] = fmt.Sprintf("%s=%s", q.VarName(repro.Var(v)), d.ConstName(w[v]))
+		}
+		fmt.Println("  " + strings.Join(parts, " "))
+	}
+}
+
+func searchIJP(q *repro.Query) {
+	cert, tested, exhausted := repro.SearchIJP(q, 3, 10)
+	fmt.Printf("candidates tested: %d\n", tested)
+	if cert != nil {
+		fmt.Printf("IJP found: %s\n", cert)
+		fmt.Println("database:")
+		fmt.Print(cert.DB)
+		return
+	}
+	if exhausted {
+		fmt.Println("no IJP exists within the searched space (consistent with a PTIME query)")
+	} else {
+		fmt.Println("no IJP found; search space truncated")
+	}
+}
+
+func loadFacts(path string) (*repro.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d := repro.NewDatabase()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		open := strings.IndexByte(text, '(')
+		closeP := strings.LastIndexByte(text, ')')
+		if open <= 0 || closeP <= open {
+			return nil, fmt.Errorf("%s:%d: malformed fact %q", path, line, text)
+		}
+		rel := strings.TrimSpace(text[:open])
+		var args []string
+		for _, part := range strings.Split(text[open+1:closeP], ",") {
+			args = append(args, strings.TrimSpace(part))
+		}
+		d.AddNames(rel, args...)
+	}
+	return d, sc.Err()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: resil classify|solve|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resil:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Auto-hardness: the Section 9 program end to end. For a query whose
+// complexity you do not know, hunt for an Independent Join Path whose
+// chained copies form a validated Vertex Cover reduction — an
+// automatically discovered NP-hardness proof (Conjecture 49 / Example 62).
+//
+// The demo runs the hunt on the 3-chain (hard, Proposition 38), on z4
+// (hard, Proposition 47), and on the unbound permutation (PTIME,
+// Proposition 33), where the space is exhausted without a certificate —
+// consistent with the paper's conjecture that PTIME queries admit no IJP.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/resilience"
+	"repro/internal/vertexcover"
+
+	"repro/internal/ijp"
+)
+
+func main() {
+	cases := []struct {
+		text string
+		note string
+	}{
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", "NP-complete (Proposition 38)"},
+		{"z4 :- R(x,x), R(x,y), S(x,y), R(y,y)", "NP-complete (Proposition 47)"},
+		{"qperm :- R(x,y), R(y,x)", "PTIME (Proposition 33) — expect exhaustion"},
+	}
+	for _, c := range cases {
+		q := repro.MustParse(c.text)
+		fmt.Printf("%s\n  paper: %s\n", q, c.note)
+		start := time.Now()
+		cert, tested, exhausted := repro.SearchHardnessProof(q, 2, 8)
+		fmt.Printf("  searched %d candidate databases in %v\n", tested, time.Since(start).Round(time.Millisecond))
+		if cert == nil {
+			fmt.Printf("  no chainable IJP found (space exhausted: %v)\n\n", exhausted)
+			continue
+		}
+		fmt.Printf("  found hardness gadget: %v (β=%d per edge, chain length %d)\n", cert.Certificate, cert.Beta, cert.Copies)
+		fmt.Println("  gadget database:")
+		fmt.Print(indent(cert.DB.String()))
+
+		// Use the discovered gadget as a live reduction: solve Vertex Cover
+		// on a fresh graph through RES(q).
+		g := vertexcover.Cycle(7)
+		red, err := ijp.BuildVCReduction(q, cert.Certificate, g, cert.Copies)
+		if err != nil {
+			fmt.Println("  build error:", err)
+			continue
+		}
+		res, err := resilience.Exact(q, red.DB)
+		if err != nil {
+			fmt.Println("  solve error:", err)
+			continue
+		}
+		vc, _ := g.MinVertexCover()
+		fmt.Printf("  live check on C7: VC=%d, ρ(q, D_G)=%d, VC+β·|E| = %d+%d·%d = %d — match: %v\n\n",
+			vc, res.Rho, vc, cert.Beta, g.NumEdges(), vc+cert.Beta*g.NumEdges(), res.Rho == vc+cert.Beta*g.NumEdges())
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

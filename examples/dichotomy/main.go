@@ -1,0 +1,35 @@
+// Dichotomy table: classify every named query of the paper and print the
+// verdicts next to the paper's, regenerating the content of Figures 1-7
+// and the Section 8 catalog (including the open problems).
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/zoo"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tQUERY\tPAPER\tCLASSIFIER\tRULE\tMATCH")
+	mismatches := 0
+	for _, e := range zoo.Queries() {
+		cl := repro.Classify(e.Query)
+		match := "ok"
+		if cl.Verdict != e.Expected {
+			match = "MISMATCH"
+			mismatches++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			e.Name, e.Query, e.Expected, cl.Verdict, cl.Rule, match)
+	}
+	w.Flush()
+	fmt.Printf("\n%d queries classified, %d mismatches with the paper\n",
+		len(zoo.Queries()), mismatches)
+	if mismatches > 0 {
+		os.Exit(1)
+	}
+}

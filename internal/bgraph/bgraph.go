@@ -1,0 +1,138 @@
+// Package bgraph implements the binary graph of a binary conjunctive query
+// (Definition 8): vertices are the query's variables and every binary atom
+// A(x,y) becomes a labeled directed edge x -> y, while unary atoms become
+// labeled loops.
+//
+// The binary graph captures the positional information that the dual
+// hypergraph loses (Section 3, Figure 2) — e.g. it distinguishes the chain
+// R(x,y),R(y,z) from the confluence R(x,y),R(z,y). The package also renders
+// Graphviz DOT, which regenerates the diagrams of Figures 2 and 5.
+package bgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// Edge is one labeled edge of the binary graph.
+type Edge struct {
+	From, To  cq.Var
+	Label     string // relation name
+	Exogenous bool
+	Loop      bool // unary atom
+}
+
+// Graph is the binary graph of a binary CQ.
+type Graph struct {
+	Q     *cq.Query
+	Edges []Edge
+}
+
+// New builds the binary graph of q; it returns an error if q is not a
+// binary query.
+func New(q *cq.Query) (*Graph, error) {
+	if !q.IsBinary() {
+		return nil, fmt.Errorf("bgraph: %s is not a binary query", q.Name)
+	}
+	g := &Graph{Q: q}
+	for _, a := range q.Atoms {
+		switch len(a.Args) {
+		case 1:
+			g.Edges = append(g.Edges, Edge{
+				From: a.Args[0], To: a.Args[0], Label: a.Rel,
+				Exogenous: q.IsExogenous(a.Rel), Loop: true,
+			})
+		case 2:
+			g.Edges = append(g.Edges, Edge{
+				From: a.Args[0], To: a.Args[1], Label: a.Rel,
+				Exogenous: q.IsExogenous(a.Rel),
+			})
+		}
+	}
+	return g, nil
+}
+
+// OutDegree returns the number of non-loop edges leaving v.
+func (g *Graph) OutDegree(v cq.Var) int {
+	n := 0
+	for _, e := range g.Edges {
+		if !e.Loop && e.From == v {
+			n++
+		}
+	}
+	return n
+}
+
+// InDegree returns the number of non-loop edges entering v.
+func (g *Graph) InDegree(v cq.Var) int {
+	n := 0
+	for _, e := range g.Edges {
+		if !e.Loop && e.To == v {
+			n++
+		}
+	}
+	return n
+}
+
+// LabelsAt returns the sorted labels of loops attached to v.
+func (g *Graph) LabelsAt(v cq.Var) []string {
+	var out []string
+	for _, e := range g.Edges {
+		if e.Loop && e.From == v {
+			out = append(out, e.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DOT renders the graph in Graphviz syntax. Exogenous edges are dashed,
+// matching the paper's visual convention for context relations.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	name := g.Q.Name
+	if name == "" {
+		name = "q"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	for v := cq.Var(0); int(v) < g.Q.NumVars(); v++ {
+		fmt.Fprintf(&b, "  %q [shape=circle];\n", g.Q.VarName(v))
+	}
+	for _, e := range g.Edges {
+		style := ""
+		if e.Exogenous {
+			style = ", style=dashed"
+		}
+		label := e.Label
+		if e.Exogenous {
+			label += "^x"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q%s];\n",
+			g.Q.VarName(e.From), g.Q.VarName(e.To), label, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders a compact one-line description of the graph, e.g.
+// "x -R-> y, y -R-> z" for the chain; loops render as "A@x".
+func (g *Graph) ASCII() string {
+	parts := make([]string, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		label := e.Label
+		if e.Exogenous {
+			label += "^x"
+		}
+		if e.Loop {
+			parts = append(parts, fmt.Sprintf("%s@%s", label, g.Q.VarName(e.From)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s -%s-> %s",
+				g.Q.VarName(e.From), label, g.Q.VarName(e.To)))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

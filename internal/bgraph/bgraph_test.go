@@ -1,0 +1,70 @@
+package bgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestChainVsConfluenceDistinguished(t *testing.T) {
+	// Figure 2's point: hypergraphs conflate these, binary graphs do not.
+	chain, err := New(cq.MustParse("qchain :- R(x,y), R(y,z)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := New(cq.MustParse("qconf :- R(x,y), R(z,y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := chain.Q.Var("y")
+	if chain.InDegree(y) != 1 || chain.OutDegree(y) != 1 {
+		t.Errorf("chain y: in=%d out=%d, want 1/1", chain.InDegree(y), chain.OutDegree(y))
+	}
+	yc := conf.Q.Var("y")
+	if conf.InDegree(yc) != 2 || conf.OutDegree(yc) != 0 {
+		t.Errorf("confluence y: in=%d out=%d, want 2/0", conf.InDegree(yc), conf.OutDegree(yc))
+	}
+}
+
+func TestUnaryLoops(t *testing.T) {
+	g, err := New(cq.MustParse("qvc :- R(x), S(x,y), R(y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.LabelsAt(g.Q.Var("x")); len(got) != 1 || got[0] != "R" {
+		t.Errorf("loops at x = %v, want [R]", got)
+	}
+	if g.OutDegree(g.Q.Var("x")) != 1 {
+		t.Errorf("out degree of x should count only S")
+	}
+}
+
+func TestNonBinaryRejected(t *testing.T) {
+	if _, err := New(cq.MustParse("qT :- A(x), B(y), C(z), W(x,y,z)")); err == nil {
+		t.Error("ternary query must be rejected")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, err := New(cq.MustParse("qTSpart :- T(x,y)^x, R(x,y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", `"x" -> "y"`, "style=dashed", `T^x`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestASCII(t *testing.T) {
+	g, _ := New(cq.MustParse("z3 :- R(x,x), R(x,y), A(y)"))
+	s := g.ASCII()
+	for _, want := range []string{"x -R-> x", "x -R-> y", "A@y"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ASCII %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package cnfenc encodes the resilience decision problem RES(q, D, k)
+// (Definition 1) as CNF satisfiability, giving a second, independently
+// implemented oracle against which the branch-and-bound exact solver is
+// cross-checked.
+//
+// The encoding is the textbook one for bounded hitting set: a Boolean
+// variable per candidate endogenous tuple ("delete this tuple"), one
+// clause per witness requiring at least one of its tuples deleted, and a
+// Sinz sequential-counter circuit enforcing that at most k tuples are
+// deleted. The resulting formula is satisfiable iff (D, k) ∈ RES(q), and
+// any model projects to a verified contingency set of size ≤ k.
+package cnfenc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/sat"
+)
+
+// ErrUnbreakable mirrors resilience.ErrUnbreakable: some witness consists
+// purely of exogenous tuples, so no deletions can falsify the query.
+var ErrUnbreakable = errors.New("cnfenc: query cannot be falsified by endogenous deletions")
+
+// Encoding is a CNF rendering of one RES(q, D, k) instance.
+type Encoding struct {
+	// Formula is satisfiable iff (D, k) ∈ RES(q).
+	Formula *sat.Formula
+	// Tuples are the candidate endogenous tuples; tuple i corresponds to
+	// CNF variable i+1.
+	Tuples []db.Tuple
+	// K is the cardinality bound of the instance.
+	K int
+	// Witnesses is the number of witness clauses.
+	Witnesses int
+}
+
+// Encode builds the CNF instance for (q, d, k). It fails with
+// ErrUnbreakable when a witness has no endogenous tuples, and never
+// produces a formula for unsatisfiable-query databases: if D does not
+// satisfy q the encoding has no witness clauses and is trivially
+// satisfiable with zero deletions, matching ρ = 0.
+func Encode(q *cq.Query, d *db.Database, k int) (*Encoding, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("cnfenc: negative budget %d", k)
+	}
+	idOf := map[db.Tuple]int{}
+	var tuples []db.Tuple
+	var clauses []sat.Clause
+	unbreakable := false
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		ts := eval.WitnessTuples(q, w, true)
+		if len(ts) == 0 {
+			unbreakable = true
+			return false
+		}
+		clause := make(sat.Clause, 0, len(ts))
+		seen := map[int]bool{}
+		for _, t := range ts {
+			id, ok := idOf[t]
+			if !ok {
+				id = len(tuples)
+				idOf[t] = id
+				tuples = append(tuples, t)
+			}
+			if !seen[id] {
+				seen[id] = true
+				clause = append(clause, sat.Literal(id+1))
+			}
+		}
+		clauses = append(clauses, clause)
+		return true
+	})
+	if unbreakable {
+		return nil, ErrUnbreakable
+	}
+	enc := &Encoding{
+		Tuples:    tuples,
+		K:         k,
+		Witnesses: len(clauses),
+	}
+	n := len(tuples)
+	f := &sat.Formula{NumVars: n, Clauses: clauses}
+	addAtMostK(f, n, k)
+	enc.Formula = f
+	return enc, nil
+}
+
+// addAtMostK appends the Sinz sequential-counter encoding of
+// "at most k of variables 1..n are true" to f, allocating auxiliary
+// variables above f.NumVars. For k ≥ n it adds nothing; for k = 0 it adds
+// a unit clause ¬x_i per variable.
+func addAtMostK(f *sat.Formula, n, k int) {
+	if k >= n {
+		return
+	}
+	if k == 0 {
+		for i := 1; i <= n; i++ {
+			f.Clauses = append(f.Clauses, sat.Clause{sat.Literal(-i)})
+		}
+		return
+	}
+	// s(i,j) is true when at least j of x_1..x_i are true; i ∈ [1,n-1],
+	// j ∈ [1,k].
+	base := f.NumVars
+	s := func(i, j int) sat.Literal {
+		return sat.Literal(base + (i-1)*k + j)
+	}
+	f.NumVars += (n - 1) * k
+	add := func(lits ...sat.Literal) {
+		f.Clauses = append(f.Clauses, sat.Clause(lits))
+	}
+	x := func(i int) sat.Literal { return sat.Literal(i) }
+
+	add(-x(1), s(1, 1))
+	for j := 2; j <= k; j++ {
+		add(-s(1, j))
+	}
+	for i := 2; i <= n-1; i++ {
+		add(-x(i), s(i, 1))
+		add(-s(i-1, 1), s(i, 1))
+		for j := 2; j <= k; j++ {
+			add(-x(i), -s(i-1, j-1), s(i, j))
+			add(-s(i-1, j), s(i, j))
+		}
+		add(-x(i), -s(i-1, k))
+	}
+	add(-x(n), -s(n-1, k))
+}
+
+// Gamma projects a satisfying assignment of the encoding's formula back to
+// the deleted-tuple set.
+func (e *Encoding) Gamma(assign []bool) []db.Tuple {
+	var out []db.Tuple
+	for i, t := range e.Tuples {
+		if assign[i+1] {
+			out = append(out, t)
+		}
+	}
+	db.SortTuples(out)
+	return out
+}
+
+// Decide reports whether (D, k) ∈ RES(q) by SAT solving the encoding.
+// Like resilience.Decide it requires D |= q for membership. The returned
+// contingency set (when the answer is yes and k > 0) has size ≤ k and is
+// guaranteed by construction to falsify the query.
+func Decide(q *cq.Query, d *db.Database, k int) (bool, []db.Tuple, error) {
+	if !eval.Satisfied(q, d) {
+		return false, nil, nil
+	}
+	enc, err := Encode(q, d, k)
+	if err != nil {
+		return false, nil, err
+	}
+	assign, ok := enc.Formula.Solve()
+	if !ok {
+		return false, nil, nil
+	}
+	return true, enc.Gamma(assign), nil
+}

@@ -1,0 +1,153 @@
+package cnfenc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+)
+
+// TestAtMostKCounter verifies the sequential counter in isolation: for
+// every assignment of the n counted variables, the circuit must be
+// extensible to the auxiliaries iff at most k variables are true.
+func TestAtMostKCounter(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for k := 0; k <= n+1; k++ {
+			for mask := 0; mask < 1<<n; mask++ {
+				f := &sat.Formula{NumVars: n}
+				addAtMostK(f, n, k)
+				count := 0
+				for i := 1; i <= n; i++ {
+					lit := sat.Literal(-i)
+					if mask&(1<<(i-1)) != 0 {
+						lit = sat.Literal(i)
+						count++
+					}
+					f.Clauses = append(f.Clauses, sat.Clause{lit})
+				}
+				want := count <= k
+				if got := f.Satisfiable(); got != want {
+					t.Fatalf("n=%d k=%d mask=%b: sat=%v, want %v", n, k, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDecideAgreesWithExact cross-checks the SAT oracle against the
+// branch-and-bound solver across query shapes, budgets, and random
+// databases. Returned contingency sets must verify.
+func TestDecideAgreesWithExact(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("qchain :- R(x,y), R(y,z)"),
+		cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)"),
+		cq.MustParse("qvc :- R(x), S(x,y), R(y)"),
+		cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)"),
+		cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)"),
+		cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)"),
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, q := range queries {
+		for trial := 0; trial < 8; trial++ {
+			d := datagen.Random(rng, q, 5, 7, 0.3)
+			res, err := resilience.Exact(q, d)
+			if err == resilience.ErrUnbreakable {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{0, res.Rho - 1, res.Rho, res.Rho + 1} {
+				if k < 0 {
+					continue
+				}
+				wantBool, err := resilience.Decide(q, d, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBool, gamma, err := Decide(q, d, k)
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", q.Name, k, err)
+				}
+				if gotBool != wantBool {
+					t.Fatalf("%s trial %d k=%d (ρ=%d): SAT oracle says %v, B&B says %v",
+						q.Name, trial, k, res.Rho, gotBool, wantBool)
+				}
+				if gotBool && eval.Satisfied(q, d) {
+					if len(gamma) > k {
+						t.Fatalf("%s k=%d: contingency set of size %d > k", q.Name, k, len(gamma))
+					}
+					if err := resilience.VerifyContingency(q, d, gamma); err != nil {
+						t.Fatalf("%s k=%d: %v", q.Name, k, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecideExogenousAndUnbreakable covers the exogenous-atom paths.
+func TestDecideExogenousAndUnbreakable(t *testing.T) {
+	q := cq.MustParse("q :- A(x), W(x,y)^x")
+	d := db.New()
+	d.AddNames("A", "1")
+	d.AddNames("W", "1", "2")
+	ok, gamma, err := Decide(q, d, 1)
+	if err != nil || !ok {
+		t.Fatalf("Decide = %v, %v; want true (delete A(1))", ok, err)
+	}
+	if len(gamma) != 1 || gamma[0].Rel != "A" {
+		t.Fatalf("gamma = %v, want the A tuple", gamma)
+	}
+
+	// All-exogenous witness: unbreakable.
+	q2 := cq.MustParse("q2 :- W(x,y)^x")
+	if _, _, err := Decide(q2, d, 1); err != ErrUnbreakable {
+		t.Fatalf("err = %v, want ErrUnbreakable", err)
+	}
+}
+
+// TestDecideUnsatisfiedDatabase: (D, k) ∉ RES(q) when D does not satisfy q.
+func TestDecideUnsatisfiedDatabase(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2") // no chain of length two
+	ok, _, err := Decide(q, d, 5)
+	if err != nil || ok {
+		t.Fatalf("Decide = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestEncodeRejectsNegativeBudget(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	if _, err := Encode(q, db.New(), -1); err == nil {
+		t.Fatal("want error for negative budget")
+	}
+}
+
+// TestEncodingSize pins the encoding's arithmetic: variable and clause
+// counts for a known instance.
+func TestEncodingSize(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "4")
+	// Witnesses: (1,2,3), (2,3,4); candidate tuples: all 3.
+	enc, err := Encode(q, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Witnesses != 2 || len(enc.Tuples) != 3 {
+		t.Fatalf("witnesses=%d tuples=%d, want 2 and 3", enc.Witnesses, len(enc.Tuples))
+	}
+	// n=3, k=1: aux vars (n-1)*k = 2.
+	if enc.Formula.NumVars != 5 {
+		t.Fatalf("NumVars=%d, want 5 (3 tuples + 2 counter vars)", enc.Formula.NumVars)
+	}
+}

@@ -1,0 +1,44 @@
+package cnfenc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/resilience"
+)
+
+// TestQuickOracleAgreement is a property-based cross-check: for arbitrary
+// small R-digraphs and budgets, the SAT oracle and the branch-and-bound
+// solver must give the same RES(qchain) membership answer.
+func TestQuickOracleAgreement(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	property := func(edges [][2]uint8, kRaw uint8) bool {
+		d := db.New()
+		for _, e := range edges {
+			d.Add("R", db.Value(e[0]%6), db.Value(e[1]%6))
+		}
+		k := int(kRaw % 5)
+		want, err1 := resilience.Decide(q, d, k)
+		got, gamma, err2 := Decide(q, d, k)
+		if (err1 != nil) != (err2 != nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if got != want {
+			return false
+		}
+		return len(gamma) <= k || !got
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Rand:     rand.New(rand.NewSource(23)),
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// TestBinaryPathRequiresRDisconnectedEndpoints pins the Theorem 28
+// precondition: the two R-atoms must lie in different R-connectivity
+// classes (the proof's diagonal construction breaks otherwise).
+func TestBinaryPathRequiresRDisconnectedEndpoints(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"z1 :- R(x,x), S(x,y), R(y,y)", true},
+		{"z2 :- R(x,x), S(x,y), R(y,z)", true},
+		{"qbinpath :- R(x,y), S(y,z), R(z,w)", true},
+		// z4: R(x,y) links the two loop atoms into one R-class.
+		{"z4 :- R(x,x), R(x,y), S(x,y), R(y,y)", false},
+		// qAC3conf: R(z,y) links R(x,y) to R(z,w); also no R-free path.
+		{"qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)", false},
+		// Chain: atoms share y.
+		{"qchain :- R(x,y), R(y,z)", false},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.text)
+		_, _, got := hasBinaryPath(q, "R")
+		if got != c.want {
+			t.Errorf("%s: hasBinaryPath = %v, want %v", q.Name, got, c.want)
+		}
+	}
+}
+
+// TestRConnectivitySingletons: loop atoms must register their variable
+// even though they have a single distinct variable.
+func TestRConnectivitySingletons(t *testing.T) {
+	q := cq.MustParse("z1 :- R(x,x), S(x,y), R(y,y)")
+	x, _ := q.LookupVar("x")
+	y, _ := q.LookupVar("y")
+	class := rConnectivity(q, "R")
+	cx, okx := class[x]
+	cy, oky := class[y]
+	if !okx || !oky {
+		t.Fatalf("classes missing: x=%v y=%v", okx, oky)
+	}
+	if cx == cy {
+		t.Fatalf("x and y in the same R-class (%d); R(x,x) and R(y,y) are disconnected", cx)
+	}
+}
+
+// TestZ4ClassifiedViaCatalog: after the Theorem 28 tightening, z4 resolves
+// through the Section 8 catalog with Proposition 47's citation.
+func TestZ4ClassifiedViaCatalog(t *testing.T) {
+	cl := Classify(cq.MustParse("z4 :- R(x,x), R(x,y), S(x,y), R(y,y)"))
+	if cl.Verdict != NPComplete {
+		t.Fatalf("verdict = %v, want NP-complete", cl.Verdict)
+	}
+	if !hasPrefixStr(cl.Rule, "Proposition 47") {
+		t.Fatalf("rule = %q, want Proposition 47", cl.Rule)
+	}
+}
+
+func hasPrefixStr(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

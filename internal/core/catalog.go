@@ -1,0 +1,98 @@
+package core
+
+import "repro/internal/cq"
+
+// catalogEntry pairs a named query shape from Section 8 with its known
+// complexity; the classifier matches candidate queries against these up to
+// isomorphism (variable and relation renaming preserving exogenous marks).
+type catalogEntry struct {
+	name    string
+	query   *cq.Query
+	verdict Verdict
+	rule    string
+	alg     Algorithm
+}
+
+// catalog3 lists the paper's named queries with exactly three occurrences
+// of the self-join relation (Section 8), including the explicitly open
+// problems. Chains are excluded: they are handled by the general k-chain
+// rule (Proposition 38).
+//
+// Shapes are stored in domination-normalized form (the classifier matches
+// after Normalize): e.g. in qSxyBC3perm-R, B(y) dominates S(x,y) under
+// Definition 16 via f(1)=2, so S carries the exogenous mark here even
+// though the paper writes it unmarked.
+var catalog3 = []catalogEntry{
+	// 8.2: 3-confluences.
+	{"qAC3conf", cq.MustParse("qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)"),
+		NPComplete, "Proposition 39 (Max 2SAT reduction)", AlgExact},
+	{"qTS3conf", cq.MustParse("qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x"),
+		PTime, "Proposition 41 (forced tuples + flow)", AlgTS3confFlow},
+	{"qAS3conf", cq.MustParse("qAS3conf :- A(x), R(x,y), R(z,y), R(z,w), S(z,w)^x"),
+		Open, "Section 8.2 open problem", AlgExact},
+
+	// 8.3: chain-confluence combinations.
+	{"qAC3cc", cq.MustParse("qAC3cc :- A(x), R(x,y), R(y,z), R(w,z), C(w)"),
+		NPComplete, "Proposition 42 (reduction from RES(qchain))", AlgExact},
+	{"qAS3cc", cq.MustParse("qAS3cc :- A(x), R(x,y), R(y,z), R(w,z), S(w,z)"),
+		NPComplete, "Proposition 42 (reduction from RES(qchain))", AlgExact},
+	{"qC3cc", cq.MustParse("qC3cc :- R(x,y), R(y,z), R(w,z), C(w)"),
+		NPComplete, "Proposition 43 (Max 2SAT reduction)", AlgExact},
+	{"qS3cc", cq.MustParse("qS3cc :- R(x,y), R(y,z), R(w,z), S(w,z)"),
+		Open, "Section 8.3 open problem", AlgExact},
+
+	// 8.4: permutation plus R.
+	{"qA3perm-R", cq.MustParse("qA3permR :- A(x), R(x,y), R(y,z), R(z,y)"),
+		PTime, "Proposition 13 (modified network flow)", AlgPerm3Flow},
+	{"qSwx3perm-R", cq.MustParse("qSwx3permR :- S(w,x), R(x,y), R(y,z), R(z,y)"),
+		PTime, "Proposition 44 (modified network flow)", AlgPerm3Flow},
+	{"qSxy3perm-R", cq.MustParse("qSxy3permR :- S(x,y)^x, R(x,y), R(y,z), R(z,y)"),
+		NPComplete, "Proposition 45 (3SAT reduction)", AlgExact},
+	{"qAC3perm-R", cq.MustParse("qAC3permR :- A(x), R(x,y), R(y,z), R(z,y), C(z)"),
+		NPComplete, "Proposition 46 (reduction from RES(qABperm))", AlgExact},
+	{"qAB3perm-R", cq.MustParse("qAB3permR :- A(x), R(x,y), B(y), R(y,z), R(z,y)"),
+		NPComplete, "Proposition 46 (3SAT reduction)", AlgExact},
+	{"qSxyBC3perm-R", cq.MustParse("qSxyBC3permR :- S(x,y)^x, R(x,y), B(y), R(y,z), R(z,y), C(z)"),
+		NPComplete, "Proposition 46 (reduction from RES(qABperm))", AlgExact},
+	{"qASxy3perm-R", cq.MustParse("qASxy3permR :- A(x), S(x,y)^x, R(x,y), R(y,z), R(z,y)"),
+		Open, "Section 8.4 open problem", AlgExact},
+	{"qSxyB3perm-R", cq.MustParse("qSxyB3permR :- S(x,y)^x, R(x,y), B(y), R(y,z), R(z,y)"),
+		Open, "Section 8.4 open problem", AlgExact},
+	{"qSxyC3perm-R", cq.MustParse("qSxyC3permR :- S(x,y), R(x,y), R(y,z), R(z,y), C(z)"),
+		Open, "Section 8.4 open problem", AlgExact},
+
+	// 8.5: repeated variables with three R-atoms. z4's endpoint loops are
+	// R-connected through R(x,y), so Theorem 28's binary-path rule does
+	// not apply (its proof assumes no R-path between the endpoints) and
+	// the paper proves z4 separately.
+	{"z4", cq.MustParse("z4 :- R(x,x), R(x,y), S(x,y)^x, R(y,y)"),
+		NPComplete, "Proposition 47 (reduction from RES(qvc))", AlgExact},
+	{"z5", cq.MustParse("z5 :- A(x), R(x,y), R(y,z), R(z,z)"),
+		NPComplete, "Proposition 47 (Max 2SAT reduction)", AlgExact},
+	{"z6", cq.MustParse("z6 :- A(x), R(x,y), R(y,y), R(y,z), C(z)"),
+		Open, "Section 8.5 open problem", AlgExact},
+	{"z7", cq.MustParse("z7 :- A(x), R(x,y), R(y,x), R(y,y)"),
+		Open, "Section 8.5 open problem", AlgExact},
+}
+
+// catalog2 lists two-R-atom shapes that map to specialized PTIME
+// algorithms; the dichotomy itself (Theorem 37) is rule-based and does not
+// need a catalog, this only refines Algorithm selection.
+var catalog2 = []catalogEntry{
+	{"qperm", cq.MustParse("qperm :- R(x,y), R(y,x)"),
+		PTime, "Proposition 33 (witness count)", AlgPermCount},
+	{"qAperm", cq.MustParse("qAperm :- A(x), R(x,y), R(y,x)"),
+		PTime, "Proposition 33 (bipartite vertex cover)", AlgPermBipartiteVC},
+	{"z3", cq.MustParse("z3 :- R(x,x), R(x,y), A(y)"),
+		PTime, "Proposition 36 (flow without off-diagonal R)", AlgREPFlow},
+}
+
+// lookupCatalog returns the catalog entry isomorphic to q, if any.
+func lookupCatalog(entries []catalogEntry, q *cq.Query) *catalogEntry {
+	for i := range entries {
+		if Isomorphic(q, entries[i].query) {
+			return &entries[i]
+		}
+	}
+	return nil
+}

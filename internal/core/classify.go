@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/domination"
+	"repro/internal/hypergraph"
+)
+
+// Classify determines the complexity of RES(q) for a conjunctive query q,
+// implementing the decision procedure promised by Theorem 37 ("there is a
+// PTIME algorithm that on input q determines which case occurs") and its
+// surrounding results:
+//
+//  1. minimize q (Section 4.1) and split into connected components
+//     (Lemmas 14/15);
+//  2. normalize domination under Definition 16 (Proposition 18);
+//  3. triads imply NP-completeness for arbitrary CQs (Theorem 24);
+//  4. self-join-free queries follow the dichotomy of [14] (Theorem 7);
+//  5. ssj binary queries: paths (Theorems 27/28), then the two-R-atom
+//     dichotomy (Theorem 37: chain / bounded permutation /
+//     confluence-with-exogenous-path are hard, everything else easy);
+//  6. three R-atoms: k-chains (Proposition 38) plus the Section 8 catalog,
+//     with the paper's open problems reported as Open.
+//
+// The input query is never modified.
+func Classify(q *cq.Query) *Classification {
+	if err := q.Validate(); err != nil {
+		return &Classification{
+			Verdict:     OutOfScope,
+			Rule:        "invalid query",
+			Certificate: err.Error(),
+			Algorithm:   AlgExact,
+		}
+	}
+	m := q.Minimize()
+	comps := m.ComponentQueries()
+	if len(comps) == 1 {
+		return classifyConnected(comps[0])
+	}
+	// Lemma 15: a minimal query's complexity is the hardest of its
+	// components.
+	out := &Classification{Normalized: m, Algorithm: AlgExact}
+	verdict := PTime
+	for _, sub := range comps {
+		c := classifyConnected(sub)
+		out.Components = append(out.Components, c)
+		switch c.Verdict {
+		case NPComplete:
+			verdict = NPComplete
+		case Open:
+			if verdict != NPComplete {
+				verdict = Open
+			}
+		case OutOfScope:
+			if verdict == PTime {
+				verdict = OutOfScope
+			}
+		}
+	}
+	out.Verdict = verdict
+	out.Rule = "Lemma 15 (query components)"
+	out.Certificate = fmt.Sprintf("%d components; hardest decides", len(comps))
+	return out
+}
+
+// classifyConnected handles a minimal connected query.
+func classifyConnected(q *cq.Query) *Classification {
+	n := domination.Normalize(q)
+	c := &Classification{Normalized: n, Algorithm: AlgExact}
+
+	endo := n.EndogenousAtoms()
+	if len(endo) == 0 {
+		c.Verdict = PTime
+		c.Rule = "no endogenous atoms"
+		c.Certificate = "resilience is undefined (unbreakable) whenever D |= q"
+		c.Algorithm = AlgTrivial
+		return c
+	}
+
+	// Theorem 24: triads make any CQ hard.
+	if cert, ok := hasTriad(n); ok {
+		c.Verdict = NPComplete
+		c.Rule = "Theorem 24 (triads make queries hard)"
+		c.Certificate = "triad " + cert
+		return c
+	}
+
+	rel := sjRelation(n)
+	if rel == "" {
+		return classifySJFreeLike(q, n, c)
+	}
+
+	// From here on: a proper endogenous self-join exists, and q has no
+	// triad, hence is pseudo-linear (Theorem 25).
+	if len(n.SelfJoinRelations()) > 1 {
+		// More than one repeated relation (even if the extras are
+		// exogenous, position interactions are unclassified).
+		others := 0
+		for _, r := range n.SelfJoinRelations() {
+			if r != rel && !n.IsExogenous(r) {
+				others++
+			}
+		}
+		if others > 0 {
+			c.Verdict = OutOfScope
+			c.Rule = "multiple self-join relations"
+			c.Certificate = fmt.Sprintf("repeated relations %v exceed the ssj fragment", n.SelfJoinRelations())
+			return c
+		}
+	}
+	if !n.IsBinary() {
+		c.Verdict = OutOfScope
+		c.Rule = "non-binary query with self-join"
+		c.Certificate = "the paper classifies binary ssj queries only"
+		return c
+	}
+
+	// Theorem 27: unary paths.
+	if hasUnaryPath(n, rel) {
+		atoms := n.AtomsOf(rel)
+		c.Verdict = NPComplete
+		c.Rule = "Theorem 27 (unary paths are hard)"
+		c.Certificate = fmt.Sprintf("unary path between %s and %s", n.AtomString(atoms[0]), n.AtomString(atoms[1]))
+		return c
+	}
+
+	// Theorem 28: binary paths (consecutive disjoint R-atoms).
+	if i, j, ok := hasBinaryPath(n, rel); ok {
+		c.Verdict = NPComplete
+		c.Rule = "Theorem 28 (binary paths are hard)"
+		c.Certificate = fmt.Sprintf("binary path between %s and %s", n.AtomString(i), n.AtomString(j))
+		return c
+	}
+
+	atoms := n.AtomsOf(rel)
+	switch len(atoms) {
+	case 2:
+		return classifyTwoRAtoms(n, rel, atoms, c)
+	case 3:
+		return classifyThreeRAtoms(n, rel, atoms, c)
+	default:
+		if seq, ok := chainVars(n, atoms); ok {
+			c.Verdict = NPComplete
+			c.Rule = "Proposition 38 (k-chains are hard)"
+			c.Certificate = fmt.Sprintf("%d-chain over %d variables", len(atoms), len(seq))
+			return c
+		}
+		c.Verdict = Open
+		c.Rule = fmt.Sprintf("beyond Section 8 (%d R-atoms)", len(atoms))
+		c.Certificate = "the paper classifies at most three occurrences of the self-join relation"
+		return c
+	}
+}
+
+// classifySJFreeLike handles queries whose endogenous atoms contain no
+// self-join: either genuinely sj-free queries (Theorem 7) or queries whose
+// repeated relation became exogenous through domination.
+func classifySJFreeLike(orig, n *cq.Query, c *Classification) *Classification {
+	c.Verdict = PTime
+	if orig.IsSelfJoinFree() {
+		c.Rule = "Theorem 7 (sj-free dichotomy: no triad)"
+		c.Certificate = "self-join-free, domination-normalized, triad-free"
+	} else {
+		c.Rule = "Proposition 18 + Theorem 25 (+ Conjecture 26)"
+		c.Certificate = "self-join relation dominated/exogenous; endogenous structure is sj-free and triad-free"
+	}
+	if hypergraph.IsLinear(n) {
+		c.Algorithm = AlgLinearFlow
+	} else {
+		c.Algorithm = AlgExact
+	}
+	return c
+}
+
+// classifyTwoRAtoms implements the Theorem 37 dichotomy for exactly two
+// occurrences of the self-join relation (no triad, no path at this point).
+func classifyTwoRAtoms(n *cq.Query, rel string, atoms []int, c *Classification) *Classification {
+	i, j := atoms[0], atoms[1]
+	switch classifyTwoAtoms(n, i, j) {
+	case patChain:
+		c.Verdict = NPComplete
+		c.Rule = "Proposition 30 (2-chains are hard)"
+		c.Certificate = fmt.Sprintf("chain %s, %s", n.AtomString(i), n.AtomString(j))
+		return c
+
+	case patPermutation:
+		x := n.Atoms[i].Args[0]
+		y := n.Atoms[i].Args[1]
+		if permutationBound(n, rel, x, y) {
+			c.Verdict = NPComplete
+			c.Rule = "Proposition 35 (bounded permutations are hard)"
+			c.Certificate = fmt.Sprintf("permutation %s, %s bound on both sides", n.AtomString(i), n.AtomString(j))
+			return c
+		}
+		c.Verdict = PTime
+		c.Rule = "Proposition 35 (unbounded permutations are easy)"
+		c.Certificate = fmt.Sprintf("permutation %s, %s not bound", n.AtomString(i), n.AtomString(j))
+		if e := lookupCatalog(catalog2, n); e != nil {
+			c.Algorithm = e.alg
+			c.Rule = e.rule
+		} else {
+			c.Algorithm = AlgExact
+		}
+		return c
+
+	case patConfluence:
+		x, z, y := confluenceEndpoints(n, i, j)
+		if hasPathAvoidingVar(n, x, z, y) {
+			c.Verdict = NPComplete
+			c.Rule = "Proposition 32 (confluence with exogenous path)"
+			c.Certificate = fmt.Sprintf("confluence %s, %s with a %s–%s path avoiding %s",
+				n.AtomString(i), n.AtomString(j), n.VarName(x), n.VarName(z), n.VarName(y))
+			return c
+		}
+		c.Verdict = PTime
+		c.Rule = "Propositions 31/32 (confluence, standard network flow)"
+		c.Certificate = fmt.Sprintf("confluence %s, %s; no %s–%s path avoiding %s",
+			n.AtomString(i), n.AtomString(j), n.VarName(x), n.VarName(z), n.VarName(y))
+		if hypergraph.IsLinear(n) {
+			c.Algorithm = AlgLinearFlow
+		} else {
+			c.Algorithm = AlgExact
+		}
+		return c
+
+	case patREP:
+		c.Verdict = PTime
+		c.Rule = "Proposition 36 (repeated variables sharing a variable)"
+		c.Certificate = fmt.Sprintf("REP pattern %s, %s", n.AtomString(i), n.AtomString(j))
+		if e := lookupCatalog(catalog2, n); e != nil {
+			c.Algorithm = e.alg
+		} else {
+			c.Algorithm = AlgExact
+		}
+		return c
+
+	default:
+		// Two R-atoms in a connected query either share a variable or are
+		// linked by an R-free path (caught as a binary path earlier), so
+		// this branch is unreachable; stay defensive.
+		c.Verdict = Open
+		c.Rule = "unclassified two-R-atom structure"
+		c.Certificate = fmt.Sprintf("%s, %s", n.AtomString(i), n.AtomString(j))
+		return c
+	}
+}
+
+// classifyThreeRAtoms implements the Section 8 partial classification.
+func classifyThreeRAtoms(n *cq.Query, rel string, atoms []int, c *Classification) *Classification {
+	// 3-chains (and their expansions) are always hard.
+	if seq, ok := chainVars(n, atoms); ok {
+		c.Verdict = NPComplete
+		c.Rule = "Proposition 38 (k-chains are hard)"
+		c.Certificate = fmt.Sprintf("3-chain over %d variables", len(seq))
+		return c
+	}
+	// Named shapes, including the paper's open problems.
+	if e := lookupCatalog(catalog3, n); e != nil {
+		c.Verdict = e.verdict
+		c.Rule = e.rule
+		c.Certificate = "isomorphic to " + e.name
+		c.Algorithm = e.alg
+		return c
+	}
+	// Family-level rules beyond the named shapes.
+	fam := detectThreeAtomFamily(n, atoms)
+	switch fam {
+	case fam3Confluence:
+		if allCompanionsUnaryEndogenous(n, rel) {
+			c.Verdict = NPComplete
+			c.Rule = "Proposition 40 (3-confluence with unary relations)"
+			c.Certificate = "3-confluence bounded by endogenous unary atoms"
+			return c
+		}
+	case fam3ChainConfluence:
+		x := chainStartVar(n, atoms)
+		if x >= 0 && varBoundByEndogenous(n, rel, x) {
+			c.Verdict = NPComplete
+			c.Rule = "Proposition 42 (chain-confluence with bound x)"
+			c.Certificate = "chain+confluence with endogenous atom at the chain start"
+			return c
+		}
+	}
+	c.Verdict = Open
+	c.Rule = "Section 8 (three R-atoms, unresolved shape)"
+	c.Certificate = "family: " + fam.String()
+	return c
+}
+
+type threeAtomFamily int
+
+const (
+	famUnknown threeAtomFamily = iota
+	fam3Confluence
+	fam3ChainConfluence
+	fam3PermR
+	fam3REP
+)
+
+func (f threeAtomFamily) String() string {
+	switch f {
+	case fam3Confluence:
+		return "3-confluence"
+	case fam3ChainConfluence:
+		return "3-chain-confluence"
+	case fam3PermR:
+		return "3-permutation-plus-R"
+	case fam3REP:
+		return "3-REP"
+	default:
+		return "unknown"
+	}
+}
+
+// detectThreeAtomFamily determines which Section 8 family the three
+// R-atoms form, by the multiset of pairwise patterns.
+func detectThreeAtomFamily(n *cq.Query, atoms []int) threeAtomFamily {
+	for _, a := range atoms {
+		args := n.Atoms[a].Args
+		if args[0] == args[1] {
+			return fam3REP
+		}
+	}
+	counts := map[twoAtomPattern]int{}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			counts[classifyTwoAtoms(n, atoms[i], atoms[j])]++
+		}
+	}
+	switch {
+	case counts[patPermutation] == 1:
+		return fam3PermR
+	case counts[patConfluence] == 2:
+		return fam3Confluence
+	case counts[patConfluence] == 1 && counts[patChain] == 1:
+		return fam3ChainConfluence
+	default:
+		return famUnknown
+	}
+}
+
+// allCompanionsUnaryEndogenous reports whether every non-R atom is unary
+// and endogenous (the Proposition 40 setting).
+func allCompanionsUnaryEndogenous(n *cq.Query, rel string) bool {
+	any := false
+	for _, a := range n.Atoms {
+		if a.Rel == rel {
+			continue
+		}
+		any = true
+		if len(a.Args) != 1 || n.IsExogenous(a.Rel) {
+			return false
+		}
+	}
+	return any
+}
+
+// chainStartVar returns the start variable x of the chain pair within a
+// 3-chain-confluence (the variable that occurs in exactly one R-atom at
+// position 1 and participates in the chain), or -1.
+func chainStartVar(n *cq.Query, atoms []int) cq.Var {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			a, b := n.Atoms[atoms[i]].Args, n.Atoms[atoms[j]].Args
+			if a[1] == b[0] && a[0] != b[1] { // chain a -> b
+				// x is a[0] if it appears in no other R-atom.
+				x := a[0]
+				occurs := 0
+				for _, t := range atoms {
+					for _, v := range n.Atoms[t].Args {
+						if v == x {
+							occurs++
+						}
+					}
+				}
+				if occurs == 1 {
+					return x
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// varBoundByEndogenous reports whether some endogenous non-R atom contains
+// variable v.
+func varBoundByEndogenous(n *cq.Query, rel string, v cq.Var) bool {
+	for i, a := range n.Atoms {
+		if a.Rel == rel || n.IsExogenous(a.Rel) {
+			continue
+		}
+		for _, w := range n.VarsOf(i) {
+			if w == v {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestClassifyBasicHardQueries(t *testing.T) {
+	cases := []struct {
+		q    string
+		rule string
+	}{
+		{"qvc :- R(x), S(x,y), R(y)", "Theorem 27"},
+		{"qchain :- R(x,y), R(y,z)", "Proposition 30"},
+		{"qtri :- R(x,y), S(y,z), T(z,x)", "Theorem 24"},
+		{"qsj1 :- R(x,y), R(y,z), R(z,x)", "Theorem 24"},
+		{"z1 :- R(x,x), S(x,y), R(y,y)", "Theorem 28"},
+		{"z2 :- R(x,x), S(x,y), R(y,z)", "Theorem 28"},
+		{"qABperm :- A(x), R(x,y), R(y,x), B(y)", "Proposition 35"},
+		{"cfp :- R(x,y), H(x,z)^x, R(z,y)", "Proposition 32"},
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", "Proposition 38"},
+	}
+	for _, c := range cases {
+		cl := Classify(cq.MustParse(c.q))
+		if cl.Verdict != NPComplete {
+			t.Errorf("%s: verdict = %s (%s), want NP-complete", c.q, cl.Verdict, cl.Rule)
+			continue
+		}
+		if !strings.Contains(cl.Rule, c.rule) {
+			t.Errorf("%s: rule = %q, want mention of %q", c.q, cl.Rule, c.rule)
+		}
+	}
+}
+
+func TestClassifyBasicEasyQueries(t *testing.T) {
+	cases := []struct {
+		q   string
+		alg Algorithm
+	}{
+		{"qperm :- R(x,y), R(y,x)", AlgPermCount},
+		{"qAperm :- A(x), R(x,y), R(y,x)", AlgPermBipartiteVC},
+		{"qACconf :- A(x), R(x,y), R(z,y), C(z)", AlgLinearFlow},
+		{"z3 :- R(x,x), R(x,y), A(y)", AlgREPFlow},
+		{"qlin :- A(x), R(x,y,z), S(y,z)", AlgLinearFlow},
+	}
+	for _, c := range cases {
+		cl := Classify(cq.MustParse(c.q))
+		if cl.Verdict != PTime {
+			t.Errorf("%s: verdict = %s (%s: %s), want PTIME", c.q, cl.Verdict, cl.Rule, cl.Certificate)
+			continue
+		}
+		if cl.Algorithm != c.alg {
+			t.Errorf("%s: algorithm = %s, want %s", c.q, cl.Algorithm, c.alg)
+		}
+	}
+}
+
+func TestClassifyDominationDisarmsTriad(t *testing.T) {
+	// qrats looks like it has a triad but domination disarms it (Fig 1c).
+	cl := Classify(cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)"))
+	if cl.Verdict != PTime {
+		t.Errorf("qrats: verdict = %s (%s), want PTIME", cl.Verdict, cl.Rule)
+	}
+	if !cl.Normalized.IsExogenous("R") || !cl.Normalized.IsExogenous("T") {
+		t.Error("qrats normalization should make R, T exogenous")
+	}
+	// But the self-join variation keeps its triad (Section 5.1).
+	cl2 := Classify(cq.MustParse("qsj1rats :- R(x,y), A(x), R(y,z), R(z,x)"))
+	if cl2.Verdict != NPComplete {
+		t.Errorf("qsj1rats: verdict = %s, want NP-complete", cl2.Verdict)
+	}
+}
+
+func TestClassifyNonMinimalFoldsFirst(t *testing.T) {
+	// Example 22: the self-join variation of a triad query minimizes to a
+	// single atom and becomes trivially easy.
+	cl := Classify(cq.MustParse("qsj :- R(x,y), R(z,y), R(z,w), R(x,w)"))
+	if cl.Verdict != PTime {
+		t.Errorf("Example 22 query: verdict = %s (%s), want PTIME", cl.Verdict, cl.Rule)
+	}
+	if len(cl.Normalized.Atoms) != 1 {
+		t.Errorf("normalized atoms = %d, want 1", len(cl.Normalized.Atoms))
+	}
+}
+
+func TestClassifyDisconnectedComponents(t *testing.T) {
+	// One easy and one hard component: hardest decides (Lemma 15).
+	cl := Classify(cq.MustParse("q :- R(x,y), R(y,z), S(u,v)"))
+	if cl.Verdict != NPComplete {
+		t.Errorf("verdict = %s, want NP-complete (chain component)", cl.Verdict)
+	}
+	if len(cl.Components) != 2 {
+		t.Errorf("components = %d, want 2", len(cl.Components))
+	}
+	cl2 := Classify(cq.MustParse("q :- A(x), S(u,v)"))
+	if cl2.Verdict != PTime {
+		t.Errorf("two easy components: verdict = %s, want PTIME", cl2.Verdict)
+	}
+}
+
+func TestClassifyPermutationBoundness(t *testing.T) {
+	// Exogenous bounds do not count: the boundness criterion requires
+	// endogenous S and T.
+	cl := Classify(cq.MustParse("q :- A(x), R(x,y), R(y,x), B(y)^x"))
+	if cl.Verdict != PTime {
+		t.Errorf("exogenously-bound permutation: verdict = %s, want PTIME", cl.Verdict)
+	}
+	// Binary endogenous neighbors bound it too.
+	cl2 := Classify(cq.MustParse("q :- S(u,x), R(x,y), R(y,x), T(y,v)"))
+	if cl2.Verdict != NPComplete {
+		t.Errorf("binary-bound permutation: verdict = %s, want NP-complete", cl2.Verdict)
+	}
+}
+
+func TestClassifyConfluenceJoinOnFirstAttribute(t *testing.T) {
+	// Mirror image of qACconf: R joins on the first attribute.
+	cl := Classify(cq.MustParse("q :- A(x), R(y,x), R(y,z), C(z)"))
+	if cl.Verdict != PTime {
+		t.Errorf("first-attribute confluence: verdict = %s (%s), want PTIME", cl.Verdict, cl.Rule)
+	}
+}
+
+func TestClassifySection8Catalog(t *testing.T) {
+	cases := []struct {
+		q       string
+		verdict Verdict
+	}{
+		{"qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)", NPComplete},
+		{"qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x", PTime},
+		{"qAS3conf :- A(x), R(x,y), R(z,y), R(z,w), S(z,w)^x", Open},
+		{"qAC3cc :- A(x), R(x,y), R(y,z), R(w,z), C(w)", NPComplete},
+		{"qC3cc :- R(x,y), R(y,z), R(w,z), C(w)", NPComplete},
+		{"qS3cc :- R(x,y), R(y,z), R(w,z), S(w,z)", Open},
+		{"qA3permR :- A(x), R(x,y), R(y,z), R(z,y)", PTime},
+		{"qSwx :- S(w,x), R(x,y), R(y,z), R(z,y)", PTime},
+		{"qSxy :- S(x,y)^x, R(x,y), R(y,z), R(z,y)", NPComplete},
+		{"qASxy :- A(x), S(x,y), R(x,y), R(y,z), R(z,y)", Open},
+		{"z5 :- A(x), R(x,y), R(y,z), R(z,z)", NPComplete},
+		{"z6 :- A(x), R(x,y), R(y,y), R(y,z), C(z)", Open},
+		{"z7 :- A(x), R(x,y), R(y,x), R(y,y)", Open},
+	}
+	for _, c := range cases {
+		cl := Classify(cq.MustParse(c.q))
+		if cl.Verdict != c.verdict {
+			t.Errorf("%s: verdict = %s (%s: %s), want %s", c.q, cl.Verdict, cl.Rule, cl.Certificate, c.verdict)
+		}
+	}
+}
+
+func TestClassifyCatalogIsRenamingInvariant(t *testing.T) {
+	// Same shapes with different relation and variable names.
+	cl := Classify(cq.MustParse("q :- U(a,b)^x, E(a,b), E(c,b), E(c,d), V(c,d)^x"))
+	if cl.Verdict != PTime {
+		t.Errorf("renamed qTS3conf: verdict = %s (%s), want PTIME", cl.Verdict, cl.Rule)
+	}
+	cl2 := Classify(cq.MustParse("q :- P(u), E(u,v), E(w,v), E(w,t), Q(t)"))
+	if cl2.Verdict != NPComplete {
+		t.Errorf("renamed qAC3conf: verdict = %s, want NP-complete", cl2.Verdict)
+	}
+}
+
+func TestClassifyOutOfScope(t *testing.T) {
+	// Two distinct endogenous self-join relations.
+	cl := Classify(cq.MustParse("q :- R(x), S(x,y), R(y), S(y,z)"))
+	// Note: this has a unary path on R... pick a cleaner example.
+	_ = cl
+	cl2 := Classify(cq.MustParse("q :- R(x,y), R(y,z), S(z,w), S(w,u), T(u,p)"))
+	if cl2.Verdict != NPComplete && cl2.Verdict != OutOfScope {
+		// Chain on R would be hard by Prop 30 if R were the only self-join;
+		// with two self-joins we report out-of-scope unless a triad fires.
+		t.Errorf("double self-join: verdict = %s", cl2.Verdict)
+	}
+	// Ternary self-join relation without triad.
+	cl3 := Classify(cq.MustParse("q :- W(x,y,z), W(z,u,v)"))
+	if cl3.Verdict != OutOfScope {
+		t.Errorf("ternary self-join: verdict = %s (%s), want out-of-scope", cl3.Verdict, cl3.Rule)
+	}
+}
+
+func TestClassifyFourChain(t *testing.T) {
+	cl := Classify(cq.MustParse("q4 :- R(x,y), R(y,z), R(z,w), R(w,u)"))
+	if cl.Verdict != NPComplete {
+		t.Errorf("4-chain: verdict = %s (%s), want NP-complete", cl.Verdict, cl.Rule)
+	}
+}
+
+func TestClassifyUnaryPathWithLongerBody(t *testing.T) {
+	// Theorem 27 with extra atoms along the path.
+	cl := Classify(cq.MustParse("q :- R(x), S(x,y), T(y,z), R(z)"))
+	if cl.Verdict != NPComplete || !strings.Contains(cl.Rule, "Theorem 27") {
+		t.Errorf("long unary path: verdict = %s (%s)", cl.Verdict, cl.Rule)
+	}
+}
+
+func TestClassifyBinaryPathNonConsecutiveNotFired(t *testing.T) {
+	// q3chain has disjoint R-atoms but every path between them passes
+	// through the middle R-atom: the binary-path rule must NOT fire; the
+	// k-chain rule applies instead.
+	cl := Classify(cq.MustParse("q3chain :- R(x,y), R(y,z), R(z,w)"))
+	if !strings.Contains(cl.Rule, "Proposition 38") {
+		t.Errorf("3-chain classified via %q, want Proposition 38", cl.Rule)
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	a := cq.MustParse("q :- A(x), R(x,y), R(y,x)")
+	b := cq.MustParse("q :- P(u), E(u,v), E(v,u)")
+	if !Isomorphic(a, b) {
+		t.Error("renamed qAperm should be isomorphic")
+	}
+	c := cq.MustParse("q :- A(x), R(x,y), R(x,y)")
+	if Isomorphic(a, c) {
+		t.Error("different shapes must not match")
+	}
+	// Exogenous marks must be preserved.
+	d := cq.MustParse("q :- A(x)^x, R(x,y), R(y,x)")
+	if Isomorphic(a, d) {
+		t.Error("exogenous mark mismatch must not match")
+	}
+	// Two relations must not collapse onto one.
+	e := cq.MustParse("q :- A(x), B(y), S(x,y)")
+	f := cq.MustParse("q :- A(x), A(y), S(x,y)")
+	if Isomorphic(e, f) {
+		t.Error("relation mapping must be injective")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if PTime.String() != "PTIME" || NPComplete.String() != "NP-complete" ||
+		Open.String() != "open" || OutOfScope.String() != "out-of-scope" {
+		t.Error("verdict strings changed")
+	}
+	if AlgLinearFlow.String() == "" || AlgPerm3Flow.String() == "" {
+		t.Error("algorithm strings empty")
+	}
+}

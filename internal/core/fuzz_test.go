@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// randomQuery builds a random connected-ish binary CQ over small pools of
+// relations and variables, with random exogenous marks — deliberately
+// unconstrained so the classifier's full surface (including OutOfScope
+// paths) is exercised.
+func randomQuery(rng *rand.Rand) *cq.Query {
+	q := cq.New("fuzz")
+	rels := []string{"R", "R", "R", "S", "T", "A", "B"} // R repeated: self-joins likely
+	vars := []string{"x", "y", "z", "w"}
+	nAtoms := 1 + rng.Intn(5)
+	for i := 0; i < nAtoms; i++ {
+		rel := rels[rng.Intn(len(rels))]
+		arity := 1 + rng.Intn(2)
+		if rel == "A" || rel == "B" {
+			arity = 1
+		}
+		// Keep arities consistent per relation within the query.
+		if have := q.Arity(rel); have > 0 {
+			arity = have
+		}
+		args := make([]string, arity)
+		for p := range args {
+			args[p] = vars[rng.Intn(len(vars))]
+		}
+		q.AddAtom(rel, args...)
+	}
+	for _, r := range q.Relations() {
+		if rng.Intn(5) == 0 {
+			q.MarkExogenous(r)
+		}
+	}
+	return q
+}
+
+// renameVars returns q with every variable consistently renamed.
+func renameVars(q *cq.Query, prefix string) *cq.Query {
+	out := cq.New(q.Name)
+	for _, a := range q.Atoms {
+		names := make([]string, len(a.Args))
+		for p, v := range a.Args {
+			names[p] = prefix + q.VarName(v)
+		}
+		out.AddAtom(a.Rel, names...)
+	}
+	for r := range q.Exo {
+		if q.Exo[r] {
+			out.MarkExogenous(r)
+		}
+	}
+	return out
+}
+
+// permuteAtoms returns q with the body atoms in a rotated order.
+func permuteAtoms(q *cq.Query) *cq.Query {
+	out := cq.New(q.Name)
+	n := len(q.Atoms)
+	for i := 0; i < n; i++ {
+		a := q.Atoms[(i+1)%n]
+		names := make([]string, len(a.Args))
+		for p, v := range a.Args {
+			names[p] = q.VarName(v)
+		}
+		out.AddAtom(a.Rel, names...)
+	}
+	for r := range q.Exo {
+		if q.Exo[r] {
+			out.MarkExogenous(r)
+		}
+	}
+	return out
+}
+
+// renameRels returns q with every relation consistently renamed.
+func renameRels(q *cq.Query) *cq.Query {
+	out := cq.New(q.Name)
+	mapping := map[string]string{}
+	for i, r := range q.Relations() {
+		mapping[r] = fmt.Sprintf("Q%d", i)
+	}
+	for _, a := range q.Atoms {
+		names := make([]string, len(a.Args))
+		for p, v := range a.Args {
+			names[p] = q.VarName(v)
+		}
+		out.AddAtom(mapping[a.Rel], names...)
+	}
+	for r, e := range q.Exo {
+		if e && mapping[r] != "" {
+			out.MarkExogenous(mapping[r])
+		}
+	}
+	return out
+}
+
+// TestClassifyMetamorphic: the verdict is a property of the query's
+// structure, so it must be invariant under variable renaming, body
+// rotation, and consistent relation renaming — and Classify must never
+// panic on arbitrary input.
+func TestClassifyMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 400; trial++ {
+		q := randomQuery(rng)
+		base := Classify(q).Verdict
+		for name, variant := range map[string]*cq.Query{
+			"var-renamed":  renameVars(q, "v_"),
+			"rotated":      permuteAtoms(q),
+			"rel-renamed":  renameRels(q),
+			"double-clone": q.Clone(),
+		} {
+			if got := Classify(variant).Verdict; got != base {
+				t.Fatalf("trial %d (%s): verdict %v != %v\nbase:    %s\nvariant: %s",
+					trial, name, got, base, q, variant)
+			}
+		}
+	}
+}
+
+// TestClassifyIdempotentOnNormalized: classifying a classification's
+// normalized query reproduces the verdict.
+func TestClassifyIdempotentOnNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 200; trial++ {
+		q := randomQuery(rng)
+		cl := Classify(q)
+		if cl.Normalized == nil {
+			continue
+		}
+		if got := Classify(cl.Normalized).Verdict; got != cl.Verdict {
+			t.Fatalf("trial %d: re-classifying normalized form gives %v, want %v\nquery: %s",
+				trial, got, cl.Verdict, q)
+		}
+	}
+}

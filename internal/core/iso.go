@@ -1,0 +1,95 @@
+package core
+
+import "repro/internal/cq"
+
+// Isomorphic reports whether queries a and b are identical up to a
+// bijective renaming of variables and of relation symbols. The relation
+// renaming must preserve arity and exogenous marking, so the paper's named
+// query shapes (e.g. qTS3conf with its two exogenous atoms) match any
+// alphabetic variant but nothing structurally different.
+func Isomorphic(a, b *cq.Query) bool {
+	if len(a.Atoms) != len(b.Atoms) || a.NumVars() != b.NumVars() {
+		return false
+	}
+	relsA, relsB := a.Relations(), b.Relations()
+	if len(relsA) != len(relsB) {
+		return false
+	}
+	usedB := make([]bool, len(b.Atoms))
+	varMap := map[cq.Var]cq.Var{}
+	varUsed := map[cq.Var]bool{}
+	relMap := map[string]string{}
+	relUsed := map[string]bool{}
+
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(a.Atoms) {
+			return true
+		}
+		aa := a.Atoms[i]
+		for j := range b.Atoms {
+			if usedB[j] {
+				continue
+			}
+			ba := b.Atoms[j]
+			if len(aa.Args) != len(ba.Args) {
+				continue
+			}
+			// Relation mapping.
+			mapped, haveRel := relMap[aa.Rel]
+			if haveRel {
+				if mapped != ba.Rel {
+					continue
+				}
+			} else {
+				if relUsed[ba.Rel] {
+					continue
+				}
+				if a.IsExogenous(aa.Rel) != b.IsExogenous(ba.Rel) {
+					continue
+				}
+			}
+			// Variable mapping.
+			var newVars []cq.Var
+			ok := true
+			for p, v := range aa.Args {
+				w := ba.Args[p]
+				if mv, have := varMap[v]; have {
+					if mv != w {
+						ok = false
+						break
+					}
+				} else {
+					if varUsed[w] {
+						ok = false
+						break
+					}
+					varMap[v] = w
+					varUsed[w] = true
+					newVars = append(newVars, v)
+				}
+			}
+			if ok {
+				if !haveRel {
+					relMap[aa.Rel] = ba.Rel
+					relUsed[ba.Rel] = true
+				}
+				usedB[j] = true
+				if match(i + 1) {
+					return true
+				}
+				usedB[j] = false
+				if !haveRel {
+					delete(relMap, aa.Rel)
+					delete(relUsed, ba.Rel)
+				}
+			}
+			for _, v := range newVars {
+				delete(varUsed, varMap[v])
+				delete(varMap, v)
+			}
+		}
+		return false
+	}
+	return match(0)
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"repro/internal/cq"
+	"repro/internal/hypergraph"
+)
+
+// This file contains the structural pattern detectors of Sections 6-8:
+// unary and binary paths (Theorems 27/28), chains, confluences,
+// permutations and REP (Section 7), and k-chains (Section 8.1). All
+// detectors expect a minimized, connected, domination-normalized query.
+
+// sjRelation returns the repeated relation of a single-self-join query that
+// is endogenous, or "" if none (query is sj-free, or only exogenous
+// relations repeat).
+func sjRelation(q *cq.Query) string {
+	for _, r := range q.SelfJoinRelations() {
+		if !q.IsExogenous(r) {
+			return r
+		}
+	}
+	return ""
+}
+
+// hasUnaryPath implements Theorem 27's precondition: the endogenous
+// self-join relation is unary and occurs in two distinct atoms.
+func hasUnaryPath(q *cq.Query, rel string) bool {
+	if q.Arity(rel) != 1 {
+		return false
+	}
+	atoms := q.AtomsOf(rel)
+	// Minimized queries have no duplicate atoms, so >= 2 atoms means two
+	// distinct variables.
+	return len(atoms) >= 2
+}
+
+// hasBinaryPath implements Theorem 28's precondition: two distinct
+// consecutive R-atoms with disjoint variable sets, where consecutive means
+// some connecting path between them passes through no other R-atom.
+// The theorem's proof additionally assumes "there is no path of just R's"
+// between the two atoms — its construction maps every R-atom to diagonal
+// tuples (a,a)/(b,b), which is only consistent when the endpoints lie in
+// different R-connectivity classes. Queries violating that (e.g. z4, where
+// R(x,y) links R(x,x) to R(y,y)) are left to their dedicated results
+// (Proposition 47 via the Section 8 catalog).
+func hasBinaryPath(q *cq.Query, rel string) (int, int, bool) {
+	if q.Arity(rel) != 2 {
+		return 0, 0, false
+	}
+	atoms := q.AtomsOf(rel)
+	class := rConnectivity(q, rel)
+	for ai := 0; ai < len(atoms); ai++ {
+		for aj := ai + 1; aj < len(atoms); aj++ {
+			i, j := atoms[ai], atoms[aj]
+			if q.SharesVar(i, j) {
+				continue
+			}
+			if class[q.Atoms[i].Args[0]] == class[q.Atoms[j].Args[0]] {
+				continue // an R-path links the endpoints (z4-style)
+			}
+			if rFreePathExists(q, rel, i, j) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// rConnectivity groups the variables of rel-atoms into R-connected
+// components (u ~ v when some chain of rel-atoms links them, the
+// equivalence relation of Theorem 28's proof).
+func rConnectivity(q *cq.Query, rel string) map[cq.Var]int {
+	parent := map[cq.Var]cq.Var{}
+	var find func(cq.Var) cq.Var
+	find = func(v cq.Var) cq.Var {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	for _, i := range q.AtomsOf(rel) {
+		vs := q.VarsOf(i)
+		find(vs[0]) // register singletons (loop atoms like R(x,x))
+		for _, v := range vs[1:] {
+			parent[find(v)] = find(vs[0])
+		}
+	}
+	out := map[cq.Var]int{}
+	next := 0
+	roots := map[cq.Var]int{}
+	for v := range parent {
+		r := find(v)
+		id, ok := roots[r]
+		if !ok {
+			id = next
+			next++
+			roots[r] = id
+		}
+		out[v] = id
+	}
+	return out
+}
+
+// rFreePathExists reports whether atoms i and j are connected in H(q) by a
+// path whose intermediate atoms are not over relation rel.
+func rFreePathExists(q *cq.Query, rel string, i, j int) bool {
+	n := len(q.Atoms)
+	visited := make([]bool, n)
+	visited[i] = true
+	stack := []int{i}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := 0; next < n; next++ {
+			if visited[next] || !q.SharesVar(cur, next) {
+				continue
+			}
+			if next == j {
+				return true
+			}
+			if q.Atoms[next].Rel == rel {
+				continue // intermediate R-atoms break consecutiveness
+			}
+			visited[next] = true
+			stack = append(stack, next)
+		}
+	}
+	return false
+}
+
+// twoAtomPattern classifies how two binary R-atoms sharing at least one
+// variable relate (Figure 5): chain, confluence, permutation, or REP.
+type twoAtomPattern int
+
+const (
+	patNone twoAtomPattern = iota
+	patChain
+	patConfluence
+	patPermutation
+	patREP
+)
+
+func (p twoAtomPattern) String() string {
+	switch p {
+	case patChain:
+		return "chain"
+	case patConfluence:
+		return "confluence"
+	case patPermutation:
+		return "permutation"
+	case patREP:
+		return "repeated-variables"
+	default:
+		return "none"
+	}
+}
+
+// classifyTwoAtoms determines the Figure 5 pattern of R-atoms i and j
+// (assumed binary, sharing >= 1 variable, not identical).
+func classifyTwoAtoms(q *cq.Query, i, j int) twoAtomPattern {
+	a := q.Atoms[i].Args
+	b := q.Atoms[j].Args
+	if a[0] == a[1] || b[0] == b[1] {
+		return patREP
+	}
+	shared := 0
+	for _, v := range a {
+		if v == b[0] || v == b[1] {
+			shared++
+		}
+	}
+	switch shared {
+	case 2:
+		// Distinct atoms sharing both variables must swap positions.
+		return patPermutation
+	case 1:
+		// Same attribute position -> confluence; different -> chain.
+		if a[0] == b[0] || a[1] == b[1] {
+			return patConfluence
+		}
+		return patChain
+	default:
+		return patNone
+	}
+}
+
+// confluenceEndpoints returns the two non-shared variables (x, z) and the
+// shared variable y of a confluence pair.
+func confluenceEndpoints(q *cq.Query, i, j int) (x, z, y cq.Var) {
+	a := q.Atoms[i].Args
+	b := q.Atoms[j].Args
+	if a[0] == b[0] {
+		return a[1], b[1], a[0]
+	}
+	return a[0], b[0], a[1]
+}
+
+// hasPathAvoidingVar reports whether variables u and w are connected in the
+// query's variable graph (variables adjacent when co-occurring in an atom)
+// by a path that avoids variable y. This implements the "exogenous path
+// from x to z not involving y" side condition of Proposition 32: any
+// endogenous such connection forms a triad and is caught earlier, so a
+// surviving connection is necessarily through exogenous atoms.
+func hasPathAvoidingVar(q *cq.Query, u, w, y cq.Var) bool {
+	if u == w {
+		return true
+	}
+	adj := map[cq.Var][]cq.Var{}
+	for i := range q.Atoms {
+		vs := q.VarsOf(i)
+		for _, v1 := range vs {
+			for _, v2 := range vs {
+				if v1 != v2 {
+					adj[v1] = append(adj[v1], v2)
+				}
+			}
+		}
+	}
+	visited := map[cq.Var]bool{u: true, y: true}
+	stack := []cq.Var{u}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[cur] {
+			if visited[next] {
+				continue
+			}
+			if next == w {
+				return true
+			}
+			visited[next] = true
+			stack = append(stack, next)
+		}
+	}
+	return false
+}
+
+// permutationBound implements Section 7.3's criterion: the permutation on
+// variables x,y is bound iff there are endogenous atoms S,T (other than the
+// R-atoms) with x ∈ var(S), y ∉ var(S) and y ∈ var(T), x ∉ var(T).
+func permutationBound(q *cq.Query, rel string, x, y cq.Var) bool {
+	hasXnotY, hasYnotX := false, false
+	for i, a := range q.Atoms {
+		if a.Rel == rel || q.IsExogenous(a.Rel) {
+			continue
+		}
+		vs := q.VarsOf(i)
+		cx, cy := false, false
+		for _, v := range vs {
+			if v == x {
+				cx = true
+			}
+			if v == y {
+				cy = true
+			}
+		}
+		if cx && !cy {
+			hasXnotY = true
+		}
+		if cy && !cx {
+			hasYnotX = true
+		}
+	}
+	return hasXnotY && hasYnotX
+}
+
+// chainVars checks whether the given R-atoms form a k-chain
+// R(x1,x2), R(x2,x3), ..., R(xk,xk+1) over k+1 distinct variables, in some
+// order of the atoms. Returns the chain's variable sequence.
+func chainVars(q *cq.Query, atoms []int) ([]cq.Var, bool) {
+	k := len(atoms)
+	if k == 0 {
+		return nil, false
+	}
+	// Treat atoms as directed edges; a k-chain is a simple directed path
+	// using each atom exactly once with all k+1 endpoints distinct.
+	for _, a := range atoms {
+		args := q.Atoms[a].Args
+		if args[0] == args[1] {
+			return nil, false // loops cannot participate in a chain
+		}
+	}
+	used := make([]bool, k)
+	var try func(seq []cq.Var) ([]cq.Var, bool)
+	try = func(seq []cq.Var) ([]cq.Var, bool) {
+		if len(seq) == k+1 {
+			return seq, true
+		}
+		for t := 0; t < k; t++ {
+			if used[t] {
+				continue
+			}
+			args := q.Atoms[atoms[t]].Args
+			start := seq
+			if len(seq) == 0 {
+				start = []cq.Var{args[0]}
+			} else if seq[len(seq)-1] != args[0] {
+				continue
+			}
+			// The new endpoint must be fresh for the path to be simple.
+			next := args[1]
+			dup := false
+			for _, v := range start {
+				if v == next {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			used[t] = true
+			if res, ok := try(append(start, next)); ok {
+				return res, true
+			}
+			used[t] = false
+		}
+		return nil, false
+	}
+	if seq, ok := try(nil); ok {
+		return seq, true
+	}
+	return nil, false
+}
+
+// hasTriad wraps the hypergraph triad search.
+func hasTriad(q *cq.Query) (string, bool) {
+	tr := hypergraph.FindTriad(q)
+	if tr == nil {
+		return "", false
+	}
+	return "{" + q.AtomString(tr.S0) + ", " + q.AtomString(tr.S1) + ", " + q.AtomString(tr.S2) + "}", true
+}

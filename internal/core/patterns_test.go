@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestClassifyTwoAtomsPatterns(t *testing.T) {
+	cases := []struct {
+		q    string
+		want twoAtomPattern
+	}{
+		{"q :- R(x,y), R(y,z)", patChain},
+		{"q :- R(y,x), R(z,y)", patChain}, // reversed orientation
+		{"q :- R(x,y), R(z,y)", patConfluence},
+		{"q :- R(y,x), R(y,z)", patConfluence}, // join on first attribute
+		{"q :- R(x,y), R(y,x)", patPermutation},
+		{"q :- R(x,x), R(x,y)", patREP},
+		{"q :- R(y,x), R(x,x)", patREP},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		atoms := q.AtomsOf("R")
+		if got := classifyTwoAtoms(q, atoms[0], atoms[1]); got != c.want {
+			t.Errorf("%s: pattern = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestChainVarsDetection(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"q :- R(x,y), R(y,z)", true},
+		{"q :- R(x,y), R(y,z), R(z,w)", true},
+		{"q :- R(x,y), R(y,z), R(z,w), R(w,u)", true},
+		{"q :- R(x,y), R(y,z), R(z,y)", false}, // perm tail, not a chain
+		{"q :- R(x,y), R(z,y)", false},         // confluence
+		{"q :- R(x,y), R(y,x)", false},         // permutation (endpoint not fresh)
+		{"q :- R(x,x), R(x,y)", false},         // loop excluded
+		{"q :- R(y,z), R(x,y)", true},          // order-independent
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		_, got := chainVars(q, q.AtomsOf("R"))
+		if got != c.want {
+			t.Errorf("%s: chain = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBinaryPathNeedsRFreeConnection(t *testing.T) {
+	// Disjoint R-atoms connected only through another R-atom: not a path.
+	q := cq.MustParse("q :- R(x,y), R(y,z), R(z,w)")
+	if _, _, ok := hasBinaryPath(q, "R"); ok {
+		t.Error("3-chain must not register as a binary path")
+	}
+	// Connected through a non-R atom: a path.
+	q2 := cq.MustParse("q :- R(x,y), S(y,z), R(z,w)")
+	if _, _, ok := hasBinaryPath(q2, "R"); !ok {
+		t.Error("R–S–R should register as a binary path")
+	}
+	// Longer R-free path with several intermediate atoms.
+	q3 := cq.MustParse("q :- R(x,y), S(y,u), T(u,v), R(v,w)")
+	if _, _, ok := hasBinaryPath(q3, "R"); !ok {
+		t.Error("R–S–T–R should register as a binary path")
+	}
+}
+
+func TestPermutationBoundRequiresBothSides(t *testing.T) {
+	q := cq.MustParse("q :- A(x), R(x,y), R(y,x)")
+	x, y := q.Var("x"), q.Var("y")
+	if permutationBound(q, "R", x, y) {
+		t.Error("one-sided bound must not count")
+	}
+	q2 := cq.MustParse("q :- A(x), R(x,y), R(y,x), B(y)")
+	if !permutationBound(q2, "R", q2.Var("x"), q2.Var("y")) {
+		t.Error("two-sided bound should count")
+	}
+	// Exogenous atoms never bound.
+	q3 := cq.MustParse("q :- A(x), R(x,y), R(y,x), B(y)^x")
+	if permutationBound(q3, "R", q3.Var("x"), q3.Var("y")) {
+		t.Error("exogenous B must not bound the permutation")
+	}
+	// Atoms containing both variables bound nothing.
+	q4 := cq.MustParse("q :- S(x,y), R(x,y), R(y,x), T(y,x)")
+	if permutationBound(q4, "R", q4.Var("x"), q4.Var("y")) {
+		t.Error("atoms containing both x and y must not bound")
+	}
+}
+
+func TestHasPathAvoidingVar(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y), H(x,u)^x, K(u,z)^x, R(z,y)")
+	x, y, z := q.Var("x"), q.Var("y"), q.Var("z")
+	// Avoiding y blocks the R-atom edges, but the exogenous bridge
+	// x–u–z survives (the Proposition 32 hardness condition).
+	if !hasPathAvoidingVar(q, x, z, y) {
+		t.Error("x–u–z path avoiding y should exist")
+	}
+	// Without the bridge, avoiding y disconnects x from z.
+	q2 := cq.MustParse("q :- A(x), R(x,y), R(z,y), C(z)")
+	if hasPathAvoidingVar(q2, q2.Var("x"), q2.Var("z"), q2.Var("y")) {
+		t.Error("qACconf has no x–z path avoiding y")
+	}
+}
+
+func TestConfluenceEndpoints(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y), R(z,y)")
+	atoms := q.AtomsOf("R")
+	x, z, y := confluenceEndpoints(q, atoms[0], atoms[1])
+	if q.VarName(y) != "y" {
+		t.Errorf("shared var = %s, want y", q.VarName(y))
+	}
+	got := map[string]bool{q.VarName(x): true, q.VarName(z): true}
+	if !got["x"] || !got["z"] {
+		t.Errorf("endpoints = %v, want x and z", got)
+	}
+	// First-attribute confluence.
+	q2 := cq.MustParse("q :- R(a,b), R(a,c)")
+	atoms2 := q2.AtomsOf("R")
+	e1, e2, shared := confluenceEndpoints(q2, atoms2[0], atoms2[1])
+	if q2.VarName(shared) != "a" {
+		t.Errorf("shared var = %s, want a", q2.VarName(shared))
+	}
+	eps := map[string]bool{q2.VarName(e1): true, q2.VarName(e2): true}
+	if !eps["b"] || !eps["c"] {
+		t.Errorf("endpoints = %v, want b and c", eps)
+	}
+}
+
+func TestSJRelationSkipsExogenous(t *testing.T) {
+	q := cq.MustParse("q :- A(x), H(x,y)^x, B(y), H(y,z)^x, C(z)")
+	if got := sjRelation(q); got != "" {
+		t.Errorf("sjRelation = %q, want empty (only exogenous repeats)", got)
+	}
+	q2 := cq.MustParse("q :- R(x,y), R(y,z)")
+	if got := sjRelation(q2); got != "R" {
+		t.Errorf("sjRelation = %q, want R", got)
+	}
+}
+
+func TestThreeAtomFamilyDetection(t *testing.T) {
+	cases := []struct {
+		q    string
+		want threeAtomFamily
+	}{
+		{"q :- A(x), R(x,y), R(z,y), R(z,w), C(w)", fam3Confluence},
+		{"q :- A(x), R(x,y), R(y,z), R(w,z), C(w)", fam3ChainConfluence},
+		{"q :- A(x), R(x,y), R(y,z), R(z,y)", fam3PermR},
+		{"q :- A(x), R(x,y), R(y,z), R(z,z)", fam3REP},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		got := detectThreeAtomFamily(q, q.AtomsOf("R"))
+		if got != c.want {
+			t.Errorf("%s: family = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestClassifyMirroredShapes(t *testing.T) {
+	// Classification must be invariant under reversing the self-join
+	// relation's columns (mirror queries have mirror complexity).
+	pairs := [][2]string{
+		{"q :- A(x), R(x,y), R(y,z)", "q :- A(x), R(y,x), R(z,y)"},
+		{"q :- R(x,y), R(z,y), A(x), C(z)", "q :- R(y,x), R(y,z), A(x), C(z)"},
+	}
+	for _, p := range pairs {
+		v1 := Classify(cq.MustParse(p[0])).Verdict
+		v2 := Classify(cq.MustParse(p[1])).Verdict
+		if v1 != v2 {
+			t.Errorf("mirror pair %q vs %q: %s != %s", p[0], p[1], v1, v2)
+		}
+	}
+}
+
+func TestUnaryPathDetector(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	if !hasUnaryPath(q, "R") {
+		t.Error("qvc has a unary path")
+	}
+	q2 := cq.MustParse("q :- R(x,y), R(y,z)")
+	if hasUnaryPath(q2, "R") {
+		t.Error("binary relation cannot form a unary path")
+	}
+}

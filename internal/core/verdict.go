@@ -1,0 +1,127 @@
+// Package core implements the paper's primary contribution: the complexity
+// classification of resilience for conjunctive queries with self-joins.
+//
+// Classify decides, for a given CQ, whether RES(q) is in PTIME or
+// NP-complete (or open / out of the paper's classified fragment), returning
+// a certificate naming the structural pattern and the paper result that
+// justifies the verdict. For single-self-join binary CQs with exactly two
+// occurrences of the repeated relation this is the full dichotomy of
+// Theorem 37; Section 8's partial results for three occurrences and the
+// sj-free dichotomy of [14] (Theorem 7) are included.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// Verdict is the complexity classification of RES(q).
+type Verdict int
+
+const (
+	// PTime means RES(q) is solvable in polynomial time.
+	PTime Verdict = iota
+	// NPComplete means RES(q) is NP-complete.
+	NPComplete
+	// Open means the paper leaves the complexity of RES(q) open.
+	Open
+	// OutOfScope means q falls outside the fragments classified by the
+	// paper (e.g., multiple distinct self-join relations, or non-binary
+	// self-join queries without a triad).
+	OutOfScope
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case PTime:
+		return "PTIME"
+	case NPComplete:
+		return "NP-complete"
+	case Open:
+		return "open"
+	case OutOfScope:
+		return "out-of-scope"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Algorithm identifies which solver the dispatcher should use for a
+// PTIME-classified query.
+type Algorithm int
+
+const (
+	// AlgExact is the general branch-and-bound solver (always sound).
+	AlgExact Algorithm = iota
+	// AlgLinearFlow is the network-flow solver for linear queries,
+	// including one 2-confluence (Proposition 31).
+	AlgLinearFlow
+	// AlgPermCount counts witnesses for the unbound pure permutation
+	// (Proposition 33, qperm).
+	AlgPermCount
+	// AlgPermBipartiteVC solves the one-side-bound permutation via König
+	// (Proposition 33, qAperm).
+	AlgPermBipartiteVC
+	// AlgPerm3Flow is the modified flow of Propositions 13/44
+	// (qA3perm-R, qSwx3perm-R).
+	AlgPerm3Flow
+	// AlgREPFlow handles the z3 repeated-variable family
+	// (Proposition 36).
+	AlgREPFlow
+	// AlgTS3confFlow is the forced-tuple + flow algorithm of
+	// Proposition 41 (qTS3conf).
+	AlgTS3confFlow
+	// AlgTrivial marks queries with no endogenous atoms (resilience is
+	// undefined/unbreakable whenever satisfied).
+	AlgTrivial
+)
+
+// String renders the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgExact:
+		return "exact-hitting-set"
+	case AlgLinearFlow:
+		return "linear-network-flow"
+	case AlgPermCount:
+		return "permutation-witness-count"
+	case AlgPermBipartiteVC:
+		return "permutation-bipartite-vc"
+	case AlgPerm3Flow:
+		return "perm3-modified-flow"
+	case AlgREPFlow:
+		return "rep-bipartite-flow"
+	case AlgTS3confFlow:
+		return "ts3conf-forced-flow"
+	case AlgTrivial:
+		return "trivial"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Classification is the result of Classify.
+type Classification struct {
+	// Verdict is the complexity of RES(q).
+	Verdict Verdict
+	// Rule cites the paper result justifying the verdict, e.g.
+	// "Theorem 24 (triads)".
+	Rule string
+	// Certificate describes the structural pattern found, in terms of the
+	// normalized query's atoms.
+	Certificate string
+	// Normalized is the minimized, domination-normalized query actually
+	// classified. Component splitting happens before normalization.
+	Normalized *cq.Query
+	// Algorithm tells the dispatcher how to solve PTIME instances.
+	Algorithm Algorithm
+	// Components holds per-component classifications when the (minimized)
+	// query is disconnected; Verdict then follows Lemma 15.
+	Components []*Classification
+}
+
+func (c *Classification) String() string {
+	return fmt.Sprintf("%s [%s: %s]", c.Verdict, c.Rule, c.Certificate)
+}

@@ -1,0 +1,386 @@
+// Package cq models Boolean conjunctive queries (CQs) with optional
+// exogenous relation annotations, as used in the resilience literature.
+//
+// A query is a set of atoms over a relational vocabulary; all variables are
+// existentially quantified (Boolean queries, Section 2 of the paper). A
+// relation may be marked exogenous, meaning its tuples provide context and
+// may never be deleted by a contingency set.
+//
+// The package provides the structural machinery of Sections 2 and 4 of the
+// paper: parsing and printing, self-join detection, connected components
+// (Lemma 14), homomorphisms, containment and equivalence, and minimization
+// to the Chandra-Merlin core (Section 4.1).
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a query variable. Variables are indexes into the query's
+// variable-name table so that atom argument lists stay compact and
+// comparable.
+type Var int
+
+// Atom is a single subgoal R(x1,...,xk) of a conjunctive query.
+type Atom struct {
+	Rel  string // relation symbol
+	Args []Var  // argument variables, possibly with repetitions
+}
+
+// Query is a Boolean conjunctive query: a conjunction of atoms over
+// existentially quantified variables.
+//
+// The zero value is an empty (trivially true) query; use New or Parse to
+// build real queries.
+type Query struct {
+	// Name is an optional display name such as "qchain".
+	Name string
+	// Atoms is the body of the query in declaration order.
+	Atoms []Atom
+	// Exo marks relations whose tuples are exogenous (not deletable).
+	Exo map[string]bool
+
+	varNames []string
+	varIndex map[string]Var
+}
+
+// New returns an empty named query ready for AddAtom calls.
+func New(name string) *Query {
+	return &Query{
+		Name:     name,
+		Exo:      map[string]bool{},
+		varIndex: map[string]Var{},
+	}
+}
+
+// Clone returns a deep copy of q.
+func (q *Query) Clone() *Query {
+	c := New(q.Name)
+	c.varNames = append([]string(nil), q.varNames...)
+	for i, n := range c.varNames {
+		c.varIndex[n] = Var(i)
+	}
+	for _, a := range q.Atoms {
+		c.Atoms = append(c.Atoms, Atom{Rel: a.Rel, Args: append([]Var(nil), a.Args...)})
+	}
+	for r, e := range q.Exo {
+		c.Exo[r] = e
+	}
+	return c
+}
+
+// Var returns the variable with the given name, creating it on first use.
+func (q *Query) Var(name string) Var {
+	if q.varIndex == nil {
+		q.varIndex = map[string]Var{}
+	}
+	if v, ok := q.varIndex[name]; ok {
+		return v
+	}
+	v := Var(len(q.varNames))
+	q.varNames = append(q.varNames, name)
+	q.varIndex[name] = v
+	return v
+}
+
+// LookupVar returns the variable with the given name without creating it.
+func (q *Query) LookupVar(name string) (Var, bool) {
+	v, ok := q.varIndex[name]
+	return v, ok
+}
+
+// VarName returns the display name of v.
+func (q *Query) VarName(v Var) string {
+	if int(v) < 0 || int(v) >= len(q.varNames) {
+		return fmt.Sprintf("?%d", int(v))
+	}
+	return q.varNames[v]
+}
+
+// NumVars returns the number of distinct variables in the query.
+func (q *Query) NumVars() int { return len(q.varNames) }
+
+// AddAtom appends the atom rel(vars...) to the query body and returns q for
+// chaining.
+func (q *Query) AddAtom(rel string, vars ...string) *Query {
+	args := make([]Var, len(vars))
+	for i, n := range vars {
+		args[i] = q.Var(n)
+	}
+	q.Atoms = append(q.Atoms, Atom{Rel: rel, Args: args})
+	return q
+}
+
+// MarkExogenous marks the given relations exogenous and returns q.
+func (q *Query) MarkExogenous(rels ...string) *Query {
+	if q.Exo == nil {
+		q.Exo = map[string]bool{}
+	}
+	for _, r := range rels {
+		q.Exo[r] = true
+	}
+	return q
+}
+
+// IsExogenous reports whether relation rel is exogenous in q.
+func (q *Query) IsExogenous(rel string) bool { return q.Exo[rel] }
+
+// EndogenousAtoms returns the indexes of atoms whose relation is endogenous.
+func (q *Query) EndogenousAtoms() []int {
+	var out []int
+	for i, a := range q.Atoms {
+		if !q.Exo[a.Rel] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Arity returns the arity of relation rel as used in q, or -1 if rel does
+// not occur. Validate guarantees consistency.
+func (q *Query) Arity(rel string) int {
+	for _, a := range q.Atoms {
+		if a.Rel == rel {
+			return len(a.Args)
+		}
+	}
+	return -1
+}
+
+// Relations returns the distinct relation symbols of q in first-occurrence
+// order.
+func (q *Query) Relations() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
+
+// AtomsOf returns the indexes of atoms over relation rel.
+func (q *Query) AtomsOf(rel string) []int {
+	var out []int
+	for i, a := range q.Atoms {
+		if a.Rel == rel {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelfJoinRelations returns the relations that occur in more than one atom.
+func (q *Query) SelfJoinRelations() []string {
+	count := map[string]int{}
+	for _, a := range q.Atoms {
+		count[a.Rel]++
+	}
+	var out []string
+	for _, r := range q.Relations() {
+		if count[r] > 1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HasSelfJoin reports whether any relation symbol repeats.
+func (q *Query) HasSelfJoin() bool { return len(q.SelfJoinRelations()) > 0 }
+
+// IsSelfJoinFree reports whether every relation occurs at most once.
+func (q *Query) IsSelfJoinFree() bool { return !q.HasSelfJoin() }
+
+// IsSingleSelfJoin reports whether at most one relation symbol repeats
+// (the "ssj" class of the paper).
+func (q *Query) IsSingleSelfJoin() bool { return len(q.SelfJoinRelations()) <= 1 }
+
+// IsBinary reports whether every relation has arity 1 or 2 ("binary
+// queries" in the paper's terminology).
+func (q *Query) IsBinary() bool {
+	for _, a := range q.Atoms {
+		if len(a.Args) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// VarsOf returns the set of distinct variables of atom i in first-occurrence
+// order.
+func (q *Query) VarsOf(i int) []Var {
+	seen := map[Var]bool{}
+	var out []Var
+	for _, v := range q.Atoms[i].Args {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SharesVar reports whether atoms i and j share at least one variable.
+func (q *Query) SharesVar(i, j int) bool {
+	set := map[Var]bool{}
+	for _, v := range q.Atoms[i].Args {
+		set[v] = true
+	}
+	for _, v := range q.Atoms[j].Args {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants: consistent arities per relation and
+// nonempty argument lists. It returns the first violation found.
+func (q *Query) Validate() error {
+	ar := map[string]int{}
+	for _, a := range q.Atoms {
+		if len(a.Args) == 0 {
+			return fmt.Errorf("cq: atom %s has no arguments", a.Rel)
+		}
+		if len(a.Args) > 4 {
+			return fmt.Errorf("cq: atom %s has arity %d > 4 (unsupported)", a.Rel, len(a.Args))
+		}
+		if prev, ok := ar[a.Rel]; ok && prev != len(a.Args) {
+			return fmt.Errorf("cq: relation %s used with arities %d and %d", a.Rel, prev, len(a.Args))
+		}
+		ar[a.Rel] = len(a.Args)
+	}
+	return nil
+}
+
+// AtomString renders atom i, appending the paper's ^x superscript for
+// exogenous relations.
+func (q *Query) AtomString(i int) string {
+	a := q.Atoms[i]
+	names := make([]string, len(a.Args))
+	for j, v := range a.Args {
+		names[j] = q.VarName(v)
+	}
+	s := a.Rel + "(" + strings.Join(names, ",") + ")"
+	if q.Exo[a.Rel] {
+		s += "^x"
+	}
+	return s
+}
+
+// String renders the query in Datalog-like notation, e.g.
+// "qchain :- R(x,y), R(y,z)".
+func (q *Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i := range q.Atoms {
+		parts[i] = q.AtomString(i)
+	}
+	name := q.Name
+	if name == "" {
+		name = "q"
+	}
+	return name + " :- " + strings.Join(parts, ", ")
+}
+
+// Components partitions the atoms of q into connected components: maximal
+// sets of atoms connected through shared variables (Section 4.2). Each
+// component is returned as a sorted slice of atom indexes.
+func (q *Query) Components() [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	byVar := map[Var]int{}
+	for i := range q.Atoms {
+		for _, v := range q.Atoms[i].Args {
+			if j, ok := byVar[v]; ok {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// IsConnected reports whether the query has a single connected component.
+func (q *Query) IsConnected() bool { return len(q.Components()) <= 1 }
+
+// SubQuery returns a new query containing only the atoms with the given
+// indexes (in the given order), preserving variable names and exogenous
+// marks of retained relations.
+func (q *Query) SubQuery(atomIdx []int) *Query {
+	s := New(q.Name)
+	for _, i := range atomIdx {
+		a := q.Atoms[i]
+		names := make([]string, len(a.Args))
+		for j, v := range a.Args {
+			names[j] = q.VarName(v)
+		}
+		s.AddAtom(a.Rel, names...)
+	}
+	for r := range q.Exo {
+		if q.Exo[r] && s.Arity(r) >= 0 {
+			s.MarkExogenous(r)
+		}
+	}
+	return s
+}
+
+// ComponentQueries splits q into one query per connected component.
+func (q *Query) ComponentQueries() []*Query {
+	comps := q.Components()
+	out := make([]*Query, len(comps))
+	for i, c := range comps {
+		out[i] = q.SubQuery(c)
+		if len(comps) > 1 {
+			out[i].Name = fmt.Sprintf("%s[%d]", q.Name, i+1)
+		}
+	}
+	return out
+}
+
+// VarOccurrences returns, for each variable, the sorted list of atom indexes
+// in which it occurs.
+func (q *Query) VarOccurrences() map[Var][]int {
+	occ := map[Var][]int{}
+	for i := range q.Atoms {
+		seen := map[Var]bool{}
+		for _, v := range q.Atoms[i].Args {
+			if !seen[v] {
+				seen[v] = true
+				occ[v] = append(occ[v], i)
+			}
+		}
+	}
+	return occ
+}

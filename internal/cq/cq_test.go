@@ -1,0 +1,267 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("qchain :- R(x,y), R(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "qchain" {
+		t.Errorf("name = %q, want qchain", q.Name)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d, want 2", len(q.Atoms))
+	}
+	if q.NumVars() != 3 {
+		t.Errorf("vars = %d, want 3", q.NumVars())
+	}
+	if q.Atoms[0].Args[1] != q.Atoms[1].Args[0] {
+		t.Error("shared variable y not unified across atoms")
+	}
+}
+
+func TestParseNoHead(t *testing.T) {
+	q, err := Parse("R(x), S(x,y), R(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 3 {
+		t.Fatalf("atoms = %d, want 3", len(q.Atoms))
+	}
+}
+
+func TestParseExogenous(t *testing.T) {
+	q, err := Parse("qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsExogenous("T") || !q.IsExogenous("S") {
+		t.Error("T and S should be exogenous")
+	}
+	if q.IsExogenous("R") {
+		t.Error("R should be endogenous")
+	}
+	if got := len(q.EndogenousAtoms()); got != 3 {
+		t.Errorf("endogenous atoms = %d, want 3", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"q :- ",
+		"q :- R(x,y",
+		"q :- R()",
+		"q :- R(x) S(y)",
+		"q :- R(x,y), R(x)", // inconsistent arity
+		"q :- R(x)^y",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	in := "qrats :- R(x,y)^x, A(x), T(z,x)^x, S(y,z)"
+	q := MustParse(in)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", q.String(), err)
+	}
+	if !Equivalent(q, q2) {
+		t.Errorf("round trip lost equivalence: %q vs %q", q, q2)
+	}
+	if !strings.Contains(q.String(), "^x") {
+		t.Errorf("String() lost exogenous annotation: %q", q.String())
+	}
+}
+
+func TestSelfJoinDetection(t *testing.T) {
+	cases := []struct {
+		q      string
+		sjFree bool
+		ssj    bool
+		binary bool
+	}{
+		{"q :- R(x,y), S(y,z), T(z,x)", true, true, true},
+		{"q :- R(x,y), R(y,z)", false, true, true},
+		{"q :- R(x), S(x,y), R(y)", false, true, true},
+		{"q :- A(x), B(y), C(z), W(x,y,z)", true, true, false},
+		{"q :- R(x,y), R(y,z), S(z,w), S(w,u)", false, false, true},
+	}
+	for _, c := range cases {
+		q := MustParse(c.q)
+		if q.IsSelfJoinFree() != c.sjFree {
+			t.Errorf("%s: sjFree = %v, want %v", c.q, q.IsSelfJoinFree(), c.sjFree)
+		}
+		if q.IsSingleSelfJoin() != c.ssj {
+			t.Errorf("%s: ssj = %v, want %v", c.q, q.IsSingleSelfJoin(), c.ssj)
+		}
+		if q.IsBinary() != c.binary {
+			t.Errorf("%s: binary = %v, want %v", c.q, q.IsBinary(), c.binary)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	q := MustParse("qcomp :- A(x), R(x,y), R(z,w), B(w)")
+	comps := q.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if q.IsConnected() {
+		t.Error("qcomp should be disconnected")
+	}
+	sub := q.ComponentQueries()
+	if len(sub[0].Atoms) != 2 || len(sub[1].Atoms) != 2 {
+		t.Errorf("component sizes = %d,%d, want 2,2", len(sub[0].Atoms), len(sub[1].Atoms))
+	}
+	conn := MustParse("q :- R(x,y), R(y,z)")
+	if !conn.IsConnected() {
+		t.Error("qchain should be connected")
+	}
+}
+
+func TestHomomorphismAndContainment(t *testing.T) {
+	chain2 := MustParse("q2 :- R(x,y), R(y,z)")
+	chain3 := MustParse("q3 :- R(x,y), R(y,z), R(z,w)")
+	// chain3 implies chain2: hom from chain2 into chain3 exists.
+	if FindHomomorphism(chain2, chain3) == nil {
+		t.Error("expected homomorphism chain2 -> chain3")
+	}
+	if !Contains(chain3, chain2) {
+		t.Error("chain3 ⊆ chain2 should hold (3-chain implies 2-chain)")
+	}
+	if Contains(chain2, chain3) {
+		t.Error("chain2 ⊆ chain3 should not hold")
+	}
+	// Loop query maps into itself but chain does not map into loop... it does:
+	// R(x,y),R(y,z) -> R(v,v),R(v,v) via x,y,z -> v.
+	loop := MustParse("ql :- R(v,v)")
+	if FindHomomorphism(chain2, loop) == nil {
+		t.Error("chain2 should fold into loop")
+	}
+	if FindHomomorphism(loop, chain2) != nil {
+		t.Error("loop must not map into chain2 (no reflexive tuple)")
+	}
+}
+
+func TestHomomorphismRespectsPositions(t *testing.T) {
+	conf := MustParse("qc :- R(x,y), R(z,y)")
+	chain := MustParse("qh :- R(x,y), R(y,z)")
+	// Confluence maps into chain? R(x,y)->R(x,y), R(z,y): need R(?,y).
+	// Only R(x,y) has second arg y, so z->x works: R(z,y)->R(x,y). Valid hom.
+	if FindHomomorphism(conf, chain) == nil {
+		t.Error("confluence folds into chain via z->x")
+	}
+	// But chain into confluence: R(x,y)->R(x,y); R(y,z): need first arg y.
+	// Atoms have first args x and z, so y->x or y->z; but y already bound to y.
+	if FindHomomorphism(chain, conf) != nil {
+		t.Error("chain must not map into confluence")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Example 22 of the paper: R(x,y),R(z,y),R(z,w),R(x,w) minimizes to R(x,y).
+	q := MustParse("qsj :- R(x,y), R(z,y), R(z,w), R(x,w)")
+	m := q.Minimize()
+	if len(m.Atoms) != 1 {
+		t.Fatalf("minimized to %d atoms (%s), want 1", len(m.Atoms), m)
+	}
+	if !Equivalent(q, m) {
+		t.Error("minimization must preserve equivalence")
+	}
+	if q.IsMinimal() {
+		t.Error("qsj should not be minimal")
+	}
+}
+
+func TestMinimalQueriesStayPut(t *testing.T) {
+	minimal := []string{
+		"q :- R(x,y), R(y,z)",
+		"q :- R(x), S(x,y), R(y)",
+		"q :- R(x,y), S(y,z), T(z,x)",
+		"q :- A(x), R(x,y), R(y,x)",
+		"q :- A(x), R(x,y), R(y,z), R(z,y)",
+	}
+	for _, s := range minimal {
+		q := MustParse(s)
+		if !q.IsMinimal() {
+			t.Errorf("%s should be minimal", s)
+		}
+		m := q.Minimize()
+		if len(m.Atoms) != len(q.Atoms) {
+			t.Errorf("%s: Minimize changed atom count %d -> %d", s, len(q.Atoms), len(m.Atoms))
+		}
+	}
+}
+
+func TestMinimizeNonMinimalChain(t *testing.T) {
+	// R(x,y),R(y,z),R(x,w) : R(x,w) folds onto R(x,y) (w->y). Result: chain.
+	q := MustParse("q :- R(x,y), R(y,z), R(x,w)")
+	m := q.Minimize()
+	if len(m.Atoms) != 2 {
+		t.Fatalf("minimized to %d atoms (%s), want 2", len(m.Atoms), m)
+	}
+	if !Equivalent(m, MustParse("q :- R(x,y), R(y,z)")) {
+		t.Errorf("minimized query %s not equivalent to chain", m)
+	}
+}
+
+func TestEquivalentRenaming(t *testing.T) {
+	a := MustParse("q :- R(x,y), R(y,z)")
+	b := MustParse("q :- R(u,v), R(v,w)")
+	if !Equivalent(a, b) {
+		t.Error("alpha-renamed queries must be equivalent")
+	}
+}
+
+func TestVarOccurrencesAndShares(t *testing.T) {
+	q := MustParse("q :- A(x), R(x,y), S(y,z)")
+	occ := q.VarOccurrences()
+	x := q.Var("x")
+	if len(occ[x]) != 2 {
+		t.Errorf("x occurs in %d atoms, want 2", len(occ[x]))
+	}
+	if !q.SharesVar(0, 1) || q.SharesVar(0, 2) {
+		t.Error("SharesVar misreports adjacency")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse("q :- R(x,y), R(y,z)")
+	c := q.Clone()
+	c.AddAtom("S", "z", "w")
+	c.MarkExogenous("R")
+	if len(q.Atoms) != 2 || q.IsExogenous("R") {
+		t.Error("Clone not independent of original")
+	}
+}
+
+func TestSubQueryKeepsExo(t *testing.T) {
+	q := MustParse("q :- A(x), R(x,y)^x, S(y,z)")
+	s := q.SubQuery([]int{1, 2})
+	if !s.IsExogenous("R") {
+		t.Error("SubQuery dropped exogenous mark")
+	}
+	if s.Arity("A") != -1 {
+		t.Error("SubQuery retained dropped relation")
+	}
+}
+
+func TestRepeatedVarsInAtom(t *testing.T) {
+	q := MustParse("z3 :- R(x,x), R(x,y), A(y)")
+	if q.NumVars() != 2 {
+		t.Errorf("vars = %d, want 2", q.NumVars())
+	}
+	vs := q.VarsOf(0)
+	if len(vs) != 1 {
+		t.Errorf("distinct vars of R(x,x) = %d, want 1", len(vs))
+	}
+}

@@ -1,0 +1,206 @@
+package cq
+
+// Homomorphism is a variable mapping h from one query's variables to
+// another's such that every atom maps onto an existing atom.
+type Homomorphism map[Var]Var
+
+// FindHomomorphism searches for a homomorphism h: var(from) -> var(to) such
+// that for every atom R(x1..xk) of from, R(h(x1)..h(xk)) is an atom of to.
+// It returns nil if none exists.
+//
+// Homomorphisms characterize containment for Boolean CQs: from has a
+// homomorphism into to iff to implies from (to ⊆ from as Boolean queries).
+func FindHomomorphism(from, to *Query) Homomorphism {
+	return findHom(from, to, nil)
+}
+
+// findHom searches for a homomorphism with the additional restriction that
+// every atom of from must map into an atom of to whose index is allowed
+// (allowed == nil means all atoms allowed).
+func findHom(from, to *Query, allowed map[int]bool) Homomorphism {
+	// Index to's atoms by relation for fast candidate lookup.
+	byRel := map[string][]int{}
+	for i, a := range to.Atoms {
+		if allowed != nil && !allowed[i] {
+			continue
+		}
+		byRel[a.Rel] = append(byRel[a.Rel], i)
+	}
+	h := Homomorphism{}
+	// Order from's atoms so that atoms sharing variables with already-placed
+	// atoms come early (greedy connectivity order reduces backtracking).
+	order := connectivityOrder(from)
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		a := from.Atoms[order[k]]
+		for _, ti := range byRel[a.Rel] {
+			t := to.Atoms[ti]
+			if len(t.Args) != len(a.Args) {
+				continue
+			}
+			var bound []Var
+			ok := true
+			for j, v := range a.Args {
+				if w, exists := h[v]; exists {
+					if w != t.Args[j] {
+						ok = false
+						break
+					}
+				} else {
+					h[v] = t.Args[j]
+					bound = append(bound, v)
+				}
+			}
+			if ok && try(k+1) {
+				return true
+			}
+			for _, v := range bound {
+				delete(h, v)
+			}
+		}
+		return false
+	}
+	if try(0) {
+		return h
+	}
+	return nil
+}
+
+// connectivityOrder returns atom indexes of q ordered so that each atom
+// (after the first) shares a variable with an earlier one when possible.
+func connectivityOrder(q *Query) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	seen := map[Var]bool{}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if pick == -1 {
+				pick = i
+			}
+			for _, v := range q.Atoms[i].Args {
+				if seen[v] {
+					pick = i
+					break
+				}
+			}
+			if pick == i && len(order) > 0 {
+				// Only stop early if this atom actually connects.
+				connected := false
+				for _, v := range q.Atoms[i].Args {
+					if seen[v] {
+						connected = true
+						break
+					}
+				}
+				if connected {
+					break
+				}
+			}
+		}
+		used[pick] = true
+		order = append(order, pick)
+		for _, v := range q.Atoms[pick].Args {
+			seen[v] = true
+		}
+	}
+	return order
+}
+
+// Contains reports whether q1 ⊆ q2, i.e., every database satisfying q1 also
+// satisfies q2 (for Boolean queries: q1 implies q2). By the
+// Chandra-Merlin theorem this holds iff there is a homomorphism from q2
+// into q1.
+func Contains(q1, q2 *Query) bool {
+	return FindHomomorphism(q2, q1) != nil
+}
+
+// Equivalent reports whether q1 and q2 are logically equivalent.
+func Equivalent(q1, q2 *Query) bool {
+	return Contains(q1, q2) && Contains(q2, q1)
+}
+
+// IsMinimal reports whether q is a minimal (core) query: no equivalent query
+// has fewer atoms. A CQ is minimal iff no atom can be dropped while staying
+// equivalent, which holds iff there is no homomorphism from q into a proper
+// subset of its own atoms (Section 4.1).
+func (q *Query) IsMinimal() bool {
+	for drop := range q.Atoms {
+		allowed := map[int]bool{}
+		for i := range q.Atoms {
+			if i != drop {
+				allowed[i] = true
+			}
+		}
+		if findHom(q, q, allowed) != nil {
+			return false
+		}
+	}
+	return len(q.Atoms) > 0
+}
+
+// Minimize returns the core of q: an equivalent query with the minimum
+// number of atoms, obtained by repeatedly folding q into proper subsets of
+// its atoms. The paper assumes all queries are minimized as a preprocessing
+// step (Section 4.1). The receiver is not modified.
+func (q *Query) Minimize() *Query {
+	cur := q.Clone()
+	for {
+		folded := false
+		for drop := range cur.Atoms {
+			allowed := map[int]bool{}
+			for i := range cur.Atoms {
+				if i != drop {
+					allowed[i] = true
+				}
+			}
+			h := findHom(cur, cur, allowed)
+			if h == nil {
+				continue
+			}
+			// Retain the image atoms: apply h and deduplicate.
+			img := New(cur.Name)
+			seen := map[string]bool{}
+			for _, a := range cur.Atoms {
+				names := make([]string, len(a.Args))
+				for j, v := range a.Args {
+					names[j] = cur.VarName(h[v])
+				}
+				key := a.Rel + "(" + joinStrings(names) + ")"
+				if !seen[key] {
+					seen[key] = true
+					img.AddAtom(a.Rel, names...)
+				}
+			}
+			for r := range cur.Exo {
+				if cur.Exo[r] && img.Arity(r) >= 0 {
+					img.MarkExogenous(r)
+				}
+			}
+			cur = img
+			folded = true
+			break
+		}
+		if !folded {
+			return cur
+		}
+	}
+}
+
+func joinStrings(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

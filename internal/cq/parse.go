@@ -1,0 +1,138 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a Datalog-like Boolean query, e.g.
+//
+//	qchain :- R(x,y), R(y,z)
+//	qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x
+//
+// The optional head ("name :-") names the query. An atom followed by ^x
+// marks its relation exogenous (the paper's superscript-x notation). The
+// body is a comma-separated list of atoms; whitespace is insignificant.
+func Parse(s string) (*Query, error) {
+	name := ""
+	body := s
+	if i := strings.Index(s, ":-"); i >= 0 {
+		name = strings.TrimSpace(s[:i])
+		body = s[i+2:]
+	}
+	q := New(name)
+	p := &parser{in: body}
+	p.skipSpace()
+	if p.eof() {
+		return nil, fmt.Errorf("cq: empty query body in %q", s)
+	}
+	for {
+		rel, args, exo, err := p.atom()
+		if err != nil {
+			return nil, fmt.Errorf("cq: parsing %q: %w", s, err)
+		}
+		q.AddAtom(rel, args...)
+		if exo {
+			q.MarkExogenous(rel)
+		}
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		if !p.consume(',') {
+			return nil, fmt.Errorf("cq: parsing %q: expected ',' at offset %d", s, p.pos)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for statically known
+// queries such as the paper's query zoo.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *parser) peek() byte { return p.in[p.pos] }
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.in[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) consume(c byte) bool {
+	p.skipSpace()
+	if !p.eof() && p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.in[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '\'' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) atom() (rel string, args []string, exo bool, err error) {
+	rel, err = p.ident()
+	if err != nil {
+		return "", nil, false, err
+	}
+	if !p.consume('(') {
+		return "", nil, false, fmt.Errorf("expected '(' after %s", rel)
+	}
+	for {
+		v, err := p.ident()
+		if err != nil {
+			return "", nil, false, err
+		}
+		args = append(args, v)
+		if p.consume(')') {
+			break
+		}
+		if !p.consume(',') {
+			return "", nil, false, fmt.Errorf("expected ',' or ')' in %s(...)", rel)
+		}
+	}
+	// Optional exogenous superscript: ^x.
+	save := p.pos
+	p.skipSpace()
+	if !p.eof() && p.peek() == '^' {
+		p.pos++
+		if !p.eof() && (p.peek() == 'x' || p.peek() == 'X') {
+			p.pos++
+			return rel, args, true, nil
+		}
+		return "", nil, false, fmt.Errorf("expected 'x' after '^'")
+	}
+	p.pos = save
+	return rel, args, false, nil
+}

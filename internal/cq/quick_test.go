@@ -1,0 +1,136 @@
+package cq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the query algebra.
+
+// randomQuery is a quick.Generator producing small random binary queries.
+type randomQuery struct {
+	Q *Query
+}
+
+var relPool = []string{"R", "R", "S", "A"} // bias toward self-joins
+
+func (randomQuery) Generate(r *rand.Rand, size int) reflect.Value {
+	q := New("rq")
+	vars := []string{"x", "y", "z", "w"}
+	nAtoms := 1 + r.Intn(4)
+	for i := 0; i < nAtoms; i++ {
+		rel := relPool[r.Intn(len(relPool))]
+		if rel == "A" {
+			q.AddAtom(rel, vars[r.Intn(len(vars))])
+		} else {
+			q.AddAtom(rel, vars[r.Intn(len(vars))], vars[r.Intn(len(vars))])
+		}
+	}
+	return reflect.ValueOf(randomQuery{q})
+}
+
+// TestQuickMinimizeIdempotentAndEquivalent: minimization preserves
+// equivalence and is idempotent.
+func TestQuickMinimizeIdempotentAndEquivalent(t *testing.T) {
+	prop := func(rq randomQuery) bool {
+		q := rq.Q
+		if q.Validate() != nil {
+			return true
+		}
+		m := q.Minimize()
+		if !Equivalent(q, m) {
+			return false
+		}
+		m2 := m.Minimize()
+		if len(m2.Atoms) != len(m.Atoms) {
+			return false
+		}
+		return m.IsMinimal() || len(m.Atoms) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickContainmentIsPreorder: ⊆ is reflexive and transitive on random
+// queries.
+func TestQuickContainmentIsPreorder(t *testing.T) {
+	prop := func(a, b, c randomQuery) bool {
+		if !Contains(a.Q, a.Q) {
+			return false
+		}
+		if Contains(a.Q, b.Q) && Contains(b.Q, c.Q) && !Contains(a.Q, c.Q) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHomomorphismComposes: hom(a->b) and hom(b->c) imply hom(a->c).
+func TestQuickHomomorphismComposes(t *testing.T) {
+	prop := func(a, b, c randomQuery) bool {
+		h1 := FindHomomorphism(a.Q, b.Q)
+		h2 := FindHomomorphism(b.Q, c.Q)
+		if h1 == nil || h2 == nil {
+			return true
+		}
+		return FindHomomorphism(a.Q, c.Q) != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComponentsPartitionAtoms: components are a partition of atoms.
+func TestQuickComponentsPartitionAtoms(t *testing.T) {
+	prop := func(rq randomQuery) bool {
+		q := rq.Q
+		seen := map[int]bool{}
+		total := 0
+		for _, comp := range q.Components() {
+			for _, i := range comp {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		return total == len(q.Atoms)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStringParseRoundTrip: String() output reparses to an equivalent
+// query with identical atom count and exogenous marks.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	prop := func(rq randomQuery, exoS bool) bool {
+		q := rq.Q
+		if exoS && q.Arity("S") > 0 {
+			q.MarkExogenous("S")
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		if len(q2.Atoms) != len(q.Atoms) {
+			return false
+		}
+		for _, rel := range q.Relations() {
+			if q.IsExogenous(rel) != q2.IsExogenous(rel) {
+				return false
+			}
+		}
+		return Equivalent(q, q2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

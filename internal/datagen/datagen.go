@@ -1,0 +1,158 @@
+// Package datagen generates synthetic database instances for the
+// resilience solvers and benchmarks: random instances shaped to a query's
+// vocabulary, graph encodings, and deterministic scaling families.
+//
+// The paper's "evaluation" constructs databases inside hardness proofs and
+// flow arguments; these generators reproduce the same instance shapes at
+// arbitrary scale, which is what the benchmark harness sweeps.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/vertexcover"
+)
+
+// ConstName renders the i-th synthetic constant name.
+func ConstName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// Random fills a database with random tuples for every relation of q:
+// tuplesPerRel tuples over a domain of the given size. Self-joined binary
+// relations additionally receive the reverse of each tuple with probability
+// mutualProb, so permutation/confluence witnesses actually occur.
+func Random(rng *rand.Rand, q *cq.Query, domain, tuplesPerRel int, mutualProb float64) *db.Database {
+	d := db.New()
+	sj := map[string]bool{}
+	for _, r := range q.SelfJoinRelations() {
+		sj[r] = true
+	}
+	for _, rel := range q.Relations() {
+		ar := q.Arity(rel)
+		for i := 0; i < tuplesPerRel; i++ {
+			args := make([]string, ar)
+			for j := range args {
+				args[j] = ConstName(rng.Intn(domain))
+			}
+			d.AddNames(rel, args...)
+			if ar == 2 && sj[rel] && rng.Float64() < mutualProb {
+				d.AddNames(rel, args[1], args[0])
+			}
+		}
+	}
+	return d
+}
+
+// RandomWithLoops is Random plus loop tuples R(a,a) for self-joined binary
+// relations, exercising the REP code paths.
+func RandomWithLoops(rng *rand.Rand, q *cq.Query, domain, tuplesPerRel int, loopProb float64) *db.Database {
+	d := Random(rng, q, domain, tuplesPerRel, 0.4)
+	for _, rel := range q.SelfJoinRelations() {
+		if q.Arity(rel) != 2 {
+			continue
+		}
+		for i := 0; i < domain; i++ {
+			if rng.Float64() < loopProb {
+				d.AddNames(rel, ConstName(i), ConstName(i))
+			}
+		}
+	}
+	return d
+}
+
+// GraphDB encodes an undirected graph as the canonical qvc database
+// (Proposition 9): R holds the vertices, S one tuple per arc direction...
+// the paper uses directed edges; resilience is identical either way, and we
+// insert each edge once in its normalized orientation.
+func GraphDB(g *vertexcover.Graph) *db.Database {
+	d := db.New()
+	for v := 0; v < g.N; v++ {
+		d.AddNames("R", ConstName(v))
+	}
+	for _, e := range g.Edges() {
+		d.AddNames("S", ConstName(e[0]), ConstName(e[1]))
+	}
+	return d
+}
+
+// ChainDB builds a database for qchain-shaped queries: a long path
+// c0 -> c1 -> ... -> cn with extra random chords, giving many overlapping
+// witnesses. Used in scaling benchmarks.
+func ChainDB(rng *rand.Rand, n, chords int) *db.Database {
+	d := db.New()
+	for i := 0; i+1 < n; i++ {
+		d.AddNames("R", ConstName(i), ConstName(i+1))
+	}
+	for i := 0; i < chords; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			d.AddNames("R", ConstName(u), ConstName(v))
+		}
+	}
+	return d
+}
+
+// ConfluenceDB builds databases for qACconf-shaped queries: nA sources with
+// A-tuples fanning into shared middles, mirrored by nC sinks, scaled by
+// fanout. Every witness is an A–R–R–C path through a shared middle value.
+func ConfluenceDB(rng *rand.Rand, nA, nC, fanout int) *db.Database {
+	d := db.New()
+	for i := 0; i < nA; i++ {
+		a := "a" + ConstName(i)
+		d.AddNames("A", a)
+		for k := 0; k < fanout; k++ {
+			d.AddNames("R", a, "m"+ConstName(rng.Intn(nA+nC)))
+		}
+	}
+	for i := 0; i < nC; i++ {
+		c := "c" + ConstName(i)
+		d.AddNames("C", c)
+		for k := 0; k < fanout; k++ {
+			d.AddNames("R", c, "m"+ConstName(rng.Intn(nA+nC)))
+		}
+	}
+	return d
+}
+
+// PermDB builds databases for permutation-family queries: nPairs mutual
+// pairs, nLoops loops, plus unary tuples for every constant under the given
+// unary relation names.
+func PermDB(rng *rand.Rand, nPairs, nLoops, domain int, unaryRels ...string) *db.Database {
+	d := db.New()
+	for i := 0; i < nPairs; i++ {
+		u, v := rng.Intn(domain), rng.Intn(domain)
+		if u == v {
+			v = (v + 1) % domain
+		}
+		d.AddNames("R", ConstName(u), ConstName(v))
+		d.AddNames("R", ConstName(v), ConstName(u))
+	}
+	for i := 0; i < nLoops; i++ {
+		a := ConstName(rng.Intn(domain))
+		d.AddNames("R", a, a)
+	}
+	for _, rel := range unaryRels {
+		for i := 0; i < domain; i++ {
+			d.AddNames(rel, ConstName(i))
+		}
+	}
+	return d
+}
+
+// LinearSJFreeDB builds databases for the linear query
+// A(x), R1(x,y), R2(y,z), C(z): layered random bipartite links. Used to
+// bench the flow solver on sj-free linear queries.
+func LinearSJFreeDB(rng *rand.Rand, layerSize, links int) *db.Database {
+	d := db.New()
+	for i := 0; i < layerSize; i++ {
+		d.AddNames("A", "x"+ConstName(i))
+		d.AddNames("C", "z"+ConstName(i))
+	}
+	for i := 0; i < links; i++ {
+		d.AddNames("R1", "x"+ConstName(rng.Intn(layerSize)), "y"+ConstName(rng.Intn(layerSize)))
+		d.AddNames("R2", "y"+ConstName(rng.Intn(layerSize)), "z"+ConstName(rng.Intn(layerSize)))
+	}
+	return d
+}

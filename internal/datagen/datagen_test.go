@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/vertexcover"
+)
+
+func TestRandomCoversAllRelations(t *testing.T) {
+	q := cq.MustParse("q :- A(x), R(x,y), R(z,y), C(z)")
+	rng := rand.New(rand.NewSource(1))
+	d := Random(rng, q, 5, 6, 0.5)
+	for _, rel := range q.Relations() {
+		r := d.Rel(rel)
+		if r == nil || r.Len() == 0 {
+			t.Errorf("relation %s empty", rel)
+		}
+		if r.Arity != q.Arity(rel) {
+			t.Errorf("relation %s arity %d, want %d", rel, r.Arity, q.Arity(rel))
+		}
+	}
+}
+
+func TestRandomWithLoopsProducesLoops(t *testing.T) {
+	q := cq.MustParse("z3 :- R(x,x), R(x,y), A(y)")
+	rng := rand.New(rand.NewSource(2))
+	d := RandomWithLoops(rng, q, 6, 8, 1.0)
+	loops := 0
+	for _, tup := range d.Rel("R").Tuples() {
+		if tup.Args[0] == tup.Args[1] {
+			loops++
+		}
+	}
+	if loops == 0 {
+		t.Error("loopProb=1.0 produced no loops")
+	}
+}
+
+func TestGraphDBMatchesGraph(t *testing.T) {
+	g := vertexcover.Cycle(5)
+	d := GraphDB(g)
+	if d.Rel("R").Len() != 5 || d.Rel("S").Len() != 5 {
+		t.Errorf("R=%d S=%d, want 5/5", d.Rel("R").Len(), d.Rel("S").Len())
+	}
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	if !eval.Satisfied(q, d) {
+		t.Error("cycle database should satisfy qvc")
+	}
+}
+
+func TestChainDBWitnessCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := ChainDB(rng, 10, 0)
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	// A simple path of 9 edges has 8 two-step witnesses.
+	if got := eval.CountWitnesses(q, d); got != 8 {
+		t.Errorf("witnesses = %d, want 8", got)
+	}
+}
+
+func TestConfluenceDBProducesWitnesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := ConfluenceDB(rng, 10, 10, 3)
+	q := cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	if eval.CountWitnesses(q, d) == 0 {
+		t.Error("confluence generator produced no witnesses")
+	}
+}
+
+func TestPermDBPairsAreMutual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := PermDB(rng, 10, 0, 8, "A")
+	r := d.Rel("R")
+	for _, tup := range r.Tuples() {
+		if tup.Args[0] == tup.Args[1] {
+			continue
+		}
+		rev := tup
+		rev.Args[0], rev.Args[1] = tup.Args[1], tup.Args[0]
+		if !r.Has(rev) {
+			t.Fatalf("pair %v lacks its reverse", tup)
+		}
+	}
+	if d.Rel("A").Len() != 8 {
+		t.Errorf("A has %d tuples, want domain size 8", d.Rel("A").Len())
+	}
+}
+
+func TestLinearSJFreeDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := LinearSJFreeDB(rng, 20, 60)
+	q := cq.MustParse("q :- A(x), R1(x,y), R2(y,z), C(z)")
+	if eval.CountWitnesses(q, d) == 0 {
+		t.Error("linear generator produced no witnesses")
+	}
+}

@@ -1,0 +1,326 @@
+// Package db implements in-memory database instances for the resilience
+// problem: named relations of fixed-arity tuples over an interned constant
+// domain, with positional indexes to support join evaluation.
+//
+// Tuples are small comparable structs (arity capped at 4) so they can be
+// used directly as map keys and set elements, which the hitting-set solver
+// and the IJP checker rely on heavily.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an interned constant of the active domain.
+type Value int32
+
+// MaxArity is the largest supported relation arity. The paper's queries are
+// unary/binary plus one ternary relation (W in the tripod query), all within
+// this cap.
+const MaxArity = 4
+
+// Tuple is a single fact R(a1,...,ak). It is comparable and therefore
+// usable as a map key.
+type Tuple struct {
+	Rel   string
+	Arity uint8
+	Args  [MaxArity]Value
+}
+
+// NewTuple builds a tuple for relation rel with the given arguments.
+func NewTuple(rel string, args ...Value) Tuple {
+	if len(args) == 0 || len(args) > MaxArity {
+		panic(fmt.Sprintf("db: tuple arity %d out of range [1,%d]", len(args), MaxArity))
+	}
+	t := Tuple{Rel: rel, Arity: uint8(len(args))}
+	copy(t.Args[:], args)
+	return t
+}
+
+// Values returns the argument slice of t (length = arity).
+func (t Tuple) Values() []Value { return t.Args[:t.Arity] }
+
+// ConstSet returns the set of distinct constants appearing in t.
+func (t Tuple) ConstSet() map[Value]bool {
+	s := make(map[Value]bool, t.Arity)
+	for _, v := range t.Values() {
+		s[v] = true
+	}
+	return s
+}
+
+// Relation is a set of same-arity tuples with per-position indexes.
+type Relation struct {
+	Name  string
+	Arity int
+
+	tuples map[Tuple]bool
+	// index[p][v] lists tuples whose p-th argument is v.
+	index [MaxArity]map[Value][]Tuple
+	dirty bool
+}
+
+func newRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, tuples: map[Tuple]bool{}}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Has reports membership.
+func (r *Relation) Has(t Tuple) bool { return r.tuples[t] }
+
+// Tuples returns all tuples in deterministic (sorted) order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for t := range r.tuples {
+		out = append(out, t)
+	}
+	SortTuples(out)
+	return out
+}
+
+func (r *Relation) add(t Tuple) {
+	if !r.tuples[t] {
+		r.tuples[t] = true
+		r.dirty = true
+	}
+}
+
+func (r *Relation) remove(t Tuple) {
+	if r.tuples[t] {
+		delete(r.tuples, t)
+		r.dirty = true
+	}
+}
+
+func (r *Relation) rebuild() {
+	if !r.dirty && r.index[0] != nil {
+		return
+	}
+	for p := 0; p < r.Arity; p++ {
+		r.index[p] = make(map[Value][]Tuple, len(r.tuples))
+	}
+	for t := range r.tuples {
+		for p := 0; p < r.Arity; p++ {
+			r.index[p][t.Args[p]] = append(r.index[p][t.Args[p]], t)
+		}
+	}
+	r.dirty = false
+}
+
+// Lookup returns the tuples whose p-th argument equals v.
+func (r *Relation) Lookup(p int, v Value) []Tuple {
+	r.rebuild()
+	return r.index[p][v]
+}
+
+// Database is a set of relations plus a string-to-constant interner.
+// The zero value is not usable; call New.
+type Database struct {
+	rels  map[string]*Relation
+	names []string
+	index map[string]Value
+
+	// deleted tracks tuples temporarily removed by the solvers so they can
+	// be restored cheaply; see Delete/Restore.
+	deleted []Tuple
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{rels: map[string]*Relation{}, index: map[string]Value{}}
+}
+
+// Const interns the constant with the given name.
+func (d *Database) Const(name string) Value {
+	if v, ok := d.index[name]; ok {
+		return v
+	}
+	v := Value(len(d.names))
+	d.names = append(d.names, name)
+	d.index[name] = v
+	return v
+}
+
+// ConstName returns the display name of v.
+func (d *Database) ConstName(v Value) string {
+	if int(v) < 0 || int(v) >= len(d.names) {
+		return fmt.Sprintf("#%d", int(v))
+	}
+	return d.names[v]
+}
+
+// NumConsts returns the size of the active domain seen so far.
+func (d *Database) NumConsts() int { return len(d.names) }
+
+// Relation returns the relation named rel, creating it with the given arity
+// on first use. It panics on arity mismatch with an existing relation.
+func (d *Database) Relation(rel string, arity int) *Relation {
+	r, ok := d.rels[rel]
+	if !ok {
+		r = newRelation(rel, arity)
+		d.rels[rel] = r
+		return r
+	}
+	if r.Arity != arity {
+		panic(fmt.Sprintf("db: relation %s has arity %d, not %d", rel, r.Arity, arity))
+	}
+	return r
+}
+
+// Rel returns the relation named rel or nil if absent.
+func (d *Database) Rel(rel string) *Relation { return d.rels[rel] }
+
+// Add inserts the fact rel(args...) using interned values.
+func (d *Database) Add(rel string, args ...Value) Tuple {
+	t := NewTuple(rel, args...)
+	d.Relation(rel, len(args)).add(t)
+	return t
+}
+
+// AddNames inserts the fact rel(names...) interning each constant name.
+func (d *Database) AddNames(rel string, names ...string) Tuple {
+	args := make([]Value, len(names))
+	for i, n := range names {
+		args[i] = d.Const(n)
+	}
+	return d.Add(rel, args...)
+}
+
+// AddTuple inserts an existing tuple value.
+func (d *Database) AddTuple(t Tuple) {
+	d.Relation(t.Rel, int(t.Arity)).add(t)
+}
+
+// Has reports whether the fact is present.
+func (d *Database) Has(t Tuple) bool {
+	r := d.rels[t.Rel]
+	return r != nil && r.Has(t)
+}
+
+// Remove deletes the fact if present.
+func (d *Database) Remove(t Tuple) {
+	if r := d.rels[t.Rel]; r != nil {
+		r.remove(t)
+	}
+}
+
+// Delete removes t and records it on the restore stack.
+func (d *Database) Delete(t Tuple) {
+	if d.Has(t) {
+		d.Remove(t)
+		d.deleted = append(d.deleted, t)
+	}
+}
+
+// RestoreMark returns the current height of the restore stack.
+func (d *Database) RestoreMark() int { return len(d.deleted) }
+
+// RestoreTo undoes all Delete calls made after the given mark.
+func (d *Database) RestoreTo(mark int) {
+	for len(d.deleted) > mark {
+		t := d.deleted[len(d.deleted)-1]
+		d.deleted = d.deleted[:len(d.deleted)-1]
+		d.AddTuple(t)
+	}
+}
+
+// Len returns the total number of tuples across all relations.
+func (d *Database) Len() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// RelationNames returns the relation names in sorted order.
+func (d *Database) RelationNames() []string {
+	out := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllTuples returns every tuple in the database in deterministic order.
+func (d *Database) AllTuples() []Tuple {
+	var out []Tuple
+	for _, n := range d.RelationNames() {
+		out = append(out, d.rels[n].Tuples()...)
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no mutable state with d.
+func (d *Database) Clone() *Database {
+	c := New()
+	c.names = append([]string(nil), d.names...)
+	for n, v := range d.index {
+		c.index[n] = v
+	}
+	for name, r := range d.rels {
+		cr := newRelation(name, r.Arity)
+		for t := range r.tuples {
+			cr.tuples[t] = true
+		}
+		cr.dirty = true
+		c.rels[name] = cr
+	}
+	return c
+}
+
+// TupleString renders a tuple with constant names resolved.
+func (d *Database) TupleString(t Tuple) string {
+	parts := make([]string, t.Arity)
+	for i, v := range t.Values() {
+		parts[i] = d.ConstName(v)
+	}
+	return t.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// String renders the whole database, one relation per line.
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, n := range d.RelationNames() {
+		b.WriteString(n)
+		b.WriteString(" = {")
+		for i, t := range d.rels[n].Tuples() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.TupleString(t))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// SortTuples sorts ts in place by relation name, then lexicographically by
+// arguments.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return CompareTuples(ts[i], ts[j]) < 0 })
+}
+
+// CompareTuples gives a total order over tuples.
+func CompareTuples(a, b Tuple) int {
+	if a.Rel != b.Rel {
+		if a.Rel < b.Rel {
+			return -1
+		}
+		return 1
+	}
+	if a.Arity != b.Arity {
+		return int(a.Arity) - int(b.Arity)
+	}
+	for i := 0; i < int(a.Arity); i++ {
+		if a.Args[i] != b.Args[i] {
+			return int(a.Args[i]) - int(b.Args[i])
+		}
+	}
+	return 0
+}

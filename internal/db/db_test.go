@@ -1,0 +1,152 @@
+package db
+
+import "testing"
+
+func TestInterning(t *testing.T) {
+	d := New()
+	a := d.Const("a")
+	b := d.Const("b")
+	if a == b {
+		t.Fatal("distinct names interned to same value")
+	}
+	if d.Const("a") != a {
+		t.Fatal("re-interning changed value")
+	}
+	if d.ConstName(a) != "a" || d.ConstName(b) != "b" {
+		t.Fatal("ConstName mismatch")
+	}
+	if d.NumConsts() != 2 {
+		t.Fatalf("NumConsts = %d, want 2", d.NumConsts())
+	}
+}
+
+func TestAddHasRemove(t *testing.T) {
+	d := New()
+	tup := d.AddNames("R", "1", "2")
+	if !d.Has(tup) {
+		t.Fatal("added tuple not present")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	d.AddNames("R", "1", "2") // duplicate
+	if d.Rel("R").Len() != 1 {
+		t.Fatal("duplicate insert changed size")
+	}
+	d.Remove(tup)
+	if d.Has(tup) {
+		t.Fatal("removed tuple still present")
+	}
+}
+
+func TestDeleteRestore(t *testing.T) {
+	d := New()
+	t1 := d.AddNames("R", "1", "2")
+	t2 := d.AddNames("R", "2", "3")
+	mark := d.RestoreMark()
+	d.Delete(t1)
+	d.Delete(t2)
+	if d.Len() != 0 {
+		t.Fatalf("Len after deletes = %d, want 0", d.Len())
+	}
+	d.RestoreTo(mark)
+	if !d.Has(t1) || !d.Has(t2) {
+		t.Fatal("RestoreTo did not restore tuples")
+	}
+}
+
+func TestNestedRestore(t *testing.T) {
+	d := New()
+	t1 := d.AddNames("R", "1", "2")
+	t2 := d.AddNames("R", "2", "3")
+	t3 := d.AddNames("R", "3", "4")
+	m0 := d.RestoreMark()
+	d.Delete(t1)
+	m1 := d.RestoreMark()
+	d.Delete(t2)
+	d.Delete(t3)
+	d.RestoreTo(m1)
+	if d.Has(t1) {
+		t.Fatal("outer delete undone by inner restore")
+	}
+	if !d.Has(t2) || !d.Has(t3) {
+		t.Fatal("inner deletes not restored")
+	}
+	d.RestoreTo(m0)
+	if !d.Has(t1) {
+		t.Fatal("outer restore failed")
+	}
+}
+
+func TestLookupIndex(t *testing.T) {
+	d := New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "1", "3")
+	d.AddNames("R", "2", "3")
+	one := d.Const("1")
+	three := d.Const("3")
+	if got := len(d.Rel("R").Lookup(0, one)); got != 2 {
+		t.Errorf("Lookup(0,1) = %d tuples, want 2", got)
+	}
+	if got := len(d.Rel("R").Lookup(1, three)); got != 2 {
+		t.Errorf("Lookup(1,3) = %d tuples, want 2", got)
+	}
+	// Index must refresh after mutation.
+	d.Remove(NewTuple("R", one, d.Const("2")))
+	if got := len(d.Rel("R").Lookup(0, one)); got != 1 {
+		t.Errorf("Lookup(0,1) after remove = %d tuples, want 1", got)
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	d := New()
+	d.AddNames("R", "1", "2")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	d.AddNames("R", "1")
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New()
+	t1 := d.AddNames("R", "1", "2")
+	c := d.Clone()
+	c.Remove(t1)
+	if !d.Has(t1) {
+		t.Fatal("mutating clone affected original")
+	}
+	c.AddNames("S", "x")
+	if d.Rel("S") != nil {
+		t.Fatal("clone relation leaked into original")
+	}
+}
+
+func TestTupleOrderingAndString(t *testing.T) {
+	d := New()
+	d.AddNames("S", "b")
+	d.AddNames("R", "2", "1")
+	d.AddNames("R", "1", "2")
+	all := d.AllTuples()
+	if len(all) != 3 {
+		t.Fatalf("AllTuples = %d, want 3", len(all))
+	}
+	if all[0].Rel != "R" || all[2].Rel != "S" {
+		t.Error("AllTuples not sorted by relation")
+	}
+	if CompareTuples(all[0], all[1]) >= 0 {
+		t.Error("tuples not sorted within relation")
+	}
+	if s := d.TupleString(all[2]); s != "S(b)" {
+		t.Errorf("TupleString = %q, want S(b)", s)
+	}
+}
+
+func TestConstSet(t *testing.T) {
+	d := New()
+	tup := d.AddNames("R", "1", "1")
+	if got := len(tup.ConstSet()); got != 1 {
+		t.Errorf("ConstSet of R(1,1) = %d values, want 1", got)
+	}
+}

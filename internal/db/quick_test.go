@@ -1,0 +1,102 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCloneIndependence: a clone shares no mutable state — mutations
+// on either side are invisible to the other.
+func TestQuickCloneIndependence(t *testing.T) {
+	property := func(edges [][2]uint8, extra [2]uint8) bool {
+		d := New()
+		for _, e := range edges {
+			d.Add("R", Value(e[0]%8), Value(e[1]%8))
+		}
+		c := d.Clone()
+		if c.Len() != d.Len() || c.NumConsts() != d.NumConsts() {
+			return false
+		}
+		before := d.Len()
+		c.Add("R", Value(extra[0]%8+8), Value(extra[1]%8+8))
+		if d.Len() != before {
+			return false
+		}
+		for _, tup := range d.AllTuples() {
+			if !c.Has(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteRestoreRoundTrip: any interleaving of Delete calls is
+// fully undone by RestoreTo, back to identical tuple sets and indexes.
+func TestQuickDeleteRestoreRoundTrip(t *testing.T) {
+	property := func(edges [][2]uint8, picks []uint8) bool {
+		d := New()
+		for _, e := range edges {
+			d.Add("R", Value(e[0]%6), Value(e[1]%6))
+		}
+		want := d.String()
+		all := d.AllTuples()
+		mark := d.RestoreMark()
+		for _, p := range picks {
+			if len(all) == 0 {
+				break
+			}
+			d.Delete(all[int(p)%len(all)])
+		}
+		// Lookups must be consistent while deleted.
+		for _, tup := range d.AllTuples() {
+			found := false
+			for _, hit := range d.Rel("R").Lookup(0, tup.Args[0]) {
+				if hit == tup {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		d.RestoreTo(mark)
+		return d.String() == want
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTupleOrderTotal: CompareTuples is a strict total order
+// (antisymmetric, transitive on samples, consistent with equality).
+func TestQuickTupleOrderTotal(t *testing.T) {
+	mk := func(raw [3]uint8) Tuple {
+		rels := []string{"R", "S"}
+		return NewTuple(rels[raw[0]%2], Value(raw[1]%4), Value(raw[2]%4))
+	}
+	property := func(a, b, c [3]uint8) bool {
+		ta, tb, tc := mk(a), mk(b), mk(c)
+		if (CompareTuples(ta, tb) == 0) != (ta == tb) {
+			return false
+		}
+		if CompareTuples(ta, tb) != -CompareTuples(tb, ta) {
+			return false
+		}
+		if CompareTuples(ta, tb) <= 0 && CompareTuples(tb, tc) <= 0 && CompareTuples(ta, tc) > 0 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(79))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package domination implements the paper's two notions of domination:
+// the sj-free version (Definition 3, Proposition 4) and the self-join-aware
+// version (Definition 16, Proposition 18), together with the normalization
+// that marks dominated relations exogenous.
+//
+// Domination captures when an endogenous relation is "implicitly exogenous":
+// its tuples are never needed in minimum contingency sets because a
+// dominating relation always offers an at-least-as-good deletion.
+package domination
+
+import (
+	"repro/internal/cq"
+)
+
+// SJFreeDominates reports whether atom i dominates atom j under
+// Definition 3: both endogenous and var(i) ⊂ var(j) (strict containment).
+// Only meaningful for self-join-free queries.
+func SJFreeDominates(q *cq.Query, i, j int) bool {
+	if q.IsExogenous(q.Atoms[i].Rel) || q.IsExogenous(q.Atoms[j].Rel) {
+		return false
+	}
+	vi := varSet(q, i)
+	vj := varSet(q, j)
+	if len(vi) >= len(vj) {
+		return false
+	}
+	for v := range vi {
+		if !vj[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether relation a dominates relation b in q under the
+// self-join-aware Definition 16: there is a position map
+// f: [arity(a)] -> [arity(b)] such that every b-atom g has some a-atom h
+// with pos_h(i) = pos_g(f(i)) for all i. Both relations must be endogenous
+// and distinct.
+func Dominates(q *cq.Query, a, b string) bool {
+	if a == b || q.IsExogenous(a) || q.IsExogenous(b) {
+		return false
+	}
+	arA, arB := q.Arity(a), q.Arity(b)
+	if arA < 0 || arB < 0 {
+		return false
+	}
+	aAtoms := q.AtomsOf(a)
+	bAtoms := q.AtomsOf(b)
+	// Enumerate all functions f: [arA] -> [arB].
+	f := make([]int, arA)
+	var try func(pos int) bool
+	try = func(pos int) bool {
+		if pos == arA {
+			return coversAll(q, f, aAtoms, bAtoms)
+		}
+		for t := 0; t < arB; t++ {
+			f[pos] = t
+			if try(pos + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0)
+}
+
+// coversAll checks that under position map f, every b-atom has a matching
+// a-atom: for each i, the a-atom's i-th variable equals the b-atom's
+// f(i)-th variable.
+func coversAll(q *cq.Query, f []int, aAtoms, bAtoms []int) bool {
+	for _, gb := range bAtoms {
+		found := false
+		for _, ha := range aAtoms {
+			match := true
+			for i, fi := range f {
+				if q.Atoms[ha].Args[i] != q.Atoms[gb].Args[fi] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// DominatedRelations returns the endogenous relations of q that are
+// dominated by some other endogenous relation under Definition 16.
+func DominatedRelations(q *cq.Query) []string {
+	var out []string
+	for _, b := range q.Relations() {
+		if q.IsExogenous(b) {
+			continue
+		}
+		for _, a := range q.Relations() {
+			if Dominates(q, a, b) {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Normalize returns a copy of q in the paper's normal form: dominated
+// relations are marked exogenous, applied to a fixed point (making one
+// relation exogenous can expose new dominations only by removing it from
+// consideration, and can never un-dominate another, so iterating is safe
+// and terminates).
+//
+// By Proposition 18, RES(q) ≡ RES(Normalize(q)).
+func Normalize(q *cq.Query) *cq.Query {
+	out := q.Clone()
+	for {
+		dom := DominatedRelations(out)
+		if len(dom) == 0 {
+			return out
+		}
+		// Mark one relation at a time: simultaneous marking could erase a
+		// domination chain's witness (A dominates B dominates C where B's
+		// endogeneity mattered). One-at-a-time is the conservative fixed
+		// point.
+		out.MarkExogenous(dom[0])
+	}
+}
+
+func varSet(q *cq.Query, atom int) map[cq.Var]bool {
+	s := map[cq.Var]bool{}
+	for _, v := range q.Atoms[atom].Args {
+		s[v] = true
+	}
+	return s
+}

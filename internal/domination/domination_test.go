@@ -1,0 +1,156 @@
+package domination
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestSJFreeDominationTripod(t *testing.T) {
+	// A(x) dominates W(x,y,z) in qT (Section 2.2).
+	q := cq.MustParse("qT :- A(x), B(y), C(z), W(x,y,z)")
+	if !SJFreeDominates(q, 0, 3) {
+		t.Error("A should dominate W (Definition 3)")
+	}
+	if SJFreeDominates(q, 3, 0) {
+		t.Error("W must not dominate A")
+	}
+	if SJFreeDominates(q, 0, 1) {
+		t.Error("A must not dominate B (disjoint vars)")
+	}
+}
+
+func TestSJDominationDefinition16Examples(t *testing.T) {
+	// Example 17: A doesn't dominate R in q1 but does in q2; S dominated in
+	// both.
+	q1 := cq.MustParse("q1 :- R(x,y), A(y), R(y,z), S(y,z)")
+	q2 := cq.MustParse("q2 :- R(x,y), A(y), R(z,y), S(y,z)")
+	if Dominates(q1, "A", "R") {
+		t.Error("q1: A must not dominate R")
+	}
+	if !Dominates(q2, "A", "R") {
+		t.Error("q2: A should dominate R")
+	}
+	if !Dominates(q1, "A", "S") || !Dominates(q2, "A", "S") {
+		t.Error("A should dominate S in both queries")
+	}
+}
+
+func TestSJDominationRatsVariation(t *testing.T) {
+	// Section 3.2 / 5.1: in qsj1rats, R is robust and not dominated by A.
+	q := cq.MustParse("qsj1rats :- A(x), R(x,y), R(y,z), R(z,x)")
+	if Dominates(q, "A", "R") {
+		t.Error("A must not dominate R in qsj1rats")
+	}
+	// In plain qrats, A dominates both R and T.
+	qrats := cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)")
+	if !Dominates(qrats, "A", "R") || !Dominates(qrats, "A", "T") {
+		t.Error("A should dominate R and T in qrats")
+	}
+	if Dominates(qrats, "A", "S") {
+		t.Error("A must not dominate S in qrats")
+	}
+}
+
+func TestDominationRequiresEndogenous(t *testing.T) {
+	q := cq.MustParse("q :- A(x)^x, R(x,y)")
+	if Dominates(q, "A", "R") {
+		t.Error("exogenous A cannot dominate")
+	}
+	q2 := cq.MustParse("q :- A(x), R(x,y)^x")
+	if Dominates(q2, "A", "R") {
+		t.Error("exogenous R cannot be dominated (already exogenous)")
+	}
+}
+
+func TestNormalizeRats(t *testing.T) {
+	q := cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)")
+	n := Normalize(q)
+	if !n.IsExogenous("R") || !n.IsExogenous("T") {
+		t.Error("Normalize should mark R and T exogenous")
+	}
+	if n.IsExogenous("A") || n.IsExogenous("S") {
+		t.Error("A and S must stay endogenous")
+	}
+	// Original untouched.
+	if q.IsExogenous("R") {
+		t.Error("Normalize must not mutate its argument")
+	}
+}
+
+func TestNormalizeBrats(t *testing.T) {
+	// Section 5.1: in qbrats, A dominates R,T and B dominates S.
+	q := cq.MustParse("qbrats :- B(y), R(x,y), A(x), T(z,x), S(y,z)")
+	n := Normalize(q)
+	for _, rel := range []string{"R", "T", "S"} {
+		if !n.IsExogenous(rel) {
+			t.Errorf("%s should be exogenous after normalization", rel)
+		}
+	}
+	for _, rel := range []string{"A", "B"} {
+		if n.IsExogenous(rel) {
+			t.Errorf("%s should stay endogenous", rel)
+		}
+	}
+}
+
+func TestNormalizeTripod(t *testing.T) {
+	q := cq.MustParse("qT :- A(x), B(y), C(z), W(x,y,z)")
+	n := Normalize(q)
+	if !n.IsExogenous("W") {
+		t.Error("W should be exogenous in normalized tripod")
+	}
+	if n.IsExogenous("A") || n.IsExogenous("B") || n.IsExogenous("C") {
+		t.Error("A, B, C must stay endogenous")
+	}
+}
+
+func TestNormalizeSJVariationKeepsREndogenous(t *testing.T) {
+	q := cq.MustParse("qsj1rats :- A(x), R(x,y), R(y,z), R(z,x)")
+	n := Normalize(q)
+	if n.IsExogenous("R") {
+		t.Error("R must stay endogenous in qsj1rats (Example 11)")
+	}
+}
+
+func TestUnaryDominatesUnarySameVar(t *testing.T) {
+	// A(x) and B(x): each dominates the other (both appear once, same var).
+	q := cq.MustParse("q :- A(x), B(x), S(x,y)")
+	if !Dominates(q, "A", "B") || !Dominates(q, "B", "A") {
+		t.Error("A and B should dominate each other")
+	}
+	if !Dominates(q, "A", "S") {
+		t.Error("A should dominate S")
+	}
+	// Normalization must terminate and keep at least one endogenous atom...
+	// it marks B (or A) exogenous first, then S; mutual domination resolves
+	// by order without livelock.
+	n := Normalize(q)
+	endo := 0
+	for _, r := range n.Relations() {
+		if !n.IsExogenous(r) {
+			endo++
+		}
+	}
+	if endo == 0 {
+		t.Error("normalization erased all endogenous relations")
+	}
+}
+
+func TestChainNoDomination(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	if got := DominatedRelations(q); len(got) != 0 {
+		t.Errorf("chain has dominated relations %v, want none", got)
+	}
+	qvc := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	// R dominates S under Definition 16 via f(1)=1: the single S-atom
+	// S(x,y) is matched by R(x). Semantically: any witness using S(a,b)
+	// also uses R(a), so S-tuples are never needed in minimum contingency
+	// sets (vertex cover deletes vertices, not edges).
+	if !Dominates(qvc, "R", "S") {
+		t.Error("R should dominate S in qvc (Definition 16, f(1)=1)")
+	}
+	if Dominates(qvc, "S", "R") {
+		t.Error("S must not dominate R in qvc")
+	}
+}

@@ -1,0 +1,212 @@
+// Package eval evaluates Boolean conjunctive queries over database
+// instances and enumerates witnesses.
+//
+// A witness is a valuation of all query variables under which every atom is
+// satisfied (Section 2 of the paper). The resilience solvers operate on the
+// per-witness sets of endogenous tuples, which this package computes.
+package eval
+
+import (
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Witness is a total valuation of the query's variables (indexed by
+// cq.Var).
+type Witness []db.Value
+
+// Witnesses enumerates all witnesses of q over d by backtracking join with
+// index lookups. The order is deterministic for a given database.
+func Witnesses(q *cq.Query, d *db.Database) []Witness {
+	var out []Witness
+	ForEachWitness(q, d, func(w Witness) bool {
+		cp := make(Witness, len(w))
+		copy(cp, w)
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// Satisfied reports whether D |= q.
+func Satisfied(q *cq.Query, d *db.Database) bool {
+	found := false
+	ForEachWitness(q, d, func(Witness) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ForEachWitness calls fn for every witness; fn returning false stops the
+// enumeration. The Witness slice passed to fn is reused across calls; copy
+// it if retained.
+func ForEachWitness(q *cq.Query, d *db.Database, fn func(Witness) bool) {
+	n := len(q.Atoms)
+	if n == 0 {
+		return
+	}
+	order := planOrder(q)
+	assign := make([]db.Value, q.NumVars())
+	bound := make([]bool, q.NumVars())
+	stopped := false
+
+	var rec func(k int)
+	rec = func(k int) {
+		if stopped {
+			return
+		}
+		if k == n {
+			if !fn(assign) {
+				stopped = true
+			}
+			return
+		}
+		a := q.Atoms[order[k]]
+		rel := d.Rel(a.Rel)
+		if rel == nil || rel.Len() == 0 {
+			return
+		}
+		// Pick a bound position to use as index probe if one exists.
+		probe := -1
+		for p, v := range a.Args {
+			if bound[v] {
+				probe = p
+				break
+			}
+		}
+		var candidates []db.Tuple
+		if probe >= 0 {
+			candidates = rel.Lookup(probe, assign[a.Args[probe]])
+		} else {
+			candidates = rel.Tuples()
+		}
+		for _, t := range candidates {
+			var newly []cq.Var
+			ok := true
+			for p, v := range a.Args {
+				if bound[v] {
+					if assign[v] != t.Args[p] {
+						ok = false
+						break
+					}
+				} else {
+					assign[v] = t.Args[p]
+					bound[v] = true
+					newly = append(newly, v)
+				}
+			}
+			if ok {
+				rec(k + 1)
+			}
+			for _, v := range newly {
+				bound[v] = false
+			}
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(0)
+}
+
+// planOrder orders atoms greedily so each atom shares a variable with an
+// earlier one whenever possible, enabling index probes.
+func planOrder(q *cq.Query) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	seen := map[cq.Var]bool{}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			connected := false
+			for _, v := range q.Atoms[i].Args {
+				if seen[v] {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				best = i
+				break
+			}
+			if best == -1 {
+				best = i
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range q.Atoms[best].Args {
+			seen[v] = true
+		}
+	}
+	return order
+}
+
+// WitnessTuples returns, for a witness w, the set of distinct tuples the
+// witness uses, optionally restricted to endogenous relations. With
+// self-joins, the same tuple can serve several atoms and is reported once
+// (the paper's "set of at most m tuples").
+func WitnessTuples(q *cq.Query, w Witness, endoOnly bool) []db.Tuple {
+	seen := map[db.Tuple]bool{}
+	var out []db.Tuple
+	for _, a := range q.Atoms {
+		if endoOnly && q.IsExogenous(a.Rel) {
+			continue
+		}
+		args := make([]db.Value, len(a.Args))
+		for i, v := range a.Args {
+			args[i] = w[v]
+		}
+		t := db.NewTuple(a.Rel, args...)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	db.SortTuples(out)
+	return out
+}
+
+// EndoWitnessSets enumerates witnesses and projects each to its endogenous
+// tuple set. The second return value reports whether some witness has no
+// endogenous tuples at all, in which case the query cannot be falsified by
+// deletions (infinite resilience).
+func EndoWitnessSets(q *cq.Query, d *db.Database) (sets [][]db.Tuple, unbreakable bool) {
+	ForEachWitness(q, d, func(w Witness) bool {
+		ts := WitnessTuples(q, w, true)
+		if len(ts) == 0 {
+			unbreakable = true
+			return false
+		}
+		sets = append(sets, ts)
+		return true
+	})
+	return sets, unbreakable
+}
+
+// CountWitnesses returns the number of witnesses of q over d.
+func CountWitnesses(q *cq.Query, d *db.Database) int {
+	n := 0
+	ForEachWitness(q, d, func(Witness) bool { n++; return true })
+	return n
+}
+
+// TuplesOfWitnessByAtom returns the tuple used by each atom (in atom order)
+// under witness w, including duplicates and exogenous atoms. This is the
+// per-position view needed by the flow constructions.
+func TuplesOfWitnessByAtom(q *cq.Query, w Witness) []db.Tuple {
+	out := make([]db.Tuple, len(q.Atoms))
+	for i, a := range q.Atoms {
+		args := make([]db.Value, len(a.Args))
+		for j, v := range a.Args {
+			args[j] = w[v]
+		}
+		out[i] = db.NewTuple(a.Rel, args...)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// paperChainDB builds the Section 2 example: D = {R(1,2), R(2,3), R(3,3)}.
+func paperChainDB() *db.Database {
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+	return d
+}
+
+func TestWitnessesChainPaperExample(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := paperChainDB()
+	ws := Witnesses(q, d)
+	// The paper lists witnesses (1,2,3), (2,3,3), (3,3,3).
+	if len(ws) != 3 {
+		t.Fatalf("witnesses = %d, want 3", len(ws))
+	}
+	got := map[string]bool{}
+	for _, w := range ws {
+		key := d.ConstName(w[q.Var("x")]) + d.ConstName(w[q.Var("y")]) + d.ConstName(w[q.Var("z")])
+		got[key] = true
+	}
+	for _, want := range []string{"123", "233", "333"} {
+		if !got[want] {
+			t.Errorf("missing witness %s; got %v", want, got)
+		}
+	}
+}
+
+func TestWitnessTupleSetsSelfJoinDedup(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := paperChainDB()
+	sets, unbreakable := EndoWitnessSets(q, d)
+	if unbreakable {
+		t.Fatal("chain query over endogenous R cannot be unbreakable")
+	}
+	sizes := map[int]int{}
+	for _, s := range sets {
+		sizes[len(s)]++
+	}
+	// Witness (3,3,3) uses the single tuple R(3,3) twice -> set of size 1.
+	if sizes[1] != 1 || sizes[2] != 2 {
+		t.Errorf("tuple-set sizes = %v, want one singleton and two pairs", sizes)
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	d := db.New()
+	d.AddNames("R", "a")
+	d.AddNames("S", "a", "b")
+	if Satisfied(q, d) {
+		t.Error("q should be false without R(b)")
+	}
+	d.AddNames("R", "b")
+	if !Satisfied(q, d) {
+		t.Error("q should be true with R(a), S(a,b), R(b)")
+	}
+}
+
+func TestWitnessesEmptyRelation(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y), T(y)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	if CountWitnesses(q, d) != 0 {
+		t.Error("missing relation should yield no witnesses")
+	}
+}
+
+func TestRepeatedVariableAtom(t *testing.T) {
+	q := cq.MustParse("q :- R(x,x)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "2")
+	ws := Witnesses(q, d)
+	if len(ws) != 1 {
+		t.Fatalf("witnesses = %d, want 1 (only the loop R(2,2))", len(ws))
+	}
+	if d.ConstName(ws[0][q.Var("x")]) != "2" {
+		t.Error("wrong loop witness")
+	}
+}
+
+func TestTriangleWitnesses(t *testing.T) {
+	q := cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("S", "2", "3")
+	d.AddNames("T", "3", "1")
+	d.AddNames("T", "3", "9") // dead end
+	ws := Witnesses(q, d)
+	if len(ws) != 1 {
+		t.Fatalf("witnesses = %d, want 1", len(ws))
+	}
+}
+
+func TestExogenousProjection(t *testing.T) {
+	q := cq.MustParse("qrats :- R(x,y)^x, A(x), T(z,x)^x, S(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("A", "1")
+	d.AddNames("T", "3", "1")
+	d.AddNames("S", "2", "3")
+	ws := Witnesses(q, d)
+	if len(ws) != 1 {
+		t.Fatalf("witnesses = %d, want 1", len(ws))
+	}
+	endo := WitnessTuples(q, ws[0], true)
+	if len(endo) != 2 {
+		t.Fatalf("endogenous tuples = %d, want 2 (A and S)", len(endo))
+	}
+	for _, tp := range endo {
+		if tp.Rel != "A" && tp.Rel != "S" {
+			t.Errorf("unexpected endogenous tuple from %s", tp.Rel)
+		}
+	}
+	all := WitnessTuples(q, ws[0], false)
+	if len(all) != 4 {
+		t.Errorf("all tuples = %d, want 4", len(all))
+	}
+}
+
+func TestUnbreakableWitness(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y)^x")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	_, unbreakable := EndoWitnessSets(q, d)
+	if !unbreakable {
+		t.Error("all-exogenous witness must be flagged unbreakable")
+	}
+}
+
+func TestForEachWitnessEarlyStop(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y)")
+	d := db.New()
+	for i := 0; i < 10; i++ {
+		d.AddNames("R", "a", string(rune('a'+i)))
+	}
+	n := 0
+	ForEachWitness(q, d, func(Witness) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d witnesses, want 3", n)
+	}
+}
+
+func TestTuplesOfWitnessByAtom(t *testing.T) {
+	q := cq.MustParse("qperm :- R(x,y), R(y,x)")
+	d := db.New()
+	d.AddNames("R", "a", "b")
+	d.AddNames("R", "b", "a")
+	ws := Witnesses(q, d)
+	if len(ws) != 2 {
+		t.Fatalf("witnesses = %d, want 2", len(ws))
+	}
+	per := TuplesOfWitnessByAtom(q, ws[0])
+	if len(per) != 2 || per[0] == per[1] {
+		t.Error("per-atom tuples should be the two distinct R tuples")
+	}
+}
+
+func TestCartesianDisconnected(t *testing.T) {
+	q := cq.MustParse("q :- A(x), B(y)")
+	d := db.New()
+	d.AddNames("A", "1")
+	d.AddNames("A", "2")
+	d.AddNames("B", "u")
+	d.AddNames("B", "v")
+	d.AddNames("B", "w")
+	if got := CountWitnesses(q, d); got != 6 {
+		t.Errorf("cross product witnesses = %d, want 6", got)
+	}
+}
+
+func BenchmarkWitnessEnumerationChain(b *testing.B) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	const n = 200
+	for i := 0; i < n; i++ {
+		d.AddNames("R", itoa(i), itoa((i+1)%n))
+		d.AddNames("R", itoa(i), itoa((i+7)%n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountWitnesses(q, d)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

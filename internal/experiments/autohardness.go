@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/hardness"
+	"repro/internal/ijp"
+	"repro/internal/resilience"
+	"repro/internal/vertexcover"
+)
+
+// Experiment C3 upgrades C2 (Appendix C.2's IJP search) to the paper's
+// full Section 9 program: automatically *discover and validate* hardness
+// reductions for the Section 8 catalog. A query passes when the hunt
+// produces an IJP whose chained Figure 8 reduction empirically satisfies
+// ρ(q, D_G) = VC(G) + β·|E| — an executable NP-hardness proof that the
+// paper obtained by hand (Propositions 38, 42, 45, 46, 47).
+//
+// Findings recorded in EXPERIMENTS.md:
+//   - q3chain, z4, qSxy3perm-R, qAS3cc and qAC3perm-R get fully automated
+//     hardness gadgets (qSxy3perm-R is notable: the paper needed "a new
+//     reduction" for Proposition 45; the hunt finds one in milliseconds);
+//   - qAC3conf's k ≤ 2 certificates do not compose, but an offline k = 3
+//     deep search found a 13-tuple chainable gadget, pinned in
+//     internal/hardness; qC3cc and qAC3cc remain Def.-48-only so far;
+//   - the PTIME neighbours (qTS3conf, qSwx3perm-R) yield no certificate,
+//     consistent with the conjecture that easy queries admit no IJP.
+
+func init() {
+	register("C3", "Section 9 program: automated hardness proofs for the Section 8 catalog", runC3)
+}
+
+func runC3(rng *rand.Rand) *Report {
+	rep := &Report{}
+
+	// Hard queries where the hunt succeeds within small bounds.
+	chainable := []struct {
+		text  string
+		cite  string
+		joins int
+	}{
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", "Prop 38", 2},
+		{"z4 :- R(x,x), R(x,y), S(x,y), R(y,y)", "Prop 47", 2},
+		{"qSxy :- S(x,y)^x, R(x,y), R(y,z), R(z,y)", "Prop 45", 2},
+		{"qAS3cc :- A(x), R(x,y), R(y,z), R(w,z), S(w,z)", "Prop 42", 2},
+	}
+	for _, c := range chainable {
+		q := cq.MustParse(c.text)
+		cert, tested, _ := ijp.SearchChainable(q, c.joins, 8)
+		measured := "no chainable IJP"
+		ok := false
+		if cert != nil {
+			// Out-of-battery spot check on a graph the calibration never saw.
+			g := vertexcover.Cycle(5)
+			ok = chainHolds(q, cert, g)
+			measured = fmt.Sprintf("auto gadget: β=%d, %d candidates searched, C5 check ok=%v", cert.Beta, tested, ok)
+		}
+		rep.Rows = append(rep.Rows, Row{
+			ID:       fmt.Sprintf("%s (%s)", q.Name, c.cite),
+			Paper:    "NP-complete via hand-built reduction",
+			Measured: measured,
+			Match:    ok,
+		})
+	}
+
+	// qAC3conf: the k ≤ 2 certificates do not compose, but the offline
+	// k = 3 deep search (Bell(12) ≈ 4.2M candidates, ~26 minutes) found a
+	// 13-tuple chainable gadget, pinned in internal/hardness and
+	// re-verified here through hardness.Build — a fully automated
+	// replacement for the untranscribable Figure 15 construction.
+	{
+		q := cq.MustParse("qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)")
+		r, err := hardness.Build(q)
+		ok := false
+		measured := fmt.Sprintf("no reduction: %v", err)
+		if err == nil {
+			g := vertexcover.Path(4)
+			vc, _ := g.MinVertexCover()
+			inst, ierr := r.FromVC(g, vc)
+			if ierr == nil {
+				dec, derr := resilience.Decide(r.Target, inst.DB, inst.K)
+				ok = derr == nil && dec
+				measured = fmt.Sprintf("pinned k=3 gadget (%s): P4 yes-instance check %v", r.Gadget, ok)
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{
+			ID:       "qAC3conf (Prop 39)",
+			Paper:    "NP-complete via Max 2SAT (Figure 15)",
+			Measured: measured,
+			Match:    ok,
+		})
+	}
+
+	// qC3cc: Definition 48 holds within k ≤ 2 but no certificate there
+	// composes; its k = 3 space remains open.
+	{
+		q := cq.MustParse("qC3cc :- R(x,y), R(y,z), R(w,z), C(w)")
+		cert, _, _ := ijp.Search(q, 2, 8)
+		rep.Rows = append(rep.Rows, Row{
+			ID:       q.Name + " (Prop 43)",
+			Paper:    "NP-complete via Max 2SAT; IJP conjectured (Conj 49)",
+			Measured: fmt.Sprintf("Def. 48 IJP found: %v (chaining open at k≤2)", cert != nil),
+			Match:    cert != nil,
+		})
+	}
+
+	// PTIME neighbours. Finding: Definition 48 *as literally stated* is
+	// satisfied by small databases for both of these PTIME queries — but
+	// none of those certificates survives the chained or-property, so the
+	// generalized VC reduction (the content of Conjecture 49) never
+	// materializes. Literal Def. 48 is therefore not by itself a
+	// sufficient hardness criterion; chainability is the operative one.
+	for _, text := range []string{
+		"qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x",
+		"qSwx :- S(w,x), R(x,y), R(y,z), R(z,y)",
+	} {
+		q := cq.MustParse(text)
+		def48, _, _ := ijp.Search(q, 2, 8)
+		chain, tested, _ := ijp.SearchChainable(q, 2, 8)
+		rep.Rows = append(rep.Rows, Row{
+			ID:       q.Name + " (PTIME, Props 41/44)",
+			Paper:    "PTIME — conjectured to admit no IJP",
+			Measured: fmt.Sprintf("literal Def.48 cert: %v; chainable gadget in %d candidates: %v", def48 != nil, tested, chain != nil),
+			Match:    chain == nil,
+		})
+	}
+
+	rep.Notes = append(rep.Notes,
+		"FINDING: literal Definition 48 admits certificates for the PTIME queries qTS3conf and qSwx3perm-R, but none composes under chaining — Conjecture 49 needs the chained or-property, not Def. 48 alone (see EXPERIMENTS.md)",
+		"qAC3perm-R (Prop 46) also gets an automated gadget at k=3 (β=4, endpoints in C), validated offline (~9s search); omitted here to keep the harness fast",
+		"qAB3permR and z5 exhaust the k≤3 quotient space without a certificate; their IJPs (if any) need richer canonical databases than Appendix C.2's sketch")
+	return rep
+}
+
+// chainHolds validates ρ(q, D_G) = VC(G) + β·|E| for one graph.
+func chainHolds(q *cq.Query, cert *ijp.ChainableCertificate, g *vertexcover.Graph) bool {
+	red, err := ijp.BuildVCReduction(q, cert.Certificate, g, cert.Copies)
+	if err != nil {
+		return false
+	}
+	vc, _ := g.MinVertexCover()
+	want := vc + cert.Beta*g.NumEdges()
+	res, err := resilience.ExactWithBudget(q, red.DB, want)
+	return err == nil && res.Rho == want
+}

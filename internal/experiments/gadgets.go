@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+
+	"repro/internal/cq"
+	"repro/internal/reduction"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+	"repro/internal/vertexcover"
+)
+
+// Gadget experiments: the executable hardness reductions of Figures 8-16,
+// verified against real SAT / vertex cover oracles and the exact solver.
+
+func init() {
+	register("F4", "Figure 4 / Thms 27-28: paths are hard (VC reduction)", runF4)
+	register("F10", "Figure 10 / Prop 10: 3SAT -> RES(qchain) gadget", runF10)
+	register("F11", "Figures 11-12 / Lemmas 52-54: unary chain expansions", runF11)
+	register("F14", "Figure 14 / Prop 34: 3SAT -> RES(qABperm) gadget", runF14)
+	register("F16", "Figure 16 / Prop 56, Lemmas 50-51: 3SAT -> RES(q_triangle) and self-join rats/brats gadgets", runF16)
+}
+
+func runF4(rng *rand.Rand) *Report {
+	rep := &Report{}
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	ok, trials := 0, 15
+	for i := 0; i < trials; i++ {
+		g := vertexcover.RandomGraph(rng, 4+rng.Intn(5), 0.5)
+		if g.NumEdges() == 0 {
+			ok++
+			continue
+		}
+		d := reduction.VCtoQVC(g)
+		res, err := resilience.Exact(q, d)
+		vc, _ := g.MinVertexCover()
+		if err == nil && res.Rho == vc {
+			ok++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "VC ≡ RES(qvc) (Prop 9)",
+		Paper:    "(G,k) ∈ VC ⇔ (D_G,k) ∈ RES(qvc)",
+		Measured: fmt.Sprintf("ρ == VC on %d/%d random graphs", ok, trials),
+		Match:    ok == trials,
+	})
+	// Path verdicts (Theorems 27/28 shapes).
+	rep.Rows = append(rep.Rows,
+		verdictRowStr("unary path (Thm 27)", "q :- R(x), S(x,y), T(y,z), R(z)", "NP-complete"),
+		verdictRowStr("binary path (Thm 28)", "q :- R(x,y), S(y,z), R(z,w)", "NP-complete"))
+	return rep
+}
+
+func verdictRowStr(id, qs, want string) Row {
+	cl := classify(qs)
+	return Row{ID: id, Paper: want, Measured: cl, Match: cl == want || len(cl) >= len(want) && cl[:len(want)] == want}
+}
+
+func classify(qs string) string {
+	return core.Classify(cq.MustParse(qs)).Verdict.String()
+}
+
+// runF10 verifies the chain gadget on a battery of formulas against DPLL.
+func runF10(rng *rand.Rand) *Report {
+	rep := &Report{}
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	formulas := gadgetFormulas(rng)
+	for i, psi := range formulas {
+		red := reduction.NewChain3SAT(psi)
+		want := psi.Satisfiable()
+		got, err := resilience.Decide(q, red.DB, red.K)
+		rep.Rows = append(rep.Rows, Row{
+			ID:       fmt.Sprintf("ψ%d (n=%d m=%d)", i+1, psi.NumVars, len(psi.Clauses)),
+			Paper:    fmt.Sprintf("sat=%v ⇔ ρ≤k=%d", want, red.K),
+			Measured: fmt.Sprintf("ρ≤k: %v (err=%v)", got, err),
+			Match:    err == nil && got == want,
+		})
+	}
+	return rep
+}
+
+func runF11(rng *rand.Rand) *Report {
+	rep := &Report{}
+	cases := []struct {
+		q     string
+		unary []string
+	}{
+		{"qachain :- A(x), R(x,y), R(y,z)", []string{"A"}},
+		{"qcchain :- R(x,y), R(y,z), C(z)", []string{"C"}},
+		{"qacchain :- A(x), R(x,y), R(y,z), C(z)", []string{"A", "C"}},
+		{"qabcchain :- A(x), R(x,y), B(y), R(y,z), C(z)", []string{"A", "B", "C"}},
+	}
+	satPsi := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}, {-1, 2, 3}}}
+	unsatPsi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		for _, psi := range []*sat.Formula{satPsi, unsatPsi} {
+			red := reduction.NewChain3SAT(psi, c.unary...)
+			want := psi.Satisfiable()
+			got, err := resilience.Decide(q, red.DB, red.K)
+			rep.Rows = append(rep.Rows, Row{
+				ID:       fmt.Sprintf("%s sat=%v", q.Name, want),
+				Paper:    "ψ ∈ 3SAT ⇔ ρ = kψ (Lemmas 52-54)",
+				Measured: fmt.Sprintf("ρ≤k: %v (k=%d, err=%v)", got, red.K, err),
+				Match:    err == nil && got == want,
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"layouts: LayoutIn for A-expansions, mirrored LayoutIn for C, LayoutStar for A+C (see reduction.LayoutFor)")
+	return rep
+}
+
+func runF14(rng *rand.Rand) *Report {
+	rep := &Report{}
+	q := cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)")
+	formulas := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, 2, 3}}},
+		{NumVars: 3, Clauses: []sat.Clause{{-1, -2, -3}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}},
+	}
+	for i, psi := range formulas {
+		red := reduction.NewPermAB3SAT(psi)
+		want := psi.Satisfiable()
+		got, err := resilience.Decide(q, red.DB, red.K)
+		rep.Rows = append(rep.Rows, Row{
+			ID:       fmt.Sprintf("ψ%d (n=%d m=%d)", i+1, psi.NumVars, len(psi.Clauses)),
+			Paper:    fmt.Sprintf("sat=%v ⇔ ρ≤k=%d", want, red.K),
+			Measured: fmt.Sprintf("ρ≤k: %v (err=%v)", got, err),
+			Match:    err == nil && got == want,
+		})
+	}
+	return rep
+}
+
+// runF16 verifies the triangle gadget of Proposition 56 (Figure 16) and
+// its self-join variations (Lemmas 50-51) against DPLL: ψ ∈ 3SAT iff the
+// gadget database admits a contingency set of size kψ = 6mn.
+func runF16(rng *rand.Rand) *Report {
+	rep := &Report{}
+	targets := []struct {
+		q     *cq.Query
+		build func(*sat.Formula) *reduction.Triangle3SAT
+		cite  string
+	}{
+		{cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)"), reduction.NewTriangle3SAT, "Prop 56"},
+		{cq.MustParse("qsj1rats :- R(x,y), A(x), R(y,z), R(z,x)"), reduction.NewRats3SAT, "Lemma 50"},
+		{cq.MustParse("qsj1brats :- B(y), R(x,y), A(x), R(z,x), R(y,z)"), reduction.NewBrats3SAT, "Lemma 51"},
+	}
+	formulas := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}}},
+		{NumVars: 2, Clauses: []sat.Clause{{1, 2}, {-1, 2}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1}, {-1}}}, // unsat
+	}
+	for _, tgt := range targets {
+		for i, psi := range formulas {
+			red := tgt.build(psi)
+			want := psi.Satisfiable()
+			got, err := resilience.Decide(tgt.q, red.DB, red.K)
+			rep.Rows = append(rep.Rows, Row{
+				ID:       fmt.Sprintf("%s ψ%d (%s)", tgt.q.Name, i+1, tgt.cite),
+				Paper:    fmt.Sprintf("sat=%v ⇔ ρ≤k=%d", want, red.K),
+				Measured: fmt.Sprintf("ρ≤k: %v (err=%v)", got, err),
+				Match:    err == nil && got == want,
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"variable gadget: cycle of 12m RGB triangles, only minimum covers are the two alternating 6m-edge sets (kψ = 6mn as in the paper)")
+	return rep
+}
+
+// gadgetFormulas returns a deterministic battery: a few satisfiable random
+// formulas plus the canonical unsatisfiable pair.
+func gadgetFormulas(rng *rand.Rand) []*sat.Formula {
+	out := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, 2, 3}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}},
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, sat.Random3SAT(rng, 3, 2))
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/hardness"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+	"repro/internal/vertexcover"
+)
+
+// Experiment H1: the dichotomy, executable on BOTH sides. The PTIME side
+// of Theorem 37 ships algorithms (experiments F3/F7/S7 validate them);
+// H1 shows that for every hardness rule the classifier can cite, the
+// repository materializes a working reduction — a concrete RES(q)
+// membership instance per Vertex Cover / 3SAT question — and verifies it
+// against the exact solver on a yes- and a no-instance.
+
+func init() {
+	register("H1", "Executable hard side: a verified reduction per hardness rule", runH1)
+}
+
+func runH1(rng *rand.Rand) *Report {
+	rep := &Report{}
+	cases := []struct {
+		text string
+		rule string // expected classifier rule family
+	}{
+		{"qvc :- R(x), S(x,y), R(y)", "Theorem 27"},
+		{"z1 :- R(x,x), S(x,y), R(y,y)", "Theorem 28"},
+		{"qachain :- A(x), R(x,y), R(y,z)", "Proposition 30"},
+		{"cfp :- R(x,y), H(x,z)^x, R(z,y)", "Proposition 32"},
+		{"qABext :- A(x), S(u,x), R(x,y), R(y,x), B(y)", "Proposition 35"},
+		{"qtriangle :- R(x,y), S(y,z), T(z,x)", "Theorem 24"},
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", "Proposition 38"},
+		{"z4 :- R(x,x), R(x,y), S(x,y), R(y,y)", "Proposition 47"},
+		{"qSxy :- S(x,y)^x, R(x,y), R(y,z), R(z,y)", "Proposition 45"},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.text)
+		r, err := hardness.Build(q)
+		if err != nil {
+			rep.Rows = append(rep.Rows, Row{
+				ID: q.Name, Paper: c.rule + " (NP-complete)",
+				Measured: fmt.Sprintf("no reduction: %v", err), Match: false,
+			})
+			continue
+		}
+		yes, no, err := verifyReduction(r)
+		rep.Rows = append(rep.Rows, Row{
+			ID:       q.Name,
+			Paper:    c.rule + " (NP-complete)",
+			Measured: fmt.Sprintf("%s reduction via %s: yes-instance %v, no-instance %v (err=%v)", r.Source, r.Gadget, yes, no, err),
+			Match:    err == nil && yes && no,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"qAC3conf additionally gets a reduction via the pinned k=3 deep-search gadget (see C3); remaining NP-complete queries without an executable reduction: qC3cc, qAC3cc, qAB3perm-R, z5 (Figure 15 / Prop 47 Max 2SAT gadgets, not materialized; IJP hunt empty within bounds)")
+	return rep
+}
+
+// verifyReduction instantiates r on one yes- and one no-instance of its
+// source problem and checks both against the exact solver.
+func verifyReduction(r *hardness.Reduction) (yesOK, noOK bool, err error) {
+	check := func(inst *hardness.Instance, want bool) (bool, error) {
+		got, err := resilience.Decide(r.Target, inst.DB, inst.K)
+		if err != nil {
+			return false, err
+		}
+		return got == want, nil
+	}
+	switch r.Source {
+	case hardness.SourceVC:
+		g := vertexcover.Cycle(5) // VC = 3
+		yesInst, err := r.FromVC(g, 3)
+		if err != nil {
+			return false, false, err
+		}
+		noInst, err := r.FromVC(g, 2)
+		if err != nil {
+			return false, false, err
+		}
+		yesOK, err = check(yesInst, true)
+		if err != nil {
+			return false, false, err
+		}
+		noOK, err = check(noInst, false)
+		return yesOK, noOK, err
+	default: // Source3SAT
+		satPsi := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}}}
+		unsatPsi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}}
+		yesInst, err := r.From3SAT(satPsi)
+		if err != nil {
+			return false, false, err
+		}
+		noInst, err := r.From3SAT(unsatPsi)
+		if err != nil {
+			return false, false, err
+		}
+		yesOK, err = check(yesInst, true)
+		if err != nil {
+			return false, false, err
+		}
+		noOK, err = check(noInst, false)
+		return yesOK, noOK, err
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnfenc"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/resilience"
+)
+
+// Experiment X1: the soundness backbone. The branch-and-bound exact solver
+// is the oracle every PTIME algorithm and every gadget in this repository
+// is verified against; X1 in turn cross-checks that oracle against a
+// second, independently implemented decision procedure — SAT solving the
+// Sinz-counter CNF encoding of RES(q, D, k) — across the paper's query
+// shapes.
+
+func init() {
+	register("X1", "Oracle cross-check: SAT encoding vs branch-and-bound", runX1)
+}
+
+func runX1(rng *rand.Rand) *Report {
+	rep := &Report{}
+	queries := []string{
+		"qchain :- R(x,y), R(y,z)",
+		"qtriangle :- R(x,y), S(y,z), T(z,x)",
+		"qvc :- R(x), S(x,y), R(y)",
+		"qABperm :- A(x), R(x,y), R(y,x), B(y)",
+		"qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)",
+		"qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x",
+	}
+	for _, qs := range queries {
+		q := cq.MustParse(qs)
+		ok, checks := 0, 0
+		for trial := 0; trial < 6; trial++ {
+			d := datagen.Random(rng, q, 5, 7, 0.3)
+			res, err := resilience.Exact(q, d)
+			if err != nil {
+				continue
+			}
+			for _, k := range []int{0, res.Rho - 1, res.Rho} {
+				if k < 0 {
+					continue
+				}
+				checks++
+				want, err1 := resilience.Decide(q, d, k)
+				got, _, err2 := cnfenc.Decide(q, d, k)
+				if err1 == nil && err2 == nil && got == want {
+					ok++
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{
+			ID:       q.Name,
+			Paper:    "RES(q,D,k) membership (Def. 1)",
+			Measured: fmt.Sprintf("SAT == B&B on %d/%d (D,k) instances", ok, checks),
+			Match:    ok == checks && checks > 0,
+		})
+	}
+	return rep
+}

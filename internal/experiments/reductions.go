@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/reduction"
+	"repro/internal/resilience"
+	"repro/internal/vertexcover"
+)
+
+// Experiments for the generic, query-parametric reductions of Sections 5-7:
+// Lemma 21 (self-join variations), Theorems 27/28 via the generic path
+// reduction, and the witness-preserving embeddings behind Propositions 30
+// and 35. Each is validated by exact-resilience equality on randomized
+// instances.
+
+func init() {
+	register("S5", "Lemma 21: self-join variations preserve resilience", runS5)
+	register("S6", "Thms 27/28 + Props 30/35: generic path reduction and embeddings", runS6)
+}
+
+func rhoOrMinusOne(q *cq.Query, d *db.Database) int {
+	res, err := resilience.Exact(q, d)
+	if err != nil {
+		return -1
+	}
+	return res.Rho
+}
+
+func runS5(rng *rand.Rand) *Report {
+	rep := &Report{}
+	qfree := cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)")
+	variations := []*cq.Query{
+		cq.MustParse("qsj1 :- R(x,y), R(y,z), R(z,x)"),
+		cq.MustParse("qsj2 :- R(x,y), R(y,z), T(z,x)"),
+		cq.MustParse("qsj3 :- R(x,y), S(y,z), R(z,x)"),
+	}
+	for _, qsj := range variations {
+		ok, trials := 0, 10
+		for i := 0; i < trials; i++ {
+			d := datagen.Random(rng, qfree, 5, 8, 0)
+			if !eval.Satisfied(qfree, d) {
+				ok++
+				continue
+			}
+			dsj, err := reduction.SelfJoinVariationDB(qfree, qsj, d)
+			if err == nil && rhoOrMinusOne(qfree, d) == rhoOrMinusOne(qsj, dsj) {
+				ok++
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{
+			ID:       fmt.Sprintf("qtriangle -> %s", qsj.Name),
+			Paper:    "ρ preserved exactly (Lemma 21)",
+			Measured: fmt.Sprintf("ρ equal on %d/%d random instances", ok, trials),
+			Match:    ok == trials,
+		})
+	}
+	// Example 22: the non-minimal variation must be rejected.
+	qf := cq.MustParse("q :- R(x,y), S(z,y), T(z,w), A(x,w)")
+	qn := cq.MustParse("qsj :- R(x,y), R(z,y), R(z,w), R(x,w)")
+	_, err := reduction.SelfJoinVariationDB(qf, qn, db.New())
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "Example 22 (non-minimal)",
+		Paper:    "Lemma 21 requires qsj minimal",
+		Measured: fmt.Sprintf("rejected: %v", err != nil),
+		Match:    err != nil,
+	})
+	return rep
+}
+
+func runS6(rng *rand.Rand) *Report {
+	rep := &Report{}
+
+	// Generic path reduction (Theorems 27/28): ρ(q, D_G) = VC(G).
+	for _, qs := range []string{
+		"qpath2 :- R(x), S(x,u), T(u,y), R(y)",
+		"z1 :- R(x,x), S(x,y), R(y,y)",
+		"qbinpath :- R(x,y), S(y,z), R(z,w)",
+	} {
+		q := cq.MustParse(qs)
+		ok, trials := 0, 8
+		for i := 0; i < trials; i++ {
+			g := vertexcover.RandomGraph(rng, 3+rng.Intn(4), 0.5)
+			if g.NumEdges() == 0 {
+				ok++
+				continue
+			}
+			red, err := reduction.NewPathVC(q, g)
+			if err != nil {
+				continue
+			}
+			vc, _ := g.MinVertexCover()
+			if rhoOrMinusOne(q, red.DB) == vc {
+				ok++
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{
+			ID:       q.Name,
+			Paper:    "ρ(q, D') = VC(G) (Thms 27/28)",
+			Measured: fmt.Sprintf("equal on %d/%d random graphs", ok, trials),
+			Match:    ok == trials,
+		})
+	}
+
+	// Chain embedding (Proposition 30).
+	qsrc := cq.MustParse("qachain :- A(x), R(x,y), R(y,z)")
+	qdst := cq.MustParse("q :- A(x), R(x,y), R(y,z), S(z,u), F(u,w)")
+	ok, trials := 0, 8
+	for i := 0; i < trials; i++ {
+		d := datagen.Random(rng, qsrc, 5, 8, 0)
+		if !eval.Satisfied(qsrc, d) {
+			ok++
+			continue
+		}
+		dd, err := reduction.Embed(qsrc, qdst, map[string]string{"x": "x", "y": "y", "z": "z"}, d)
+		if err == nil && rhoOrMinusOne(qsrc, d) == rhoOrMinusOne(qdst, dd) {
+			ok++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "chain embedding",
+		Paper:    "ρ preserved (Prop 30)",
+		Measured: fmt.Sprintf("ρ equal on %d/%d random instances", ok, trials),
+		Match:    ok == trials,
+	})
+
+	// Bound-permutation embedding (Proposition 35 case 2).
+	psrc := cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)")
+	pdst := cq.MustParse("q :- A(x), S(u,x), R(x,y), R(y,x), B(y), T(y,w)")
+	varMap, vmErr := reduction.PermVarMap(pdst, "x", "y")
+	ok = 0
+	for i := 0; i < trials; i++ {
+		d := datagen.Random(rng, psrc, 5, 8, 0.5)
+		if !eval.Satisfied(psrc, d) {
+			ok++
+			continue
+		}
+		dd, err := reduction.Embed(psrc, pdst, varMap, d)
+		if vmErr == nil && err == nil && rhoOrMinusOne(psrc, d) == rhoOrMinusOne(pdst, dd) {
+			ok++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "bound-permutation embedding",
+		Paper:    "ρ preserved (Prop 35 case 2)",
+		Measured: fmt.Sprintf("ρ equal on %d/%d random instances", ok, trials),
+		Match:    vmErr == nil && ok == trials,
+	})
+	return rep
+}

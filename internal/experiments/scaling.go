@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/reduction"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+)
+
+// Scaling experiments (ours, "E1"): the PTIME solvers scale polynomially
+// with instance size while the exact solver blows up on hard gadget
+// instances — the operational meaning of the dichotomy.
+
+func init() {
+	register("E1", "Scaling: flow solvers vs exact search", runE1)
+	register("S7", "Theorem 37: exhaustive two-R-atom dichotomy check", runS7)
+}
+
+func runE1(rng *rand.Rand) *Report {
+	rep := &Report{}
+	// Easy side: qACconf at growing sizes via LinearFlow.
+	q := cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	for _, n := range []int{50, 100, 200} {
+		d := datagen.ConfluenceDB(rng, n, n, 3)
+		start := time.Now()
+		res, err := resilience.LinearFlow(q, d)
+		took := time.Since(start)
+		ok := err == nil
+		rho := -1
+		if ok {
+			rho = res.Rho
+		}
+		rep.Rows = append(rep.Rows, Row{
+			ID:       fmt.Sprintf("flow qACconf n=%d (%d tuples)", n, d.Len()),
+			Paper:    "PTIME (Prop 12)",
+			Measured: fmt.Sprintf("ρ=%d in %v", rho, took.Round(time.Microsecond)),
+			Match:    ok,
+		})
+	}
+	// Hard side: exact solver on growing 3SAT chain gadgets; time grows
+	// super-linearly with formula size (the instances are NP-hard).
+	qc := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	for _, m := range []int{1, 2, 3} {
+		psi := sat.Random3SAT(rng, 3, m)
+		red := reduction.NewChain3SAT(psi)
+		start := time.Now()
+		_, err := resilience.ExactWithBudget(qc, red.DB, red.K)
+		took := time.Since(start)
+		rep.Rows = append(rep.Rows, Row{
+			ID:       fmt.Sprintf("exact chain gadget m=%d (k=%d)", m, red.K),
+			Paper:    "NP-complete (Prop 10)",
+			Measured: fmt.Sprintf("decided in %v", took.Round(time.Microsecond)),
+			Match:    err == nil,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"absolute times are machine-specific; the shape (flow linear-ish, exact super-polynomial in gadget size) is the claim")
+	return rep
+}
+
+// runS7 enumerates a structured family of ssj binary queries with exactly
+// two R-atoms and checks that (a) the classifier never answers Open inside
+// the Theorem 37 fragment, and (b) on PTIME verdicts the dispatched solver
+// agrees with the exact oracle on random instances.
+func runS7(rng *rand.Rand) *Report {
+	rep := &Report{}
+	queries := enumerateTwoRAtomQueries()
+	open, total := 0, 0
+	ptime, npc := 0, 0
+	solverOK, solverTrials := 0, 0
+	for _, q := range queries {
+		cl := core.Classify(q)
+		total++
+		switch cl.Verdict {
+		case core.PTime:
+			ptime++
+			// Consistency: Solve == Exact on random instances.
+			for t := 0; t < 2; t++ {
+				d := datagen.RandomWithLoops(rng, q, 4, 5, 0.3)
+				got, _, err := resilience.Solve(q, d)
+				if err != nil {
+					continue
+				}
+				want, err := resilience.Exact(q, d)
+				if err != nil {
+					continue
+				}
+				solverTrials++
+				if got.Rho == want.Rho {
+					solverOK++
+				}
+			}
+		case core.NPComplete:
+			npc++
+		default:
+			open++
+		}
+	}
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "totality",
+		Paper:    "dichotomy: every two-R-atom ssj binary query is PTIME or NP-complete",
+		Measured: fmt.Sprintf("%d queries: %d PTIME, %d NP-complete, %d unresolved", total, ptime, npc, open),
+		Match:    open == 0,
+	})
+	rep.Rows = append(rep.Rows, Row{
+		ID:       "solver consistency",
+		Paper:    "PTIME verdicts come with correct algorithms",
+		Measured: fmt.Sprintf("Solve==Exact on %d/%d random instances", solverOK, solverTrials),
+		Match:    solverOK == solverTrials,
+	})
+	return rep
+}
+
+// enumerateTwoRAtomQueries builds a structured family: two binary R-atoms
+// over up to 4 variables in every argument combination, with companion
+// menus covering unary endogenous bounds and exogenous bridges. Non-ssj or
+// trivial (single-atom after dedup) shapes are skipped.
+func enumerateTwoRAtomQueries() []*cq.Query {
+	vars := []string{"x", "y", "z", "w"}
+	companions := [][]string{
+		nil,
+		{"A(x)"},
+		{"A(x)", "B(y)"},
+		{"A(x)", "C(z)"},
+		{"A(x)", "B(y)", "C(z)"},
+		{"H(x,z)^x"},
+		{"A(x)", "H(x,z)^x"},
+	}
+	var out []*cq.Query
+	seen := map[string]bool{}
+	for _, a1 := range vars[:2] { // first atom starts at x or y
+		for _, a2 := range vars {
+			for _, b1 := range vars {
+				for _, b2 := range vars {
+					if a1 == "y" && (a2 != "x" || b1 != "x") {
+						continue // prune redundant alpha-variants
+					}
+					atom1 := "R(" + a1 + "," + a2 + ")"
+					atom2 := "R(" + b1 + "," + b2 + ")"
+					if atom1 == atom2 {
+						continue
+					}
+					for _, comp := range companions {
+						body := atom1 + ", " + atom2
+						usable := true
+						for _, c := range comp {
+							body += ", " + c
+						}
+						if !usable {
+							continue
+						}
+						q, err := cq.Parse("q :- " + body)
+						if err != nil {
+							continue
+						}
+						// Restrict to connected, genuinely two-R-atom
+						// minimal shapes in the ssj fragment.
+						m := q.Minimize()
+						if !m.IsConnected() || len(m.AtomsOf("R")) != 2 {
+							continue
+						}
+						key := m.String()
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						out = append(out, q)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package flow implements maximum flow / minimum cut on directed graphs
+// with integer capacities, using Dinic's algorithm.
+//
+// It is the algorithmic substrate behind every PTIME resilience solver in
+// the paper: linear queries reduce to min-cut ([31], Section 2.4), and the
+// trickier self-join cases (Propositions 12, 13, 31, 41, 44) use modified
+// constructions on top of the same solver.
+package flow
+
+import "math"
+
+// Inf is the capacity used for edges that must never be cut (exogenous
+// tuples, structural edges). It is large enough that no realistic sum of
+// unit capacities reaches it, yet far from overflow when a handful of Inf
+// edges are summed.
+const Inf int64 = math.MaxInt64 / 8
+
+// Network is a flow network under construction. Nodes are dense ints
+// created by AddNode; edges carry integer capacities.
+type Network struct {
+	// head[v] is the index of the first edge out of v in the adjacency
+	// lists, -1 if none.
+	adj   [][]int32
+	edges []edge
+}
+
+type edge struct {
+	to   int32
+	cap  int64
+	flow int64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddNode creates a new node and returns its id.
+func (n *Network) AddNode() int {
+	n.adj = append(n.adj, nil)
+	return len(n.adj) - 1
+}
+
+// AddNodes creates k nodes and returns the id of the first.
+func (n *Network) AddNodes(k int) int {
+	first := len(n.adj)
+	for i := 0; i < k; i++ {
+		n.adj = append(n.adj, nil)
+	}
+	return first
+}
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int { return len(n.adj) }
+
+// AddEdge adds a directed edge u->v with the given capacity and returns its
+// edge id, which can later be inspected with EdgeFlow / EdgeSaturated or
+// used in min-cut extraction.
+func (n *Network) AddEdge(u, v int, capacity int64) int {
+	id := len(n.edges)
+	n.edges = append(n.edges, edge{to: int32(v), cap: capacity})
+	n.edges = append(n.edges, edge{to: int32(u), cap: 0}) // residual
+	n.adj[u] = append(n.adj[u], int32(id))
+	n.adj[v] = append(n.adj[v], int32(id+1))
+	return id
+}
+
+// EdgeFlow returns the flow currently routed through edge id.
+func (n *Network) EdgeFlow(id int) int64 { return n.edges[id].flow }
+
+// EdgeCap returns the capacity of edge id.
+func (n *Network) EdgeCap(id int) int64 { return n.edges[id].cap }
+
+// Reset zeroes all flow so the network can be reused.
+func (n *Network) Reset() {
+	for i := range n.edges {
+		n.edges[i].flow = 0
+	}
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm. The result
+// saturates edges in place; call MinCutSource afterwards for the cut.
+func (n *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	level := make([]int32, len(n.adj))
+	iter := make([]int32, len(n.adj))
+	queue := make([]int32, 0, len(n.adj))
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, id := range n.adj[v] {
+				e := &n.edges[id]
+				if e.cap-e.flow > 0 && level[e.to] < 0 {
+					level[e.to] = level[v] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(v int32, f int64) int64
+	dfs = func(v int32, f int64) int64 {
+		if v == int32(t) {
+			return f
+		}
+		for ; iter[v] < int32(len(n.adj[v])); iter[v]++ {
+			id := n.adj[v][iter[v]]
+			e := &n.edges[id]
+			if e.cap-e.flow <= 0 || level[e.to] != level[v]+1 {
+				continue
+			}
+			d := dfs(e.to, min64(f, e.cap-e.flow))
+			if d > 0 {
+				e.flow += d
+				n.edges[id^1].flow -= d
+				return d
+			}
+		}
+		return 0
+	}
+
+	var total int64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(int32(s), Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// MinCutSource returns the set of nodes reachable from s in the residual
+// graph after MaxFlow. An original edge u->v is in the minimum cut iff
+// reachable[u] && !reachable[v].
+func (n *Network) MinCutSource(s int) []bool {
+	reach := make([]bool, len(n.adj))
+	reach[s] = true
+	stack := []int32{int32(s)}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range n.adj[v] {
+			e := &n.edges[id]
+			if e.cap-e.flow > 0 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return reach
+}
+
+// CutEdges returns the ids of original edges crossing the minimum cut
+// identified by reach (from MinCutSource).
+func (n *Network) CutEdges(reach []bool) []int {
+	var out []int
+	for id := 0; id < len(n.edges); id += 2 {
+		e := n.edges[id]
+		from := n.edges[id^1].to
+		if reach[from] && !reach[e.to] && e.cap > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

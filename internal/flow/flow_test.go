@@ -1,0 +1,220 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowTiny(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	b := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, a, 3)
+	n.AddEdge(s, b, 2)
+	n.AddEdge(a, b, 1)
+	n.AddEdge(a, tt, 2)
+	n.AddEdge(b, tt, 3)
+	if got := n.MaxFlow(s, tt); got != 5 {
+		t.Errorf("max flow = %d, want 5", got)
+	}
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	// CLRS figure: max flow 23.
+	n := NewNetwork()
+	ids := make([]int, 6)
+	for i := range ids {
+		ids[i] = n.AddNode()
+	}
+	s, v1, v2, v3, v4, tt := ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]
+	n.AddEdge(s, v1, 16)
+	n.AddEdge(s, v2, 13)
+	n.AddEdge(v1, v3, 12)
+	n.AddEdge(v2, v1, 4)
+	n.AddEdge(v2, v4, 14)
+	n.AddEdge(v3, v2, 9)
+	n.AddEdge(v3, tt, 20)
+	n.AddEdge(v4, v3, 7)
+	n.AddEdge(v4, tt, 4)
+	if got := n.MaxFlow(s, tt); got != 23 {
+		t.Errorf("max flow = %d, want 23", got)
+	}
+}
+
+func TestMinCutMatchesFlow(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	b := n.AddNode()
+	tt := n.AddNode()
+	e1 := n.AddEdge(s, a, 1)
+	e2 := n.AddEdge(s, b, 1)
+	n.AddEdge(a, tt, 5)
+	n.AddEdge(b, tt, 5)
+	f := n.MaxFlow(s, tt)
+	reach := n.MinCutSource(s)
+	cut := n.CutEdges(reach)
+	var cutCap int64
+	for _, id := range cut {
+		cutCap += n.EdgeCap(id)
+	}
+	if cutCap != f {
+		t.Errorf("cut capacity %d != flow %d", cutCap, f)
+	}
+	want := map[int]bool{e1: true, e2: true}
+	for _, id := range cut {
+		if !want[id] {
+			t.Errorf("unexpected cut edge %d", id)
+		}
+	}
+}
+
+func TestInfEdgesNeverCut(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	b := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, a, Inf)
+	mid := n.AddEdge(a, b, 1)
+	n.AddEdge(b, tt, Inf)
+	if got := n.MaxFlow(s, tt); got != 1 {
+		t.Fatalf("max flow = %d, want 1", got)
+	}
+	cut := n.CutEdges(n.MinCutSource(s))
+	if len(cut) != 1 || cut[0] != mid {
+		t.Errorf("cut = %v, want just the unit edge %d", cut, mid)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	tt := n.AddNode()
+	if got := n.MaxFlow(s, tt); got != 0 {
+		t.Errorf("flow in disconnected graph = %d, want 0", got)
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, tt, 7)
+	if n.MaxFlow(s, tt) != 7 {
+		t.Fatal("first run wrong")
+	}
+	n.Reset()
+	if got := n.MaxFlow(s, tt); got != 7 {
+		t.Errorf("after Reset, flow = %d, want 7", got)
+	}
+}
+
+// TestRandomAgainstBruteForce cross-checks Dinic against a slow
+// Ford-Fulkerson on random small graphs.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nodes := 2 + rng.Intn(6)
+		var es []testEdge
+		for i := 0; i < nodes*2; i++ {
+			u, v := rng.Intn(nodes), rng.Intn(nodes)
+			if u == v {
+				continue
+			}
+			es = append(es, testEdge{u, v, int64(1 + rng.Intn(5))})
+		}
+		n := NewNetwork()
+		n.AddNodes(nodes)
+		for _, e := range es {
+			n.AddEdge(e.u, e.v, e.c)
+		}
+		got := n.MaxFlow(0, nodes-1)
+		want := slowMaxFlow(nodes, es, 0, nodes-1)
+		if got != want {
+			t.Fatalf("trial %d: dinic=%d brute=%d (nodes=%d edges=%v)", trial, got, want, nodes, es)
+		}
+	}
+}
+
+type testEdge struct {
+	u, v int
+	c    int64
+}
+
+func slowMaxFlow(n int, es []testEdge, s, t int) int64 {
+	cap := make([][]int64, n)
+	for i := range cap {
+		cap[i] = make([]int64, n)
+	}
+	for _, e := range es {
+		cap[e.u][e.v] += e.c
+	}
+	var total int64
+	for {
+		// BFS augmenting path.
+		prev := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[s] = s
+		q := []int{s}
+		for len(q) > 0 && prev[t] == -1 {
+			u := q[0]
+			q = q[1:]
+			for v := 0; v < n; v++ {
+				if cap[u][v] > 0 && prev[v] == -1 {
+					prev[v] = u
+					q = append(q, v)
+				}
+			}
+		}
+		if prev[t] == -1 {
+			return total
+		}
+		aug := int64(1 << 60)
+		for v := t; v != s; v = prev[v] {
+			if cap[prev[v]][v] < aug {
+				aug = cap[prev[v]][v]
+			}
+		}
+		for v := t; v != s; v = prev[v] {
+			cap[prev[v]][v] -= aug
+			cap[v][prev[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	// 30x30 grid, unit capacities.
+	const k = 30
+	build := func() (*Network, int, int) {
+		n := NewNetwork()
+		n.AddNodes(k*k + 2)
+		s, t := k*k, k*k+1
+		id := func(r, c int) int { return r*k + c }
+		for r := 0; r < k; r++ {
+			n.AddEdge(s, id(r, 0), 1)
+			n.AddEdge(id(r, k-1), t, 1)
+			for c := 0; c+1 < k; c++ {
+				n.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+		}
+		for r := 0; r+1 < k; r++ {
+			for c := 0; c < k; c++ {
+				n.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+		return n, s, t
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, s, t := build()
+		if n.MaxFlow(s, t) != k {
+			b.Fatal("wrong flow")
+		}
+	}
+}

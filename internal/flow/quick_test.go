@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomNet is a quick.Generator for small capacity graphs.
+type randomNet struct {
+	N     int
+	Edges []struct {
+		U, V uint8
+		C    uint8
+	}
+}
+
+func (randomNet) Generate(r *rand.Rand, size int) reflect.Value {
+	var n randomNet
+	n.N = 2 + r.Intn(6)
+	m := 1 + r.Intn(12)
+	for i := 0; i < m; i++ {
+		n.Edges = append(n.Edges, struct {
+			U, V uint8
+			C    uint8
+		}{uint8(r.Intn(n.N)), uint8(r.Intn(n.N)), uint8(1 + r.Intn(6))})
+	}
+	return reflect.ValueOf(n)
+}
+
+func (n randomNet) build() *Network {
+	net := NewNetwork()
+	net.AddNodes(n.N)
+	for _, e := range n.Edges {
+		if e.U != e.V {
+			net.AddEdge(int(e.U), int(e.V), int64(e.C))
+		}
+	}
+	return net
+}
+
+// TestQuickMaxFlowMinCutDuality: the reachable-set cut after MaxFlow has
+// capacity exactly equal to the flow value (strong duality), and every cut
+// edge is saturated.
+func TestQuickMaxFlowMinCutDuality(t *testing.T) {
+	prop := func(rn randomNet) bool {
+		net := rn.build()
+		f := net.MaxFlow(0, rn.N-1)
+		reach := net.MinCutSource(0)
+		if reach[rn.N-1] && f > 0 {
+			return false // sink reachable => not a cut
+		}
+		var capSum int64
+		for _, id := range net.CutEdges(reach) {
+			capSum += net.EdgeCap(id)
+			if net.EdgeFlow(id) != net.EdgeCap(id) {
+				return false // cut edges must be saturated
+			}
+		}
+		return capSum == f
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlowMonotoneInCapacity: raising one edge's capacity never
+// lowers the max flow.
+func TestQuickFlowMonotoneInCapacity(t *testing.T) {
+	prop := func(rn randomNet, extra uint8) bool {
+		if len(rn.Edges) == 0 {
+			return true
+		}
+		f1 := rn.build().MaxFlow(0, rn.N-1)
+		rn.Edges[0].C += extra % 8
+		f2 := rn.build().MaxFlow(0, rn.N-1)
+		return f2 >= f1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package hardness
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+	"repro/internal/vertexcover"
+)
+
+// checkVC exercises a VC-sourced reduction on yes- and no-instances.
+func checkVC(t *testing.T, r *Reduction) {
+	t.Helper()
+	graphs := []*vertexcover.Graph{
+		vertexcover.Cycle(5),    // VC = 3
+		vertexcover.Star(4),     // VC = 1
+		vertexcover.Complete(4), // VC = 3
+	}
+	for _, g := range graphs {
+		vc, _ := g.MinVertexCover()
+		for _, k := range []int{vc - 1, vc} {
+			if k < 0 {
+				continue
+			}
+			inst, err := r.FromVC(g, k)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Target.Name, err)
+			}
+			got, err := resilience.Decide(r.Target, inst.DB, inst.K)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Target.Name, err)
+			}
+			want := k >= vc
+			if got != want {
+				t.Errorf("%s (|V|=%d |E|=%d k=%d): (D,%d)∈RES = %v, want %v",
+					r.Target.Name, g.N, g.NumEdges(), k, inst.K, got, want)
+			}
+		}
+	}
+}
+
+// check3SAT exercises a 3SAT-sourced reduction on sat and unsat formulas.
+func check3SAT(t *testing.T, r *Reduction) {
+	t.Helper()
+	formulas := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}}, // unsat
+	}
+	for _, psi := range formulas {
+		inst, err := r.From3SAT(psi)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Target.Name, err)
+		}
+		got, err := resilience.Decide(r.Target, inst.DB, inst.K)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Target.Name, err)
+		}
+		if want := psi.Satisfiable(); got != want {
+			t.Errorf("%s: sat=%v but (D,%d)∈RES = %v", r.Target.Name, want, inst.K, got)
+		}
+	}
+}
+
+// TestBuildCoversTheHardSide walks NP-complete queries across every
+// classifier rule the package dispatches on and verifies the materialized
+// reduction instance-by-instance against the exact solver.
+func TestBuildCoversTheHardSide(t *testing.T) {
+	cases := []struct {
+		text     string
+		wantRule string // prefix of the classifier rule
+		source   Source
+	}{
+		{"qvc :- R(x), S(x,y), R(y)", "Theorem 27", SourceVC},
+		{"z1 :- R(x,x), S(x,y), R(y,y)", "Theorem 28", SourceVC},
+		{"qchain :- R(x,y), R(y,z)", "Proposition 30", Source3SAT},
+		{"qachain :- A(x), R(x,y), R(y,z)", "Proposition 30", Source3SAT},
+		{"qabcchain :- A(x), R(x,y), B(y), R(y,z), C(z)", "Proposition 30", Source3SAT},
+		{"qsat :- A(x), R(x,y), R(y,z), S(z,u)", "Proposition 30", Source3SAT},
+		{"qABperm :- A(x), R(x,y), R(y,x), B(y)", "Proposition 35", Source3SAT},
+		{"qABext :- A(x), S(u,x), R(x,y), R(y,x), B(y)", "Proposition 35", Source3SAT},
+		{"qtriangle :- R(x,y), S(y,z), T(z,x)", "Theorem 24", SourceVC},
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", "Proposition 38", SourceVC},
+		{"z4 :- R(x,x), R(x,y), S(x,y), R(y,y)", "", SourceVC},
+		{"cfp :- R(x,y), H(x,z)^x, R(z,y)", "Proposition 32", SourceVC},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.text)
+		r, err := Build(q)
+		if err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+			continue
+		}
+		if c.wantRule != "" && !hasPrefix(r.Rule, c.wantRule) {
+			t.Errorf("%s: rule %q, want prefix %q", q.Name, r.Rule, c.wantRule)
+		}
+		if r.Source != c.source {
+			t.Errorf("%s: source %v, want %v", q.Name, r.Source, c.source)
+		}
+		switch r.Source {
+		case SourceVC:
+			checkVC(t, r)
+		case Source3SAT:
+			check3SAT(t, r)
+		}
+	}
+}
+
+// TestBuildRejectsEasyAndOpenQueries: the package only serves the
+// NP-complete side.
+func TestBuildRejectsEasyAndOpenQueries(t *testing.T) {
+	for _, text := range []string{
+		"qperm :- R(x,y), R(y,x)",                                // PTIME
+		"qrats :- R(x,y), A(x), T(z,x), S(y,z)",                  // PTIME
+		"z7 :- A(x), R(x,y), R(y,x), R(y,y)",                     // open
+		"qS3cc :- R(x,y), R(y,z), R(w,z), S(w,z)",                // open
+		"qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x", // PTIME
+	} {
+		q := cq.MustParse(text)
+		if _, err := Build(q); !errors.Is(err, ErrNoReduction) {
+			t.Errorf("%s: err = %v, want ErrNoReduction", q.Name, err)
+		}
+	}
+}
+
+// TestBuildReportsMissingGadgets: NP-complete queries whose only known
+// proofs (Figure 15 Max 2SAT) are not materialized, and whose IJP hunt
+// comes back empty within bounds, must fail loudly rather than silently.
+func TestBuildReportsMissingGadgets(t *testing.T) {
+	q := cq.MustParse("z5 :- A(x), R(x,y), R(y,z), R(z,z)")
+	_, err := Build(q)
+	if !errors.Is(err, ErrNoReduction) {
+		t.Fatalf("err = %v, want ErrNoReduction (Prop 47 Max 2SAT gadget not materialized, IJP space exhausted at k≤3)", err)
+	}
+}
+
+// TestBuildUsesPinnedQAC3confGadget: the deep-search discovery replaces
+// the untranscribable Figure 15 construction. The pinned database is
+// re-verified (Def. 48 + chained or-property) and the resulting reduction
+// must decide Vertex Cover through RES(qAC3conf).
+func TestBuildUsesPinnedQAC3confGadget(t *testing.T) {
+	q := cq.MustParse("qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)")
+	r, err := Build(q)
+	if err != nil {
+		t.Fatalf("pinned gadget not served: %v", err)
+	}
+	if r.Source != SourceVC {
+		t.Fatalf("source = %v, want VC", r.Source)
+	}
+	g := vertexcover.Path(4)
+	vc, _ := g.MinVertexCover()
+	for _, k := range []int{vc - 1, vc} {
+		inst, err := r.FromVC(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := resilience.Decide(r.Target, inst.DB, inst.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := k >= vc; got != want {
+			t.Errorf("k=%d: decision %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestPinnedGadgetIgnoredForForeignQueries: a pinned database must never
+// be served to a query it does not verify against.
+func TestPinnedGadgetIgnoredForForeignQueries(t *testing.T) {
+	// Same shape as qAC3conf but a renamed self-join relation: the pinned
+	// DB's R tuples do not match, so verification fails and the live
+	// search (which also finds nothing at k≤2 for this 4-variable shape)
+	// reports no reduction.
+	q := cq.MustParse("q :- A(x), P(x,y), P(z,y), P(z,w), C(w)")
+	if _, err := Build(q); !errors.Is(err, ErrNoReduction) {
+		t.Fatalf("err = %v, want ErrNoReduction for renamed relations", err)
+	}
+}
+
+// TestWrongSourceRejected: asking a VC reduction for a 3SAT instance (and
+// vice versa) errors instead of producing garbage.
+func TestWrongSourceRejected(t *testing.T) {
+	r, err := Build(cq.MustParse("qvc :- R(x), S(x,y), R(y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.From3SAT(&sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1}}}); err == nil {
+		t.Error("VC reduction accepted a 3SAT instance")
+	}
+	r2, err := Build(cq.MustParse("qchain :- R(x,y), R(y,z)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.FromVC(vertexcover.Cycle(3), 1); err == nil {
+		t.Error("3SAT reduction accepted a VC instance")
+	}
+}

@@ -1,0 +1,244 @@
+// Package hypergraph implements the dual hypergraph H(q) of a conjunctive
+// query (Section 2.1 of the paper) and the structural notions defined on
+// it: variable-avoiding paths, triads (Definition 5), linearity
+// (Section 2.4), and pseudo-linearity (Theorem 25).
+//
+// In the dual hypergraph, vertices are the atoms of q and each variable x
+// contributes a hyperedge consisting of all atoms containing x.
+package hypergraph
+
+import (
+	"repro/internal/cq"
+)
+
+// H is the dual hypergraph of a query; it retains a pointer to the query
+// for variable and atom metadata.
+type H struct {
+	Q *cq.Query
+	// varsOf[i] is the set of distinct variables of atom i.
+	varsOf []map[cq.Var]bool
+}
+
+// New builds the dual hypergraph of q.
+func New(q *cq.Query) *H {
+	h := &H{Q: q, varsOf: make([]map[cq.Var]bool, len(q.Atoms))}
+	for i := range q.Atoms {
+		set := map[cq.Var]bool{}
+		for _, v := range q.Atoms[i].Args {
+			set[v] = true
+		}
+		h.varsOf[i] = set
+	}
+	return h
+}
+
+// VarsOf returns the variable set of atom i.
+func (h *H) VarsOf(i int) map[cq.Var]bool { return h.varsOf[i] }
+
+// PathAvoiding reports whether there is a path from atom i to atom j in
+// H(q) using only hyperedges (variables) not in the forbidden set. Per
+// Definition 5, intermediate atoms may be arbitrary (including exogenous),
+// only the connecting variables are constrained.
+func (h *H) PathAvoiding(i, j int, forbidden map[cq.Var]bool) bool {
+	if i == j {
+		return true
+	}
+	n := len(h.Q.Atoms)
+	visited := make([]bool, n)
+	visited[i] = true
+	stack := []int{i}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := 0; next < n; next++ {
+			if visited[next] {
+				continue
+			}
+			if h.connected(cur, next, forbidden) {
+				if next == j {
+					return true
+				}
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// connected reports whether atoms a and b share a variable outside the
+// forbidden set.
+func (h *H) connected(a, b int, forbidden map[cq.Var]bool) bool {
+	for v := range h.varsOf[a] {
+		if forbidden[v] {
+			continue
+		}
+		if h.varsOf[b][v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Triad is a set of three endogenous atoms with pairwise robust
+// connectivity (Definition 5). The fields are atom indexes into Q.Atoms.
+type Triad struct {
+	S0, S1, S2 int
+}
+
+// FindTriad searches for a triad among the endogenous atoms of q, returning
+// the first one found, or nil. Following Definition 5, a triad is a triple
+// {S0,S1,S2} of endogenous atoms such that for every pair there is a path in
+// H(q) using no variable of the third atom.
+//
+// Callers should normalize the query first (minimize, make dominated
+// relations exogenous) for the complexity-theoretic meaning of Theorem 24
+// to apply.
+func FindTriad(q *cq.Query) *Triad {
+	h := New(q)
+	endo := q.EndogenousAtoms()
+	for a := 0; a < len(endo); a++ {
+		for b := a + 1; b < len(endo); b++ {
+			for c := b + 1; c < len(endo); c++ {
+				i, j, k := endo[a], endo[b], endo[c]
+				if h.isTriad(i, j, k) {
+					return &Triad{S0: i, S1: j, S2: k}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (h *H) isTriad(i, j, k int) bool {
+	return h.PathAvoiding(i, j, h.varsOf[k]) &&
+		h.PathAvoiding(j, k, h.varsOf[i]) &&
+		h.PathAvoiding(i, k, h.varsOf[j])
+}
+
+// HasTriad reports whether q contains a triad.
+func HasTriad(q *cq.Query) bool { return FindTriad(q) != nil }
+
+// IsLinear reports whether q is a linear query: its atoms can be arranged
+// in a linear order such that every variable occurs in a contiguous block
+// of atoms (Section 2.4). For the small queries of this problem domain the
+// check enumerates permutations with pruning.
+func IsLinear(q *cq.Query) bool {
+	return LinearOrder(q) != nil
+}
+
+// LinearOrder returns a linear arrangement of q's atom indexes (each
+// variable occupying a contiguous interval), or nil if none exists.
+func LinearOrder(q *cq.Query) []int {
+	n := len(q.Atoms)
+	if n <= 2 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	h := New(q)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	// closed marks variables whose interval has ended; once closed, a
+	// variable may not reappear.
+	var rec func() []int
+	rec = func() []int {
+		if len(order) == n {
+			out := make([]int, n)
+			copy(out, order)
+			return out
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if !extendsLinearly(h, order, i) {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			if res := rec(); res != nil {
+				return res
+			}
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+		return nil
+	}
+	return rec()
+}
+
+// extendsLinearly checks that appending atom cand to the prefix keeps every
+// variable's occurrence set contiguous: any variable of cand that occurred
+// in the prefix must occur in the immediately preceding atom.
+func extendsLinearly(h *H, prefix []int, cand int) bool {
+	if len(prefix) == 0 {
+		return true
+	}
+	last := prefix[len(prefix)-1]
+	seenBefore := map[cq.Var]bool{}
+	for _, i := range prefix[:len(prefix)-1] {
+		for v := range h.varsOf[i] {
+			seenBefore[v] = true
+		}
+	}
+	for v := range h.varsOf[cand] {
+		if h.varsOf[last][v] {
+			continue // still open
+		}
+		if seenBefore[v] {
+			return false // variable re-opens after a gap
+		}
+	}
+	return true
+}
+
+// IsPseudoLinear reports whether the endogenous atoms of q are linearly
+// connected in the sense of Theorem 25. By that theorem this is equivalent
+// to q having no triad; we expose it under the paper's name for clarity and
+// additionally verify the group-walk structure when it holds.
+func IsPseudoLinear(q *cq.Query) bool {
+	return !HasTriad(q)
+}
+
+// EndogenousGroups partitions the endogenous atoms into the paper's groups
+// (Theorem 25 proof): two atoms are grouped iff they contain exactly the
+// same variable set. Returns the groups as slices of atom indexes.
+func EndogenousGroups(q *cq.Query) [][]int {
+	h := New(q)
+	endo := q.EndogenousAtoms()
+	var groups [][]int
+	assigned := map[int]bool{}
+	for _, i := range endo {
+		if assigned[i] {
+			continue
+		}
+		group := []int{i}
+		assigned[i] = true
+		for _, j := range endo {
+			if assigned[j] {
+				continue
+			}
+			if sameVarSet(h.varsOf[i], h.varsOf[j]) {
+				group = append(group, j)
+				assigned[j] = true
+			}
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+func sameVarSet(a, b map[cq.Var]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}

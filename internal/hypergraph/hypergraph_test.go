@@ -1,0 +1,177 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestTriadTriangle(t *testing.T) {
+	q := cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)")
+	tr := FindTriad(q)
+	if tr == nil {
+		t.Fatal("q△ must contain the triad {R,S,T}")
+	}
+	rels := map[string]bool{
+		q.Atoms[tr.S0].Rel: true,
+		q.Atoms[tr.S1].Rel: true,
+		q.Atoms[tr.S2].Rel: true,
+	}
+	if !rels["R"] || !rels["S"] || !rels["T"] {
+		t.Errorf("triad atoms = %v, want R,S,T", rels)
+	}
+}
+
+func TestTriadTripod(t *testing.T) {
+	// qT with W exogenous (its normal form): {A,B,C} is a triad connected
+	// through the exogenous W.
+	q := cq.MustParse("qT :- A(x), B(y), C(z), W(x,y,z)^x")
+	if FindTriad(q) == nil {
+		t.Fatal("normalized tripod must contain triad {A,B,C}")
+	}
+}
+
+func TestNoTriadAfterDominationRats(t *testing.T) {
+	// Normalized qrats: R and T exogenous, only A and S endogenous -> at
+	// most 2 endogenous atoms, no triad possible.
+	q := cq.MustParse("qrats :- R(x,y)^x, A(x), T(z,x)^x, S(y,z)")
+	if FindTriad(q) != nil {
+		t.Error("normalized qrats must have no triad")
+	}
+	if !IsPseudoLinear(q) {
+		t.Error("normalized qrats must be pseudo-linear")
+	}
+}
+
+func TestTriadSurvivesSelfJoinVariation(t *testing.T) {
+	// qsj1rats (Section 5.1): the three R-atoms form a triad because A no
+	// longer dominates R under Definition 16.
+	q := cq.MustParse("qsj1rats :- A(x), R(x,y), R(y,z), R(z,x)")
+	tr := FindTriad(q)
+	if tr == nil {
+		t.Fatal("qsj1rats must contain a triad of R-atoms")
+	}
+	for _, i := range []int{tr.S0, tr.S1, tr.S2} {
+		if q.Atoms[i].Rel != "R" {
+			t.Errorf("triad atom %d is %s, want R", i, q.Atoms[i].Rel)
+		}
+	}
+}
+
+func TestChainHasNoTriad(t *testing.T) {
+	for _, s := range []string{
+		"qchain :- R(x,y), R(y,z)",
+		"qvc :- R(x), S(x,y), R(y)",
+		"q3chain :- R(x,y), R(y,z), R(z,w)",
+		"qACconf :- A(x), R(x,y), R(z,y), C(z)",
+	} {
+		q := cq.MustParse(s)
+		if FindTriad(q) != nil {
+			t.Errorf("%s: unexpected triad (hard by pattern, not triad)", q.Name)
+		}
+	}
+}
+
+func TestPathAvoiding(t *testing.T) {
+	q := cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)")
+	h := New(q)
+	// R to S avoiding var(T) = {z,x}: direct edge via y works.
+	forbidden := h.VarsOf(2)
+	if !h.PathAvoiding(0, 1, forbidden) {
+		t.Error("R–S path via y should avoid {z,x}")
+	}
+	// R to S avoiding {y} forces the path through T (via x then z).
+	y := q.Var("y")
+	if !h.PathAvoiding(0, 1, map[cq.Var]bool{y: true}) {
+		t.Error("R–S path through T should exist avoiding y")
+	}
+	// Avoiding all of R's own variables disconnects it entirely.
+	if h.PathAvoiding(0, 1, map[cq.Var]bool{q.Var("x"): true, y: true}) {
+		t.Error("no path should exist avoiding both of R's variables")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	cases := []struct {
+		q      string
+		linear bool
+	}{
+		{"qlin :- A(x), R(x,y,z), S(y,z)", true},
+		{"qchain :- R(x,y), R(y,z)", true},
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", true},
+		{"qvc :- R(x), S(x,y), R(y)", true},
+		{"qtri :- R(x,y), S(y,z), T(z,x)", false},
+		{"qrats :- R(x,y), A(x), T(z,x), S(y,z)", false},
+		{"qACconf :- A(x), R(x,y), R(z,y), C(z)", true},
+		{"qT :- A(x), B(y), C(z), W(x,y,z)", false},
+		// Scrambled order must still be recognized as linear.
+		{"scrambled :- S(y,z), A(x), R(x,y)", true},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		if got := IsLinear(q); got != c.linear {
+			t.Errorf("%s: IsLinear = %v, want %v", q.Name, got, c.linear)
+		}
+	}
+}
+
+func TestLinearOrderIsValid(t *testing.T) {
+	q := cq.MustParse("q :- S(y,z), A(x), R(x,y)")
+	order := LinearOrder(q)
+	if order == nil {
+		t.Fatal("expected a linear order")
+	}
+	// Verify contiguity explicitly.
+	h := New(q)
+	for v := cq.Var(0); int(v) < q.NumVars(); v++ {
+		first, last := -1, -1
+		for pos, atom := range order {
+			if h.VarsOf(atom)[v] {
+				if first == -1 {
+					first = pos
+				}
+				last = pos
+			}
+		}
+		for pos := first; pos <= last; pos++ {
+			if !h.VarsOf(order[pos])[v] {
+				t.Fatalf("variable %s not contiguous in order %v", q.VarName(v), order)
+			}
+		}
+	}
+}
+
+func TestTheorem25NoTriadMeansPseudoLinear(t *testing.T) {
+	// Spot-check the theorem's contrapositive on the paper's hard queries:
+	// every triad query is not pseudo-linear, every non-triad query is.
+	noTriad := []string{
+		"qchain :- R(x,y), R(y,z)",
+		"qperm :- R(x,y), R(y,x)",
+		"qAperm :- A(x), R(x,y), R(y,x)",
+		"z3 :- R(x,x), R(x,y), A(y)",
+	}
+	for _, s := range noTriad {
+		if !IsPseudoLinear(cq.MustParse(s)) {
+			t.Errorf("%s should be pseudo-linear", s)
+		}
+	}
+	if IsPseudoLinear(cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)")) {
+		t.Error("triangle must not be pseudo-linear")
+	}
+}
+
+func TestEndogenousGroups(t *testing.T) {
+	// A(x,y) and R(y,x) share a variable set -> same group; B(x) separate.
+	q := cq.MustParse("q :- A(x,y), R(y,x), B(x)")
+	groups := EndogenousGroups(q)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("group sizes = %v, want one pair and one singleton", sizes)
+	}
+}

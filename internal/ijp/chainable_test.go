@@ -1,0 +1,135 @@
+package ijp
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/resilience"
+	"repro/internal/vertexcover"
+)
+
+// TestSearchChainableFindsGadgets: for these hard queries the hunt must
+// deliver a fully validated VC reduction within the k ≤ 2 quotient space.
+func TestSearchChainableFindsGadgets(t *testing.T) {
+	cases := []struct {
+		text string
+		beta int
+	}{
+		{"qvc :- R(x), S(x,y), R(y)", 1},
+		{"qchain :- R(x,y), R(y,z)", 1},
+		{"q3chain :- R(x,y), R(y,z), R(z,w)", 1},
+		{"z4 :- R(x,x), R(x,y), S(x,y), R(y,y)", 1},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.text)
+		cert, tested, _ := SearchChainable(q, 2, 8)
+		if cert == nil {
+			t.Errorf("%s: no chainable IJP found (%d tested)", q.Name, tested)
+			continue
+		}
+		if cert.Beta != c.beta {
+			t.Errorf("%s: β=%d, want %d", q.Name, cert.Beta, c.beta)
+		}
+		// Out-of-battery validation: a graph the calibration never saw.
+		g := vertexcover.Cycle(6)
+		red, err := BuildVCReduction(q, cert.Certificate, g, cert.Copies)
+		if err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+			continue
+		}
+		res, err := resilience.Exact(q, red.DB)
+		if err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+			continue
+		}
+		vc, _ := g.MinVertexCover()
+		if want := vc + cert.Beta*g.NumEdges(); res.Rho != want {
+			t.Errorf("%s on C6: ρ=%d, want %d", q.Name, res.Rho, want)
+		}
+	}
+}
+
+// TestSearchChainablePTimeExhausts: the PTIME permutation queries must
+// exhaust their quotient spaces without a certificate — the operational
+// direction of the paper's conjecture that easy queries admit no IJP.
+func TestSearchChainablePTimeExhausts(t *testing.T) {
+	for _, text := range []string{
+		"qperm :- R(x,y), R(y,x)",
+		"qAperm :- A(x), R(x,y), R(y,x)",
+	} {
+		q := cq.MustParse(text)
+		cert, _, exhausted := SearchChainable(q, 2, 8)
+		if cert != nil {
+			t.Errorf("%s: unexpectedly found %v", q.Name, cert.Certificate)
+		}
+		if !exhausted {
+			t.Errorf("%s: space not exhausted", q.Name)
+		}
+	}
+}
+
+// TestSearchAllEnumeratesMultipleCertificates: SearchAll must surface more
+// than the first certificate (SearchChainable depends on this to skip
+// non-composing ones).
+func TestSearchAllEnumeratesMultipleCertificates(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	count := 0
+	SearchAll(q, 2, 8, func(*Certificate) bool {
+		count++
+		return true
+	})
+	if count < 2 {
+		t.Fatalf("SearchAll found %d certificates, want at least 2", count)
+	}
+}
+
+// TestVerifyOrPropertyRejectsNonComposingCertificate pins the phenomenon
+// that motivates SearchChainable: qAC3conf's first quotient IJP passes
+// Definition 48 but fails the chained or-property.
+func TestVerifyOrPropertyRejectsNonComposingCertificate(t *testing.T) {
+	q := cq.MustParse("qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)")
+	cert, _, _ := Search(q, 1, 4)
+	if cert == nil {
+		t.Fatal("expected a (non-chainable) IJP for qAC3conf at k=1")
+	}
+	if _, err := VerifyOrProperty(q, cert, 3, CalibrationGraphs()); err == nil {
+		t.Fatal("expected the chained or-property to fail for the k=1 certificate")
+	}
+}
+
+// TestLiteralDef48NotSufficient pins the repository's headline IJP
+// finding: the PTIME query qSwx3perm-R (Proposition 44) admits a database
+// satisfying Definition 48 as literally stated — both endpoints share the
+// single witness, exactly as in the paper's own Example 58 — yet no
+// certificate in its quotient space composes under chaining. Conjecture 49
+// therefore needs the chained or-property, not Definition 48 alone.
+func TestLiteralDef48NotSufficient(t *testing.T) {
+	q := cq.MustParse("qSwx :- S(w,x), R(x,y), R(y,z), R(z,y)")
+	cert, _, _ := Search(q, 2, 8)
+	if cert == nil {
+		t.Fatal("expected a literal Definition 48 certificate for qSwx3perm-R")
+	}
+	chain, _, exhausted := SearchChainable(q, 2, 8)
+	if chain != nil {
+		t.Fatalf("PTIME query got a chainable hardness gadget: %v", chain.Certificate)
+	}
+	if !exhausted {
+		t.Error("chainable search should exhaust the k≤2 space")
+	}
+}
+
+func TestVerifyOrPropertyInputValidation(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	cert, _, _ := Search(q, 2, 8)
+	if cert == nil {
+		t.Fatal("no IJP for qchain")
+	}
+	if _, err := VerifyOrProperty(q, cert, 3, nil); err == nil {
+		t.Error("want error on empty graph battery")
+	}
+	// First graph must be single-edge.
+	bad := []*vertexcover.Graph{vertexcover.Path(3)}
+	if _, err := VerifyOrProperty(q, cert, 3, bad); err == nil {
+		t.Error("want error when first calibration graph has two edges")
+	}
+}

@@ -1,0 +1,208 @@
+// Package ijp implements Independent Join Paths (Section 9 of the paper):
+// the five-condition checker of Definition 48, the automated search
+// procedure sketched in Appendix C.2 (k disjoint canonical witnesses +
+// enumeration of constant partitions), and the generalized
+// vertex-cover reduction that IJPs enable (Figure 8's "or-property").
+//
+// IJPs are the paper's proposed unifying hardness criterion: a database
+// forming an IJP for q is a reusable gadget whose chained copies reduce
+// Vertex Cover to RES(q) (Conjecture 49). The experiment harness validates
+// the conjecture's operational content empirically.
+package ijp
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/resilience"
+)
+
+// Certificate records a verified IJP.
+type Certificate struct {
+	// A and B are the two endpoint tuples (condition 1).
+	A, B db.Tuple
+	// Rho is ρ(q, D) (condition 5's baseline c).
+	Rho int
+	// DB is the witnessing database.
+	DB *db.Database
+}
+
+func (c *Certificate) String() string {
+	return fmt.Sprintf("IJP endpoints %s, %s with ρ=%d",
+		c.DB.TupleString(c.A), c.DB.TupleString(c.B), c.Rho)
+}
+
+// Check searches D for a pair of endpoint tuples under which D forms an
+// IJP for q, trying all same-relation endogenous tuple pairs. It returns
+// the first certificate found, or nil.
+func Check(q *cq.Query, d *db.Database) *Certificate {
+	tuples := d.AllTuples()
+	for i := 0; i < len(tuples); i++ {
+		for j := i + 1; j < len(tuples); j++ {
+			a, b := tuples[i], tuples[j]
+			if a.Rel != b.Rel || q.IsExogenous(a.Rel) {
+				continue
+			}
+			if cert, _ := CheckPair(q, d, a, b); cert != nil {
+				return cert
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPair tests Definition 48's five conditions for the specific
+// endpoint pair (a, b). On failure it reports which condition failed.
+func CheckPair(q *cq.Query, d *db.Database, a, b db.Tuple) (*Certificate, string) {
+	// Condition 1: same relation, incomparable constant sets.
+	if a.Rel != b.Rel {
+		return nil, "condition 1: endpoints in different relations"
+	}
+	aset, bset := a.ConstSet(), b.ConstSet()
+	if subset(aset, bset) || subset(bset, aset) {
+		return nil, "condition 1: constant sets comparable"
+	}
+
+	// Condition 2: each endpoint participates in exactly one witness, and
+	// that witness uses exactly m distinct tuples.
+	m := len(q.Atoms)
+	countA, countB := 0, 0
+	okSizes := true
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		ts := eval.WitnessTuples(q, w, false)
+		usesA, usesB := false, false
+		for _, t := range ts {
+			if t == a {
+				usesA = true
+			}
+			if t == b {
+				usesB = true
+			}
+		}
+		if usesA {
+			countA++
+			if len(ts) != m {
+				okSizes = false
+			}
+		}
+		if usesB {
+			countB++
+			if len(ts) != m {
+				okSizes = false
+			}
+		}
+		return true
+	})
+	if countA != 1 || countB != 1 {
+		return nil, fmt.Sprintf("condition 2: endpoint witness counts %d/%d, want 1/1", countA, countB)
+	}
+	if !okSizes {
+		return nil, "condition 2: endpoint witness does not use m distinct tuples"
+	}
+
+	// Condition 3: no endogenous tuple's constants form a strict subset of
+	// either endpoint's constants.
+	for _, t := range d.AllTuples() {
+		if q.IsExogenous(t.Rel) {
+			continue
+		}
+		cs := t.ConstSet()
+		if strictSubset(cs, aset) || strictSubset(cs, bset) {
+			return nil, fmt.Sprintf("condition 3: endogenous %s inside an endpoint", d.TupleString(t))
+		}
+	}
+
+	// Condition 4: exogenous projections of either endpoint must be
+	// mirrored for the other. The definition's text names only the a → b
+	// direction, but the endpoints play symmetric roles everywhere else
+	// and the paper's own Example 61 applies the condition both ways
+	// ("condition [4] requires that Bx(1) and Ax(3) be added"), so the
+	// checker enforces both directions.
+	for _, dir := range [2][2]db.Tuple{{a, b}, {b, a}} {
+		from, to := dir[0], dir[1]
+		for _, t := range d.AllTuples() {
+			if !q.IsExogenous(t.Rel) {
+				continue
+			}
+			for _, j := range indexVectors(int(from.Arity), int(t.Arity)) {
+				match := true
+				for p, idx := range j {
+					if t.Args[p] != from.Args[idx] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				mirror := make([]db.Value, t.Arity)
+				for p, idx := range j {
+					mirror[p] = to.Args[idx]
+				}
+				if !d.Has(db.NewTuple(t.Rel, mirror...)) {
+					return nil, fmt.Sprintf("condition 4: exogenous %s not mirrored for the other endpoint", d.TupleString(t))
+				}
+			}
+		}
+	}
+
+	// Condition 5: the or-property. ρ drops by exactly one when removing
+	// a, b, or both.
+	base, err := resilience.Exact(q, d)
+	if err != nil {
+		return nil, "condition 5: query unbreakable"
+	}
+	c := base.Rho
+	for _, removal := range [][]db.Tuple{{a}, {b}, {a, b}} {
+		mark := d.RestoreMark()
+		for _, t := range removal {
+			d.Delete(t)
+		}
+		res, err := resilience.Exact(q, d)
+		d.RestoreTo(mark)
+		if err != nil || res.Rho != c-1 {
+			got := -1
+			if err == nil {
+				got = res.Rho
+			}
+			return nil, fmt.Sprintf("condition 5: ρ after removing %d endpoint(s) is %d, want %d", len(removal), got, c-1)
+		}
+	}
+	return &Certificate{A: a, B: b, Rho: c, DB: d}, ""
+}
+
+// subset reports s1 ⊆ s2.
+func subset(s1, s2 map[db.Value]bool) bool {
+	for v := range s1 {
+		if !s2[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func strictSubset(s1, s2 map[db.Value]bool) bool {
+	return len(s1) < len(s2) && subset(s1, s2)
+}
+
+// indexVectors enumerates all vectors of length w over indexes [0, arity)
+// (the paper's subvector notation x_j allows arbitrary index tuples).
+func indexVectors(arity, w int) [][]int {
+	var out [][]int
+	cur := make([]int, w)
+	var rec func(p int)
+	rec = func(p int) {
+		if p == w {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < arity; i++ {
+			cur[p] = i
+			rec(p + 1)
+		}
+	}
+	rec(0)
+	return out
+}

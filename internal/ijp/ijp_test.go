@@ -1,0 +1,312 @@
+package ijp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/resilience"
+	"repro/internal/vertexcover"
+)
+
+// example58DB is the paper's IJP for qvc: D = {R(1), S(1,2), R(2)}.
+func example58() (*cq.Query, *db.Database) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	d := db.New()
+	d.AddNames("R", "1")
+	d.AddNames("S", "1", "2")
+	d.AddNames("R", "2")
+	return q, d
+}
+
+// example59 is the paper's IJP for the triangle query (Figure 18):
+// D = {R(1,2), R(4,2), R(4,5), S(2,3), S(5,3), T(3,1), T(3,4)}.
+func example59() (*cq.Query, *db.Database) {
+	q := cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "4", "2")
+	d.AddNames("R", "4", "5")
+	d.AddNames("S", "2", "3")
+	d.AddNames("S", "5", "3")
+	d.AddNames("T", "3", "1")
+	d.AddNames("T", "3", "4")
+	return q, d
+}
+
+// example60 is the paper's IJP for z5 (Figure 19): 21 tuples, ρ = 4.
+func example60() (*cq.Query, *db.Database) {
+	q := cq.MustParse("z5 :- A(x), R(x,y), R(y,z), R(z,z)")
+	d := db.New()
+	for _, a := range []string{"1", "4", "5", "9", "13"} {
+		d.AddNames("A", a)
+	}
+	pairs := [][2]string{
+		{"1", "2"}, {"2", "2"}, {"2", "3"}, {"3", "3"}, {"4", "1"}, {"5", "2"},
+		{"5", "6"}, {"6", "7"}, {"7", "7"}, {"8", "7"}, {"9", "8"},
+		{"1", "10"}, {"10", "11"}, {"11", "11"}, {"12", "11"}, {"13", "12"},
+	}
+	for _, p := range pairs {
+		d.AddNames("R", p[0], p[1])
+	}
+	return q, d
+}
+
+func TestExample58QvcIJP(t *testing.T) {
+	q, d := example58()
+	cert := Check(q, d)
+	if cert == nil {
+		t.Fatal("paper's qvc IJP not recognized")
+	}
+	if cert.Rho != 1 {
+		t.Errorf("ρ = %d, want 1", cert.Rho)
+	}
+	if cert.A.Rel != "R" || cert.B.Rel != "R" {
+		t.Errorf("endpoints should be R-tuples, got %s/%s", cert.A.Rel, cert.B.Rel)
+	}
+}
+
+func TestExample59TriangleIJP(t *testing.T) {
+	q, d := example59()
+	one := d.Const("1")
+	two := d.Const("2")
+	four := d.Const("4")
+	five := d.Const("5")
+	a := db.NewTuple("R", one, two)
+	b := db.NewTuple("R", four, five)
+	cert, reason := CheckPair(q, d, a, b)
+	if cert == nil {
+		t.Fatalf("paper's triangle IJP rejected: %s", reason)
+	}
+	if cert.Rho != 2 {
+		t.Errorf("ρ = %d, want 2 (paper's condition 5)", cert.Rho)
+	}
+}
+
+func TestExample60Z5IJPErratum(t *testing.T) {
+	// ERRATUM (documented in EXPERIMENTS.md): the database of the paper's
+	// Example 60, as printed, does NOT satisfy Definition 48. Conditions
+	// 1-4 hold and ρ(D) = 4 and removing A(9) gives 3 as claimed, but
+	// removing A(13) leaves ρ = 4: the witness (5,2,3) =
+	// {A(5),R(5,2),R(2,3),R(3,3)} is not covered by the paper's claimed
+	// contingency set {A(1),R(2,2),R(7,7)}. This test pins the measured
+	// behaviour.
+	q, d := example60()
+	res, err := resilience.Exact(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 4 {
+		t.Fatalf("base ρ = %d, paper says 4", res.Rho)
+	}
+	nine := db.NewTuple("A", d.Const("9"))
+	thirteen := db.NewTuple("A", d.Const("13"))
+	mark := d.RestoreMark()
+	d.Delete(nine)
+	afterNine, _ := resilience.Exact(q, d)
+	d.RestoreTo(mark)
+	if afterNine.Rho != 3 {
+		t.Errorf("ρ after removing A(9) = %d, paper says 3", afterNine.Rho)
+	}
+	d.Delete(thirteen)
+	afterThirteen, _ := resilience.Exact(q, d)
+	d.RestoreTo(mark)
+	if afterThirteen.Rho != 4 {
+		t.Errorf("ρ after removing A(13) = %d; the erratum expects 4 (paper claims 3)", afterThirteen.Rho)
+	}
+	cert, reason := CheckPair(q, d, nine, thirteen)
+	if cert != nil {
+		t.Error("CheckPair accepted the example; the erratum expects a condition 5 failure")
+	}
+	if !contains(reason, "condition 5") {
+		t.Errorf("expected condition 5 failure, got: %s", reason)
+	}
+}
+
+func TestExample61Condition4Failure(t *testing.T) {
+	// Example 61: a PTIME query with two repeated relations where the
+	// candidate canonical database fails condition 4 (exogenous mirroring).
+	q := cq.MustParse("q :- A(x)^x, R(x), S(x,y), S(z,y), R(z), B(z)^x")
+	d := db.New()
+	d.AddNames("R", "1")
+	d.AddNames("A", "1")
+	d.AddNames("S", "1", "2")
+	d.AddNames("S", "3", "2")
+	d.AddNames("R", "3")
+	d.AddNames("B", "3")
+	a := db.NewTuple("R", d.Const("1"))
+	b := db.NewTuple("R", d.Const("3"))
+	cert, reason := CheckPair(q, d, a, b)
+	if cert != nil {
+		t.Fatal("Example 61's database must NOT form an IJP")
+	}
+	if !contains(reason, "condition 4") {
+		t.Errorf("expected condition 4 failure, got: %s", reason)
+	}
+}
+
+func TestCheckRejectsComparableEndpoints(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "2")
+	a := db.NewTuple("R", d.Const("1"), d.Const("2"))
+	b := db.NewTuple("R", d.Const("2"), d.Const("2"))
+	if cert, _ := CheckPair(q, d, a, b); cert != nil {
+		t.Error("comparable constant sets must violate condition 1")
+	}
+}
+
+func TestChainCanonicalIJP(t *testing.T) {
+	// The 2-tuple canonical chain database is itself an IJP for qchain.
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	cert := Check(q, d)
+	if cert == nil {
+		t.Fatal("canonical chain database should form an IJP")
+	}
+	if cert.Rho != 1 {
+		t.Errorf("ρ = %d, want 1", cert.Rho)
+	}
+}
+
+func TestSearchFindsQvcIJP(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	cert, tested, _ := Search(q, 1, 6)
+	if cert == nil {
+		t.Fatalf("search failed after %d candidates", tested)
+	}
+}
+
+func TestSearchFindsChainIJP(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	cert, tested, _ := Search(q, 1, 6)
+	if cert == nil {
+		t.Fatalf("search failed after %d candidates", tested)
+	}
+	if cert.Rho < 1 {
+		t.Errorf("ρ = %d, want >= 1", cert.Rho)
+	}
+}
+
+func TestSearchExhaustsEasyPermutation(t *testing.T) {
+	// qperm is PTIME; per the paper's conjecture no IJP should exist.
+	// Search its 1-copy space exhaustively (Bell(2)=2... vars x,y => 2
+	// consts) and 2-copy space (Bell(4)=15).
+	q := cq.MustParse("qperm :- R(x,y), R(y,x)")
+	cert, _, exhausted := Search(q, 2, 6)
+	if cert != nil {
+		t.Fatalf("found an IJP for the PTIME query qperm: %v — contradicts Conjecture 49", cert)
+	}
+	if !exhausted {
+		t.Error("search space should have been exhausted")
+	}
+}
+
+func TestCountPartitionsBellNumbers(t *testing.T) {
+	want := map[int]int{1: 1, 2: 2, 3: 5, 4: 15, 5: 52, 9: 21147}
+	for n, b := range want {
+		if n > 6 && testing.Short() {
+			continue
+		}
+		if got := CountPartitions(n); got != b {
+			t.Errorf("B(%d) = %d, want %d", n, got, b)
+		}
+	}
+}
+
+func TestVCReductionQvc(t *testing.T) {
+	q, d := example58()
+	cert := Check(q, d)
+	if cert == nil {
+		t.Fatal("no IJP")
+	}
+	checkVCReduction(t, q, cert, 3)
+}
+
+func TestVCReductionTriangle(t *testing.T) {
+	q, d := example59()
+	a := db.NewTuple("R", d.Const("1"), d.Const("2"))
+	b := db.NewTuple("R", d.Const("4"), d.Const("5"))
+	cert, reason := CheckPair(q, d, a, b)
+	if cert == nil {
+		t.Fatal(reason)
+	}
+	checkVCReduction(t, q, cert, 1)
+}
+
+func TestVCReductionChain(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	cert := Check(q, d)
+	if cert == nil {
+		t.Fatal("no IJP")
+	}
+	checkVCReduction(t, q, cert, 3)
+}
+
+// checkVCReduction calibrates the per-edge constant on K2 and verifies
+// ρ(D_G) = VC(G) + β|E| on a set of small graphs — the operational content
+// of Conjecture 49 / Figure 8.
+func checkVCReduction(t *testing.T, q *cq.Query, cert *Certificate, copies int) {
+	t.Helper()
+	k2 := vertexcover.NewGraph(2)
+	k2.AddEdge(0, 1)
+	red, err := BuildVCReduction(q, cert, k2, copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resilience.Exact(q, red.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := res.Rho - 1
+	if beta < 0 {
+		t.Fatalf("calibration gave β=%d", beta)
+	}
+	graphs := []*vertexcover.Graph{
+		vertexcover.Path(3),
+		vertexcover.Cycle(4),
+		vertexcover.Star(4),
+		vertexcover.Complete(3),
+	}
+	rng := rand.New(rand.NewSource(61))
+	graphs = append(graphs, vertexcover.RandomGraph(rng, 5, 0.5))
+	for gi, g := range graphs {
+		if g.NumEdges() == 0 {
+			continue
+		}
+		red, err := BuildVCReduction(q, cert, g, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := resilience.Exact(q, red.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, _ := g.MinVertexCover()
+		if res.Rho != vc+beta*g.NumEdges() {
+			t.Errorf("graph %d: ρ=%d, want VC(%d) + β(%d)·|E|(%d) = %d",
+				gi, res.Rho, vc, beta, g.NumEdges(), vc+beta*g.NumEdges())
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,78 @@
+package ijp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cq"
+)
+
+// TestQuickPartitionsAreCanonicalRGS: every emitted partition is a valid
+// restricted growth string (block ids appear in first-use order, starting
+// at 0), which guarantees each set partition is enumerated exactly once.
+func TestQuickPartitionsAreCanonicalRGS(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		seen := map[string]bool{}
+		valid := true
+		partitions(n, func(p []int) bool {
+			maxSoFar := -1
+			for _, b := range p {
+				if b > maxSoFar+1 {
+					valid = false
+					return false
+				}
+				if b > maxSoFar {
+					maxSoFar = b
+				}
+			}
+			key := ""
+			for _, b := range p {
+				key += string(rune('a' + b))
+			}
+			if seen[key] {
+				valid = false
+				return false
+			}
+			seen[key] = true
+			return true
+		})
+		if !valid {
+			return false
+		}
+		// Count must be the Bell number, cross-checked by recurrence.
+		return len(seen) == bell(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bell computes Bell numbers via the Bell triangle.
+func bell(n int) int {
+	row := []int{1}
+	for i := 1; i < n; i++ {
+		next := make([]int, len(row)+1)
+		next[0] = row[len(row)-1]
+		for j := 0; j < len(row); j++ {
+			next[j+1] = next[j] + row[j]
+		}
+		row = next
+	}
+	return row[len(row)-1]
+}
+
+func TestQuotientDBShape(t *testing.T) {
+	// One copy with the identity partition is the canonical database.
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	part := []int{0, 1} // x, y distinct
+	d := quotientDB(q, 1, part)
+	if d.Rel("R").Len() != 2 || d.Rel("S").Len() != 1 {
+		t.Errorf("canonical qvc database wrong: %s", d)
+	}
+	// Collapsing both variables folds the R tuples together.
+	d2 := quotientDB(q, 1, []int{0, 0})
+	if d2.Rel("R").Len() != 1 {
+		t.Errorf("collapsed database should have one R tuple: %s", d2)
+	}
+}

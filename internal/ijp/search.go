@@ -1,0 +1,101 @@
+package ijp
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Search implements the automated IJP hunt of Appendix C.2: for an
+// increasing number k of joins, lay out k disjoint canonical witnesses of q
+// (one fresh constant per variable per copy) and enumerate all partitions
+// of the constants (restricted growth strings — the Bell-number space the
+// paper describes, 21147 partitions for the triangle query's 9 constants).
+// Each quotient database is tested with the Definition 48 checker.
+//
+// maxJoins bounds k; maxConsts aborts a level whose partition space would
+// be infeasible (Bell numbers grow super-exponentially). Search returns the
+// first certificate found, the number of candidate databases tested, and
+// whether the space was exhausted.
+func Search(q *cq.Query, maxJoins, maxConsts int) (*Certificate, int, bool) {
+	tested := 0
+	exhausted := true
+	nv := q.NumVars()
+	for k := 1; k <= maxJoins; k++ {
+		n := k * nv
+		if n > maxConsts {
+			exhausted = false
+			break
+		}
+		var found *Certificate
+		partitions(n, func(part []int) bool {
+			d := quotientDB(q, k, part)
+			tested++
+			if cert := Check(q, d); cert != nil {
+				found = cert
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found, tested, false
+		}
+	}
+	return nil, tested, exhausted
+}
+
+// quotientDB builds the database of k canonical witnesses of q with
+// constants merged according to the partition (part[i] is the block id of
+// constant i; constant i belongs to copy i/nv, variable i%nv).
+func quotientDB(q *cq.Query, k int, part []int) *db.Database {
+	d := db.New()
+	nv := q.NumVars()
+	blockName := func(i int) string { return fmt.Sprintf("p%d", part[i]) }
+	for copy := 0; copy < k; copy++ {
+		for _, a := range q.Atoms {
+			names := make([]string, len(a.Args))
+			for p, v := range a.Args {
+				names[p] = blockName(copy*nv + int(v))
+			}
+			d.AddNames(a.Rel, names...)
+		}
+	}
+	return d
+}
+
+// partitions enumerates all set partitions of {0..n-1} via restricted
+// growth strings, calling fn with the block assignment; fn returning false
+// stops the enumeration.
+func partitions(n int, fn func([]int) bool) {
+	a := make([]int, n)
+	var rec func(i, maxBlock int) bool
+	rec = func(i, maxBlock int) bool {
+		if i == n {
+			return fn(a)
+		}
+		for b := 0; b <= maxBlock+1; b++ {
+			a[i] = b
+			nm := maxBlock
+			if b > maxBlock {
+				nm = b
+			}
+			if !rec(i+1, nm) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, -1)
+}
+
+// CountPartitions returns the Bell number B(n) by direct enumeration (for
+// tests and for reporting search-space sizes; the paper quotes B(9)=21147).
+func CountPartitions(n int) int {
+	count := 0
+	partitions(n, func([]int) bool {
+		count++
+		return true
+	})
+	return count
+}

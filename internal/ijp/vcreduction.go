@@ -1,0 +1,147 @@
+package ijp
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/vertexcover"
+)
+
+// VCReduction materializes the generalized Vertex Cover reduction that an
+// IJP enables (Section 9, Figure 8): every edge of a graph G is replaced by
+// a chain of `copies` renamed instances of the IJP database, endpoint
+// tuples glued junction-to-junction, with the chain's outer endpoints
+// identified with per-vertex tuples shared across all edges at a vertex.
+//
+// By the or-property (condition 5 of Definition 48), each chained copy
+// costs ρ-1 once one of its endpoints is deleted, so
+//
+//	ρ(q, D_G) = VC(G) + β·|E|
+//
+// for a per-edge constant β that depends only on the IJP and chain length
+// (calibrate on K2: β = ρ(D_K2) - 1). The experiment harness validates
+// this equality on random graphs — the operational content of
+// Conjecture 49.
+type VCReduction struct {
+	Q  *cq.Query
+	DB *db.Database
+	// VertexTuple maps each vertex to its shared endpoint tuple.
+	VertexTuple []db.Tuple
+	// Copies is the chain length per edge.
+	Copies int
+}
+
+// BuildVCReduction instantiates the reduction for graph g using IJP
+// certificate cert. Gluing constraints are solved by union-find over
+// per-copy constants, which handles IJPs whose endpoints share constants
+// (e.g. qchain's R(1,2), R(2,3)): there the junction constant of one copy
+// flows into the next copy and ultimately into the vertex tuple. copies
+// must be odd; the paper's Figure 8 uses 3.
+func BuildVCReduction(q *cq.Query, cert *Certificate, g *vertexcover.Graph, copies int) (*VCReduction, error) {
+	if copies < 1 || copies%2 == 0 {
+		return nil, fmt.Errorf("ijp: copies must be odd and positive, got %d", copies)
+	}
+	a, b := cert.A, cert.B
+	if a.Arity != b.Arity {
+		return nil, fmt.Errorf("ijp: endpoint arities differ")
+	}
+	src := cert.DB
+	nc := src.NumConsts()
+
+	out := db.New()
+	red := &VCReduction{Q: q, DB: out, Copies: copies}
+
+	// Union-find elements, per edge: copies*nc copy-constants followed by
+	// 2*arity vertex-slot anchors (u then v).
+	arity := int(a.Arity)
+	elems := copies*nc + 2*arity
+	parent := make([]int, elems)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+	cc := func(t int, v db.Value) int { return t*nc + int(v) }
+	uSlot := func(p int) int { return copies*nc + p }
+	vSlot := func(p int) int { return copies*nc + arity + p }
+
+	// Vertex constant names: one per (vertex, slot), deduplicated by a's
+	// repeated-constant pattern so vertex tuples mirror the endpoint shape.
+	red.VertexTuple = make([]db.Tuple, g.N)
+	vertexConst := make([][]db.Value, g.N)
+	for v := 0; v < g.N; v++ {
+		vertexConst[v] = make([]db.Value, arity)
+		seen := map[db.Value]db.Value{}
+		args := make([]db.Value, arity)
+		for p := 0; p < arity; p++ {
+			orig := a.Args[p]
+			if mapped, ok := seen[orig]; ok {
+				vertexConst[v][p] = mapped
+			} else {
+				vertexConst[v][p] = out.Const(fmt.Sprintf("vx%d_%d", v, p))
+				seen[orig] = vertexConst[v][p]
+			}
+			args[p] = vertexConst[v][p]
+		}
+		t := db.NewTuple(a.Rel, args...)
+		out.AddTuple(t)
+		red.VertexTuple[v] = t
+	}
+
+	srcTuples := src.AllTuples()
+	for ei, e := range g.Edges() {
+		// Reset union-find for this edge.
+		for i := range parent {
+			parent[i] = i
+		}
+		// Junctions between consecutive copies.
+		for t := 0; t+1 < copies; t++ {
+			for p := 0; p < arity; p++ {
+				union(cc(t, b.Args[p]), cc(t+1, a.Args[p]))
+			}
+		}
+		// Outer endpoints onto vertex slots.
+		for p := 0; p < arity; p++ {
+			union(cc(0, a.Args[p]), uSlot(p))
+			union(cc(copies-1, b.Args[p]), vSlot(p))
+		}
+		// Resolve classes to output constants.
+		resolved := make(map[int]db.Value)
+		for p := 0; p < arity; p++ {
+			for slot, vc := range map[int]db.Value{
+				uSlot(p): vertexConst[e[0]][p],
+				vSlot(p): vertexConst[e[1]][p],
+			} {
+				root := find(slot)
+				if prev, ok := resolved[root]; ok && prev != vc {
+					return nil, fmt.Errorf("ijp: edge %d: chain of %d copies forces two vertices to share a constant; use a longer chain", ei, copies)
+				}
+				resolved[root] = vc
+			}
+		}
+		nameOf := func(t int, v db.Value) db.Value {
+			root := find(cc(t, v))
+			if val, ok := resolved[root]; ok {
+				return val
+			}
+			val := out.Const(fmt.Sprintf("e%d_k%d", ei, root))
+			resolved[root] = val
+			return val
+		}
+		for t := 0; t < copies; t++ {
+			for _, tup := range srcTuples {
+				args := make([]db.Value, tup.Arity)
+				for p, v := range tup.Values() {
+					args[p] = nameOf(t, v)
+				}
+				out.AddTuple(db.NewTuple(tup.Rel, args...))
+			}
+		}
+	}
+	return red, nil
+}

@@ -1,0 +1,130 @@
+// Package matching implements maximum bipartite matching (Hopcroft-Karp)
+// and König's construction of a minimum vertex cover from a maximum
+// matching.
+//
+// Proposition 33 of the paper solves RES(qAperm) by reduction to vertex
+// cover in a bipartite graph; this package is that substrate.
+package matching
+
+// Bipartite is a bipartite graph with left vertices 0..nLeft-1 and right
+// vertices 0..nRight-1.
+type Bipartite struct {
+	nLeft, nRight int
+	adj           [][]int
+}
+
+// NewBipartite returns an empty bipartite graph with the given part sizes.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// AddEdge connects left vertex l to right vertex r.
+func (g *Bipartite) AddEdge(l, r int) {
+	g.adj[l] = append(g.adj[l], r)
+}
+
+// MaxMatching computes a maximum matching with Hopcroft-Karp and returns
+// its size together with matchL (right partner of each left vertex, -1 if
+// unmatched) and matchR.
+func (g *Bipartite) MaxMatching() (size int, matchL, matchR []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, g.nLeft)
+	matchR = make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, g.nLeft)
+
+	bfs := func() bool {
+		queue := make([]int, 0, g.nLeft)
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return size, matchL, matchR
+}
+
+// MinVertexCover returns a minimum vertex cover (König's theorem): the
+// boolean slices mark covered left and right vertices. Its size equals the
+// maximum matching size.
+func (g *Bipartite) MinVertexCover() (coverL, coverR []bool, size int) {
+	size, matchL, matchR := g.MaxMatching()
+	// Alternating BFS from unmatched left vertices.
+	visitedL := make([]bool, g.nLeft)
+	visitedR := make([]bool, g.nRight)
+	var queue []int
+	for u := 0; u < g.nLeft; u++ {
+		if matchL[u] == -1 {
+			visitedL[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if visitedR[v] {
+				continue
+			}
+			visitedR[v] = true
+			if w := matchR[v]; w != -1 && !visitedL[w] {
+				visitedL[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	coverL = make([]bool, g.nLeft)
+	coverR = make([]bool, g.nRight)
+	for u := 0; u < g.nLeft; u++ {
+		coverL[u] = !visitedL[u]
+	}
+	for v := 0; v < g.nRight; v++ {
+		coverR[v] = visitedR[v]
+	}
+	return coverL, coverR, size
+}

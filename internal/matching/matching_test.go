@@ -1,0 +1,123 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerfectMatching(t *testing.T) {
+	g := NewBipartite(3, 3)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 1)
+	g.AddEdge(2, 2)
+	size, mL, _ := g.MaxMatching()
+	if size != 3 {
+		t.Fatalf("matching = %d, want 3", size)
+	}
+	for u, v := range mL {
+		if v == -1 {
+			t.Errorf("left %d unmatched in perfect matching", u)
+		}
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	g := NewBipartite(4, 4)
+	size, _, _ := g.MaxMatching()
+	if size != 0 {
+		t.Errorf("matching = %d, want 0", size)
+	}
+	_, _, cover := g.MinVertexCover()
+	if cover != 0 {
+		t.Errorf("cover = %d, want 0", cover)
+	}
+}
+
+func TestKoenigCoverIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nL := 1 + rng.Intn(7)
+		nR := 1 + rng.Intn(7)
+		g := NewBipartite(nL, nR)
+		type e struct{ l, r int }
+		var edges []e
+		for i := 0; i < nL*nR/2+1; i++ {
+			l, r := rng.Intn(nL), rng.Intn(nR)
+			g.AddEdge(l, r)
+			edges = append(edges, e{l, r})
+		}
+		coverL, coverR, size := g.MinVertexCover()
+		msize, _, _ := g.MaxMatching()
+		if size != msize {
+			t.Fatalf("König size %d != matching %d", size, msize)
+		}
+		n := 0
+		for _, c := range coverL {
+			if c {
+				n++
+			}
+		}
+		for _, c := range coverR {
+			if c {
+				n++
+			}
+		}
+		if n != size {
+			t.Fatalf("cover has %d vertices, reported %d", n, size)
+		}
+		for _, ed := range edges {
+			if !coverL[ed.l] && !coverR[ed.r] {
+				t.Fatalf("edge (%d,%d) uncovered", ed.l, ed.r)
+			}
+		}
+	}
+}
+
+func TestHopcroftKarpVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nL := 1 + rng.Intn(6)
+		nR := 1 + rng.Intn(6)
+		g := NewBipartite(nL, nR)
+		adj := make([][]bool, nL)
+		for i := range adj {
+			adj[i] = make([]bool, nR)
+		}
+		for i := 0; i < nL*nR/2+1; i++ {
+			l, r := rng.Intn(nL), rng.Intn(nR)
+			if !adj[l][r] {
+				adj[l][r] = true
+				g.AddEdge(l, r)
+			}
+		}
+		size, _, _ := g.MaxMatching()
+		if want := bruteMatching(adj, nL, nR); size != want {
+			t.Fatalf("trial %d: HK=%d brute=%d", trial, size, want)
+		}
+	}
+}
+
+func bruteMatching(adj [][]bool, nL, nR int) int {
+	usedR := make([]bool, nR)
+	best := 0
+	var rec func(l, cur int)
+	rec = func(l, cur int) {
+		if cur > best {
+			best = cur
+		}
+		if l == nL {
+			return
+		}
+		rec(l+1, cur)
+		for r := 0; r < nR; r++ {
+			if adj[l][r] && !usedR[r] {
+				usedR[r] = true
+				rec(l+1, cur+1)
+				usedR[r] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}

@@ -1,0 +1,197 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/sat"
+)
+
+// Chain3SAT is the 3SAT → RES(qchain-family) reduction of Proposition 10
+// and Lemmas 52-54: a database Dψ and budget kψ with
+//
+//	ψ ∈ 3SAT  ⇔  ρ(q, Dψ) = kψ   (and ρ > kψ otherwise)
+//
+// for qchain and each of its unary expansions (Figure 6a).
+type Chain3SAT struct {
+	DB *db.Database
+	K  int
+}
+
+// ChainLayout selects the gadget orientation. The variable gadget is the
+// same in all layouts — a cycle of 2m R-tuples per variable,
+// T_j = R(v_i^j, w_i^j) ("true"/blue) and F_j = R(w_i^j, v_i^{j+1 mod m})
+// ("false"/red), whose minimum covers are exactly the all-T and all-F
+// alternating sets (cost m) — but the clause gadgets differ because unary
+// atoms change which tuples can cheaply kill connector witnesses.
+type ChainLayout int
+
+const (
+	// LayoutOut (Proposition 10 / Lemma 52): connectors leave the variable
+	// cycle into clause pendants, R(w_i^j, a'_j) for a positive literal
+	// (the witness {T_j, connector} is pre-broken when the literal is
+	// true) and R(v_i^{j+1}, a'_j) for a negative one. Sound for qchain
+	// and the B/C expansions, where no unary atom sits at the chain start.
+	LayoutOut ChainLayout = iota
+	// LayoutIn (Lemma 53): connector nodes a''_j inside the clause gadget
+	// with R(a''_j, a'_j) and a literal edge R(a''_j, v_i^j) (positive;
+	// the literal witness (a'', v_i^j, w_i^j) contains T_j) or
+	// R(a''_j, w_i^j) (negative). Needed when an A-atom guards the chain
+	// start: all connector witnesses now start inside the clause gadget.
+	LayoutIn
+	// LayoutStar (Lemma 54): pendant chains exit through star nodes,
+	// R(a'_j, *a_j), R(*a_j, a''_j), and the literal edge runs from the
+	// variable cycle into a''_j: R(w_i^j, a''_j) for positive (witness
+	// {A(v_i^j), T_j, link, C(a''_j)}), R(v_i^{j+1}, a''_j) for negative.
+	// Needed when both A and C atoms bound the chain.
+	LayoutStar
+)
+
+// LayoutFor returns the verified layout for a chain expansion given which
+// unary relations the target query uses ("A" at x, "B" at y, "C" at z).
+// The second result says whether the database must be mirrored (all
+// R-tuples reversed): qcchain is the exact mirror image of qachain —
+// reversing every R-tuple carries ρ(qachain, D) to ρ(qcchain, reverse(D))
+// — so the C-side expansions reuse the A-side gadgets through reversal.
+func LayoutFor(unary ...string) (ChainLayout, bool) {
+	hasA, hasC := false, false
+	for _, u := range unary {
+		switch u {
+		case "A":
+			hasA = true
+		case "C":
+			hasC = true
+		}
+	}
+	switch {
+	case hasA && hasC:
+		return LayoutStar, false
+	case hasA:
+		return LayoutIn, false
+	case hasC:
+		return LayoutIn, true
+	default:
+		return LayoutOut, false
+	}
+}
+
+// reverseBinary returns a copy of d with every binary tuple reversed
+// (unary tuples unchanged). Chain witnesses (x,y,z) map to (z,y,x), so
+// resilience under a query is resilience of the mirror query on the
+// reversed database.
+func reverseBinary(d *db.Database) *db.Database {
+	out := db.New()
+	for _, t := range d.AllTuples() {
+		if t.Arity == 2 {
+			out.AddNames(t.Rel, d.ConstName(t.Args[1]), d.ConstName(t.Args[0]))
+		} else {
+			names := make([]string, t.Arity)
+			for i, v := range t.Values() {
+				names[i] = d.ConstName(v)
+			}
+			out.AddNames(t.Rel, names...)
+		}
+	}
+	return out
+}
+
+// NewChain3SAT builds the reduction for ψ targeting the chain expansion
+// with the given unary relations (subset of {"A","B","C"}), choosing the
+// sound gadget layout automatically. kψ = n·m + 5·m: m per variable cycle
+// plus 5 per satisfied clause gadget (6 when unsatisfiable, which pushes ρ
+// above kψ).
+func NewChain3SAT(psi *sat.Formula, unaryRels ...string) *Chain3SAT {
+	layout, mirror := LayoutFor(unaryRels...)
+	red := NewChain3SATLayout(psi, layout, unaryRels...)
+	if mirror {
+		red.DB = reverseBinary(red.DB)
+	}
+	return red
+}
+
+// NewChain3SATLayout builds the reduction with an explicit layout (the
+// tests use this to demonstrate which layouts fail for which expansions).
+func NewChain3SATLayout(psi *sat.Formula, layout ChainLayout, unaryRels ...string) *Chain3SAT {
+	d := db.New()
+	m := len(psi.Clauses)
+	n := psi.NumVars
+	if m == 0 {
+		panic("reduction: formula needs at least one clause")
+	}
+
+	pos := func(i, j int) string { return fmt.Sprintf("v%d_%d", i, j) }
+	neg := func(i, j int) string { return fmt.Sprintf("w%d_%d", i, j) }
+
+	// Variable gadgets: cycles of 2m tuples.
+	for i := 1; i <= n; i++ {
+		for j := 0; j < m; j++ {
+			d.AddNames("R", pos(i, j), neg(i, j))       // T_j (blue, "true")
+			d.AddNames("R", neg(i, j), pos(i, (j+1)%m)) // F_j (red, "false")
+		}
+	}
+
+	// Clause gadgets.
+	for j, clause := range psi.Clauses {
+		a := fmt.Sprintf("a%d", j)
+		b := fmt.Sprintf("b%d", j)
+		c := fmt.Sprintf("c%d", j)
+		corner := []string{a, b, c}
+		d.AddNames("R", a, b)
+		d.AddNames("R", b, c)
+		d.AddNames("R", c, a)
+		for _, x := range corner {
+			d.AddNames("R", x+"'", x) // pendant
+		}
+		for p, lit := range clause {
+			if p >= 3 {
+				break
+			}
+			i := lit.Var()
+			prime := corner[p] + "'"
+			dprime := corner[p] + "''"
+			star := corner[p] + "*"
+			switch layout {
+			case LayoutOut:
+				if lit.Positive() {
+					d.AddNames("R", neg(i, j), prime)
+				} else {
+					d.AddNames("R", pos(i, (j+1)%m), prime)
+				}
+			case LayoutIn:
+				d.AddNames("R", dprime, prime)
+				if lit.Positive() {
+					d.AddNames("R", dprime, pos(i, j))
+				} else {
+					d.AddNames("R", dprime, neg(i, j))
+				}
+			case LayoutStar:
+				d.AddNames("R", prime, star)
+				d.AddNames("R", star, dprime)
+				if lit.Positive() {
+					d.AddNames("R", neg(i, j), dprime)
+				} else {
+					d.AddNames("R", pos(i, (j+1)%m), dprime)
+				}
+			}
+		}
+	}
+
+	// Unary expansions: one tuple per constant per requested relation,
+	// preserving every witness (Lemmas 52-54 show the unary tuples are
+	// never strictly better than R-tuples under the matching layout).
+	if len(unaryRels) > 0 {
+		consts := map[string]bool{}
+		for _, t := range d.AllTuples() {
+			for _, v := range t.Values() {
+				consts[d.ConstName(v)] = true
+			}
+		}
+		for _, rel := range unaryRels {
+			for cname := range consts {
+				d.AddNames(rel, cname)
+			}
+		}
+	}
+
+	return &Chain3SAT{DB: d, K: n*m + 5*m}
+}

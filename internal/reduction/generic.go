@@ -1,0 +1,346 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/vertexcover"
+)
+
+// This file holds the paper's generic, query-parametric reductions — the
+// constructions that carry hardness from one query to a whole class:
+//
+//   - SelfJoinVariationDB  (Lemma 21):   RES(q) ≤ RES(qsj) for any minimal
+//     self-join variation qsj of an sj-free q, via variable-tagged constants;
+//   - NewPathVC            (Thms 27/28): RES(qvc) ≤ RES(q) for any minimal
+//     ssj query containing a unary or binary path;
+//   - Embed                (Props 30/35): the witness-preserving database
+//     embedding behind the chain and bounded-permutation hardness proofs.
+//
+// Each is an executable database transformer whose defining property —
+// resilience is preserved exactly — is validated against the exact solver
+// in the tests and in experiment S5/S6.
+
+// SelfJoinVariationDB implements the mapping of Lemma 21. qfree is an
+// sj-free query, qsj a self-join variation of it (same body, some relation
+// symbols replaced by repeated ones, atom by atom), and d a database for
+// qfree. The result D' tags every constant with the variable position it
+// instantiates, so the new self-joins cannot produce extra witnesses:
+// contingency sets of (qfree, d) and (qsj, D') are in 1:1 correspondence
+// and ρ is preserved exactly.
+//
+// The lemma requires qsj to be minimal (Example 22 shows the map fails on
+// non-minimal variations, where a reassignment could make one tuple do
+// "double duty"), so non-minimal variations are rejected.
+func SelfJoinVariationDB(qfree, qsj *cq.Query, d *db.Database) (*db.Database, error) {
+	if len(qfree.Atoms) != len(qsj.Atoms) {
+		return nil, fmt.Errorf("reduction: queries have %d vs %d atoms", len(qfree.Atoms), len(qsj.Atoms))
+	}
+	for i := range qfree.Atoms {
+		af, as := qfree.Atoms[i], qsj.Atoms[i]
+		if len(af.Args) != len(as.Args) {
+			return nil, fmt.Errorf("reduction: atom %d arity mismatch", i)
+		}
+		for p := range af.Args {
+			if qfree.VarName(af.Args[p]) != qsj.VarName(as.Args[p]) {
+				return nil, fmt.Errorf("reduction: atom %d argument %d: %s vs %s",
+					i, p, qfree.VarName(af.Args[p]), qsj.VarName(as.Args[p]))
+			}
+		}
+	}
+	if !qsj.IsMinimal() {
+		return nil, fmt.Errorf("reduction: %s is not minimal; Lemma 21 does not apply (cf. Example 22)", qsj.Name)
+	}
+	out := db.New()
+	eval.ForEachWitness(qfree, d, func(w eval.Witness) bool {
+		for _, a := range qsj.Atoms {
+			names := make([]string, len(a.Args))
+			for p, v := range a.Args {
+				vn := qsj.VarName(v)
+				names[p] = d.ConstName(w[v]) + "@" + vn
+			}
+			out.AddNames(a.Rel, names...)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// PathVC is the Theorem 27 / Theorem 28 reduction: for a minimal ssj query
+// q containing a path — two atoms of the self-join relation R that share
+// no variable — it maps a Vertex Cover instance G to a database D' with
+//
+//	ρ(q, D') = VC(G).
+//
+// Endpoint variables map to the edge's vertices; every other variable is
+// replicated Copies ways so that tuples outside the R-endpoints can only
+// break one replicated witness at a time and are never worth choosing.
+type PathVC struct {
+	Q  *cq.Query
+	DB *db.Database
+	// Copies is the replication factor for non-endpoint variables. Any
+	// value ≥ 2 preserves resilience exactly — killing an edge's witnesses
+	// through replicated tuples then costs at least 2 where an endpoint
+	// tuple costs 1, so minimum contingency sets never use them. The paper
+	// uses n extra values; we use 3 to keep witness counts small for the
+	// exact-solver validation.
+	Copies int
+}
+
+// NewPathVC builds the reduction. For a unary self-join relation the
+// endpoints are the variables of the first two R-atoms (Theorem 27); for a
+// binary one, a pair of R-atoms with disjoint variables is required and
+// the endpoint classes are the R-connected components of their variables
+// (Theorem 28; R-atoms then hold diagonal tuples (a,a), (b,b)).
+func NewPathVC(q *cq.Query, g *vertexcover.Graph) (*PathVC, error) {
+	sjRels := q.SelfJoinRelations()
+	if len(sjRels) != 1 {
+		return nil, fmt.Errorf("reduction: query must have exactly one self-join relation, got %v", sjRels)
+	}
+	rel := sjRels[0]
+	rAtoms := q.AtomsOf(rel)
+
+	// classOf[v] groups variables connected through R-atoms; endpoint
+	// variables map to graph vertices class-wide.
+	classOf := map[cq.Var]int{}
+	var classes [][]cq.Var
+	if q.Arity(rel) == 1 {
+		x := q.Atoms[rAtoms[0]].Args[0]
+		y := q.Atoms[rAtoms[1]].Args[0]
+		if x == y {
+			return nil, fmt.Errorf("reduction: R-atoms share variable %s; not a unary path", q.VarName(x))
+		}
+		classes = [][]cq.Var{{x}, {y}}
+	} else {
+		// Union-find over variables via shared R-atoms.
+		parent := map[cq.Var]cq.Var{}
+		var find func(cq.Var) cq.Var
+		find = func(v cq.Var) cq.Var {
+			p, ok := parent[v]
+			if !ok || p == v {
+				parent[v] = v
+				return v
+			}
+			r := find(p)
+			parent[v] = r
+			return r
+		}
+		for _, i := range rAtoms {
+			vs := q.VarsOf(i)
+			for _, v := range vs[1:] {
+				parent[find(v)] = find(vs[0])
+			}
+		}
+		var pair [2]int // indexes into rAtoms of a disjoint pair
+		found := false
+	search:
+		for i := 0; i < len(rAtoms); i++ {
+			for j := i + 1; j < len(rAtoms); j++ {
+				if find(q.Atoms[rAtoms[i]].Args[0]) != find(q.Atoms[rAtoms[j]].Args[0]) {
+					pair = [2]int{rAtoms[i], rAtoms[j]}
+					found = true
+					break search
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("reduction: no binary path: all %s-atoms are R-connected", rel)
+		}
+		rx := find(q.Atoms[pair[0]].Args[0])
+		rz := find(q.Atoms[pair[1]].Args[0])
+		byRoot := map[cq.Var][]cq.Var{}
+		for v := cq.Var(0); int(v) < q.NumVars(); v++ {
+			if _, ok := parent[v]; ok {
+				byRoot[find(v)] = append(byRoot[find(v)], v)
+			}
+		}
+		classes = [][]cq.Var{byRoot[rx], byRoot[rz]}
+	}
+	for side, cls := range classes {
+		for _, v := range cls {
+			classOf[v] = side
+		}
+	}
+
+	copies := 3
+	out := db.New()
+	vertex := func(side int, e [2]int) string { return fmt.Sprintf("v%d", e[side]) }
+	for _, e := range g.Edges() {
+		for c := 1; c <= copies; c++ {
+			for _, a := range q.Atoms {
+				names := make([]string, len(a.Args))
+				for p, v := range a.Args {
+					if side, ok := classOf[v]; ok {
+						names[p] = vertex(side, e)
+					} else {
+						names[p] = fmt.Sprintf("e%d_%d.%s.c%d", e[0], e[1], q.VarName(v), c)
+					}
+				}
+				// Atoms whose variables are all endpoint-mapped yield the
+				// same tuple for every copy; the set semantics dedupes.
+				out.AddNames(a.Rel, names...)
+			}
+		}
+	}
+	return &PathVC{Q: q, DB: out, Copies: copies}, nil
+}
+
+// NewConfluenceVC is the Proposition 32 hardness reduction: for a
+// pseudo-linear query whose only self-join is a 2-confluence
+// R(x,y), R(z,y) with an exogenous path from x to z avoiding y
+// (e.g. cfp :- R(x,y), H(x,z)^x, R(z,y), where RES(cfp) ≡ RES(qvc)),
+// it maps a graph G to a database with ρ(q, D') = VC(G):
+//
+//   - y takes one global constant, so R(u, y0) acts as the vertex tuple u
+//     (it hits every witness incident to u, in either role);
+//   - each edge (u,v) instantiates the whole query body once, with the
+//     exogenous-path variables taking per-edge constants — the path plays
+//     the role of qvc's S(x,y) edge relation and cannot be deleted;
+//   - all remaining variables take per-edge private constants.
+//
+// Domination normalization guarantees no endogenous atom over y alone can
+// exist in the fragment (it would dominate R), so the shared y constant
+// cannot be killed in one deletion.
+func NewConfluenceVC(q *cq.Query, g *vertexcover.Graph) (*PathVC, error) {
+	sjRels := q.SelfJoinRelations()
+	if len(sjRels) != 1 {
+		return nil, fmt.Errorf("reduction: query must have exactly one self-join relation, got %v", sjRels)
+	}
+	rel := sjRels[0]
+	rAtoms := q.AtomsOf(rel)
+	if len(rAtoms) != 2 || q.Arity(rel) != 2 {
+		return nil, fmt.Errorf("reduction: %s is not a binary 2-confluence", rel)
+	}
+	a, b := q.Atoms[rAtoms[0]], q.Atoms[rAtoms[1]]
+	var x, z, y cq.Var
+	switch {
+	case a.Args[1] == b.Args[1] && a.Args[0] != b.Args[0]:
+		x, z, y = a.Args[0], b.Args[0], a.Args[1]
+	case a.Args[0] == b.Args[0] && a.Args[1] != b.Args[1]:
+		x, z, y = a.Args[1], b.Args[1], a.Args[0]
+	default:
+		return nil, fmt.Errorf("reduction: %s-atoms do not form a confluence", rel)
+	}
+
+	out := db.New()
+	for _, e := range g.Edges() {
+		for _, atom := range q.Atoms {
+			names := make([]string, len(atom.Args))
+			for p, v := range atom.Args {
+				switch v {
+				case x:
+					names[p] = fmt.Sprintf("v%d", e[0])
+				case z:
+					names[p] = fmt.Sprintf("v%d", e[1])
+				case y:
+					names[p] = "y0"
+				default:
+					names[p] = fmt.Sprintf("e%d_%d.%s", e[0], e[1], q.VarName(v))
+				}
+			}
+			out.AddNames(atom.Rel, names...)
+		}
+	}
+	return &PathVC{Q: q, DB: out, Copies: 1}, nil
+}
+
+// Embed is the witness-preserving database embedding used by the
+// Proposition 30 (chains) and Proposition 35 case 2 (bounded permutations)
+// hardness proofs: given a source query qsrc with database d, it maps each
+// witness of (qsrc, d) to one block of tuples for the target query qdst.
+//
+// varMap sends target variable names to source variable names. A mapped
+// variable takes the witness's value for its source variable; an unmapped
+// variable takes a private constant unique to the witness, so its tuples
+// participate in exactly that witness block and are never a strictly
+// better contingency choice than the mapped tuples they accompany.
+//
+// When qdst is pseudo-linear and varMap covers exactly the shared pattern
+// variables (x,y,z of a chain; the isLike-x / isLike-y classes of a bound
+// permutation, see PermVarMap), ρ(qdst, Embed(...)) = ρ(qsrc, d).
+func Embed(qsrc, qdst *cq.Query, varMap map[string]string, d *db.Database) (*db.Database, error) {
+	srcVar := map[string]cq.Var{}
+	for dstName, srcName := range varMap {
+		v, ok := qsrc.LookupVar(srcName)
+		if !ok {
+			return nil, fmt.Errorf("reduction: source variable %s (for target %s) not in %s", srcName, dstName, qsrc.Name)
+		}
+		srcVar[dstName] = v
+	}
+	out := db.New()
+	wi := 0
+	eval.ForEachWitness(qsrc, d, func(w eval.Witness) bool {
+		for _, a := range qdst.Atoms {
+			names := make([]string, len(a.Args))
+			for p, v := range a.Args {
+				vn := qdst.VarName(v)
+				if sv, ok := srcVar[vn]; ok {
+					names[p] = d.ConstName(w[sv])
+				} else {
+					names[p] = fmt.Sprintf("w%d.%s", wi, vn)
+				}
+			}
+			out.AddNames(a.Rel, names...)
+		}
+		wi++
+		return true
+	})
+	return out, nil
+}
+
+// PermVarMap computes the variable map of Proposition 35 case 2 for a
+// target query q whose only self-join is the permutation R(x,y), R(y,x):
+// every variable is classified isLike-x or isLike-y according to which
+// side of the permutation it attaches to once the two R-atoms are removed,
+// and mapped to the source variable "x" or "y" of qABperm accordingly.
+func PermVarMap(q *cq.Query, xName, yName string) (map[string]string, error) {
+	sjRels := q.SelfJoinRelations()
+	if len(sjRels) != 1 {
+		return nil, fmt.Errorf("reduction: query must have exactly one self-join relation, got %v", sjRels)
+	}
+	rel := sjRels[0]
+	rAtoms := q.AtomsOf(rel)
+	if len(rAtoms) != 2 {
+		return nil, fmt.Errorf("reduction: want exactly two %s-atoms, got %d", rel, len(rAtoms))
+	}
+	a0, a1 := q.Atoms[rAtoms[0]], q.Atoms[rAtoms[1]]
+	if len(a0.Args) != 2 || a0.Args[0] != a1.Args[1] || a0.Args[1] != a1.Args[0] || a0.Args[0] == a0.Args[1] {
+		return nil, fmt.Errorf("reduction: %s-atoms do not form a permutation", rel)
+	}
+	x, y := a0.Args[0], a0.Args[1]
+
+	// Components of q minus the two R-atoms.
+	var rest []int
+	for i := range q.Atoms {
+		if i != rAtoms[0] && i != rAtoms[1] {
+			rest = append(rest, i)
+		}
+	}
+	sub := q.SubQuery(rest)
+	out := map[string]string{q.VarName(x): xName, q.VarName(y): yName}
+	for _, comp := range sub.Components() {
+		compVars := map[string]bool{}
+		for _, i := range comp {
+			for _, v := range sub.VarsOf(i) {
+				compVars[sub.VarName(v)] = true
+			}
+		}
+		var side string
+		switch {
+		case compVars[q.VarName(x)] && compVars[q.VarName(y)]:
+			return nil, fmt.Errorf("reduction: a non-R component touches both x and y; query is not a clean bound permutation")
+		case compVars[q.VarName(x)]:
+			side = xName
+		case compVars[q.VarName(y)]:
+			side = yName
+		default:
+			return nil, fmt.Errorf("reduction: component %v touches neither x nor y", comp)
+		}
+		for vn := range compVars {
+			out[vn] = side
+		}
+	}
+	return out, nil
+}

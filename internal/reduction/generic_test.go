@@ -1,0 +1,284 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/resilience"
+	"repro/internal/vertexcover"
+)
+
+// rhoOf computes ρ or fails the test; unbreakable instances return -1 so
+// callers can assert both sides agree even when no contingency set exists.
+func rhoOf(t *testing.T, q *cq.Query, d *db.Database) int {
+	t.Helper()
+	res, err := resilience.Exact(q, d)
+	if err == resilience.ErrUnbreakable {
+		return -1
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", q.Name, err)
+	}
+	return res.Rho
+}
+
+// --- Lemma 21: self-join variations preserve resilience exactly ---
+
+func TestSelfJoinVariationTriangle(t *testing.T) {
+	qfree := cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)")
+	variations := []*cq.Query{
+		cq.MustParse("qsj1 :- R(x,y), R(y,z), R(z,x)"),
+		cq.MustParse("qsj2 :- R(x,y), R(y,z), T(z,x)"),
+		cq.MustParse("qsj3 :- R(x,y), S(y,z), R(z,x)"),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		d := datagen.Random(rng, qfree, 5, 8, 0)
+		if !eval.Satisfied(qfree, d) {
+			continue
+		}
+		want := rhoOf(t, qfree, d)
+		for _, qsj := range variations {
+			dsj, err := SelfJoinVariationDB(qfree, qsj, d)
+			if err != nil {
+				t.Fatalf("%s: %v", qsj.Name, err)
+			}
+			if got := rhoOf(t, qsj, dsj); got != want {
+				t.Errorf("trial %d %s: ρ=%d, want %d (= ρ of sj-free source)", trial, qsj.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestSelfJoinVariationChain(t *testing.T) {
+	// qchain itself is a self-join variation of the sj-free two-step path.
+	qfree := cq.MustParse("qpath :- R(x,y), S(y,z)")
+	qsj := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 12; trial++ {
+		d := datagen.Random(rng, qfree, 5, 7, 0)
+		if !eval.Satisfied(qfree, d) {
+			continue
+		}
+		dsj, err := SelfJoinVariationDB(qfree, qsj, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := rhoOf(t, qfree, d), rhoOf(t, qsj, dsj)
+		if got != want {
+			t.Errorf("trial %d: ρ(qchain,D')=%d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSelfJoinVariationWitnessTupleSets(t *testing.T) {
+	// The tagged constants give a 1:1 correspondence of witness *tuple
+	// sets* (and hence of contingency sets). Witness assignments may
+	// multiply — in the all-R variation every source triangle is seen
+	// three times, once per rotation — but all rotations use the same
+	// three tuples, so the number of distinct tuple sets is preserved.
+	qfree := cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)")
+	qsj := cq.MustParse("qsj1 :- R(x,y), R(y,z), R(z,x)")
+	rng := rand.New(rand.NewSource(9))
+	distinctSets := func(q *cq.Query, d *db.Database) int {
+		sets, _ := eval.EndoWitnessSets(q, d)
+		seen := map[string]bool{}
+		for _, set := range sets {
+			ts := append([]db.Tuple(nil), set...)
+			db.SortTuples(ts)
+			key := ""
+			for _, tup := range ts {
+				key += d.TupleString(tup) + ";"
+			}
+			seen[key] = true
+		}
+		return len(seen)
+	}
+	for trial := 0; trial < 8; trial++ {
+		d := datagen.Random(rng, qfree, 5, 9, 0)
+		dsj, err := SelfJoinVariationDB(qfree, qsj, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nf, ns := distinctSets(qfree, d), distinctSets(qsj, dsj); nf != ns {
+			t.Errorf("trial %d: %d source tuple sets vs %d variation tuple sets", trial, nf, ns)
+		}
+	}
+}
+
+func TestSelfJoinVariationRejectsNonMinimal(t *testing.T) {
+	// Example 22: the 4-cycle variation collapses to R(x,y) and the lemma
+	// does not apply.
+	qfree := cq.MustParse("q :- R(x,y), S(z,y), T(z,w), A(x,w)")
+	qsj := cq.MustParse("qsj :- R(x,y), R(z,y), R(z,w), R(x,w)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("S", "3", "2")
+	d.AddNames("T", "3", "4")
+	d.AddNames("A", "1", "4")
+	if _, err := SelfJoinVariationDB(qfree, qsj, d); err == nil {
+		t.Fatal("want rejection of non-minimal variation (Example 22)")
+	}
+}
+
+func TestSelfJoinVariationRejectsBodyMismatch(t *testing.T) {
+	qfree := cq.MustParse("q :- R(x,y), S(y,z)")
+	qsj := cq.MustParse("qsj :- R(x,y), R(z,y)") // different argument order
+	if _, err := SelfJoinVariationDB(qfree, qsj, db.New()); err == nil {
+		t.Fatal("want rejection when atom bodies do not line up")
+	}
+}
+
+// --- Theorems 27/28: the generic path reduction ---
+
+func checkPathVC(t *testing.T, q *cq.Query, rng *rand.Rand, trials int) {
+	t.Helper()
+	for trial := 0; trial < trials; trial++ {
+		g := vertexcover.RandomGraph(rng, 3+rng.Intn(4), 0.5)
+		if g.NumEdges() == 0 {
+			continue
+		}
+		red, err := NewPathVC(q, g)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		vc, _ := g.MinVertexCover()
+		if got := rhoOf(t, q, red.DB); got != vc {
+			t.Errorf("%s trial %d: ρ=%d, VC=%d\ngraph edges: %v", q.Name, trial, got, vc, g.Edges())
+		}
+	}
+}
+
+func TestPathVCUnary(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, qs := range []string{
+		"qvc :- R(x), S(x,y), R(y)",
+		"qpath2 :- R(x), S(x,u), T(u,y), R(y)",
+		"qpathext :- A(x), R(x), S(x,y), R(y), B(y)",
+	} {
+		checkPathVC(t, cq.MustParse(qs), rng, 6)
+	}
+}
+
+func TestPathVCBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, qs := range []string{
+		"z1 :- R(x,x), S(x,y), R(y,y)",
+		"z2 :- R(x,x), S(x,y), R(y,z)",
+		"qbinpath :- R(x,y), S(y,z), R(z,w)",
+	} {
+		checkPathVC(t, cq.MustParse(qs), rng, 6)
+	}
+}
+
+func TestPathVCNamedGraphs(t *testing.T) {
+	q := cq.MustParse("qpath2 :- R(x), S(x,u), T(u,y), R(y)")
+	cases := []struct {
+		g    *vertexcover.Graph
+		want int
+	}{
+		{vertexcover.Cycle(5), 3},
+		{vertexcover.Star(5), 1},
+		{vertexcover.Complete(4), 3},
+	}
+	for i, c := range cases {
+		red, err := NewPathVC(q, c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rhoOf(t, q, red.DB); got != c.want {
+			t.Errorf("case %d: ρ=%d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestPathVCRejectsNonPath(t *testing.T) {
+	// qchain's R-atoms share y: no binary path.
+	if _, err := NewPathVC(cq.MustParse("qchain :- R(x,y), R(y,z)"), vertexcover.Cycle(3)); err == nil {
+		t.Fatal("want rejection: chain atoms are R-connected")
+	}
+	// Two self-join relations are out of scope.
+	if _, err := NewPathVC(cq.MustParse("q :- R(x), S(x,y), R(y), S(y,z)"), vertexcover.Cycle(3)); err == nil {
+		t.Fatal("want rejection: S also self-joins")
+	}
+}
+
+// --- Propositions 30/35: the witness-preserving embedding ---
+
+func TestEmbedChainExpansion(t *testing.T) {
+	// Target: a chain plus satellite atoms hanging off the chain variables.
+	// Source: the matching unary expansion of qchain.
+	qsrc := cq.MustParse("qachain :- A(x), R(x,y), R(y,z)")
+	qdst := cq.MustParse("q :- A(x), R(x,y), R(y,z), S(z,u), F(u,w)")
+	varMap := map[string]string{"x": "x", "y": "y", "z": "z"}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 12; trial++ {
+		d := datagen.Random(rng, qsrc, 5, 8, 0)
+		if !eval.Satisfied(qsrc, d) {
+			continue
+		}
+		dd, err := Embed(qsrc, qdst, varMap, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := rhoOf(t, qsrc, d), rhoOf(t, qdst, dd)
+		if got != want {
+			t.Errorf("trial %d: ρ(target)=%d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestEmbedBoundPermutation(t *testing.T) {
+	// Target: bound permutation with satellites on both sides (Prop 35
+	// case 2). Source: qABperm.
+	qsrc := cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)")
+	qdst := cq.MustParse("q :- A(x), S(u,x), R(x,y), R(y,x), B(y), T(y,w)")
+	varMap, err := PermVarMap(qdst, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vn := range []string{"u"} {
+		if varMap[vn] != "x" {
+			t.Fatalf("variable %s classified %q, want x-side", vn, varMap[vn])
+		}
+	}
+	if varMap["w"] != "y" {
+		t.Fatalf("variable w classified %q, want y-side", varMap["w"])
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 12; trial++ {
+		d := datagen.Random(rng, qsrc, 5, 8, 0.5)
+		if !eval.Satisfied(qsrc, d) {
+			continue
+		}
+		dd, err := Embed(qsrc, qdst, varMap, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := rhoOf(t, qsrc, d), rhoOf(t, qdst, dd)
+		if got != want {
+			t.Errorf("trial %d: ρ(target)=%d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestPermVarMapRejectsBridgingComponent(t *testing.T) {
+	// An atom touching both permutation variables (other than the R-atoms)
+	// merges the sides; the Prop 35 map is then undefined.
+	q := cq.MustParse("q :- A(x), D(x,y), R(x,y), R(y,x), B(y)")
+	if _, err := PermVarMap(q, "x", "y"); err == nil {
+		t.Fatal("want rejection: D(x,y) bridges the permutation sides")
+	}
+}
+
+func TestEmbedRejectsUnknownSourceVariable(t *testing.T) {
+	qsrc := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	qdst := cq.MustParse("q :- R(x,y), R(y,z), S(z,u)")
+	if _, err := Embed(qsrc, qdst, map[string]string{"x": "nope"}, db.New()); err == nil {
+		t.Fatal("want rejection of unmapped source variable")
+	}
+}

@@ -1,0 +1,105 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/sat"
+)
+
+// PermAB3SAT is the 3SAT → RES(qABperm) reduction of Proposition 34
+// (Figure 14), for the bounded permutation query
+//
+//	qABperm :- A(x), R(x,y), R(y,x), B(y).
+//
+// Every mutual R-pair {p,q} with A(p),B(q) present yields the two witnesses
+// (p,q) and (q,p); deleting either orientation of the pair kills both.
+//
+// Construction, per variable i and slot j ∈ [m]:
+//
+//   - constants v (positive), w (negated), s and sb (stars); A- and
+//     B-tuples on all four;
+//   - mutual pairs {v,w}, {w, v_{j+1 mod m}} (the cycle), {s,v} and {sb,w}
+//     (the stars).
+//
+// The two minimum per-slot covers are {A(v), B(v), R(sb,w)} ("true") and
+// {A(w), B(w), R(s,v)} ("false"): 3 per slot, 3m per variable.
+//
+// Clause gadget j: corners a,b,c and primes a',b',c', all carrying A and
+// B; mutual pairs {a,b},{b,c},{c,a} and {a,a'},{b,b'},{c,c'}. Connectors
+// tie the literal's variable constant to the corner with a mutual pair
+// ({v_i^j, a_j} for a positive literal, {w_i^j, a_j} for a negative one).
+// Cost 5 when some literal is satisfied (skip that corner's A,B and pay
+// one prime pair), 6 otherwise.
+//
+// Hence kψ = 3·n·m + 5·m and ψ ∈ 3SAT ⇔ ρ(qABperm, Dψ) = kψ.
+type PermAB3SAT struct {
+	DB *db.Database
+	K  int
+}
+
+// NewPermAB3SAT builds the reduction for ψ.
+func NewPermAB3SAT(psi *sat.Formula) *PermAB3SAT {
+	d := db.New()
+	m := len(psi.Clauses)
+	n := psi.NumVars
+	if m == 0 {
+		panic("reduction: formula needs at least one clause")
+	}
+
+	pos := func(i, j int) string { return fmt.Sprintf("v%d_%d", i, j) }
+	neg := func(i, j int) string { return fmt.Sprintf("w%d_%d", i, j) }
+	star := func(i, j int) string { return fmt.Sprintf("s%d_%d", i, j) }
+	starb := func(i, j int) string { return fmt.Sprintf("t%d_%d", i, j) }
+
+	addPair := func(p, q string) {
+		d.AddNames("R", p, q)
+		d.AddNames("R", q, p)
+	}
+	addAB := func(c string) {
+		d.AddNames("A", c)
+		d.AddNames("B", c)
+	}
+
+	// Variable gadgets.
+	for i := 1; i <= n; i++ {
+		for j := 0; j < m; j++ {
+			for _, c := range []string{pos(i, j), neg(i, j), star(i, j), starb(i, j)} {
+				addAB(c)
+			}
+			addPair(pos(i, j), neg(i, j))
+			addPair(neg(i, j), pos(i, (j+1)%m))
+			addPair(star(i, j), pos(i, j))
+			addPair(starb(i, j), neg(i, j))
+		}
+	}
+
+	// Clause gadgets and connectors.
+	for j, clause := range psi.Clauses {
+		a := fmt.Sprintf("a%d", j)
+		b := fmt.Sprintf("b%d", j)
+		c := fmt.Sprintf("c%d", j)
+		corner := []string{a, b, c}
+		for _, x := range corner {
+			addAB(x)
+			addAB(x + "'")
+			addPair(x, x+"'")
+		}
+		addPair(a, b)
+		addPair(b, c)
+		addPair(c, a)
+		for p, lit := range clause {
+			if p >= 3 {
+				break
+			}
+			i := lit.Var()
+			if lit.Positive() {
+				addPair(pos(i, j), corner[p])
+			} else {
+				addPair(neg(i, j), corner[p])
+			}
+		}
+	}
+
+	return &PermAB3SAT{DB: d, K: 3*n*m + 5*m}
+}

@@ -1,0 +1,77 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+)
+
+func checkPermReduction(t *testing.T, psi *sat.Formula) {
+	t.Helper()
+	q := cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)")
+	red := NewPermAB3SAT(psi)
+	want := psi.Satisfiable()
+	got, err := resilience.Decide(q, red.DB, red.K)
+	if err != nil {
+		t.Fatalf("%v\nformula: %v", err, psi.Clauses)
+	}
+	if got != want {
+		res, _ := resilience.Exact(q, red.DB)
+		t.Fatalf("qABperm reduction broken: sat=%v, ρ=%d, k=%d\nformula: %v",
+			want, res.Rho, red.K, psi.Clauses)
+	}
+	if want {
+		res, err := resilience.ExactWithBudget(q, red.DB, red.K-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rho <= red.K-1 {
+			t.Fatalf("ρ=%d < k=%d: qABperm gadget too weak\nformula: %v", res.Rho, red.K, psi.Clauses)
+		}
+	}
+}
+
+func TestPermAB3SATSatisfiableTiny(t *testing.T) {
+	// All single-clause formulas over 3 variables (always satisfiable).
+	count := 0
+	sat.EnumerateAll3SAT(3, 1, func(psi *sat.Formula) bool {
+		count++
+		checkPermReduction(t, psi)
+		return !t.Failed() && count < 4 // 4 sign patterns keep runtime sane
+	})
+}
+
+func TestPermAB3SATUnsat(t *testing.T) {
+	psi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{
+		{1, 1, 1}, {-1, -1, -1},
+	}}
+	if psi.Satisfiable() {
+		t.Fatal("formula should be unsat")
+	}
+	checkPermReduction(t, psi)
+}
+
+func TestPermAB3SATMixedPolarity(t *testing.T) {
+	psi := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}, {-1, 2, -3}}}
+	checkPermReduction(t, psi)
+}
+
+func TestPermAB3SATVariableGadgetCost(t *testing.T) {
+	// A single-variable, single-clause instance isolates the accounting:
+	// kψ = 3·1·1 + 5 = 8 for the satisfiable clause (x ∨ x ∨ x).
+	psi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}}}
+	red := NewPermAB3SAT(psi)
+	if red.K != 8 {
+		t.Fatalf("k = %d, want 8", red.K)
+	}
+	q := cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)")
+	res, err := resilience.Exact(q, red.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 8 {
+		t.Errorf("ρ = %d, want exactly 8", res.Rho)
+	}
+}

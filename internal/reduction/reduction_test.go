@@ -1,0 +1,217 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+	"repro/internal/vertexcover"
+)
+
+func TestVCtoQVCExactEquivalence(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		g := vertexcover.RandomGraph(rng, 3+rng.Intn(6), 0.5)
+		if g.NumEdges() == 0 {
+			continue
+		}
+		d := VCtoQVC(g)
+		res, err := resilience.Exact(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, _ := g.MinVertexCover()
+		if res.Rho != vc {
+			t.Fatalf("trial %d: ρ=%d VC=%d", trial, res.Rho, vc)
+		}
+	}
+}
+
+func TestVCtoQVCNamedGraphs(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	cases := []struct {
+		g    *vertexcover.Graph
+		want int
+	}{
+		{vertexcover.Cycle(5), 3},
+		{vertexcover.Complete(4), 3},
+		{vertexcover.Star(6), 1},
+		{vertexcover.Path(6), 3}, // wait: P6 has 5 edges, VC = 3? covers: 1,3... P6 vertices 0..5: cover {1,3,4}? edges 01,12,23,34,45 -> {1,3,4} hits 01(1),12(1),23(3),34(3),45(4): size 3.
+	}
+	for i, c := range cases {
+		res, err := resilience.Exact(q, VCtoQVC(c.g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, _ := c.g.MinVertexCover()
+		if res.Rho != vc || vc != c.want {
+			t.Errorf("case %d: ρ=%d, VC=%d, want %d", i, res.Rho, vc, c.want)
+		}
+	}
+}
+
+// checkChainReduction verifies the 3SAT reduction property on ψ for the
+// given query: ψ sat => ρ == k; ψ unsat => ρ > k.
+func checkChainReduction(t *testing.T, q *cq.Query, psi *sat.Formula, unary ...string) {
+	t.Helper()
+	red := NewChain3SAT(psi, unary...)
+	want := psi.Satisfiable()
+	// Decision via budget: (D, k) ∈ RES(q)?
+	got, err := resilience.Decide(q, red.DB, red.K)
+	if err != nil {
+		t.Fatalf("%v\nformula: %v", err, psi.Clauses)
+	}
+	if got != want {
+		res, _ := resilience.Exact(q, red.DB)
+		t.Fatalf("%s: reduction broken: sat=%v but ρ=%d vs k=%d\nformula: %v",
+			q.Name, want, res.Rho, red.K, psi.Clauses)
+	}
+	if want {
+		// Sharper check: ρ must equal k exactly for satisfiable formulas.
+		res, err := resilience.ExactWithBudget(q, red.DB, red.K-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rho <= red.K-1 {
+			t.Fatalf("%s: ρ=%d < k=%d: gadget too weak\nformula: %v", q.Name, res.Rho, red.K, psi.Clauses)
+		}
+	}
+}
+
+func TestChain3SATExhaustiveTiny(t *testing.T) {
+	// All 3-variable single-clause formulas (8 sign patterns): always sat.
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	sat.EnumerateAll3SAT(3, 1, func(psi *sat.Formula) bool {
+		checkChainReduction(t, q, psi)
+		return !t.Failed()
+	})
+}
+
+func TestChain3SATUnsatFormula(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	// Minimal unsatisfiable 3CNF using repeated literals:
+	// (x ∨ x ∨ x) ∧ (¬x ∨ ¬x ∨ ¬x).
+	psi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{
+		{1, 1, 1}, {-1, -1, -1},
+	}}
+	if psi.Satisfiable() {
+		t.Fatal("formula should be unsat")
+	}
+	checkChainReduction(t, q, psi)
+}
+
+func TestChain3SATUnsatTwoVars(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	// (x∨y) ∧ (x∨¬y) ∧ (¬x∨y) ∧ (¬x∨¬y), padded to width 3.
+	psi := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{
+		{1, 2, 2}, {1, -2, -2}, {-1, 2, 2}, {-1, -2, -2},
+	}}
+	if psi.Satisfiable() {
+		t.Fatal("formula should be unsat")
+	}
+	checkChainReduction(t, q, psi)
+}
+
+func TestChain3SATRandomSmall(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 8; trial++ {
+		psi := sat.Random3SAT(rng, 3, 2+rng.Intn(2))
+		checkChainReduction(t, q, psi)
+	}
+}
+
+func TestChain3SATUnaryExpansions(t *testing.T) {
+	// Lemmas 52-54: the same construction extended with unary tuples works
+	// for every expansion of qchain.
+	cases := []struct {
+		q     string
+		unary []string
+	}{
+		{"qachain :- A(x), R(x,y), R(y,z)", []string{"A"}},
+		{"qbchain :- R(x,y), B(y), R(y,z)", []string{"B"}},
+		{"qcchain :- R(x,y), R(y,z), C(z)", []string{"C"}},
+		{"qabchain :- A(x), R(x,y), B(y), R(y,z)", []string{"A", "B"}},
+		{"qacchain :- A(x), R(x,y), R(y,z), C(z)", []string{"A", "C"}},
+		{"qabcchain :- A(x), R(x,y), B(y), R(y,z), C(z)", []string{"A", "B", "C"}},
+	}
+	rng := rand.New(rand.NewSource(53))
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		for trial := 0; trial < 3; trial++ {
+			psi := sat.Random3SAT(rng, 3, 2)
+			checkChainReduction(t, q, psi, c.unary...)
+		}
+	}
+}
+
+func TestChain3SATLayoutMatters(t *testing.T) {
+	// Negative control reproducing the reason Lemma 53 exists: with an
+	// A-atom at the chain start, the LayoutOut connectors (variable cycle
+	// into clause pendants) admit a cheat — A-tuples kill connector
+	// witnesses cheaply — so ρ drops below kψ. LayoutIn repairs it.
+	q := cq.MustParse("qachain :- A(x), R(x,y), R(y,z)")
+	psi := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, 3, 2}, {-2, -1, 3}}}
+	broken := NewChain3SATLayout(psi, LayoutOut, "A")
+	res, err := resilience.Exact(q, broken.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho >= broken.K {
+		t.Errorf("LayoutOut with A: ρ=%d >= k=%d; expected the documented cheat", res.Rho, broken.K)
+	}
+	good := NewChain3SATLayout(psi, LayoutIn, "A")
+	res2, err := resilience.Exact(q, good.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rho != good.K {
+		t.Errorf("LayoutIn with A: ρ=%d, want k=%d (formula is satisfiable)", res2.Rho, good.K)
+	}
+}
+
+func TestChainLayoutSelection(t *testing.T) {
+	cases := []struct {
+		unary []string
+		want  ChainLayout
+	}{
+		{nil, LayoutOut},
+		{[]string{"B"}, LayoutOut},
+		{[]string{"C"}, LayoutIn}, // mirrored qachain gadget
+		{[]string{"B", "C"}, LayoutIn},
+		{[]string{"A"}, LayoutIn},
+		{[]string{"A", "B"}, LayoutIn},
+		{[]string{"A", "C"}, LayoutStar},
+		{[]string{"A", "B", "C"}, LayoutStar},
+	}
+	for _, c := range cases {
+		if got, _ := LayoutFor(c.unary...); got != c.want {
+			t.Errorf("LayoutFor(%v) = %v, want %v", c.unary, got, c.want)
+		}
+	}
+}
+
+func TestChain3SATBudgetDirection(t *testing.T) {
+	// The decision equivalence must be monotone in k: for k' >= k of a
+	// satisfiable formula, (D, k') ∈ RES(qchain) as well.
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	psi := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, 2, 3}, {-1, -2, 3}}}
+	red := NewChain3SAT(psi)
+	ok, err := resilience.Decide(q, red.DB, red.K+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("larger budget must stay a yes-instance")
+	}
+	ok, err = resilience.Decide(q, red.DB, red.K-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("budget k-1 must be a no-instance (minimum is exactly k)")
+	}
+}

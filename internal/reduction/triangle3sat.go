@@ -1,0 +1,268 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/sat"
+)
+
+// Triangle3SAT is the 3SAT → RES(q△) reduction of Proposition 56
+// (Appendix B, Figure 16): a database Dψ over relations R, S, T and a
+// budget kψ = 6·m·n with
+//
+//	ψ ∈ 3SAT  ⇔  ρ(q△, Dψ) = kψ   (and ρ > kψ otherwise)
+//
+// for the triangle query q△ :- R(x,y), S(y,z), T(z,x).
+//
+// The construction follows the paper's shape. Each variable contributes a
+// circular gadget of 2m six-edge segments (12m edges, 12m RGB triangles)
+// whose only minimum covers are the two alternating edge sets — 6m "true"
+// edges or 6m "false" edges. Each clause contributes one extra RGB
+// triangle assembled by identifying vertices of three literal edges, one
+// per gadget, chosen so the triangle is pre-broken exactly when the
+// corresponding literal is satisfied. Odd-numbered segments carry the
+// clause identifications; even segments are the paper's "sad" buffers
+// that keep identifications of different clauses six edges apart so no
+// spurious RGB triangle can form.
+type Triangle3SAT struct {
+	// DB is the gadget database over R, S, T (or over R plus unary A/B
+	// for the self-join variations, see SelfJoinRats / SelfJoinBrats).
+	DB *db.Database
+	// K is the budget kψ = 6·m·n.
+	K int
+}
+
+// triangleBuilder accumulates directed colored edges under a union-find
+// over vertex names, so clause gadgets can identify vertices of different
+// variable gadgets before the tuples are emitted.
+type triangleBuilder struct {
+	parent map[string]string
+	edges  []triEdge
+}
+
+type triEdge struct {
+	color int // 0 = R, 1 = S, 2 = T
+	from  string
+	to    string
+}
+
+func newTriangleBuilder() *triangleBuilder {
+	return &triangleBuilder{parent: map[string]string{}}
+}
+
+func (b *triangleBuilder) find(x string) string {
+	p, ok := b.parent[x]
+	if !ok {
+		b.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	r := b.find(p)
+	b.parent[x] = r
+	return r
+}
+
+func (b *triangleBuilder) union(x, y string) {
+	rx, ry := b.find(x), b.find(y)
+	if rx != ry {
+		b.parent[rx] = ry
+	}
+}
+
+func (b *triangleBuilder) addEdge(color int, from, to string) {
+	b.find(from)
+	b.find(to)
+	b.edges = append(b.edges, triEdge{color: color, from: from, to: to})
+}
+
+var triangleRels = [3]string{"R", "S", "T"}
+
+// emit writes the accumulated edges into a fresh database, resolving
+// vertex identifications. rename maps a color to the relation name used
+// for it (identity for q△; all "R" for the self-join variations).
+func (b *triangleBuilder) emit(rename func(color int) string) *db.Database {
+	d := db.New()
+	for _, e := range b.edges {
+		d.AddNames(rename(e.color), b.find(e.from), b.find(e.to))
+	}
+	return d
+}
+
+// vertexNames returns the canonical names of all vertices.
+func (b *triangleBuilder) vertexNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range b.edges {
+		for _, v := range []string{b.find(e.from), b.find(e.to)} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// The variable gadget is a cycle of L = 12m edges e_0..e_{L-1} with
+// e_t : u_t → u_{t+1} colored t mod 3 (R, S, T cyclically), closed by
+// private edges p_t : u_{t+2} → u_t colored (t+2) mod 3. Every consecutive
+// pair (e_t, e_{t+1}) forms the RGB triangle {e_t, e_{t+1}, p_t}, so the
+// 12m triangles form a witness cycle whose only 6m-covers are the even
+// e-edges ("true") or the odd e-edges ("false").
+//
+// Within segment 2j (the odd, usable block of clause j in paper terms),
+// the edge at residue r carries color r mod 3 and polarity even(r), which
+// yields one representative edge per (color, polarity) pair:
+//
+//	R-true: r=0   S-false: r=1   T-true: r=2
+//	R-false: r=3  S-true: r=4    T-false: r=5
+const (
+	triSegment = 12 // edges per (clause block + buffer block) pair
+)
+
+// literalResidue returns the in-block residue of the edge representing a
+// literal at clause position p (which fixes the color: R for position 0, S
+// for 1, T for 2). A positive literal must use an edge deleted when the
+// variable is true (even residue); a negative literal an odd residue.
+func literalResidue(position int, positive bool) int {
+	table := [3][2]int{
+		// {true-side residue, false-side residue} per color.
+		{0, 3}, // R
+		{4, 1}, // S
+		{2, 5}, // T
+	}
+	if positive {
+		return table[position][0]
+	}
+	return table[position][1]
+}
+
+func triVertex(varIdx, t int) string { return fmt.Sprintf("u%d_%d", varIdx, t) }
+
+// normalizeClauses brings ψ into the form the gadget needs: duplicate
+// literals within a clause are dropped, tautological clauses (x ∨ ¬x ∨ …)
+// are removed entirely, and the result has 1-3 literals over distinct
+// variables per clause. Satisfiability is unchanged.
+func normalizeClauses(psi *sat.Formula) []sat.Clause {
+	var out []sat.Clause
+	for _, clause := range psi.Clauses {
+		var kept sat.Clause
+		taut := false
+		seen := map[sat.Literal]bool{}
+		for _, lit := range clause {
+			if seen[-lit] {
+				taut = true
+				break
+			}
+			if !seen[lit] {
+				seen[lit] = true
+				kept = append(kept, lit)
+			}
+		}
+		if taut {
+			continue
+		}
+		if len(kept) > 3 {
+			panic(fmt.Sprintf("reduction: clause %v has width %d > 3", clause, len(kept)))
+		}
+		out = append(out, kept)
+	}
+	return out
+}
+
+// buildTriangle3SAT lays out the gadget edges for ψ. After normalization
+// every clause has 1-3 literals over distinct variables: a clause with a
+// repeated variable would identify two vertices of the same gadget block
+// and could create spurious triangles, so duplicates are collapsed first.
+// Clauses shorter than three literals are closed into an RGB triangle with
+// fresh private edges, which participate in no other witness; with the
+// budget saturated by the variable gadgets they can never be chosen, so
+// the clause triangle is still broken exactly when a literal is true.
+func buildTriangle3SAT(psi *sat.Formula) (*triangleBuilder, int) {
+	clauses := normalizeClauses(psi)
+	m := len(clauses)
+	n := psi.NumVars
+	if m == 0 {
+		panic("reduction: formula needs at least one non-tautological clause")
+	}
+	b := newTriangleBuilder()
+
+	// Variable gadgets: cycles of L = 12m edges plus 12m private edges.
+	L := triSegment * m
+	for i := 1; i <= n; i++ {
+		for t := 0; t < L; t++ {
+			b.addEdge(t%3, triVertex(i, t), triVertex(i, (t+1)%L))
+			b.addEdge((t+2)%3, triVertex(i, (t+2)%L), triVertex(i, t))
+		}
+	}
+
+	// Clause gadgets: identify the heads and tails of the literal edges so
+	// they close into one new RGB triangle
+	// R(τ0,η0), S(τ1,η1), T(τ2,η2) with η0=τ1, η1=τ2, η2=τ0.
+	// Positions missing from short clauses are filled with fresh edges.
+	for j, clause := range clauses {
+		seen := map[int]bool{}
+		tails := make([]string, 3)
+		heads := make([]string, 3)
+		for p, lit := range clause {
+			i := lit.Var()
+			if seen[i] {
+				panic(fmt.Sprintf("reduction: clause %d repeats variable %d after normalization", j, i))
+			}
+			seen[i] = true
+			t := triSegment*j + literalResidue(p, lit.Positive())
+			tails[p] = triVertex(i, t)
+			heads[p] = triVertex(i, t+1)
+		}
+		for p := len(clause); p < 3; p++ {
+			tails[p] = fmt.Sprintf("w%d_%d", j, p)
+			heads[p] = fmt.Sprintf("w%d_%d", j, p+1)
+		}
+		for p := len(clause); p < 3; p++ {
+			b.addEdge(p, tails[p], heads[p])
+		}
+		b.union(heads[0], tails[1])
+		b.union(heads[1], tails[2])
+		b.union(heads[2], tails[0])
+	}
+	return b, 6 * m * n
+}
+
+// NewTriangle3SAT builds the Proposition 56 reduction targeting the
+// triangle query q△ :- R(x,y), S(y,z), T(z,x).
+func NewTriangle3SAT(psi *sat.Formula) *Triangle3SAT {
+	b, k := buildTriangle3SAT(psi)
+	return &Triangle3SAT{DB: b.emit(func(c int) string { return triangleRels[c] }), K: k}
+}
+
+// NewRats3SAT builds the Lemma 50 reduction targeting the self-join
+// variation qsj1rats :- R(x,y), A(x), R(y,z), R(z,x): the triangle gadget
+// with all three colors collapsed onto the single relation R, plus a unary
+// A-fact for every vertex. Each RGB triangle of Dψ becomes three rotated
+// witnesses over the same R-tuples, so hitting sets and the budget
+// kψ = 6·m·n carry over; A-tuples each kill only one rotation per incident
+// triangle, so they are never a better choice than R-tuples.
+func NewRats3SAT(psi *sat.Formula) *Triangle3SAT {
+	b, k := buildTriangle3SAT(psi)
+	d := b.emit(func(int) string { return "R" })
+	for _, v := range b.vertexNames() {
+		d.AddNames("A", v)
+	}
+	return &Triangle3SAT{DB: d, K: k}
+}
+
+// NewBrats3SAT builds the Lemma 51 reduction targeting
+// qsj1brats :- B(y), R(x,y), A(x), R(z,x), R(y,z): the rats gadget with a
+// unary B-fact for every vertex as well.
+func NewBrats3SAT(psi *sat.Formula) *Triangle3SAT {
+	b, k := buildTriangle3SAT(psi)
+	d := b.emit(func(int) string { return "R" })
+	for _, v := range b.vertexNames() {
+		d.AddNames("A", v)
+		d.AddNames("B", v)
+	}
+	return &Triangle3SAT{DB: d, K: k}
+}

@@ -1,0 +1,166 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/resilience"
+	"repro/internal/sat"
+)
+
+var (
+	qTriangle = cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)")
+	qSj1Rats  = cq.MustParse("qsj1rats :- R(x,y), A(x), R(y,z), R(z,x)")
+	qSj1Brats = cq.MustParse("qsj1brats :- B(y), R(x,y), A(x), R(z,x), R(y,z)")
+)
+
+// checkTriangleReduction verifies the Proposition 56 / Lemma 50 / Lemma 51
+// reduction property on ψ: ψ sat => ρ == k; ψ unsat => ρ > k.
+func checkTriangleReduction(t *testing.T, q *cq.Query, red *Triangle3SAT, psi *sat.Formula) {
+	t.Helper()
+	want := psi.Satisfiable()
+	got, err := resilience.Decide(q, red.DB, red.K)
+	if err != nil {
+		t.Fatalf("%v\nformula: %v", err, psi.Clauses)
+	}
+	if got != want {
+		res, _ := resilience.Exact(q, red.DB)
+		t.Fatalf("%s: reduction broken: sat=%v but ρ=%d vs k=%d\nformula: %v",
+			q.Name, want, res.Rho, red.K, psi.Clauses)
+	}
+	if want {
+		// Sharper check: ρ must equal k exactly for satisfiable formulas.
+		res, err := resilience.ExactWithBudget(q, red.DB, red.K-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rho <= red.K-1 {
+			t.Fatalf("%s: ρ=%d < k=%d: gadget too weak\nformula: %v", q.Name, res.Rho, red.K, psi.Clauses)
+		}
+	}
+}
+
+// TestTriangle3SATWitnessCount pins the gadget's witness structure: the
+// database must contain exactly 12·m RGB triangles per variable gadget
+// plus one per clause — any spurious triangle introduced by the clause
+// identifications would show up here.
+func TestTriangle3SATWitnessCount(t *testing.T) {
+	cases := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, 2, 3}}},
+		{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}, {-1, 2, -3}}},
+		{NumVars: 4, Clauses: []sat.Clause{{1, 2, 3}, {2, -3, 4}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1}, {-1}}},
+	}
+	for _, psi := range cases {
+		m := len(normalizeClauses(psi))
+		n := psi.NumVars
+		red := NewTriangle3SAT(psi)
+		got := eval.CountWitnesses(qTriangle, red.DB)
+		want := 12*m*n + m
+		if got != want {
+			t.Errorf("formula %v: %d witnesses, want %d (12mn + m with m=%d n=%d)",
+				psi.Clauses, got, want, m, n)
+		}
+	}
+}
+
+// TestTriangle3SATVariableGadgetAlone checks the variable cycle in
+// isolation: for a single variable and m clause slots the minimum
+// contingency set has size exactly 6m (the two alternating edge sets).
+func TestTriangle3SATVariableGadgetAlone(t *testing.T) {
+	// Build a one-variable gadget with no clause identifications by using
+	// a formula whose single clause is carried by a fresh second variable.
+	psi := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{2}}}
+	red := NewTriangle3SAT(psi)
+	// Variable 1 has a pristine cycle; variable 2 carries the clause.
+	// Total: both gadgets cost 6m each (m=1), clause pre-broken when
+	// variable 2 is true, so ρ = 12.
+	res, err := resilience.Exact(qTriangle, red.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 12 {
+		t.Fatalf("ρ=%d, want 12 (6m per gadget, m=1, n=2)", res.Rho)
+	}
+}
+
+func TestTriangle3SATExhaustiveSingleClause(t *testing.T) {
+	// All 3-variable single-clause formulas (8 sign patterns): always sat.
+	sat.EnumerateAll3SAT(3, 1, func(psi *sat.Formula) bool {
+		checkTriangleReduction(t, qTriangle, NewTriangle3SAT(psi), psi)
+		return !t.Failed()
+	})
+}
+
+func TestTriangle3SATUnsatUnit(t *testing.T) {
+	// (x) ∧ (¬x): the smallest unsat formula the gadget can carry.
+	psi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1}, {-1}}}
+	if psi.Satisfiable() {
+		t.Fatal("formula should be unsat")
+	}
+	checkTriangleReduction(t, qTriangle, NewTriangle3SAT(psi), psi)
+}
+
+func TestTriangle3SATUnsatRepeatedLiterals(t *testing.T) {
+	// (x ∨ x ∨ x) ∧ (¬x ∨ ¬x ∨ ¬x) normalizes to (x) ∧ (¬x).
+	psi := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1, 1, 1}, {-1, -1, -1}}}
+	checkTriangleReduction(t, qTriangle, NewTriangle3SAT(psi), psi)
+}
+
+func TestTriangle3SATTautologyDropped(t *testing.T) {
+	// (x ∨ ¬x ∨ y) is a tautology and must be dropped by normalization.
+	psi := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{1, -1, 2}, {2}}}
+	if got := len(normalizeClauses(psi)); got != 1 {
+		t.Fatalf("normalizeClauses kept %d clauses, want 1", got)
+	}
+	checkTriangleReduction(t, qTriangle, NewTriangle3SAT(psi), psi)
+}
+
+func TestTriangle3SATRandomSmall(t *testing.T) {
+	// Budgets grow as 6mn, and the branch-and-bound oracle's cost grows
+	// super-polynomially with them (that blow-up is experiment E1's
+	// point), so the random battery stays at n=2, m=2.
+	rng := rand.New(rand.NewSource(53))
+	sign := func() sat.Literal { return sat.Literal(1 - 2*rng.Intn(2)) }
+	for trial := 0; trial < 3; trial++ {
+		psi := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{
+			{sign() * 1, sign() * 2},
+			{sign() * 1, sign() * 2},
+		}}
+		checkTriangleReduction(t, qTriangle, NewTriangle3SAT(psi), psi)
+	}
+	psi := sat.Random3SAT(rng, 3, 1)
+	checkTriangleReduction(t, qTriangle, NewTriangle3SAT(psi), psi)
+}
+
+func TestRats3SAT(t *testing.T) {
+	cases := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}}},
+		{NumVars: 2, Clauses: []sat.Clause{{1, 2}, {-1, 2}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1}, {-1}}}, // unsat
+	}
+	for _, psi := range cases {
+		checkTriangleReduction(t, qSj1Rats, NewRats3SAT(psi), psi)
+	}
+}
+
+func TestBrats3SAT(t *testing.T) {
+	cases := []*sat.Formula{
+		{NumVars: 2, Clauses: []sat.Clause{{1, -2}}},
+		{NumVars: 1, Clauses: []sat.Clause{{1}, {-1}}}, // unsat
+	}
+	for _, psi := range cases {
+		checkTriangleReduction(t, qSj1Brats, NewBrats3SAT(psi), psi)
+	}
+}
+
+func TestTriangle3SATPanicsOnEmptyFormula(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on formula with no usable clauses")
+		}
+	}()
+	NewTriangle3SAT(&sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1, -1}}})
+}

@@ -1,0 +1,32 @@
+// Package reduction makes the paper's NP-hardness reductions executable:
+// given a source instance (a graph, a 3CNF formula), it constructs the
+// database and budget (D, k) such that the source instance is a yes-instance
+// iff (D, k) ∈ RES(q). The test suite verifies every gadget against the
+// exact resilience solver and a real SAT / vertex cover oracle, which is
+// this repository's way of "reproducing" the paper's hardness figures
+// (Figures 8, 10-16).
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/vertexcover"
+)
+
+// VCtoQVC implements Proposition 9: for a graph G, build the database
+// D_G over qvc :- R(x), S(x,y), R(y) with R = vertices and S = edges.
+// Then (G, k) ∈ VC ⇔ (D_G, k) ∈ RES(qvc); in particular
+// ρ(qvc, D_G) = VC(G) whenever G has at least one edge.
+func VCtoQVC(g *vertexcover.Graph) *db.Database {
+	d := db.New()
+	for v := 0; v < g.N; v++ {
+		d.AddNames("R", vname(v))
+	}
+	for _, e := range g.Edges() {
+		d.AddNames("S", vname(e[0]), vname(e[1]))
+	}
+	return d
+}
+
+func vname(v int) string { return fmt.Sprintf("v%d", v) }

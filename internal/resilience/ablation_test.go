@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+)
+
+// TestAblationOptionsPreserveAnswers: all ablation configurations compute
+// the same ρ — only search effort may differ.
+func TestAblationOptionsPreserveAnswers(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("qchain :- R(x,y), R(y,z)"),
+		cq.MustParse("qvc :- R(x), S(x,y), R(y)"),
+		cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)"),
+	}
+	configs := []Options{
+		{},
+		{DisableLowerBound: true},
+		{KeepSupersets: true},
+		{DisableLowerBound: true, KeepSupersets: true},
+	}
+	rng := rand.New(rand.NewSource(71))
+	for _, q := range queries {
+		for trial := 0; trial < 5; trial++ {
+			d := datagen.RandomWithLoops(rng, q, 5, 6, 0.3)
+			want, err := Exact(q, d)
+			if err != nil {
+				continue
+			}
+			for _, cfg := range configs {
+				got, err := ExactWithOptions(q, d, cfg)
+				if err != nil {
+					t.Fatalf("%s %+v: %v", q.Name, cfg, err)
+				}
+				if got.Rho != want.Rho {
+					t.Fatalf("%s %+v: ρ=%d, want %d", q.Name, cfg, got.Rho, want.Rho)
+				}
+				if got.Rho > 0 {
+					if err := VerifyContingency(q, d, got.ContingencySet); err != nil {
+						t.Fatalf("%s %+v: %v", q.Name, cfg, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveOnHardQueriesFallsBackToExact: NP-complete classifications must
+// still produce correct answers via the exact fallback.
+func TestSolveOnHardQueriesFallsBackToExact(t *testing.T) {
+	queries := []string{
+		"qchain :- R(x,y), R(y,z)",
+		"qvc :- R(x), S(x,y), R(y)",
+		"qABperm :- A(x), R(x,y), R(y,x), B(y)",
+		"qtri :- R(x,y), S(y,z), T(z,x)",
+	}
+	rng := rand.New(rand.NewSource(72))
+	for _, s := range queries {
+		q := cq.MustParse(s)
+		for trial := 0; trial < 5; trial++ {
+			d := datagen.Random(rng, q, 4, 6, 0.5)
+			got, cl, err := Solve(q, d)
+			if err == ErrUnbreakable {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Exact(q, d)
+			if err != nil {
+				continue
+			}
+			if got.Rho != want.Rho {
+				t.Fatalf("%s (%s): Solve=%d Exact=%d", q.Name, cl.Verdict, got.Rho, want.Rho)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// EnumerateMinimum returns ρ(q, D) together with every minimum contingency
+// set, up to maxSets of them (0 means no cap). Sets are returned in a
+// deterministic order, each sorted.
+//
+// Explanations and causality applications often need the full space of
+// optimal interventions rather than one witness of optimality — e.g. to
+// report all minimal repairs, or to compute how often a tuple appears in
+// an optimal contingency set.
+//
+// The enumeration branches on the tuples of the first witness not yet hit,
+// which visits every minimum hitting set (any optimal set must intersect
+// that witness); duplicates arising from different branch orders are
+// removed by canonical key.
+func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
+	base, err := Exact(q, d)
+	if err != nil {
+		return 0, nil, err
+	}
+	rho := base.Rho
+	if rho == 0 {
+		return 0, nil, nil
+	}
+	sets, _ := eval.EndoWitnessSets(q, d)
+
+	chosen := map[db.Tuple]bool{}
+	seen := map[string]bool{}
+	var out [][]db.Tuple
+
+	key := func(ts []db.Tuple) string {
+		s := ""
+		for _, t := range ts {
+			s += d.TupleString(t) + ";"
+		}
+		return s
+	}
+	record := func() bool {
+		cur := make([]db.Tuple, 0, len(chosen))
+		for t := range chosen {
+			cur = append(cur, t)
+		}
+		db.SortTuples(cur)
+		k := key(cur)
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		out = append(out, cur)
+		return maxSets == 0 || len(out) < maxSets
+	}
+
+	var rec func() bool
+	rec = func() bool {
+		// First witness not hit by the current choice.
+		var unhit []db.Tuple
+		for _, w := range sets {
+			hit := false
+			for _, t := range w {
+				if chosen[t] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				unhit = w
+				break
+			}
+		}
+		if unhit == nil {
+			if len(chosen) == rho {
+				return record()
+			}
+			return true // smaller than ρ is impossible; larger is pruned below
+		}
+		if len(chosen) == rho {
+			return true // budget spent, witness unhit: dead branch
+		}
+		for _, t := range unhit {
+			if chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			ok := rec()
+			delete(chosen, t)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return rho, out, nil
+}

@@ -1,0 +1,194 @@
+// Package resilience implements the paper's resilience solvers.
+//
+// ρ(q, D) — the resilience of Boolean query q on database D — is the
+// minimum number of endogenous tuples whose deletion makes q false
+// (Definition 1). The package provides:
+//
+//   - Exact: branch-and-bound minimum hitting set over witness tuple sets,
+//     correct for every CQ (the trusted oracle; worst-case exponential);
+//   - LinearFlow: the network-flow solver for linear queries, following
+//     [31] and extended to one 2-confluence per Proposition 31 / Lemma 55;
+//   - the specialized PTIME solvers of Propositions 13, 33, 36, 41 and 44;
+//   - Solve: a dispatcher that classifies the query (Theorem 37) and picks
+//     the fastest sound algorithm.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// ErrUnbreakable is returned when some witness consists purely of exogenous
+// tuples, so no set of endogenous deletions can falsify the query.
+var ErrUnbreakable = errors.New("resilience: query cannot be falsified by endogenous deletions")
+
+// Result is the outcome of a resilience computation.
+type Result struct {
+	// Rho is ρ(q, D), the size of a minimum contingency set.
+	Rho int
+	// ContingencySet is one optimal contingency set (nil when Rho == 0).
+	ContingencySet []db.Tuple
+	// Method names the algorithm that produced the result.
+	Method string
+	// Witnesses is the number of witnesses enumerated.
+	Witnesses int
+}
+
+// Exact computes ρ(q, D) exactly for any conjunctive query by reducing to
+// minimum hitting set over the witnesses' endogenous tuple sets.
+func Exact(q *cq.Query, d *db.Database) (*Result, error) {
+	return ExactWithBudget(q, d, -1)
+}
+
+// ExactWithBudget is Exact with an optional search cutoff: if budget >= 0
+// and ρ > budget, the returned Result has Rho = budget+1 and a nil
+// contingency set (sufficient for deciding (D,k) ∈ RES(q)).
+func ExactWithBudget(q *cq.Query, d *db.Database, budget int) (*Result, error) {
+	return exactFiltered(q, d, budget, nil)
+}
+
+// ExactFiltered computes the minimum number of endogenous deletions that
+// remove every witness accepted by keep (nil keeps all). This generalizes
+// resilience to deletion propagation with source side-effects: filtering
+// witnesses to those that produce a given output tuple yields exactly the
+// minimum source-side deletion for that tuple, with self-joins handled
+// soundly because tuple identity is preserved.
+func ExactFiltered(q *cq.Query, d *db.Database, keep func(eval.Witness) bool) (*Result, error) {
+	return exactFiltered(q, d, -1, keep)
+}
+
+func exactFiltered(q *cq.Query, d *db.Database, budget int, keep func(eval.Witness) bool) (*Result, error) {
+	var sets [][]db.Tuple
+	unbreakable := false
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		if keep != nil && !keep(w) {
+			return true
+		}
+		ts := eval.WitnessTuples(q, w, true)
+		if len(ts) == 0 {
+			unbreakable = true
+			return false
+		}
+		sets = append(sets, ts)
+		return true
+	})
+	if unbreakable {
+		return nil, ErrUnbreakable
+	}
+	if len(sets) == 0 {
+		return &Result{Rho: 0, Method: "exact", Witnesses: 0}, nil
+	}
+	// Intern tuples.
+	idOf := map[db.Tuple]int32{}
+	var tuples []db.Tuple
+	fam := make([][]int32, len(sets))
+	for i, s := range sets {
+		row := make([]int32, len(s))
+		for j, t := range s {
+			id, ok := idOf[t]
+			if !ok {
+				id = int32(len(tuples))
+				idOf[t] = id
+				tuples = append(tuples, t)
+			}
+			row[j] = id
+		}
+		fam[i] = row
+	}
+	hs := newHittingSet(fam, len(tuples))
+	size, chosen := hs.solve(budget)
+	res := &Result{Rho: size, Method: "exact", Witnesses: len(sets)}
+	if chosen != nil {
+		for _, e := range chosen {
+			res.ContingencySet = append(res.ContingencySet, tuples[e])
+		}
+		db.SortTuples(res.ContingencySet)
+	}
+	return res, nil
+}
+
+// Options are ablation switches for the exact solver, used by the
+// benchmark harness to quantify the branch-and-bound design choices that
+// DESIGN.md calls out (packing lower bound, superset elimination).
+type Options struct {
+	// DisableLowerBound replaces the disjoint-packing bound by the trivial
+	// bound 1.
+	DisableLowerBound bool
+	// KeepSupersets skips the superset-elimination preprocessing.
+	KeepSupersets bool
+}
+
+// ExactWithOptions is Exact with ablation switches; results are identical,
+// only the search effort differs.
+func ExactWithOptions(q *cq.Query, d *db.Database, opts Options) (*Result, error) {
+	sets, unbreakable := eval.EndoWitnessSets(q, d)
+	if unbreakable {
+		return nil, ErrUnbreakable
+	}
+	if len(sets) == 0 {
+		return &Result{Rho: 0, Method: "exact-ablation", Witnesses: 0}, nil
+	}
+	idOf := map[db.Tuple]int32{}
+	var tuples []db.Tuple
+	fam := make([][]int32, len(sets))
+	for i, s := range sets {
+		row := make([]int32, len(s))
+		for j, t := range s {
+			id, ok := idOf[t]
+			if !ok {
+				id = int32(len(tuples))
+				idOf[t] = id
+				tuples = append(tuples, t)
+			}
+			row[j] = id
+		}
+		fam[i] = row
+	}
+	hs := newHittingSetOpt(fam, len(tuples), opts.KeepSupersets)
+	hs.noLowerBound = opts.DisableLowerBound
+	size, chosen := hs.solve(-1)
+	res := &Result{Rho: size, Method: "exact-ablation", Witnesses: len(sets)}
+	for _, e := range chosen {
+		res.ContingencySet = append(res.ContingencySet, tuples[e])
+	}
+	db.SortTuples(res.ContingencySet)
+	return res, nil
+}
+
+// Decide reports whether (D, k) ∈ RES(q): D |= q and some contingency set
+// of size ≤ k exists (Definition 1).
+func Decide(q *cq.Query, d *db.Database, k int) (bool, error) {
+	if !eval.Satisfied(q, d) {
+		return false, nil
+	}
+	res, err := ExactWithBudget(q, d, k)
+	if err != nil {
+		return false, err
+	}
+	return res.Rho <= k, nil
+}
+
+// VerifyContingency checks that deleting the given tuples falsifies q on d
+// and that all tuples are endogenous and present. It restores d before
+// returning.
+func VerifyContingency(q *cq.Query, d *db.Database, gamma []db.Tuple) error {
+	mark := d.RestoreMark()
+	defer d.RestoreTo(mark)
+	for _, t := range gamma {
+		if q.IsExogenous(t.Rel) {
+			return fmt.Errorf("resilience: contingency set contains exogenous tuple %s", d.TupleString(t))
+		}
+		if !d.Has(t) {
+			return fmt.Errorf("resilience: contingency set tuple %s not in database", d.TupleString(t))
+		}
+		d.Delete(t)
+	}
+	if eval.Satisfied(q, d) {
+		return errors.New("resilience: query still satisfied after deleting contingency set")
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/vertexcover"
+)
+
+// bruteResilience enumerates endogenous tuple subsets by increasing size.
+// Exponential; for cross-checking only.
+func bruteResilience(t *testing.T, q *cq.Query, d *db.Database) int {
+	t.Helper()
+	var endo []db.Tuple
+	for _, tup := range d.AllTuples() {
+		if !q.IsExogenous(tup.Rel) {
+			endo = append(endo, tup)
+		}
+	}
+	if !eval.Satisfied(q, d) {
+		return 0
+	}
+	n := len(endo)
+	for size := 1; size <= n; size++ {
+		idx := make([]int, size)
+		var rec func(k, start int) bool
+		rec = func(k, start int) bool {
+			if k == size {
+				mark := d.RestoreMark()
+				for _, i := range idx {
+					d.Delete(endo[i])
+				}
+				ok := !eval.Satisfied(q, d)
+				d.RestoreTo(mark)
+				return ok
+			}
+			for i := start; i < n; i++ {
+				idx[k] = i
+				if rec(k+1, i+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, 0) {
+			return size
+		}
+	}
+	t.Fatal("query is unbreakable in brute force")
+	return -1
+}
+
+func TestExactChainPaperExample(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+	res, err := Exact(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 2 {
+		t.Errorf("ρ = %d, want 2", res.Rho)
+	}
+	if err := VerifyContingency(q, d, res.ContingencySet); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactExample11SJDomination(t *testing.T) {
+	// Example 11: domination fails with self-joins; {R(1,2)} is the unique
+	// minimum contingency set of size 1.
+	q := cq.MustParse("qsj1rats :- A(x), R(x,y), R(y,z), R(z,x)")
+	d := db.New()
+	d.AddNames("A", "1")
+	d.AddNames("A", "5")
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "1")
+	d.AddNames("R", "5", "1")
+	d.AddNames("R", "2", "5")
+	res, err := Exact(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witnesses != 3 {
+		t.Errorf("witnesses = %d, want 3 (paper lists (1,2,3),(1,2,5),(5,1,2))", res.Witnesses)
+	}
+	if res.Rho != 1 {
+		t.Fatalf("ρ = %d, want 1", res.Rho)
+	}
+	want := db.NewTuple("R", d.Const("1"), d.Const("2"))
+	if len(res.ContingencySet) != 1 || res.ContingencySet[0] != want {
+		t.Errorf("Γ = %v, want {R(1,2)}", res.ContingencySet)
+	}
+	// With R exogenous, the minimum becomes {A(1), A(5)}: ρ = 2.
+	qx := cq.MustParse("qsj1ratsx :- A(x), R(x,y)^x, R(y,z)^x, R(z,x)^x")
+	res2, err := Exact(qx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rho != 2 {
+		t.Errorf("ρ with exogenous R = %d, want 2", res2.Rho)
+	}
+}
+
+func TestExactFalseQueryIsZero(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y), S(y)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	res, err := Exact(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 0 || res.ContingencySet != nil {
+		t.Errorf("ρ = %d with Γ=%v, want 0 and nil", res.Rho, res.ContingencySet)
+	}
+}
+
+func TestExactUnbreakable(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y)^x")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	if _, err := Exact(q, d); err != ErrUnbreakable {
+		t.Errorf("err = %v, want ErrUnbreakable", err)
+	}
+}
+
+func TestExactQvcEqualsVertexCover(t *testing.T) {
+	// Proposition 9's reduction read backwards: for graph databases,
+	// ρ(qvc, D_G) = VC(G).
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		g := vertexcover.RandomGraph(rng, 3+rng.Intn(6), 0.5)
+		if g.NumEdges() == 0 {
+			continue
+		}
+		d := db.New()
+		for v := 0; v < g.N; v++ {
+			d.AddNames("R", name(v))
+		}
+		for _, e := range g.Edges() {
+			d.AddNames("S", name(e[0]), name(e[1]))
+		}
+		res, err := Exact(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, _ := g.MinVertexCover()
+		if res.Rho != vc {
+			t.Fatalf("trial %d: ρ = %d, VC = %d", trial, res.Rho, vc)
+		}
+	}
+}
+
+func TestExactAgainstBruteForceRandom(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("qchain :- R(x,y), R(y,z)"),
+		cq.MustParse("qconf :- A(x), R(x,y), R(z,y), C(z)"),
+		cq.MustParse("qperm :- R(x,y), R(y,x)"),
+		cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)"),
+		cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)"),
+		cq.MustParse("qrats :- R(x,y)^x, A(x), T(z,x)^x, S(y,z)"),
+		cq.MustParse("z3 :- R(x,x), R(x,y), A(y)"),
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, q := range queries {
+		for trial := 0; trial < 6; trial++ {
+			d := randomDB(rng, q, 4, 7)
+			res, err := Exact(q, d)
+			if err != nil {
+				continue
+			}
+			want := bruteResilience(t, q, d)
+			if res.Rho != want {
+				t.Fatalf("%s trial %d: exact = %d, brute = %d\nDB:\n%s", q.Name, trial, res.Rho, want, d)
+			}
+			if res.Rho > 0 {
+				if err := VerifyContingency(q, d, res.ContingencySet); err != nil {
+					t.Fatalf("%s trial %d: %v", q.Name, trial, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDecide(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+	// ρ = 2.
+	for k, want := range map[int]bool{0: false, 1: false, 2: true, 3: true} {
+		got, err := Decide(q, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Decide(k=%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Unsatisfied query: (D,k) requires D |= q.
+	empty := db.New()
+	if got, _ := Decide(q, empty, 5); got {
+		t.Error("Decide on unsatisfied database should be false")
+	}
+}
+
+func TestExactBudgetCutoff(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	d := db.New()
+	// Star graph with center c: VC = 1... use a matching of 4 edges: VC = 4.
+	for i := 0; i < 4; i++ {
+		a, b := name(2*i), name(2*i+1)
+		d.AddNames("R", a)
+		d.AddNames("R", b)
+		d.AddNames("S", a, b)
+	}
+	res, err := ExactWithBudget(q, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 3 {
+		t.Errorf("budgeted ρ = %d, want 3 (= budget+1 signal)", res.Rho)
+	}
+	if res.ContingencySet != nil {
+		t.Error("budget-exceeded result should have nil contingency set")
+	}
+}
+
+func TestVerifyContingencyRejectsBad(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	t1 := d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	// Deleting R(1,2) falsifies the only witness (1,2,3): valid set.
+	if err := VerifyContingency(q, d, []db.Tuple{t1}); err != nil {
+		t.Errorf("valid contingency set rejected: %v", err)
+	}
+	if !d.Has(t1) {
+		t.Error("VerifyContingency must restore the database")
+	}
+	// The empty set does not falsify a satisfied query.
+	if err := VerifyContingency(q, d, nil); err == nil {
+		t.Error("empty set should not falsify satisfied query")
+	}
+	// Exogenous tuple rejection.
+	qx := cq.MustParse("q :- R(x,y)^x, S(y,z)")
+	dx := db.New()
+	tx := dx.AddNames("R", "1", "2")
+	dx.AddNames("S", "2", "3")
+	if err := VerifyContingency(qx, dx, []db.Tuple{tx}); err == nil {
+		t.Error("exogenous tuple must be rejected")
+	}
+}
+
+// randomDB builds a random database for the relations of q over a domain of
+// the given size.
+func randomDB(rng *rand.Rand, q *cq.Query, domain, tuplesPerRel int) *db.Database {
+	d := db.New()
+	for _, rel := range q.Relations() {
+		ar := q.Arity(rel)
+		for i := 0; i < tuplesPerRel; i++ {
+			args := make([]string, ar)
+			for j := range args {
+				args[j] = name(rng.Intn(domain))
+			}
+			d.AddNames(rel, args...)
+		}
+	}
+	return d
+}
+
+func name(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "n0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(digits[i%10]) + s
+		i /= 10
+	}
+	return "n" + s
+}

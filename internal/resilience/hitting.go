@@ -1,0 +1,225 @@
+package resilience
+
+import "sort"
+
+// hittingSet solves minimum hitting set exactly by branch and bound:
+// given a family of non-empty sets over int elements, find a minimum set of
+// elements intersecting every member.
+//
+// Resilience is exactly this problem with sets = per-witness endogenous
+// tuple sets (Definition 1), so this solver is the trusted oracle for every
+// query, easy or hard.
+type hittingSet struct {
+	sets [][]int32 // deduplicated, minimal family
+	occ  [][]int32 // element -> indexes of sets containing it
+	n    int       // number of elements
+
+	hitCount []int32 // how many chosen elements hit each set
+	chosen   []bool
+	numUnhit int
+
+	best       int
+	bestChosen []int32
+	limit      int // stop exploring above this size (inclusive); -1 = none
+
+	// Ablation switches (see Options): disable the packing lower bound or
+	// the superset elimination to measure their contribution.
+	noLowerBound bool
+}
+
+// newHittingSet normalizes the family: deduplicates sets and removes
+// supersets (hitting a subset always hits its supersets) unless
+// keepSupersets asks for the raw family (ablation).
+func newHittingSet(raw [][]int32, numElems int) *hittingSet {
+	return newHittingSetOpt(raw, numElems, false)
+}
+
+func newHittingSetOpt(raw [][]int32, numElems int, keepSupersets bool) *hittingSet {
+	// Sort each set and sort family by size for superset elimination.
+	sets := make([][]int32, len(raw))
+	for i, s := range raw {
+		cp := append([]int32(nil), s...)
+		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+		sets[i] = cp
+	}
+	sort.Slice(sets, func(a, b int) bool { return len(sets[a]) < len(sets[b]) })
+	var kept [][]int32
+	for _, s := range sets {
+		redundant := false
+		if !keepSupersets {
+			for _, k := range kept {
+				if isSubset(k, s) {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			kept = append(kept, s)
+		}
+	}
+	h := &hittingSet{sets: kept, n: numElems, limit: -1}
+	h.occ = make([][]int32, numElems)
+	for i, s := range kept {
+		for _, e := range s {
+			h.occ[e] = append(h.occ[e], int32(i))
+		}
+	}
+	h.hitCount = make([]int32, len(kept))
+	h.chosen = make([]bool, numElems)
+	h.numUnhit = len(kept)
+	return h
+}
+
+// isSubset reports a ⊆ b for sorted slices.
+func isSubset(a, b []int32) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// solve returns the minimum hitting set size and one optimal solution.
+// If limit >= 0 and every solution exceeds limit, it returns (limit+1, nil).
+func (h *hittingSet) solve(limit int) (int, []int32) {
+	h.limit = limit
+	// Greedy upper bound initializes best.
+	greedy := h.greedy()
+	h.best = len(greedy)
+	h.bestChosen = greedy
+	if limit >= 0 && h.best > limit+1 {
+		h.best = limit + 1
+		h.bestChosen = nil
+	}
+	var cur []int32
+	h.branch(cur)
+	return h.best, h.bestChosen
+}
+
+func (h *hittingSet) greedy() []int32 {
+	hit := make([]bool, len(h.sets))
+	remaining := len(h.sets)
+	var out []int32
+	count := make([]int, h.n)
+	for remaining > 0 {
+		for i := range count {
+			count[i] = 0
+		}
+		for si, s := range h.sets {
+			if hit[si] {
+				continue
+			}
+			for _, e := range s {
+				count[e]++
+			}
+		}
+		bestE, bestC := -1, 0
+		for e, c := range count {
+			if c > bestC {
+				bestE, bestC = e, c
+			}
+		}
+		if bestE < 0 {
+			break
+		}
+		out = append(out, int32(bestE))
+		for _, si := range h.occ[bestE] {
+			if !hit[si] {
+				hit[si] = true
+				remaining--
+			}
+		}
+	}
+	return out
+}
+
+func (h *hittingSet) branch(cur []int32) {
+	if h.numUnhit == 0 {
+		if len(cur) < h.best {
+			h.best = len(cur)
+			h.bestChosen = append([]int32(nil), cur...)
+		}
+		return
+	}
+	lb := 1
+	if !h.noLowerBound {
+		lb = h.lowerBound()
+	}
+	if len(cur)+lb >= h.best {
+		return
+	}
+	// Choose the unhit set with the fewest elements to branch on.
+	pick := -1
+	pickLen := 1 << 30
+	for si, s := range h.sets {
+		if h.hitCount[si] > 0 {
+			continue
+		}
+		if len(s) < pickLen {
+			pick, pickLen = si, len(s)
+			if pickLen == 1 {
+				break
+			}
+		}
+	}
+	for _, e := range h.sets[pick] {
+		if h.chosen[e] {
+			continue
+		}
+		h.choose(e)
+		h.branch(append(cur, e))
+		h.unchoose(e)
+	}
+}
+
+func (h *hittingSet) choose(e int32) {
+	h.chosen[e] = true
+	for _, si := range h.occ[e] {
+		h.hitCount[si]++
+		if h.hitCount[si] == 1 {
+			h.numUnhit--
+		}
+	}
+}
+
+func (h *hittingSet) unchoose(e int32) {
+	h.chosen[e] = false
+	for _, si := range h.occ[e] {
+		h.hitCount[si]--
+		if h.hitCount[si] == 0 {
+			h.numUnhit++
+		}
+	}
+}
+
+// lowerBound greedily packs pairwise-disjoint unhit sets; each needs a
+// distinct element, giving an admissible bound.
+func (h *hittingSet) lowerBound() int {
+	used := make(map[int32]bool)
+	lb := 0
+	for si, s := range h.sets {
+		if h.hitCount[si] > 0 {
+			continue
+		}
+		disjoint := true
+		for _, e := range s {
+			if used[e] {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			for _, e := range s {
+				used[e] = true
+			}
+			lb++
+		}
+	}
+	return lb
+}

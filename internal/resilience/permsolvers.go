@@ -1,0 +1,230 @@
+package resilience
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/matching"
+)
+
+// This file implements the specialized PTIME solvers for the permutation
+// and REP families (Propositions 33 and 36).
+
+// SolvePermCount computes ρ for qperm-shaped queries R(x,y),R(y,x)
+// (Proposition 33, first part): each tuple participates in exactly one
+// witness, so the resilience equals the number of distinct witness tuple
+// sets — one per mutual pair {R(a,b), R(b,a)} plus one per loop R(a,a).
+func SolvePermCount(q *cq.Query, d *db.Database) (*Result, error) {
+	rel := sjRelOf(q)
+	r := d.Rel(rel)
+	if r == nil {
+		return &Result{Rho: 0, Method: "perm-count"}, nil
+	}
+	count := 0
+	var gamma []db.Tuple
+	for _, t := range r.Tuples() {
+		a, b := t.Args[0], t.Args[1]
+		if a == b {
+			count++
+			gamma = append(gamma, t)
+			continue
+		}
+		if a < b && r.Has(db.NewTuple(rel, b, a)) {
+			// Count each mutual pair once; deleting either tuple breaks
+			// both orientations of the witness.
+			count++
+			gamma = append(gamma, t)
+		}
+	}
+	return &Result{Rho: count, ContingencySet: gamma, Method: "perm-count", Witnesses: count}, nil
+}
+
+// SolvePermBipartiteVC computes ρ for qAperm-shaped queries
+// A(x),R(x,y),R(y,x) (Proposition 33, second part) by reduction to minimum
+// vertex cover in a bipartite graph: left vertices are A-tuples, right
+// vertices are mutual R-pairs, and every witness connects its A-tuple to
+// its pair. König's theorem turns a maximum matching into the cover.
+func SolvePermBipartiteVC(q *cq.Query, d *db.Database) (*Result, error) {
+	// Identify relations from the query shape: the repeated binary
+	// relation and the unary one.
+	rel := sjRelOf(q)
+	unary := ""
+	for _, rn := range q.Relations() {
+		if rn != rel && q.Arity(rn) == 1 && !q.IsExogenous(rn) {
+			unary = rn
+		}
+	}
+	if unary == "" {
+		return nil, fmt.Errorf("resilience: query %s lacks the unary bound of qAperm", q.Name)
+	}
+
+	leftID := map[db.Tuple]int{}
+	var leftTuples []db.Tuple
+	rightID := map[[2]db.Value]int{}
+	var rightPairs [][2]db.Value
+	type edge struct{ l, r int }
+	var edges []edge
+
+	witnesses := 0
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		witnesses++
+		ts := eval.WitnessTuples(q, w, true)
+		var aT db.Tuple
+		var pair [2]db.Value
+		havePair := false
+		for _, t := range ts {
+			if t.Rel == unary {
+				aT = t
+			} else if t.Rel == rel {
+				a, b := t.Args[0], t.Args[1]
+				if a > b {
+					a, b = b, a
+				}
+				pair = [2]db.Value{a, b}
+				havePair = true
+			}
+		}
+		if !havePair {
+			return true
+		}
+		li, ok := leftID[aT]
+		if !ok {
+			li = len(leftTuples)
+			leftID[aT] = li
+			leftTuples = append(leftTuples, aT)
+		}
+		ri, ok := rightID[pair]
+		if !ok {
+			ri = len(rightPairs)
+			rightID[pair] = ri
+			rightPairs = append(rightPairs, pair)
+		}
+		edges = append(edges, edge{li, ri})
+		return true
+	})
+	if witnesses == 0 {
+		return &Result{Rho: 0, Method: "perm-bipartite-vc"}, nil
+	}
+
+	g := matching.NewBipartite(len(leftTuples), len(rightPairs))
+	seen := map[edge]bool{}
+	for _, e := range edges {
+		if !seen[e] {
+			seen[e] = true
+			g.AddEdge(e.l, e.r)
+		}
+	}
+	coverL, coverR, size := g.MinVertexCover()
+	var gamma []db.Tuple
+	for i, c := range coverL {
+		if c {
+			gamma = append(gamma, leftTuples[i])
+		}
+	}
+	for i, c := range coverR {
+		if c {
+			// Deleting either orientation of the pair breaks all its
+			// witnesses; pick the canonical one that exists.
+			p := rightPairs[i]
+			t := db.NewTuple(rel, p[0], p[1])
+			if !d.Has(t) {
+				t = db.NewTuple(rel, p[1], p[0])
+			}
+			gamma = append(gamma, t)
+		}
+	}
+	db.SortTuples(gamma)
+	return &Result{Rho: size, ContingencySet: gamma, Method: "perm-bipartite-vc", Witnesses: witnesses}, nil
+}
+
+// SolveREPFlow computes ρ for z3-shaped queries R(x,x),R(x,y),A(y)
+// (Proposition 36): off-diagonal R-tuples are never needed in minimum
+// contingency sets, so every witness reduces to {R(a,a), A(b)} and the
+// problem becomes bipartite vertex cover between loops and A-tuples.
+func SolveREPFlow(q *cq.Query, d *db.Database) (*Result, error) {
+	rel := sjRelOf(q)
+	unary := ""
+	for _, rn := range q.Relations() {
+		if rn != rel && q.Arity(rn) == 1 && !q.IsExogenous(rn) {
+			unary = rn
+		}
+	}
+	if unary == "" {
+		return nil, fmt.Errorf("resilience: query %s lacks the unary atom of z3", q.Name)
+	}
+
+	loopID := map[db.Tuple]int{}
+	var loops []db.Tuple
+	aID := map[db.Tuple]int{}
+	var aTuples []db.Tuple
+	type edge struct{ l, r int }
+	edgeSet := map[edge]bool{}
+
+	witnesses := 0
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		witnesses++
+		ts := eval.WitnessTuples(q, w, true)
+		var loop, aT db.Tuple
+		haveLoop := false
+		for _, t := range ts {
+			if t.Rel == rel && t.Args[0] == t.Args[1] {
+				loop = t
+				haveLoop = true
+			} else if t.Rel == unary {
+				aT = t
+			}
+		}
+		if !haveLoop {
+			return true
+		}
+		li, ok := loopID[loop]
+		if !ok {
+			li = len(loops)
+			loopID[loop] = li
+			loops = append(loops, loop)
+		}
+		ri, ok := aID[aT]
+		if !ok {
+			ri = len(aTuples)
+			aID[aT] = ri
+			aTuples = append(aTuples, aT)
+		}
+		edgeSet[edge{li, ri}] = true
+		return true
+	})
+	if witnesses == 0 {
+		return &Result{Rho: 0, Method: "rep-bipartite-flow"}, nil
+	}
+
+	g := matching.NewBipartite(len(loops), len(aTuples))
+	for e := range edgeSet {
+		g.AddEdge(e.l, e.r)
+	}
+	coverL, coverR, size := g.MinVertexCover()
+	var gamma []db.Tuple
+	for i, c := range coverL {
+		if c {
+			gamma = append(gamma, loops[i])
+		}
+	}
+	for i, c := range coverR {
+		if c {
+			gamma = append(gamma, aTuples[i])
+		}
+	}
+	db.SortTuples(gamma)
+	return &Result{Rho: size, ContingencySet: gamma, Method: "rep-bipartite-flow", Witnesses: witnesses}, nil
+}
+
+// sjRelOf returns the endogenous repeated relation of q (panicking if none:
+// the dispatcher guarantees the shape).
+func sjRelOf(q *cq.Query) string {
+	for _, r := range q.SelfJoinRelations() {
+		if !q.IsExogenous(r) {
+			return r
+		}
+	}
+	panic("resilience: query has no endogenous self-join relation")
+}

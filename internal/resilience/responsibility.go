@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Responsibility implements the causality notion the paper builds on
+// (Meliou, Gatterbauer, Moore, Suciu [31], cited in Sections 1 and 10):
+// an endogenous tuple t is a counterfactual cause of D |= q under
+// contingency Γ when D−Γ still satisfies q but D−Γ−{t} does not. The
+// responsibility of t is 1/(1+k) for the minimum such |Γ| = k; this
+// function returns that k together with one optimal contingency set.
+//
+// Characterization on the witness family: D−Γ−{t} ̸|= q forces Γ to hit
+// every witness not containing t, and D−Γ |= q requires some witness
+// containing t to survive Γ untouched. So
+//
+//	k = min over witnesses w ∋ t of
+//	    (minimum hitting set of {witnesses without t} avoiding w's tuples)
+//
+// which reuses the exact solver's branch-and-bound hitting machinery with
+// a per-candidate forbidden set. ErrNotCounterfactual is returned when no
+// contingency makes t counterfactual (t participates in no witness, or
+// every choice of surviving witness forces an unbreakable remainder).
+var ErrNotCounterfactual = errors.New("resilience: tuple is not a counterfactual cause under any contingency")
+
+// Responsibility returns the minimum contingency size k making t a
+// counterfactual cause of D |= q, and one optimal contingency set.
+func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
+	if q.IsExogenous(t.Rel) {
+		return 0, nil, fmt.Errorf("resilience: %s is exogenous; only endogenous tuples can be causes", d.TupleString(t))
+	}
+	if !d.Has(t) {
+		return 0, nil, fmt.Errorf("resilience: tuple %s not in database", d.TupleString(t))
+	}
+
+	// Collect witness tuple sets, split by membership of t.
+	var withT, withoutT [][]db.Tuple
+	unbreakable := false
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		all := eval.WitnessTuples(q, w, false)
+		endo := eval.WitnessTuples(q, w, true)
+		uses := false
+		for _, tup := range all {
+			if tup == t {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			withT = append(withT, endo)
+			return true
+		}
+		if len(endo) == 0 {
+			// A witness with no endogenous tuples can never be hit: t can
+			// never become counterfactual.
+			unbreakable = true
+			return false
+		}
+		withoutT = append(withoutT, endo)
+		return true
+	})
+	if unbreakable || len(withT) == 0 {
+		return 0, nil, ErrNotCounterfactual
+	}
+
+	// Intern the tuples of the witnesses that must be hit.
+	idOf := map[db.Tuple]int32{}
+	var tuples []db.Tuple
+	fam := make([][]int32, len(withoutT))
+	for i, s := range withoutT {
+		row := make([]int32, len(s))
+		for j, tup := range s {
+			id, ok := idOf[tup]
+			if !ok {
+				id = int32(len(tuples))
+				idOf[tup] = id
+				tuples = append(tuples, tup)
+			}
+			row[j] = id
+		}
+		fam[i] = row
+	}
+
+	best := -1
+	var bestGamma []db.Tuple
+	for _, surviving := range withT {
+		// Forbid the surviving witness's tuples: drop them from every
+		// row. A row left empty is unhittable for this choice.
+		forbidden := map[int32]bool{}
+		for _, tup := range surviving {
+			if id, ok := idOf[tup]; ok {
+				forbidden[id] = true
+			}
+		}
+		sub := make([][]int32, 0, len(fam))
+		feasible := true
+		for _, row := range fam {
+			kept := make([]int32, 0, len(row))
+			for _, id := range row {
+				if !forbidden[id] {
+					kept = append(kept, id)
+				}
+			}
+			if len(kept) == 0 {
+				feasible = false
+				break
+			}
+			sub = append(sub, kept)
+		}
+		if !feasible {
+			continue
+		}
+		if len(sub) == 0 {
+			return 0, nil, nil // t is counterfactual with the empty contingency
+		}
+		budget := -1
+		if best >= 0 {
+			budget = best - 1
+			if budget < 0 {
+				break
+			}
+		}
+		hs := newHittingSet(sub, len(tuples))
+		size, chosen := hs.solve(budget)
+		if chosen == nil {
+			continue // exceeded budget
+		}
+		if best < 0 || size < best {
+			best = size
+			bestGamma = bestGamma[:0]
+			for _, id := range chosen {
+				bestGamma = append(bestGamma, tuples[id])
+			}
+		}
+	}
+	if best < 0 {
+		return 0, nil, ErrNotCounterfactual
+	}
+	db.SortTuples(bestGamma)
+	return best, bestGamma, nil
+}

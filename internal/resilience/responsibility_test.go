@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// naiveResponsibility enumerates contingency sets by increasing size —
+// an independent oracle for tiny instances.
+func naiveResponsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, bool) {
+	var endo []db.Tuple
+	for _, tup := range d.AllTuples() {
+		if !q.IsExogenous(tup.Rel) && tup != t {
+			endo = append(endo, tup)
+		}
+	}
+	counterfactual := func(gamma []db.Tuple) bool {
+		mark := d.RestoreMark()
+		defer d.RestoreTo(mark)
+		for _, g := range gamma {
+			d.Delete(g)
+		}
+		if !eval.Satisfied(q, d) {
+			return false
+		}
+		d.Delete(t)
+		return !eval.Satisfied(q, d)
+	}
+	var cur []db.Tuple
+	var rec func(start, need int) bool
+	rec = func(start, need int) bool {
+		if need == 0 {
+			return counterfactual(cur)
+		}
+		for i := start; i <= len(endo)-need; i++ {
+			cur = append(cur, endo[i])
+			if rec(i+1, need-1) {
+				cur = cur[:len(cur)-1]
+				return true
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return false
+	}
+	for k := 0; k <= len(endo); k++ {
+		if rec(0, k) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func TestResponsibilityChainExample(t *testing.T) {
+	// D = {R(1,2), R(2,3), R(3,3)} under qchain. R(2,3) is in witnesses
+	// (1,2,3) and (2,3,3); making it counterfactual requires killing
+	// witness (3,3,3), so k = 1 via Γ = {R(3,3)}.
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	r12 := d.AddNames("R", "1", "2")
+	r23 := d.AddNames("R", "2", "3")
+	r33 := d.AddNames("R", "3", "3")
+
+	k, gamma, err := Responsibility(q, d, r23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || len(gamma) != 1 || gamma[0] != r33 {
+		t.Fatalf("k=%d gamma=%v, want 1 and {R(3,3)}", k, gamma)
+	}
+
+	// R(3,3) alone is a witness, so it is counterfactual... only if the
+	// other witnesses are killed: both (1,2,3) and (2,3,3) must go, and
+	// deleting R(2,3) kills both: k = 1.
+	k, _, err = Responsibility(q, d, r33)
+	if err != nil || k != 1 {
+		t.Fatalf("R(3,3): k=%d err=%v, want 1", k, err)
+	}
+
+	// R(1,2) is in one witness; the other two witnesses must be hit
+	// without touching {R(1,2), R(2,3)}: delete R(3,3) — but that kills
+	// witness (2,3,3) and (3,3,3) both. k = 1.
+	k, _, err = Responsibility(q, d, r12)
+	if err != nil || k != 1 {
+		t.Fatalf("R(1,2): k=%d err=%v, want 1", k, err)
+	}
+}
+
+func TestResponsibilityZeroContingency(t *testing.T) {
+	// A single witness: every tuple in it is counterfactual with Γ = ∅.
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	d := db.New()
+	r1 := d.AddNames("R", "1")
+	d.AddNames("S", "1", "2")
+	d.AddNames("R", "2")
+	k, gamma, err := Responsibility(q, d, r1)
+	if err != nil || k != 0 || gamma != nil {
+		t.Fatalf("k=%d gamma=%v err=%v, want 0, nil, nil", k, gamma, err)
+	}
+}
+
+func TestResponsibilityNotCounterfactual(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	orphan := d.AddNames("R", "9", "9") // in a witness of its own... actually (9,9,9) is a witness
+	// R(9,9) IS counterfactual (kill the other witness). Use a tuple in
+	// no witness instead:
+	lone := d.AddNames("R", "7", "8") // no continuation: in no witness
+	if _, _, err := Responsibility(q, d, lone); err != ErrNotCounterfactual {
+		t.Fatalf("err=%v, want ErrNotCounterfactual", err)
+	}
+	if k, _, err := Responsibility(q, d, orphan); err != nil || k != 1 {
+		t.Fatalf("R(9,9): k=%d err=%v, want 1", k, err)
+	}
+}
+
+func TestResponsibilityInputValidation(t *testing.T) {
+	q := cq.MustParse("q :- A(x), W(x,y)^x")
+	d := db.New()
+	a := d.AddNames("A", "1")
+	w := d.AddNames("W", "1", "2")
+	if _, _, err := Responsibility(q, d, w); err == nil {
+		t.Error("want error for exogenous tuple")
+	}
+	d.Remove(a)
+	if _, _, err := Responsibility(q, d, a); err == nil {
+		t.Error("want error for absent tuple")
+	}
+}
+
+// TestResponsibilityAgreesWithNaive cross-checks against brute force on
+// random small instances across query shapes.
+func TestResponsibilityAgreesWithNaive(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("qchain :- R(x,y), R(y,z)"),
+		cq.MustParse("qperm :- R(x,y), R(y,x)"),
+		cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)"),
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, q := range queries {
+		for trial := 0; trial < 4; trial++ {
+			d := datagen.Random(rng, q, 4, 4, 0.4)
+			if !eval.Satisfied(q, d) {
+				continue
+			}
+			checked := 0
+			for _, tup := range d.AllTuples() {
+				if q.IsExogenous(tup.Rel) {
+					continue
+				}
+				if checked++; checked > 5 {
+					break // brute force is exponential; sample a prefix
+				}
+				wantK, wantOK := naiveResponsibility(q, d, tup)
+				gotK, gamma, err := Responsibility(q, d, tup)
+				gotOK := err == nil
+				if gotOK != wantOK {
+					t.Fatalf("%s %s: counterfactual=%v, want %v", q.Name, d.TupleString(tup), gotOK, wantOK)
+				}
+				if !gotOK {
+					continue
+				}
+				if gotK != wantK {
+					t.Fatalf("%s %s: k=%d, want %d", q.Name, d.TupleString(tup), gotK, wantK)
+				}
+				if len(gamma) != gotK {
+					t.Fatalf("%s %s: |Γ|=%d, want %d", q.Name, d.TupleString(tup), len(gamma), gotK)
+				}
+			}
+		}
+	}
+}

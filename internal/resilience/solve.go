@@ -1,0 +1,72 @@
+package resilience
+
+import (
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Solve computes ρ(q, D) with the fastest sound algorithm: it classifies q
+// (Theorem 37 and friends), dispatches PTIME instances to their dedicated
+// solvers, and falls back to the exact branch-and-bound everywhere else.
+// The returned classification explains the choice.
+//
+// Disconnected queries follow Lemma 14: ρ is the minimum over components.
+// Minimization and domination-normalization are sound for resilience by
+// Section 4.1 and Proposition 18 respectively, so solving happens on the
+// normalized form.
+func Solve(q *cq.Query, d *db.Database) (*Result, *core.Classification, error) {
+	cl := core.Classify(q)
+	if len(cl.Components) > 1 {
+		// Lemma 14: minimum over components.
+		var best *Result
+		for _, sub := range cl.Components {
+			res, err := solveClassified(sub, d)
+			if err == ErrUnbreakable {
+				continue // this component cannot be falsified; others may
+			}
+			if err != nil {
+				return nil, cl, err
+			}
+			if best == nil || res.Rho < best.Rho {
+				best = res
+			}
+		}
+		if best == nil {
+			return nil, cl, ErrUnbreakable
+		}
+		return best, cl, nil
+	}
+	res, err := solveClassified(cl, d)
+	return res, cl, err
+}
+
+func solveClassified(cl *core.Classification, d *db.Database) (*Result, error) {
+	q := cl.Normalized
+	switch cl.Algorithm {
+	case core.AlgTrivial:
+		if eval.Satisfied(q, d) {
+			return nil, ErrUnbreakable
+		}
+		return &Result{Rho: 0, Method: "trivial"}, nil
+	case core.AlgLinearFlow:
+		res, err := LinearFlow(q, d)
+		if err == ErrNotLinear {
+			return Exact(q, d)
+		}
+		return res, err
+	case core.AlgPermCount:
+		return SolvePermCount(q, d)
+	case core.AlgPermBipartiteVC:
+		return SolvePermBipartiteVC(q, d)
+	case core.AlgPerm3Flow:
+		return SolvePerm3Flow(q, d)
+	case core.AlgREPFlow:
+		return SolveREPFlow(q, d)
+	case core.AlgTS3confFlow:
+		return SolveTS3conf(q, d)
+	default:
+		return Exact(q, d)
+	}
+}

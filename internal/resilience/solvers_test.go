@@ -1,0 +1,231 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+)
+
+// agree checks that the specialized solver and the exact oracle agree on
+// ρ, and that any returned contingency set verifies.
+func agree(t *testing.T, name string, q *cq.Query, d *db.Database,
+	solver func(*cq.Query, *db.Database) (*Result, error)) {
+	t.Helper()
+	got, err := solver(q, d)
+	if err == ErrUnbreakable {
+		if _, exErr := Exact(q, d); exErr != ErrUnbreakable {
+			t.Fatalf("%s: solver says unbreakable, exact says %v", name, exErr)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("%s: %v\nDB:\n%s", name, err, d)
+	}
+	want, err := Exact(q, d)
+	if err != nil {
+		t.Fatalf("%s: exact: %v", name, err)
+	}
+	if got.Rho != want.Rho {
+		t.Fatalf("%s: solver ρ=%d (%s), exact ρ=%d\nDB:\n%s", name, got.Rho, got.Method, want.Rho, d)
+	}
+	if got.ContingencySet != nil && got.Rho > 0 {
+		if verr := VerifyContingency(q, d, got.ContingencySet); verr != nil {
+			t.Fatalf("%s: invalid contingency set: %v\nΓ=%v\nDB:\n%s", name, verr, got.ContingencySet, d)
+		}
+	}
+}
+
+func TestLinearFlowChainSJFree(t *testing.T) {
+	// Linear sj-free query: A(x), R1(x,y), R2(y,z), C(z).
+	q := cq.MustParse("qlin4 :- A(x), R1(x,y), R2(y,z), C(z)")
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		d := datagen.Random(rng, q, 4, 6, 0)
+		agree(t, "linear-sjfree", q, d, LinearFlow)
+	}
+}
+
+func TestLinearFlowPaperExampleQACconf(t *testing.T) {
+	// Proposition 12's query, the canonical tricky-flow example.
+	q := cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		d := datagen.Random(rng, q, 5, 7, 0.3)
+		agree(t, "qACconf", q, d, LinearFlow)
+	}
+}
+
+func TestLinearFlowConfluenceJoinFirstAttr(t *testing.T) {
+	q := cq.MustParse("q :- A(x), R(y,x), R(y,z), C(z)")
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		d := datagen.Random(rng, q, 5, 7, 0.3)
+		agree(t, "conf-first-attr", q, d, LinearFlow)
+	}
+}
+
+func TestLinearFlowExogenousTuples(t *testing.T) {
+	q := cq.MustParse("q :- A(x), R(x,y)^x, B(y)")
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 20; trial++ {
+		d := datagen.Random(rng, q, 4, 6, 0)
+		agree(t, "exo-middle", q, d, LinearFlow)
+	}
+}
+
+func TestLinearFlowRejectsNonLinear(t *testing.T) {
+	q := cq.MustParse("qtri :- R(x,y), S(y,z), T(z,x)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	if _, err := LinearFlow(q, d); err != ErrNotLinear {
+		t.Errorf("err = %v, want ErrNotLinear", err)
+	}
+}
+
+func TestLinearFlowUnbreakable(t *testing.T) {
+	q := cq.MustParse("q :- A(x)^x, R(x,y)^x")
+	d := db.New()
+	d.AddNames("A", "1")
+	d.AddNames("R", "1", "2")
+	if _, err := LinearFlow(q, d); err != ErrUnbreakable {
+		t.Errorf("err = %v, want ErrUnbreakable", err)
+	}
+}
+
+func TestSolvePermCountAgainstExact(t *testing.T) {
+	q := cq.MustParse("qperm :- R(x,y), R(y,x)")
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 40; trial++ {
+		d := datagen.PermDB(rng, 2+rng.Intn(6), rng.Intn(3), 6)
+		agree(t, "qperm", q, d, SolvePermCount)
+	}
+}
+
+func TestSolvePermBipartiteVCAgainstExact(t *testing.T) {
+	q := cq.MustParse("qAperm :- A(x), R(x,y), R(y,x)")
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 40; trial++ {
+		d := datagen.PermDB(rng, 2+rng.Intn(6), rng.Intn(3), 6, "A")
+		agree(t, "qAperm", q, d, SolvePermBipartiteVC)
+	}
+}
+
+func TestSolveREPFlowAgainstExact(t *testing.T) {
+	q := cq.MustParse("z3 :- R(x,x), R(x,y), A(y)")
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		d := datagen.RandomWithLoops(rng, q, 5, 6, 0.5)
+		for i := 0; i < 5; i++ {
+			d.AddNames("A", datagen.ConstName(rng.Intn(5)))
+		}
+		agree(t, "z3", q, d, SolveREPFlow)
+	}
+}
+
+func TestSolvePerm3FlowA(t *testing.T) {
+	q := cq.MustParse("qA3permR :- A(x), R(x,y), R(y,z), R(z,y)")
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 60; trial++ {
+		d := datagen.PermDB(rng, 2+rng.Intn(5), rng.Intn(3), 6, "A")
+		// Extra one-way tuples to exercise the connector logic.
+		for i := 0; i < 4; i++ {
+			d.AddNames("R", datagen.ConstName(rng.Intn(6)), datagen.ConstName(rng.Intn(6)))
+		}
+		agree(t, "qA3perm-R", q, d, SolvePerm3Flow)
+	}
+}
+
+func TestSolvePerm3FlowSwx(t *testing.T) {
+	q := cq.MustParse("qSwx :- S(w,x), R(x,y), R(y,z), R(z,y)")
+	rng := rand.New(rand.NewSource(39))
+	for trial := 0; trial < 60; trial++ {
+		d := datagen.PermDB(rng, 2+rng.Intn(4), rng.Intn(3), 6)
+		for i := 0; i < 5; i++ {
+			d.AddNames("S", datagen.ConstName(rng.Intn(6)), datagen.ConstName(rng.Intn(6)))
+		}
+		for i := 0; i < 4; i++ {
+			d.AddNames("R", datagen.ConstName(rng.Intn(6)), datagen.ConstName(rng.Intn(6)))
+		}
+		agree(t, "qSwx3perm-R", q, d, SolvePerm3Flow)
+	}
+}
+
+func TestSolveTS3confAgainstExact(t *testing.T) {
+	q := cq.MustParse("qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x")
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 60; trial++ {
+		d := db.New()
+		dom := 5
+		for i := 0; i < 8; i++ {
+			u, v := datagen.ConstName(rng.Intn(dom)), datagen.ConstName(rng.Intn(dom))
+			d.AddNames("R", u, v)
+			if rng.Float64() < 0.6 {
+				d.AddNames("T", u, v)
+			}
+			if rng.Float64() < 0.6 {
+				d.AddNames("S", u, v)
+			}
+		}
+		// Extra exogenous context not aligned with R.
+		for i := 0; i < 3; i++ {
+			d.AddNames("T", datagen.ConstName(rng.Intn(dom)), datagen.ConstName(rng.Intn(dom)))
+			d.AddNames("S", datagen.ConstName(rng.Intn(dom)), datagen.ConstName(rng.Intn(dom)))
+		}
+		agree(t, "qTS3conf", q, d, SolveTS3conf)
+	}
+}
+
+func TestSolveDispatcherOnZooPTimeQueries(t *testing.T) {
+	// End-to-end: Solve must agree with Exact on every PTIME query shape.
+	queries := []string{
+		"qperm :- R(x,y), R(y,x)",
+		"qAperm :- A(x), R(x,y), R(y,x)",
+		"qACconf :- A(x), R(x,y), R(z,y), C(z)",
+		"z3 :- R(x,x), R(x,y), A(y)",
+		"qA3permR :- A(x), R(x,y), R(y,z), R(z,y)",
+		"qrats :- R(x,y), A(x), T(z,x), S(y,z)",
+		"qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x",
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, s := range queries {
+		q := cq.MustParse(s)
+		for trial := 0; trial < 15; trial++ {
+			d := datagen.RandomWithLoops(rng, q, 5, 6, 0.3)
+			got, cl, err := Solve(q, d)
+			if err == ErrUnbreakable {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", q.Name, err)
+			}
+			want, err := Exact(q, d)
+			if err != nil {
+				continue
+			}
+			if got.Rho != want.Rho {
+				t.Fatalf("%s (alg=%s): Solve ρ=%d, Exact ρ=%d\nDB:\n%s",
+					q.Name, cl.Algorithm, got.Rho, want.Rho, d)
+			}
+		}
+	}
+}
+
+func TestSolveDisconnectedTakesMin(t *testing.T) {
+	q := cq.MustParse("q :- A(x), B(u)")
+	d := db.New()
+	d.AddNames("A", "1")
+	d.AddNames("A", "2")
+	d.AddNames("A", "3")
+	d.AddNames("B", "9")
+	res, _, err := Solve(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting B(9) (1 tuple) falsifies the conjunction.
+	if res.Rho != 1 {
+		t.Errorf("ρ = %d, want 1 (cheapest component)", res.Rho)
+	}
+}

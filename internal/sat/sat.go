@@ -1,0 +1,306 @@
+// Package sat provides exact solvers for 3SAT (DPLL) and Max 2SAT
+// (branch and bound), plus random formula generators.
+//
+// These are the oracles that the paper's NP-hardness gadgets are verified
+// against: a reduction is correct iff for every formula ψ,
+// ψ ∈ 3SAT ⇔ ρ(Dψ) = kψ (Propositions 10, 34, 56, Lemmas 52-54) and
+// analogously for Max 2SAT (Proposition 39).
+package sat
+
+import "math/rand"
+
+// Literal is a signed variable reference: +v means variable v (1-based)
+// positive, -v negated. Zero is invalid.
+type Literal int
+
+// Var returns the 1-based variable index of l.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether l is a positive literal.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Eval reports whether the assignment (1-based; assign[v] is the value of
+// variable v) satisfies all clauses.
+func (f *Formula) Eval(assign []bool) bool {
+	return f.CountSatisfied(assign) == len(f.Clauses)
+}
+
+// CountSatisfied returns the number of clauses satisfied by assign.
+func (f *Formula) CountSatisfied(assign []bool) int {
+	n := 0
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + pure-literal
+// elimination) and returns a satisfying assignment when one exists.
+func (f *Formula) Solve() (assign []bool, sat bool) {
+	// values: 0 unknown, 1 true, -1 false.
+	values := make([]int8, f.NumVars+1)
+	if !dpll(f, values) {
+		return nil, false
+	}
+	assign = make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		assign[v] = values[v] >= 0 && values[v] != 0 || values[v] == 1
+	}
+	// Normalize: unknown variables default to false.
+	for v := 1; v <= f.NumVars; v++ {
+		assign[v] = values[v] == 1
+	}
+	return assign, true
+}
+
+// Satisfiable reports whether f has a model.
+func (f *Formula) Satisfiable() bool {
+	_, ok := f.Solve()
+	return ok
+}
+
+func dpll(f *Formula, values []int8) bool {
+	// Unit propagation and conflict detection.
+	type undoRec struct{ v int }
+	var undo []undoRec
+	setLit := func(l Literal) bool {
+		v := l.Var()
+		want := int8(1)
+		if !l.Positive() {
+			want = -1
+		}
+		if values[v] == 0 {
+			values[v] = want
+			undo = append(undo, undoRec{v})
+			return true
+		}
+		return values[v] == want
+	}
+	litVal := func(l Literal) int8 {
+		v := values[l.Var()]
+		if l.Positive() {
+			return v
+		}
+		return -v
+	}
+
+	for {
+		progressed := false
+		for _, c := range f.Clauses {
+			unassigned := 0
+			var unit Literal
+			satisfied := false
+			for _, l := range c {
+				switch litVal(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					unassigned++
+					unit = l
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				for _, u := range undo {
+					values[u.v] = 0
+				}
+				return false
+			}
+			if unassigned == 1 {
+				if !setLit(unit) {
+					for _, u := range undo {
+						values[u.v] = 0
+					}
+					return false
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Find an unassigned variable appearing in an unsatisfied clause.
+	branch := 0
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if litVal(l) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if litVal(l) == 0 {
+				branch = l.Var()
+				break
+			}
+		}
+		if branch != 0 {
+			break
+		}
+	}
+	if branch == 0 {
+		return true // all clauses satisfied
+	}
+	for _, try := range []int8{1, -1} {
+		values[branch] = try
+		if dpll(f, values) {
+			return true
+		}
+	}
+	values[branch] = 0
+	for _, u := range undo {
+		values[u.v] = 0
+	}
+	return false
+}
+
+// MaxSat returns the maximum number of simultaneously satisfiable clauses,
+// by exhaustive search with memoized upper bounds. Intended for the small
+// formulas used in gadget verification (NumVars ≤ ~20).
+func (f *Formula) MaxSat() int {
+	assign := make([]bool, f.NumVars+1)
+	best := 0
+	var rec func(v int)
+	rec = func(v int) {
+		if v > f.NumVars {
+			if s := f.CountSatisfied(assign); s > best {
+				best = s
+			}
+			return
+		}
+		assign[v] = true
+		rec(v + 1)
+		assign[v] = false
+		rec(v + 1)
+	}
+	rec(1)
+	return best
+}
+
+// Random3SAT generates a random 3CNF formula with n variables and m
+// clauses; each clause has three distinct variables.
+func Random3SAT(rng *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sat: Random3SAT needs n >= 3")
+	}
+	f := &Formula{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := rng.Perm(n)[:3]
+		c := make(Clause, 3)
+		for j, v := range vars {
+			l := Literal(v + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c[j] = l
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Random2SAT generates a random 2CNF formula with n variables and m
+// clauses over distinct variables.
+func Random2SAT(rng *rand.Rand, n, m int) *Formula {
+	if n < 2 {
+		panic("sat: Random2SAT needs n >= 2")
+	}
+	f := &Formula{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := rng.Perm(n)[:2]
+		c := make(Clause, 2)
+		for j, v := range vars {
+			l := Literal(v + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c[j] = l
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// EnumerateAll3SAT yields every 3CNF formula shape over n variables with m
+// clauses drawn from the given clause pool index set, for exhaustive gadget
+// verification on small sizes. It calls fn for each formula; fn returning
+// false stops enumeration.
+func EnumerateAll3SAT(n, m int, fn func(*Formula) bool) {
+	pool := allClauses(n, 3)
+	idx := make([]int, m)
+	var rec func(k, start int) bool
+	rec = func(k, start int) bool {
+		if k == m {
+			f := &Formula{NumVars: n}
+			for _, i := range idx {
+				f.Clauses = append(f.Clauses, pool[i])
+			}
+			return fn(f)
+		}
+		for i := start; i < len(pool); i++ {
+			idx[k] = i
+			if !rec(k+1, i) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}
+
+// allClauses enumerates all clauses of width w over n variables with
+// distinct variables (unordered variable sets, all sign patterns).
+func allClauses(n, w int) []Clause {
+	var out []Clause
+	vars := make([]int, w)
+	var pick func(k, start int)
+	pick = func(k, start int) {
+		if k == w {
+			for signs := 0; signs < 1<<w; signs++ {
+				c := make(Clause, w)
+				for i, v := range vars {
+					l := Literal(v)
+					if signs>>i&1 == 1 {
+						l = -l
+					}
+					c[i] = l
+				}
+				out = append(out, c)
+			}
+			return
+		}
+		for v := start; v <= n; v++ {
+			vars[k] = v
+			pick(k+1, v+1)
+		}
+	}
+	pick(0, 1)
+	return out
+}

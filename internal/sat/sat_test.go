@@ -1,0 +1,173 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}}}
+	assign, ok := f.Solve()
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if !f.Eval(assign) {
+		t.Fatal("returned assignment does not satisfy formula")
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	// (x) ∧ (¬x) via padding: x∨x∨x etc.
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{1, 1, 1}, {-1, -1, -1},
+	}}
+	if f.Satisfiable() {
+		t.Fatal("unsatisfiable formula reported sat")
+	}
+}
+
+func TestSolveForcedChain(t *testing.T) {
+	// Unit chain forcing x1=T, x2=T, x3=F.
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{1},
+		{-1, 2},
+		{-2, -3},
+		{-3},
+	}}
+	assign, ok := f.Solve()
+	if !ok {
+		t.Fatal("reported unsat")
+	}
+	if !assign[1] || !assign[2] || assign[3] {
+		t.Errorf("assignment = %v, want T,T,F", assign[1:])
+	}
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(5)
+		m := 1 + rng.Intn(12)
+		f := Random3SAT(rng, n, m)
+		got := f.Satisfiable()
+		want := bruteSat(f)
+		if got != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v formula=%v", trial, got, want, f.Clauses)
+		}
+	}
+}
+
+func TestSolutionAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		f := Random3SAT(rng, 4+rng.Intn(4), 1+rng.Intn(15))
+		if assign, ok := f.Solve(); ok && !f.Eval(assign) {
+			t.Fatalf("trial %d: Solve returned non-model", trial)
+		}
+	}
+}
+
+func TestMaxSatVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		f := Random2SAT(rng, 2+rng.Intn(6), 1+rng.Intn(10))
+		got := f.MaxSat()
+		want := bruteMaxSat(f)
+		if got != want {
+			t.Fatalf("trial %d: MaxSat=%d brute=%d", trial, got, want)
+		}
+	}
+}
+
+func TestMaxSatUnsatisfiableFormula(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{
+		{1, 2}, {1, -2}, {-1, 2}, {-1, -2},
+	}}
+	if got := f.MaxSat(); got != 3 {
+		t.Errorf("MaxSat = %d, want 3 (classic 2SAT gadget)", got)
+	}
+	if f.Satisfiable() {
+		t.Error("formula should be unsat")
+	}
+}
+
+func TestEnumerateAll3SATCountsAndStops(t *testing.T) {
+	count := 0
+	EnumerateAll3SAT(3, 1, func(f *Formula) bool {
+		count++
+		if len(f.Clauses) != 1 || f.NumVars != 3 {
+			t.Fatal("bad formula shape")
+		}
+		return true
+	})
+	// One variable-set {1,2,3} with 8 sign patterns.
+	if count != 8 {
+		t.Errorf("enumerated %d formulas, want 8", count)
+	}
+	count = 0
+	EnumerateAll3SAT(3, 1, func(*Formula) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestLiteralHelpers(t *testing.T) {
+	if Literal(-5).Var() != 5 || Literal(5).Var() != 5 {
+		t.Error("Var() wrong")
+	}
+	if Literal(-5).Positive() || !Literal(5).Positive() {
+		t.Error("Positive() wrong")
+	}
+}
+
+func bruteSat(f *Formula) bool {
+	assign := make([]bool, f.NumVars+1)
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v > f.NumVars {
+			return f.Eval(assign)
+		}
+		assign[v] = true
+		if rec(v + 1) {
+			return true
+		}
+		assign[v] = false
+		return rec(v + 1)
+	}
+	return rec(1)
+}
+
+func bruteMaxSat(f *Formula) int {
+	assign := make([]bool, f.NumVars+1)
+	best := 0
+	var rec func(v int)
+	rec = func(v int) {
+		if v > f.NumVars {
+			if s := f.CountSatisfied(assign); s > best {
+				best = s
+			}
+			return
+		}
+		assign[v] = true
+		rec(v + 1)
+		assign[v] = false
+		rec(v + 1)
+	}
+	rec(1)
+	return best
+}
+
+func BenchmarkDPLLRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	formulas := make([]*Formula, 32)
+	for i := range formulas {
+		formulas[i] = Random3SAT(rng, 12, 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		formulas[i%len(formulas)].Satisfiable()
+	}
+}

@@ -1,0 +1,198 @@
+// Package vertexcover provides an exact minimum vertex cover solver for
+// small undirected graphs, plus graph generators.
+//
+// Vertex Cover is the source problem of the paper's simplest hardness
+// reduction (Proposition 9: VC ≤ RES(qvc)) and of the generalized IJP-based
+// reduction of Section 9, which this repository makes executable and
+// verifies against this solver.
+package vertexcover
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	edges map[[2]int]bool
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, edges: map[[2]int]bool{}}
+}
+
+// AddEdge inserts the undirected edge {u,v}; self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.edges[[2]int{u, v}] = true
+}
+
+// Edges returns the edge list in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// MinVertexCover returns the size of a minimum vertex cover and one optimal
+// cover, computed by branch and bound on the highest-degree uncovered edge.
+func (g *Graph) MinVertexCover() (int, []int) {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return 0, nil
+	}
+	inCover := make([]bool, g.N)
+	best := len(edges) + 1 // trivial upper bound: one endpoint per edge
+	var bestCover []int
+
+	var rec func(cur int)
+	rec = func(cur int) {
+		if cur >= best {
+			return
+		}
+		// Find first uncovered edge.
+		var pick [2]int
+		found := false
+		uncovered := 0
+		deg := map[int]int{}
+		for _, e := range edges {
+			if !inCover[e[0]] && !inCover[e[1]] {
+				if !found {
+					pick = e
+					found = true
+				}
+				uncovered++
+				deg[e[0]]++
+				deg[e[1]]++
+			}
+		}
+		if !found {
+			best = cur
+			bestCover = bestCover[:0]
+			for v, in := range inCover {
+				if in {
+					bestCover = append(bestCover, v)
+				}
+			}
+			return
+		}
+		// Lower bound: a maximal set of vertex-disjoint uncovered edges.
+		lb := matchingLowerBound(edges, inCover)
+		if cur+lb >= best {
+			return
+		}
+		// Branch on the endpoint with higher uncovered degree first.
+		u, v := pick[0], pick[1]
+		if deg[v] > deg[u] {
+			u, v = v, u
+		}
+		inCover[u] = true
+		rec(cur + 1)
+		inCover[u] = false
+		inCover[v] = true
+		rec(cur + 1)
+		inCover[v] = false
+	}
+	rec(0)
+	cover := append([]int(nil), bestCover...)
+	return best, cover
+}
+
+// matchingLowerBound greedily builds vertex-disjoint uncovered edges; the
+// count is a lower bound on the remaining cover size.
+func matchingLowerBound(edges [][2]int, inCover []bool) int {
+	used := map[int]bool{}
+	lb := 0
+	for _, e := range edges {
+		if inCover[e[0]] || inCover[e[1]] || used[e[0]] || used[e[1]] {
+			continue
+		}
+		used[e[0]] = true
+		used[e[1]] = true
+		lb++
+	}
+	return lb
+}
+
+// IsCover reports whether the given vertex set covers every edge.
+func (g *Graph) IsCover(cover []int) bool {
+	in := make([]bool, g.N)
+	for _, v := range cover {
+		in[v] = true
+	}
+	for e := range g.edges {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomGraph generates a G(n,p) random graph.
+func RandomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Path returns the path graph P_n (n vertices, n-1 edges).
+func Path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} centered at vertex 0.
+func Star(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}

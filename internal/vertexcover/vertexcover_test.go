@@ -1,0 +1,101 @@
+package vertexcover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", NewGraph(5), 0},
+		{"single edge", func() *Graph { g := NewGraph(2); g.AddEdge(0, 1); return g }(), 1},
+		{"path4", Path(4), 2},
+		{"C4", Cycle(4), 2},
+		{"C5", Cycle(5), 3},
+		{"C6", Cycle(6), 3},
+		{"K4", Complete(4), 3},
+		{"K5", Complete(5), 4},
+		{"star8", Star(8), 1},
+	}
+	for _, c := range cases {
+		size, cover := c.g.MinVertexCover()
+		if size != c.want {
+			t.Errorf("%s: VC = %d, want %d", c.name, size, c.want)
+		}
+		if !c.g.IsCover(cover) {
+			t.Errorf("%s: returned cover is not a cover", c.name)
+		}
+		if len(cover) != size {
+			t.Errorf("%s: cover size %d != reported %d", c.name, len(cover), size)
+		}
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(1, 1)
+	if g.NumEdges() != 0 {
+		t.Error("self-loop should be ignored")
+	}
+}
+
+func TestEdgeDedupAndOrder(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	es := g.Edges()
+	if len(es) != 2 {
+		t.Fatalf("edges = %d, want 2", len(es))
+	}
+	if es[0] != [2]int{0, 2} || es[1] != [2]int{1, 2} {
+		t.Errorf("edges = %v, want sorted normalized", es)
+	}
+}
+
+func TestRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		g := RandomGraph(rng, 3+rng.Intn(7), 0.4)
+		size, cover := g.MinVertexCover()
+		if !g.IsCover(cover) {
+			t.Fatalf("trial %d: invalid cover", trial)
+		}
+		if want := bruteVC(g); size != want {
+			t.Fatalf("trial %d: B&B=%d brute=%d", trial, size, want)
+		}
+	}
+}
+
+func bruteVC(g *Graph) int {
+	n := g.N
+	best := n
+	for mask := 0; mask < 1<<n; mask++ {
+		var cover []int
+		for v := 0; v < n; v++ {
+			if mask>>v&1 == 1 {
+				cover = append(cover, v)
+			}
+		}
+		if len(cover) < best && g.IsCover(cover) {
+			best = len(cover)
+		}
+	}
+	return best
+}
+
+func BenchmarkVCRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	graphs := make([]*Graph, 16)
+	for i := range graphs {
+		graphs[i] = RandomGraph(rng, 14, 0.3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphs[i%len(graphs)].MinVertexCover()
+	}
+}

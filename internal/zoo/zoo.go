@@ -1,0 +1,125 @@
+// Package zoo catalogs every named query of the paper together with its
+// complexity as stated there. It is the ground truth for the classifier
+// tests and for the experiment harness that regenerates the paper's
+// figures (Figures 1-7, Section 8 catalog).
+package zoo
+
+import (
+	"repro/internal/core"
+	"repro/internal/cq"
+)
+
+// Entry is one named query with its paper-stated complexity.
+type Entry struct {
+	// Name as used in the paper.
+	Name string
+	// Query is the parsed shape, with exogenous marks as in the paper.
+	Query *cq.Query
+	// Expected is the complexity the paper proves (or leaves Open).
+	Expected core.Verdict
+	// Source cites where the paper states the complexity.
+	Source string
+	// Figure ties the entry to a figure/table of the paper, if any.
+	Figure string
+}
+
+// Queries returns the full zoo in paper order.
+func Queries() []Entry {
+	return []Entry{
+		// Section 2 (Figure 1): the sj-free background queries.
+		{"q_triangle", cq.MustParse("qtriangle :- R(x,y), S(y,z), T(z,x)"), core.NPComplete, "Lemma 6 / Prop 56", "Fig 1a"},
+		{"q_tripod", cq.MustParse("qT :- A(x), B(y), C(z), W(x,y,z)"), core.NPComplete, "Lemma 6 / Prop 57", "Fig 1b"},
+		{"q_rats", cq.MustParse("qrats :- R(x,y), A(x), T(z,x), S(y,z)"), core.PTime, "Section 2.2", "Fig 1c"},
+		{"q_brats", cq.MustParse("qbrats :- B(y), R(x,y), A(x), T(z,x), S(y,z)"), core.PTime, "Section 5.1", ""},
+		{"q_lin", cq.MustParse("qlin :- A(x), R(x,y,z), S(y,z)"), core.PTime, "Section 2.4", "Fig 1d"},
+
+		// Section 3.1 (Figure 2): basic hard self-join queries.
+		{"q_vc", cq.MustParse("qvc :- R(x), S(x,y), R(y)"), core.NPComplete, "Proposition 9", "Fig 2a/2b"},
+		{"q_chain", cq.MustParse("qchain :- R(x,y), R(y,z)"), core.NPComplete, "Proposition 10", "Fig 2c/2d"},
+
+		// Section 3.3 (Figure 3): easy queries needing trickier flow.
+		{"q_ACconf", cq.MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)"), core.PTime, "Proposition 12", "Fig 3a"},
+		{"q_A3perm-R", cq.MustParse("qA3permR :- A(x), R(x,y), R(y,z), R(z,y)"), core.PTime, "Proposition 13", "Fig 3b"},
+
+		// Section 5 (Example 20): self-join variations of the triangle.
+		{"q_sj1_triangle", cq.MustParse("qsj1 :- R(x,y), R(y,z), R(z,x)"), core.NPComplete, "Lemma 21", ""},
+		{"q_sj2_triangle", cq.MustParse("qsj2 :- R(x,y), R(y,z), T(z,x)"), core.NPComplete, "Lemma 21", ""},
+		{"q_sj3_triangle", cq.MustParse("qsj3 :- R(x,y), S(y,z), R(z,x)"), core.NPComplete, "Lemma 21", ""},
+		{"q_sj1_rats", cq.MustParse("qsj1rats :- R(x,y), A(x), R(y,z), R(z,x)"), core.NPComplete, "Proposition 23 / Lemma 50", ""},
+		{"q_sj1_brats", cq.MustParse("qsj1brats :- B(y), R(x,y), A(x), R(z,x), R(y,z)"), core.NPComplete, "Proposition 23 / Lemma 51", ""},
+
+		// Section 7.1 (Figure 6a): all unary expansions of the chain.
+		{"q_a_chain", cq.MustParse("qachain :- A(x), R(x,y), R(y,z)"), core.NPComplete, "Lemma 53", "Fig 6a"},
+		{"q_b_chain", cq.MustParse("qbchain :- R(x,y), B(y), R(y,z)"), core.NPComplete, "Lemma 52", "Fig 6a"},
+		{"q_c_chain", cq.MustParse("qcchain :- R(x,y), R(y,z), C(z)"), core.NPComplete, "Lemma 53", "Fig 6a"},
+		{"q_ab_chain", cq.MustParse("qabchain :- A(x), R(x,y), B(y), R(y,z)"), core.NPComplete, "Lemma 53", "Fig 6a"},
+		{"q_bc_chain", cq.MustParse("qbcchain :- R(x,y), B(y), R(y,z), C(z)"), core.NPComplete, "Lemma 53", "Fig 6a"},
+		{"q_ac_chain", cq.MustParse("qacchain :- A(x), R(x,y), R(y,z), C(z)"), core.NPComplete, "Lemma 54", "Fig 6a"},
+		{"q_abc_chain", cq.MustParse("qabcchain :- A(x), R(x,y), B(y), R(y,z), C(z)"), core.NPComplete, "Lemma 54", "Fig 6a"},
+
+		// Section 7.2: confluences.
+		{"q_conf_pseudo", cq.MustParse("cfp :- R(x,y), H(x,z)^x, R(z,y)"), core.NPComplete, "Proposition 32 (≡ qvc)", "Fig 5"},
+
+		// Section 7.3: permutations.
+		{"q_perm", cq.MustParse("qperm :- R(x,y), R(y,x)"), core.PTime, "Proposition 33", "Fig 5"},
+		{"q_A_perm", cq.MustParse("qAperm :- A(x), R(x,y), R(y,x)"), core.PTime, "Proposition 33", "Fig 5"},
+		{"q_AB_perm", cq.MustParse("qABperm :- A(x), R(x,y), R(y,x), B(y)"), core.NPComplete, "Proposition 34", "Fig 5"},
+
+		// Section 7.4: REP with two R-atoms.
+		{"z1", cq.MustParse("z1 :- R(x,x), S(x,y), R(y,y)"), core.NPComplete, "Theorem 28 (binary path)", "Fig 5"},
+		{"z2", cq.MustParse("z2 :- R(x,x), S(x,y), R(y,z)"), core.NPComplete, "Theorem 28 (binary path)", "Fig 5"},
+		{"z3", cq.MustParse("z3 :- R(x,x), R(x,y), A(y)"), core.PTime, "Proposition 36", "Fig 5"},
+
+		// Section 8.1: 3-chains.
+		{"q_3chain", cq.MustParse("q3chain :- R(x,y), R(y,z), R(z,w)"), core.NPComplete, "Proposition 38", ""},
+
+		// Section 8.2 (Figure 7): 3-confluences.
+		{"q_AC3conf", cq.MustParse("qAC3conf :- A(x), R(x,y), R(z,y), R(z,w), C(w)"), core.NPComplete, "Proposition 39", "Fig 7a"},
+		{"q_TS3conf", cq.MustParse("qTS3conf :- T(x,y)^x, R(x,y), R(z,y), R(z,w), S(z,w)^x"), core.PTime, "Proposition 41", "Fig 7b"},
+		{"q_AS3conf", cq.MustParse("qAS3conf :- A(x), R(x,y), R(z,y), R(z,w), S(z,w)^x"), core.Open, "Section 8.2 open", "Fig 7c"},
+
+		// Section 8.3: chain-confluence combinations.
+		{"q_AC3cc", cq.MustParse("qAC3cc :- A(x), R(x,y), R(y,z), R(w,z), C(w)"), core.NPComplete, "Proposition 42", ""},
+		{"q_AS3cc", cq.MustParse("qAS3cc :- A(x), R(x,y), R(y,z), R(w,z), S(w,z)"), core.NPComplete, "Proposition 42", ""},
+		{"q_C3cc", cq.MustParse("qC3cc :- R(x,y), R(y,z), R(w,z), C(w)"), core.NPComplete, "Proposition 43", ""},
+		{"q_S3cc", cq.MustParse("qS3cc :- R(x,y), R(y,z), R(w,z), S(w,z)"), core.Open, "Section 8.3 open", ""},
+
+		// Section 8.4: permutation plus R.
+		{"q_Swx3perm-R", cq.MustParse("qSwx :- S(w,x), R(x,y), R(y,z), R(z,y)"), core.PTime, "Proposition 44", ""},
+		{"q_Sxy3perm-R", cq.MustParse("qSxy :- S(x,y)^x, R(x,y), R(y,z), R(z,y)"), core.NPComplete, "Proposition 45", ""},
+		{"q_AC3perm-R", cq.MustParse("qAC3permR :- A(x), R(x,y), R(y,z), R(z,y), C(z)"), core.NPComplete, "Proposition 46", ""},
+		{"q_AB3perm-R", cq.MustParse("qAB3permR :- A(x), R(x,y), B(y), R(y,z), R(z,y)"), core.NPComplete, "Proposition 46", ""},
+		{"q_SxyBC3perm-R", cq.MustParse("qSxyBC :- S(x,y), R(x,y), B(y), R(y,z), R(z,y), C(z)"), core.NPComplete, "Proposition 46", ""},
+		{"q_ASxy3perm-R", cq.MustParse("qASxy :- A(x), S(x,y), R(x,y), R(y,z), R(z,y)"), core.Open, "Section 8.4 open", ""},
+		{"q_SxyB3perm-R", cq.MustParse("qSxyB :- S(x,y), R(x,y), B(y), R(y,z), R(z,y)"), core.Open, "Section 8.4 open", ""},
+		{"q_SxyC3perm-R", cq.MustParse("qSxyC :- S(x,y), R(x,y), R(y,z), R(z,y), C(z)"), core.Open, "Section 8.4 open", ""},
+
+		// Section 8.5: REP with three R-atoms.
+		{"z4", cq.MustParse("z4 :- R(x,x), R(x,y), S(x,y), R(y,y)"), core.NPComplete, "Proposition 47", ""},
+		{"z5", cq.MustParse("z5 :- A(x), R(x,y), R(y,z), R(z,z)"), core.NPComplete, "Proposition 47", ""},
+		{"z6", cq.MustParse("z6 :- A(x), R(x,y), R(y,y), R(y,z), C(z)"), core.Open, "Section 8.5 open", ""},
+		{"z7", cq.MustParse("z7 :- A(x), R(x,y), R(y,x), R(y,y)"), core.Open, "Section 8.5 open", ""},
+	}
+}
+
+// ByName returns the entry with the given name, or nil.
+func ByName(name string) *Entry {
+	for _, e := range Queries() {
+		if e.Name == name {
+			cp := e
+			return &cp
+		}
+	}
+	return nil
+}
+
+// Figure5 returns the entries of the two-R-atom pattern table (Figure 5).
+func Figure5() []Entry {
+	var out []Entry
+	for _, e := range Queries() {
+		if e.Figure == "Fig 5" {
+			out = append(out, e)
+		}
+	}
+	return out
+}

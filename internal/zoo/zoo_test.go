@@ -1,0 +1,56 @@
+package zoo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestClassifierMatchesPaper is the repository's headline correctness
+// check: for every named query in the paper, the classifier's verdict must
+// equal the complexity the paper states (Figures 1-7, Sections 5-8).
+func TestClassifierMatchesPaper(t *testing.T) {
+	for _, e := range Queries() {
+		cl := core.Classify(e.Query)
+		if cl.Verdict != e.Expected {
+			t.Errorf("%s (%s): classifier says %s via %q (%s), paper says %s",
+				e.Name, e.Query, cl.Verdict, cl.Rule, cl.Certificate, e.Expected)
+		}
+	}
+}
+
+func TestZooWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Queries() {
+		if e.Name == "" || e.Source == "" {
+			t.Errorf("entry %q missing name or source", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate zoo entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if err := e.Query.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+	}
+	if len(Queries()) < 40 {
+		t.Errorf("zoo has %d entries, expected the paper's full catalog (>= 40)", len(Queries()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	e := ByName("q_chain")
+	if e == nil || e.Expected != core.NPComplete {
+		t.Fatal("q_chain lookup failed")
+	}
+	if ByName("no_such_query") != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+func TestFigure5Coverage(t *testing.T) {
+	f5 := Figure5()
+	if len(f5) < 6 {
+		t.Errorf("Figure 5 table has %d entries, want >= 6 (chain/conf/perm/REP rows)", len(f5))
+	}
+}

@@ -1,0 +1,234 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	"New Results for the Complexity of Resilience for Binary Conjunctive
+//	 Queries with Self-Joins" (Freire, Gatterbauer, Immerman, Meliou,
+//	 PODS 2020, arXiv:1907.01129v2)
+//
+// The resilience ρ(q, D) of a Boolean conjunctive query q on a database D
+// is the minimum number of endogenous tuples whose deletion falsifies q.
+// This package is the public facade over the full system:
+//
+//   - Parse / MustParse build conjunctive queries in Datalog notation,
+//     with ^x marking exogenous (non-deletable) relations;
+//   - Classify decides whether RES(q) is PTIME or NP-complete (the
+//     dichotomy of Theorem 37 plus the Section 8 partial results), with a
+//     certificate naming the structural pattern and paper result;
+//   - Resilience computes ρ with the fastest sound algorithm (network
+//     flow and the specialized PTIME solvers where the classifier permits,
+//     exact branch-and-bound otherwise);
+//   - ResilienceExact always uses the exact solver;
+//   - DeletionPropagation answers source-side-effect deletion propagation
+//     for non-Boolean queries via witness filtering;
+//   - FindIJP / SearchIJP expose the Independent Join Path machinery of
+//     Section 9.
+//
+// Quick start:
+//
+//	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
+//	d := repro.NewDatabase()
+//	d.AddNames("R", "1", "2")
+//	d.AddNames("R", "2", "3")
+//	d.AddNames("R", "3", "3")
+//	res, cl, _ := repro.Resilience(q, d)   // res.Rho == 2
+//	fmt.Println(cl.Verdict)                // NP-complete (but tiny inputs are fine)
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cnfenc"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/hardness"
+	"repro/internal/ijp"
+	"repro/internal/resilience"
+)
+
+// Re-exported core types. The aliases expose the full method sets of the
+// internal packages through the public API.
+type (
+	// Query is a Boolean conjunctive query with exogenous annotations.
+	Query = cq.Query
+	// Database is an in-memory instance: relations of interned tuples.
+	Database = db.Database
+	// Tuple is a single fact; comparable and usable as a map key.
+	Tuple = db.Tuple
+	// Value is an interned constant.
+	Value = db.Value
+	// Classification is a complexity verdict with certificate.
+	Classification = core.Classification
+	// Verdict is the complexity class of RES(q).
+	Verdict = core.Verdict
+	// Result is the outcome of a resilience computation.
+	Result = resilience.Result
+	// Witness is a satisfying valuation of a query's variables.
+	Witness = eval.Witness
+	// Var identifies a query variable.
+	Var = cq.Var
+	// IJPCertificate is a verified Independent Join Path (Definition 48).
+	IJPCertificate = ijp.Certificate
+)
+
+// Verdict values (see core.Verdict).
+const (
+	PTime      = core.PTime
+	NPComplete = core.NPComplete
+	Open       = core.Open
+	OutOfScope = core.OutOfScope
+)
+
+// ErrUnbreakable is returned when no endogenous deletion can falsify the
+// query (some witness consists purely of exogenous tuples).
+var ErrUnbreakable = resilience.ErrUnbreakable
+
+// Parse parses a query in Datalog-like notation, e.g.
+// "q :- A(x), R(x,y), S(y,z)^x". See cq.Parse for the grammar.
+func Parse(s string) (*Query, error) { return cq.Parse(s) }
+
+// MustParse is Parse panicking on error.
+func MustParse(s string) *Query { return cq.MustParse(s) }
+
+// NewDatabase returns an empty database instance.
+func NewDatabase() *Database { return db.New() }
+
+// Classify determines the complexity of RES(q) per the paper's dichotomy
+// (Theorem 37) and related results, returning a certificate.
+func Classify(q *Query) *Classification { return core.Classify(q) }
+
+// Resilience computes ρ(q, D) using the algorithm selected by the
+// classifier (network flow / specialized PTIME solvers / exact search).
+func Resilience(q *Query, d *Database) (*Result, *Classification, error) {
+	return resilience.Solve(q, d)
+}
+
+// ResilienceExact computes ρ(q, D) with the exact branch-and-bound solver,
+// which is sound for every conjunctive query.
+func ResilienceExact(q *Query, d *Database) (*Result, error) {
+	return resilience.Exact(q, d)
+}
+
+// Decide reports whether (D, k) ∈ RES(q): D |= q and at most k endogenous
+// deletions falsify q (Definition 1).
+func Decide(q *Query, d *Database, k int) (bool, error) {
+	return resilience.Decide(q, d, k)
+}
+
+// Satisfied reports whether D |= q.
+func Satisfied(q *Query, d *Database) bool { return eval.Satisfied(q, d) }
+
+// Witnesses enumerates the witnesses of q over d.
+func Witnesses(q *Query, d *Database) []Witness { return eval.Witnesses(q, d) }
+
+// VerifyContingency checks that deleting gamma falsifies q on d; the
+// database is restored before returning.
+func VerifyContingency(q *Query, d *Database, gamma []Tuple) error {
+	return resilience.VerifyContingency(q, d, gamma)
+}
+
+// DeletionPropagation solves deletion propagation with source side-effects
+// (Section 1 of the paper): given a non-Boolean query — q's body plus head
+// variables named in head — and an output tuple out (constant names, one
+// per head variable), it returns the minimum set of endogenous source
+// tuples whose deletion removes out from the query result.
+//
+// Semantics: exactly the witnesses producing out are targeted, so
+// self-joins are handled soundly (tuple identity is preserved, unlike
+// per-atom specialization).
+func DeletionPropagation(q *Query, head []string, d *Database, out []string) (*Result, error) {
+	if len(head) != len(out) {
+		return nil, fmt.Errorf("repro: head has %d variables but output tuple has %d", len(head), len(out))
+	}
+	vars := make([]cq.Var, len(head))
+	vals := make([]db.Value, len(head))
+	for i, name := range head {
+		v, ok := q.LookupVar(name)
+		if !ok {
+			return nil, fmt.Errorf("repro: head variable %q not in query", name)
+		}
+		vars[i] = v
+		vals[i] = d.Const(out[i])
+	}
+	res, err := resilience.ExactFiltered(q, d, func(w eval.Witness) bool {
+		for i, v := range vars {
+			if w[v] != vals[i] {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Method = "deletion-propagation/" + res.Method
+	return res, nil
+}
+
+// FindIJP checks whether d forms an Independent Join Path for q under any
+// endpoint pair (Definition 48), returning the certificate or nil.
+func FindIJP(q *Query, d *Database) *IJPCertificate { return ijp.Check(q, d) }
+
+// SearchIJP runs the Appendix C.2 automated search: up to maxJoins
+// canonical witnesses, all constant partitions (bounded by maxConsts
+// constants per level). Returns the certificate (or nil), the number of
+// candidate databases tested, and whether the space was exhausted.
+func SearchIJP(q *Query, maxJoins, maxConsts int) (*IJPCertificate, int, bool) {
+	return ijp.Search(q, maxJoins, maxConsts)
+}
+
+// ChainableIJP is an IJP whose chained Vertex Cover reduction (Figure 8 /
+// Conjecture 49) has been validated empirically: ρ(q, D_G) = VC(G) + β·|E|
+// on the calibration graph battery.
+type ChainableIJP = ijp.ChainableCertificate
+
+// SearchHardnessProof upgrades SearchIJP to the paper's full Section 9
+// program: it hunts for an IJP whose chained copies demonstrably reduce
+// Vertex Cover to RES(q), i.e., an automatically discovered and validated
+// NP-hardness reduction. Returns the validated certificate (or nil), the
+// number of candidate databases tested, and whether the space was
+// exhausted.
+func SearchHardnessProof(q *Query, maxJoins, maxConsts int) (*ChainableIJP, int, bool) {
+	return ijp.SearchChainable(q, maxJoins, maxConsts)
+}
+
+// Responsibility computes the causal responsibility of an endogenous
+// tuple t for D |= q in the sense of Meliou et al. [31] (the notion the
+// paper's introduction builds on): the minimum size k of a contingency
+// set Γ such that D−Γ |= q but D−Γ−{t} ̸|= q, together with one optimal
+// Γ. The responsibility score of [31] is 1/(1+k). It returns
+// resilience.ErrNotCounterfactual when no contingency makes t a
+// counterfactual cause.
+func Responsibility(q *Query, d *Database, t Tuple) (int, []Tuple, error) {
+	return resilience.Responsibility(q, d, t)
+}
+
+// EnumerateMinimum returns ρ(q, D) with every minimum contingency set (up
+// to maxSets; 0 = no cap) — the full space of optimal interventions, for
+// explanation and repair applications that need more than one witness of
+// optimality.
+func EnumerateMinimum(q *Query, d *Database, maxSets int) (int, [][]Tuple, error) {
+	return resilience.EnumerateMinimum(q, d, maxSets)
+}
+
+// HardnessReduction is an executable NP-hardness reduction for a query:
+// Vertex Cover or 3SAT instances map to RES(q) membership instances.
+type HardnessReduction = hardness.Reduction
+
+// BuildHardness returns an executable hardness reduction for q — the
+// NP-complete side's counterpart to the PTIME solvers. The reduction is
+// selected by the classifier's certificate (generic path / chain gadget /
+// bound-permutation gadget / Proposition 32 confluence reduction), falling
+// back to an automatically discovered chainable IJP for triads and the
+// Section 8 catalog. It fails with hardness.ErrNoReduction when q is not
+// NP-complete or no gadget is available.
+func BuildHardness(q *Query) (*HardnessReduction, error) { return hardness.Build(q) }
+
+// DecideSAT answers the RES(q, D, k) decision problem with the
+// independently implemented SAT oracle (CNF encoding with a sequential
+// cardinality counter, solved by DPLL). It cross-checks the
+// branch-and-bound solver and additionally returns a verified contingency
+// set of size ≤ k when the answer is yes.
+func DecideSAT(q *Query, d *Database, k int) (bool, []Tuple, error) {
+	return cnfenc.Decide(q, d, k)
+}

@@ -1,0 +1,205 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestQuickstartChainExample(t *testing.T) {
+	q := MustParse("qchain :- R(x,y), R(y,z)")
+	d := NewDatabase()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+	res, cl, err := Resilience(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 2 {
+		t.Errorf("ρ = %d, want 2", res.Rho)
+	}
+	if cl.Verdict != NPComplete {
+		t.Errorf("verdict = %s, want NP-complete", cl.Verdict)
+	}
+	if err := VerifyContingency(q, d, res.ContingencySet); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveMatchesExactAcrossAPI(t *testing.T) {
+	q := MustParse("qACconf :- A(x), R(x,y), R(z,y), C(z)")
+	d := NewDatabase()
+	d.AddNames("A", "a1")
+	d.AddNames("A", "a2")
+	d.AddNames("C", "c1")
+	d.AddNames("R", "a1", "m")
+	d.AddNames("R", "a2", "m")
+	d.AddNames("R", "c1", "m")
+	fast, cl, err := Resilience(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ResilienceExact(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Rho != exact.Rho {
+		t.Errorf("flow ρ=%d, exact ρ=%d", fast.Rho, exact.Rho)
+	}
+	if cl.Verdict != PTime {
+		t.Errorf("qACconf should be PTIME, got %s", cl.Verdict)
+	}
+}
+
+func TestDecideAPI(t *testing.T) {
+	q := MustParse("qvc :- R(x), S(x,y), R(y)")
+	d := NewDatabase()
+	d.AddNames("R", "u")
+	d.AddNames("R", "v")
+	d.AddNames("S", "u", "v")
+	ok, err := Decide(q, d, 1)
+	if err != nil || !ok {
+		t.Errorf("Decide(1) = %v, %v; want true", ok, err)
+	}
+	ok, err = Decide(q, d, 0)
+	if err != nil || ok {
+		t.Errorf("Decide(0) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestDeletionPropagationBasic(t *testing.T) {
+	// Non-Boolean query q(x,z) :- R(x,y), S(y,z) over a small join; delete
+	// one output tuple with minimum source side-effects.
+	q := MustParse("q :- R(x,y), S(y,z)")
+	d := NewDatabase()
+	d.AddNames("R", "a", "m1")
+	d.AddNames("R", "a", "m2")
+	d.AddNames("S", "m1", "b")
+	d.AddNames("S", "m2", "b")
+	d.AddNames("S", "m1", "c")
+	// Output (a,b) is derived via m1 and m2: need 2 deletions (one per
+	// path), e.g. S(m1,b) and S(m2,b), or R(a,m2) and S(m1,b)...
+	res, err := DeletionPropagation(q, []string{"x", "z"}, d, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 2 {
+		t.Errorf("source side-effect = %d, want 2", res.Rho)
+	}
+	// Output (a,c) has a single derivation: 1 deletion.
+	res, err = DeletionPropagation(q, []string{"x", "z"}, d, []string{"a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 1 {
+		t.Errorf("source side-effect = %d, want 1", res.Rho)
+	}
+	// Non-derived output: nothing to delete.
+	res, err = DeletionPropagation(q, []string{"x", "z"}, d, []string{"a", "zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 0 {
+		t.Errorf("non-derived tuple needs %d deletions, want 0", res.Rho)
+	}
+}
+
+func TestDeletionPropagationSelfJoinTupleIdentity(t *testing.T) {
+	// With self-joins, one source tuple can serve two atoms of the same
+	// witness; per-atom specialization would double-count it.
+	q := MustParse("q :- R(x,y), R(y,z)")
+	d := NewDatabase()
+	d.AddNames("R", "a", "a") // serves both atoms of witness (a,a,a)
+	res, err := DeletionPropagation(q, []string{"x", "z"}, d, []string{"a", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 1 {
+		t.Errorf("ρ = %d, want 1 (single tuple serves both atoms)", res.Rho)
+	}
+}
+
+func TestDeletionPropagationErrors(t *testing.T) {
+	q := MustParse("q :- R(x,y)")
+	d := NewDatabase()
+	if _, err := DeletionPropagation(q, []string{"x"}, d, []string{"a", "b"}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if _, err := DeletionPropagation(q, []string{"nope"}, d, []string{"a"}); err == nil {
+		t.Error("unknown head variable must error")
+	}
+}
+
+func TestFindIJPAPI(t *testing.T) {
+	q := MustParse("qvc :- R(x), S(x,y), R(y)")
+	d := NewDatabase()
+	d.AddNames("R", "1")
+	d.AddNames("S", "1", "2")
+	d.AddNames("R", "2")
+	if FindIJP(q, d) == nil {
+		t.Error("paper's Example 58 IJP not found via API")
+	}
+	cert, tested, _ := SearchIJP(q, 1, 6)
+	if cert == nil || tested == 0 {
+		t.Error("SearchIJP failed on qvc")
+	}
+}
+
+func TestWitnessesAndSatisfiedAPI(t *testing.T) {
+	q := MustParse("q :- R(x,y)")
+	d := NewDatabase()
+	if Satisfied(q, d) {
+		t.Error("empty database should not satisfy")
+	}
+	d.AddNames("R", "1", "2")
+	if !Satisfied(q, d) || len(Witnesses(q, d)) != 1 {
+		t.Error("single-tuple witness expected")
+	}
+}
+
+func TestResponsibilityAPI(t *testing.T) {
+	q := MustParse("qchain :- R(x,y), R(y,z)")
+	d := NewDatabase()
+	d.AddNames("R", "1", "2")
+	r23 := d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+	k, gamma, err := Responsibility(q, d, r23)
+	if err != nil || k != 1 || len(gamma) != 1 {
+		t.Fatalf("k=%d gamma=%v err=%v, want k=1 with one tuple", k, gamma, err)
+	}
+}
+
+func TestDecideSATAPI(t *testing.T) {
+	q := MustParse("qchain :- R(x,y), R(y,z)")
+	d := NewDatabase()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+	ok, gamma, err := DecideSAT(q, d, 2)
+	if err != nil || !ok || len(gamma) > 2 {
+		t.Fatalf("DecideSAT = %v %v %v, want yes with |Γ| ≤ 2", ok, gamma, err)
+	}
+	if err := VerifyContingency(q, d, gamma); err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = DecideSAT(q, d, 1)
+	if err != nil || ok {
+		t.Fatalf("DecideSAT(k=1) = %v, want no (ρ = 2)", ok)
+	}
+}
+
+func TestBuildHardnessAPI(t *testing.T) {
+	r, err := BuildHardness(MustParse("qvc :- R(x), S(x,y), R(y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source.String() != "VertexCover" {
+		t.Fatalf("source = %v, want VertexCover", r.Source)
+	}
+}
+
+func TestSearchHardnessProofAPI(t *testing.T) {
+	cert, _, _ := SearchHardnessProof(MustParse("qchain :- R(x,y), R(y,z)"), 2, 8)
+	if cert == nil || cert.Beta < 1 {
+		t.Fatalf("cert = %v, want a validated gadget", cert)
+	}
+}
