@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race bench lint
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke run: one iteration of every benchmark, enough to catch
+# bit-rot in the harness without CI-length timings.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi

@@ -7,6 +7,7 @@ package repro
 // solvers scale polynomially, the exact solver blows up on hard gadgets.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cnfenc"
 	"repro/internal/cq"
 	"repro/internal/datagen"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/hardness"
 	"repro/internal/ijp"
@@ -278,3 +280,69 @@ func BenchmarkSearchChainable3Chain(b *testing.B) {
 		}
 	}
 }
+
+// Engine benchmarks: the concurrent batch API sharding a mixed
+// PTIME/NP-hard batch across worker counts, and the NP-hard portfolio
+// (exact branch-and-bound raced against SAT binary search) versus the
+// exact solver alone on the same instances.
+
+// engineMixedBatch mirrors the engine tests' workload: a batch cycling
+// through hard (chain, vc, triangle) and easy (confluence, permutation,
+// rats) query shapes, each instance on its own seeded random database.
+func engineMixedBatch(n int) []engine.Instance {
+	shapes := []struct {
+		query          string
+		domain, tuples int
+	}{
+		{"qchain :- R(x,y), R(y,z)", 8, 18},
+		{"qvc :- R(x), S(x,y), R(y)", 8, 14},
+		{"qtriangle :- R(x,y), S(y,z), T(z,x)", 6, 12},
+		{"qACconf :- A(x), R(x,y), R(z,y), C(z)", 8, 14},
+		{"qperm :- R(x,y), R(y,x)", 10, 20},
+		{"qrats :- R(x,y), A(x), T(z,x), S(y,z)", 8, 12},
+	}
+	rng := rand.New(rand.NewSource(2020))
+	insts := make([]engine.Instance, n)
+	for i := range insts {
+		s := shapes[i%len(shapes)]
+		q := cq.MustParse(s.query)
+		insts[i] = engine.Instance{Query: q, DB: datagen.Random(rng, q, s.domain, s.tuples, 0.2)}
+	}
+	return insts
+}
+
+func benchEngineBatch(b *testing.B, workers int) {
+	insts := engineMixedBatch(48)
+	eng := engine.New(engine.Config{Workers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.SolveBatch(context.Background(), insts) {
+			if r.Err != nil && r.Err != resilience.ErrUnbreakable {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineBatchWorkers1(b *testing.B) { benchEngineBatch(b, 1) }
+func BenchmarkEngineBatchWorkers2(b *testing.B) { benchEngineBatch(b, 2) }
+func BenchmarkEngineBatchWorkers4(b *testing.B) { benchEngineBatch(b, 4) }
+func BenchmarkEngineBatchWorkers8(b *testing.B) { benchEngineBatch(b, 8) }
+
+func benchPortfolio(b *testing.B, domain, tuples int, portfolio bool) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(99))
+	d := datagen.Random(rng, q, domain, tuples, 0.3)
+	eng := engine.New(engine.Config{Workers: 2, Portfolio: portfolio})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Solve(context.Background(), q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPortfolioOffChain10(b *testing.B) { benchPortfolio(b, 10, 30, false) }
+func BenchmarkPortfolioOnChain10(b *testing.B)  { benchPortfolio(b, 10, 30, true) }
+func BenchmarkPortfolioOffChain12(b *testing.B) { benchPortfolio(b, 12, 45, false) }
+func BenchmarkPortfolioOnChain12(b *testing.B)  { benchPortfolio(b, 12, 45, true) }

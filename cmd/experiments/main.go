@@ -19,6 +19,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *list {
 		for _, e := range experiments.All() {
@@ -28,7 +29,7 @@ func main() {
 	}
 	ids := flag.Args()
 	if len(ids) == 0 {
-		mismatches := experiments.RunAll(os.Stdout)
+		mismatches := experiments.RunAllParallel(os.Stdout, *workers)
 		if mismatches > 0 {
 			fmt.Printf("%d MISMATCHED rows\n", mismatches)
 			os.Exit(1)

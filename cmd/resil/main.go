@@ -2,13 +2,24 @@
 //
 // Usage:
 //
-//	resil classify 'q :- R(x,y), R(y,z)'
-//	resil solve 'q :- R(x,y), R(y,z)' facts.txt
+//	resil [flags] classify 'q :- R(x,y), R(y,z)'
+//	resil [flags] solve 'q :- R(x,y), R(y,z)' facts.txt
+//	resil [flags] batch 'q :- R(x,y), R(y,z)' facts1.txt facts2.txt ...
 //	resil witnesses 'q :- R(x,y), R(y,z)' facts.txt
 //	resil enumerate 'q :- R(x,y), R(y,z)' facts.txt
 //	resil responsibility 'q :- R(x,y), R(y,z)' facts.txt 'R(1,2)'
 //	resil ijp 'q :- R(x), S(x,y), R(y)'
 //	resil hardness 'q :- A(x), R(x,y), R(y,z)'
+//
+// Flags:
+//
+//	-workers N    worker-pool size for solve/batch (default GOMAXPROCS)
+//	-timeout D    per-instance wall-time budget, e.g. 30s (default none)
+//	-portfolio    race exact branch-and-bound against SAT binary search
+//	              on NP-hard instances
+//
+// solve and batch run through the concurrent engine, so the flags above
+// apply; batch shards the fact files across the worker pool.
 //
 // The facts file holds one fact per line in the form R(a,b); blank lines
 // and lines starting with # are ignored.
@@ -16,18 +27,38 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
 
+var (
+	workers   = flag.Int("workers", 0, "worker-pool size for solve/batch (0 = GOMAXPROCS)")
+	timeout   = flag.Duration("timeout", 0, "per-instance timeout (0 = none)")
+	portfolio = flag.Bool("portfolio", false, "race exact vs SAT on NP-hard instances")
+)
+
+func engineConfig() repro.EngineConfig {
+	return repro.EngineConfig{
+		Workers:   *workers,
+		Timeout:   *timeout,
+		Portfolio: *portfolio,
+	}
+}
+
 func main() {
-	if len(os.Args) < 3 {
+	flag.Usage = printUsage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
 		usage()
 	}
-	cmd, queryText := os.Args[1], os.Args[2]
+	cmd, queryText := args[0], args[1]
 	q, err := repro.Parse(queryText)
 	if err != nil {
 		fatal(err)
@@ -36,47 +67,94 @@ func main() {
 	case "classify":
 		classify(q)
 	case "solve":
-		if len(os.Args) < 4 {
+		if len(args) < 3 {
 			usage()
 		}
-		d, err := loadFacts(os.Args[3])
+		d, err := loadFacts(args[2])
 		if err != nil {
 			fatal(err)
 		}
 		solve(q, d)
-	case "witnesses":
-		if len(os.Args) < 4 {
+	case "batch":
+		if len(args) < 3 {
 			usage()
 		}
-		d, err := loadFacts(os.Args[3])
+		batch(q, args[2:])
+	case "witnesses":
+		if len(args) < 3 {
+			usage()
+		}
+		d, err := loadFacts(args[2])
 		if err != nil {
 			fatal(err)
 		}
 		listWitnesses(q, d)
 	case "enumerate":
-		if len(os.Args) < 4 {
+		if len(args) < 3 {
 			usage()
 		}
-		d, err := loadFacts(os.Args[3])
+		d, err := loadFacts(args[2])
 		if err != nil {
 			fatal(err)
 		}
 		enumerate(q, d)
 	case "responsibility":
-		if len(os.Args) < 5 {
+		if len(args) < 4 {
 			usage()
 		}
-		d, err := loadFacts(os.Args[3])
+		d, err := loadFacts(args[2])
 		if err != nil {
 			fatal(err)
 		}
-		responsibility(q, d, os.Args[4])
+		responsibility(q, d, args[3])
 	case "ijp":
 		searchIJP(q)
 	case "hardness":
 		buildHardness(q)
 	default:
 		usage()
+	}
+}
+
+// batch solves the same query over many fact files concurrently on the
+// engine's worker pool and prints one line per file plus a summary.
+func batch(q *repro.Query, paths []string) {
+	insts := make([]repro.Instance, len(paths))
+	for i, path := range paths {
+		d, err := loadFacts(path)
+		if err != nil {
+			fatal(err)
+		}
+		insts[i] = repro.Instance{ID: path, Query: q, DB: d}
+	}
+	eng := repro.NewEngine(engineConfig())
+	start := time.Now()
+	results := eng.SolveBatch(context.Background(), insts)
+	took := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		switch {
+		case r.Err == repro.ErrUnbreakable:
+			// A definite answer, not a failure: no endogenous deletion can
+			// falsify the query on this database.
+			fmt.Printf("%-30s unbreakable %-12s (%v)\n",
+				r.ID, r.Classification.Verdict, r.Elapsed.Round(time.Microsecond))
+		case r.Err != nil:
+			failed++
+			fmt.Printf("%-30s ERROR %v (%v)\n", r.ID, r.Err, r.Elapsed.Round(time.Microsecond))
+		default:
+			fmt.Printf("%-30s ρ=%-5d %-12s method=%s (%v)\n",
+				r.ID, r.Res.Rho, r.Classification.Verdict, r.Res.Method, r.Elapsed.Round(time.Microsecond))
+		}
+	}
+	st := eng.Stats()
+	fmt.Printf("\n%d instances in %v: %d solved, %d failed; cache %d/%d hits; portfolio wins exact=%d sat=%d; timeouts=%d\n",
+		len(results), took.Round(time.Millisecond), st.Solved, failed,
+		st.CacheHits, st.CacheHits+st.CacheMisses,
+		st.PortfolioExactWins, st.PortfolioSATWins, st.Timeouts)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -163,7 +241,8 @@ func classify(q *repro.Query) {
 }
 
 func solve(q *repro.Query, d *repro.Database) {
-	res, cl, err := repro.Resilience(q, d)
+	eng := repro.NewEngine(engineConfig())
+	res, cl, err := eng.Solve(context.Background(), q, d)
 	if err != nil {
 		fatal(err)
 	}
@@ -238,8 +317,13 @@ func loadFacts(path string) (*repro.Database, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: resil classify|solve|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file]")
+	printUsage()
 	os.Exit(2)
+}
+
+func printUsage() {
+	fmt.Fprintln(os.Stderr, "usage: resil [-workers N] [-timeout D] [-portfolio] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
+	flag.PrintDefaults()
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 package cnfenc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -47,16 +48,23 @@ func Encode(q *cq.Query, d *db.Database, k int) (*Encoding, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("cnfenc: negative budget %d", k)
 	}
+	sets, unbreakable := eval.EndoWitnessSets(q, d)
+	if unbreakable {
+		return nil, ErrUnbreakable
+	}
+	return EncodeSets(sets, k), nil
+}
+
+// EncodeSets builds the CNF instance directly from precomputed per-witness
+// endogenous tuple sets (as produced by eval.EndoWitnessSets). Callers that
+// probe several budgets over the same witnesses — the engine's SAT binary
+// search — enumerate witnesses once and re-encode per k, which only
+// rebuilds the cardinality counter.
+func EncodeSets(sets [][]db.Tuple, k int) *Encoding {
 	idOf := map[db.Tuple]int{}
 	var tuples []db.Tuple
-	var clauses []sat.Clause
-	unbreakable := false
-	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
-		ts := eval.WitnessTuples(q, w, true)
-		if len(ts) == 0 {
-			unbreakable = true
-			return false
-		}
+	clauses := make([]sat.Clause, 0, len(sets))
+	for _, ts := range sets {
 		clause := make(sat.Clause, 0, len(ts))
 		seen := map[int]bool{}
 		for _, t := range ts {
@@ -72,10 +80,6 @@ func Encode(q *cq.Query, d *db.Database, k int) (*Encoding, error) {
 			}
 		}
 		clauses = append(clauses, clause)
-		return true
-	})
-	if unbreakable {
-		return nil, ErrUnbreakable
 	}
 	enc := &Encoding{
 		Tuples:    tuples,
@@ -86,7 +90,7 @@ func Encode(q *cq.Query, d *db.Database, k int) (*Encoding, error) {
 	f := &sat.Formula{NumVars: n, Clauses: clauses}
 	addAtMostK(f, n, k)
 	enc.Formula = f
-	return enc, nil
+	return enc
 }
 
 // addAtMostK appends the Sinz sequential-counter encoding of
@@ -149,14 +153,27 @@ func (e *Encoding) Gamma(assign []bool) []db.Tuple {
 // contingency set (when the answer is yes and k > 0) has size ≤ k and is
 // guaranteed by construction to falsify the query.
 func Decide(q *cq.Query, d *db.Database, k int) (bool, []db.Tuple, error) {
+	return DecideCtx(context.Background(), q, d, k)
+}
+
+// DecideCtx is Decide with cooperative cancellation: the DPLL search polls
+// ctx and aborts with ctx.Err() once it is done, which is what lets the
+// engine's portfolio cancel a losing SAT attempt promptly.
+func DecideCtx(ctx context.Context, q *cq.Query, d *db.Database, k int) (bool, []db.Tuple, error) {
 	if !eval.Satisfied(q, d) {
 		return false, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, nil, err
 	}
 	enc, err := Encode(q, d, k)
 	if err != nil {
 		return false, nil, err
 	}
-	assign, ok := enc.Formula.Solve()
+	assign, ok, err := enc.Formula.SolveCtx(ctx)
+	if err != nil {
+		return false, nil, err
+	}
 	if !ok {
 		return false, nil, nil
 	}

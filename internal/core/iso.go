@@ -8,12 +8,22 @@ import "repro/internal/cq"
 // query shapes (e.g. qTS3conf with its two exogenous atoms) match any
 // alphabetic variant but nothing structurally different.
 func Isomorphic(a, b *cq.Query) bool {
+	_, ok := RelationMapping(a, b)
+	return ok
+}
+
+// RelationMapping returns the relation bijection of an isomorphism from a
+// onto b (mapping a's relation symbols to b's), or ok=false when the
+// queries are not isomorphic. Callers that memoize per-query analysis use
+// the mapping to translate cached results onto an isomorphic query's
+// vocabulary.
+func RelationMapping(a, b *cq.Query) (map[string]string, bool) {
 	if len(a.Atoms) != len(b.Atoms) || a.NumVars() != b.NumVars() {
-		return false
+		return nil, false
 	}
 	relsA, relsB := a.Relations(), b.Relations()
 	if len(relsA) != len(relsB) {
-		return false
+		return nil, false
 	}
 	usedB := make([]bool, len(b.Atoms))
 	varMap := map[cq.Var]cq.Var{}
@@ -91,5 +101,12 @@ func Isomorphic(a, b *cq.Query) bool {
 		}
 		return false
 	}
-	return match(0)
+	if !match(0) {
+		return nil, false
+	}
+	out := make(map[string]string, len(relMap))
+	for k, v := range relMap {
+		out[k] = v
+	}
+	return out, true
 }

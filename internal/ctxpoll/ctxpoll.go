@@ -1,0 +1,55 @@
+// Package ctxpoll throttles context-cancellation checks in solver inner
+// loops. The exact branch-and-bound and the DPLL search expand millions of
+// nodes per second; consulting ctx.Done() at every node would dominate the
+// search, so a Poller checks the channel once every Interval calls. This
+// is the one copy of that throttle, shared by every cancellable solver.
+package ctxpoll
+
+import "context"
+
+// Interval is the number of Cancelled calls between channel polls: large
+// enough to keep the check off the profile, small enough that
+// cancellation latency stays in the microseconds for real node rates.
+const Interval = 256
+
+// Poller is a counter-throttled context poll. The zero value (and a nil
+// Poller) never reports cancellation.
+type Poller struct {
+	ctx   context.Context
+	calls int
+	err   error
+}
+
+// New returns a Poller over ctx.
+func New(ctx context.Context) *Poller { return &Poller{ctx: ctx} }
+
+// Cancelled reports whether ctx is done, actually polling only every
+// Interval-th call. Once cancelled it stays cancelled.
+func (p *Poller) Cancelled() bool {
+	if p == nil || p.ctx == nil {
+		return false
+	}
+	if p.err != nil {
+		return true
+	}
+	p.calls++
+	if p.calls%Interval != 0 {
+		return false
+	}
+	select {
+	case <-p.ctx.Done():
+		p.err = p.ctx.Err()
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the cancellation cause, or nil while the search may
+// continue.
+func (p *Poller) Err() error {
+	if p == nil {
+		return nil
+	}
+	return p.err
+}

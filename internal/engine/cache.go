@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+)
+
+// classCache memoizes core.Classify results keyed by query structure up to
+// isomorphism. Classification is pure query analysis (minimization,
+// domination normalization, dichotomy pattern matching) and is repeated
+// verbatim for every instance of the same query shape in a batch, so a
+// small cache removes it from the hot path entirely.
+//
+// The key is a two-level scheme: a cheap iso-invariant signature selects a
+// bucket, and core.Isomorphic confirms a true match within it. The
+// signature is sound (isomorphic queries always share a signature) but not
+// complete, which is exactly what a bucket key needs.
+type classCache struct {
+	mu      sync.RWMutex
+	buckets map[string][]cacheEntry
+	size    int
+	max     int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	q  *cq.Query
+	cl *core.Classification
+}
+
+// defaultCacheMax bounds the number of cached classifications. Real
+// workloads use a handful of query shapes; the cap only guards against
+// adversarial streams of distinct queries. When full the cache stops
+// inserting (classification still happens, it just isn't remembered).
+const defaultCacheMax = 1024
+
+func newClassCache(max int) *classCache {
+	if max <= 0 {
+		max = defaultCacheMax
+	}
+	return &classCache{buckets: map[string][]cacheEntry{}, max: max}
+}
+
+// classify returns the cached classification of q, computing and caching
+// it on a miss. The returned Classification is shared and must be treated
+// as read-only (core.Classify never mutates its input, and the solvers
+// only read the normalized query).
+//
+// A hit on a query whose relation names differ from the cached copy (the
+// isomorphism renames relations) returns the cached classification
+// translated onto q's vocabulary, so the solver dispatch runs against the
+// right relations of q's database.
+func (c *classCache) classify(q *cq.Query) (cl *core.Classification, hit bool) {
+	sig := signature(q)
+	c.mu.RLock()
+	cl = c.lookup(sig, q)
+	c.mu.RUnlock()
+	if cl != nil {
+		c.hits.Add(1)
+		return cl, true
+	}
+
+	computed := core.Classify(q)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Another goroutine may have classified the same shape while we did;
+	// prefer the incumbent so callers share one Classification.
+	if cl = c.lookup(sig, q); cl != nil {
+		c.hits.Add(1)
+		return cl, true
+	}
+	c.misses.Add(1)
+	if c.size < c.max {
+		c.buckets[sig] = append(c.buckets[sig], cacheEntry{q: q.Clone(), cl: computed})
+		c.size++
+	}
+	return computed, false
+}
+
+// lookup scans the bucket for an isomorphic entry and returns its
+// classification translated onto q's relation names (or the shared
+// original when the names already agree). Callers hold c.mu.
+func (c *classCache) lookup(sig string, q *cq.Query) *core.Classification {
+	for _, e := range c.buckets[sig] {
+		relMap, ok := core.RelationMapping(e.q, q)
+		if !ok {
+			continue
+		}
+		identity := true
+		for from, to := range relMap {
+			if from != to {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			return e.cl
+		}
+		return translateClassification(e.cl, relMap)
+	}
+	return nil
+}
+
+// translateClassification maps a classification onto an isomorphic
+// query's relation names: the structural verdict carries over verbatim
+// (complexity is invariant under renaming), but the normalized queries the
+// solvers dispatch on must name the relations of the instance actually
+// being solved. Certificate text is left in the cached vocabulary.
+func translateClassification(cl *core.Classification, relMap map[string]string) *core.Classification {
+	out := *cl
+	out.Normalized = translateQuery(cl.Normalized, relMap)
+	if len(cl.Components) > 0 {
+		out.Components = make([]*core.Classification, len(cl.Components))
+		for i, sub := range cl.Components {
+			out.Components[i] = translateClassification(sub, relMap)
+		}
+	}
+	return &out
+}
+
+func translateQuery(q *cq.Query, relMap map[string]string) *cq.Query {
+	if q == nil {
+		return nil
+	}
+	out := cq.New(q.Name)
+	for _, a := range q.Atoms {
+		names := make([]string, len(a.Args))
+		for i, v := range a.Args {
+			names[i] = q.VarName(v)
+		}
+		rel, ok := relMap[a.Rel]
+		if !ok {
+			rel = a.Rel
+		}
+		out.AddAtom(rel, names...)
+	}
+	for rel, exo := range q.Exo {
+		if !exo {
+			continue
+		}
+		to, ok := relMap[rel]
+		if !ok {
+			to = rel
+		}
+		out.MarkExogenous(to)
+	}
+	return out
+}
+
+func (c *classCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// signature computes an isomorphism-invariant bucket key for q: relation
+// symbols are abstracted to (arity, exogenous, occurrence-count) tokens and
+// variables to their repetition pattern inside each atom plus a global
+// occurrence-degree multiset. Renaming relations or variables cannot change
+// any component, so isomorphic queries collide; structurally different
+// queries usually do not, keeping buckets near size one.
+func signature(q *cq.Query) string {
+	occ := map[string]int{}
+	for _, a := range q.Atoms {
+		occ[a.Rel]++
+	}
+	atomToks := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		// Repetition pattern of variables within the atom: R(x,x) -> "0.0",
+		// R(x,y) -> "0.1", regardless of variable names.
+		first := map[cq.Var]int{}
+		pat := make([]string, len(a.Args))
+		for p, v := range a.Args {
+			if _, ok := first[v]; !ok {
+				first[v] = len(first)
+			}
+			pat[p] = fmt.Sprint(first[v])
+		}
+		atomToks[i] = fmt.Sprintf("%d:%t:%d:%s",
+			len(a.Args), q.IsExogenous(a.Rel), occ[a.Rel], strings.Join(pat, "."))
+	}
+	sort.Strings(atomToks)
+
+	degree := map[cq.Var]int{}
+	for _, a := range q.Atoms {
+		for _, v := range a.Args {
+			degree[v]++
+		}
+	}
+	degs := make([]int, 0, len(degree))
+	for _, d := range degree {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+
+	return fmt.Sprintf("v%d|%s|%v", q.NumVars(), strings.Join(atomToks, ","), degs)
+}

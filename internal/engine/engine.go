@@ -1,0 +1,218 @@
+// Package engine is the concurrent solving service over the paper's
+// resilience machinery: where repro.Resilience answers one (query,
+// database) question at a time, the engine shards large batches across a
+// worker pool, memoizes query classification across instances, enforces
+// per-instance timeouts, and attacks NP-hard instances with a portfolio
+// that races the exact branch-and-bound against SAT binary search.
+//
+// It is the scaffolding for scaling this reproduction into a service:
+// every future sharding / async / multi-backend layer plugs into
+// SolveBatch rather than into the individual solvers.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/resilience"
+)
+
+// Instance is one (query, database) resilience problem in a batch. ID is
+// echoed in the corresponding BatchResult so callers can correlate without
+// relying on ordering (results are, however, index-aligned with inputs).
+type Instance struct {
+	ID    string
+	Query *cq.Query
+	DB    *db.Database
+}
+
+// BatchResult is the outcome of one Instance.
+type BatchResult struct {
+	// ID and Index identify the input instance (Index into the slice
+	// passed to SolveBatch).
+	ID    string
+	Index int
+	// Res is the resilience result; nil when Err is non-nil.
+	Res *resilience.Result
+	// Classification is the (possibly cached) complexity verdict for the
+	// instance's query. It is shared across instances of the same query
+	// shape and must be treated as read-only.
+	Classification *core.Classification
+	// Err is resilience.ErrUnbreakable, a context error (cancelled /
+	// deadline exceeded), or a solver error.
+	Err error
+	// Elapsed is the wall time spent on this instance.
+	Elapsed time.Duration
+	// CacheHit reports whether the classification came from the cache.
+	CacheHit bool
+}
+
+// Config tunes an Engine. The zero value is usable: GOMAXPROCS workers, no
+// per-instance timeout, portfolio off, defensive cloning on.
+type Config struct {
+	// Workers is the worker-pool size for SolveBatch; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout, when positive, bounds the wall time of each instance; an
+	// instance exceeding it fails with context.DeadlineExceeded while the
+	// rest of the batch proceeds.
+	Timeout time.Duration
+	// Portfolio races the exact solver against SAT binary search on
+	// NP-hard (and unclassified) instances, taking the first finisher.
+	Portfolio bool
+	// CacheSize caps the classification cache (0 = default 1024).
+	CacheSize int
+	// NoClone skips the defensive per-instance database clone. The
+	// evaluator builds relation indexes lazily and some solvers
+	// temporarily delete tuples, so without cloning the caller must
+	// guarantee that no two concurrent instances share a *db.Database and
+	// must tolerate index-warming writes on the instances it passed in.
+	NoClone bool
+}
+
+// Engine is a reusable concurrent resilience solver. It is safe for use by
+// multiple goroutines; the classification cache is shared across calls, so
+// a long-lived Engine amortizes classification over its whole lifetime.
+type Engine struct {
+	cfg   Config
+	cache *classCache
+
+	solved             atomic.Int64
+	timeouts           atomic.Int64
+	portfolioExactWins atomic.Int64
+	portfolioSATWins   atomic.Int64
+}
+
+// Stats is a snapshot of an Engine's counters.
+type Stats struct {
+	// Solved counts instances that produced a result or a definite
+	// ErrUnbreakable (i.e. everything except context failures).
+	Solved int64
+	// Timeouts counts instances that hit the per-instance deadline.
+	Timeouts int64
+	// CacheHits / CacheMisses count classification cache outcomes.
+	CacheHits   int64
+	CacheMisses int64
+	// PortfolioExactWins / PortfolioSATWins count which racer finished
+	// first on portfolio-solved components.
+	PortfolioExactWins int64
+	PortfolioSATWins   int64
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg, cache: newClassCache(cfg.CacheSize)}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.cache.stats()
+	return Stats{
+		Solved:             e.solved.Load(),
+		Timeouts:           e.timeouts.Load(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		PortfolioExactWins: e.portfolioExactWins.Load(),
+		PortfolioSATWins:   e.portfolioSATWins.Load(),
+	}
+}
+
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SolveBatch solves every instance concurrently on the engine's worker
+// pool and returns results index-aligned with insts. It always returns a
+// full-length slice: when ctx is cancelled mid-batch, instances already
+// finished keep their results and the remainder fail fast with ctx.Err(),
+// so callers get the partial work that was done rather than losing the
+// batch.
+func (e *Engine) SolveBatch(ctx context.Context, insts []Instance) []BatchResult {
+	out := make([]BatchResult, len(insts))
+	if len(insts) == 0 {
+		return out
+	}
+	workers := e.workers()
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.solveInstance(ctx, i, insts[i])
+			}
+		}()
+	}
+	for i := range insts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Solve answers a single instance through the engine (classification
+// cache, optional timeout and portfolio). It is repro.Resilience with the
+// engine's machinery behind it.
+func (e *Engine) Solve(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, *core.Classification, error) {
+	r := e.solveInstance(ctx, 0, Instance{Query: q, DB: d})
+	return r.Res, r.Classification, r.Err
+}
+
+func (e *Engine) solveInstance(ctx context.Context, i int, inst Instance) BatchResult {
+	start := time.Now()
+	br := BatchResult{ID: inst.ID, Index: i}
+	if err := ctx.Err(); err != nil {
+		// Batch cancelled before this instance started: fail fast so the
+		// caller gets partial results promptly.
+		br.Err = err
+		return br
+	}
+	ictx := ctx
+	if e.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ictx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+		defer cancel()
+	}
+	br.Classification, br.CacheHit = e.cache.classify(inst.Query)
+	d := inst.DB
+	if !e.cfg.NoClone {
+		d = d.Clone()
+	}
+	br.Res, br.Err = e.solveClassified(ictx, br.Classification, d)
+	br.Elapsed = time.Since(start)
+	switch br.Err {
+	case nil, resilience.ErrUnbreakable:
+		e.solved.Add(1)
+	case context.DeadlineExceeded:
+		e.timeouts.Add(1)
+	}
+	return br
+}
+
+// solveClassified is resilience.SolveClassifiedWith (the Lemma 14 minimum
+// over connected components) with the engine's component solver, which
+// routes exact-solver components through the portfolio when enabled.
+func (e *Engine) solveClassified(ctx context.Context, cl *core.Classification, d *db.Database) (*resilience.Result, error) {
+	return resilience.SolveClassifiedWith(ctx, cl, d, e.solveComponent)
+}
+
+func (e *Engine) solveComponent(ctx context.Context, cl *core.Classification, d *db.Database) (*resilience.Result, error) {
+	if e.cfg.Portfolio && cl.Algorithm == core.AlgExact {
+		return e.racePortfolio(ctx, cl.Normalized, d)
+	}
+	return resilience.SolveClassifiedCtx(ctx, cl, d)
+}

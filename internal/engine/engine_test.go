@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/resilience"
+	"repro/internal/zoo"
+)
+
+// mixedBatch builds n instances cycling through PTIME and NP-hard query
+// shapes from the paper's zoo, each on its own seeded random database
+// small enough for the exact solver to finish quickly.
+func mixedBatch(t testing.TB, n int) []Instance {
+	t.Helper()
+	shapes := []struct {
+		name   string
+		query  string
+		domain int
+		tuples int
+	}{
+		// NP-hard side (exact / portfolio path).
+		{"chain", "qchain :- R(x,y), R(y,z)", 8, 18},
+		{"vc", "qvc :- R(x), S(x,y), R(y)", 8, 14},
+		{"triangle", "qtriangle :- R(x,y), S(y,z), T(z,x)", 6, 12},
+		// PTIME side (flow / specialized solvers).
+		{"acconf", "qACconf :- A(x), R(x,y), R(z,y), C(z)", 8, 14},
+		{"perm", "qperm :- R(x,y), R(y,x)", 10, 20},
+		{"rats", "qrats :- R(x,y), A(x), T(z,x), S(y,z)", 8, 12},
+	}
+	rng := rand.New(rand.NewSource(2020))
+	insts := make([]Instance, n)
+	for i := range insts {
+		s := shapes[i%len(shapes)]
+		q := cq.MustParse(s.query)
+		insts[i] = Instance{
+			ID:    s.name,
+			Query: q,
+			DB:    datagen.Random(rng, q, s.domain, s.tuples, 0.2),
+		}
+	}
+	return insts
+}
+
+// checkAgainstSequential asserts that each batch result matches what the
+// sequential dispatcher computes for the same instance.
+func checkAgainstSequential(t *testing.T, insts []Instance, results []BatchResult) {
+	t.Helper()
+	for i, r := range results {
+		want, _, wantErr := resilience.Solve(insts[i].Query, insts[i].DB)
+		if wantErr != nil {
+			if r.Err != wantErr {
+				t.Fatalf("instance %d (%s): engine err = %v, sequential err = %v", i, r.ID, r.Err, wantErr)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("instance %d (%s): engine failed: %v", i, r.ID, r.Err)
+		}
+		if r.Res.Rho != want.Rho {
+			t.Fatalf("instance %d (%s): engine ρ = %d, sequential ρ = %d", i, r.ID, r.Res.Rho, want.Rho)
+		}
+		if len(r.Res.ContingencySet) > 0 {
+			if err := resilience.VerifyContingency(insts[i].Query, insts[i].DB, r.Res.ContingencySet); err != nil {
+				t.Fatalf("instance %d (%s): bad contingency set: %v", i, r.ID, err)
+			}
+		}
+	}
+}
+
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	insts := mixedBatch(t, 50)
+	e := New(Config{Workers: 4})
+	results := e.SolveBatch(context.Background(), insts)
+	if len(results) != len(insts) {
+		t.Fatalf("got %d results for %d instances", len(results), len(insts))
+	}
+	checkAgainstSequential(t, insts, results)
+	st := e.Stats()
+	if st.Solved != int64(len(insts)) {
+		t.Fatalf("Stats.Solved = %d, want %d", st.Solved, len(insts))
+	}
+	// Six query shapes across 50 instances: everything past the first
+	// occurrence of each shape must hit the classification cache.
+	if st.CacheMisses != 6 {
+		t.Errorf("Stats.CacheMisses = %d, want 6", st.CacheMisses)
+	}
+	if st.CacheHits != int64(len(insts)-6) {
+		t.Errorf("Stats.CacheHits = %d, want %d", st.CacheHits, len(insts)-6)
+	}
+}
+
+func TestSolveBatchPortfolioMatchesSequential(t *testing.T) {
+	insts := mixedBatch(t, 50)
+	e := New(Config{Workers: 4, Portfolio: true})
+	checkAgainstSequential(t, insts, e.SolveBatch(context.Background(), insts))
+}
+
+func TestSolveBatchSharedDatabase(t *testing.T) {
+	// Many concurrent instances over one *db.Database: the defensive
+	// clone must keep this race-free (the evaluator builds indexes
+	// lazily, and some solvers delete and restore tuples).
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(7))
+	shared := datagen.Random(rng, q, 8, 20, 0.2)
+	insts := make([]Instance, 32)
+	for i := range insts {
+		insts[i] = Instance{Query: q, DB: shared}
+	}
+	e := New(Config{Workers: 8})
+	results := e.SolveBatch(context.Background(), insts)
+	want, _, err := resilience.Solve(q, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("instance %d failed: %v", i, r.Err)
+		}
+		if r.Res.Rho != want.Rho {
+			t.Fatalf("instance %d: ρ = %d, want %d", i, r.Res.Rho, want.Rho)
+		}
+	}
+}
+
+// slowExactInstance returns an NP-hard instance whose exact solve runs for
+// much longer than the test's cancellation window (a dense random chain
+// instance; see TestSolveBatchCancellation for how it is used).
+func slowExactInstance(seed int64) Instance {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(seed))
+	return Instance{ID: "slow", Query: q, DB: datagen.Random(rng, q, 30, 300, 0.3)}
+}
+
+func TestSolveBatchCancellation(t *testing.T) {
+	// Instance 0 is trivial (solves in microseconds); the rest are slow
+	// exact instances that saturate the workers. Cancelling mid-batch
+	// must abort the running solves promptly, fail the queued remainder
+	// fast, and keep the result that finished before the cancel.
+	fast := cq.MustParse("qfast :- R(x,y), R(y,z)")
+	fastDB := db.New()
+	fastDB.AddNames("R", "1", "2")
+	fastDB.AddNames("R", "2", "3")
+
+	insts := []Instance{{ID: "fast", Query: fast, DB: fastDB}}
+	for i := 0; i < 8; i++ {
+		insts = append(insts, slowExactInstance(int64(100+i)))
+	}
+
+	e := New(Config{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan []BatchResult, 1)
+	go func() { done <- e.SolveBatch(ctx, insts) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	select {
+	case results := <-done:
+		if results[0].Err != nil {
+			t.Fatalf("trivial instance failed: %v", results[0].Err)
+		}
+		cancelled := 0
+		for _, r := range results[1:] {
+			if r.Err == context.Canceled {
+				cancelled++
+			}
+		}
+		if cancelled == 0 {
+			t.Fatal("no instance observed the cancellation")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("SolveBatch did not return promptly after cancellation")
+	}
+}
+
+func TestPerInstanceTimeout(t *testing.T) {
+	e := New(Config{Workers: 2, Timeout: 30 * time.Millisecond})
+	results := e.SolveBatch(context.Background(), []Instance{slowExactInstance(7)})
+	if results[0].Err != context.DeadlineExceeded {
+		t.Fatalf("err = %v (elapsed %v), want context.DeadlineExceeded", results[0].Err, results[0].Elapsed)
+	}
+	if e.Stats().Timeouts != 1 {
+		t.Errorf("Stats.Timeouts = %d, want 1", e.Stats().Timeouts)
+	}
+}
+
+func TestPortfolioAgreement(t *testing.T) {
+	// Portfolio ρ must equal the exact solver's ρ on seeded random
+	// NP-hard instances, whichever racer wins.
+	shapes := []string{
+		"qchain :- R(x,y), R(y,z)",
+		"qvc :- R(x), S(x,y), R(y)",
+		"qtriangle :- R(x,y), S(y,z), T(z,x)",
+	}
+	rng := rand.New(rand.NewSource(41))
+	e := New(Config{Workers: 2, Portfolio: true})
+	for round := 0; round < 8; round++ {
+		for _, s := range shapes {
+			q := cq.MustParse(s)
+			d := datagen.Random(rng, q, 7, 15, 0.3)
+			res, cl, err := e.Solve(context.Background(), q, d)
+			want, wantErr := resilience.Exact(q, d)
+			if wantErr != nil {
+				if err != wantErr {
+					t.Fatalf("%s: portfolio err = %v, exact err = %v", q.Name, err, wantErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: portfolio failed: %v", q.Name, err)
+			}
+			if res.Rho != want.Rho {
+				t.Fatalf("%s (%s): portfolio ρ = %d (method %s), exact ρ = %d",
+					q.Name, cl.Verdict, res.Rho, res.Method, want.Rho)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.PortfolioExactWins+st.PortfolioSATWins == 0 {
+		t.Error("portfolio never raced: no wins recorded on NP-hard instances")
+	}
+}
+
+func TestClassificationCacheIsomorphism(t *testing.T) {
+	// Renaming variables and relations must still hit the cache: the key
+	// is structural, confirmed by core.Isomorphic.
+	e := New(Config{Workers: 1})
+	a := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	b := cq.MustParse("qchain2 :- E(u,v), E(v,w)")
+	d := db.New()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d2 := db.New()
+	d2.AddNames("E", "1", "2")
+	d2.AddNames("E", "2", "3")
+
+	if res, _, err := e.Solve(context.Background(), a, d); err != nil {
+		t.Fatal(err)
+	} else if res.Rho != 1 {
+		t.Fatalf("qchain ρ = %d, want 1", res.Rho)
+	}
+	// The cached classification is over relation R; solving the renamed
+	// query must translate it onto E before dispatch, or the solver sees
+	// an empty relation and reports ρ = 0.
+	if res, cl, err := e.Solve(context.Background(), b, d2); err != nil {
+		t.Fatal(err)
+	} else if cl.Verdict != core.NPComplete {
+		t.Fatalf("qchain variant classified %v, want NP-complete", cl.Verdict)
+	} else if res.Rho != 1 {
+		t.Fatalf("renamed qchain ρ = %d, want 1 (cache hit must translate relations)", res.Rho)
+	}
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss then 1 hit for isomorphic queries", st)
+	}
+}
+
+func TestSignatureZooDistinct(t *testing.T) {
+	// The signature must be iso-invariant (same query, renamed, same
+	// signature) and should separate most zoo shapes so buckets stay
+	// small. Only soundness is required; this guards discriminating power.
+	sigs := map[string][]string{}
+	for _, e := range zoo.Queries() {
+		s := signature(e.Query)
+		sigs[s] = append(sigs[s], e.Name)
+	}
+	for s, names := range sigs {
+		if len(names) > 3 {
+			t.Errorf("signature %q shared by %d zoo queries %v; bucket too coarse", s, len(names), names)
+		}
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	e := New(Config{})
+	if got := e.SolveBatch(context.Background(), nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/cnfenc"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/resilience"
+)
+
+// racePortfolio attacks one NP-hard (or unclassified) component with two
+// independent solvers in parallel and returns whichever finishes first,
+// cancelling the loser:
+//
+//   - exact branch-and-bound over witness hitting sets
+//     (resilience.ExactCtx), strongest when the packing lower bound prunes
+//     well;
+//   - binary search on k over the CNF encoding of RES(q, D, k)
+//     (cnfenc.DecideCtx), strongest when unit propagation locks in forced
+//     deletions.
+//
+// The two racers dominate on different instance families, so the race is
+// never slower than the better solver by more than scheduling noise, and
+// is often dramatically faster than a fixed choice. The racers must not
+// share a database — the evaluator builds relation indexes lazily, a
+// write — so the SAT racer gets a clone of d and the exact racer keeps d
+// itself (which solveInstance already privatized unless NoClone, whose
+// contract gives this instance exclusive use of d anyway).
+func (e *Engine) racePortfolio(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type racerOut struct {
+		res *resilience.Result
+		err error
+		sat bool
+	}
+	satDB := d.Clone()
+	ch := make(chan racerOut, 2)
+	go func() {
+		res, err := resilience.ExactCtx(rctx, q, d, -1)
+		ch <- racerOut{res: res, err: err}
+	}()
+	go func() {
+		res, err := satBinarySearch(rctx, q, satDB)
+		ch <- racerOut{res: res, err: err, sat: true}
+	}()
+
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		out := <-ch
+		if out.err == nil {
+			cancel()
+			if out.sat {
+				e.portfolioSATWins.Add(1)
+				out.res.Method = "portfolio/" + out.res.Method
+			} else {
+				e.portfolioExactWins.Add(1)
+				out.res.Method = "portfolio/exact"
+			}
+			// Drain the loser so both goroutines are done before return.
+			if i == 0 {
+				<-ch
+			}
+			return out.res, nil
+		}
+		if out.err == resilience.ErrUnbreakable || out.err == cnfenc.ErrUnbreakable {
+			// Unbreakability is a property of (q, D), not of the solver:
+			// the other racer can only confirm it.
+			cancel()
+			if i == 0 {
+				<-ch
+			}
+			return nil, resilience.ErrUnbreakable
+		}
+		if firstErr == nil {
+			firstErr = out.err
+		}
+	}
+	// Both racers failed (typically: the shared context was cancelled).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, firstErr
+}
+
+// satBinarySearch computes ρ exactly by binary-searching the smallest k
+// with (D, k) ∈ RES(q), deciding each membership query via the CNF
+// encoding. The upper bound is the number of distinct endogenous tuples
+// appearing in any witness: deleting all of them falsifies q, so ρ lies in
+// [1, U] whenever q is satisfied and breakable.
+func satBinarySearch(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, error) {
+	sets, unbreakable := eval.EndoWitnessSets(q, d)
+	if unbreakable {
+		return nil, resilience.ErrUnbreakable
+	}
+	if len(sets) == 0 {
+		return &resilience.Result{Rho: 0, Method: "sat-binary-search", Witnesses: 0}, nil
+	}
+	seen := map[db.Tuple]bool{}
+	for _, s := range sets {
+		for _, t := range s {
+			seen[t] = true
+		}
+	}
+	lo, hi := 1, len(seen)
+	rho := hi
+	var gamma []db.Tuple
+	for lo <= hi {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mid := lo + (hi-lo)/2
+		// Witnesses were enumerated once above; per probe only the
+		// cardinality counter of the encoding changes.
+		enc := cnfenc.EncodeSets(sets, mid)
+		assign, ok, err := enc.Formula.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rho, gamma = mid, enc.Gamma(assign)
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return &resilience.Result{
+		Rho:            rho,
+		ContingencySet: gamma,
+		Method:         "sat-binary-search",
+		Witnesses:      len(sets),
+	}, nil
+}

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -102,11 +104,45 @@ func ByID(id string) *Experiment {
 }
 
 // RunAll executes every experiment with a fixed seed and writes reports.
-// It returns the number of mismatching rows.
+// It returns the number of mismatching rows. Experiments run concurrently
+// on GOMAXPROCS workers; each has its own seeded rng and the packages they
+// exercise are stateless, so results and report order are identical to a
+// sequential run.
 func RunAll(w io.Writer) int {
+	return RunAllParallel(w, runtime.GOMAXPROCS(0))
+}
+
+// RunAllParallel is RunAll on a bounded worker pool (workers <= 0 means
+// GOMAXPROCS). Reports are written in experiment-ID order regardless of
+// completion order, so output is deterministic.
+func RunAllParallel(w io.Writer, workers int) int {
+	exps := All()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	reps := make([]*Report, len(exps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				reps[j] = run(exps[j])
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
 	mismatches := 0
-	for _, e := range All() {
-		rep := run(e)
+	for _, rep := range reps {
 		rep.Write(w)
 		for _, row := range rep.Rows {
 			if !row.Match {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -42,6 +43,30 @@ func TestEveryExperimentMatchesPaper(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("report missing %q", frag)
 		}
+	}
+}
+
+// TestRunAllParallelDeterministic checks that the worker-pool harness
+// produces byte-identical reports (modulo per-experiment wall times) in
+// the same order as a single-worker run: parallelism must not change
+// results, seeds, or output order.
+func TestRunAllParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	var seq, par bytes.Buffer
+	mseq := RunAllParallel(&seq, 1)
+	mpar := RunAllParallel(&par, 8)
+	if mseq != mpar {
+		t.Fatalf("mismatch counts differ: sequential %d, parallel %d", mseq, mpar)
+	}
+	// Reports embed wall times both in headers "(1.2ms)" and in scaling
+	// rows "in 1.2ms"; normalize both before comparing.
+	timing := regexp.MustCompile(`\([0-9a-z.µ]+\)|in [0-9][0-9a-z.µ]*`)
+	a := timing.ReplaceAllString(seq.String(), "(t)")
+	b := timing.ReplaceAllString(par.String(), "(t)")
+	if a != b {
+		t.Fatal("parallel report differs from sequential report beyond timings")
 	}
 }
 

@@ -14,10 +14,12 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/cq"
+	"repro/internal/ctxpoll"
 	"repro/internal/db"
 	"repro/internal/eval"
 )
@@ -48,7 +50,15 @@ func Exact(q *cq.Query, d *db.Database) (*Result, error) {
 // and ρ > budget, the returned Result has Rho = budget+1 and a nil
 // contingency set (sufficient for deciding (D,k) ∈ RES(q)).
 func ExactWithBudget(q *cq.Query, d *db.Database, budget int) (*Result, error) {
-	return exactFiltered(q, d, budget, nil)
+	return exactFiltered(context.Background(), q, d, budget, nil)
+}
+
+// ExactCtx is ExactWithBudget with cooperative cancellation: both the
+// witness enumeration and the branch-and-bound search poll ctx and abort
+// with ctx.Err() once it is done. It is the cancellable entry point used by
+// the engine's per-instance timeouts and portfolio racing.
+func ExactCtx(ctx context.Context, q *cq.Query, d *db.Database, budget int) (*Result, error) {
+	return exactFiltered(ctx, q, d, budget, nil)
 }
 
 // ExactFiltered computes the minimum number of endogenous deletions that
@@ -58,13 +68,17 @@ func ExactWithBudget(q *cq.Query, d *db.Database, budget int) (*Result, error) {
 // minimum source-side deletion for that tuple, with self-joins handled
 // soundly because tuple identity is preserved.
 func ExactFiltered(q *cq.Query, d *db.Database, keep func(eval.Witness) bool) (*Result, error) {
-	return exactFiltered(q, d, -1, keep)
+	return exactFiltered(context.Background(), q, d, -1, keep)
 }
 
-func exactFiltered(q *cq.Query, d *db.Database, budget int, keep func(eval.Witness) bool) (*Result, error) {
+func exactFiltered(ctx context.Context, q *cq.Query, d *db.Database, budget int, keep func(eval.Witness) bool) (*Result, error) {
 	var sets [][]db.Tuple
 	unbreakable := false
+	poll := ctxpoll.New(ctx)
 	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		if poll.Cancelled() {
+			return false
+		}
 		if keep != nil && !keep(w) {
 			return true
 		}
@@ -76,6 +90,9 @@ func exactFiltered(q *cq.Query, d *db.Database, budget int, keep func(eval.Witne
 		sets = append(sets, ts)
 		return true
 	})
+	if err := poll.Err(); err != nil {
+		return nil, err
+	}
 	if unbreakable {
 		return nil, ErrUnbreakable
 	}
@@ -100,7 +117,11 @@ func exactFiltered(q *cq.Query, d *db.Database, budget int, keep func(eval.Witne
 		fam[i] = row
 	}
 	hs := newHittingSet(fam, len(tuples))
+	hs.poll = ctxpoll.New(ctx)
 	size, chosen := hs.solve(budget)
+	if err := hs.poll.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{Rho: size, Method: "exact", Witnesses: len(sets)}
 	if chosen != nil {
 		for _, e := range chosen {

@@ -1,6 +1,10 @@
 package resilience
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/ctxpoll"
+)
 
 // hittingSet solves minimum hitting set exactly by branch and bound:
 // given a family of non-empty sets over int elements, find a minimum set of
@@ -25,6 +29,11 @@ type hittingSet struct {
 	// Ablation switches (see Options): disable the packing lower bound or
 	// the superset elimination to measure their contribution.
 	noLowerBound bool
+
+	// poll, when non-nil, lets callers cancel long searches; its Err
+	// records why the search stopped early (the best found so far is then
+	// meaningless).
+	poll *ctxpoll.Poller
 }
 
 // newHittingSet normalizes the family: deduplicates sets and removes
@@ -140,6 +149,9 @@ func (h *hittingSet) greedy() []int32 {
 }
 
 func (h *hittingSet) branch(cur []int32) {
+	if h.poll.Cancelled() {
+		return
+	}
 	if h.numUnhit == 0 {
 		if len(cur) < h.best {
 			h.best = len(cur)

@@ -1,6 +1,8 @@
 package resilience
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -17,32 +19,68 @@ import (
 // Section 4.1 and Proposition 18 respectively, so solving happens on the
 // normalized form.
 func Solve(q *cq.Query, d *db.Database) (*Result, *core.Classification, error) {
+	return SolveCtx(context.Background(), q, d)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the exact fallback polls
+// ctx and aborts with ctx.Err() once it is done. The PTIME solvers run to
+// completion (they are polynomial and fast in practice); ctx is checked
+// between components.
+func SolveCtx(ctx context.Context, q *cq.Query, d *db.Database) (*Result, *core.Classification, error) {
 	cl := core.Classify(q)
+	res, err := SolveClassifiedCtx(ctx, cl, d)
+	return res, cl, err
+}
+
+// SolveClassified dispatches an already-classified query to its solver,
+// including the Lemma 14 minimum over connected components. Callers that
+// cache classifications (e.g. the engine) use this to skip re-classifying.
+func SolveClassified(cl *core.Classification, d *db.Database) (*Result, error) {
+	return SolveClassifiedCtx(context.Background(), cl, d)
+}
+
+// SolveClassifiedCtx is SolveClassified with cooperative cancellation.
+func SolveClassifiedCtx(ctx context.Context, cl *core.Classification, d *db.Database) (*Result, error) {
+	return SolveClassifiedWith(ctx, cl, d, solveClassified)
+}
+
+// ComponentSolver solves one connected (single-component) classified
+// query. The engine substitutes its portfolio here.
+type ComponentSolver func(ctx context.Context, cl *core.Classification, d *db.Database) (*Result, error)
+
+// SolveClassifiedWith applies solve per connected component and takes the
+// Lemma 14 minimum: an unbreakable component is skipped (others may still
+// falsify the query), and ρ is the smallest component ρ. This is the one
+// copy of the component logic; the engine reuses it with its portfolio as
+// the component solver.
+func SolveClassifiedWith(ctx context.Context, cl *core.Classification, d *db.Database, solve ComponentSolver) (*Result, error) {
 	if len(cl.Components) > 1 {
 		// Lemma 14: minimum over components.
 		var best *Result
 		for _, sub := range cl.Components {
-			res, err := solveClassified(sub, d)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := solve(ctx, sub, d)
 			if err == ErrUnbreakable {
 				continue // this component cannot be falsified; others may
 			}
 			if err != nil {
-				return nil, cl, err
+				return nil, err
 			}
 			if best == nil || res.Rho < best.Rho {
 				best = res
 			}
 		}
 		if best == nil {
-			return nil, cl, ErrUnbreakable
+			return nil, ErrUnbreakable
 		}
-		return best, cl, nil
+		return best, nil
 	}
-	res, err := solveClassified(cl, d)
-	return res, cl, err
+	return solve(ctx, cl, d)
 }
 
-func solveClassified(cl *core.Classification, d *db.Database) (*Result, error) {
+func solveClassified(ctx context.Context, cl *core.Classification, d *db.Database) (*Result, error) {
 	q := cl.Normalized
 	switch cl.Algorithm {
 	case core.AlgTrivial:
@@ -53,7 +91,7 @@ func solveClassified(cl *core.Classification, d *db.Database) (*Result, error) {
 	case core.AlgLinearFlow:
 		res, err := LinearFlow(q, d)
 		if err == ErrNotLinear {
-			return Exact(q, d)
+			return ExactCtx(ctx, q, d, -1)
 		}
 		return res, err
 	case core.AlgPermCount:
@@ -67,6 +105,6 @@ func solveClassified(cl *core.Classification, d *db.Database) (*Result, error) {
 	case core.AlgTS3confFlow:
 		return SolveTS3conf(q, d)
 	default:
-		return Exact(q, d)
+		return ExactCtx(ctx, q, d, -1)
 	}
 }

@@ -7,7 +7,12 @@
 // analogously for Max 2SAT (Proposition 39).
 package sat
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/ctxpoll"
+)
 
 // Literal is a signed variable reference: +v means variable v (1-based)
 // positive, -v negated. Zero is invalid.
@@ -56,20 +61,29 @@ func (f *Formula) CountSatisfied(assign []bool) int {
 // Solve decides satisfiability with DPLL (unit propagation + pure-literal
 // elimination) and returns a satisfying assignment when one exists.
 func (f *Formula) Solve() (assign []bool, sat bool) {
+	assign, sat, _ = f.SolveCtx(context.Background())
+	return assign, sat
+}
+
+// SolveCtx is Solve with cooperative cancellation: the DPLL search polls
+// ctx periodically and aborts with ctx.Err() when it is done. A non-nil
+// error means the search was cut short and the sat result is meaningless.
+func (f *Formula) SolveCtx(ctx context.Context) (assign []bool, sat bool, err error) {
 	// values: 0 unknown, 1 true, -1 false.
 	values := make([]int8, f.NumVars+1)
-	if !dpll(f, values) {
-		return nil, false
+	cc := ctxpoll.New(ctx)
+	if !dpll(f, values, cc) {
+		if err := cc.Err(); err != nil {
+			return nil, false, err
+		}
+		return nil, false, nil
 	}
 	assign = make([]bool, f.NumVars+1)
-	for v := 1; v <= f.NumVars; v++ {
-		assign[v] = values[v] >= 0 && values[v] != 0 || values[v] == 1
-	}
 	// Normalize: unknown variables default to false.
 	for v := 1; v <= f.NumVars; v++ {
 		assign[v] = values[v] == 1
 	}
-	return assign, true
+	return assign, true, nil
 }
 
 // Satisfiable reports whether f has a model.
@@ -78,7 +92,10 @@ func (f *Formula) Satisfiable() bool {
 	return ok
 }
 
-func dpll(f *Formula, values []int8) bool {
+func dpll(f *Formula, values []int8, cc *ctxpoll.Poller) bool {
+	if cc.Cancelled() {
+		return false
+	}
 	// Unit propagation and conflict detection.
 	type undoRec struct{ v int }
 	var undo []undoRec
@@ -170,8 +187,11 @@ func dpll(f *Formula, values []int8) bool {
 	}
 	for _, try := range []int8{1, -1} {
 		values[branch] = try
-		if dpll(f, values) {
+		if dpll(f, values, cc) {
 			return true
+		}
+		if cc.Err() != nil {
+			break
 		}
 	}
 	values[branch] = 0

@@ -34,12 +34,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cnfenc"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/hardness"
 	"repro/internal/ijp"
@@ -102,6 +104,39 @@ func Classify(q *Query) *Classification { return core.Classify(q) }
 func Resilience(q *Query, d *Database) (*Result, *Classification, error) {
 	return resilience.Solve(q, d)
 }
+
+// ResilienceCtx is Resilience with cooperative cancellation: the exact
+// search polls ctx and aborts with ctx.Err() once it is done.
+func ResilienceCtx(ctx context.Context, q *Query, d *Database) (*Result, *Classification, error) {
+	return resilience.SolveCtx(ctx, q, d)
+}
+
+// Engine is the concurrent solving service: a worker-pool batch API with
+// per-instance timeouts, a classification cache keyed by query structure
+// up to isomorphism, and an optional solver portfolio that races exact
+// branch-and-bound against SAT binary search on NP-hard instances.
+//
+//	eng := repro.NewEngine(repro.EngineConfig{Workers: 8, Portfolio: true})
+//	results := eng.SolveBatch(ctx, []repro.Instance{{ID: "a", Query: q, DB: d}})
+type Engine = engine.Engine
+
+// EngineConfig tunes an Engine; the zero value means GOMAXPROCS workers,
+// no timeout, portfolio off.
+type EngineConfig = engine.Config
+
+// EngineStats is a snapshot of an Engine's counters.
+type EngineStats = engine.Stats
+
+// Instance is one (query, database) problem in a batch.
+type Instance = engine.Instance
+
+// BatchResult is the outcome of one Instance, index-aligned with the
+// batch passed to SolveBatch.
+type BatchResult = engine.BatchResult
+
+// NewEngine returns a reusable concurrent resilience engine. A long-lived
+// Engine amortizes query classification across every batch it serves.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // ResilienceExact computes ρ(q, D) with the exact branch-and-bound solver,
 // which is sound for every conjunctive query.

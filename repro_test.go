@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 )
 
@@ -201,5 +202,46 @@ func TestSearchHardnessProofAPI(t *testing.T) {
 	cert, _, _ := SearchHardnessProof(MustParse("qchain :- R(x,y), R(y,z)"), 2, 8)
 	if cert == nil || cert.Beta < 1 {
 		t.Fatalf("cert = %v, want a validated gadget", cert)
+	}
+}
+
+func TestEngineAPI(t *testing.T) {
+	q := MustParse("qchain :- R(x,y), R(y,z)")
+	d := NewDatabase()
+	d.AddNames("R", "1", "2")
+	d.AddNames("R", "2", "3")
+	d.AddNames("R", "3", "3")
+
+	eng := NewEngine(EngineConfig{Workers: 4, Portfolio: true})
+	insts := []Instance{
+		{ID: "a", Query: q, DB: d},
+		{ID: "b", Query: MustParse("q2 :- E(u,v), E(v,w)"), DB: func() *Database {
+			d2 := NewDatabase()
+			d2.AddNames("E", "1", "2")
+			d2.AddNames("E", "2", "3")
+			d2.AddNames("E", "3", "3")
+			return d2
+		}()},
+	}
+	results := eng.SolveBatch(context.Background(), insts)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("instance %s: %v", r.ID, r.Err)
+		}
+		if r.Res.Rho != 2 {
+			t.Errorf("instance %s: ρ = %d, want 2", r.ID, r.Res.Rho)
+		}
+		if r.Classification.Verdict != NPComplete {
+			t.Errorf("instance %s: verdict = %s, want NP-complete", r.ID, r.Classification.Verdict)
+		}
+	}
+	// The second query is the first renamed: classification must be cached.
+	if st := eng.Stats(); st.CacheHits != 1 {
+		t.Errorf("Stats.CacheHits = %d, want 1 (isomorphic query shapes)", st.CacheHits)
+	}
+
+	res, _, err := ResilienceCtx(context.Background(), q, d)
+	if err != nil || res.Rho != 2 {
+		t.Fatalf("ResilienceCtx = (%v, %v), want ρ=2", res, err)
 	}
 }
