@@ -1,6 +1,7 @@
 GO ?= go
+STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test race bench lint
+.PHONY: all build test race bench bench-json lint
 
 all: build lint test
 
@@ -17,6 +18,12 @@ race:
 # bit-rot in the harness without CI-length timings.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark results for the perf trajectory: the same
+# smoke run, converted to BENCH_<stamp>.json (uploaded as a CI artifact).
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./... | $(GO) run ./cmd/benchjson > BENCH_$(STAMP).json
+	@echo "wrote BENCH_$(STAMP).json"
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, for the repository's
+// performance-trajectory artifacts (`make bench-json`, uploaded by CI).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson > BENCH_<stamp>.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Stamp     string   `json:"stamp"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkExactConfluence10-8   	     100	    117843 ns/op	   24312 B/op	     310 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var pkgLine = regexp.MustCompile(`^(?:ok|FAIL)\s+(\S+)`)
+
+func main() {
+	rep := Report{
+		Stamp:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	// Benchmark lines precede their package's trailing "ok <pkg> <time>"
+	// line, so buffer per package and stamp the package on flush.
+	var pending []Result
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "FAIL") {
+			// The pipeline swallows go test's exit status; propagating the
+			// failure is this tool's job, or CI's smoke run can never fail.
+			failed = true
+			fmt.Fprintln(os.Stderr, "benchjson: benchmark run reported:", line)
+		}
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			r := Result{Name: m[1]}
+			r.Procs, _ = strconv.Atoi(m[2])
+			r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			if m[5] != "" {
+				r.BytesPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			if m[6] != "" {
+				r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+			}
+			pending = append(pending, r)
+			continue
+		}
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			for i := range pending {
+				pending[i].Package = m[1]
+			}
+			rep.Results = append(rep.Results, pending...)
+			pending = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Results = append(rep.Results, pending...)
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -149,10 +149,11 @@ func batch(q *repro.Query, paths []string) {
 		}
 	}
 	st := eng.Stats()
-	fmt.Printf("\n%d instances in %v: %d solved, %d failed; cache %d/%d hits; portfolio wins exact=%d sat=%d; timeouts=%d\n",
+	fmt.Printf("\n%d instances in %v: %d solved, %d failed; cache %d/%d hits; portfolio wins exact=%d sat=%d; IR builds=%d solver runs=%d; timeouts=%d\n",
 		len(results), took.Round(time.Millisecond), st.Solved, failed,
 		st.CacheHits, st.CacheHits+st.CacheMisses,
-		st.PortfolioExactWins, st.PortfolioSATWins, st.Timeouts)
+		st.PortfolioExactWins, st.PortfolioSATWins,
+		st.IRBuilds, st.SolverRuns, st.Timeouts)
 	if failed > 0 {
 		os.Exit(1)
 	}

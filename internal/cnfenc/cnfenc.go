@@ -20,6 +20,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/sat"
+	"repro/internal/witset"
 )
 
 // ErrUnbreakable mirrors resilience.ErrUnbreakable: some witness consists
@@ -48,46 +49,60 @@ func Encode(q *cq.Query, d *db.Database, k int) (*Encoding, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("cnfenc: negative budget %d", k)
 	}
-	sets, unbreakable := eval.EndoWitnessSets(q, d)
-	if unbreakable {
+	inst, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Unbreakable() {
 		return nil, ErrUnbreakable
 	}
-	return EncodeSets(sets, k), nil
+	return EncodeInstance(inst, k), nil
 }
 
-// EncodeSets builds the CNF instance directly from precomputed per-witness
-// endogenous tuple sets (as produced by eval.EndoWitnessSets). Callers that
-// probe several budgets over the same witnesses — the engine's SAT binary
-// search — enumerate witnesses once and re-encode per k, which only
-// rebuilds the cardinality counter.
-func EncodeSets(sets [][]db.Tuple, k int) *Encoding {
-	idOf := map[db.Tuple]int{}
-	var tuples []db.Tuple
-	clauses := make([]sat.Clause, 0, len(sets))
-	for _, ts := range sets {
-		clause := make(sat.Clause, 0, len(ts))
-		seen := map[int]bool{}
-		for _, t := range ts {
-			id, ok := idOf[t]
-			if !ok {
-				id = len(tuples)
-				idOf[t] = id
-				tuples = append(tuples, t)
-			}
-			if !seen[id] {
-				seen[id] = true
-				clause = append(clause, sat.Literal(id+1))
-			}
+// EncodeInstance builds the CNF instance from a prebuilt witness-hypergraph
+// IR: tuple id i becomes CNF variable i+1, each witness row becomes one
+// at-least-one-deleted clause. Callers probing several budgets over the
+// same witnesses should use an Encoder, which builds the witness clauses
+// once and re-encodes only the cardinality counter per k.
+func EncodeInstance(inst *witset.Instance, k int) *Encoding {
+	return NewEncoder(inst).Encode(k)
+}
+
+// Encoder renders one IR at several cardinality budgets — the engine's SAT
+// binary search — sharing the witness clauses across encodings; only the
+// Sinz counter differs per k.
+type Encoder struct {
+	inst *witset.Instance
+	base []sat.Clause
+}
+
+// NewEncoder builds the budget-independent part of the encoding: one
+// clause per witness row.
+func NewEncoder(inst *witset.Instance) *Encoder {
+	rows := inst.Rows()
+	base := make([]sat.Clause, 0, len(rows))
+	for _, row := range rows {
+		clause := make(sat.Clause, len(row))
+		for j, id := range row {
+			clause[j] = sat.Literal(int(id) + 1)
 		}
-		clauses = append(clauses, clause)
+		base = append(base, clause)
 	}
+	return &Encoder{inst: inst, base: base}
+}
+
+// Encode returns the encoding for budget k. The witness clauses are shared
+// between encodings (the DPLL search never mutates clauses); the full-cap
+// reslice makes addAtMostK's appends land in fresh backing, so encodings
+// for different budgets do not alias each other's counters.
+func (e *Encoder) Encode(k int) *Encoding {
 	enc := &Encoding{
-		Tuples:    tuples,
+		Tuples:    e.inst.Tuples(),
 		K:         k,
-		Witnesses: len(clauses),
+		Witnesses: len(e.base),
 	}
-	n := len(tuples)
-	f := &sat.Formula{NumVars: n, Clauses: clauses}
+	n := e.inst.NumTuples()
+	f := &sat.Formula{NumVars: n, Clauses: e.base[:len(e.base):len(e.base)]}
 	addAtMostK(f, n, k)
 	enc.Formula = f
 	return enc
@@ -163,13 +178,17 @@ func DecideCtx(ctx context.Context, q *cq.Query, d *db.Database, k int) (bool, [
 	if !eval.Satisfied(q, d) {
 		return false, nil, nil
 	}
-	if err := ctx.Err(); err != nil {
-		return false, nil, err
+	if k < 0 {
+		return false, nil, fmt.Errorf("cnfenc: negative budget %d", k)
 	}
-	enc, err := Encode(q, d, k)
+	inst, err := witset.Build(ctx, q, d, nil)
 	if err != nil {
 		return false, nil, err
 	}
+	if inst.Unbreakable() {
+		return false, nil, ErrUnbreakable
+	}
+	enc := EncodeInstance(inst, k)
 	assign, ok, err := enc.Formula.SolveCtx(ctx)
 	if err != nil {
 		return false, nil, err

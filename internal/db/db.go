@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Value is an interned constant of the active domain.
@@ -52,14 +54,25 @@ func (t Tuple) ConstSet() map[Value]bool {
 }
 
 // Relation is a set of same-arity tuples with per-position indexes.
+//
+// Concurrency: mutations (add/remove, reached via Database.Add / Delete /
+// RestoreTo) require exclusive access, but any number of goroutines may
+// read — including Lookup, whose lazy index rebuild is serialized by mu and
+// published through the ready flag, so concurrent readers of an unindexed
+// relation are safe. Database.Freeze performs every pending rebuild
+// eagerly, making a subsequently read-only database contention-free.
 type Relation struct {
 	Name  string
 	Arity int
 
 	tuples map[Tuple]bool
-	// index[p][v] lists tuples whose p-th argument is v.
+	// index[p][v] lists tuples whose p-th argument is v. It is rebuilt
+	// lazily: ready reports whether index matches tuples, and mu serializes
+	// the rebuild itself. ready.Store(true) after the index writes gives
+	// readers that observe ready the happens-before edge they need.
 	index [MaxArity]map[Value][]Tuple
-	dirty bool
+	ready atomic.Bool
+	mu    sync.Mutex
 }
 
 func newRelation(name string, arity int) *Relation {
@@ -85,19 +98,24 @@ func (r *Relation) Tuples() []Tuple {
 func (r *Relation) add(t Tuple) {
 	if !r.tuples[t] {
 		r.tuples[t] = true
-		r.dirty = true
+		r.ready.Store(false)
 	}
 }
 
 func (r *Relation) remove(t Tuple) {
 	if r.tuples[t] {
 		delete(r.tuples, t)
-		r.dirty = true
+		r.ready.Store(false)
 	}
 }
 
 func (r *Relation) rebuild() {
-	if !r.dirty && r.index[0] != nil {
+	if r.ready.Load() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ready.Load() {
 		return
 	}
 	for p := 0; p < r.Arity; p++ {
@@ -108,7 +126,7 @@ func (r *Relation) rebuild() {
 			r.index[p][t.Args[p]] = append(r.index[p][t.Args[p]], t)
 		}
 	}
-	r.dirty = false
+	r.ready.Store(true)
 }
 
 // Lookup returns the tuples whose p-th argument equals v.
@@ -228,6 +246,18 @@ func (d *Database) RestoreTo(mark int) {
 	}
 }
 
+// Freeze eagerly rebuilds every relation's positional indexes. Lazy
+// rebuilds are individually safe for concurrent readers, but a caller about
+// to share d read-only across goroutines (the engine's solver portfolio,
+// witness enumeration for a shared IR) can Freeze first so no reader ever
+// contends on a rebuild. Mutating d afterwards is allowed and simply
+// re-arms the lazy rebuild.
+func (d *Database) Freeze() {
+	for _, r := range d.rels {
+		r.rebuild()
+	}
+}
+
 // Len returns the total number of tuples across all relations.
 func (d *Database) Len() int {
 	n := 0
@@ -268,7 +298,6 @@ func (d *Database) Clone() *Database {
 		for t := range r.tuples {
 			cr.tuples[t] = true
 		}
-		cr.dirty = true
 		c.rels[name] = cr
 	}
 	return c

@@ -68,11 +68,12 @@ type Config struct {
 	Portfolio bool
 	// CacheSize caps the classification cache (0 = default 1024).
 	CacheSize int
-	// NoClone skips the defensive per-instance database clone. The
-	// evaluator builds relation indexes lazily and some solvers
-	// temporarily delete tuples, so without cloning the caller must
-	// guarantee that no two concurrent instances share a *db.Database and
-	// must tolerate index-warming writes on the instances it passed in.
+	// NoClone skips the defensive per-instance database clone. Lazy index
+	// rebuilds are safe for concurrent readers (db.Relation guards them),
+	// but some solvers temporarily delete tuples, so without cloning the
+	// caller must guarantee that no two concurrent instances share a
+	// *db.Database and must tolerate index-warming on the instances it
+	// passed in.
 	NoClone bool
 }
 
@@ -87,6 +88,8 @@ type Engine struct {
 	timeouts           atomic.Int64
 	portfolioExactWins atomic.Int64
 	portfolioSATWins   atomic.Int64
+	irBuilds           atomic.Int64
+	solverRuns         atomic.Int64
 }
 
 // Stats is a snapshot of an Engine's counters.
@@ -103,6 +106,12 @@ type Stats struct {
 	// first on portfolio-solved components.
 	PortfolioExactWins int64
 	PortfolioSATWins   int64
+	// IRBuilds counts witness-hypergraph constructions performed by the
+	// portfolio, and SolverRuns the solver invocations racing over them.
+	// One race = one IR build + two solver runs: the enumerate-once
+	// invariant is IRBuilds == races, not 2×.
+	IRBuilds   int64
+	SolverRuns int64
 }
 
 // New returns an Engine with the given configuration.
@@ -120,6 +129,8 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:        misses,
 		PortfolioExactWins: e.portfolioExactWins.Load(),
 		PortfolioSATWins:   e.portfolioSATWins.Load(),
+		IRBuilds:           e.irBuilds.Load(),
+		SolverRuns:         e.solverRuns.Load(),
 	}
 }
 

@@ -6,29 +6,44 @@ import (
 	"repro/internal/cnfenc"
 	"repro/internal/cq"
 	"repro/internal/db"
-	"repro/internal/eval"
 	"repro/internal/resilience"
+	"repro/internal/witset"
 )
 
 // racePortfolio attacks one NP-hard (or unclassified) component with two
 // independent solvers in parallel and returns whichever finishes first,
 // cancelling the loser:
 //
-//   - exact branch-and-bound over witness hitting sets
-//     (resilience.ExactCtx), strongest when the packing lower bound prunes
-//     well;
+//   - exact branch-and-bound over the witness hitting sets
+//     (resilience.ExactOnInstance), strongest when the packing lower bound
+//     prunes well;
 //   - binary search on k over the CNF encoding of RES(q, D, k)
-//     (cnfenc.DecideCtx), strongest when unit propagation locks in forced
-//     deletions.
+//     (cnfenc.EncodeInstance per probe), strongest when unit propagation
+//     locks in forced deletions.
 //
 // The two racers dominate on different instance families, so the race is
 // never slower than the better solver by more than scheduling noise, and
-// is often dramatically faster than a fixed choice. The racers must not
-// share a database — the evaluator builds relation indexes lazily, a
-// write — so the SAT racer gets a clone of d and the exact racer keeps d
-// itself (which solveInstance already privatized unless NoClone, whose
-// contract gives this instance exclusive use of d anyway).
+// is often dramatically faster than a fixed choice.
+//
+// The witness hypergraph is built exactly once per race and shared by both
+// racers: the IR is immutable after Build (derived families are
+// sync.Once-guarded), so neither racer touches the database and the old
+// defensive clone for the SAT side is gone. Unbreakability and the
+// zero-witness case are properties of the IR and short-circuit before any
+// racer starts.
 func (e *Engine) racePortfolio(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, error) {
+	inst, err := witset.Build(ctx, q, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.irBuilds.Add(1)
+	if inst.Unbreakable() {
+		return nil, resilience.ErrUnbreakable
+	}
+	if inst.NumWitnesses() == 0 {
+		return &resilience.Result{Rho: 0, Method: "portfolio/exact", Witnesses: 0}, nil
+	}
+
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -37,14 +52,14 @@ func (e *Engine) racePortfolio(ctx context.Context, q *cq.Query, d *db.Database)
 		err error
 		sat bool
 	}
-	satDB := d.Clone()
 	ch := make(chan racerOut, 2)
+	e.solverRuns.Add(2)
 	go func() {
-		res, err := resilience.ExactCtx(rctx, q, d, -1)
+		res, err := resilience.ExactOnInstance(rctx, inst, -1)
 		ch <- racerOut{res: res, err: err}
 	}()
 	go func() {
-		res, err := satBinarySearch(rctx, q, satDB)
+		res, err := satBinarySearch(rctx, inst)
 		ch <- racerOut{res: res, err: err, sat: true}
 	}()
 
@@ -66,15 +81,6 @@ func (e *Engine) racePortfolio(ctx context.Context, q *cq.Query, d *db.Database)
 			}
 			return out.res, nil
 		}
-		if out.err == resilience.ErrUnbreakable || out.err == cnfenc.ErrUnbreakable {
-			// Unbreakability is a property of (q, D), not of the solver:
-			// the other racer can only confirm it.
-			cancel()
-			if i == 0 {
-				<-ch
-			}
-			return nil, resilience.ErrUnbreakable
-		}
 		if firstErr == nil {
 			firstErr = out.err
 		}
@@ -88,34 +94,23 @@ func (e *Engine) racePortfolio(ctx context.Context, q *cq.Query, d *db.Database)
 
 // satBinarySearch computes ρ exactly by binary-searching the smallest k
 // with (D, k) ∈ RES(q), deciding each membership query via the CNF
-// encoding. The upper bound is the number of distinct endogenous tuples
-// appearing in any witness: deleting all of them falsifies q, so ρ lies in
-// [1, U] whenever q is satisfied and breakable.
-func satBinarySearch(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, error) {
-	sets, unbreakable := eval.EndoWitnessSets(q, d)
-	if unbreakable {
-		return nil, resilience.ErrUnbreakable
-	}
-	if len(sets) == 0 {
-		return &resilience.Result{Rho: 0, Method: "sat-binary-search", Witnesses: 0}, nil
-	}
-	seen := map[db.Tuple]bool{}
-	for _, s := range sets {
-		for _, t := range s {
-			seen[t] = true
-		}
-	}
-	lo, hi := 1, len(seen)
+// encoding of the shared IR. The upper bound is the size of the IR's tuple
+// universe: deleting every endogenous tuple occurring in a witness
+// falsifies q, so ρ lies in [1, U] whenever q is satisfied and breakable.
+func satBinarySearch(ctx context.Context, inst *witset.Instance) (*resilience.Result, error) {
+	lo, hi := 1, inst.NumTuples()
 	rho := hi
 	var gamma []db.Tuple
+	encoder := cnfenc.NewEncoder(inst)
 	for lo <= hi {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		mid := lo + (hi-lo)/2
-		// Witnesses were enumerated once above; per probe only the
-		// cardinality counter of the encoding changes.
-		enc := cnfenc.EncodeSets(sets, mid)
+		// Witnesses were enumerated once into the IR and their clauses
+		// rendered once by the encoder; per probe only the cardinality
+		// counter of the encoding changes.
+		enc := encoder.Encode(mid)
 		assign, ok, err := enc.Formula.SolveCtx(ctx)
 		if err != nil {
 			return nil, err
@@ -131,6 +126,6 @@ func satBinarySearch(ctx context.Context, q *cq.Query, d *db.Database) (*resilie
 		Rho:            rho,
 		ContingencySet: gamma,
 		Method:         "sat-binary-search",
-		Witnesses:      len(sets),
+		Witnesses:      inst.NumWitnesses(),
 	}, nil
 }

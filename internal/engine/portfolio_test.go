@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/resilience"
+)
+
+// TestPortfolioBuildsIROnce pins the enumerate-once contract: one portfolio
+// race performs exactly one witness-hypergraph construction, shared by both
+// racers (the old implementation enumerated witnesses twice, once per racer,
+// on a defensively cloned database).
+func TestPortfolioBuildsIROnce(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(21))
+	d := datagen.Random(rng, q, 8, 18, 0.2)
+
+	e := New(Config{Workers: 2, Portfolio: true})
+	res, cl, err := e.Solve(context.Background(), q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho == 0 {
+		t.Fatal("instance not satisfied; pick a seed that actually races")
+	}
+	if len(cl.Components) > 1 {
+		t.Fatalf("expected a single-component query, got %d components", len(cl.Components))
+	}
+	st := e.Stats()
+	if st.IRBuilds != 1 {
+		t.Fatalf("Stats.IRBuilds = %d, want exactly 1 per portfolio race", st.IRBuilds)
+	}
+	if st.SolverRuns != 2 {
+		t.Fatalf("Stats.SolverRuns = %d, want 2 (both racers over the shared IR)", st.SolverRuns)
+	}
+	if st.PortfolioExactWins+st.PortfolioSATWins != 1 {
+		t.Fatalf("portfolio wins = %d exact + %d sat, want exactly one race",
+			st.PortfolioExactWins, st.PortfolioSATWins)
+	}
+
+	// More races on the same engine keep the invariant: IR builds count
+	// races, solver runs count 2 per race.
+	const extra = 5
+	for i := 0; i < extra; i++ {
+		d2 := datagen.Random(rng, q, 8, 18, 0.2)
+		if _, _, err := e.Solve(context.Background(), q, d2); err != nil && err != resilience.ErrUnbreakable {
+			t.Fatal(err)
+		}
+	}
+	st = e.Stats()
+	if st.IRBuilds != 1+extra {
+		t.Fatalf("Stats.IRBuilds = %d after %d races, want %d", st.IRBuilds, 1+extra, 1+extra)
+	}
+	if st.SolverRuns > 2*st.IRBuilds {
+		t.Fatalf("Stats.SolverRuns = %d exceeds 2×IRBuilds = %d: a racer re-enumerated",
+			st.SolverRuns, 2*st.IRBuilds)
+	}
+}
+
+// TestPortfolioSharedIRConcurrent hammers the shared-IR race path across a
+// concurrent batch; under `go test -race` (the CI default) this is the
+// regression guard for the IR's concurrent readers — both racers of every
+// instance consume one witset.Instance, including its lazily derived
+// families, with no database clone separating them.
+func TestPortfolioSharedIRConcurrent(t *testing.T) {
+	q := cq.MustParse("qvc :- R(x), S(x,y), R(y)")
+	rng := rand.New(rand.NewSource(33))
+	insts := make([]Instance, 24)
+	for i := range insts {
+		insts[i] = Instance{Query: q, DB: datagen.Random(rng, q, 7, 12, 0.2)}
+	}
+	e := New(Config{Workers: 8, Portfolio: true})
+	results := e.SolveBatch(context.Background(), insts)
+	for i, r := range results {
+		if r.Err != nil && r.Err != resilience.ErrUnbreakable {
+			t.Fatalf("instance %d failed: %v", i, r.Err)
+		}
+		if r.Err == nil {
+			want, err := resilience.Exact(insts[i].Query, insts[i].DB)
+			if err != nil {
+				t.Fatalf("instance %d: exact failed: %v", i, err)
+			}
+			if r.Res.Rho != want.Rho {
+				t.Fatalf("instance %d: portfolio ρ = %d, exact ρ = %d", i, r.Res.Rho, want.Rho)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.SolverRuns > 2*st.IRBuilds {
+		t.Fatalf("SolverRuns = %d exceeds 2×IRBuilds = %d", st.SolverRuns, st.IRBuilds)
+	}
+}

@@ -1,0 +1,172 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnfenc"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Randomized differential suite: on a battery of random (query, database)
+// instances, the legacy-equivalent reference solver (plain recursion over
+// eval.EndoWitnessSets, no interning, no bitsets), the IR-based exact
+// solver (both ablation variants), the SAT oracle, and the minimum-set
+// enumerator must all agree on ρ.
+
+// referenceRho recomputes ρ by iterative deepening directly over the
+// tuple-level witness sets — an independent implementation of Definition 1
+// that shares no code with the witset IR or the bitset hitting-set core.
+func referenceRho(q *cq.Query, d *db.Database) (rho int, unbreakable bool) {
+	sets, unbreakable := eval.EndoWitnessSets(q, d)
+	if unbreakable {
+		return 0, true
+	}
+	chosen := map[db.Tuple]bool{}
+	var canHit func(k int) bool
+	canHit = func(k int) bool {
+		var unhit []db.Tuple
+		for _, s := range sets {
+			hit := false
+			for _, t := range s {
+				if chosen[t] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				unhit = s
+				break
+			}
+		}
+		if unhit == nil {
+			return true
+		}
+		if k == 0 {
+			return false
+		}
+		for _, t := range unhit {
+			chosen[t] = true
+			ok := canHit(k - 1)
+			delete(chosen, t)
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	for k := 0; ; k++ {
+		if canHit(k) {
+			return k, false
+		}
+	}
+}
+
+func TestDifferentialRandomInstances(t *testing.T) {
+	shapes := []struct {
+		query          string
+		domain, tuples int
+	}{
+		{"qchain :- R(x,y), R(y,z)", 6, 10},
+		{"qvc :- R(x), S(x,y), R(y)", 6, 9},
+		{"qtriangle :- R(x,y), S(y,z), T(z,x)", 5, 8},
+		{"qACconf :- A(x), R(x,y), R(z,y), C(z)", 6, 9},
+		{"qperm :- R(x,y), R(y,x)", 7, 12},
+		{"qxchain :- A(x)^x, R(x,y), R(y,z)", 6, 10},
+	}
+	rng := rand.New(rand.NewSource(2026))
+	instances := 0
+	for round := 0; round < 6; round++ {
+		for _, s := range shapes {
+			q := cq.MustParse(s.query)
+			d := datagen.Random(rng, q, s.domain, s.tuples, 0.3)
+			instances++
+
+			want, unbreakable := referenceRho(q, d)
+
+			got, err := Exact(q, d)
+			if unbreakable {
+				if err != ErrUnbreakable {
+					t.Fatalf("%s round %d: reference says unbreakable, Exact err = %v", q.Name, round, err)
+				}
+				if _, _, satErr := cnfenc.Decide(q, d, 0); satErr != cnfenc.ErrUnbreakable {
+					t.Fatalf("%s round %d: reference says unbreakable, SAT err = %v", q.Name, round, satErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s round %d: Exact failed: %v", q.Name, round, err)
+			}
+			if got.Rho != want {
+				t.Fatalf("%s round %d: IR Exact ρ = %d, reference ρ = %d\n%s", q.Name, round, got.Rho, want, d)
+			}
+			if len(got.ContingencySet) > 0 {
+				if err := VerifyContingency(q, d, got.ContingencySet); err != nil {
+					t.Fatalf("%s round %d: bad contingency set: %v", q.Name, round, err)
+				}
+			}
+
+			// Ablation variants search differently but answer identically.
+			for _, opts := range []Options{
+				{DisableLowerBound: true},
+				{KeepSupersets: true},
+				{DisableLowerBound: true, KeepSupersets: true},
+			} {
+				ab, err := ExactWithOptions(q, d, opts)
+				if err != nil {
+					t.Fatalf("%s round %d: ablation %+v failed: %v", q.Name, round, opts, err)
+				}
+				if ab.Rho != want {
+					t.Fatalf("%s round %d: ablation %+v ρ = %d, want %d", q.Name, round, opts, ab.Rho, want)
+				}
+			}
+
+			// SAT oracle: (D, ρ) ∈ RES(q) and (D, ρ−1) ∉ RES(q).
+			if ok, _, err := cnfenc.Decide(q, d, want); err != nil || ok != eval.Satisfied(q, d) {
+				t.Fatalf("%s round %d: SAT Decide(ρ=%d) = (%v, %v)", q.Name, round, want, ok, err)
+			}
+			if want > 0 {
+				if ok, _, err := cnfenc.Decide(q, d, want-1); err != nil || ok {
+					t.Fatalf("%s round %d: SAT Decide(ρ-1=%d) = (%v, %v), want unsat", q.Name, round, want-1, ok, err)
+				}
+			}
+
+			// The enumerator's ρ must match, and every set it returns must
+			// be a verified optimum.
+			erho, esets, err := EnumerateMinimum(q, d, 8)
+			if err != nil {
+				t.Fatalf("%s round %d: EnumerateMinimum failed: %v", q.Name, round, err)
+			}
+			if erho != want {
+				t.Fatalf("%s round %d: EnumerateMinimum ρ = %d, want %d", q.Name, round, erho, want)
+			}
+			for _, set := range esets {
+				if len(set) != want {
+					t.Fatalf("%s round %d: enumerated set size %d, want %d", q.Name, round, len(set), want)
+				}
+				if err := VerifyContingency(q, d, set); err != nil {
+					t.Fatalf("%s round %d: enumerated set invalid: %v", q.Name, round, err)
+				}
+			}
+		}
+	}
+	if instances == 0 {
+		t.Fatal("no instances generated")
+	}
+}
+
+func TestDifferentialUnbreakableEdge(t *testing.T) {
+	// Every atom exogenous: any witness is unbreakable.
+	q := cq.MustParse("q :- R(x,y)^x")
+	d := db.New()
+	d.AddNames("R", "a", "b")
+	if _, err := Exact(q, d); err != ErrUnbreakable {
+		t.Fatalf("Exact err = %v, want ErrUnbreakable", err)
+	}
+	if _, unbreakable := referenceRho(q, d); !unbreakable {
+		t.Fatal("reference disagrees on unbreakability")
+	}
+}

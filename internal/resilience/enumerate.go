@@ -1,11 +1,12 @@
 package resilience
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cq"
 	"repro/internal/db"
-	"repro/internal/eval"
+	"repro/internal/witset"
 )
 
 // EnumerateMinimum returns ρ(q, D) together with every minimum contingency
@@ -17,12 +18,17 @@ import (
 // report all minimal repairs, or to compute how often a tuple appears in
 // an optimal contingency set.
 //
-// The enumeration branches on the tuples of the first witness not yet hit,
-// which visits every minimum hitting set (any optimal set must intersect
-// that witness); duplicates arising from different branch orders are
-// removed by canonical key.
+// The witness hypergraph is built once and shared by the ρ computation and
+// the enumeration. The enumeration branches on the tuples of the first
+// witness not yet hit, which visits every minimum hitting set (any optimal
+// set must intersect that witness); duplicates arising from different
+// branch orders are removed by canonical key.
 func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
-	base, err := Exact(q, d)
+	inst, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	base, err := ExactOnInstance(context.Background(), inst, -1)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -30,9 +36,10 @@ func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tup
 	if rho == 0 {
 		return 0, nil, nil
 	}
-	sets, _ := eval.EndoWitnessSets(q, d)
+	rows := inst.Rows()
 
-	chosen := map[db.Tuple]bool{}
+	chosen := witset.NewBits(inst.NumTuples())
+	var cur []int32
 	seen := map[string]bool{}
 	var out [][]db.Tuple
 
@@ -44,53 +51,48 @@ func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tup
 		return s
 	}
 	record := func() bool {
-		cur := make([]db.Tuple, 0, len(chosen))
-		for t := range chosen {
-			cur = append(cur, t)
-		}
-		db.SortTuples(cur)
-		k := key(cur)
+		set := inst.TupleSet(cur)
+		k := key(set)
 		if seen[k] {
 			return true
 		}
 		seen[k] = true
-		out = append(out, cur)
+		out = append(out, set)
 		return maxSets == 0 || len(out) < maxSets
 	}
 
 	var rec func() bool
 	rec = func() bool {
 		// First witness not hit by the current choice.
-		var unhit []db.Tuple
-		for _, w := range sets {
+		var unhit []int32
+		for _, row := range rows {
 			hit := false
-			for _, t := range w {
-				if chosen[t] {
+			for _, e := range row {
+				if chosen.Has(e) {
 					hit = true
 					break
 				}
 			}
 			if !hit {
-				unhit = w
+				unhit = row
 				break
 			}
 		}
 		if unhit == nil {
-			if len(chosen) == rho {
+			if len(cur) == rho {
 				return record()
 			}
 			return true // smaller than ρ is impossible; larger is pruned below
 		}
-		if len(chosen) == rho {
+		if len(cur) == rho {
 			return true // budget spent, witness unhit: dead branch
 		}
-		for _, t := range unhit {
-			if chosen[t] {
-				continue
-			}
-			chosen[t] = true
+		for _, e := range unhit {
+			chosen.Set(e)
+			cur = append(cur, e)
 			ok := rec()
-			delete(chosen, t)
+			cur = cur[:len(cur)-1]
+			chosen.Unset(e)
 			if !ok {
 				return false
 			}

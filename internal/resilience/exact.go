@@ -4,8 +4,9 @@
 // minimum number of endogenous tuples whose deletion makes q false
 // (Definition 1). The package provides:
 //
-//   - Exact: branch-and-bound minimum hitting set over witness tuple sets,
-//     correct for every CQ (the trusted oracle; worst-case exponential);
+//   - Exact: branch-and-bound minimum hitting set over the witness
+//     hypergraph (internal/witset), correct for every CQ (the trusted
+//     oracle; worst-case exponential);
 //   - LinearFlow: the network-flow solver for linear queries, following
 //     [31] and extended to one 2-confluence per Proposition 31 / Lemma 55;
 //   - the specialized PTIME solvers of Propositions 13, 33, 36, 41 and 44;
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ctxpoll"
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/witset"
 )
 
 // ErrUnbreakable is returned when some witness consists purely of exogenous
@@ -72,62 +74,39 @@ func ExactFiltered(q *cq.Query, d *db.Database, keep func(eval.Witness) bool) (*
 }
 
 func exactFiltered(ctx context.Context, q *cq.Query, d *db.Database, budget int, keep func(eval.Witness) bool) (*Result, error) {
-	var sets [][]db.Tuple
-	unbreakable := false
-	poll := ctxpoll.New(ctx)
-	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
-		if poll.Cancelled() {
-			return false
-		}
-		if keep != nil && !keep(w) {
-			return true
-		}
-		ts := eval.WitnessTuples(q, w, true)
-		if len(ts) == 0 {
-			unbreakable = true
-			return false
-		}
-		sets = append(sets, ts)
-		return true
-	})
-	if err := poll.Err(); err != nil {
+	inst, err := witset.Build(ctx, q, d, keep)
+	if err != nil {
 		return nil, err
 	}
-	if unbreakable {
+	return solveInstance(ctx, inst, budget, "exact", false, false)
+}
+
+// ExactOnInstance computes ρ over a prebuilt witness-hypergraph IR, which
+// is how callers that already paid for witness enumeration — the engine's
+// portfolio, cross-checks against the SAT oracle — avoid enumerating again.
+func ExactOnInstance(ctx context.Context, inst *witset.Instance, budget int) (*Result, error) {
+	return solveInstance(ctx, inst, budget, "exact", false, false)
+}
+
+// solveInstance is the one branch-and-bound entry point: every exact-path
+// API lands here with an IR in hand.
+func solveInstance(ctx context.Context, inst *witset.Instance, budget int, method string, keepSupersets, noLowerBound bool) (*Result, error) {
+	if inst.Unbreakable() {
 		return nil, ErrUnbreakable
 	}
-	if len(sets) == 0 {
-		return &Result{Rho: 0, Method: "exact", Witnesses: 0}, nil
+	if inst.NumWitnesses() == 0 {
+		return &Result{Rho: 0, Method: method, Witnesses: 0}, nil
 	}
-	// Intern tuples.
-	idOf := map[db.Tuple]int32{}
-	var tuples []db.Tuple
-	fam := make([][]int32, len(sets))
-	for i, s := range sets {
-		row := make([]int32, len(s))
-		for j, t := range s {
-			id, ok := idOf[t]
-			if !ok {
-				id = int32(len(tuples))
-				idOf[t] = id
-				tuples = append(tuples, t)
-			}
-			row[j] = id
-		}
-		fam[i] = row
-	}
-	hs := newHittingSet(fam, len(tuples))
+	hs := newHittingSet(inst.Family(keepSupersets))
+	hs.noLowerBound = noLowerBound
 	hs.poll = ctxpoll.New(ctx)
 	size, chosen := hs.solve(budget)
 	if err := hs.poll.Err(); err != nil {
 		return nil, err
 	}
-	res := &Result{Rho: size, Method: "exact", Witnesses: len(sets)}
+	res := &Result{Rho: size, Method: method, Witnesses: inst.NumWitnesses()}
 	if chosen != nil {
-		for _, e := range chosen {
-			res.ContingencySet = append(res.ContingencySet, tuples[e])
-		}
-		db.SortTuples(res.ContingencySet)
+		res.ContingencySet = inst.TupleSet(chosen)
 	}
 	return res, nil
 }
@@ -146,38 +125,11 @@ type Options struct {
 // ExactWithOptions is Exact with ablation switches; results are identical,
 // only the search effort differs.
 func ExactWithOptions(q *cq.Query, d *db.Database, opts Options) (*Result, error) {
-	sets, unbreakable := eval.EndoWitnessSets(q, d)
-	if unbreakable {
-		return nil, ErrUnbreakable
+	inst, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		return nil, err
 	}
-	if len(sets) == 0 {
-		return &Result{Rho: 0, Method: "exact-ablation", Witnesses: 0}, nil
-	}
-	idOf := map[db.Tuple]int32{}
-	var tuples []db.Tuple
-	fam := make([][]int32, len(sets))
-	for i, s := range sets {
-		row := make([]int32, len(s))
-		for j, t := range s {
-			id, ok := idOf[t]
-			if !ok {
-				id = int32(len(tuples))
-				idOf[t] = id
-				tuples = append(tuples, t)
-			}
-			row[j] = id
-		}
-		fam[i] = row
-	}
-	hs := newHittingSetOpt(fam, len(tuples), opts.KeepSupersets)
-	hs.noLowerBound = opts.DisableLowerBound
-	size, chosen := hs.solve(-1)
-	res := &Result{Rho: size, Method: "exact-ablation", Witnesses: len(sets)}
-	for _, e := range chosen {
-		res.ContingencySet = append(res.ContingencySet, tuples[e])
-	}
-	db.SortTuples(res.ContingencySet)
-	return res, nil
+	return solveInstance(context.Background(), inst, -1, "exact-ablation", opts.KeepSupersets, opts.DisableLowerBound)
 }
 
 // Decide reports whether (D, k) ∈ RES(q): D |= q and some contingency set

@@ -1,33 +1,37 @@
 package resilience
 
 import (
-	"sort"
-
 	"repro/internal/ctxpoll"
+	"repro/internal/witset"
 )
 
-// hittingSet solves minimum hitting set exactly by branch and bound:
-// given a family of non-empty sets over int elements, find a minimum set of
-// elements intersecting every member.
+// hittingSet solves minimum hitting set exactly by branch and bound over a
+// witset.Family: find a minimum set of elements intersecting every row.
 //
-// Resilience is exactly this problem with sets = per-witness endogenous
+// Resilience is exactly this problem with rows = per-witness endogenous
 // tuple sets (Definition 1), so this solver is the trusted oracle for every
-// query, easy or hard.
+// query, easy or hard. The family's bitset rows make the hot operations
+// word-parallel: the disjoint-packing lower bound tests and merges whole
+// rows with AND/OR over packed words instead of a per-branch-node
+// map[int32]bool, and its scratch bitset is reset in one word-store per 64
+// universe elements rather than reallocated.
 type hittingSet struct {
-	sets [][]int32 // deduplicated, minimal family
-	occ  [][]int32 // element -> indexes of sets containing it
-	n    int       // number of elements
+	fam *witset.Family
 
-	hitCount []int32 // how many chosen elements hit each set
-	chosen   []bool
+	hitCount []int32 // how many chosen elements hit each row
+	chosen   witset.Bits
 	numUnhit int
 
 	best       int
 	bestChosen []int32
 	limit      int // stop exploring above this size (inclusive); -1 = none
 
-	// Ablation switches (see Options): disable the packing lower bound or
-	// the superset elimination to measure their contribution.
+	// pack is the lower bound's scratch: the union of the rows packed so
+	// far. One allocation per solve, cleared per call.
+	pack witset.Bits
+
+	// Ablation switch (see Options): disable the packing lower bound to
+	// measure its contribution.
 	noLowerBound bool
 
 	// poll, when non-nil, lets callers cancel long searches; its Err
@@ -36,62 +40,15 @@ type hittingSet struct {
 	poll *ctxpoll.Poller
 }
 
-// newHittingSet normalizes the family: deduplicates sets and removes
-// supersets (hitting a subset always hits its supersets) unless
-// keepSupersets asks for the raw family (ablation).
-func newHittingSet(raw [][]int32, numElems int) *hittingSet {
-	return newHittingSetOpt(raw, numElems, false)
-}
-
-func newHittingSetOpt(raw [][]int32, numElems int, keepSupersets bool) *hittingSet {
-	// Sort each set and sort family by size for superset elimination.
-	sets := make([][]int32, len(raw))
-	for i, s := range raw {
-		cp := append([]int32(nil), s...)
-		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
-		sets[i] = cp
+func newHittingSet(fam *witset.Family) *hittingSet {
+	return &hittingSet{
+		fam:      fam,
+		hitCount: make([]int32, len(fam.Rows)),
+		chosen:   witset.NewBits(fam.N),
+		numUnhit: len(fam.Rows),
+		pack:     witset.NewBits(fam.N),
+		limit:    -1,
 	}
-	sort.Slice(sets, func(a, b int) bool { return len(sets[a]) < len(sets[b]) })
-	var kept [][]int32
-	for _, s := range sets {
-		redundant := false
-		if !keepSupersets {
-			for _, k := range kept {
-				if isSubset(k, s) {
-					redundant = true
-					break
-				}
-			}
-		}
-		if !redundant {
-			kept = append(kept, s)
-		}
-	}
-	h := &hittingSet{sets: kept, n: numElems, limit: -1}
-	h.occ = make([][]int32, numElems)
-	for i, s := range kept {
-		for _, e := range s {
-			h.occ[e] = append(h.occ[e], int32(i))
-		}
-	}
-	h.hitCount = make([]int32, len(kept))
-	h.chosen = make([]bool, numElems)
-	h.numUnhit = len(kept)
-	return h
-}
-
-// isSubset reports a ⊆ b for sorted slices.
-func isSubset(a, b []int32) bool {
-	if len(a) > len(b) {
-		return false
-	}
-	i := 0
-	for _, x := range b {
-		if i < len(a) && a[i] == x {
-			i++
-		}
-	}
-	return i == len(a)
 }
 
 // solve returns the minimum hitting set size and one optimal solution.
@@ -112,15 +69,15 @@ func (h *hittingSet) solve(limit int) (int, []int32) {
 }
 
 func (h *hittingSet) greedy() []int32 {
-	hit := make([]bool, len(h.sets))
-	remaining := len(h.sets)
+	hit := make([]bool, len(h.fam.Rows))
+	remaining := len(h.fam.Rows)
 	var out []int32
-	count := make([]int, h.n)
+	count := make([]int, h.fam.N)
 	for remaining > 0 {
 		for i := range count {
 			count[i] = 0
 		}
-		for si, s := range h.sets {
+		for si, s := range h.fam.Rows {
 			if hit[si] {
 				continue
 			}
@@ -138,7 +95,7 @@ func (h *hittingSet) greedy() []int32 {
 			break
 		}
 		out = append(out, int32(bestE))
-		for _, si := range h.occ[bestE] {
+		for _, si := range h.fam.Occ[bestE] {
 			if !hit[si] {
 				hit[si] = true
 				remaining--
@@ -166,22 +123,17 @@ func (h *hittingSet) branch(cur []int32) {
 	if len(cur)+lb >= h.best {
 		return
 	}
-	// Choose the unhit set with the fewest elements to branch on.
+	// Branch on the smallest unhit row; rows are sorted by size, so the
+	// first unhit one is a smallest.
 	pick := -1
-	pickLen := 1 << 30
-	for si, s := range h.sets {
-		if h.hitCount[si] > 0 {
-			continue
-		}
-		if len(s) < pickLen {
-			pick, pickLen = si, len(s)
-			if pickLen == 1 {
-				break
-			}
+	for si := range h.fam.Rows {
+		if h.hitCount[si] == 0 {
+			pick = si
+			break
 		}
 	}
-	for _, e := range h.sets[pick] {
-		if h.chosen[e] {
+	for _, e := range h.fam.Rows[pick] {
+		if h.chosen.Has(e) {
 			continue
 		}
 		h.choose(e)
@@ -191,8 +143,8 @@ func (h *hittingSet) branch(cur []int32) {
 }
 
 func (h *hittingSet) choose(e int32) {
-	h.chosen[e] = true
-	for _, si := range h.occ[e] {
+	h.chosen.Set(e)
+	for _, si := range h.fam.Occ[e] {
 		h.hitCount[si]++
 		if h.hitCount[si] == 1 {
 			h.numUnhit--
@@ -201,8 +153,8 @@ func (h *hittingSet) choose(e int32) {
 }
 
 func (h *hittingSet) unchoose(e int32) {
-	h.chosen[e] = false
-	for _, si := range h.occ[e] {
+	h.chosen.Unset(e)
+	for _, si := range h.fam.Occ[e] {
 		h.hitCount[si]--
 		if h.hitCount[si] == 0 {
 			h.numUnhit++
@@ -210,26 +162,19 @@ func (h *hittingSet) unchoose(e int32) {
 	}
 }
 
-// lowerBound greedily packs pairwise-disjoint unhit sets; each needs a
-// distinct element, giving an admissible bound.
+// lowerBound greedily packs pairwise-disjoint unhit rows; each needs a
+// distinct element, giving an admissible bound. Disjointness against the
+// pack so far is one AND sweep over the row's words, and merging is one OR
+// sweep — the word-parallel replacement for the old per-call element map.
 func (h *hittingSet) lowerBound() int {
-	used := make(map[int32]bool)
+	h.pack.Clear()
 	lb := 0
-	for si, s := range h.sets {
+	for si, bits := range h.fam.Bits {
 		if h.hitCount[si] > 0 {
 			continue
 		}
-		disjoint := true
-		for _, e := range s {
-			if used[e] {
-				disjoint = false
-				break
-			}
-		}
-		if disjoint {
-			for _, e := range s {
-				used[e] = true
-			}
+		if witset.Disjoint(bits, h.pack) {
+			h.pack.Or(bits)
 			lb++
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/eval"
+	"repro/internal/witset"
 )
 
 // Property-based tests (testing/quick) on the solver invariants.
@@ -146,7 +147,7 @@ func TestQuickHittingSetNormalization(t *testing.T) {
 		if len(fam) == 0 || len(fam) > 8 {
 			return true
 		}
-		hs := newHittingSet(fam, 6)
+		hs := newHittingSet(witset.NewFamily(fam, 6, false))
 		got, sol := hs.solve(-1)
 		want := bruteHitting(fam, 6)
 		if got != want {

@@ -1,12 +1,13 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/cq"
 	"repro/internal/db"
-	"repro/internal/eval"
+	"repro/internal/witset"
 )
 
 // Responsibility implements the causality notion the paper builds on
@@ -31,6 +32,10 @@ var ErrNotCounterfactual = errors.New("resilience: tuple is not a counterfactual
 
 // Responsibility returns the minimum contingency size k making t a
 // counterfactual cause of D |= q, and one optimal contingency set.
+//
+// It operates on the witness-hypergraph IR: t is endogenous, so a witness
+// uses t exactly when t is in its endogenous tuple set, and the with-t /
+// without-t split is a partition of the IR's rows.
 func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
 	if q.IsExogenous(t.Rel) {
 		return 0, nil, fmt.Errorf("resilience: %s is exogenous; only endogenous tuples can be causes", d.TupleString(t))
@@ -39,72 +44,57 @@ func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, e
 		return 0, nil, fmt.Errorf("resilience: tuple %s not in database", d.TupleString(t))
 	}
 
-	// Collect witness tuple sets, split by membership of t.
-	var withT, withoutT [][]db.Tuple
-	unbreakable := false
-	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
-		all := eval.WitnessTuples(q, w, false)
-		endo := eval.WitnessTuples(q, w, true)
+	inst, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if inst.Unbreakable() {
+		// A witness with no endogenous tuples can never be hit: t can never
+		// become counterfactual.
+		return 0, nil, ErrNotCounterfactual
+	}
+	tid, ok := inst.ID(t)
+	if !ok {
+		return 0, nil, ErrNotCounterfactual // t participates in no witness
+	}
+
+	// Partition the rows by membership of t.
+	var withT, withoutT [][]int32
+	for _, row := range inst.Rows() {
 		uses := false
-		for _, tup := range all {
-			if tup == t {
+		for _, e := range row {
+			if e == tid {
 				uses = true
 				break
 			}
 		}
 		if uses {
-			withT = append(withT, endo)
-			return true
+			withT = append(withT, row)
+		} else {
+			withoutT = append(withoutT, row)
 		}
-		if len(endo) == 0 {
-			// A witness with no endogenous tuples can never be hit: t can
-			// never become counterfactual.
-			unbreakable = true
-			return false
-		}
-		withoutT = append(withoutT, endo)
-		return true
-	})
-	if unbreakable || len(withT) == 0 {
+	}
+	if len(withT) == 0 {
 		return 0, nil, ErrNotCounterfactual
 	}
 
-	// Intern the tuples of the witnesses that must be hit.
-	idOf := map[db.Tuple]int32{}
-	var tuples []db.Tuple
-	fam := make([][]int32, len(withoutT))
-	for i, s := range withoutT {
-		row := make([]int32, len(s))
-		for j, tup := range s {
-			id, ok := idOf[tup]
-			if !ok {
-				id = int32(len(tuples))
-				idOf[tup] = id
-				tuples = append(tuples, tup)
-			}
-			row[j] = id
-		}
-		fam[i] = row
-	}
-
+	forbidden := witset.NewBits(inst.NumTuples())
 	best := -1
 	var bestGamma []db.Tuple
 	for _, surviving := range withT {
 		// Forbid the surviving witness's tuples: drop them from every
 		// row. A row left empty is unhittable for this choice.
-		forbidden := map[int32]bool{}
-		for _, tup := range surviving {
-			if id, ok := idOf[tup]; ok {
-				forbidden[id] = true
-			}
+		forbidden.Clear()
+		for _, e := range surviving {
+			forbidden.Set(e)
 		}
-		sub := make([][]int32, 0, len(fam))
+		sub := make([][]int32, 0, len(withoutT))
 		feasible := true
-		for _, row := range fam {
+		for _, row := range withoutT {
 			kept := make([]int32, 0, len(row))
-			for _, id := range row {
-				if !forbidden[id] {
-					kept = append(kept, id)
+			for _, e := range row {
+				if !forbidden.Has(e) {
+					kept = append(kept, e)
 				}
 			}
 			if len(kept) == 0 {
@@ -126,22 +116,18 @@ func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, e
 				break
 			}
 		}
-		hs := newHittingSet(sub, len(tuples))
+		hs := newHittingSet(witset.NewFamily(sub, inst.NumTuples(), false))
 		size, chosen := hs.solve(budget)
 		if chosen == nil {
 			continue // exceeded budget
 		}
 		if best < 0 || size < best {
 			best = size
-			bestGamma = bestGamma[:0]
-			for _, id := range chosen {
-				bestGamma = append(bestGamma, tuples[id])
-			}
+			bestGamma = inst.TupleSet(chosen)
 		}
 	}
 	if best < 0 {
 		return 0, nil, ErrNotCounterfactual
 	}
-	db.SortTuples(bestGamma)
 	return best, bestGamma, nil
 }

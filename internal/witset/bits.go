@@ -1,0 +1,75 @@
+package witset
+
+import "math/bits"
+
+// Bits is a fixed-capacity bitset over tuple ids, stored as packed words.
+// All binary operations require both operands to come from the same
+// universe (same NewBits size); this is not checked.
+type Bits []uint64
+
+// NewBits returns an empty bitset with capacity for n elements.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set adds element i.
+func (b Bits) Set(i int32) { b[uint32(i)>>6] |= 1 << (uint32(i) & 63) }
+
+// Unset removes element i.
+func (b Bits) Unset(i int32) { b[uint32(i)>>6] &^= 1 << (uint32(i) & 63) }
+
+// Has reports membership of element i.
+func (b Bits) Has(i int32) bool { return b[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0 }
+
+// Clear empties the set. It costs one word-store per 64 universe elements,
+// which is what lets solver scratch space be reset per call instead of
+// allocating per-node maps.
+func (b Bits) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Count returns the population count.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Or adds every element of a to b.
+func (b Bits) Or(a Bits) {
+	for i, w := range a {
+		b[i] |= w
+	}
+}
+
+// SubsetOf reports a ⊆ b word-parallel: a &^ b must be all-zero.
+func SubsetOf(a, b Bits) bool {
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports a ∩ b = ∅ word-parallel.
+func Disjoint(a, b Bits) bool {
+	for i, w := range a {
+		if w&b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports a = b.
+func Equal(a, b Bits) bool {
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}

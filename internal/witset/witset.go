@@ -1,0 +1,219 @@
+// Package witset is the witness-hypergraph intermediate representation
+// shared by every NP-side resilience solver.
+//
+// The paper reduces resilience ρ(q, D) to minimum hitting set over the
+// per-witness sets of endogenous tuples (Definition 1). Every consumer of
+// that reduction — the exact branch-and-bound, the CNF/SAT oracle, the
+// minimum-contingency enumerator, responsibility, and the engine's solver
+// portfolio — needs the same object: the witness family with tuples
+// interned into a dense id universe. This package builds that object
+// exactly once per (query, database) instance and caches the derived facts
+// (unbreakability, the normalized bitset family with occurrence lists) so
+// concurrent solvers can share it.
+//
+// An Instance is immutable after Build and safe for concurrent readers;
+// the lazily derived families are guarded by sync.Once.
+package witset
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/ctxpoll"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Instance is the witness hypergraph of one (query, database) pair:
+// vertices are the distinct endogenous tuples occurring in any witness
+// (interned to dense int32 ids), edges are the per-witness tuple sets.
+type Instance struct {
+	query  *cq.Query
+	tuples []db.Tuple
+	idOf   map[db.Tuple]int32
+	// rows holds one sorted id set per kept witness, in enumeration order.
+	rows [][]int32
+	// unbreakable records that some witness had no endogenous tuples, so no
+	// deletion set can falsify the query (infinite resilience). Enumeration
+	// stops at the first such witness, so rows is then partial.
+	unbreakable bool
+
+	minOnce sync.Once
+	min     *Family // superset-eliminated family
+	rawOnce sync.Once
+	raw     *Family // family without elimination (ablation)
+}
+
+// Build enumerates the witnesses of q over d and interns their endogenous
+// tuple sets, skipping witnesses rejected by keep (nil keeps all). It polls
+// ctx during enumeration and returns ctx.Err() once cancelled.
+//
+// Build is the single place the database is read; it freezes d's relation
+// indexes up front so the instance can later be shared with code that still
+// holds d (concurrent index rebuilds are also individually safe, Freeze
+// just does the work eagerly and once).
+func Build(ctx context.Context, q *cq.Query, d *db.Database, keep func(eval.Witness) bool) (*Instance, error) {
+	d.Freeze()
+	inst := &Instance{query: q, idOf: map[db.Tuple]int32{}}
+	poll := ctxpoll.New(ctx)
+	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
+		if poll.Cancelled() {
+			return false
+		}
+		if keep != nil && !keep(w) {
+			return true
+		}
+		ts := eval.WitnessTuples(q, w, true)
+		if len(ts) == 0 {
+			inst.unbreakable = true
+			return false
+		}
+		row := make([]int32, len(ts))
+		for j, t := range ts {
+			id, ok := inst.idOf[t]
+			if !ok {
+				id = int32(len(inst.tuples))
+				inst.idOf[t] = id
+				inst.tuples = append(inst.tuples, t)
+			}
+			row[j] = id
+		}
+		sortIDs(row)
+		inst.rows = append(inst.rows, row)
+		return true
+	})
+	if err := poll.Err(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Query returns the query the instance was built for.
+func (in *Instance) Query() *cq.Query { return in.query }
+
+// Unbreakable reports that some witness consists purely of exogenous
+// tuples: the query cannot be falsified by endogenous deletions.
+func (in *Instance) Unbreakable() bool { return in.unbreakable }
+
+// NumWitnesses returns the number of kept witnesses (edges of the
+// hypergraph, before deduplication).
+func (in *Instance) NumWitnesses() int { return len(in.rows) }
+
+// NumTuples returns the size of the interned tuple universe.
+func (in *Instance) NumTuples() int { return len(in.tuples) }
+
+// Tuple returns the tuple with the given id.
+func (in *Instance) Tuple(id int32) db.Tuple { return in.tuples[id] }
+
+// Tuples returns the interned universe, indexed by id. Callers must treat
+// the slice as read-only: it is shared by every consumer of the instance.
+func (in *Instance) Tuples() []db.Tuple { return in.tuples }
+
+// ID returns the id of t and whether t occurs in any witness.
+func (in *Instance) ID(t db.Tuple) (int32, bool) {
+	id, ok := in.idOf[t]
+	return id, ok
+}
+
+// Rows returns the per-witness id sets in enumeration order, each sorted.
+// Read-only, like Tuples.
+func (in *Instance) Rows() [][]int32 { return in.rows }
+
+// TupleSet projects a set of ids back to tuples, sorted.
+func (in *Instance) TupleSet(ids []int32) []db.Tuple {
+	out := make([]db.Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = in.tuples[id]
+	}
+	db.SortTuples(out)
+	return out
+}
+
+// Family returns the instance's hitting-set family: rows normalized
+// (deduplicated and superset-eliminated — hitting a subset always hits its
+// supersets, so elimination never changes the optimum) with bitset rows and
+// per-element occurrence lists. keepSupersets skips that normalization and
+// returns the raw family, which the ablation harness uses to measure the
+// preprocessing's contribution. Both variants are computed at most once per
+// instance and may be requested from multiple goroutines.
+func (in *Instance) Family(keepSupersets bool) *Family {
+	if keepSupersets {
+		in.rawOnce.Do(func() { in.raw = NewFamily(in.rows, len(in.tuples), true) })
+		return in.raw
+	}
+	in.minOnce.Do(func() { in.min = NewFamily(in.rows, len(in.tuples), false) })
+	return in.min
+}
+
+// Family is a normalized set family over a dense element universe, stored
+// both as sorted id rows (for iteration) and as bitsets (for word-parallel
+// subset / disjointness tests). Rows are ordered by increasing size, so the
+// first unhit row is always a smallest one.
+type Family struct {
+	// N is the universe size; Rows[i] and Bits[i] describe the same set.
+	N    int
+	Rows [][]int32
+	Bits []Bits
+	// Occ[e] lists the indexes of the rows containing element e.
+	Occ [][]int32
+}
+
+// NewFamily normalizes raw rows over a universe of n elements: each row is
+// sorted and deduplicated, the family is ordered by row size, and — unless
+// keepSupersets — duplicate rows and supersets are dropped. The input rows
+// are not modified.
+func NewFamily(raw [][]int32, n int, keepSupersets bool) *Family {
+	rows := make([][]int32, len(raw))
+	for i, s := range raw {
+		cp := append([]int32(nil), s...)
+		sortIDs(cp)
+		rows[i] = dedupSorted(cp)
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return len(rows[a]) < len(rows[b]) })
+
+	f := &Family{N: n}
+	for _, s := range rows {
+		b := NewBits(n)
+		for _, e := range s {
+			b.Set(e)
+		}
+		redundant := false
+		if !keepSupersets {
+			for _, kb := range f.Bits {
+				// Rows arrive in increasing size, so any containment is
+				// kept ⊆ candidate; equality also lands here (dedup).
+				if SubsetOf(kb, b) {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			f.Rows = append(f.Rows, s)
+			f.Bits = append(f.Bits, b)
+		}
+	}
+	f.Occ = make([][]int32, n)
+	for i, s := range f.Rows {
+		for _, e := range s {
+			f.Occ[e] = append(f.Occ[e], int32(i))
+		}
+	}
+	return f
+}
+
+func sortIDs(s []int32) {
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+}
+
+func dedupSorted(s []int32) []int32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
