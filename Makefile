@@ -1,7 +1,7 @@
 GO ?= go
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test race bench bench-json lint
+.PHONY: all build test race bench bench-json lint docs-check
 
 all: build lint test
 
@@ -30,3 +30,12 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Docs-and-hygiene gate: vet, gofmt over the runnable examples, and the
+# compiled Example functions that keep the README snippets honest.
+docs-check:
+	$(GO) vet ./...
+	@out="$$(gofmt -l examples/)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	$(GO) test -run '^Example' ./...

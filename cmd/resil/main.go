@@ -30,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -37,24 +38,39 @@ import (
 	"repro"
 )
 
-var (
-	workers   = flag.Int("workers", 0, "worker-pool size for solve/batch (0 = GOMAXPROCS)")
-	timeout   = flag.Duration("timeout", 0, "per-instance timeout (0 = none)")
-	portfolio = flag.Bool("portfolio", false, "race exact vs SAT on NP-hard instances")
-)
+// engineFlagSet declares the engine-tuning flags shared by solve and
+// batch (-workers, -timeout, -portfolio), bound to a config value.
+func engineFlagSet(errOut io.Writer) (*flag.FlagSet, *repro.EngineConfig) {
+	cfg := &repro.EngineConfig{}
+	fs := flag.NewFlagSet("resil", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.Usage = func() { fprintUsage(errOut, fs) }
+	fs.IntVar(&cfg.Workers, "workers", 0, "worker-pool size for solve/batch (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.Timeout, "timeout", 0, "per-instance timeout (0 = none)")
+	fs.BoolVar(&cfg.Portfolio, "portfolio", false, "race exact vs SAT on NP-hard instances")
+	return fs, cfg
+}
 
-func engineConfig() repro.EngineConfig {
-	return repro.EngineConfig{
-		Workers:   *workers,
-		Timeout:   *timeout,
-		Portfolio: *portfolio,
+// parseEngineFlags parses the engine flags from args, returning the
+// engine configuration and the remaining positional arguments. It is
+// split from main so flag handling is testable without exiting the
+// process.
+func parseEngineFlags(args []string, errOut io.Writer) (repro.EngineConfig, []string, error) {
+	fs, cfg := engineFlagSet(errOut)
+	if err := fs.Parse(args); err != nil {
+		return repro.EngineConfig{}, nil, err
 	}
+	return *cfg, fs.Args(), nil
 }
 
 func main() {
-	flag.Usage = printUsage
-	flag.Parse()
-	args := flag.Args()
+	cfg, args, err := parseEngineFlags(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(0) // -h is a successful help request, not a failure
+	}
+	if err != nil {
+		os.Exit(2)
+	}
 	if len(args) < 2 {
 		usage()
 	}
@@ -74,12 +90,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		solve(q, d)
+		solve(cfg, q, d)
 	case "batch":
 		if len(args) < 3 {
 			usage()
 		}
-		batch(q, args[2:])
+		failed, err := batchRun(cfg, q, args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 	case "witnesses":
 		if len(args) < 3 {
 			usage()
@@ -116,47 +138,47 @@ func main() {
 	}
 }
 
-// batch solves the same query over many fact files concurrently on the
-// engine's worker pool and prints one line per file plus a summary.
-func batch(q *repro.Query, paths []string) {
+// batchRun solves the same query over many fact files concurrently on the
+// engine's worker pool, printing one line per file plus a summary to out.
+// It returns the number of failed instances (an unbreakable database is a
+// definite answer, not a failure) rather than exiting, so tests can drive
+// it directly.
+func batchRun(cfg repro.EngineConfig, q *repro.Query, paths []string, out io.Writer) (failed int, err error) {
 	insts := make([]repro.Instance, len(paths))
 	for i, path := range paths {
 		d, err := loadFacts(path)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		insts[i] = repro.Instance{ID: path, Query: q, DB: d}
 	}
-	eng := repro.NewEngine(engineConfig())
+	eng := repro.NewEngine(cfg)
 	start := time.Now()
 	results := eng.SolveBatch(context.Background(), insts)
 	took := time.Since(start)
 
-	failed := 0
 	for _, r := range results {
 		switch {
 		case r.Err == repro.ErrUnbreakable:
 			// A definite answer, not a failure: no endogenous deletion can
 			// falsify the query on this database.
-			fmt.Printf("%-30s unbreakable %-12s (%v)\n",
+			fmt.Fprintf(out, "%-30s unbreakable %-12s (%v)\n",
 				r.ID, r.Classification.Verdict, r.Elapsed.Round(time.Microsecond))
 		case r.Err != nil:
 			failed++
-			fmt.Printf("%-30s ERROR %v (%v)\n", r.ID, r.Err, r.Elapsed.Round(time.Microsecond))
+			fmt.Fprintf(out, "%-30s ERROR %v (%v)\n", r.ID, r.Err, r.Elapsed.Round(time.Microsecond))
 		default:
-			fmt.Printf("%-30s ρ=%-5d %-12s method=%s (%v)\n",
+			fmt.Fprintf(out, "%-30s ρ=%-5d %-12s method=%s (%v)\n",
 				r.ID, r.Res.Rho, r.Classification.Verdict, r.Res.Method, r.Elapsed.Round(time.Microsecond))
 		}
 	}
 	st := eng.Stats()
-	fmt.Printf("\n%d instances in %v: %d solved, %d failed; cache %d/%d hits; portfolio wins exact=%d sat=%d; IR builds=%d solver runs=%d; timeouts=%d\n",
+	fmt.Fprintf(out, "\n%d instances in %v: %d solved, %d failed; cache %d/%d hits; portfolio wins exact=%d sat=%d; IR builds=%d solver runs=%d; timeouts=%d\n",
 		len(results), took.Round(time.Millisecond), st.Solved, failed,
 		st.CacheHits, st.CacheHits+st.CacheMisses,
 		st.PortfolioExactWins, st.PortfolioSATWins,
 		st.IRBuilds, st.SolverRuns, st.Timeouts)
-	if failed > 0 {
-		os.Exit(1)
-	}
+	return failed, nil
 }
 
 func enumerate(q *repro.Query, d *repro.Database) {
@@ -241,8 +263,8 @@ func classify(q *repro.Query) {
 	}
 }
 
-func solve(q *repro.Query, d *repro.Database) {
-	eng := repro.NewEngine(engineConfig())
+func solve(cfg repro.EngineConfig, q *repro.Query, d *repro.Database) {
+	eng := repro.NewEngine(cfg)
 	res, cl, err := eng.Solve(context.Background(), q, d)
 	if err != nil {
 		fatal(err)
@@ -318,13 +340,16 @@ func loadFacts(path string) (*repro.Database, error) {
 }
 
 func usage() {
-	printUsage()
+	fs, _ := engineFlagSet(os.Stderr)
+	fprintUsage(os.Stderr, fs)
 	os.Exit(2)
 }
 
-func printUsage() {
-	fmt.Fprintln(os.Stderr, "usage: resil [-workers N] [-timeout D] [-portfolio] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
-	flag.PrintDefaults()
+func fprintUsage(out io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(out, "usage: resil [-workers N] [-timeout D] [-portfolio] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
+	if fs != nil {
+		fs.PrintDefaults()
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestParseEngineFlags(t *testing.T) {
+	cfg, rest, err := parseEngineFlags(
+		[]string{"-workers", "4", "-timeout", "150ms", "-portfolio",
+			"batch", "q :- R(x,y)", "a.txt", "b.txt"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := repro.EngineConfig{Workers: 4, Timeout: 150 * time.Millisecond, Portfolio: true}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	if len(rest) != 4 || rest[0] != "batch" || rest[2] != "a.txt" {
+		t.Fatalf("positional args = %v", rest)
+	}
+
+	// Defaults: zero config, everything positional.
+	cfg, rest, err = parseEngineFlags([]string{"classify", "q :- R(x,y)"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (cfg != repro.EngineConfig{}) {
+		t.Fatalf("default cfg = %+v, want zero value", cfg)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("positional args = %v", rest)
+	}
+
+	// Unknown flags are an error, not a crash.
+	if _, _, err := parseEngineFlags([]string{"-bogus", "batch"}, io.Discard); err == nil {
+		t.Fatal("parseEngineFlags accepted -bogus")
+	}
+	// Malformed durations are an error.
+	if _, _, err := parseEngineFlags([]string{"-timeout", "soon"}, io.Discard); err == nil {
+		t.Fatal("parseEngineFlags accepted -timeout soon")
+	}
+}
+
+// writeChainFacts writes a facts file holding a chain with chords, big
+// enough that qchain is satisfied with a nontrivial ρ.
+func writeChainFacts(t *testing.T, dir, name string, n, chords int, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("# chain fixture\n\n")
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "R(c%d,c%d)\n", i, i+1)
+	}
+	for i := 0; i < chords; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			fmt.Fprintf(&b, "R(c%d,c%d)\n", u, v)
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBatchRunSolvesFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeChainFacts(t, dir, "day1.txt", 8, 3, 1),
+		writeChainFacts(t, dir, "day2.txt", 10, 4, 2),
+	}
+	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
+
+	var out bytes.Buffer
+	failed, err := batchRun(repro.EngineConfig{Workers: 2, Portfolio: true}, q, paths, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0; output:\n%s", failed, out.String())
+	}
+	text := out.String()
+	for _, p := range paths {
+		if !strings.Contains(text, p) {
+			t.Fatalf("output missing per-file line for %s:\n%s", p, text)
+		}
+	}
+	if !strings.Contains(text, "ρ=") || !strings.Contains(text, "2 instances") {
+		t.Fatalf("unexpected batch output:\n%s", text)
+	}
+}
+
+// TestBatchRunPerInstanceTimeout drives the -timeout path: a vanishingly
+// small per-instance budget must fail every instance with a deadline
+// error, be counted, and leave batchRun itself error-free (the batch
+// completes; the instances report their failures).
+func TestBatchRunPerInstanceTimeout(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{writeChainFacts(t, dir, "slow.txt", 2000, 2000, 3)}
+	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
+
+	var out bytes.Buffer
+	failed, err := batchRun(repro.EngineConfig{Workers: 1, Timeout: time.Nanosecond}, q, paths, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1; output:\n%s", failed, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "ERROR") || !strings.Contains(text, "deadline") {
+		t.Fatalf("timeout not reported as a deadline error:\n%s", text)
+	}
+	if !strings.Contains(text, "timeouts=1") {
+		t.Fatalf("summary missing timeouts=1:\n%s", text)
+	}
+}
+
+func TestBatchRunMissingFile(t *testing.T) {
+	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
+	if _, err := batchRun(repro.EngineConfig{}, q, []string{"/does/not/exist.txt"}, io.Discard); err == nil {
+		t.Fatal("batchRun accepted a missing facts file")
+	}
+}

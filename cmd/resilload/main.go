@@ -1,0 +1,297 @@
+// Command resilload drives a running resilserverd with mixed synthetic
+// workloads and reports latency percentiles. It is the serving-layer
+// counterpart of the benchmark harness: where bench_test.go measures the
+// solvers in-process, resilload measures the whole service — HTTP, JSON,
+// admission control, the classification cache, and the cross-request
+// witness-IR cache — under concurrency.
+//
+// Usage:
+//
+//	resilserverd -addr :8080 &
+//	resilload -addr http://localhost:8080 -requests 2000 -concurrency 32
+//
+// Flags:
+//
+//	-addr URL        base URL of the server (default http://localhost:8080)
+//	-requests N      total solve requests to issue (default 1000)
+//	-concurrency C   concurrent client workers (default 16)
+//	-scenarios LIST  comma-separated subset of chain,confluence,perm,linear
+//	                 (default all)
+//	-scale N         database size multiplier (default 1)
+//	-timeout-ms T    per-request timeout_ms forwarded to the server
+//	                 (default 10000)
+//	-seed S          RNG seed for the scenario databases (default 1)
+//
+// Each scenario is one (query, database) family from internal/datagen:
+// chain and confluence exercise the NP-hard portfolio path, perm and
+// linear the specialized PTIME solvers. The databases are registered once
+// via PUT /db/{name}; the request mix then cycles through the scenarios,
+// so server-side caches see a realistic mixture of repeated query classes.
+// After the run, resilload prints per-scenario latency percentiles, the
+// overall throughput, and the server's /metrics snapshot — the IR-cache
+// hit counters are the quickest way to confirm the enumerate-once
+// behavior is working across requests.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+type scenario struct {
+	name  string
+	query string
+	facts []string
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "base URL of the server")
+		requests    = flag.Int("requests", 1000, "total solve requests to issue")
+		concurrency = flag.Int("concurrency", 16, "concurrent client workers")
+		scenarios   = flag.String("scenarios", "chain,confluence,perm,linear", "comma-separated scenario subset")
+		scale       = flag.Int("scale", 1, "database size multiplier")
+		timeoutMS   = flag.Int64("timeout-ms", 10000, "per-request timeout_ms forwarded to the server")
+		seed        = flag.Int64("seed", 1, "RNG seed for scenario databases")
+	)
+	flag.Parse()
+
+	mix, err := buildScenarios(*scenarios, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: 2 * time.Duration(*timeoutMS) * time.Millisecond}
+
+	for _, sc := range mix {
+		if err := registerDB(client, *addr, sc); err != nil {
+			fatal(fmt.Errorf("registering %s: %w", sc.name, err))
+		}
+		fmt.Printf("registered db %-12s %5d facts  query %s\n", sc.name, len(sc.facts), sc.query)
+	}
+
+	fmt.Printf("\nfiring %d requests at %s with %d workers...\n", *requests, *addr, *concurrency)
+	lats := make(map[string][]time.Duration, len(mix))
+	for _, sc := range mix {
+		lats[sc.name] = nil
+	}
+	var (
+		mu       sync.Mutex
+		rejected atomic.Int64
+		failed   atomic.Int64
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				sc := mix[i%len(mix)]
+				t0 := time.Now()
+				status, err := solve(client, *addr, sc, *timeoutMS)
+				took := time.Since(t0)
+				switch {
+				case err != nil:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "resilload: %s: %v\n", sc.name, err)
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case status != http.StatusOK:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "resilload: %s: status %d\n", sc.name, status)
+				default:
+					mu.Lock()
+					lats[sc.name] = append(lats[sc.name], took)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("\n%-12s %8s %10s %10s %10s %10s\n", "scenario", "ok", "p50", "p90", "p99", "max")
+	total := 0
+	for _, sc := range mix {
+		ds := lats[sc.name]
+		total += len(ds)
+		if len(ds) == 0 {
+			fmt.Printf("%-12s %8d\n", sc.name, 0)
+			continue
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		fmt.Printf("%-12s %8d %10v %10v %10v %10v\n", sc.name, len(ds),
+			pct(ds, 50), pct(ds, 90), pct(ds, 99), ds[len(ds)-1])
+	}
+	fmt.Printf("\n%d ok, %d rejected (429), %d failed in %v (%.0f req/s)\n",
+		total, rejected.Load(), failed.Load(), wall.Round(time.Millisecond),
+		float64(total)/wall.Seconds())
+
+	if err := printMetrics(client, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "resilload: metrics: %v\n", err)
+	}
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildScenarios materializes the requested scenario mix at the given
+// scale. Every database is rendered to fact strings once and reused.
+func buildScenarios(list string, scale int, seed int64) ([]scenario, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	all := map[string]func() scenario{
+		// NP-hard: long path with chords, many overlapping witnesses;
+		// solved by the exact/SAT portfolio over one shared IR.
+		"chain": func() scenario {
+			return scenario{
+				name:  "chain",
+				query: "qchain :- R(x,y), R(y,z)",
+				facts: renderFacts(datagen.ChainDB(rng, 28*scale, 10*scale)),
+			}
+		},
+		// NP-hard: A–R–R–C confluences through shared middles.
+		"confluence": func() scenario {
+			return scenario{
+				name:  "confluence",
+				query: "qACconf :- A(x), R(x,y), R(z,y), C(z)",
+				facts: renderFacts(datagen.ConfluenceDB(rng, 6*scale, 6*scale, 3)),
+			}
+		},
+		// PTIME: pure permutation query, witness counting.
+		"perm": func() scenario {
+			return scenario{
+				name:  "perm",
+				query: "qperm :- R(x,y), R(y,x)",
+				facts: renderFacts(datagen.PermDB(rng, 60*scale, 10*scale, 50*scale)),
+			}
+		},
+		// PTIME: self-join-free linear query, network flow.
+		"linear": func() scenario {
+			return scenario{
+				name:  "linear",
+				query: "qlin :- A(x), R1(x,y), R2(y,z), C(z)",
+				facts: renderFacts(datagen.LinearSJFreeDB(rng, 30*scale, 80*scale)),
+			}
+		},
+	}
+	var out []scenario
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		build, ok := all[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (have chain, confluence, perm, linear)", name)
+		}
+		out = append(out, build())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scenarios selected")
+	}
+	return out, nil
+}
+
+func renderFacts(d *repro.Database) []string {
+	ts := d.AllTuples()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = d.TupleString(t)
+	}
+	return out
+}
+
+func registerDB(client *http.Client, addr string, sc scenario) error {
+	body, err := json.Marshal(map[string]any{"facts": sc.facts})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, addr+"/db/"+sc.name, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return nil
+}
+
+func solve(client *http.Client, addr string, sc scenario, timeoutMS int64) (int, error) {
+	body, err := json.Marshal(map[string]any{
+		"query": sc.query, "db": sc.name, "timeout_ms": timeoutMS,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(addr+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return resp.StatusCode, nil
+}
+
+// pct returns the p-th percentile of sorted durations.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i].Round(10 * time.Microsecond)
+}
+
+func printMetrics(client *http.Client, addr string) error {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("\nserver /metrics:")
+	for _, k := range keys {
+		fmt.Printf("  %-22s %v\n", k, m[k])
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resilload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command resilserverd runs the resilience-as-a-service HTTP daemon: a
+// long-lived front end over the concurrent engine, with a named-database
+// registry, a cross-request witness-IR cache, admission control, and
+// graceful shutdown.
+//
+// Usage:
+//
+//	resilserverd [flags]
+//
+// Flags:
+//
+//	-addr :8080          listen address
+//	-workers N           engine worker-pool size (default GOMAXPROCS)
+//	-portfolio           race exact vs SAT on NP-hard instances (default true)
+//	-max-inflight N      concurrently executing solver requests before
+//	                     shedding with 429 (default 64)
+//	-request-timeout D   default per-request wall-time budget; a request's
+//	                     timeout_ms can only tighten it (default 30s)
+//	-max-body BYTES      request-body cap, database uploads included
+//	                     (default 32 MiB)
+//	-grace D             shutdown grace period: time to let in-flight
+//	                     requests finish after SIGINT/SIGTERM (default 10s)
+//
+// Endpoints (see README.md for curl transcripts):
+//
+//	PUT    /db/{name}      register a database from a JSON fact list
+//	GET    /db             list registered databases
+//	GET    /db/{name}      registration metadata
+//	DELETE /db/{name}      unregister
+//	POST   /classify       dichotomy verdict with certificate
+//	POST   /solve          ρ(q, D) for one query against a registered db
+//	POST   /batch          many instances through the engine's worker pool
+//	POST   /enumerate      ρ plus every minimum contingency set
+//	POST   /responsibility responsibility of one endogenous tuple
+//	GET    /metrics        engine + server counters (JSON)
+//	GET    /healthz        liveness; 503 while draining
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, fails its
+// health checks, and gives in-flight requests the grace period to finish;
+// whatever is still running then has its context cancelled, which the
+// solvers observe through their cancellation polls.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		portfolio   = flag.Bool("portfolio", true, "race exact vs SAT on NP-hard instances")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing solver requests (0 = default 64)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "default per-request wall-time budget (0 = none)")
+		maxBody     = flag.Int64("max-body", 0, "request-body byte cap (0 = default 32 MiB)")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		drainDelay  = flag.Duration("drain-delay", 5*time.Second, "time between failing /healthz and closing the listener, so load balancers observe the 503 and stop routing here")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "resilserverd: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := repro.NewServer(repro.ServerConfig{
+		Engine: repro.EngineConfig{
+			Workers:   *workers,
+			Portfolio: *portfolio,
+		},
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+
+	// baseCtx is the ancestor of every request context: cancelling it
+	// after the grace period aborts solver loops that outlived shutdown.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     srv,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("resilserverd listening on %s (workers=%d portfolio=%v max-inflight=%d request-timeout=%v)",
+		*addr, *workers, *portfolio, *maxInflight, *reqTimeout)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("resilserverd: %v", err)
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("resilserverd: signal received; failing health checks, draining for up to %v+%v", *drainDelay, *grace)
+	srv.SetDraining(true)
+	// Restore default signal handling so a second SIGINT/SIGTERM kills the
+	// process immediately instead of waiting out the drain.
+	stop()
+	// Keep accepting (and serving) while load balancers notice the 503 and
+	// route away; only then stop the listener.
+	time.Sleep(*drainDelay)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("resilserverd: shutdown: %v", err)
+	}
+	// Anything still running after the grace period is cut off at the
+	// context root; ListenAndServe has already returned ErrServerClosed.
+	cancelBase()
+	_ = httpSrv.Close()
+
+	st := srv.Engine().Stats()
+	log.Printf("resilserverd: stopped; solved=%d timeouts=%d ir-builds=%d ir-cache-hits=%d",
+		st.Solved, st.Timeouts, st.IRBuilds, st.IRCacheHits)
+}

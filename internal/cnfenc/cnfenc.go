@@ -1,14 +1,3 @@
-// Package cnfenc encodes the resilience decision problem RES(q, D, k)
-// (Definition 1) as CNF satisfiability, giving a second, independently
-// implemented oracle against which the branch-and-bound exact solver is
-// cross-checked.
-//
-// The encoding is the textbook one for bounded hitting set: a Boolean
-// variable per candidate endogenous tuple ("delete this tuple"), one
-// clause per witness requiring at least one of its tuples deleted, and a
-// Sinz sequential-counter circuit enforcing that at most k tuples are
-// deleted. The resulting formula is satisfiable iff (D, k) ∈ RES(q), and
-// any model projects to a verified contingency set of size ≤ k.
 package cnfenc
 
 import (

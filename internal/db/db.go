@@ -1,10 +1,3 @@
-// Package db implements in-memory database instances for the resilience
-// problem: named relations of fixed-arity tuples over an interned constant
-// domain, with positional indexes to support join evaluation.
-//
-// Tuples are small comparable structs (arity capped at 4) so they can be
-// used directly as map keys and set elements, which the hitting-set solver
-// and the IJP checker rely on heavily.
 package db
 
 import (
@@ -95,18 +88,22 @@ func (r *Relation) Tuples() []Tuple {
 	return out
 }
 
-func (r *Relation) add(t Tuple) {
-	if !r.tuples[t] {
-		r.tuples[t] = true
-		r.ready.Store(false)
+func (r *Relation) add(t Tuple) bool {
+	if r.tuples[t] {
+		return false
 	}
+	r.tuples[t] = true
+	r.ready.Store(false)
+	return true
 }
 
-func (r *Relation) remove(t Tuple) {
-	if r.tuples[t] {
-		delete(r.tuples, t)
-		r.ready.Store(false)
+func (r *Relation) remove(t Tuple) bool {
+	if !r.tuples[t] {
+		return false
 	}
+	delete(r.tuples, t)
+	r.ready.Store(false)
+	return true
 }
 
 func (r *Relation) rebuild() {
@@ -142,15 +139,41 @@ type Database struct {
 	names []string
 	index map[string]Value
 
+	// uid identifies this Database object for the lifetime of the process;
+	// version counts the tuple mutations applied to it. Together they key
+	// caches of facts derived from the contents (the engine's witness-IR
+	// cache): any mutation — including a Delete later undone by RestoreTo —
+	// bumps version, so derived facts are conservatively invalidated.
+	uid     uint64
+	version uint64
+
 	// deleted tracks tuples temporarily removed by the solvers so they can
 	// be restored cheaply; see Delete/Restore.
 	deleted []Tuple
 }
 
+// nextUID hands out process-unique database identities.
+var nextUID atomic.Uint64
+
 // New returns an empty database.
 func New() *Database {
-	return &Database{rels: map[string]*Relation{}, index: map[string]Value{}}
+	return &Database{
+		rels:  map[string]*Relation{},
+		index: map[string]Value{},
+		uid:   nextUID.Add(1),
+	}
 }
+
+// UID returns the process-unique identity of this Database object. A Clone
+// gets a fresh UID: caches keyed by (UID, Version) never confuse a copy
+// with its original.
+func (d *Database) UID() uint64 { return d.uid }
+
+// Version returns the number of tuple mutations applied to d so far. It is
+// monotonically increasing; a Database whose (UID, Version) pair matches an
+// earlier observation is guaranteed to hold the same tuples. Reads (index
+// rebuilds, Freeze) do not change the version.
+func (d *Database) Version() uint64 { return d.version }
 
 // Const interns the constant with the given name.
 func (d *Database) Const(name string) Value {
@@ -161,6 +184,15 @@ func (d *Database) Const(name string) Value {
 	d.names = append(d.names, name)
 	d.index[name] = v
 	return v
+}
+
+// LookupConst returns the interned value of the constant with the given
+// name, if any. Unlike Const it never interns: it is the read-only lookup
+// for code probing a shared database it must not mutate (e.g. the serving
+// layer resolving tuples named in a request).
+func (d *Database) LookupConst(name string) (Value, bool) {
+	v, ok := d.index[name]
+	return v, ok
 }
 
 // ConstName returns the display name of v.
@@ -195,7 +227,9 @@ func (d *Database) Rel(rel string) *Relation { return d.rels[rel] }
 // Add inserts the fact rel(args...) using interned values.
 func (d *Database) Add(rel string, args ...Value) Tuple {
 	t := NewTuple(rel, args...)
-	d.Relation(rel, len(args)).add(t)
+	if d.Relation(rel, len(args)).add(t) {
+		d.version++
+	}
 	return t
 }
 
@@ -210,7 +244,9 @@ func (d *Database) AddNames(rel string, names ...string) Tuple {
 
 // AddTuple inserts an existing tuple value.
 func (d *Database) AddTuple(t Tuple) {
-	d.Relation(t.Rel, int(t.Arity)).add(t)
+	if d.Relation(t.Rel, int(t.Arity)).add(t) {
+		d.version++
+	}
 }
 
 // Has reports whether the fact is present.
@@ -221,8 +257,8 @@ func (d *Database) Has(t Tuple) bool {
 
 // Remove deletes the fact if present.
 func (d *Database) Remove(t Tuple) {
-	if r := d.rels[t.Rel]; r != nil {
-		r.remove(t)
+	if r := d.rels[t.Rel]; r != nil && r.remove(t) {
+		d.version++
 	}
 }
 

@@ -1,0 +1,29 @@
+// Package db implements in-memory database instances for the resilience
+// problem: named relations of fixed-arity tuples over an interned constant
+// domain, with positional indexes to support join evaluation.
+//
+// Tuples are small comparable structs (arity capped at MaxArity = 4) so
+// they can be used directly as map keys and set elements, which the
+// hitting-set solver and the IJP checker rely on heavily.
+//
+// # Key invariants
+//
+//   - Interning: constants are mapped to dense Value ids by Const; a name
+//     always interns to the same Value within one Database, and ConstName
+//     inverts the mapping. Values are NOT comparable across databases.
+//   - Identity and versioning: every Database carries a process-unique UID
+//     and a Version counter bumped by every tuple mutation (Add, Remove,
+//     Delete, RestoreTo — including mutations that are later undone). An
+//     unchanged (UID, Version) pair therefore guarantees unchanged
+//     contents, which is what the engine's cross-request witness-IR cache
+//     keys on. Clone returns a copy with a fresh UID.
+//   - Concurrency: mutations require exclusive access. Any number of
+//     goroutines may read concurrently, including Lookup: the lazy
+//     per-relation index rebuild is double-checked under a mutex and
+//     published through an atomic ready flag. Freeze performs every
+//     pending rebuild eagerly so a read-only shared database never
+//     contends at all.
+//   - Restore stack: Delete records removed tuples so RestoreTo(mark) can
+//     undo them in LIFO order; solvers that probe deletions (flow
+//     variants, VerifyContingency) always restore before returning.
+package db

@@ -1,13 +1,3 @@
-// Package engine is the concurrent solving service over the paper's
-// resilience machinery: where repro.Resilience answers one (query,
-// database) question at a time, the engine shards large batches across a
-// worker pool, memoizes query classification across instances, enforces
-// per-instance timeouts, and attacks NP-hard instances with a portfolio
-// that races the exact branch-and-bound against SAT binary search.
-//
-// It is the scaffolding for scaling this reproduction into a service:
-// every future sharding / async / multi-backend layer plugs into
-// SolveBatch rather than into the individual solvers.
 package engine
 
 import (
@@ -21,6 +11,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/resilience"
+	"repro/internal/witset"
 )
 
 // Instance is one (query, database) resilience problem in a batch. ID is
@@ -68,12 +59,20 @@ type Config struct {
 	Portfolio bool
 	// CacheSize caps the classification cache (0 = default 1024).
 	CacheSize int
-	// NoClone skips the defensive per-instance database clone. Lazy index
-	// rebuilds are safe for concurrent readers (db.Relation guards them),
-	// but some solvers temporarily delete tuples, so without cloning the
-	// caller must guarantee that no two concurrent instances share a
-	// *db.Database and must tolerate index-warming on the instances it
-	// passed in.
+	// IRCacheSize caps the cross-request witness-IR cache (0 = default
+	// 256). The IR cache is only consulted under NoClone, because cloning
+	// gives every instance a fresh database identity that can never hit.
+	IRCacheSize int
+	// NoClone skips the defensive per-instance database clone. It is the
+	// serving-layer mode: callers pass long-lived (typically frozen)
+	// databases, which makes the cross-request IR cache effective — the
+	// cache keys on database identity and version, so it needs the caller's
+	// own *db.Database, not a per-instance copy. The engine itself clones
+	// around the one PTIME solver that temporarily deletes tuples
+	// (AlgPerm3Flow), so under NoClone the caller's databases are never
+	// mutated; the caller must still tolerate index-warming (Freeze) on
+	// the databases it passes in, and must not mutate them concurrently
+	// with in-flight solves.
 	NoClone bool
 }
 
@@ -83,6 +82,7 @@ type Config struct {
 type Engine struct {
 	cfg   Config
 	cache *classCache
+	irs   *irCache
 
 	solved             atomic.Int64
 	timeouts           atomic.Int64
@@ -106,22 +106,35 @@ type Stats struct {
 	// first on portfolio-solved components.
 	PortfolioExactWins int64
 	PortfolioSATWins   int64
-	// IRBuilds counts witness-hypergraph constructions performed by the
-	// portfolio, and SolverRuns the solver invocations racing over them.
-	// One race = one IR build + two solver runs: the enumerate-once
-	// invariant is IRBuilds == races, not 2×.
+	// IRBuilds counts witness-hypergraph constructions actually performed
+	// for exact-path components, and SolverRuns the solver invocations over
+	// them. One portfolio race = one IR build + two solver runs (the
+	// enumerate-once invariant is IRBuilds == races, not 2×); without the
+	// portfolio an exact component is one build + one run. Under NoClone,
+	// IR-cache hits reuse an earlier build, so IRBuilds counts misses only.
 	IRBuilds   int64
 	SolverRuns int64
+	// IRCacheHits / IRCacheMisses count cross-request IR cache outcomes
+	// (always zero unless Config.NoClone enables the cache). A concurrent
+	// burst of identical requests counts one miss (the elected builder) and
+	// a hit per waiter.
+	IRCacheHits   int64
+	IRCacheMisses int64
 }
 
 // New returns an Engine with the given configuration.
 func New(cfg Config) *Engine {
-	return &Engine{cfg: cfg, cache: newClassCache(cfg.CacheSize)}
+	return &Engine{
+		cfg:   cfg,
+		cache: newClassCache(cfg.CacheSize),
+		irs:   newIRCache(cfg.IRCacheSize),
+	}
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	hits, misses := e.cache.stats()
+	irHits, irMisses := e.irs.stats()
 	return Stats{
 		Solved:             e.solved.Load(),
 		Timeouts:           e.timeouts.Load(),
@@ -131,6 +144,8 @@ func (e *Engine) Stats() Stats {
 		PortfolioSATWins:   e.portfolioSATWins.Load(),
 		IRBuilds:           e.irBuilds.Load(),
 		SolverRuns:         e.solverRuns.Load(),
+		IRCacheHits:        irHits,
+		IRCacheMisses:      irMisses,
 	}
 }
 
@@ -179,8 +194,15 @@ func (e *Engine) SolveBatch(ctx context.Context, insts []Instance) []BatchResult
 // cache, optional timeout and portfolio). It is repro.Resilience with the
 // engine's machinery behind it.
 func (e *Engine) Solve(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, *core.Classification, error) {
-	r := e.solveInstance(ctx, 0, Instance{Query: q, DB: d})
+	r := e.SolveOne(ctx, Instance{Query: q, DB: d})
 	return r.Res, r.Classification, r.Err
+}
+
+// SolveOne answers a single instance and returns the full BatchResult —
+// including CacheHit and Elapsed — which is what per-request callers like
+// the HTTP serving layer report back to clients.
+func (e *Engine) SolveOne(ctx context.Context, inst Instance) BatchResult {
+	return e.solveInstance(ctx, 0, inst)
 }
 
 func (e *Engine) solveInstance(ctx context.Context, i int, inst Instance) BatchResult {
@@ -222,8 +244,61 @@ func (e *Engine) solveClassified(ctx context.Context, cl *core.Classification, d
 }
 
 func (e *Engine) solveComponent(ctx context.Context, cl *core.Classification, d *db.Database) (*resilience.Result, error) {
-	if e.cfg.Portfolio && cl.Algorithm == core.AlgExact {
-		return e.racePortfolio(ctx, cl.Normalized, d)
+	if cl.Algorithm == core.AlgExact {
+		inst, err := e.InstanceFor(ctx, cl.Normalized, d)
+		if err != nil {
+			return nil, err
+		}
+		method := "exact"
+		if e.cfg.Portfolio {
+			method = "portfolio/exact"
+		}
+		if inst.Unbreakable() {
+			return nil, resilience.ErrUnbreakable
+		}
+		if inst.NumWitnesses() == 0 {
+			return &resilience.Result{Rho: 0, Method: method, Witnesses: 0}, nil
+		}
+		if e.cfg.Portfolio {
+			return e.raceOnInstance(ctx, inst)
+		}
+		e.solverRuns.Add(1)
+		return resilience.ExactOnInstance(ctx, inst, -1)
+	}
+	if e.cfg.NoClone && cl.Algorithm == core.AlgPerm3Flow {
+		// The one PTIME solver that temporarily deletes tuples. Under
+		// NoClone the database may be shared by concurrent requests, so
+		// give this solver a private copy and keep the caller's pristine.
+		d = d.Clone()
 	}
 	return resilience.SolveClassifiedCtx(ctx, cl, d)
+}
+
+// ForgetDatabase drops every cached IR built from d. Callers that retire
+// a long-lived database (the serving layer deleting or replacing a
+// registry entry) call this so the cache does not pin dead witness
+// families until the capacity cap locks the cache up.
+func (e *Engine) ForgetDatabase(d *db.Database) { e.irs.evictUID(d.UID()) }
+
+// InstanceFor returns the witness-hypergraph IR for (q, d), consulting the
+// engine's cross-request IR cache when the configuration permits (NoClone:
+// the cache keys on database identity + version, which only makes sense
+// for caller-owned long-lived databases). The returned instance is
+// immutable and shared; callers must treat it as read-only.
+//
+// The serving layer uses this for endpoints that consume the IR directly
+// (enumerate-minimum, responsibility), so one enumeration serves solve,
+// enumerate and responsibility traffic alike.
+func (e *Engine) InstanceFor(ctx context.Context, q *cq.Query, d *db.Database) (*witset.Instance, error) {
+	build := func() (*witset.Instance, error) {
+		inst, err := witset.Build(ctx, q, d, nil)
+		if err == nil {
+			e.irBuilds.Add(1)
+		}
+		return inst, err
+	}
+	if !e.cfg.NoClone {
+		return build()
+	}
+	return e.irs.get(ctx, q, d, build)
 }

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/resilience"
+)
+
+// TestIRCacheSharedAcrossRequests pins the serving-layer invariant: under
+// NoClone, concurrent solves of the same (query class, database version)
+// build the witness IR exactly once and everyone else reuses it.
+func TestIRCacheSharedAcrossRequests(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(7))
+	d := datagen.Random(rng, q, 8, 18, 0.2)
+	d.Freeze()
+
+	e := New(Config{Workers: 8, Portfolio: true, NoClone: true})
+
+	const requests = 64
+	var wg sync.WaitGroup
+	rhos := make([]int, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := e.Solve(context.Background(), q, d)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			rhos[i] = res.Rho
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < requests; i++ {
+		if rhos[i] != rhos[0] {
+			t.Fatalf("request %d: ρ = %d, others got %d", i, rhos[i], rhos[0])
+		}
+	}
+
+	st := e.Stats()
+	if st.IRBuilds != 1 {
+		t.Fatalf("Stats.IRBuilds = %d, want 1: the IR cache should dedupe %d identical requests", st.IRBuilds, requests)
+	}
+	if st.IRCacheMisses != 1 {
+		t.Fatalf("Stats.IRCacheMisses = %d, want 1", st.IRCacheMisses)
+	}
+	if st.IRCacheHits != requests-1 {
+		t.Fatalf("Stats.IRCacheHits = %d, want %d", st.IRCacheHits, requests-1)
+	}
+}
+
+// TestIRCacheInvalidatedByMutation checks the versioned key: mutating the
+// database bumps its version, so the next request rebuilds rather than
+// serving a stale IR.
+func TestIRCacheInvalidatedByMutation(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := datagen.ChainDB(rand.New(rand.NewSource(3)), 8, 0)
+
+	e := New(Config{Workers: 2, NoClone: true})
+	first, _, err := e.Solve(context.Background(), q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Solve(context.Background(), q, d); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.IRBuilds != 1 || st.IRCacheHits != 1 {
+		t.Fatalf("before mutation: IRBuilds = %d, IRCacheHits = %d, want 1 and 1", st.IRBuilds, st.IRCacheHits)
+	}
+
+	// A new edge extends the chain: more witnesses, larger ρ. A stale IR
+	// would reproduce the old answer.
+	d.AddNames("R", "c7", "c8")
+	second, _, err := e.Solve(context.Background(), q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.IRBuilds != 2 {
+		t.Fatalf("after mutation: IRBuilds = %d, want 2 (version bump must invalidate)", st.IRBuilds)
+	}
+	if second.Rho <= first.Rho {
+		t.Fatalf("ρ after extending the chain = %d, want > %d", second.Rho, first.Rho)
+	}
+}
+
+// TestIRCacheKeyedByQueryClass checks that alpha-equivalent queries share
+// an entry while differently-named relations do not.
+func TestIRCacheKeyedByQueryClass(t *testing.T) {
+	d := datagen.ChainDB(rand.New(rand.NewSource(5)), 10, 4)
+	d.AddNames("S", "c0", "c1") // so the S-query is satisfiable too
+	d.AddNames("S", "c1", "c2")
+	d.Freeze()
+
+	e := New(Config{Workers: 2, NoClone: true})
+	solve := func(text string) {
+		t.Helper()
+		q := cq.MustParse(text)
+		if _, _, err := e.Solve(context.Background(), q, d); err != nil && err != resilience.ErrUnbreakable {
+			t.Fatalf("%s: %v", text, err)
+		}
+	}
+	solve("q1 :- R(x,y), R(y,z)")
+	solve("q2 :- R(a,b), R(b,c)") // alpha-equivalent: cache hit
+	solve("q3 :- S(x,y), S(y,z)") // same shape, different relation: miss
+	st := e.Stats()
+	if st.IRBuilds != 2 {
+		t.Fatalf("IRBuilds = %d, want 2 (one per distinct relation vocabulary)", st.IRBuilds)
+	}
+	if st.IRCacheHits != 1 {
+		t.Fatalf("IRCacheHits = %d, want 1 (the alpha-renamed query)", st.IRCacheHits)
+	}
+}
+
+// TestNoClonePerm3FlowKeepsDatabasePristine: AlgPerm3Flow temporarily
+// deletes tuples; under NoClone the engine must clone around it so shared
+// databases are never mutated, even by concurrent requests (the race
+// detector watches this test).
+func TestNoClonePerm3FlowKeepsDatabasePristine(t *testing.T) {
+	q := cq.MustParse("qA3permR :- A(x), R(x,y), R(y,z), R(z,y)")
+	rng := rand.New(rand.NewSource(11))
+	d := datagen.PermDB(rng, 12, 3, 10, "A")
+	d.Freeze()
+	before := d.Len()
+	version := d.Version()
+
+	e := New(Config{Workers: 4, NoClone: true})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := e.Solve(context.Background(), q, d); err != nil && err != resilience.ErrUnbreakable {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Len() != before || d.Version() != version {
+		t.Fatalf("shared database mutated: len %d→%d, version %d→%d", before, d.Len(), version, d.Version())
+	}
+}

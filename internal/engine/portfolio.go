@@ -4,13 +4,12 @@ import (
 	"context"
 
 	"repro/internal/cnfenc"
-	"repro/internal/cq"
 	"repro/internal/db"
 	"repro/internal/resilience"
 	"repro/internal/witset"
 )
 
-// racePortfolio attacks one NP-hard (or unclassified) component with two
+// raceOnInstance attacks one NP-hard (or unclassified) component with two
 // independent solvers in parallel and returns whichever finishes first,
 // cancelling the loser:
 //
@@ -25,25 +24,13 @@ import (
 // never slower than the better solver by more than scheduling noise, and
 // is often dramatically faster than a fixed choice.
 //
-// The witness hypergraph is built exactly once per race and shared by both
-// racers: the IR is immutable after Build (derived families are
-// sync.Once-guarded), so neither racer touches the database and the old
-// defensive clone for the SAT side is gone. Unbreakability and the
-// zero-witness case are properties of the IR and short-circuit before any
-// racer starts.
-func (e *Engine) racePortfolio(ctx context.Context, q *cq.Query, d *db.Database) (*resilience.Result, error) {
-	inst, err := witset.Build(ctx, q, d, nil)
-	if err != nil {
-		return nil, err
-	}
-	e.irBuilds.Add(1)
-	if inst.Unbreakable() {
-		return nil, resilience.ErrUnbreakable
-	}
-	if inst.NumWitnesses() == 0 {
-		return &resilience.Result{Rho: 0, Method: "portfolio/exact", Witnesses: 0}, nil
-	}
-
+// The witness hypergraph comes in prebuilt (once per race, or shared
+// across races by the engine's cross-request IR cache under NoClone) and
+// is immutable (derived families are sync.Once-guarded), so neither racer
+// touches the database and no defensive clone is needed. Unbreakability
+// and the zero-witness case are properties of the IR and short-circuit in
+// solveComponent before any racer starts.
+func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*resilience.Result, error) {
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cq"
+	"repro/internal/ctxpoll"
 	"repro/internal/db"
 	"repro/internal/witset"
 )
@@ -24,11 +25,27 @@ import (
 // set must intersect that witness); duplicates arising from different
 // branch orders are removed by canonical key.
 func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
-	inst, err := witset.Build(context.Background(), q, d, nil)
+	return EnumerateMinimumCtx(context.Background(), q, d, maxSets)
+}
+
+// EnumerateMinimumCtx is EnumerateMinimum with cooperative cancellation:
+// the witness enumeration, the ρ computation, and the all-optima recursion
+// all poll ctx and abort with ctx.Err() once it is done.
+func EnumerateMinimumCtx(ctx context.Context, q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
+	inst, err := witset.Build(ctx, q, d, nil)
 	if err != nil {
 		return 0, nil, err
 	}
-	base, err := ExactOnInstance(context.Background(), inst, -1)
+	return EnumerateMinimumOnInstance(ctx, inst, d, maxSets)
+}
+
+// EnumerateMinimumOnInstance runs the all-optima enumeration over a
+// prebuilt witness-hypergraph IR, which is how the serving layer reuses one
+// cached IR across many enumerate requests. d must be the database the
+// instance was built from (it resolves constant names for the canonical
+// ordering of the returned sets).
+func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
+	base, err := ExactOnInstance(ctx, inst, -1)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -61,8 +78,12 @@ func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tup
 		return maxSets == 0 || len(out) < maxSets
 	}
 
+	poll := ctxpoll.New(ctx)
 	var rec func() bool
 	rec = func() bool {
+		if poll.Cancelled() {
+			return false
+		}
 		// First witness not hit by the current choice.
 		var unhit []int32
 		for _, row := range rows {
@@ -100,6 +121,9 @@ func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tup
 		return true
 	}
 	rec()
+	if err := poll.Err(); err != nil {
+		return 0, nil, err
+	}
 
 	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
 	return rho, out, nil

@@ -1,17 +1,3 @@
-// Package resilience implements the paper's resilience solvers.
-//
-// ρ(q, D) — the resilience of Boolean query q on database D — is the
-// minimum number of endogenous tuples whose deletion makes q false
-// (Definition 1). The package provides:
-//
-//   - Exact: branch-and-bound minimum hitting set over the witness
-//     hypergraph (internal/witset), correct for every CQ (the trusted
-//     oracle; worst-case exponential);
-//   - LinearFlow: the network-flow solver for linear queries, following
-//     [31] and extended to one 2-confluence per Proposition 31 / Lemma 55;
-//   - the specialized PTIME solvers of Propositions 13, 33, 36, 41 and 44;
-//   - Solve: a dispatcher that classifies the query (Theorem 37) and picks
-//     the fastest sound algorithm.
 package resilience
 
 import (

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/cq"
+	"repro/internal/ctxpoll"
 	"repro/internal/db"
 	"repro/internal/witset"
 )
@@ -37,15 +38,44 @@ var ErrNotCounterfactual = errors.New("resilience: tuple is not a counterfactual
 // uses t exactly when t is in its endogenous tuple set, and the with-t /
 // without-t split is a partition of the IR's rows.
 func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
+	return ResponsibilityCtx(context.Background(), q, d, t)
+}
+
+// ResponsibilityCtx is Responsibility with cooperative cancellation: both
+// the witness enumeration and the per-candidate hitting-set searches poll
+// ctx and abort with ctx.Err() once it is done.
+func ResponsibilityCtx(ctx context.Context, q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
+	// Fail on bad probes before paying for witness enumeration; the same
+	// checks in ResponsibilityOnInstance guard callers arriving with a
+	// prebuilt (possibly cached) IR.
+	if err := validateProbe(q, d, t); err != nil {
+		return 0, nil, err
+	}
+	inst, err := witset.Build(ctx, q, d, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ResponsibilityOnInstance(ctx, inst, d, t)
+}
+
+// validateProbe rejects probe tuples that can never be causes for
+// structural reasons: exogenous relations and absent tuples.
+func validateProbe(q *cq.Query, d *db.Database, t db.Tuple) error {
 	if q.IsExogenous(t.Rel) {
-		return 0, nil, fmt.Errorf("resilience: %s is exogenous; only endogenous tuples can be causes", d.TupleString(t))
+		return fmt.Errorf("resilience: %s is exogenous; only endogenous tuples can be causes", d.TupleString(t))
 	}
 	if !d.Has(t) {
-		return 0, nil, fmt.Errorf("resilience: tuple %s not in database", d.TupleString(t))
+		return fmt.Errorf("resilience: tuple %s not in database", d.TupleString(t))
 	}
+	return nil
+}
 
-	inst, err := witset.Build(context.Background(), q, d, nil)
-	if err != nil {
+// ResponsibilityOnInstance computes responsibility over a prebuilt
+// witness-hypergraph IR, which is how the serving layer reuses one cached
+// IR across many responsibility probes against the same (query, database)
+// pair. d must be the database the instance was built from.
+func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
+	if err := validateProbe(inst.Query(), d, t); err != nil {
 		return 0, nil, err
 	}
 	if inst.Unbreakable() {
@@ -79,9 +109,13 @@ func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, e
 	}
 
 	forbidden := witset.NewBits(inst.NumTuples())
+	poll := ctxpoll.New(ctx)
 	best := -1
 	var bestGamma []db.Tuple
 	for _, surviving := range withT {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		// Forbid the surviving witness's tuples: drop them from every
 		// row. A row left empty is unhittable for this choice.
 		forbidden.Clear()
@@ -117,7 +151,11 @@ func Responsibility(q *cq.Query, d *db.Database, t db.Tuple) (int, []db.Tuple, e
 			}
 		}
 		hs := newHittingSet(witset.NewFamily(sub, inst.NumTuples(), false))
+		hs.poll = poll
 		size, chosen := hs.solve(budget)
+		if err := poll.Err(); err != nil {
+			return 0, nil, err
+		}
 		if chosen == nil {
 			continue // exceeded budget
 		}

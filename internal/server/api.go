@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/db"
+)
+
+// The wire types of the HTTP/JSON API. Every request body is a single
+// JSON object; every response is a single JSON object (or an errorBody
+// with a non-2xx status). Facts and tuples travel as strings in the same
+// "R(a,b)" notation the CLI uses, so curl transcripts and fact files stay
+// interchangeable.
+
+// putDBRequest is the body of PUT /db/{name}.
+type putDBRequest struct {
+	// Facts holds one fact per entry, e.g. "R(1,2)". Blank entries are
+	// rejected (unlike fact files there is no comment syntax here).
+	Facts []string `json:"facts"`
+}
+
+// dbInfo describes a registered database (PUT /db/{name}, GET /db/{name},
+// and the elements of GET /db).
+type dbInfo struct {
+	Name string `json:"name"`
+	// Tuples and Constants are totals; Relations maps relation name to its
+	// tuple count.
+	Tuples    int            `json:"tuples"`
+	Constants int            `json:"constants"`
+	Relations map[string]int `json:"relations"`
+	// Version is the database's mutation counter; together with the name
+	// it identifies the contents a cached IR was built from.
+	Version uint64 `json:"version"`
+}
+
+// solveRequest is the body of POST /solve.
+type solveRequest struct {
+	Query string `json:"query"`
+	DB    string `json:"db"`
+	// TimeoutMS, when positive, bounds this request's wall time; the
+	// effective deadline is the smaller of this and the server's
+	// per-request default.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// solveResponse is the body of a successful POST /solve.
+type solveResponse struct {
+	Rho         int      `json:"rho"`
+	Method      string   `json:"method,omitempty"`
+	Witnesses   int      `json:"witnesses"`
+	Contingency []string `json:"contingency,omitempty"`
+	Verdict     string   `json:"verdict"`
+	Rule        string   `json:"rule,omitempty"`
+	// Unbreakable means no endogenous deletion can falsify the query: a
+	// definite answer (ρ = ∞), not an error. Rho is 0 in that case.
+	Unbreakable bool `json:"unbreakable,omitempty"`
+	// CacheHit reports whether the classification came from the engine's
+	// isomorphism cache.
+	CacheHit  bool    `json:"cache_hit"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// classifyRequest is the body of POST /classify.
+type classifyRequest struct {
+	Query string `json:"query"`
+}
+
+// classifyResponse is the body of POST /classify.
+type classifyResponse struct {
+	Query       string              `json:"query"`
+	Normalized  string              `json:"normalized"`
+	Verdict     string              `json:"verdict"`
+	Rule        string              `json:"rule"`
+	Algorithm   string              `json:"algorithm"`
+	Certificate string              `json:"certificate"`
+	Components  []classifyComponent `json:"components,omitempty"`
+}
+
+type classifyComponent struct {
+	Normalized string `json:"normalized"`
+	Verdict    string `json:"verdict"`
+	Rule       string `json:"rule"`
+}
+
+// batchRequest is the body of POST /batch.
+type batchRequest struct {
+	// DB is the default database for instances that do not name their own.
+	DB        string          `json:"db,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms"`
+	Instances []batchInstance `json:"instances"`
+}
+
+type batchInstance struct {
+	ID    string `json:"id"`
+	Query string `json:"query"`
+	DB    string `json:"db,omitempty"`
+}
+
+// batchResponse is the body of POST /batch: one result per instance,
+// index-aligned with the request.
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+type batchResult struct {
+	ID          string   `json:"id"`
+	Rho         int      `json:"rho"`
+	Method      string   `json:"method,omitempty"`
+	Verdict     string   `json:"verdict,omitempty"`
+	Unbreakable bool     `json:"unbreakable,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Contingency []string `json:"contingency,omitempty"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
+}
+
+// enumerateRequest is the body of POST /enumerate.
+type enumerateRequest struct {
+	Query string `json:"query"`
+	DB    string `json:"db"`
+	// MaxSets caps the number of minimum contingency sets returned
+	// (0 = no cap).
+	MaxSets   int   `json:"max_sets"`
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// enumerateResponse is the body of POST /enumerate.
+type enumerateResponse struct {
+	Rho         int        `json:"rho"`
+	Sets        [][]string `json:"sets"`
+	Unbreakable bool       `json:"unbreakable,omitempty"`
+}
+
+// responsibilityRequest is the body of POST /responsibility.
+type responsibilityRequest struct {
+	Query string `json:"query"`
+	DB    string `json:"db"`
+	// Tuple names the endogenous tuple to probe, e.g. "R(1,2)".
+	Tuple     string `json:"tuple"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+// responsibilityResponse is the body of POST /responsibility. The
+// responsibility score of [31] is 1/(1+k).
+type responsibilityResponse struct {
+	Tuple          string   `json:"tuple"`
+	K              int      `json:"k"`
+	Responsibility float64  `json:"responsibility"`
+	Contingency    []string `json:"contingency,omitempty"`
+	// NotCounterfactual means no contingency makes the tuple a
+	// counterfactual cause; responsibility is then 0.
+	NotCounterfactual bool `json:"not_counterfactual,omitempty"`
+}
+
+// errorBody accompanies every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// parseFact splits "R(a,b)" into its relation name and argument names.
+// It is strict — unlike the CLI's forgiving fact-file reader, a malformed
+// wire fact is a client error: the closing parenthesis must end the fact,
+// and the relation and every argument must be non-empty.
+func parseFact(text string) (rel string, args []string, err error) {
+	text = strings.TrimSpace(text)
+	open := strings.IndexByte(text, '(')
+	if open <= 0 || !strings.HasSuffix(text, ")") || open >= len(text)-1 {
+		return "", nil, fmt.Errorf("malformed fact %q (want R(a,b))", text)
+	}
+	rel = strings.TrimSpace(text[:open])
+	if rel == "" {
+		return "", nil, fmt.Errorf("malformed fact %q (empty relation name)", text)
+	}
+	for _, part := range strings.Split(text[open+1:len(text)-1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return "", nil, fmt.Errorf("malformed fact %q (empty argument)", text)
+		}
+		args = append(args, part)
+	}
+	return rel, args, nil
+}
+
+// lookupTuple resolves a fact string against d without interning: the
+// tuple must already exist in d (the serving layer never mutates a
+// registered database).
+func lookupTuple(d *db.Database, text string) (db.Tuple, error) {
+	rel, args, err := parseFact(text)
+	if err != nil {
+		return db.Tuple{}, err
+	}
+	if len(args) == 0 || len(args) > db.MaxArity {
+		return db.Tuple{}, fmt.Errorf("fact %q has arity %d, want 1..%d", text, len(args), db.MaxArity)
+	}
+	t := db.Tuple{Rel: rel, Arity: uint8(len(args))}
+	for i, a := range args {
+		v, ok := d.LookupConst(a)
+		if !ok {
+			return db.Tuple{}, fmt.Errorf("fact %s not in database (unknown constant %q)", text, a)
+		}
+		t.Args[i] = v
+	}
+	if !d.Has(t) {
+		return db.Tuple{}, fmt.Errorf("fact %s not in database", text)
+	}
+	return t, nil
+}
+
+// tupleStrings renders a contingency set with constant names resolved.
+func tupleStrings(d *db.Database, ts []db.Tuple) []string {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = d.TupleString(t)
+	}
+	return out
+}

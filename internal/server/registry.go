@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/db"
+)
+
+// registry is the named-database store behind /db/{name}: upload once,
+// freeze, then solve many queries against it. Entries are immutable after
+// registration — a re-upload under the same name installs a brand-new
+// *db.Database (fresh UID), so in-flight requests keep solving against the
+// version they resolved and the engine's IR cache never mixes contents.
+type registry struct {
+	mu  sync.RWMutex
+	dbs map[string]*db.Database
+}
+
+func newRegistry() *registry {
+	return &registry{dbs: map[string]*db.Database{}}
+}
+
+// register parses the given facts into a fresh database, freezes its
+// indexes (registered databases are shared read-only across requests),
+// and installs it under name. It returns the new database and the one it
+// replaced, if any, so the caller can retire the replaced database's
+// cached IRs.
+func (r *registry) register(name string, facts []string) (d, replaced *db.Database, err error) {
+	d = db.New()
+	for i, f := range facts {
+		rel, args, err := parseFact(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fact %d: %w", i, err)
+		}
+		if len(args) > db.MaxArity {
+			return nil, nil, fmt.Errorf("fact %d: %q has arity %d, want 1..%d", i, f, len(args), db.MaxArity)
+		}
+		if have := d.Rel(rel); have != nil && have.Arity != len(args) {
+			return nil, nil, fmt.Errorf("fact %d: %q has arity %d but relation %s was used with arity %d", i, f, len(args), rel, have.Arity)
+		}
+		d.AddNames(rel, args...)
+	}
+	d.Freeze()
+	r.mu.Lock()
+	replaced = r.dbs[name]
+	r.dbs[name] = d
+	r.mu.Unlock()
+	return d, replaced, nil
+}
+
+// lookup returns the database registered under name, or nil.
+func (r *registry) lookup(name string) *db.Database {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dbs[name]
+}
+
+// drop removes name, returning the database it held, if any.
+func (r *registry) drop(name string) *db.Database {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.dbs[name]
+	delete(r.dbs, name)
+	return d
+}
+
+// names returns the registered names, sorted.
+func (r *registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.dbs))
+	for n := range r.dbs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// len returns the number of registered databases.
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.dbs)
+}
+
+// info snapshots the registration metadata of d under the given name.
+func info(name string, d *db.Database) dbInfo {
+	rels := map[string]int{}
+	for _, rn := range d.RelationNames() {
+		rels[rn] = d.Rel(rn).Len()
+	}
+	return dbInfo{
+		Name:      name,
+		Tuples:    d.Len(),
+		Constants: d.NumConsts(),
+		Relations: rels,
+		Version:   d.Version(),
+	}
+}

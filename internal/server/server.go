@@ -1,0 +1,569 @@
+// Package server is the resilience-as-a-service layer: a long-running
+// HTTP/JSON front end over the concurrent engine, turning the one-shot
+// solver stack into a stateful service.
+//
+// # Request lifecycle
+//
+// Databases are uploaded once (PUT /db/{name}), frozen, and registered
+// under a name; queries then arrive as small JSON bodies naming the
+// database they target. Solver endpoints pass through admission control —
+// a bounded in-flight slot pool that rejects excess load with 429 rather
+// than queueing unboundedly — then run on the shared engine with a
+// per-request deadline (the smaller of the client's timeout_ms and the
+// server's configured default) plumbed down into the cancellable solvers.
+//
+// # Key invariants
+//
+//   - Registered databases are immutable: the registry freezes them at
+//     upload and nothing on the serving path ever mutates one (tuple
+//     probes use read-only lookups; the engine clones around the one
+//     mutating PTIME solver). A re-upload installs a fresh database
+//     object, so in-flight requests finish against the contents they
+//     resolved.
+//   - The engine runs in NoClone mode, which enables its cross-request
+//     witness-IR cache: concurrent and repeated requests against the same
+//     (query class, database version) enumerate witnesses exactly once.
+//   - Every solver endpoint is cancellable: client disconnects and
+//     deadline expiries propagate through context into ctxpoll-polling
+//     search loops.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/resilience"
+)
+
+// Config tunes a Server. The zero value is usable: engine defaults,
+// 64 in-flight requests, 30s per-request budget, 32 MiB upload cap.
+type Config struct {
+	// Engine configures the embedded solving engine (workers, portfolio,
+	// cache sizes). NoClone is forced on: the registry owns frozen
+	// databases, which is exactly the sharing mode NoClone exists for.
+	Engine engine.Config
+	// MaxInFlight bounds concurrently executing solver requests
+	// (solve/batch/enumerate/responsibility). Excess requests are rejected
+	// with 429 and a Retry-After header. <= 0 means the default 64.
+	MaxInFlight int
+	// RequestTimeout is the default per-request wall-time budget for
+	// solver endpoints. A request's timeout_ms can only tighten it.
+	// <= 0 means no server-side default.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (database uploads dominate).
+	// <= 0 means the default 32 MiB.
+	MaxBodyBytes int64
+}
+
+const (
+	defaultMaxInFlight  = 64
+	defaultMaxBodyBytes = 32 << 20
+)
+
+// Server is the HTTP serving layer. Create with New, expose with Handler
+// (or use it directly as an http.Handler), and flip SetDraining(true)
+// before shutdown so health checks start failing ahead of the listener.
+type Server struct {
+	cfg Config
+	eng *engine.Engine
+	reg *registry
+	mux *http.ServeMux
+
+	// sem is the admission-control slot pool; a slot is held for the full
+	// solver-endpoint lifetime.
+	sem chan struct{}
+
+	start    time.Time
+	draining atomic.Bool
+
+	requests atomic.Int64 // solver requests admitted
+	rejected atomic.Int64 // solver requests refused with 429
+	failures atomic.Int64 // solver requests that returned 5xx
+}
+
+// New returns a Server over a fresh engine.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	ecfg := cfg.Engine
+	ecfg.NoClone = true // registry databases are frozen and shared; see Config.Engine
+	s := &Server{
+		cfg:   cfg,
+		eng:   engine.New(ecfg),
+		reg:   newRegistry(),
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// Engine exposes the embedded engine (stats, direct batch access) to
+// in-process callers such as tests and the daemon's logging.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Handler returns the route table as an http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes *Server an http.Handler itself.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the health signal: while draining, /healthz returns
+// 503 so load balancers stop routing here, while already-accepted requests
+// keep completing. The daemon sets it on SIGTERM before http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("PUT /db/{name}", s.handlePutDB)
+	s.mux.HandleFunc("GET /db/{name}", s.handleGetDB)
+	s.mux.HandleFunc("DELETE /db/{name}", s.handleDeleteDB)
+	s.mux.HandleFunc("GET /db", s.handleListDBs)
+	s.mux.HandleFunc("POST /classify", s.handleClassify)
+	s.mux.HandleFunc("POST /solve", s.admitted(s.handleSolve))
+	s.mux.HandleFunc("POST /batch", s.admitted(s.handleBatch))
+	s.mux.HandleFunc("POST /enumerate", s.admitted(s.handleEnumerate))
+	s.mux.HandleFunc("POST /responsibility", s.admitted(s.handleResponsibility))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// admitted wraps a solver endpoint with admission control: acquire an
+// in-flight slot without blocking, or shed the request with 429. Shedding
+// instead of queueing keeps tail latency bounded under overload — the
+// client's retry policy, not an unbounded server queue, absorbs bursts.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d requests in flight)", cap(s.sem)))
+			return
+		}
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// requestCtx derives the request's working context: the client's
+// timeout_ms can only tighten the server's configured budget.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	budget := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; budget <= 0 || t < budget {
+			budget = t
+		}
+	}
+	if budget <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // nothing to do about a failed write
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.failures.Add(1)
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// solveStatus maps a solver error to an HTTP status.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout // client went away mid-solve
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// parseQuery parses the request's query text, answering 400 on failure.
+func (s *Server) parseQuery(w http.ResponseWriter, text string) *cq.Query {
+	q, err := cq.Parse(text)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return nil
+	}
+	return q
+}
+
+// lookupDB resolves a database name, answering 404 on failure.
+func (s *Server) lookupDB(w http.ResponseWriter, name string) *db.Database {
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("missing db name"))
+		return nil
+	}
+	d := s.reg.lookup(name)
+	if d == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no database %q registered", name))
+	}
+	return d
+}
+
+func (s *Server) handlePutDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req putDBRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Facts) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("facts must be non-empty"))
+		return
+	}
+	d, replaced, err := s.reg.register(name, req.Facts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if replaced != nil {
+		// The replaced database is unreachable from now on; retire its
+		// cached IRs so they stop holding cache capacity.
+		s.eng.ForgetDatabase(replaced)
+	}
+	writeJSON(w, http.StatusOK, info(name, d))
+}
+
+func (s *Server) handleGetDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d := s.lookupDB(w, name)
+	if d == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, info(name, d))
+}
+
+func (s *Server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
+	dropped := s.reg.drop(r.PathValue("name"))
+	if dropped == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no database %q registered", r.PathValue("name")))
+		return
+	}
+	s.eng.ForgetDatabase(dropped)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	type listResponse struct {
+		Databases []dbInfo `json:"databases"`
+	}
+	var resp listResponse
+	for _, name := range s.reg.names() {
+		if d := s.reg.lookup(name); d != nil {
+			resp.Databases = append(resp.Databases, info(name, d))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q := s.parseQuery(w, req.Query)
+	if q == nil {
+		return
+	}
+	cl := core.Classify(q)
+	resp := classifyResponse{
+		Query:       q.String(),
+		Normalized:  cl.Normalized.String(),
+		Verdict:     cl.Verdict.String(),
+		Rule:        cl.Rule,
+		Algorithm:   cl.Algorithm.String(),
+		Certificate: cl.Certificate,
+	}
+	for _, sub := range cl.Components {
+		resp.Components = append(resp.Components, classifyComponent{
+			Normalized: sub.Normalized.String(),
+			Verdict:    sub.Verdict.String(),
+			Rule:       sub.Rule,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q := s.parseQuery(w, req.Query)
+	if q == nil {
+		return
+	}
+	d := s.lookupDB(w, req.DB)
+	if d == nil {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	br := s.eng.SolveOne(ctx, engine.Instance{Query: q, DB: d})
+	resp := solveResponse{
+		CacheHit:  br.CacheHit,
+		ElapsedMS: float64(br.Elapsed) / float64(time.Millisecond),
+	}
+	if br.Classification != nil {
+		resp.Verdict = br.Classification.Verdict.String()
+		resp.Rule = br.Classification.Rule
+	}
+	switch {
+	case br.Err == resilience.ErrUnbreakable:
+		resp.Unbreakable = true
+	case br.Err != nil:
+		s.writeError(w, solveStatus(br.Err), br.Err)
+		return
+	default:
+		resp.Rho = br.Res.Rho
+		resp.Method = br.Res.Method
+		resp.Witnesses = br.Res.Witnesses
+		resp.Contingency = tupleStrings(d, br.Res.ContingencySet)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("instances must be non-empty"))
+		return
+	}
+	insts := make([]engine.Instance, len(req.Instances))
+	for i, bi := range req.Instances {
+		q, err := cq.Parse(bi.Query)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
+			return
+		}
+		name := bi.DB
+		if name == "" {
+			name = req.DB
+		}
+		d := s.lookupDB(w, name)
+		if d == nil {
+			return
+		}
+		id := bi.ID
+		if id == "" {
+			id = fmt.Sprintf("#%d", i)
+		}
+		insts[i] = engine.Instance{ID: id, Query: q, DB: d}
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	results := s.eng.SolveBatch(ctx, insts)
+	resp := batchResponse{Results: make([]batchResult, len(results))}
+	for i, br := range results {
+		out := batchResult{
+			ID:        br.ID,
+			ElapsedMS: float64(br.Elapsed) / float64(time.Millisecond),
+		}
+		if br.Classification != nil {
+			out.Verdict = br.Classification.Verdict.String()
+		}
+		switch {
+		case br.Err == resilience.ErrUnbreakable:
+			out.Unbreakable = true
+		case br.Err != nil:
+			out.Error = br.Err.Error()
+		default:
+			out.Rho = br.Res.Rho
+			out.Method = br.Res.Method
+			// Results are index-aligned with insts, so the instance's own
+			// database resolves the contingency tuples' constant names.
+			out.Contingency = tupleStrings(insts[i].DB, br.Res.ContingencySet)
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var req enumerateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q := s.parseQuery(w, req.Query)
+	if q == nil {
+		return
+	}
+	d := s.lookupDB(w, req.DB)
+	if d == nil {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	inst, err := s.eng.InstanceFor(ctx, q, d)
+	if err != nil {
+		s.writeError(w, solveStatus(err), err)
+		return
+	}
+	rho, sets, err := resilience.EnumerateMinimumOnInstance(ctx, inst, d, req.MaxSets)
+	if err == resilience.ErrUnbreakable {
+		writeJSON(w, http.StatusOK, enumerateResponse{Unbreakable: true})
+		return
+	}
+	if err != nil {
+		s.writeError(w, solveStatus(err), err)
+		return
+	}
+	resp := enumerateResponse{Rho: rho, Sets: make([][]string, len(sets))}
+	for i, set := range sets {
+		resp.Sets[i] = tupleStrings(d, set)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResponsibility(w http.ResponseWriter, r *http.Request) {
+	var req responsibilityRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q := s.parseQuery(w, req.Query)
+	if q == nil {
+		return
+	}
+	d := s.lookupDB(w, req.DB)
+	if d == nil {
+		return
+	}
+	t, err := lookupTuple(d, req.Tuple)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.IsExogenous(t.Rel) {
+		// A client input error, not a solver failure: only endogenous
+		// tuples can be causes.
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%s is exogenous in the query; only endogenous tuples can be causes", req.Tuple))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	inst, err := s.eng.InstanceFor(ctx, q, d)
+	if err != nil {
+		s.writeError(w, solveStatus(err), err)
+		return
+	}
+	k, gamma, err := resilience.ResponsibilityOnInstance(ctx, inst, d, t)
+	resp := responsibilityResponse{Tuple: d.TupleString(t)}
+	switch {
+	case err == resilience.ErrNotCounterfactual:
+		resp.NotCounterfactual = true
+	case err != nil:
+		s.writeError(w, solveStatus(err), err)
+		return
+	default:
+		resp.K = k
+		resp.Responsibility = 1.0 / float64(1+k)
+		resp.Contingency = tupleStrings(d, gamma)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metricsResponse is the body of GET /metrics: server counters plus a
+// snapshot of engine.Stats in stable snake_case keys.
+type metricsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Databases     int     `json:"databases"`
+
+	InFlight    int   `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Requests    int64 `json:"requests"`
+	Rejected    int64 `json:"rejected"`
+	Failures    int64 `json:"failures"`
+
+	Solved             int64 `json:"solved"`
+	Timeouts           int64 `json:"timeouts"`
+	ClassCacheHits     int64 `json:"class_cache_hits"`
+	ClassCacheMisses   int64 `json:"class_cache_misses"`
+	PortfolioExactWins int64 `json:"portfolio_exact_wins"`
+	PortfolioSATWins   int64 `json:"portfolio_sat_wins"`
+	IRBuilds           int64 `json:"ir_builds"`
+	SolverRuns         int64 `json:"solver_runs"`
+	IRCacheHits        int64 `json:"ir_cache_hits"`
+	IRCacheMisses      int64 `json:"ir_cache_misses"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Databases:     s.reg.len(),
+
+		InFlight:    len(s.sem),
+		MaxInFlight: cap(s.sem),
+		Requests:    s.requests.Load(),
+		Rejected:    s.rejected.Load(),
+		Failures:    s.failures.Load(),
+
+		Solved:             st.Solved,
+		Timeouts:           st.Timeouts,
+		ClassCacheHits:     st.CacheHits,
+		ClassCacheMisses:   st.CacheMisses,
+		PortfolioExactWins: st.PortfolioExactWins,
+		PortfolioSATWins:   st.PortfolioSATWins,
+		IRBuilds:           st.IRBuilds,
+		SolverRuns:         st.SolverRuns,
+		IRCacheHits:        st.IRCacheHits,
+		IRCacheMisses:      st.IRCacheMisses,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/resilience"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doJSON performs one JSON request and decodes the response into out (when
+// non-nil), returning the HTTP status.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// chainFacts renders a ChainDB-shaped fact list: a path of n constants
+// plus random chords.
+func chainFacts(rng *rand.Rand, n, chords int) []string {
+	var facts []string
+	for i := 0; i+1 < n; i++ {
+		facts = append(facts, fmt.Sprintf("R(c%d,c%d)", i, i+1))
+	}
+	for i := 0; i < chords; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			facts = append(facts, fmt.Sprintf("R(c%d,c%d)", u, v))
+		}
+	}
+	return facts
+}
+
+// TestServerConcurrentSolvesShareIR is the serving-layer acceptance test:
+// many concurrent solve requests against registered databases complete
+// correctly, and the engine's stats show the witness IR was built exactly
+// once per distinct (query class, database version) — everything else was
+// a cross-request cache hit.
+func TestServerConcurrentSolvesShareIR(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Engine:      engine.Config{Workers: 4, Portfolio: true},
+		MaxInFlight: 512, // admission must not interfere with this test
+	})
+
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range []string{"day1", "day2"} {
+		status := doJSON(t, http.MethodPut, ts.URL+"/db/"+name,
+			putDBRequest{Facts: chainFacts(rng, 12, 6)}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("PUT /db/%s: status %d", name, status)
+		}
+	}
+
+	// Reference answers, computed directly against equivalent databases.
+	want := map[string]int{}
+	for _, name := range []string{"day1", "day2"} {
+		q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+		res, _, err := resilience.Solve(q, s.reg.lookup(name).Clone())
+		if err != nil {
+			t.Fatalf("reference solve %s: %v", name, err)
+		}
+		want[name] = res.Rho
+	}
+
+	const perDB = 64 // ≥ 64 concurrent requests per the acceptance bar
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*perDB)
+	for _, name := range []string{"day1", "day2"} {
+		for i := 0; i < perDB; i++ {
+			wg.Add(1)
+			go func(name string, i int) {
+				defer wg.Done()
+				// Alternate alpha-renamed variants: same isomorphism
+				// class, so they must share one IR per database.
+				query := "qchain :- R(x,y), R(y,z)"
+				if i%2 == 1 {
+					query = "qchain :- R(a,b), R(b,c)"
+				}
+				var resp solveResponse
+				status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+					solveRequest{Query: query, DB: name}, &resp)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("solve %s[%d]: status %d", name, i, status)
+					return
+				}
+				if resp.Rho != want[name] {
+					errs <- fmt.Errorf("solve %s[%d]: ρ = %d, want %d", name, i, resp.Rho, want[name])
+				}
+			}(name, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.Engine().Stats()
+	if st.IRBuilds != 2 {
+		t.Errorf("Stats.IRBuilds = %d, want 2: one per distinct (query class, db version)", st.IRBuilds)
+	}
+	if st.IRCacheMisses != 2 {
+		t.Errorf("Stats.IRCacheMisses = %d, want 2", st.IRCacheMisses)
+	}
+	if wantHits := int64(2*perDB - 2); st.IRCacheHits != wantHits {
+		t.Errorf("Stats.IRCacheHits = %d, want %d", st.IRCacheHits, wantHits)
+	}
+	if st.Solved != 2*perDB {
+		t.Errorf("Stats.Solved = %d, want %d", st.Solved, 2*perDB)
+	}
+
+	var m metricsResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); status != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	if m.IRCacheHits != st.IRCacheHits || m.IRBuilds != st.IRBuilds {
+		t.Errorf("/metrics disagrees with engine stats: %+v vs %+v", m, st)
+	}
+	if m.Requests != 2*perDB {
+		t.Errorf("/metrics requests = %d, want %d", m.Requests, 2*perDB)
+	}
+}
+
+func TestServerRegistryLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Malformed facts are rejected.
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/bad",
+		putDBRequest{Facts: []string{"nope"}}, nil); status != http.StatusBadRequest {
+		t.Fatalf("PUT malformed: status %d, want 400", status)
+	}
+	// Arity mismatch inside one upload is rejected.
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/bad",
+		putDBRequest{Facts: []string{"R(1,2)", "R(1)"}}, nil); status != http.StatusBadRequest {
+		t.Fatalf("PUT arity mismatch: status %d, want 400", status)
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/db/ghost", nil, nil); status != http.StatusNotFound {
+		t.Fatalf("GET unknown db: status %d, want 404", status)
+	}
+
+	var put dbInfo
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy",
+		putDBRequest{Facts: []string{"R(1,2)", "R(2,3)", "R(3,3)", "R(1,2)"}}, &put); status != http.StatusOK {
+		t.Fatalf("PUT: status %d", status)
+	}
+	if put.Tuples != 3 || put.Relations["R"] != 3 || put.Constants != 3 {
+		t.Fatalf("PUT info = %+v, want 3 distinct tuples over 3 constants", put)
+	}
+
+	var got dbInfo
+	if status := doJSON(t, http.MethodGet, ts.URL+"/db/toy", nil, &got); status != http.StatusOK ||
+		got.Name != put.Name || got.Tuples != put.Tuples || got.Version != put.Version {
+		t.Fatalf("GET info = %+v (status %d), want %+v", got, status, put)
+	}
+
+	var list struct {
+		Databases []dbInfo `json:"databases"`
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/db", nil, &list); status != http.StatusOK || len(list.Databases) != 1 {
+		t.Fatalf("GET /db = %+v (status %d), want exactly the toy db", list, status)
+	}
+
+	// Solver endpoints: bad query and unknown db.
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "not a query", DB: "toy"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("solve bad query: status %d, want 400", status)
+	}
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "q :- R(x,y)", DB: "ghost"}, nil); status != http.StatusNotFound {
+		t.Fatalf("solve unknown db: status %d, want 404", status)
+	}
+
+	// The README example: ρ(qchain, {R(1,2), R(2,3), R(3,3)}) = 2.
+	var solved solveResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "toy"}, &solved); status != http.StatusOK {
+		t.Fatalf("solve: status %d", status)
+	}
+	if solved.Rho != 2 || solved.Verdict != "NP-complete" {
+		t.Fatalf("solve = %+v, want ρ=2 NP-complete", solved)
+	}
+	if len(solved.Contingency) != 2 {
+		t.Fatalf("contingency = %v, want 2 tuples", solved.Contingency)
+	}
+
+	// A fully exogenous query is unbreakable, reported as an answer.
+	var unb solveResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "q :- R(x,y)^x", DB: "toy"}, &unb); status != http.StatusOK {
+		t.Fatalf("solve exogenous: status %d", status)
+	}
+	if !unb.Unbreakable {
+		t.Fatalf("solve exogenous = %+v, want unbreakable", unb)
+	}
+
+	if status := doJSON(t, http.MethodDelete, ts.URL+"/db/toy", nil, nil); status != http.StatusNoContent {
+		t.Fatalf("DELETE: status %d, want 204", status)
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/db/toy", nil, nil); status != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: status %d, want 404", status)
+	}
+}
+
+func TestServerBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy",
+		putDBRequest{Facts: []string{"R(1,2)", "R(2,3)", "R(3,3)"}}, nil); status != http.StatusOK {
+		t.Fatalf("PUT: status %d", status)
+	}
+	var resp batchResponse
+	status := doJSON(t, http.MethodPost, ts.URL+"/batch", batchRequest{
+		DB: "toy",
+		Instances: []batchInstance{
+			{ID: "chain", Query: "qchain :- R(x,y), R(y,z)"},
+			{ID: "edge", Query: "q :- R(x,y)"},
+			{Query: "q :- R(x,x)"},
+		},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d", status)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch results = %d, want 3", len(resp.Results))
+	}
+	if resp.Results[0].ID != "chain" || resp.Results[0].Rho != 2 {
+		t.Fatalf("batch[0] = %+v, want chain ρ=2", resp.Results[0])
+	}
+	if resp.Results[1].Rho != 3 { // delete every edge
+		t.Fatalf("batch[1] = %+v, want ρ=3", resp.Results[1])
+	}
+	if resp.Results[2].ID != "#2" || resp.Results[2].Rho != 1 { // only R(3,3) is a loop
+		t.Fatalf("batch[2] = %+v, want ρ=1 under generated id #2", resp.Results[2])
+	}
+}
+
+func TestServerEnumerateAndResponsibility(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	facts := []string{"R(1,2)", "R(2,3)", "R(3,3)"}
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy", putDBRequest{Facts: facts}, nil); status != http.StatusOK {
+		t.Fatalf("PUT: status %d", status)
+	}
+
+	var en enumerateResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/enumerate",
+		enumerateRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "toy", MaxSets: 10}, &en); status != http.StatusOK {
+		t.Fatalf("enumerate: status %d", status)
+	}
+	if en.Rho != 2 || len(en.Sets) == 0 {
+		t.Fatalf("enumerate = %+v, want ρ=2 with at least one optimal set", en)
+	}
+	for _, set := range en.Sets {
+		if len(set) != 2 {
+			t.Fatalf("enumerate returned a non-minimum set %v", set)
+		}
+	}
+
+	var rp responsibilityResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/responsibility",
+		responsibilityRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "toy", Tuple: "R(3,3)"}, &rp); status != http.StatusOK {
+		t.Fatalf("responsibility: status %d", status)
+	}
+	if rp.NotCounterfactual {
+		t.Fatalf("responsibility = %+v: R(3,3) participates in witnesses", rp)
+	}
+	if want := 1.0 / float64(1+rp.K); rp.Responsibility != want {
+		t.Fatalf("responsibility score = %v, want 1/(1+k) = %v", rp.Responsibility, want)
+	}
+
+	// Probing a tuple that is not in the database is a client error.
+	if status := doJSON(t, http.MethodPost, ts.URL+"/responsibility",
+		responsibilityRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "toy", Tuple: "R(9,9)"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("responsibility unknown tuple: status %d, want 400", status)
+	}
+}
+
+func TestServerAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy",
+		putDBRequest{Facts: []string{"R(1,2)", "R(2,3)"}}, nil); status != http.StatusOK {
+		t.Fatalf("PUT: status %d", status)
+	}
+
+	// Occupy the single slot; the next solver request must be shed.
+	s.sem <- struct{}{}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve",
+		bytes.NewReader([]byte(`{"query":"q :- R(x,y)","db":"toy"}`)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Registry and health endpoints are not subject to admission.
+	if status := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); status != http.StatusOK {
+		t.Fatalf("healthz under load: status %d", status)
+	}
+	<-s.sem
+
+	var solved solveResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "q :- R(x,y)", DB: "toy"}, &solved); status != http.StatusOK {
+		t.Fatalf("solve after release: status %d", status)
+	}
+	if st := s.Engine().Stats(); st.Solved != 1 {
+		t.Fatalf("Solved = %d, want 1", st.Solved)
+	}
+}
+
+func TestServerRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A large chain database: witness enumeration plus NP-hard search
+	// cannot finish inside 1ms.
+	rng := rand.New(rand.NewSource(9))
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/big",
+		putDBRequest{Facts: chainFacts(rng, 20000, 20000)}, nil); status != http.StatusOK {
+		t.Fatalf("PUT: status %d", status)
+	}
+	status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "big", TimeoutMS: 1}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (deadline exceeded)", status)
+	}
+}
+
+// TestServerReuploadEvictsIRs: replacing or deleting a registered
+// database must retire its cached IRs — otherwise dead entries pin their
+// witness families and eventually lock up the cache cap.
+func TestServerReuploadEvictsIRs(t *testing.T) {
+	s, ts := newTestServer(t, Config{Engine: engine.Config{IRCacheSize: 4}})
+	solve := func(wantRho int) {
+		t.Helper()
+		var resp solveResponse
+		if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+			solveRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "toy"}, &resp); status != http.StatusOK {
+			t.Fatalf("solve: status %d", status)
+		}
+		if resp.Rho != wantRho {
+			t.Fatalf("ρ = %d, want %d", resp.Rho, wantRho)
+		}
+	}
+
+	// Re-upload the database more times than the cache holds entries; if
+	// dead IRs were never evicted, the cache would fill with them and the
+	// final round could not answer from a live entry.
+	for i := 0; i < 8; i++ {
+		facts := []string{"R(1,2)", "R(2,3)", "R(3,3)"}
+		if i%2 == 1 {
+			facts = append(facts, "R(3,4)") // different contents, ρ stays 2
+		}
+		if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy", putDBRequest{Facts: facts}, nil); status != http.StatusOK {
+			t.Fatalf("PUT round %d: status %d", i, status)
+		}
+		solve(2)
+		solve(2) // second solve of the round must hit the fresh entry
+	}
+	st := s.Engine().Stats()
+	if st.IRBuilds != 8 {
+		t.Errorf("IRBuilds = %d, want 8 (one per upload round)", st.IRBuilds)
+	}
+	if st.IRCacheHits != 8 {
+		t.Errorf("IRCacheHits = %d, want 8 (second solve of each round)", st.IRCacheHits)
+	}
+
+	// Deleting the database retires its IRs the same way.
+	if status := doJSON(t, http.MethodDelete, ts.URL+"/db/toy", nil, nil); status != http.StatusNoContent {
+		t.Fatalf("DELETE: status %d", status)
+	}
+}
+
+func TestServerHealthzDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if status := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	s.SetDraining(true)
+	if status := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz draining: status %d, want 503", status)
+	}
+	var m metricsResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); status != http.StatusOK || !m.Draining {
+		t.Fatalf("metrics while draining = %+v (status %d)", m, status)
+	}
+}

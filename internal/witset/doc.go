@@ -1,0 +1,34 @@
+// Package witset is the witness-hypergraph intermediate representation
+// shared by every NP-side resilience solver.
+//
+// The paper reduces resilience ρ(q, D) to minimum hitting set over the
+// per-witness sets of endogenous tuples (Definition 1). Every consumer of
+// that reduction — the exact branch-and-bound, the CNF/SAT oracle, the
+// minimum-contingency enumerator, responsibility, and the engine's solver
+// portfolio — needs the same object: the witness family with tuples
+// interned into a dense id universe. This package builds that object
+// exactly once per (query, database) instance and caches the derived
+// facts (unbreakability, the normalized bitset family with occurrence
+// lists) so concurrent solvers can share it, and the engine's
+// cross-request IR cache can share it across requests.
+//
+// # Key invariants
+//
+//   - An Instance is immutable after Build: Tuples(), Rows() and the
+//     derived families are shared by every consumer and must be treated
+//     as read-only. The lazily derived families are sync.Once-guarded,
+//     so any number of goroutines may request them concurrently.
+//   - Ids are dense: the interned universe is exactly the endogenous
+//     tuples occurring in some witness, numbered 0..NumTuples()-1, which
+//     is what makes bitset rows and id-indexed occurrence lists possible.
+//   - Unbreakable() implies Rows() is partial: enumeration stops at the
+//     first witness with no endogenous tuples, because no deletion set
+//     can falsify the query from then on.
+//   - Build is the single place the database is read; it freezes d's
+//     relation indexes up front, so sharing the instance never contends
+//     on lazy index rebuilds.
+//   - Family(false) preserves the hitting-set optimum: rows are deduped
+//     and superset-eliminated only (hitting a subset always hits its
+//     supersets), and rows are ordered by increasing size so the first
+//     unhit row is always a smallest one.
+package witset

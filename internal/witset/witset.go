@@ -1,18 +1,3 @@
-// Package witset is the witness-hypergraph intermediate representation
-// shared by every NP-side resilience solver.
-//
-// The paper reduces resilience ρ(q, D) to minimum hitting set over the
-// per-witness sets of endogenous tuples (Definition 1). Every consumer of
-// that reduction — the exact branch-and-bound, the CNF/SAT oracle, the
-// minimum-contingency enumerator, responsibility, and the engine's solver
-// portfolio — needs the same object: the witness family with tuples
-// interned into a dense id universe. This package builds that object
-// exactly once per (query, database) instance and caches the derived facts
-// (unbreakability, the normalized bitset family with occurrence lists) so
-// concurrent solvers can share it.
-//
-// An Instance is immutable after Build and safe for concurrent readers;
-// the lazily derived families are guarded by sync.Once.
 package witset
 
 import (

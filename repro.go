@@ -46,6 +46,7 @@ import (
 	"repro/internal/hardness"
 	"repro/internal/ijp"
 	"repro/internal/resilience"
+	"repro/internal/server"
 )
 
 // Re-exported core types. The aliases expose the full method sets of the
@@ -113,18 +114,24 @@ func ResilienceCtx(ctx context.Context, q *Query, d *Database) (*Result, *Classi
 
 // Engine is the concurrent solving service: a worker-pool batch API with
 // per-instance timeouts, a classification cache keyed by query structure
-// up to isomorphism, and an optional solver portfolio that races exact
-// branch-and-bound against SAT binary search on NP-hard instances.
+// up to isomorphism, an optional solver portfolio that races exact
+// branch-and-bound against SAT binary search on NP-hard instances, and —
+// in NoClone mode, as used by the Server — a cross-request witness-IR
+// cache keyed by (query class, database version) so repeated queries
+// against a stable database enumerate witnesses once.
 //
 //	eng := repro.NewEngine(repro.EngineConfig{Workers: 8, Portfolio: true})
 //	results := eng.SolveBatch(ctx, []repro.Instance{{ID: "a", Query: q, DB: d}})
 type Engine = engine.Engine
 
 // EngineConfig tunes an Engine; the zero value means GOMAXPROCS workers,
-// no timeout, portfolio off.
+// no timeout, portfolio off, defensive per-instance cloning on.
 type EngineConfig = engine.Config
 
-// EngineStats is a snapshot of an Engine's counters.
+// EngineStats is a snapshot of an Engine's counters: instances solved and
+// timed out, classification- and IR-cache hit rates, portfolio win split,
+// and the IR-build / solver-run counts behind the enumerate-once
+// invariant.
 type EngineStats = engine.Stats
 
 // Instance is one (query, database) problem in a batch.
@@ -138,6 +145,31 @@ type BatchResult = engine.BatchResult
 // Engine amortizes query classification across every batch it serves.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
+// Server is the resilience-as-a-service HTTP layer: a long-running
+// HTTP/JSON front end over an Engine with a named-database registry
+// (upload once via PUT /db/{name}, solve many queries against it), a
+// cross-request witness-IR cache, admission control with 429 backpressure,
+// per-request timeouts, and /metrics + /healthz endpoints. It implements
+// http.Handler; cmd/resilserverd is the ready-made daemon around it.
+//
+//	srv := repro.NewServer(repro.ServerConfig{
+//	    Engine:      repro.EngineConfig{Portfolio: true},
+//	    MaxInFlight: 128,
+//	})
+//	log.Fatal(http.ListenAndServe(":8080", srv))
+type Server = server.Server
+
+// ServerConfig tunes a Server; the zero value means engine defaults,
+// 64 in-flight solver requests, no default request timeout, and a 32 MiB
+// body cap. The embedded engine always runs in NoClone mode: registered
+// databases are frozen at upload and shared read-only across requests.
+type ServerConfig = server.Config
+
+// NewServer returns the HTTP serving layer over a fresh Engine. The
+// returned Server is an http.Handler ready to mount on any mux or
+// http.Server.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
 // ResilienceExact computes ρ(q, D) with the exact branch-and-bound solver,
 // which is sound for every conjunctive query.
 func ResilienceExact(q *Query, d *Database) (*Result, error) {
@@ -150,14 +182,22 @@ func Decide(q *Query, d *Database, k int) (bool, error) {
 	return resilience.Decide(q, d, k)
 }
 
-// Satisfied reports whether D |= q.
+// Satisfied reports whether D |= q, i.e. whether q has at least one
+// witness over d. It is the Boolean query evaluation the resilience
+// problem starts from: ρ(q, D) is only defined when D |= q.
 func Satisfied(q *Query, d *Database) bool { return eval.Satisfied(q, d) }
 
-// Witnesses enumerates the witnesses of q over d.
+// Witnesses enumerates every witness of q over d: each is a total
+// valuation of q's variables under which all atoms are facts of d
+// (Definition 1). The per-witness endogenous tuple sets are what every
+// NP-side solver reduces to (minimum hitting set over them is ρ).
 func Witnesses(q *Query, d *Database) []Witness { return eval.Witnesses(q, d) }
 
-// VerifyContingency checks that deleting gamma falsifies q on d; the
-// database is restored before returning.
+// VerifyContingency checks that deleting gamma falsifies q on d — the
+// certificate check for any claimed contingency set: every tuple must be
+// endogenous and present, and q must be false afterwards. The database is
+// restored before returning, so d is unchanged on success and failure
+// alike. It must not be called concurrently with other users of d.
 func VerifyContingency(q *Query, d *Database, gamma []Tuple) error {
 	return resilience.VerifyContingency(q, d, gamma)
 }
