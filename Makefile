@@ -1,7 +1,7 @@
 GO ?= go
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test race bench bench-json lint docs-check
+.PHONY: all build test race bench bench-json lint docs-check staticcheck test-differential
 
 all: build lint test
 
@@ -13,6 +13,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The randomized differential suites that pin pipeline ≡ monolithic solver
+# equivalence (solve, enumerate-minimum, responsibility) plus the
+# component-parallel portfolio agreement tests, under the race detector.
+# `make race` already includes them; this target names them so CI fails
+# loudly if they are ever renamed away.
+test-differential:
+	$(GO) test -race -run 'TestDifferential|TestPortfolio|TestDecideAndVerifyViaIR' \
+		./internal/resilience/ ./internal/engine/
 
 # Benchmark smoke run: one iteration of every benchmark, enough to catch
 # bit-rot in the harness without CI-length timings.
@@ -31,9 +40,20 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Docs-and-hygiene gate: vet, gofmt over the runnable examples, and the
-# compiled Example functions that keep the README snippets honest.
-docs-check:
+# Static analysis beyond go vet. Skips with a notice when the staticcheck
+# binary is absent so local runs stay dependency-free; the CI docs job
+# installs it and gets the full check.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Docs-and-hygiene gate: vet, staticcheck (when installed), gofmt over the
+# runnable examples, and the compiled Example functions that keep the
+# README snippets honest.
+docs-check: staticcheck
 	$(GO) vet ./...
 	@out="$$(gofmt -l examples/)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \

@@ -346,3 +346,59 @@ func BenchmarkPortfolioOffChain10(b *testing.B) { benchPortfolio(b, 10, 30, fals
 func BenchmarkPortfolioOnChain10(b *testing.B)  { benchPortfolio(b, 10, 30, true) }
 func BenchmarkPortfolioOffChain12(b *testing.B) { benchPortfolio(b, 12, 45, false) }
 func BenchmarkPortfolioOnChain12(b *testing.B)  { benchPortfolio(b, 12, 45, true) }
+
+// Kernel+decompose pipeline benchmarks: many-component heavy-tailed
+// hypergraphs where the monolithic branch-and-bound attacks one big family
+// and the pipeline solves each connected component independently
+// (ExactComponents*), and the engine's component-parallel portfolio racing
+// exact vs SAT per component on a bounded intra-instance worker pool
+// (PortfolioComponents*).
+
+func manyComponentDB(components int) *Database {
+	rng := rand.New(rand.NewSource(2029))
+	return datagen.ManyComponentChainDB(rng, components, 4, 16)
+}
+
+func benchExactComponents(b *testing.B, components int, opts resilience.Options) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := manyComponentDB(components)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.ExactWithOptions(q, d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactComponents12Pipeline(b *testing.B) {
+	benchExactComponents(b, 12, resilience.Options{})
+}
+
+func BenchmarkExactComponents12Monolithic(b *testing.B) {
+	benchExactComponents(b, 12, resilience.Options{Monolithic: true})
+}
+
+// At 24 heavy-tailed clusters the monolithic solver needs minutes per
+// solve (the whole point of the pipeline), which is too slow for the CI
+// bench smoke run — so 24 components is measured pipeline-only, and the
+// 12-cluster pair above is the recorded head-to-head.
+func BenchmarkExactComponents24Pipeline(b *testing.B) {
+	benchExactComponents(b, 24, resilience.Options{})
+}
+
+func benchPortfolioComponents(b *testing.B, components, workers int) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := manyComponentDB(components)
+	eng := engine.New(engine.Config{Workers: 1, Portfolio: true, ComponentWorkers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Solve(context.Background(), q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPortfolioComponents12Workers1(b *testing.B) { benchPortfolioComponents(b, 12, 1) }
+func BenchmarkPortfolioComponents12Workers4(b *testing.B) { benchPortfolioComponents(b, 12, 4) }
+func BenchmarkPortfolioComponents24Workers1(b *testing.B) { benchPortfolioComponents(b, 24, 1) }
+func BenchmarkPortfolioComponents24Workers4(b *testing.B) { benchPortfolioComponents(b, 24, 4) }

@@ -178,6 +178,9 @@ func batchRun(cfg repro.EngineConfig, q *repro.Query, paths []string, out io.Wri
 		st.CacheHits, st.CacheHits+st.CacheMisses,
 		st.PortfolioExactWins, st.PortfolioSATWins,
 		st.IRBuilds, st.SolverRuns, st.Timeouts)
+	fmt.Fprintf(out, "kernel: forced=%d dominated=%d; components solved=%d (%d multi-component instances)\n",
+		st.KernelForcedTuples, st.KernelDominatedTuples,
+		st.ComponentsSolved, st.MultiComponentInstances)
 	return failed, nil
 }
 

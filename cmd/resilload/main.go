@@ -15,16 +15,18 @@
 //	-addr URL        base URL of the server (default http://localhost:8080)
 //	-requests N      total solve requests to issue (default 1000)
 //	-concurrency C   concurrent client workers (default 16)
-//	-scenarios LIST  comma-separated subset of chain,confluence,perm,linear
-//	                 (default all)
+//	-scenarios LIST  comma-separated subset of
+//	                 chain,components,confluence,perm,linear (default all)
 //	-scale N         database size multiplier (default 1)
 //	-timeout-ms T    per-request timeout_ms forwarded to the server
 //	                 (default 10000)
 //	-seed S          RNG seed for the scenario databases (default 1)
 //
 // Each scenario is one (query, database) family from internal/datagen:
-// chain and confluence exercise the NP-hard portfolio path, perm and
-// linear the specialized PTIME solvers. The databases are registered once
+// chain and confluence exercise the NP-hard portfolio path, components
+// the many-component heavy-tailed hypergraphs the kernel+decompose
+// pipeline splits and solves in parallel, perm and linear the specialized
+// PTIME solvers. The databases are registered once
 // via PUT /db/{name}; the request mix then cycles through the scenarios,
 // so server-side caches see a realistic mixture of repeated query classes.
 // After the run, resilload prints per-scenario latency percentiles, the
@@ -63,7 +65,7 @@ func main() {
 		addr        = flag.String("addr", "http://localhost:8080", "base URL of the server")
 		requests    = flag.Int("requests", 1000, "total solve requests to issue")
 		concurrency = flag.Int("concurrency", 16, "concurrent client workers")
-		scenarios   = flag.String("scenarios", "chain,confluence,perm,linear", "comma-separated scenario subset")
+		scenarios   = flag.String("scenarios", "chain,components,confluence,perm,linear", "comma-separated scenario subset")
 		scale       = flag.Int("scale", 1, "database size multiplier")
 		timeoutMS   = flag.Int64("timeout-ms", 10000, "per-request timeout_ms forwarded to the server")
 		seed        = flag.Int64("seed", 1, "RNG seed for scenario databases")
@@ -171,6 +173,17 @@ func buildScenarios(list string, scale int, seed int64) ([]scenario, error) {
 				facts: renderFacts(datagen.ChainDB(rng, 28*scale, 10*scale)),
 			}
 		},
+		// NP-hard, many-component: disjoint heavy-tailed chain clusters.
+		// The witness hypergraph splits into one component per cluster, so
+		// this is the showcase for the kernel+decompose pipeline — watch
+		// components_solved and multi_component_instances in /metrics.
+		"components": func() scenario {
+			return scenario{
+				name:  "components",
+				query: "qmchain :- R(x,y), R(y,z)",
+				facts: renderFacts(datagen.ManyComponentChainDB(rng, 8*scale, 3, 14)),
+			}
+		},
 		// NP-hard: A–R–R–C confluences through shared middles.
 		"confluence": func() scenario {
 			return scenario{
@@ -204,7 +217,7 @@ func buildScenarios(list string, scale int, seed int64) ([]scenario, error) {
 		}
 		build, ok := all[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q (have chain, confluence, perm, linear)", name)
+			return nil, fmt.Errorf("unknown scenario %q (have chain, components, confluence, perm, linear)", name)
 		}
 		out = append(out, build())
 	}

@@ -62,13 +62,45 @@ func EncodeInstance(inst *witset.Instance, k int) *Encoding {
 // Sinz counter differs per k.
 type Encoder struct {
 	inst *witset.Instance
-	base []sat.Clause
+	fe   *FamilyEncoder
 }
 
 // NewEncoder builds the budget-independent part of the encoding: one
 // clause per witness row.
 func NewEncoder(inst *witset.Instance) *Encoder {
-	rows := inst.Rows()
+	return &Encoder{inst: inst, fe: newRowsEncoder(inst.Rows(), inst.NumTuples())}
+}
+
+// Encode returns the encoding for budget k. The witness clauses are shared
+// between encodings (the DPLL search never mutates clauses).
+func (e *Encoder) Encode(k int) *Encoding {
+	return &Encoding{
+		Formula:   e.fe.Encode(k),
+		Tuples:    e.inst.Tuples(),
+		K:         k,
+		Witnesses: len(e.fe.base),
+	}
+}
+
+// FamilyEncoder renders one witset.Family — typically a single connected
+// component out of the kernel+decompose pipeline — at several cardinality
+// budgets. Element e of the family is CNF variable e+1, so component-local
+// universes keep both the variable range and the Sinz counter small: a
+// component with 20 elements costs a 20-variable counter regardless of how
+// big the instance-wide tuple universe is. This is what makes the engine's
+// per-component SAT binary search profitable on many-component instances.
+type FamilyEncoder struct {
+	n    int
+	base []sat.Clause
+}
+
+// NewFamilyEncoder builds the budget-independent part: one at-least-one-
+// deleted clause per row of the family.
+func NewFamilyEncoder(fam *witset.Family) *FamilyEncoder {
+	return newRowsEncoder(fam.Rows, fam.N)
+}
+
+func newRowsEncoder(rows [][]int32, n int) *FamilyEncoder {
 	base := make([]sat.Clause, 0, len(rows))
 	for _, row := range rows {
 		clause := make(sat.Clause, len(row))
@@ -77,24 +109,29 @@ func NewEncoder(inst *witset.Instance) *Encoder {
 		}
 		base = append(base, clause)
 	}
-	return &Encoder{inst: inst, base: base}
+	return &FamilyEncoder{n: n, base: base}
 }
 
-// Encode returns the encoding for budget k. The witness clauses are shared
-// between encodings (the DPLL search never mutates clauses); the full-cap
-// reslice makes addAtMostK's appends land in fresh backing, so encodings
-// for different budgets do not alias each other's counters.
-func (e *Encoder) Encode(k int) *Encoding {
-	enc := &Encoding{
-		Tuples:    e.inst.Tuples(),
-		K:         k,
-		Witnesses: len(e.base),
+// Encode returns the formula that is satisfiable iff the family has a
+// hitting set of size ≤ k. The row clauses are shared between encodings;
+// the full-cap reslice makes addAtMostK's appends land in fresh backing, so
+// encodings for different budgets do not alias each other's counters.
+func (e *FamilyEncoder) Encode(k int) *sat.Formula {
+	f := &sat.Formula{NumVars: e.n, Clauses: e.base[:len(e.base):len(e.base)]}
+	addAtMostK(f, e.n, k)
+	return f
+}
+
+// Chosen projects a satisfying assignment back to the chosen element ids,
+// sorted ascending.
+func (e *FamilyEncoder) Chosen(assign []bool) []int32 {
+	var out []int32
+	for i := 0; i < e.n; i++ {
+		if assign[i+1] {
+			out = append(out, int32(i))
+		}
 	}
-	n := e.inst.NumTuples()
-	f := &sat.Formula{NumVars: n, Clauses: e.base[:len(e.base):len(e.base)]}
-	addAtMostK(f, n, k)
-	enc.Formula = f
-	return enc
+	return out
 }
 
 // addAtMostK appends the Sinz sequential-counter encoding of

@@ -9,6 +9,7 @@ package datagen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/cq"
@@ -90,6 +91,54 @@ func ChainDB(rng *rand.Rand, n, chords int) *db.Database {
 		if u != v {
 			d.AddNames("R", ConstName(u), ConstName(v))
 		}
+	}
+	return d
+}
+
+// ManyComponentChainDB builds a database for qchain-shaped queries whose
+// witness hypergraph splits into many connected components: `components`
+// disjoint ring clusters over disjoint constant pools, with heavy-tailed
+// cluster sizes — most clusters are small (minLen nodes), but sizes follow
+// an approximate power law up to maxLen, so a few clusters dominate the
+// search effort. Each cluster is a directed cycle plus a few random chords
+// inside its own pool, creating overlapping witnesses without ever
+// bridging clusters.
+//
+// Cycles are the shape kernelization cannot touch — every edge occurs in
+// exactly two pairwise-incomparable witnesses, so neither unit forcing nor
+// domination fires on the backbone — which makes this the decompose
+// pipeline's home turf: the monolithic solver sees one big hypergraph, the
+// pipeline sees `components` independent small ones whose minima add.
+func ManyComponentChainDB(rng *rand.Rand, components, minLen, maxLen int) *db.Database {
+	if minLen < 3 {
+		minLen = 3
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	d := db.New()
+	base := 0
+	for c := 0; c < components; c++ {
+		// Heavy tail (Pareto, α = 2): most clusters sit at minLen, a few
+		// reach toward maxLen and dominate the search effort.
+		u := rng.Float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		n := minLen + int(1/math.Sqrt(u)) - 1
+		if n > maxLen {
+			n = maxLen
+		}
+		for i := 0; i < n; i++ {
+			d.AddNames("R", ConstName(base+i), ConstName(base+(i+1)%n))
+		}
+		for i := 0; i < n/3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				d.AddNames("R", ConstName(base+u), ConstName(base+v))
+			}
+		}
+		base += n // disjoint constant pools keep clusters disconnected
 	}
 	return d
 }

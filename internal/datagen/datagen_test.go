@@ -1,12 +1,14 @@
 package datagen
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/cq"
 	"repro/internal/eval"
 	"repro/internal/vertexcover"
+	"repro/internal/witset"
 )
 
 func TestRandomCoversAllRelations(t *testing.T) {
@@ -95,5 +97,39 @@ func TestLinearSJFreeDB(t *testing.T) {
 	q := cq.MustParse("q :- A(x), R1(x,y), R2(y,z), C(z)")
 	if eval.CountWitnesses(q, d) == 0 {
 		t.Error("linear generator produced no witnesses")
+	}
+}
+
+func TestManyComponentChainDBIsManyComponent(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(7))
+	d := ManyComponentChainDB(rng, 12, 3, 30)
+
+	inst, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Unbreakable() {
+		t.Fatal("generated instance unbreakable")
+	}
+	if inst.NumWitnesses() == 0 {
+		t.Fatal("generated instance has no witnesses")
+	}
+	comps := inst.Components()
+	if len(comps) < 6 {
+		t.Fatalf("witness hypergraph has %d components, want many (≥6) from 12 disjoint clusters", len(comps))
+	}
+	// Heavy tail: cluster sizes must not be uniform.
+	min, max := comps[0].Fam.N, comps[0].Fam.N
+	for _, c := range comps {
+		if c.Fam.N < min {
+			min = c.Fam.N
+		}
+		if c.Fam.N > max {
+			max = c.Fam.N
+		}
+	}
+	if max <= min {
+		t.Errorf("component sizes uniform at %d; want a heavy tail", max)
 	}
 }

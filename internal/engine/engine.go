@@ -56,7 +56,16 @@ type Config struct {
 	Timeout time.Duration
 	// Portfolio races the exact solver against SAT binary search on
 	// NP-hard (and unclassified) instances, taking the first finisher.
+	// Instances go through the kernel+decompose pipeline first, and each
+	// connected component of the witness hypergraph is raced independently.
 	Portfolio bool
+	// ComponentWorkers bounds the intra-instance worker pool that solves
+	// the connected components of one instance's witness hypergraph in
+	// parallel on the portfolio path. <= 0 means min(4, GOMAXPROCS), a
+	// deliberately small default because SolveBatch already parallelizes
+	// across instances. Each in-flight component additionally runs its two
+	// racer goroutines.
+	ComponentWorkers int
 	// CacheSize caps the classification cache (0 = default 1024).
 	CacheSize int
 	// IRCacheSize caps the cross-request witness-IR cache (0 = default
@@ -90,6 +99,10 @@ type Engine struct {
 	portfolioSATWins   atomic.Int64
 	irBuilds           atomic.Int64
 	solverRuns         atomic.Int64
+	kernelForced       atomic.Int64
+	kernelDominated    atomic.Int64
+	componentsSolved   atomic.Int64
+	multiComponent     atomic.Int64
 }
 
 // Stats is a snapshot of an Engine's counters.
@@ -108,12 +121,27 @@ type Stats struct {
 	PortfolioSATWins   int64
 	// IRBuilds counts witness-hypergraph constructions actually performed
 	// for exact-path components, and SolverRuns the solver invocations over
-	// them. One portfolio race = one IR build + two solver runs (the
-	// enumerate-once invariant is IRBuilds == races, not 2×); without the
-	// portfolio an exact component is one build + one run. Under NoClone,
-	// IR-cache hits reuse an earlier build, so IRBuilds counts misses only.
+	// them. One portfolio-raced hypergraph component = two solver runs (the
+	// enumerate-once invariant is IRBuilds == instances raced, not one per
+	// run: SolverRuns == 2×ComponentsSolved on a pure portfolio workload);
+	// without the portfolio an exact instance is one build + one run. Under
+	// NoClone, IR-cache hits reuse an earlier build, so IRBuilds counts
+	// misses only.
 	IRBuilds   int64
 	SolverRuns int64
+	// KernelForcedTuples / KernelDominatedTuples count the work done by the
+	// instance-level kernelization on exact-path solves: tuples forced into
+	// every minimum contingency set by unit witnesses, and tuples dropped
+	// because a co-occurring tuple hits a superset of their witnesses.
+	KernelForcedTuples    int64
+	KernelDominatedTuples int64
+	// ComponentsSolved counts connected components of witness hypergraphs
+	// solved on the exact path, and MultiComponentInstances the instances
+	// whose hypergraph split into more than one component (the instances
+	// where the decompose pipeline turns one big search into several small
+	// parallel ones).
+	ComponentsSolved        int64
+	MultiComponentInstances int64
 	// IRCacheHits / IRCacheMisses count cross-request IR cache outcomes
 	// (always zero unless Config.NoClone enables the cache). A concurrent
 	// burst of identical requests counts one miss (the elected builder) and
@@ -146,6 +174,11 @@ func (e *Engine) Stats() Stats {
 		SolverRuns:         e.solverRuns.Load(),
 		IRCacheHits:        irHits,
 		IRCacheMisses:      irMisses,
+
+		KernelForcedTuples:      e.kernelForced.Load(),
+		KernelDominatedTuples:   e.kernelDominated.Load(),
+		ComponentsSolved:        e.componentsSolved.Load(),
+		MultiComponentInstances: e.multiComponent.Load(),
 	}
 }
 
@@ -154,6 +187,33 @@ func (e *Engine) workers() int {
 		return e.cfg.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) componentWorkers() int {
+	if e.cfg.ComponentWorkers > 0 {
+		return e.cfg.ComponentWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// noteKernel records the kernelization and decomposition counters for one
+// exact-path solve and returns the kernel's components. The kernel and the
+// split are sync.Once-cached on the instance, so calling this on a
+// cache-shared IR re-counts the (cheap) statistics but never re-runs the
+// pipeline.
+func (e *Engine) noteKernel(kern *witset.Kernel) []*witset.Component {
+	comps := kern.Components()
+	e.kernelForced.Add(int64(len(kern.Forced)))
+	e.kernelDominated.Add(int64(kern.Dominated))
+	e.componentsSolved.Add(int64(len(comps)))
+	if len(comps) > 1 {
+		e.multiComponent.Add(1)
+	}
+	return comps
 }
 
 // SolveBatch solves every instance concurrently on the engine's worker
@@ -262,6 +322,9 @@ func (e *Engine) solveComponent(ctx context.Context, cl *core.Classification, d 
 		if e.cfg.Portfolio {
 			return e.raceOnInstance(ctx, inst)
 		}
+		// ExactOnInstance runs the same kernel+decompose pipeline
+		// internally (sequentially); surface its counters here too.
+		e.noteKernel(inst.Kernel())
 		e.solverRuns.Add(1)
 		return resilience.ExactOnInstance(ctx, inst, -1)
 	}

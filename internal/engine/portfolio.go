@@ -2,52 +2,153 @@ package engine
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/cnfenc"
-	"repro/internal/db"
 	"repro/internal/resilience"
 	"repro/internal/witset"
 )
 
-// raceOnInstance attacks one NP-hard (or unclassified) component with two
-// independent solvers in parallel and returns whichever finishes first,
-// cancelling the loser:
+// raceOnInstance attacks one NP-hard (or unclassified) instance through the
+// kernel+decompose pipeline: the witness family is kernelized (unit-row
+// forcing, dominated-tuple elimination), split into connected components,
+// and each component is raced independently by two solvers on a bounded
+// intra-instance worker pool — ρ is the forced-deletion count plus the sum
+// of component minima. Small components mean exponentially smaller searches
+// and smaller CNF counters, and independent components mean the races run
+// in parallel instead of one monolithic search.
 //
-//   - exact branch-and-bound over the witness hitting sets
-//     (resilience.ExactOnInstance), strongest when the packing lower bound
+// Each component race pits two solvers against each other, cancelling the
+// loser:
+//
+//   - exact branch-and-bound over the component's hitting-set family
+//     (resilience.SolveFamily), strongest when the packing lower bound
 //     prunes well;
-//   - binary search on k over the CNF encoding of RES(q, D, k)
-//     (cnfenc.EncodeInstance per probe), strongest when unit propagation
+//   - binary search on k over the CNF encoding of the component
+//     (cnfenc.FamilyEncoder per probe), strongest when unit propagation
 //     locks in forced deletions.
 //
-// The two racers dominate on different instance families, so the race is
+// The two racers dominate on different instance families, so a race is
 // never slower than the better solver by more than scheduling noise, and
 // is often dramatically faster than a fixed choice.
 //
 // The witness hypergraph comes in prebuilt (once per race, or shared
 // across races by the engine's cross-request IR cache under NoClone) and
-// is immutable (derived families are sync.Once-guarded), so neither racer
-// touches the database and no defensive clone is needed. Unbreakability
-// and the zero-witness case are properties of the IR and short-circuit in
-// solveComponent before any racer starts.
+// is immutable (derived families, the kernel and the component split are
+// sync.Once-guarded), so no racer touches the database and no defensive
+// clone is needed. Unbreakability and the zero-witness case are properties
+// of the IR and short-circuit in solveComponent before any racer starts.
 func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*resilience.Result, error) {
+	kern := inst.Kernel()
+	comps := e.noteKernel(kern)
+
+	rho := len(kern.Forced)
+	ids := append([]int32(nil), kern.Forced...)
+	exactWins, satWins := 0, 0
+
+	if len(comps) > 0 {
+		rctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		type compOut struct {
+			size int
+			ids  []int32 // global ids
+			sat  bool
+			err  error
+		}
+		workers := e.componentWorkers()
+		if workers > len(comps) {
+			workers = len(comps)
+		}
+		idxCh := make(chan int)
+		outCh := make(chan compOut, len(comps))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					c := comps[i]
+					size, local, viaSAT, err := e.raceComponent(rctx, c.Fam)
+					outCh <- compOut{size: size, ids: c.ToGlobal(local), sat: viaSAT, err: err}
+				}
+			}()
+		}
+		for i := range comps {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+		close(outCh)
+
+		var firstErr error
+		for out := range outCh {
+			if out.err != nil {
+				if firstErr == nil {
+					firstErr = out.err
+				}
+				continue
+			}
+			rho += out.size
+			ids = append(ids, out.ids...)
+			if out.sat {
+				satWins++
+			} else {
+				exactWins++
+			}
+		}
+		if firstErr != nil {
+			// Prefer the caller's cancellation cause over a racer's
+			// propagated copy of it.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, firstErr
+		}
+		e.portfolioExactWins.Add(int64(exactWins))
+		e.portfolioSATWins.Add(int64(satWins))
+	}
+
+	method := "portfolio/"
+	switch {
+	case len(comps) == 0:
+		method += "kernel" // the kernel solved the instance outright
+	case satWins == 0:
+		method += "exact"
+	case exactWins == 0:
+		method += "sat-binary-search"
+	default:
+		method += "mixed"
+	}
+	res := &resilience.Result{Rho: rho, Method: method, Witnesses: inst.NumWitnesses()}
+	if rho > 0 {
+		res.ContingencySet = inst.TupleSet(ids)
+	}
+	return res, nil
+}
+
+// raceComponent races the exact branch-and-bound against SAT binary search
+// on one component family, returning the minimum hitting set size, one
+// optimal set of local element ids, and which racer finished first.
+func (e *Engine) raceComponent(ctx context.Context, fam *witset.Family) (int, []int32, bool, error) {
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	type racerOut struct {
-		res *resilience.Result
-		err error
-		sat bool
+		size int
+		ids  []int32
+		sat  bool
+		err  error
 	}
 	ch := make(chan racerOut, 2)
 	e.solverRuns.Add(2)
 	go func() {
-		res, err := resilience.ExactOnInstance(rctx, inst, -1)
-		ch <- racerOut{res: res, err: err}
+		size, ids, err := resilience.SolveFamily(rctx, fam, -1)
+		ch <- racerOut{size: size, ids: ids, err: err}
 	}()
 	go func() {
-		res, err := satBinarySearch(rctx, inst)
-		ch <- racerOut{res: res, err: err, sat: true}
+		size, ids, err := satFamilySearch(rctx, fam)
+		ch <- racerOut{size: size, ids: ids, sat: true, err: err}
 	}()
 
 	var firstErr error
@@ -55,18 +156,11 @@ func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*re
 		out := <-ch
 		if out.err == nil {
 			cancel()
-			if out.sat {
-				e.portfolioSATWins.Add(1)
-				out.res.Method = "portfolio/" + out.res.Method
-			} else {
-				e.portfolioExactWins.Add(1)
-				out.res.Method = "portfolio/exact"
-			}
 			// Drain the loser so both goroutines are done before return.
 			if i == 0 {
 				<-ch
 			}
-			return out.res, nil
+			return out.size, out.ids, out.sat, nil
 		}
 		if firstErr == nil {
 			firstErr = out.err
@@ -74,45 +168,39 @@ func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*re
 	}
 	// Both racers failed (typically: the shared context was cancelled).
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return 0, nil, false, err
 	}
-	return nil, firstErr
+	return 0, nil, false, firstErr
 }
 
-// satBinarySearch computes ρ exactly by binary-searching the smallest k
-// with (D, k) ∈ RES(q), deciding each membership query via the CNF
-// encoding of the shared IR. The upper bound is the size of the IR's tuple
-// universe: deleting every endogenous tuple occurring in a witness
-// falsifies q, so ρ lies in [1, U] whenever q is satisfied and breakable.
-func satBinarySearch(ctx context.Context, inst *witset.Instance) (*resilience.Result, error) {
-	lo, hi := 1, inst.NumTuples()
-	rho := hi
-	var gamma []db.Tuple
-	encoder := cnfenc.NewEncoder(inst)
+// satFamilySearch computes a component's minimum hitting set size by
+// binary-searching the smallest k whose CNF encoding is satisfiable. The
+// component's local universe bounds the search: deleting every element
+// hits every row, so the minimum lies in [1, N] (component families are
+// non-empty by construction).
+func satFamilySearch(ctx context.Context, fam *witset.Family) (int, []int32, error) {
+	lo, hi := 1, fam.N
+	best := hi
+	var ids []int32
+	encoder := cnfenc.NewFamilyEncoder(fam)
 	for lo <= hi {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		mid := lo + (hi-lo)/2
-		// Witnesses were enumerated once into the IR and their clauses
-		// rendered once by the encoder; per probe only the cardinality
-		// counter of the encoding changes.
-		enc := encoder.Encode(mid)
-		assign, ok, err := enc.Formula.SolveCtx(ctx)
+		// The row clauses are rendered once by the encoder; per probe only
+		// the cardinality counter of the encoding changes.
+		f := encoder.Encode(mid)
+		assign, ok, err := f.SolveCtx(ctx)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if ok {
-			rho, gamma = mid, enc.Gamma(assign)
+			best, ids = mid, encoder.Chosen(assign)
 			hi = mid - 1
 		} else {
 			lo = mid + 1
 		}
 	}
-	return &resilience.Result{
-		Rho:            rho,
-		ContingencySet: gamma,
-		Method:         "sat-binary-search",
-		Witnesses:      inst.NumWitnesses(),
-	}, nil
+	return best, ids, nil
 }

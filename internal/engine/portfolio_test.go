@@ -34,16 +34,20 @@ func TestPortfolioBuildsIROnce(t *testing.T) {
 	if st.IRBuilds != 1 {
 		t.Fatalf("Stats.IRBuilds = %d, want exactly 1 per portfolio race", st.IRBuilds)
 	}
-	if st.SolverRuns != 2 {
-		t.Fatalf("Stats.SolverRuns = %d, want 2 (both racers over the shared IR)", st.SolverRuns)
+	if st.ComponentsSolved < 1 {
+		t.Fatalf("Stats.ComponentsSolved = %d, want at least 1", st.ComponentsSolved)
 	}
-	if st.PortfolioExactWins+st.PortfolioSATWins != 1 {
-		t.Fatalf("portfolio wins = %d exact + %d sat, want exactly one race",
-			st.PortfolioExactWins, st.PortfolioSATWins)
+	if st.SolverRuns != 2*st.ComponentsSolved {
+		t.Fatalf("Stats.SolverRuns = %d, want 2 per raced component (%d components)",
+			st.SolverRuns, st.ComponentsSolved)
+	}
+	if st.PortfolioExactWins+st.PortfolioSATWins != st.ComponentsSolved {
+		t.Fatalf("portfolio wins = %d exact + %d sat, want one per raced component (%d)",
+			st.PortfolioExactWins, st.PortfolioSATWins, st.ComponentsSolved)
 	}
 
 	// More races on the same engine keep the invariant: IR builds count
-	// races, solver runs count 2 per race.
+	// races, solver runs count 2 per raced component.
 	const extra = 5
 	for i := 0; i < extra; i++ {
 		d2 := datagen.Random(rng, q, 8, 18, 0.2)
@@ -55,9 +59,9 @@ func TestPortfolioBuildsIROnce(t *testing.T) {
 	if st.IRBuilds != 1+extra {
 		t.Fatalf("Stats.IRBuilds = %d after %d races, want %d", st.IRBuilds, 1+extra, 1+extra)
 	}
-	if st.SolverRuns > 2*st.IRBuilds {
-		t.Fatalf("Stats.SolverRuns = %d exceeds 2×IRBuilds = %d: a racer re-enumerated",
-			st.SolverRuns, 2*st.IRBuilds)
+	if st.SolverRuns != 2*st.ComponentsSolved {
+		t.Fatalf("Stats.SolverRuns = %d, want 2×ComponentsSolved = %d: a racer re-enumerated",
+			st.SolverRuns, 2*st.ComponentsSolved)
 	}
 }
 
@@ -90,7 +94,57 @@ func TestPortfolioSharedIRConcurrent(t *testing.T) {
 		}
 	}
 	st := e.Stats()
-	if st.SolverRuns > 2*st.IRBuilds {
-		t.Fatalf("SolverRuns = %d exceeds 2×IRBuilds = %d", st.SolverRuns, st.IRBuilds)
+	if st.SolverRuns != 2*st.ComponentsSolved {
+		t.Fatalf("SolverRuns = %d, want 2×ComponentsSolved = %d", st.SolverRuns, 2*st.ComponentsSolved)
+	}
+}
+
+// TestPortfolioManyComponents pins the component-parallel pipeline: on
+// many-component heavy-tailed hypergraphs the portfolio must agree with the
+// monolithic exact solver, race each component (2 solver runs per
+// component), and record the kernel/component counters the serving layer
+// surfaces.
+func TestPortfolioManyComponents(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(57))
+	e := New(Config{Workers: 2, Portfolio: true, ComponentWorkers: 3})
+	solved := 0
+	for round := 0; round < 5; round++ {
+		d := datagen.ManyComponentChainDB(rng, 4+round, 3, 12)
+		res, _, err := e.Solve(context.Background(), q, d)
+		if err == resilience.ErrUnbreakable {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := resilience.ExactWithOptions(q, d, resilience.Options{Monolithic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rho != want.Rho {
+			t.Fatalf("round %d: portfolio ρ = %d (method %s), monolithic ρ = %d",
+				round, res.Rho, res.Method, want.Rho)
+		}
+		if res.Rho > 0 {
+			if err := resilience.VerifyContingency(q, d, res.ContingencySet); err != nil {
+				t.Fatalf("round %d: portfolio contingency invalid: %v", round, err)
+			}
+		}
+		solved++
+	}
+	if solved == 0 {
+		t.Fatal("no instance actually solved")
+	}
+	st := e.Stats()
+	if st.MultiComponentInstances == 0 {
+		t.Error("Stats.MultiComponentInstances = 0, want > 0 on disjoint-cluster databases")
+	}
+	if st.ComponentsSolved < st.MultiComponentInstances*2 {
+		t.Errorf("Stats.ComponentsSolved = %d inconsistent with %d multi-component instances",
+			st.ComponentsSolved, st.MultiComponentInstances)
+	}
+	if st.SolverRuns != 2*st.ComponentsSolved {
+		t.Errorf("Stats.SolverRuns = %d, want 2 per raced component (%d)", st.SolverRuns, st.ComponentsSolved)
 	}
 }

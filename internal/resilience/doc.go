@@ -20,10 +20,23 @@
 //
 // # Key invariants
 //
-//   - Every exact-path API lands in one branch-and-bound entry point over
-//     a witset.Instance; callers that already hold an IR (the engine's
+//   - Every exact-path API lands in one entry point over a
+//     witset.Instance; callers that already hold an IR (the engine's
 //     portfolio and cross-request cache, the serving layer) use the
 //     *OnInstance variants and skip re-enumeration.
+//   - The exact path runs the kernel+decompose pipeline (DESIGN.md §7):
+//     the witness family is kernelized (unit-row forcing, dominated-tuple
+//     elimination), split into connected components, and solved per
+//     component — ρ is forced deletions plus the sum of component minima.
+//     Options.Monolithic keeps the whole-family solver reachable as the
+//     differential suite's oracle, and SolveFamily exposes the
+//     per-component building block for the engine's component-parallel
+//     portfolio. EnumerateMinimum and Responsibility decompose but never
+//     kernelize with domination: it preserves one optimum, not all.
+//   - Decide and VerifyContingency are IR consumers too: membership
+//     thresholds against the budgeted pipeline solve, and verification
+//     checks that the candidate set hits every witness row — neither ever
+//     mutates the database.
 //   - Solvers treat the database as read-only, with one exception: the
 //     Perm3Flow family probes deletions and always restores before
 //     returning (callers sharing a database across goroutines must

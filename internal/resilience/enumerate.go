@@ -18,12 +18,6 @@ import (
 // optimal interventions rather than one witness of optimality — e.g. to
 // report all minimal repairs, or to compute how often a tuple appears in
 // an optimal contingency set.
-//
-// The witness hypergraph is built once and shared by the ρ computation and
-// the enumeration. The enumeration branches on the tuples of the first
-// witness not yet hit, which visits every minimum hitting set (any optimal
-// set must intersect that witness); duplicates arising from different
-// branch orders are removed by canonical key.
 func EnumerateMinimum(q *cq.Query, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
 	return EnumerateMinimumCtx(context.Background(), q, d, maxSets)
 }
@@ -44,32 +38,104 @@ func EnumerateMinimumCtx(ctx context.Context, q *cq.Query, d *db.Database, maxSe
 // cached IR across many enumerate requests. d must be the database the
 // instance was built from (it resolves constant names for the canonical
 // ordering of the returned sets).
+//
+// The enumeration is component-parallel in structure: the normalized family
+// is split into connected components, each component's minimum hitting sets
+// are enumerated locally, and the global optima are exactly the unions of
+// one minimum set per component — so the result is the (capped) cross
+// product of the per-component enumerations. Kernelization's domination
+// rule is deliberately not applied: it preserves one optimum but discards
+// others, which is precisely what this API must not do.
 func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
-	base, err := ExactOnInstance(ctx, inst, -1)
+	if inst.Unbreakable() {
+		return 0, nil, ErrUnbreakable
+	}
+	comps := inst.Components()
+	if len(comps) == 0 {
+		return 0, nil, nil // no witnesses, or every row empty — ρ = 0
+	}
+	poll := ctxpoll.New(ctx)
+	rho := 0
+	sets := [][]int32{nil} // running cross product, global ids
+	for _, c := range comps {
+		crho, csets, err := enumerateFamily(ctx, poll, c.Fam, maxSets)
+		if err != nil {
+			return 0, nil, err
+		}
+		rho += crho
+		if crho == 0 {
+			continue // cannot happen (components have rows), but harmless
+		}
+		next := make([][]int32, 0, len(sets)*len(csets))
+	cross:
+		for _, base := range sets {
+			for _, cs := range csets {
+				merged := make([]int32, 0, len(base)+len(cs))
+				merged = append(append(merged, base...), c.ToGlobal(cs)...)
+				next = append(next, merged)
+				if maxSets > 0 && len(next) >= maxSets {
+					break cross
+				}
+			}
+		}
+		sets = next
+	}
+	return rho, finishSets(inst, d, sets), nil
+}
+
+// enumerateMinimumMonolithic is the pre-pipeline enumeration over the whole
+// instance at once: branch on the tuples of the first witness not yet hit,
+// which visits every minimum hitting set (any optimal set must intersect
+// that witness). It is kept as the differential suite's oracle for
+// pipeline ≡ monolithic parity.
+func enumerateMinimumMonolithic(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
+	base, err := solveInstance(ctx, inst, -1, "exact", Options{Monolithic: true})
 	if err != nil {
 		return 0, nil, err
 	}
-	rho := base.Rho
+	if base.Rho == 0 {
+		return 0, nil, nil
+	}
+	poll := ctxpoll.New(ctx)
+	sets, err := enumerateRows(poll, inst.Rows(), inst.NumTuples(), base.Rho, maxSets)
+	if err != nil {
+		return 0, nil, err
+	}
+	return base.Rho, finishSets(inst, d, sets), nil
+}
+
+// enumerateFamily returns a family's minimum hitting set size together with
+// its minimum hitting sets (up to maxSets when maxSets > 0), as sorted
+// local-id sets in a deterministic order.
+func enumerateFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Family, maxSets int) (int, [][]int32, error) {
+	rho, _, err := solveFamily(ctx, fam, -1, false)
+	if err != nil {
+		return 0, nil, err
+	}
 	if rho == 0 {
 		return 0, nil, nil
 	}
-	rows := inst.Rows()
+	sets, err := enumerateRows(poll, fam.Rows, fam.N, rho, maxSets)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rho, sets, nil
+}
 
-	chosen := witset.NewBits(inst.NumTuples())
+// enumerateRows visits every hitting set of rows with exactly rho elements
+// by branching on the first unhit row (any optimal set must intersect it),
+// deduplicating sets that different branch orders reach. Returned sets are
+// sorted id slices in a deterministic order.
+func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n, rho, maxSets int) ([][]int32, error) {
+	chosen := witset.NewBits(n)
 	var cur []int32
 	seen := map[string]bool{}
-	var out [][]db.Tuple
+	var out [][]int32
 
-	key := func(ts []db.Tuple) string {
-		s := ""
-		for _, t := range ts {
-			s += d.TupleString(t) + ";"
-		}
-		return s
-	}
 	record := func() bool {
-		set := inst.TupleSet(cur)
-		k := key(set)
+		set := append([]int32(nil), cur...)
+		sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+		k := idKey(set)
 		if seen[k] {
 			return true
 		}
@@ -78,13 +144,12 @@ func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *d
 		return maxSets == 0 || len(out) < maxSets
 	}
 
-	poll := ctxpoll.New(ctx)
 	var rec func() bool
 	rec = func() bool {
 		if poll.Cancelled() {
 			return false
 		}
-		// First witness not hit by the current choice.
+		// First row not hit by the current choice.
 		var unhit []int32
 		for _, row := range rows {
 			hit := false
@@ -106,7 +171,7 @@ func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *d
 			return true // smaller than ρ is impossible; larger is pruned below
 		}
 		if len(cur) == rho {
-			return true // budget spent, witness unhit: dead branch
+			return true // budget spent, row unhit: dead branch
 		}
 		for _, e := range unhit {
 			chosen.Set(e)
@@ -122,9 +187,49 @@ func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *d
 	}
 	rec()
 	if err := poll.Err(); err != nil {
-		return 0, nil, err
+		return nil, err
 	}
+	return out, nil
+}
 
-	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
-	return rho, out, nil
+// idKey renders a sorted id set as a map key.
+func idKey(ids []int32) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24), ';')
+	}
+	return string(b)
+}
+
+// finishSets projects id sets to tuple sets and orders them canonically by
+// their rendered tuple strings, matching the order clients have always
+// observed.
+func finishSets(inst *witset.Instance, d *db.Database, sets [][]int32) [][]db.Tuple {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := make([][]db.Tuple, len(sets))
+	keys := make([]string, len(sets))
+	for i, ids := range sets {
+		out[i] = inst.TupleSet(ids)
+		s := ""
+		for _, t := range out[i] {
+			s += d.TupleString(t) + ";"
+		}
+		keys[i] = s
+	}
+	sort.Sort(&byKey{keys: keys, sets: out})
+	return out
+}
+
+type byKey struct {
+	keys []string
+	sets [][]db.Tuple
+}
+
+func (b *byKey) Len() int           { return len(b.keys) }
+func (b *byKey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b *byKey) Swap(i, j int) {
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+	b.sets[i], b.sets[j] = b.sets[j], b.sets[i]
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"repro/internal/cq"
-	"repro/internal/ctxpoll"
 	"repro/internal/db"
 	"repro/internal/eval"
 	"repro/internal/witset"
@@ -29,7 +28,11 @@ type Result struct {
 }
 
 // Exact computes ρ(q, D) exactly for any conjunctive query by reducing to
-// minimum hitting set over the witnesses' endogenous tuple sets.
+// minimum hitting set over the witnesses' endogenous tuple sets. The
+// reduction runs through the kernel+decompose pipeline: the witness family
+// is kernelized (unit-row forcing, dominated-tuple elimination), split into
+// connected components, and each component is solved independently — the
+// component minima add, so one big search becomes several small ones.
 func Exact(q *cq.Query, d *db.Database) (*Result, error) {
 	return ExactWithBudget(q, d, -1)
 }
@@ -64,48 +67,98 @@ func exactFiltered(ctx context.Context, q *cq.Query, d *db.Database, budget int,
 	if err != nil {
 		return nil, err
 	}
-	return solveInstance(ctx, inst, budget, "exact", false, false)
+	return solveInstance(ctx, inst, budget, "exact", Options{})
 }
 
 // ExactOnInstance computes ρ over a prebuilt witness-hypergraph IR, which
 // is how callers that already paid for witness enumeration — the engine's
 // portfolio, cross-checks against the SAT oracle — avoid enumerating again.
 func ExactOnInstance(ctx context.Context, inst *witset.Instance, budget int) (*Result, error) {
-	return solveInstance(ctx, inst, budget, "exact", false, false)
+	return solveInstance(ctx, inst, budget, "exact", Options{})
 }
 
-// solveInstance is the one branch-and-bound entry point: every exact-path
-// API lands here with an IR in hand.
-func solveInstance(ctx context.Context, inst *witset.Instance, budget int, method string, keepSupersets, noLowerBound bool) (*Result, error) {
+// solveInstance is the one exact-path entry point: every exact API lands
+// here with an IR in hand. Unless opts force the monolithic solver, it runs
+// the kernel+decompose pipeline: kernelize the normalized family, split the
+// kernel into connected components, solve each component independently, and
+// assemble ρ as forced + Σ component minima (additivity: components share
+// no elements, so hitting sets combine disjointly).
+func solveInstance(ctx context.Context, inst *witset.Instance, budget int, method string, opts Options) (*Result, error) {
 	if inst.Unbreakable() {
 		return nil, ErrUnbreakable
 	}
 	if inst.NumWitnesses() == 0 {
-		return &Result{Rho: 0, Method: method, Witnesses: 0}, nil
+		return &Result{Rho: 0, Method: method, Witnesses: inst.NumWitnesses()}, nil
 	}
-	hs := newHittingSet(inst.Family(keepSupersets))
-	hs.noLowerBound = noLowerBound
-	hs.poll = ctxpoll.New(ctx)
-	size, chosen := hs.solve(budget)
-	if err := hs.poll.Err(); err != nil {
-		return nil, err
+	if opts.Monolithic || opts.KeepSupersets {
+		// KeepSupersets measures the raw family, which the kernel would
+		// immediately re-normalize, so it implies the monolithic path.
+		size, chosen, err := solveFamily(ctx, inst.Family(opts.KeepSupersets), budget, opts.DisableLowerBound)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Rho: size, Method: method, Witnesses: inst.NumWitnesses()}
+		if chosen != nil {
+			res.ContingencySet = inst.TupleSet(chosen)
+		}
+		return res, nil
 	}
-	res := &Result{Rho: size, Method: method, Witnesses: inst.NumWitnesses()}
-	if chosen != nil {
+
+	kern := inst.Kernel()
+	chosen := append([]int32(nil), kern.Forced...)
+	rho := len(chosen)
+	over := func() *Result {
+		return &Result{Rho: budget + 1, Method: method, Witnesses: inst.NumWitnesses()}
+	}
+	if budget >= 0 && rho > budget {
+		return over(), nil
+	}
+	comps := kern.Components()
+	for ci, c := range comps {
+		b := -1
+		if budget >= 0 {
+			// Every component still unsolved needs at least one deletion
+			// (its family is non-empty), so this component may use at most
+			// what remains after reserving one per pending sibling.
+			b = budget - rho - (len(comps) - ci - 1)
+			if b < 0 {
+				return over(), nil
+			}
+		}
+		size, ids, err := solveFamily(ctx, c.Fam, b, opts.DisableLowerBound)
+		if err != nil {
+			return nil, err
+		}
+		if b >= 0 && size > b {
+			return over(), nil
+		}
+		rho += size
+		chosen = append(chosen, c.ToGlobal(ids)...)
+	}
+	res := &Result{Rho: rho, Method: method, Witnesses: inst.NumWitnesses()}
+	if rho > 0 {
 		res.ContingencySet = inst.TupleSet(chosen)
 	}
 	return res, nil
 }
 
 // Options are ablation switches for the exact solver, used by the
-// benchmark harness to quantify the branch-and-bound design choices that
-// DESIGN.md calls out (packing lower bound, superset elimination).
+// benchmark harness and the differential suite to quantify the design
+// choices DESIGN.md calls out (packing lower bound, superset elimination,
+// and the kernel+decompose pipeline).
 type Options struct {
 	// DisableLowerBound replaces the disjoint-packing bound by the trivial
-	// bound 1.
+	// bound 1 (applies to the monolithic search and to every per-component
+	// search alike).
 	DisableLowerBound bool
-	// KeepSupersets skips the superset-elimination preprocessing.
+	// KeepSupersets skips the superset-elimination preprocessing. It
+	// implies Monolithic: the kernel starts from the normalized family.
 	KeepSupersets bool
+	// Monolithic skips the kernel+decompose pipeline and attacks the whole
+	// family with one branch-and-bound, which is both the pre-pipeline
+	// behavior and the differential suite's oracle for pipeline ≡
+	// monolithic.
+	Monolithic bool
 }
 
 // ExactWithOptions is Exact with ablation switches; results are identical,
@@ -115,16 +168,39 @@ func ExactWithOptions(q *cq.Query, d *db.Database, opts Options) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	return solveInstance(context.Background(), inst, -1, "exact-ablation", opts.KeepSupersets, opts.DisableLowerBound)
+	return solveInstance(context.Background(), inst, -1, "exact-ablation", opts)
 }
 
 // Decide reports whether (D, k) ∈ RES(q): D |= q and some contingency set
 // of size ≤ k exists (Definition 1).
 func Decide(q *cq.Query, d *db.Database, k int) (bool, error) {
-	if !eval.Satisfied(q, d) {
-		return false, nil
+	return DecideCtx(context.Background(), q, d, k)
+}
+
+// DecideCtx is Decide with cooperative cancellation. It routes through the
+// witness-hypergraph IR: satisfaction, unbreakability and the budgeted
+// search all read one witness enumeration instead of evaluating the query
+// separately first.
+func DecideCtx(ctx context.Context, q *cq.Query, d *db.Database, k int) (bool, error) {
+	inst, err := witset.Build(ctx, q, d, nil)
+	if err != nil {
+		return false, err
 	}
-	res, err := ExactWithBudget(q, d, k)
+	return DecideOnInstance(ctx, inst, k)
+}
+
+// DecideOnInstance decides (D, k) ∈ RES(q) over a prebuilt IR, which is how
+// callers holding a cached instance (the engine's cross-request IR cache)
+// answer membership queries without re-enumerating witnesses. D |= q is a
+// property of the IR: the query is satisfied iff any witness was seen.
+func DecideOnInstance(ctx context.Context, inst *witset.Instance, k int) (bool, error) {
+	if inst.Unbreakable() {
+		return false, ErrUnbreakable
+	}
+	if inst.NumWitnesses() == 0 {
+		return false, nil // D does not satisfy q
+	}
+	res, err := ExactOnInstance(ctx, inst, k)
 	if err != nil {
 		return false, err
 	}
@@ -132,11 +208,23 @@ func Decide(q *cq.Query, d *db.Database, k int) (bool, error) {
 }
 
 // VerifyContingency checks that deleting the given tuples falsifies q on d
-// and that all tuples are endogenous and present. It restores d before
-// returning.
+// and that all tuples are endogenous and present. It never mutates d: the
+// check runs on the witness-hypergraph IR, where a deletion set falsifies
+// the query exactly when it hits every witness's endogenous tuple set.
 func VerifyContingency(q *cq.Query, d *db.Database, gamma []db.Tuple) error {
-	mark := d.RestoreMark()
-	defer d.RestoreTo(mark)
+	inst, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		return err
+	}
+	return VerifyContingencyOnInstance(inst, d, gamma)
+}
+
+// VerifyContingencyOnInstance is VerifyContingency over a prebuilt IR; d
+// must be the database the instance was built from (it validates tuple
+// presence and renders error messages).
+func VerifyContingencyOnInstance(inst *witset.Instance, d *db.Database, gamma []db.Tuple) error {
+	q := inst.Query()
+	hit := witset.NewBits(inst.NumTuples())
 	for _, t := range gamma {
 		if q.IsExogenous(t.Rel) {
 			return fmt.Errorf("resilience: contingency set contains exogenous tuple %s", d.TupleString(t))
@@ -144,10 +232,24 @@ func VerifyContingency(q *cq.Query, d *db.Database, gamma []db.Tuple) error {
 		if !d.Has(t) {
 			return fmt.Errorf("resilience: contingency set tuple %s not in database", d.TupleString(t))
 		}
-		d.Delete(t)
+		if id, ok := inst.ID(t); ok {
+			hit.Set(id)
+		}
 	}
-	if eval.Satisfied(q, d) {
+	if inst.Unbreakable() {
 		return errors.New("resilience: query still satisfied after deleting contingency set")
+	}
+	for _, row := range inst.Rows() {
+		rowHit := false
+		for _, e := range row {
+			if hit.Has(e) {
+				rowHit = true
+				break
+			}
+		}
+		if !rowHit {
+			return errors.New("resilience: query still satisfied after deleting contingency set")
+		}
 	}
 	return nil
 }

@@ -1,9 +1,35 @@
 package resilience
 
 import (
+	"context"
+
 	"repro/internal/ctxpoll"
 	"repro/internal/witset"
 )
+
+// solveFamily runs the branch-and-bound once over one family. If budget >= 0
+// and the minimum exceeds it, the returned size is budget+1 with a nil set
+// (sufficient for callers that only need the "over budget" verdict).
+func solveFamily(ctx context.Context, fam *witset.Family, budget int, noLowerBound bool) (int, []int32, error) {
+	hs := newHittingSet(fam)
+	hs.noLowerBound = noLowerBound
+	hs.poll = ctxpoll.New(ctx)
+	size, chosen := hs.solve(budget)
+	if err := hs.poll.Err(); err != nil {
+		return 0, nil, err
+	}
+	return size, chosen, nil
+}
+
+// SolveFamily computes a minimum hitting set of fam exactly, returning its
+// size and one optimal set of element ids. It is the per-component building
+// block of the kernel+decompose pipeline, exported for the engine's
+// component-parallel portfolio (which races it against SAT binary search on
+// each component). If budget >= 0 and the minimum exceeds it, it returns
+// (budget+1, nil, nil).
+func SolveFamily(ctx context.Context, fam *witset.Family, budget int) (int, []int32, error) {
+	return solveFamily(ctx, fam, budget, false)
+}
 
 // hittingSet solves minimum hitting set exactly by branch and bound over a
 // witset.Family: find a minimum set of elements intersecting every row.

@@ -74,6 +74,14 @@ func validateProbe(q *cq.Query, d *db.Database, t db.Tuple) error {
 // witness-hypergraph IR, which is how the serving layer reuses one cached
 // IR across many responsibility probes against the same (query, database)
 // pair. d must be the database the instance was built from.
+//
+// The computation rides the decompose pipeline: t lives in exactly one
+// connected component of the normalized family, the surviving-witness
+// choice and its forbidden set only constrain that component, and every
+// other component just needs its rows hit — contributing its plain minimum
+// hitting set. So k = (in-component responsibility) + Σ other components'
+// minima, with the candidate loop running over a component instead of the
+// whole family.
 func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
 	if err := validateProbe(inst.Query(), d, t); err != nil {
 		return 0, nil, err
@@ -88,9 +96,56 @@ func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.
 		return 0, nil, ErrNotCounterfactual // t participates in no witness
 	}
 
-	// Partition the rows by membership of t.
+	comps := inst.Components()
+	var home *witset.Component
+	var localT int32
+	for _, c := range comps {
+		if lid, ok := searchGlobal(c.Global, tid); ok {
+			home, localT = c, lid
+			break
+		}
+	}
+	if home == nil {
+		// Every row containing t was a superset of some kept row without t:
+		// any Γ avoiding a surviving witness w ∋ t would fail to hit w's
+		// kept subset, so t can never be counterfactual.
+		return 0, nil, ErrNotCounterfactual
+	}
+
+	poll := ctxpoll.New(ctx)
+	localK, localGamma, err := responsibilityInFamily(ctx, poll, home.Fam, localT)
+	if err != nil {
+		return 0, nil, err
+	}
+	if localK < 0 {
+		return 0, nil, ErrNotCounterfactual
+	}
+	k := localK
+	gammaIDs := home.ToGlobal(localGamma)
+	for _, c := range comps {
+		if c == home {
+			continue
+		}
+		size, ids, err := solveFamily(ctx, c.Fam, -1, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		k += size
+		gammaIDs = append(gammaIDs, c.ToGlobal(ids)...)
+	}
+	if k == 0 {
+		return 0, nil, nil // t is counterfactual with the empty contingency
+	}
+	return k, inst.TupleSet(gammaIDs), nil
+}
+
+// responsibilityInFamily runs the per-candidate surviving-witness loop over
+// one family: for each row containing t, forbid its elements and solve the
+// minimum hitting set of the remaining t-free rows. Returns k = -1 when no
+// candidate is feasible (t is not counterfactual within this family).
+func responsibilityInFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Family, tid int32) (int, []int32, error) {
 	var withT, withoutT [][]int32
-	for _, row := range inst.Rows() {
+	for _, row := range fam.Rows {
 		uses := false
 		for _, e := range row {
 			if e == tid {
@@ -105,13 +160,12 @@ func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.
 		}
 	}
 	if len(withT) == 0 {
-		return 0, nil, ErrNotCounterfactual
+		return -1, nil, nil
 	}
 
-	forbidden := witset.NewBits(inst.NumTuples())
-	poll := ctxpoll.New(ctx)
+	forbidden := witset.NewBits(fam.N)
 	best := -1
-	var bestGamma []db.Tuple
+	var bestGamma []int32
 	for _, surviving := range withT {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
@@ -141,7 +195,7 @@ func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.
 			continue
 		}
 		if len(sub) == 0 {
-			return 0, nil, nil // t is counterfactual with the empty contingency
+			return 0, nil, nil // empty contingency suffices within this family
 		}
 		budget := -1
 		if best >= 0 {
@@ -150,7 +204,7 @@ func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.
 				break
 			}
 		}
-		hs := newHittingSet(witset.NewFamily(sub, inst.NumTuples(), false))
+		hs := newHittingSet(witset.NewFamily(sub, fam.N, false))
 		hs.poll = poll
 		size, chosen := hs.solve(budget)
 		if err := poll.Err(); err != nil {
@@ -161,11 +215,55 @@ func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.
 		}
 		if best < 0 || size < best {
 			best = size
-			bestGamma = inst.TupleSet(chosen)
+			bestGamma = chosen
 		}
 	}
-	if best < 0 {
+	return best, bestGamma, nil
+}
+
+// responsibilityMonolithic is the pre-pipeline computation over the raw
+// rows of the whole instance, kept as the differential suite's oracle for
+// pipeline ≡ monolithic parity.
+func responsibilityMonolithic(ctx context.Context, inst *witset.Instance, d *db.Database, t db.Tuple) (int, []db.Tuple, error) {
+	if err := validateProbe(inst.Query(), d, t); err != nil {
+		return 0, nil, err
+	}
+	if inst.Unbreakable() {
 		return 0, nil, ErrNotCounterfactual
 	}
-	return best, bestGamma, nil
+	tid, ok := inst.ID(t)
+	if !ok {
+		return 0, nil, ErrNotCounterfactual
+	}
+	poll := ctxpoll.New(ctx)
+	rawFam := &witset.Family{N: inst.NumTuples(), Rows: inst.Rows()}
+	k, gammaIDs, err := responsibilityInFamily(ctx, poll, rawFam, tid)
+	if err != nil {
+		return 0, nil, err
+	}
+	if k < 0 {
+		return 0, nil, ErrNotCounterfactual
+	}
+	if k == 0 {
+		return 0, nil, nil
+	}
+	return k, inst.TupleSet(gammaIDs), nil
+}
+
+// searchGlobal locates global id g in a component's sorted Global slice,
+// returning its local id.
+func searchGlobal(global []int32, g int32) (int32, bool) {
+	lo, hi := 0, len(global)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case global[mid] == g:
+			return int32(mid), true
+		case global[mid] < g:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0, false
 }

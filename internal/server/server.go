@@ -532,6 +532,11 @@ type metricsResponse struct {
 	SolverRuns         int64 `json:"solver_runs"`
 	IRCacheHits        int64 `json:"ir_cache_hits"`
 	IRCacheMisses      int64 `json:"ir_cache_misses"`
+
+	KernelForcedTuples      int64 `json:"kernel_forced_tuples"`
+	KernelDominatedTuples   int64 `json:"kernel_dominated_tuples"`
+	ComponentsSolved        int64 `json:"components_solved"`
+	MultiComponentInstances int64 `json:"multi_component_instances"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -557,6 +562,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SolverRuns:         st.SolverRuns,
 		IRCacheHits:        st.IRCacheHits,
 		IRCacheMisses:      st.IRCacheMisses,
+
+		KernelForcedTuples:      st.KernelForcedTuples,
+		KernelDominatedTuples:   st.KernelDominatedTuples,
+		ComponentsSolved:        st.ComponentsSolved,
+		MultiComponentInstances: st.MultiComponentInstances,
 	})
 }
 

@@ -31,4 +31,25 @@
 //     and superset-eliminated only (hitting a subset always hits its
 //     supersets), and rows are ordered by increasing size so the first
 //     unhit row is always a smallest one.
+//
+// # The kernel+decompose pipeline
+//
+// On top of the family, the package provides the instance-level
+// preprocessing every NP-side solver runs before exponential search
+// (DESIGN.md §7):
+//
+//   - Kernelize / Instance.Kernel applies unit-row forcing (a singleton
+//     witness's tuple is in every hitting set) and dominated-tuple
+//     elimination (an element whose rows are covered by a co-occurring
+//     element can be dropped) to fixpoint. It preserves ρ and one optimum;
+//     domination does not preserve the full set of optima, so all-optima
+//     consumers use Decompose alone.
+//   - Decompose / Instance.Components splits a family into the connected
+//     components of its row-intersection graph, each over a dense local
+//     universe with a Global remap. Components share no elements, so
+//     component minima add: ρ(F) = Σ ρ(C), and the minimum hitting sets
+//     of F are exactly the unions of per-component minimum sets.
+//
+// Both halves are sync.Once-cached on the Instance, so solvers sharing a
+// cached IR also share its kernel and component split.
 package witset

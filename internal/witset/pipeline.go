@@ -1,0 +1,312 @@
+package witset
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// This file is the instance-level preprocessing pipeline shared by every
+// NP-side solver: Kernelize shrinks a hitting-set family with classic
+// kernelization rules before any exponential search starts, and Decompose
+// splits it into connected components whose minima add. DESIGN.md §7 states
+// the soundness argument per rule; the short version:
+//
+//   - Unit-row forcing: a row {e} can only be hit by e, so e is in every
+//     hitting set; force e, delete all rows containing e (they are hit),
+//     and recurse on the rest. ρ(F) = |forced| + ρ(remainder).
+//   - Dominated-tuple elimination: if every row containing a also contains
+//     b (a ≠ b), replacing a by b in any hitting set keeps it hitting and
+//     never grows it, so some minimum hitting set avoids a and a can be
+//     dropped from every row. This preserves the optimum but not the set
+//     of optima, so the all-optima enumerator must not use it.
+//   - Superset-row elimination (already in NewFamily): hitting a subset
+//     always hits its supersets.
+//
+// Components of the row-intersection graph share no elements, so hitting
+// sets combine disjointly: ρ(F) = Σ_C ρ(C), and the minimum hitting sets
+// of F are exactly the unions of per-component minimum hitting sets.
+
+// Kernel is the outcome of kernelizing a family: elements forced into every
+// minimum hitting set, plus the reduced family over the same global
+// universe. ρ(original) = len(Forced) + ρ(Fam), and prepending the forced
+// ids to any minimum hitting set of Fam gives a minimum hitting set of the
+// original family.
+type Kernel struct {
+	// Forced lists the element ids every minimum hitting set must contain
+	// (unit-row forcing, iterated to fixpoint), in increasing order.
+	Forced []int32
+	// Dominated counts elements removed by dominated-tuple elimination.
+	Dominated int
+	// Fam is the kernelized family, over the same universe as the input
+	// (ids stay global; dropped elements simply occur in no row).
+	Fam *Family
+
+	compsOnce sync.Once
+	comps     []*Component
+}
+
+// Components returns the connected components of the kernelized family,
+// computed once and shared across concurrent solvers.
+func (k *Kernel) Components() []*Component {
+	k.compsOnce.Do(func() { k.comps = Decompose(k.Fam) })
+	return k.comps
+}
+
+// Kernelize applies unit-row forcing and dominated-tuple elimination to
+// fixpoint, re-normalizing (dedup + superset elimination, via NewFamily)
+// after every round that fired a rule: forcing can orphan rows, and
+// dropping a dominated element can shrink a row under a sibling, exposing
+// new units and new subset relations. The input family is never modified;
+// when no rule fires at all it is returned unchanged inside the kernel, so
+// the quiescent case costs detection passes and no second family.
+func Kernelize(f *Family) *Kernel {
+	var forced []int32
+	dominated := 0
+	cur := f
+	for {
+		rows := cur.Rows
+		newForced := forceUnits(f.N, &rows)
+		drops := dropDominated(f.N, &rows)
+		if len(newForced) == 0 && drops == 0 {
+			break
+		}
+		forced = append(forced, newForced...)
+		dominated += drops
+		cur = NewFamily(rows, f.N, false)
+	}
+	sortIDs(forced)
+	return &Kernel{Forced: forced, Dominated: dominated, Fam: cur}
+}
+
+// forceUnits forces the element of every singleton row and removes the rows
+// those elements hit. One pass suffices: removing whole rows never creates
+// a new singleton (new units only appear after domination or superset
+// elimination shrink rows, which the Kernelize fixpoint loop covers).
+// *rows is replaced, never mutated in place.
+func forceUnits(n int, rows *[][]int32) []int32 {
+	var forced []int32
+	var forcedBits Bits
+	for _, row := range *rows {
+		if len(row) != 1 {
+			continue
+		}
+		if forcedBits == nil {
+			forcedBits = NewBits(n)
+		}
+		if !forcedBits.Has(row[0]) {
+			forcedBits.Set(row[0])
+			forced = append(forced, row[0])
+		}
+	}
+	if forced == nil {
+		return nil
+	}
+	kept := make([][]int32, 0, len(*rows))
+	for _, row := range *rows {
+		hit := false
+		for _, e := range row {
+			if forcedBits.Has(e) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			kept = append(kept, row)
+		}
+	}
+	*rows = kept
+	return forced
+}
+
+// dropDominated removes every element a whose rows are all covered by a
+// co-occurring element b (occurrence-set inclusion, with an id tie-break on
+// equality so exactly one of two interchangeable elements survives) and
+// returns the number of elements dropped. *rows is replaced, never mutated
+// in place.
+func dropDominated(n int, rows *[][]int32) int {
+	cur := *rows
+	if len(cur) == 0 {
+		return 0
+	}
+	// occ[e] is the set of row indexes containing e, sized to the current
+	// row slice; present lists the elements that occur at all.
+	occ := make([]Bits, n)
+	present := make([]int32, 0, 64)
+	for ri, row := range cur {
+		for _, e := range row {
+			if occ[e] == nil {
+				occ[e] = NewBits(len(cur))
+				present = append(present, e)
+			}
+			occ[e].Set(int32(ri))
+		}
+	}
+	sortIDs(present)
+
+	var dropped Bits
+	nDropped := 0
+	for _, a := range present {
+		if dropped != nil && dropped.Has(a) {
+			continue
+		}
+		ab := occ[a]
+		// A dominator must co-occur with a everywhere, so in a's first row
+		// in particular: only that row's elements are candidates.
+		for _, b := range cur[firstSet(ab)] {
+			if b == a || (dropped != nil && dropped.Has(b)) {
+				continue
+			}
+			bb := occ[b]
+			if !SubsetOf(ab, bb) {
+				continue
+			}
+			// Occ(a) ⊆ Occ(b): strict inclusion always drops a; on equality
+			// drop the larger id so exactly one of the pair survives.
+			if Equal(ab, bb) && a < b {
+				continue
+			}
+			if dropped == nil {
+				dropped = NewBits(n)
+			}
+			dropped.Set(a)
+			nDropped++
+			break
+		}
+	}
+	if nDropped == 0 {
+		return 0
+	}
+	out := make([][]int32, len(cur))
+	for ri, row := range cur {
+		kept := make([]int32, 0, len(row))
+		for _, e := range row {
+			if !dropped.Has(e) {
+				kept = append(kept, e)
+			}
+		}
+		out[ri] = kept
+	}
+	*rows = out
+	return nDropped
+}
+
+// firstSet returns the index of the lowest set bit; b must be non-empty.
+func firstSet(b Bits) int32 {
+	for wi, w := range b {
+		if w != 0 {
+			return int32(wi*64 + bits.TrailingZeros64(w))
+		}
+	}
+	panic("witset: firstSet on empty bitset")
+}
+
+// Component is one connected component of a family: a family over its own
+// dense local universe, plus the remap from local ids back to the global
+// ids of the decomposed family.
+type Component struct {
+	// Fam is the component's family; element e of Fam is Global[e].
+	Fam *Family
+	// Global maps local element ids to global ids, strictly increasing.
+	Global []int32
+}
+
+// ToGlobal maps a set of local ids (as returned by a solver over Fam) back
+// to global ids.
+func (c *Component) ToGlobal(local []int32) []int32 {
+	out := make([]int32, len(local))
+	for i, e := range local {
+		out[i] = c.Global[e]
+	}
+	return out
+}
+
+// Decompose splits a family into the connected components of its
+// row-intersection graph: elements are connected when they co-occur in a
+// row, and each row lands in the component of its elements. Elements
+// occurring in no row belong to no component (they can never be part of a
+// minimum hitting set). Components are ordered by their smallest global
+// element id, and each component's family is rebuilt over a dense local
+// universe so downstream bitsets and CNF variable ranges stay small.
+func Decompose(f *Family) []*Component {
+	if len(f.Rows) == 0 {
+		return nil
+	}
+	parent := make([]int32, f.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, row := range f.Rows {
+		r0 := find(row[0])
+		for _, e := range row[1:] {
+			re := find(e)
+			if re != r0 {
+				// Point the larger root at the smaller so every root is the
+				// minimum of its component.
+				if re < r0 {
+					parent[r0] = re
+					r0 = re
+				} else {
+					parent[re] = r0
+				}
+			}
+		}
+	}
+
+	type group struct {
+		rows  [][]int32
+		elems map[int32]bool
+	}
+	groups := map[int32]*group{}
+	var roots []int32
+	for _, row := range f.Rows {
+		r := find(row[0])
+		g, ok := groups[r]
+		if !ok {
+			g = &group{elems: map[int32]bool{}}
+			groups[r] = g
+			roots = append(roots, r)
+		}
+		g.rows = append(g.rows, row)
+		for _, e := range row {
+			g.elems[e] = true
+		}
+	}
+	sortIDs(roots) // roots are component minima, so this orders by smallest element
+
+	out := make([]*Component, 0, len(roots))
+	for _, r := range roots {
+		g := groups[r]
+		global := make([]int32, 0, len(g.elems))
+		for e := range g.elems {
+			global = append(global, e)
+		}
+		sortIDs(global)
+		local := make(map[int32]int32, len(global))
+		for li, e := range global {
+			local[e] = int32(li)
+		}
+		lrows := make([][]int32, len(g.rows))
+		for i, row := range g.rows {
+			lr := make([]int32, len(row))
+			for j, e := range row {
+				lr[j] = local[e]
+			}
+			sort.Slice(lr, func(a, b int) bool { return lr[a] < lr[b] })
+			lrows[i] = lr
+		}
+		out = append(out, &Component{
+			Fam:    NewFamily(lrows, len(global), false),
+			Global: global,
+		})
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package witset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func fam(n int, rows ...[]int32) *Family { return NewFamily(rows, n, false) }
+
+func TestKernelizeUnitForcing(t *testing.T) {
+	// {0} forces 0, which also kills the superset {0,1}; the 4-cycle on
+	// {1,2,3,4} has pairwise-incomparable occurrences, so it survives as
+	// the kernel untouched.
+	k := Kernelize(fam(5, []int32{0}, []int32{0, 1},
+		[]int32{1, 2}, []int32{2, 3}, []int32{3, 4}, []int32{4, 1}))
+	if !reflect.DeepEqual(k.Forced, []int32{0}) {
+		t.Fatalf("Forced = %v, want [0]", k.Forced)
+	}
+	if k.Dominated != 0 {
+		t.Fatalf("Dominated = %d, want 0", k.Dominated)
+	}
+	if len(k.Fam.Rows) != 4 {
+		t.Fatalf("kernel rows = %v, want the 4-cycle", k.Fam.Rows)
+	}
+}
+
+func TestKernelizeCascadedForcing(t *testing.T) {
+	// 0 and 1 are each dominated by 2 (their single rows both contain 2),
+	// both rows collapse to {2}, and 2 gets forced: a full two-rule
+	// cascade that empties the family.
+	k := Kernelize(fam(3, []int32{1, 2}, []int32{2, 0}))
+	if !reflect.DeepEqual(k.Forced, []int32{2}) {
+		t.Fatalf("Forced = %v, want [2]", k.Forced)
+	}
+	if k.Dominated != 2 {
+		t.Fatalf("Dominated = %d, want 2", k.Dominated)
+	}
+	if len(k.Fam.Rows) != 0 {
+		t.Fatalf("kernel rows = %v, want empty", k.Fam.Rows)
+	}
+}
+
+func TestKernelizeDominationTieBreak(t *testing.T) {
+	// 0 and 1 co-occur in exactly the same rows: exactly one survives (the
+	// smaller id), never both dropped.
+	k := Kernelize(fam(3, []int32{0, 1, 2}, []int32{0, 1}))
+	// Superset elimination keeps only {0,1}; then 1 is dominated by 0
+	// (equal occurrence, larger id), leaving unit {0}, which is forced.
+	if !reflect.DeepEqual(k.Forced, []int32{0}) {
+		t.Fatalf("Forced = %v, want [0]", k.Forced)
+	}
+	if len(k.Fam.Rows) != 0 {
+		t.Fatalf("kernel rows = %v, want empty", k.Fam.Rows)
+	}
+}
+
+func TestKernelizeQuiescentReturnsInput(t *testing.T) {
+	// No unit rows, no dominated elements, no supersets: the input family
+	// must come back untouched (same pointer, no copy).
+	f := fam(4, []int32{0, 1}, []int32{1, 2}, []int32{2, 3}, []int32{3, 0})
+	k := Kernelize(f)
+	if k.Fam != f {
+		t.Fatal("quiescent kernelization should return the input family unchanged")
+	}
+	if len(k.Forced) != 0 || k.Dominated != 0 {
+		t.Fatalf("quiescent kernel recorded work: %+v", k)
+	}
+}
+
+func TestDecomposeSplitsAndRemaps(t *testing.T) {
+	// Two components: {0,1,2} (two rows) and {5,7} (one row); element ids
+	// deliberately sparse to exercise the local remap.
+	f := fam(8, []int32{0, 1}, []int32{1, 2}, []int32{5, 7})
+	comps := Decompose(f)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	a, b := comps[0], comps[1]
+	if !reflect.DeepEqual(a.Global, []int32{0, 1, 2}) {
+		t.Fatalf("component 0 Global = %v, want [0 1 2]", a.Global)
+	}
+	if !reflect.DeepEqual(b.Global, []int32{5, 7}) {
+		t.Fatalf("component 1 Global = %v, want [5 7]", b.Global)
+	}
+	if a.Fam.N != 3 || b.Fam.N != 2 {
+		t.Fatalf("local universes = %d, %d, want 3, 2", a.Fam.N, b.Fam.N)
+	}
+	if len(a.Fam.Rows) != 2 || len(b.Fam.Rows) != 1 {
+		t.Fatalf("row counts = %d, %d, want 2, 1", len(a.Fam.Rows), len(b.Fam.Rows))
+	}
+	if got := b.ToGlobal([]int32{1}); !reflect.DeepEqual(got, []int32{7}) {
+		t.Fatalf("ToGlobal([1]) = %v, want [7]", got)
+	}
+}
+
+func TestDecomposeSingleComponent(t *testing.T) {
+	f := fam(3, []int32{0, 1}, []int32{1, 2})
+	comps := Decompose(f)
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0].Global, []int32{0, 1, 2}) {
+		t.Fatalf("Global = %v", comps[0].Global)
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	if comps := Decompose(fam(4)); comps != nil {
+		t.Fatalf("Decompose(empty) = %v, want nil", comps)
+	}
+}

@@ -29,6 +29,11 @@ type Instance struct {
 	min     *Family // superset-eliminated family
 	rawOnce sync.Once
 	raw     *Family // family without elimination (ablation)
+
+	kernOnce  sync.Once
+	kern      *Kernel // kernelized normalized family (solve pipeline)
+	compsOnce sync.Once
+	comps     []*Component // components of the un-kernelized normalized family
 }
 
 // Build enumerates the witnesses of q over d and interns their endogenous
@@ -130,6 +135,26 @@ func (in *Instance) Family(keepSupersets bool) *Family {
 	}
 	in.minOnce.Do(func() { in.min = NewFamily(in.rows, len(in.tuples), false) })
 	return in.min
+}
+
+// Kernel returns the kernelization of the instance's normalized family
+// (unit-row forcing + dominated-tuple elimination to fixpoint), computed at
+// most once and shared by concurrent solvers. The kernel preserves ρ and
+// one optimum but not the full set of optima; the enumerator uses
+// Components instead.
+func (in *Instance) Kernel() *Kernel {
+	in.kernOnce.Do(func() { in.kern = Kernelize(in.Family(false)) })
+	return in.kern
+}
+
+// Components returns the connected components of the instance's normalized
+// (but un-kernelized) family, computed at most once. This is the
+// decomposition the all-optima enumerator and responsibility use: it
+// preserves the full set of minimum hitting sets, which kernelization's
+// domination rule does not.
+func (in *Instance) Components() []*Component {
+	in.compsOnce.Do(func() { in.comps = Decompose(in.Family(false)) })
+	return in.comps
 }
 
 // Family is a normalized set family over a dense element universe, stored
