@@ -1,7 +1,11 @@
 GO ?= go
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test race bench bench-json lint docs-check staticcheck test-differential
+.PHONY: all build test race bench bench-json lint docs-check staticcheck test-differential api-check api-surface
+
+# The packages whose exported surface is pinned by API_SURFACE.txt: the
+# public facade, the v1 task API, and the client SDK.
+API_PACKAGES := repro repro/api repro/client
 
 all: build lint test
 
@@ -50,10 +54,33 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
+# Regenerate the exported-API snapshot. Run after an intentional surface
+# change and commit the result; api-check fails on any undocumented drift.
+api-surface:
+	@{ for p in $(API_PACKAGES); do \
+		echo "== $$p"; $(GO) doc -short $$p; echo; \
+	done; } > API_SURFACE.txt
+	@echo "wrote API_SURFACE.txt"
+
+# Fail when the exported surface of the public packages drifts from the
+# checked-in API_SURFACE.txt golden: every breaking (or additive) change
+# to repro, repro/api or repro/client must be reviewed and re-snapshotted
+# with `make api-surface`.
+api-check:
+	@tmp=$$(mktemp); { for p in $(API_PACKAGES); do \
+		echo "== $$p"; $(GO) doc -short $$p; echo; \
+	done; } > $$tmp; \
+	if ! diff -u API_SURFACE.txt $$tmp; then \
+		rm -f $$tmp; \
+		echo "exported API surface changed; review the diff and run 'make api-surface' to accept"; \
+		exit 1; \
+	fi; rm -f $$tmp
+	@echo "api-check: exported surface matches API_SURFACE.txt"
+
 # Docs-and-hygiene gate: vet, staticcheck (when installed), gofmt over the
-# runnable examples, and the compiled Example functions that keep the
-# README snippets honest.
-docs-check: staticcheck
+# runnable examples, the compiled Example functions that keep the README
+# snippets honest, and the exported-API snapshot check.
+docs-check: staticcheck api-check
 	$(GO) vet ./...
 	@out="$$(gofmt -l examples/)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \

@@ -1,0 +1,39 @@
+// Package api defines the unified v1 task API of the resilience system:
+// one typed request envelope shared from the library surface to the wire.
+//
+// # The task envelope
+//
+// Every paper-level workload is a Task — a tagged union over six kinds:
+//
+//	classify            complexity of RES(q) (Theorem 37 dichotomy)
+//	solve               ρ(q, D) with the classifier-selected algorithm
+//	enumerate           ρ plus every minimum contingency set (streamable)
+//	responsibility      causal responsibility of one endogenous tuple
+//	decide              (D, k) ∈ RES(q) membership
+//	verify_contingency  certificate check for a claimed contingency set
+//
+// The same Task struct is the library request (Session.Do), the HTTP body
+// (POST /v1/tasks, /v1/batch, /v1/jobs), and the client SDK input; Result
+// is the matching single response envelope. A new workload therefore lands
+// once — a Kind plus a dispatcher case — instead of once per surface.
+//
+// # Errors
+//
+// Failures carry a typed *Error whose Code maps 1:1 to an HTTP status
+// (Error.HTTPStatus). The sentinels (ErrTimeout, ErrCanceled, ErrOverload,
+// ErrBadQuery, ErrUnknownDB, ...) match by code under errors.Is, and
+// errors.As recovers the full *Error, so in-process callers and SDK users
+// branch on the same values. Context cancellation and deadline expiry are
+// always classified (CodeCanceled, CodeTimeout) — never a generic
+// internal error.
+//
+// # Session
+//
+// Session is the orchestration object every surface delegates to: the
+// repro facade, the resil and resilload CLIs, and the HTTP server. It
+// wraps the concurrent engine (classification cache, cross-request
+// witness-IR cache, optional exact-vs-SAT portfolio) and a named-database
+// registry, and runs all six kinds through one dispatcher — including
+// streamed enumeration (Stream) and concurrent batches (DoBatch,
+// StreamBatch).
+package api

@@ -1,0 +1,111 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestErrorSentinels: detailed errors match their sentinels by code under
+// errors.Is, and errors.As recovers the typed value through wrapping.
+func TestErrorSentinels(t *testing.T) {
+	err := Errorf(CodeTimeout, "instance 7 blew its 100ms budget")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatal("Errorf(CodeTimeout) does not match ErrTimeout")
+	}
+	if errors.Is(err, ErrOverload) {
+		t.Fatal("timeout error matches ErrOverload")
+	}
+	wrapped := fmt.Errorf("request failed: %w", err)
+	if !errors.Is(wrapped, ErrTimeout) {
+		t.Fatal("wrapped timeout does not match ErrTimeout")
+	}
+	var ae *Error
+	if !errors.As(wrapped, &ae) || ae.Code != CodeTimeout {
+		t.Fatalf("errors.As = %+v, want CodeTimeout", ae)
+	}
+}
+
+// TestWrapClassifiesContextErrors: cancellation never surfaces as a
+// generic internal error (the satellite audit for the serving layer).
+func TestWrapClassifiesContextErrors(t *testing.T) {
+	cases := []struct {
+		in   error
+		want Code
+	}{
+		{context.DeadlineExceeded, CodeTimeout},
+		{context.Canceled, CodeCanceled},
+		{fmt.Errorf("solve: %w", context.DeadlineExceeded), CodeTimeout},
+		{fmt.Errorf("solve: %w", context.Canceled), CodeCanceled},
+		{errors.New("disk on fire"), CodeInternal},
+		{Errorf(CodeUnknownDB, "no db"), CodeUnknownDB}, // passthrough
+	}
+	for _, c := range cases {
+		if got := Wrap(c.in); got.Code != c.want {
+			t.Errorf("Wrap(%v).Code = %s, want %s", c.in, got.Code, c.want)
+		}
+	}
+	if Wrap(nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+}
+
+// TestErrorHTTPStatusRoundTrip: every code maps to a status, and the
+// client-side fallback maps the status back to a code with the same
+// status — so status-only dispatch agrees with code dispatch.
+func TestErrorHTTPStatusRoundTrip(t *testing.T) {
+	codes := []Code{
+		CodeBadRequest, CodeBadQuery, CodeBadTuple, CodeUnknownDB,
+		CodeUnknownJob, CodeOverload, CodeTimeout, CodeCanceled, CodeInternal,
+	}
+	for _, code := range codes {
+		status := (&Error{Code: code}).HTTPStatus()
+		if status < 400 {
+			t.Errorf("code %s maps to non-error status %d", code, status)
+		}
+		back := CodeForStatus(status)
+		if got := (&Error{Code: back}).HTTPStatus(); got != status {
+			t.Errorf("round trip %s -> %d -> %s -> %d", code, status, back, got)
+		}
+	}
+	if (&Error{Code: CodeOverload}).HTTPStatus() != http.StatusTooManyRequests {
+		t.Fatal("overload must map to 429")
+	}
+	if (&Error{Code: CodeTimeout}).HTTPStatus() != http.StatusGatewayTimeout {
+		t.Fatal("timeout must map to 504")
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	ok := Task{Kind: KindSolve, Query: "q :- R(x,y)", DB: "toy"}
+	if err := ok.Validate(true); err != nil {
+		t.Fatalf("valid solve task rejected: %v", err)
+	}
+	cases := []Task{
+		{Kind: "explode", Query: "q :- R(x,y)"},
+		{Kind: KindSolve, Query: ""},
+		{Kind: KindSolve, Query: "q :- R(x,y)"},                     // no db
+		{Kind: KindResponsibility, Query: "q :- R(x,y)", DB: "toy"}, // no tuple
+		{Kind: KindDecide, Query: "q :- R(x,y)", DB: "toy", K: -1},  // negative budget
+		{Kind: KindEnumerate, Query: ""},                            // empty query again
+		{Kind: KindVerifyContingency, Query: "q :- R(x,y)"},         // no db
+		{Kind: KindClassify, Query: ""},                             // classify still needs a query
+	}
+	for i, task := range cases {
+		if err := task.Validate(true); err == nil {
+			t.Errorf("case %d: invalid task %+v accepted", i, task)
+		} else if err.Code != CodeBadRequest {
+			t.Errorf("case %d: code = %s, want bad_request", i, err.Code)
+		}
+	}
+	// Classify needs no DB even with needDB.
+	if err := (Task{Kind: KindClassify, Query: "q :- R(x,y)"}).Validate(true); err != nil {
+		t.Fatalf("classify without db rejected: %v", err)
+	}
+	// In-process path (needDB=false) tolerates a missing DB name.
+	if err := (Task{Kind: KindSolve, Query: "q :- R(x,y)"}).Validate(false); err != nil {
+		t.Fatalf("needDB=false solve rejected: %v", err)
+	}
+}

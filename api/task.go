@@ -1,0 +1,265 @@
+package api
+
+import "time"
+
+// Kind discriminates the task union. Every paper-level workload the system
+// serves is one of these six kinds; new workloads add a Kind here and a
+// case in the Session dispatcher, and every surface (facade, CLIs, HTTP,
+// client SDK) picks it up at once.
+type Kind string
+
+const (
+	// KindClassify asks for the complexity of RES(q) per the paper's
+	// dichotomy (Theorem 37 and the Section 8 partial results).
+	KindClassify Kind = "classify"
+	// KindSolve computes ρ(q, D) with the classifier-selected algorithm.
+	KindSolve Kind = "solve"
+	// KindEnumerate computes ρ plus every minimum contingency set (capped
+	// by MaxSets). It is the streamable kind: each set can be flushed as
+	// the search discovers it.
+	KindEnumerate Kind = "enumerate"
+	// KindResponsibility computes the causal responsibility of one
+	// endogenous tuple (minimum contingency size k; score 1/(1+k)).
+	KindResponsibility Kind = "responsibility"
+	// KindDecide answers the membership question (D, k) ∈ RES(q).
+	KindDecide Kind = "decide"
+	// KindVerifyContingency checks a claimed contingency set: every tuple
+	// endogenous and present, and the query falsified after deletion.
+	KindVerifyContingency Kind = "verify_contingency"
+)
+
+// Kinds lists every task kind, in the order they are documented.
+var Kinds = []Kind{
+	KindClassify, KindSolve, KindEnumerate,
+	KindResponsibility, KindDecide, KindVerifyContingency,
+}
+
+// Valid reports whether k is a known task kind.
+func (k Kind) Valid() bool {
+	for _, known := range Kinds {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Task is the single request envelope of the v1 API: a tagged union over
+// Kind. The same struct is the library-level request (Session.Do), the
+// wire request (POST /v1/tasks and /v1/jobs), and the client SDK's input —
+// there is exactly one encoding of each task from library to wire.
+//
+// Kind and Query are always required. DB names a registered database and
+// is required for every kind except classify. The remaining fields belong
+// to individual kinds and are ignored by the others.
+type Task struct {
+	// ID is an optional caller-chosen correlation id, echoed in the
+	// Result (batch results additionally carry their index).
+	ID string `json:"id,omitempty"`
+	// Kind selects the task; see the Kind constants.
+	Kind Kind `json:"kind"`
+	// Query is the conjunctive query in Datalog notation, e.g.
+	// "q :- R(x,y), R(y,z)" with ^x marking exogenous atoms.
+	Query string `json:"query"`
+	// DB names the registered database the task runs against.
+	DB string `json:"db,omitempty"`
+	// K is the deletion budget of a decide task.
+	K int `json:"k,omitempty"`
+	// MaxSets caps the sets returned by an enumerate task (0 = no cap).
+	MaxSets int `json:"max_sets,omitempty"`
+	// Tuple is the responsibility probe, e.g. "R(1,2)".
+	Tuple string `json:"tuple,omitempty"`
+	// Gamma is the claimed contingency set of a verify_contingency task.
+	Gamma []string `json:"gamma,omitempty"`
+	// TimeoutMS, when positive, bounds the task's wall time. Servers may
+	// only tighten it (their per-request budget wins when smaller).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate checks the envelope's shape: known kind, query present, and the
+// kind's required fields set. needDB additionally requires DB to be named
+// (the wire surface resolves databases by name; in-process callers passing
+// a *Database directly validate with needDB=false).
+func (t Task) Validate(needDB bool) *Error {
+	if !t.Kind.Valid() {
+		return Errorf(CodeBadRequest, "unknown task kind %q", t.Kind)
+	}
+	if t.Query == "" {
+		return Errorf(CodeBadRequest, "%s task: query must be non-empty", t.Kind)
+	}
+	if needDB && t.Kind != KindClassify && t.DB == "" {
+		return Errorf(CodeBadRequest, "%s task: db must name a registered database", t.Kind)
+	}
+	switch t.Kind {
+	case KindResponsibility:
+		if t.Tuple == "" {
+			return Errorf(CodeBadRequest, "responsibility task: tuple must be non-empty")
+		}
+	case KindDecide:
+		if t.K < 0 {
+			return Errorf(CodeBadRequest, "decide task: k must be >= 0")
+		}
+	}
+	return nil
+}
+
+// ClassifyComponent is one connected component's verdict inside a classify
+// result (Lemma 15: the hardest component decides).
+type ClassifyComponent struct {
+	Normalized string `json:"normalized"`
+	Verdict    string `json:"verdict"`
+	Rule       string `json:"rule"`
+}
+
+// Result is the single response envelope: the union of every task kind's
+// answer, discriminated by Kind like the Task that produced it. Exactly
+// the fields of the task's kind are populated; everything else is omitted
+// from the JSON encoding.
+//
+// In a streamed (NDJSON) response, lines with Partial set carry incremental
+// payload — for enumerate, one contingency set per line in Sets — and the
+// final line (Partial unset) carries the totals.
+type Result struct {
+	// ID echoes the task's correlation id; Index is the task's position in
+	// its batch (0 for single-task requests).
+	ID    string `json:"id,omitempty"`
+	Index int    `json:"index,omitempty"`
+	// Kind echoes the task kind.
+	Kind Kind `json:"kind"`
+	// Partial marks an incremental stream line; more lines follow for the
+	// same task.
+	Partial bool `json:"partial,omitempty"`
+
+	// Rho is ρ(q, D) (solve, enumerate) or the minimum contingency size
+	// context of the kind; it is always encoded because 0 is a valid
+	// answer.
+	Rho int `json:"rho"`
+	// Method names the algorithm that produced a solve result.
+	Method string `json:"method,omitempty"`
+	// Witnesses is the number of witnesses enumerated by a solve.
+	Witnesses int `json:"witnesses,omitempty"`
+	// Contingency is one optimal contingency set (solve, responsibility),
+	// rendered as "R(a,b)" fact strings.
+	Contingency []string `json:"contingency,omitempty"`
+	// Unbreakable means no endogenous deletion can falsify the query: a
+	// definite answer (ρ = ∞), not an error.
+	Unbreakable bool `json:"unbreakable,omitempty"`
+
+	// Classification of the task's query (classify always; solve when the
+	// engine classified the instance).
+	Verdict     string              `json:"verdict,omitempty"`
+	Rule        string              `json:"rule,omitempty"`
+	Normalized  string              `json:"normalized,omitempty"`
+	Algorithm   string              `json:"algorithm,omitempty"`
+	Certificate string              `json:"certificate,omitempty"`
+	Components  []ClassifyComponent `json:"components,omitempty"`
+
+	// Sets holds minimum contingency sets (enumerate). A streamed partial
+	// line carries exactly one set; the final line carries none and Total
+	// counts what was streamed.
+	Sets  [][]string `json:"sets,omitempty"`
+	Total int        `json:"total,omitempty"`
+
+	// Responsibility fields: the probe tuple, its minimum contingency size
+	// K, the score 1/(1+K), and whether no contingency makes it a
+	// counterfactual cause.
+	Tuple             string  `json:"tuple,omitempty"`
+	K                 int     `json:"k,omitempty"`
+	Responsibility    float64 `json:"responsibility,omitempty"`
+	NotCounterfactual bool    `json:"not_counterfactual,omitempty"`
+
+	// Holds answers a decide task: (D, K) ∈ RES(q).
+	Holds bool `json:"holds,omitempty"`
+
+	// Valid answers a verify_contingency task; Reason explains a failed
+	// verification.
+	Valid  bool   `json:"valid,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// CacheHit reports whether the classification came from the engine's
+	// isomorphism cache; ElapsedMS is the task's wall time.
+	CacheHit  bool    `json:"cache_hit,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	// Error carries a per-task failure inside batch and stream responses,
+	// where the transport status covers the envelope, not each task.
+	Error *Error `json:"error,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many tasks solved
+// concurrently on the server's worker pool. TimeoutMS, when positive, is a
+// default applied to tasks that do not set their own.
+type BatchRequest struct {
+	Tasks     []Task `json:"tasks"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse is the non-streamed body of POST /v1/batch: one Result per
+// task, index-aligned with the request. Per-task failures are carried in
+// Result.Error; the HTTP status covers only the envelope.
+type BatchResponse struct {
+	Results []*Result `json:"results"`
+}
+
+// ErrorBody is the body of every non-2xx v1 response.
+type ErrorBody struct {
+	Error *Error `json:"error"`
+}
+
+// DBInfo describes a registered database: the body of PUT/GET /v1/db/{name}
+// and the elements of GET /v1/db (and of the legacy /db endpoints, which
+// share the encoding).
+type DBInfo struct {
+	Name string `json:"name"`
+	// Tuples and Constants are totals; Relations maps relation name to its
+	// tuple count.
+	Tuples    int            `json:"tuples"`
+	Constants int            `json:"constants"`
+	Relations map[string]int `json:"relations"`
+	// Version is the database's mutation counter; together with the name
+	// it identifies the contents a cached IR was built from.
+	Version uint64 `json:"version"`
+}
+
+// JobState is the lifecycle state of an async job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a job worker.
+	JobQueued JobState = "queued"
+	// JobRunning: executing on a job worker.
+	JobRunning JobState = "running"
+	// JobDone: finished with a Result.
+	JobDone JobState = "done"
+	// JobFailed: finished with an Error.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled before or during execution.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is the wire view of an async task submission (POST /v1/jobs): the
+// task it runs, its lifecycle state, and — once terminal — its Result or
+// Error.
+type Job struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Task  Task     `json:"task"`
+	// Result is set when State is "done"; Error when "failed" (and on
+	// canceled jobs that observed the cancellation mid-solve).
+	Result *Result `json:"result,omitempty"`
+	Error  *Error  `json:"error,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// JobList is the body of GET /v1/jobs.
+type JobList struct {
+	Jobs []*Job `json:"jobs"`
+}

@@ -1,0 +1,229 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/server"
+)
+
+func newServerAndClient(t *testing.T, opts ...Option) (*server.Server, *Client) {
+	t.Helper()
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return s, New(ts.URL, opts...)
+}
+
+func putToy(t *testing.T, c *Client) {
+	t.Helper()
+	info, err := c.PutDB(context.Background(), "toy", []string{"R(1,2)", "R(2,3)", "R(3,3)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tuples != 3 || info.Name != "toy" {
+		t.Fatalf("PutDB info = %+v", info)
+	}
+}
+
+// TestClientRoundTripsAllKinds is the acceptance-bar test on the SDK
+// side: all six task kinds through /v1, with the answers the solver stack
+// gives in-process.
+func TestClientRoundTripsAllKinds(t *testing.T) {
+	_, c := newServerAndClient(t)
+	putToy(t, c)
+	ctx := context.Background()
+	const chain = "qchain :- R(x,y), R(y,z)"
+
+	if res, err := c.Do(ctx, api.Task{Kind: api.KindClassify, Query: chain}); err != nil || res.Verdict != "NP-complete" {
+		t.Fatalf("classify: %+v, %v", res, err)
+	}
+	solve, err := c.Do(ctx, api.Task{Kind: api.KindSolve, Query: chain, DB: "toy"})
+	if err != nil || solve.Rho != 2 {
+		t.Fatalf("solve: %+v, %v", solve, err)
+	}
+	if res, err := c.Do(ctx, api.Task{Kind: api.KindEnumerate, Query: chain, DB: "toy"}); err != nil || res.Rho != 2 || len(res.Sets) == 0 {
+		t.Fatalf("enumerate: %+v, %v", res, err)
+	}
+	if res, err := c.Do(ctx, api.Task{Kind: api.KindResponsibility, Query: chain, DB: "toy", Tuple: "R(2,3)"}); err != nil || res.Responsibility <= 0 {
+		t.Fatalf("responsibility: %+v, %v", res, err)
+	}
+	if res, err := c.Do(ctx, api.Task{Kind: api.KindDecide, Query: chain, DB: "toy", K: 2}); err != nil || !res.Holds {
+		t.Fatalf("decide: %+v, %v", res, err)
+	}
+	if res, err := c.Do(ctx, api.Task{Kind: api.KindVerifyContingency, Query: chain, DB: "toy",
+		Gamma: solve.Contingency}); err != nil || !res.Valid {
+		t.Fatalf("verify: %+v, %v", res, err)
+	}
+
+	// Typed errors cross the wire intact.
+	_, err = c.Do(ctx, api.Task{Kind: api.KindSolve, Query: chain, DB: "ghost"})
+	if !errors.Is(err, api.ErrUnknownDB) {
+		t.Fatalf("unknown db: err = %v, want ErrUnknownDB", err)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Message == "" {
+		t.Fatalf("unknown db: no typed message: %v", err)
+	}
+}
+
+// TestClientBatchAndStream: DoBatch aligns with tasks; Stream delivers
+// partial enumerate lines then the final summary.
+func TestClientBatchAndStream(t *testing.T) {
+	_, c := newServerAndClient(t)
+	putToy(t, c)
+	ctx := context.Background()
+	const chain = "qchain :- R(x,y), R(y,z)"
+
+	results, err := c.DoBatch(ctx, []api.Task{
+		{ID: "a", Kind: api.KindSolve, Query: chain, DB: "toy"},
+		{ID: "b", Kind: api.KindSolve, Query: chain, DB: "ghost"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Rho != 2 {
+		t.Fatalf("batch results = %+v", results)
+	}
+	if results[1].Error == nil || results[1].Error.Code != api.CodeUnknownDB {
+		t.Fatalf("batch error item = %+v", results[1])
+	}
+
+	var partials, finals int
+	err = c.Stream(ctx, api.Task{Kind: api.KindEnumerate, Query: chain, DB: "toy"}, func(r *api.Result) error {
+		if r.Partial {
+			partials++
+			if len(r.Sets) != 1 {
+				t.Fatalf("partial line sets = %v", r.Sets)
+			}
+		} else {
+			finals++
+			if r.Total != partials {
+				t.Fatalf("final total = %d, partials = %d", r.Total, partials)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partials == 0 || finals != 1 {
+		t.Fatalf("stream shape: %d partials, %d finals", partials, finals)
+	}
+}
+
+// TestClientJobs drives the async lifecycle through the SDK.
+func TestClientJobs(t *testing.T) {
+	_, c := newServerAndClient(t)
+	putToy(t, c)
+	ctx := context.Background()
+
+	job, err := c.Submit(ctx, api.Task{Kind: api.KindSolve, Query: "qchain :- R(x,y), R(y,z)", DB: "toy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.JobDone || final.Result == nil || final.Result.Rho != 2 {
+		t.Fatalf("final job = %+v", final)
+	}
+	if jobs, err := c.Jobs(ctx); err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs list = %v, %v", jobs, err)
+	}
+	if _, err := c.Cancel(ctx, final.ID); err != nil {
+		t.Fatalf("delete finished job: %v", err)
+	}
+	if _, err := c.Job(ctx, final.ID); !errors.Is(err, api.ErrUnknownJob) {
+		t.Fatalf("get deleted job: err = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestClientRetriesOverload: 429 + Retry-After is retried and eventually
+// succeeds; with retries disabled the overload surfaces immediately.
+func TestClientRetriesOverload(t *testing.T) {
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: api.Errorf(api.CodeOverload, "busy")}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(api.Result{Kind: api.KindSolve, Rho: 7}) //nolint:errcheck
+	}))
+	t.Cleanup(stub.Close)
+
+	c := New(stub.URL, WithBackoff(time.Millisecond))
+	res, err := c.Do(context.Background(), api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "d"})
+	if err != nil || res.Rho != 7 {
+		t.Fatalf("retried Do = %+v, %v", res, err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("calls = %d, want 3 (two 429s + success)", n)
+	}
+
+	calls.Store(0)
+	noRetry := New(stub.URL, WithRetries(0))
+	_, err = noRetry.Do(context.Background(), api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "d"})
+	if !errors.Is(err, api.ErrOverload) {
+		t.Fatalf("retries=0: err = %v, want ErrOverload", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("retries=0 calls = %d, want 1", n)
+	}
+}
+
+// TestClientDeadlinePropagation: a context deadline becomes the task's
+// timeout_ms on the wire when the task carries none.
+func TestClientDeadlinePropagation(t *testing.T) {
+	var gotTimeout atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var task api.Task
+		json.NewDecoder(r.Body).Decode(&task) //nolint:errcheck
+		gotTimeout.Store(task.TimeoutMS)
+		json.NewEncoder(w).Encode(api.Result{Kind: task.Kind}) //nolint:errcheck
+	}))
+	t.Cleanup(stub.Close)
+	c := New(stub.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Do(ctx, api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := gotTimeout.Load(); ms <= 0 || ms > 5000 {
+		t.Fatalf("propagated timeout_ms = %d, want (0, 5000]", ms)
+	}
+
+	// An explicit task timeout wins over the context deadline.
+	if _, err := c.Do(ctx, api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "d", TimeoutMS: 123}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := gotTimeout.Load(); ms != 123 {
+		t.Fatalf("explicit timeout_ms = %d, want 123", ms)
+	}
+}
+
+// TestClientStreamSurfacesTaskError: a doomed stream (unknown db) comes
+// back as a returned *api.Error, matching the non-streamed path, whether
+// the server rejected it before the stream committed or in-band.
+func TestClientStreamSurfacesTaskError(t *testing.T) {
+	_, c := newServerAndClient(t)
+	putToy(t, c)
+	err := c.Stream(context.Background(),
+		api.Task{Kind: api.KindEnumerate, Query: "q :- R(x,y)", DB: "ghost"},
+		func(*api.Result) error { t.Fatal("emit called for a doomed task"); return nil })
+	if !errors.Is(err, api.ErrUnknownDB) {
+		t.Fatalf("stream err = %v, want ErrUnknownDB", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package client is the Go SDK for the v1 task API served by
+// resilserverd. It speaks the same api.Task / api.Result envelope the
+// library and server use, so a workload moves between in-process and
+// remote execution without re-encoding.
+//
+// # Quick start
+//
+//	c := client.New("http://localhost:8080")
+//	c.PutDB(ctx, "toy", []string{"R(1,2)", "R(2,3)", "R(3,3)"})
+//	res, err := c.Do(ctx, api.Task{
+//	    Kind:  api.KindSolve,
+//	    Query: "qchain :- R(x,y), R(y,z)",
+//	    DB:    "toy",
+//	})
+//	// res.Rho == 2
+//
+// # Semantics
+//
+//   - Deadline propagation: when a task carries no timeout_ms, the
+//     caller's context deadline is forwarded so the server stops solving
+//     when the client stops waiting.
+//   - Retries: 429 responses are retried honoring Retry-After (falling
+//     back to exponential backoff), as are transport errors; other
+//     statuses resolve immediately. Streams are never retried.
+//   - Errors: every failure is a *api.Error reconstructed from the typed
+//     v1 body, so errors.Is(err, api.ErrOverload) and friends work across
+//     the wire exactly as they do in-process.
+//   - Streaming: Stream and StreamBatch decode NDJSON responses line by
+//     line; enumerate tasks deliver each minimum contingency set the
+//     moment the server finds it.
+//   - Async jobs: Submit / Job / Wait / Cancel drive the /v1/jobs
+//     lifecycle for work that should not hold an HTTP connection open.
+package client

@@ -17,9 +17,15 @@
 //	-timeout D    per-instance wall-time budget, e.g. 30s (default none)
 //	-portfolio    race exact branch-and-bound against SAT binary search
 //	              on NP-hard instances
+//	-json         render results as the v1 api.Result JSON encoding
+//	              (classify, solve, batch, enumerate, responsibility)
 //
-// solve and batch run through the concurrent engine, so the flags above
-// apply; batch shards the fact files across the worker pool.
+// The solver subcommands all run through a task-API Session — the same
+// orchestration object behind the repro facade and resilserverd — so a
+// resil invocation, a facade call, and a /v1/tasks request with the same
+// inputs produce the same answer. With -json the output is the api.Result
+// envelope itself (for batch, the api.BatchResponse envelope), byte-equal
+// to what the HTTP server would return.
 //
 // The facts file holds one fact per line in the form R(a,b); blank lines
 // and lines starting with # are ignored.
@@ -28,6 +34,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,33 +45,41 @@ import (
 	"repro"
 )
 
+// options are the flag-configurable knobs shared by the solver
+// subcommands.
+type options struct {
+	engine repro.EngineConfig
+	json   bool
+}
+
 // engineFlagSet declares the engine-tuning flags shared by solve and
-// batch (-workers, -timeout, -portfolio), bound to a config value.
-func engineFlagSet(errOut io.Writer) (*flag.FlagSet, *repro.EngineConfig) {
-	cfg := &repro.EngineConfig{}
+// batch (-workers, -timeout, -portfolio) plus -json, bound to an options
+// value.
+func engineFlagSet(errOut io.Writer) (*flag.FlagSet, *options) {
+	opts := &options{}
 	fs := flag.NewFlagSet("resil", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	fs.Usage = func() { fprintUsage(errOut, fs) }
-	fs.IntVar(&cfg.Workers, "workers", 0, "worker-pool size for solve/batch (0 = GOMAXPROCS)")
-	fs.DurationVar(&cfg.Timeout, "timeout", 0, "per-instance timeout (0 = none)")
-	fs.BoolVar(&cfg.Portfolio, "portfolio", false, "race exact vs SAT on NP-hard instances")
-	return fs, cfg
+	fs.IntVar(&opts.engine.Workers, "workers", 0, "worker-pool size for solve/batch (0 = GOMAXPROCS)")
+	fs.DurationVar(&opts.engine.Timeout, "timeout", 0, "per-instance timeout (0 = none)")
+	fs.BoolVar(&opts.engine.Portfolio, "portfolio", false, "race exact vs SAT on NP-hard instances")
+	fs.BoolVar(&opts.json, "json", false, "render results as api.Result JSON")
+	return fs, opts
 }
 
-// parseEngineFlags parses the engine flags from args, returning the
-// engine configuration and the remaining positional arguments. It is
-// split from main so flag handling is testable without exiting the
-// process.
-func parseEngineFlags(args []string, errOut io.Writer) (repro.EngineConfig, []string, error) {
-	fs, cfg := engineFlagSet(errOut)
+// parseEngineFlags parses the shared flags from args, returning the
+// options and the remaining positional arguments. It is split from main
+// so flag handling is testable without exiting the process.
+func parseEngineFlags(args []string, errOut io.Writer) (options, []string, error) {
+	fs, opts := engineFlagSet(errOut)
 	if err := fs.Parse(args); err != nil {
-		return repro.EngineConfig{}, nil, err
+		return options{}, nil, err
 	}
-	return *cfg, fs.Args(), nil
+	return *opts, fs.Args(), nil
 }
 
 func main() {
-	cfg, args, err := parseEngineFlags(os.Args[1:], os.Stderr)
+	opts, args, err := parseEngineFlags(os.Args[1:], os.Stderr)
 	if err == flag.ErrHelp {
 		os.Exit(0) // -h is a successful help request, not a failure
 	}
@@ -81,7 +96,7 @@ func main() {
 	}
 	switch cmd {
 	case "classify":
-		classify(q)
+		classify(opts, q, queryText)
 	case "solve":
 		if len(args) < 3 {
 			usage()
@@ -90,12 +105,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		solve(cfg, q, d)
+		solve(opts, q, queryText, d)
 	case "batch":
 		if len(args) < 3 {
 			usage()
 		}
-		failed, err := batchRun(cfg, q, args[2:], os.Stdout)
+		failed, err := batchRun(opts, queryText, args[2:], os.Stdout)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +134,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		enumerate(q, d)
+		enumerate(opts, q, queryText, d)
 	case "responsibility":
 		if len(args) < 4 {
 			usage()
@@ -128,7 +143,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		responsibility(q, d, args[3])
+		responsibility(opts, q, queryText, d, args[3])
 	case "ijp":
 		searchIJP(q)
 	case "hardness":
@@ -138,41 +153,65 @@ func main() {
 	}
 }
 
-// batchRun solves the same query over many fact files concurrently on the
-// engine's worker pool, printing one line per file plus a summary to out.
-// It returns the number of failed instances (an unbreakable database is a
-// definite answer, not a failure) rather than exiting, so tests can drive
-// it directly.
-func batchRun(cfg repro.EngineConfig, q *repro.Query, paths []string, out io.Writer) (failed int, err error) {
-	insts := make([]repro.Instance, len(paths))
+// session builds the task-API Session the solver subcommands run on.
+func session(opts options) *repro.Session {
+	return repro.NewSession(repro.SessionConfig{Engine: opts.engine})
+}
+
+// printJSON renders a task result (or any envelope) the way the v1 wire
+// does: indented JSON.
+func printJSON(out io.Writer, v any) {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // stdout write failures are unactionable
+}
+
+// batchRun solves the same query over many fact files concurrently
+// through a Session, printing one line per file plus a summary to out (or
+// the api.BatchResponse envelope with -json). It returns the number of
+// failed instances (an unbreakable database is a definite answer, not a
+// failure) rather than exiting, so tests can drive it directly.
+func batchRun(opts options, queryText string, paths []string, out io.Writer) (failed int, err error) {
+	sess := session(opts)
+	tasks := make([]repro.Task, len(paths))
 	for i, path := range paths {
 		d, err := loadFacts(path)
 		if err != nil {
 			return 0, err
 		}
-		insts[i] = repro.Instance{ID: path, Query: q, DB: d}
+		sess.Register(path, d)
+		tasks[i] = repro.Task{ID: path, Kind: repro.TaskSolve, Query: queryText, DB: path}
 	}
-	eng := repro.NewEngine(cfg)
 	start := time.Now()
-	results := eng.SolveBatch(context.Background(), insts)
+	results := sess.DoBatch(context.Background(), tasks, 0)
 	took := time.Since(start)
 
 	for _, r := range results {
-		switch {
-		case r.Err == repro.ErrUnbreakable:
-			// A definite answer, not a failure: no endogenous deletion can
-			// falsify the query on this database.
-			fmt.Fprintf(out, "%-30s unbreakable %-12s (%v)\n",
-				r.ID, r.Classification.Verdict, r.Elapsed.Round(time.Microsecond))
-		case r.Err != nil:
+		if r.Error != nil {
 			failed++
-			fmt.Fprintf(out, "%-30s ERROR %v (%v)\n", r.ID, r.Err, r.Elapsed.Round(time.Microsecond))
-		default:
-			fmt.Fprintf(out, "%-30s ρ=%-5d %-12s method=%s (%v)\n",
-				r.ID, r.Res.Rho, r.Classification.Verdict, r.Res.Method, r.Elapsed.Round(time.Microsecond))
 		}
 	}
-	st := eng.Stats()
+	if opts.json {
+		printJSON(out, struct {
+			Results []*repro.TaskResult `json:"results"`
+		}{results})
+		return failed, nil
+	}
+	for _, r := range results {
+		elapsed := time.Duration(r.ElapsedMS * float64(time.Millisecond)).Round(time.Microsecond)
+		switch {
+		case r.Unbreakable:
+			// A definite answer, not a failure: no endogenous deletion can
+			// falsify the query on this database.
+			fmt.Fprintf(out, "%-30s unbreakable %-12s (%v)\n", r.ID, r.Verdict, elapsed)
+		case r.Error != nil:
+			fmt.Fprintf(out, "%-30s ERROR %v (%v)\n", r.ID, r.Error.Message, elapsed)
+		default:
+			fmt.Fprintf(out, "%-30s ρ=%-5d %-12s method=%s (%v)\n",
+				r.ID, r.Rho, r.Verdict, r.Method, elapsed)
+		}
+	}
+	st := sess.Engine().Stats()
 	fmt.Fprintf(out, "\n%d instances in %v: %d solved, %d failed; cache %d/%d hits; portfolio wins exact=%d sat=%d; IR builds=%d solver runs=%d; timeouts=%d\n",
 		len(results), took.Round(time.Millisecond), st.Solved, failed,
 		st.CacheHits, st.CacheHits+st.CacheMisses,
@@ -184,37 +223,45 @@ func batchRun(cfg repro.EngineConfig, q *repro.Query, paths []string, out io.Wri
 	return failed, nil
 }
 
-func enumerate(q *repro.Query, d *repro.Database) {
+func enumerate(opts options, q *repro.Query, queryText string, d *repro.Database) {
 	const maxSets = 50
-	rho, sets, err := repro.EnumerateMinimum(q, d, maxSets)
+	res, err := session(opts).DoQuery(context.Background(),
+		repro.Task{Kind: repro.TaskEnumerate, Query: queryText, MaxSets: maxSets}, q, d)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("resilience: %d\n", rho)
+	if opts.json {
+		printJSON(os.Stdout, res)
+		return
+	}
+	if res.Unbreakable {
+		fatal(repro.ErrUnbreakable)
+	}
+	fmt.Printf("resilience: %d\n", res.Rho)
 	fmt.Printf("minimum contingency sets (showing up to %d):\n", maxSets)
-	for i, s := range sets {
-		parts := make([]string, len(s))
-		for j, t := range s {
-			parts[j] = d.TupleString(t)
-		}
-		fmt.Printf("  %2d: {%s}\n", i+1, strings.Join(parts, ", "))
+	for i, s := range res.Sets {
+		fmt.Printf("  %2d: {%s}\n", i+1, strings.Join(s, ", "))
 	}
 }
 
-func responsibility(q *repro.Query, d *repro.Database, factText string) {
-	probe, err := loadFactLine(d, factText)
+func responsibility(opts options, q *repro.Query, queryText string, d *repro.Database, factText string) {
+	res, err := session(opts).DoQuery(context.Background(),
+		repro.Task{Kind: repro.TaskResponsibility, Query: queryText, Tuple: factText}, q, d)
 	if err != nil {
 		fatal(err)
 	}
-	k, gamma, err := repro.Responsibility(q, d, probe)
-	if err != nil {
-		fatal(err)
+	if opts.json {
+		printJSON(os.Stdout, res)
+		return
 	}
-	fmt.Printf("tuple:          %s\n", d.TupleString(probe))
-	fmt.Printf("contingency k:  %d\n", k)
-	fmt.Printf("responsibility: 1/%d\n", 1+k)
-	for _, t := range gamma {
-		fmt.Printf("  contingency tuple: %s\n", d.TupleString(t))
+	if res.NotCounterfactual {
+		fatal(fmt.Errorf("tuple %s is not a counterfactual cause under any contingency", res.Tuple))
+	}
+	fmt.Printf("tuple:          %s\n", res.Tuple)
+	fmt.Printf("contingency k:  %d\n", res.K)
+	fmt.Printf("responsibility: 1/%d\n", 1+res.K)
+	for _, t := range res.Contingency {
+		fmt.Printf("  contingency tuple: %s\n", t)
 	}
 }
 
@@ -229,57 +276,48 @@ func buildHardness(q *repro.Query) {
 	fmt.Printf("gadget:  %s\n", r.Gadget)
 }
 
-// loadFactLine parses one fact like "R(1,2)" against d's interner.
-func loadFactLine(d *repro.Database, text string) (repro.Tuple, error) {
-	open := strings.IndexByte(text, '(')
-	closeP := strings.LastIndexByte(text, ')')
-	if open <= 0 || closeP <= open {
-		return repro.Tuple{}, fmt.Errorf("malformed fact %q", text)
+func classify(opts options, q *repro.Query, queryText string) {
+	res, err := session(opts).DoQuery(context.Background(),
+		repro.Task{Kind: repro.TaskClassify, Query: queryText}, q, nil)
+	if err != nil {
+		fatal(err)
 	}
-	rel := strings.TrimSpace(text[:open])
-	var args []string
-	for _, part := range strings.Split(text[open+1:closeP], ",") {
-		args = append(args, strings.TrimSpace(part))
+	if opts.json {
+		printJSON(os.Stdout, res)
+		return
 	}
-	vals := make([]repro.Value, len(args))
-	for i, a := range args {
-		vals[i] = d.Const(a)
-	}
-	t := repro.Tuple{Rel: rel, Arity: uint8(len(vals))}
-	copy(t.Args[:], vals)
-	if !d.Has(t) {
-		return repro.Tuple{}, fmt.Errorf("fact %s not in database", text)
-	}
-	return t, nil
-}
-
-func classify(q *repro.Query) {
-	cl := repro.Classify(q)
 	fmt.Printf("query:       %s\n", q)
-	fmt.Printf("normalized:  %s\n", cl.Normalized)
-	fmt.Printf("complexity:  %s\n", cl.Verdict)
-	fmt.Printf("rule:        %s\n", cl.Rule)
-	fmt.Printf("certificate: %s\n", cl.Certificate)
-	fmt.Printf("algorithm:   %s\n", cl.Algorithm)
-	for i, sub := range cl.Components {
+	fmt.Printf("normalized:  %s\n", res.Normalized)
+	fmt.Printf("complexity:  %s\n", res.Verdict)
+	fmt.Printf("rule:        %s\n", res.Rule)
+	fmt.Printf("certificate: %s\n", res.Certificate)
+	fmt.Printf("algorithm:   %s\n", res.Algorithm)
+	for i, sub := range res.Components {
 		fmt.Printf("component %d: %s [%s]\n", i+1, sub.Verdict, sub.Rule)
 	}
 }
 
-func solve(cfg repro.EngineConfig, q *repro.Query, d *repro.Database) {
-	eng := repro.NewEngine(cfg)
-	res, cl, err := eng.Solve(context.Background(), q, d)
+func solve(opts options, q *repro.Query, queryText string, d *repro.Database) {
+	res, err := session(opts).DoQuery(context.Background(),
+		repro.Task{Kind: repro.TaskSolve, Query: queryText}, q, d)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("complexity:  %s (%s)\n", cl.Verdict, cl.Rule)
+	if opts.json {
+		printJSON(os.Stdout, res)
+		return
+	}
+	if res.Unbreakable {
+		fatal(repro.ErrUnbreakable)
+	}
+	fmt.Printf("complexity:  %s (%s)\n", res.Verdict, res.Rule)
 	fmt.Printf("method:      %s\n", res.Method)
 	fmt.Printf("witnesses:   %d\n", res.Witnesses)
 	fmt.Printf("resilience:  %d\n", res.Rho)
-	if len(res.ContingencySet) > 0 {
+	if len(res.Contingency) > 0 {
 		fmt.Println("contingency set:")
-		for _, t := range res.ContingencySet {
-			fmt.Printf("  %s\n", d.TupleString(t))
+		for _, t := range res.Contingency {
+			fmt.Printf("  %s\n", t)
 		}
 	}
 }
@@ -349,7 +387,7 @@ func usage() {
 }
 
 func fprintUsage(out io.Writer, fs *flag.FlagSet) {
-	fmt.Fprintln(out, "usage: resil [-workers N] [-timeout D] [-portfolio] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
+	fmt.Fprintln(out, "usage: resil [-workers N] [-timeout D] [-portfolio] [-json] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
 	if fs != nil {
 		fs.PrintDefaults()
 	}

@@ -15,27 +15,30 @@ import (
 )
 
 func TestParseEngineFlags(t *testing.T) {
-	cfg, rest, err := parseEngineFlags(
-		[]string{"-workers", "4", "-timeout", "150ms", "-portfolio",
+	opts, rest, err := parseEngineFlags(
+		[]string{"-workers", "4", "-timeout", "150ms", "-portfolio", "-json",
 			"batch", "q :- R(x,y)", "a.txt", "b.txt"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := repro.EngineConfig{Workers: 4, Timeout: 150 * time.Millisecond, Portfolio: true}
-	if cfg != want {
-		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	if opts.engine != want {
+		t.Fatalf("cfg = %+v, want %+v", opts.engine, want)
+	}
+	if !opts.json {
+		t.Fatal("opts.json = false, want true")
 	}
 	if len(rest) != 4 || rest[0] != "batch" || rest[2] != "a.txt" {
 		t.Fatalf("positional args = %v", rest)
 	}
 
 	// Defaults: zero config, everything positional.
-	cfg, rest, err = parseEngineFlags([]string{"classify", "q :- R(x,y)"}, io.Discard)
+	opts, rest, err = parseEngineFlags([]string{"classify", "q :- R(x,y)"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if (cfg != repro.EngineConfig{}) {
-		t.Fatalf("default cfg = %+v, want zero value", cfg)
+	if (opts != options{}) {
+		t.Fatalf("default opts = %+v, want zero value", opts)
 	}
 	if len(rest) != 2 {
 		t.Fatalf("positional args = %v", rest)
@@ -80,10 +83,9 @@ func TestBatchRunSolvesFiles(t *testing.T) {
 		writeChainFacts(t, dir, "day1.txt", 8, 3, 1),
 		writeChainFacts(t, dir, "day2.txt", 10, 4, 2),
 	}
-	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
 
 	var out bytes.Buffer
-	failed, err := batchRun(repro.EngineConfig{Workers: 2, Portfolio: true}, q, paths, &out)
+	failed, err := batchRun(options{engine: repro.EngineConfig{Workers: 2, Portfolio: true}}, "qchain :- R(x,y), R(y,z)", paths, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,10 +110,9 @@ func TestBatchRunSolvesFiles(t *testing.T) {
 func TestBatchRunPerInstanceTimeout(t *testing.T) {
 	dir := t.TempDir()
 	paths := []string{writeChainFacts(t, dir, "slow.txt", 2000, 2000, 3)}
-	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
 
 	var out bytes.Buffer
-	failed, err := batchRun(repro.EngineConfig{Workers: 1, Timeout: time.Nanosecond}, q, paths, &out)
+	failed, err := batchRun(options{engine: repro.EngineConfig{Workers: 1, Timeout: time.Nanosecond}}, "qchain :- R(x,y), R(y,z)", paths, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,8 +129,7 @@ func TestBatchRunPerInstanceTimeout(t *testing.T) {
 }
 
 func TestBatchRunMissingFile(t *testing.T) {
-	q := repro.MustParse("qchain :- R(x,y), R(y,z)")
-	if _, err := batchRun(repro.EngineConfig{}, q, []string{"/does/not/exist.txt"}, io.Discard); err == nil {
+	if _, err := batchRun(options{}, "qchain :- R(x,y), R(y,z)", []string{"/does/not/exist.txt"}, io.Discard); err == nil {
 		t.Fatal("batchRun accepted a missing facts file")
 	}
 }

@@ -5,6 +5,13 @@
 // admission control, the classification cache, and the cross-request
 // witness-IR cache — under concurrency.
 //
+// It speaks the v1 task API through the client SDK (package
+// repro/client): scenario databases are registered with PutDB, the
+// request mix is a stream of api.Task envelopes through Do, and the
+// closing /metrics snapshot comes from Metrics. There is no bespoke
+// request encoding here — resilload exercises exactly the code path SDK
+// users run.
+//
 // Usage:
 //
 //	resilserverd -addr :8080 &
@@ -26,21 +33,20 @@
 // chain and confluence exercise the NP-hard portfolio path, components
 // the many-component heavy-tailed hypergraphs the kernel+decompose
 // pipeline splits and solves in parallel, perm and linear the specialized
-// PTIME solvers. The databases are registered once
-// via PUT /db/{name}; the request mix then cycles through the scenarios,
-// so server-side caches see a realistic mixture of repeated query classes.
-// After the run, resilload prints per-scenario latency percentiles, the
-// overall throughput, and the server's /metrics snapshot — the IR-cache
-// hit counters are the quickest way to confirm the enumerate-once
-// behavior is working across requests.
+// PTIME solvers. The databases are registered once via PUT /v1/db/{name};
+// the request mix then cycles through the scenarios, so server-side
+// caches see a realistic mixture of repeated query classes. After the
+// run, resilload prints per-scenario latency percentiles, the overall
+// throughput, and the server's /metrics snapshot — the IR-cache hit
+// counters are the quickest way to confirm the enumerate-once behavior is
+// working across requests.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -51,6 +57,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/api"
+	"repro/client"
 	"repro/internal/datagen"
 )
 
@@ -76,10 +84,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	client := &http.Client{Timeout: 2 * time.Duration(*timeoutMS) * time.Millisecond}
+	// Retries off: resilload counts 429s itself — the load generator must
+	// observe shedding, not paper over it.
+	cl := client.New(*addr,
+		client.WithRetries(0),
+		client.WithHTTPClient(&http.Client{Timeout: 2 * time.Duration(*timeoutMS) * time.Millisecond}))
+	ctx := context.Background()
 
 	for _, sc := range mix {
-		if err := registerDB(client, *addr, sc); err != nil {
+		if _, err := cl.PutDB(ctx, sc.name, sc.facts); err != nil {
 			fatal(fmt.Errorf("registering %s: %w", sc.name, err))
 		}
 		fmt.Printf("registered db %-12s %5d facts  query %s\n", sc.name, len(sc.facts), sc.query)
@@ -109,21 +122,23 @@ func main() {
 				}
 				sc := mix[i%len(mix)]
 				t0 := time.Now()
-				status, err := solve(client, *addr, sc, *timeoutMS)
+				_, err := cl.Do(ctx, api.Task{
+					Kind:      api.KindSolve,
+					Query:     sc.query,
+					DB:        sc.name,
+					TimeoutMS: *timeoutMS,
+				})
 				took := time.Since(t0)
 				switch {
-				case err != nil:
-					failed.Add(1)
-					fmt.Fprintf(os.Stderr, "resilload: %s: %v\n", sc.name, err)
-				case status == http.StatusTooManyRequests:
-					rejected.Add(1)
-				case status != http.StatusOK:
-					failed.Add(1)
-					fmt.Fprintf(os.Stderr, "resilload: %s: status %d\n", sc.name, status)
-				default:
+				case err == nil:
 					mu.Lock()
 					lats[sc.name] = append(lats[sc.name], took)
 					mu.Unlock()
+				case errors.Is(err, api.ErrOverload):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "resilload: %s: %v\n", sc.name, err)
 				}
 			}
 		}()
@@ -148,7 +163,7 @@ func main() {
 		total, rejected.Load(), failed.Load(), wall.Round(time.Millisecond),
 		float64(total)/wall.Seconds())
 
-	if err := printMetrics(client, *addr); err != nil {
+	if err := printMetrics(cl); err != nil {
 		fmt.Fprintf(os.Stderr, "resilload: metrics: %v\n", err)
 	}
 	if failed.Load() > 0 {
@@ -236,43 +251,6 @@ func renderFacts(d *repro.Database) []string {
 	return out
 }
 
-func registerDB(client *http.Client, addr string, sc scenario) error {
-	body, err := json.Marshal(map[string]any{"facts": sc.facts})
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequest(http.MethodPut, addr+"/db/"+sc.name, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
-	}
-	return nil
-}
-
-func solve(client *http.Client, addr string, sc scenario, timeoutMS int64) (int, error) {
-	body, err := json.Marshal(map[string]any{
-		"query": sc.query, "db": sc.name, "timeout_ms": timeoutMS,
-	})
-	if err != nil {
-		return 0, err
-	}
-	resp, err := client.Post(addr+"/solve", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-	return resp.StatusCode, nil
-}
-
 // pct returns the p-th percentile of sorted durations.
 func pct(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
@@ -282,14 +260,9 @@ func pct(sorted []time.Duration, p int) time.Duration {
 	return sorted[i].Round(10 * time.Microsecond)
 }
 
-func printMetrics(client *http.Client, addr string) error {
-	resp, err := client.Get(addr + "/metrics")
+func printMetrics(cl *client.Client) error {
+	m, err := cl.Metrics(context.Background())
 	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var m map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		return err
 	}
 	keys := make([]string, 0, len(m))

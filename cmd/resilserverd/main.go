@@ -20,20 +20,30 @@
 //	                     (default 32 MiB)
 //	-grace D             shutdown grace period: time to let in-flight
 //	                     requests finish after SIGINT/SIGTERM (default 10s)
+//	-job-workers N       async-job executor goroutines (default 2)
 //
 // Endpoints (see README.md for curl transcripts):
 //
-//	PUT    /db/{name}      register a database from a JSON fact list
-//	GET    /db             list registered databases
-//	GET    /db/{name}      registration metadata
-//	DELETE /db/{name}      unregister
-//	POST   /classify       dichotomy verdict with certificate
-//	POST   /solve          ρ(q, D) for one query against a registered db
-//	POST   /batch          many instances through the engine's worker pool
-//	POST   /enumerate      ρ plus every minimum contingency set
-//	POST   /responsibility responsibility of one endogenous tuple
-//	GET    /metrics        engine + server counters (JSON)
+//	POST   /v1/tasks       generic dispatch: one api.Task envelope, all six
+//	                       kinds (classify, solve, enumerate,
+//	                       responsibility, decide, verify_contingency);
+//	                       ?stream=ndjson streams results as found
+//	POST   /v1/batch       many tasks on the worker pool; NDJSON streaming
+//	                       emits each result in completion order
+//	POST   /v1/jobs        async job submission (202 + job record)
+//	GET    /v1/jobs        list jobs
+//	GET    /v1/jobs/{id}   poll a job
+//	DELETE /v1/jobs/{id}   cancel a queued/running job, drop a finished one
+//	PUT    /v1/db/{name}   register a database from a JSON fact list
+//	GET    /v1/db          list registered databases
+//	GET    /v1/db/{name}   registration metadata
+//	DELETE /v1/db/{name}   unregister
+//	GET    /metrics        engine + server + job counters (JSON)
 //	GET    /healthz        liveness; 503 while draining
+//
+// The pre-v1 endpoints (/solve, /batch, /classify, /enumerate,
+// /responsibility, /db/{name}) remain as shims over the v1 Session with
+// their historical response shapes.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, fails its
 // health checks, and gives in-flight requests the grace period to finish;
@@ -66,6 +76,7 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "default per-request wall-time budget (0 = none)")
 		maxBody     = flag.Int64("max-body", 0, "request-body byte cap (0 = default 32 MiB)")
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		jobWorkers  = flag.Int("job-workers", 0, "async-job executor goroutines (0 = default 2)")
 		drainDelay  = flag.Duration("drain-delay", 5*time.Second, "time between failing /healthz and closing the listener, so load balancers observe the 503 and stop routing here")
 	)
 	flag.Parse()
@@ -82,7 +93,9 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
+		JobWorkers:     *jobWorkers,
 	})
+	defer srv.Close() // stop async-job workers on the way out
 
 	// baseCtx is the ancestor of every request context: cancelling it
 	// after the grace period aborts solver loops that outlived shutdown.

@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 
 	"repro"
+	"repro/api"
+	"repro/client"
 )
 
 // ExampleResilience is the README quickstart, compiled: parse a query,
@@ -29,6 +31,42 @@ func ExampleResilience() {
 	// Output:
 	// rho: 2
 	// verdict: NP-complete
+}
+
+// ExampleNewSession is the README v1 task-API snippet, compiled: one
+// typed Task envelope dispatched through a Session in-process, and the
+// same envelope round-tripped over HTTP through the client SDK — the two
+// paths answer identically because the server delegates to the same
+// Session type.
+func ExampleNewSession() {
+	sess := repro.NewSession(repro.SessionConfig{})
+	if _, err := sess.RegisterFacts("toy", []string{"R(1,2)", "R(2,3)", "R(3,3)"}); err != nil {
+		panic(err)
+	}
+	task := repro.Task{Kind: repro.TaskSolve, Query: "qchain :- R(x,y), R(y,z)", DB: "toy"}
+	res, err := sess.Do(context.Background(), task)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("in-process rho:", res.Rho)
+
+	// The same Task over the wire, through the SDK.
+	srv := repro.NewServer(repro.ServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	if _, err := c.PutDB(context.Background(), "toy", []string{"R(1,2)", "R(2,3)", "R(3,3)"}); err != nil {
+		panic(err)
+	}
+	remote, err := c.Do(context.Background(), api.Task{Kind: api.KindSolve, Query: task.Query, DB: "toy"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("remote rho:", remote.Rho)
+	// Output:
+	// in-process rho: 2
+	// remote rho: 2
 }
 
 // ExampleNewEngine is the README engine snippet, compiled: shard a batch

@@ -182,7 +182,10 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-func (e *Engine) workers() int {
+// Workers reports the effective worker-pool size (Config.Workers, or
+// GOMAXPROCS when unset). Callers that fan work out around the engine —
+// the Session's task batches — size their pools to match.
+func (e *Engine) Workers() int {
 	if e.cfg.Workers > 0 {
 		return e.cfg.Workers
 	}
@@ -227,7 +230,7 @@ func (e *Engine) SolveBatch(ctx context.Context, insts []Instance) []BatchResult
 	if len(insts) == 0 {
 		return out
 	}
-	workers := e.workers()
+	workers := e.Workers()
 	if workers > len(insts) {
 		workers = len(insts)
 	}

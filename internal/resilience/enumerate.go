@@ -97,11 +97,120 @@ func enumerateMinimumMonolithic(ctx context.Context, inst *witset.Instance, d *d
 		return 0, nil, nil
 	}
 	poll := ctxpoll.New(ctx)
-	sets, err := enumerateRows(poll, inst.Rows(), inst.NumTuples(), base.Rho, maxSets)
+	sets, err := enumerateRows(poll, inst.Rows(), inst.NumTuples(), base.Rho, maxSets, nil)
 	if err != nil {
 		return 0, nil, err
 	}
 	return base.Rho, finishSets(inst, d, sets), nil
+}
+
+// EnumerateMinimumFunc is the streaming form of EnumerateMinimumOnInstance:
+// every minimum contingency set is passed to emit as the search discovers
+// it, so a serving layer can flush the first set to a client long before
+// the enumeration finishes. It returns ρ and the number of sets emitted.
+//
+// ρ is computed first (one hitting-set solve per component), so emit
+// always receives the final ρ; sets then arrive in discovery order — NOT
+// the canonical sorted order of EnumerateMinimumOnInstance — with each
+// set's tuples sorted by instance id. maxSets caps emission (0 = no cap).
+// An error returned by emit aborts the search and is returned unchanged.
+//
+// Structure: all components but the last are enumerated into the running
+// cross-product prefix; the last component's enumeration is then streamed,
+// each newly found local set completing len(prefix) global sets. On
+// single-component instances (the common case) this degenerates to pure
+// streaming of the branch-and-enumerate recursion.
+func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int, emit func(rho int, set []db.Tuple) error) (int, int, error) {
+	if inst.Unbreakable() {
+		return 0, 0, ErrUnbreakable
+	}
+	comps := inst.Components()
+	if len(comps) == 0 {
+		return 0, 0, nil // no witnesses, or every row empty — ρ = 0
+	}
+	poll := ctxpoll.New(ctx)
+
+	// Solve every component up front: ρ is the sum of the component minima
+	// (additivity over disjoint tuple universes), and streaming can only
+	// start once it is known.
+	rho := 0
+	rhos := make([]int, len(comps))
+	for i, c := range comps {
+		crho, _, err := solveFamily(ctx, c.Fam, -1, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		rhos[i] = crho
+		rho += crho
+	}
+
+	// Cross-product prefix over all components but the last contributing
+	// one. Components with crho == 0 cannot happen (components have rows)
+	// but are skipped like in the non-streaming path, keeping both
+	// enumerations total on the same inputs.
+	contributing := make([]int, 0, len(comps))
+	for i := range comps {
+		if rhos[i] > 0 {
+			contributing = append(contributing, i)
+		}
+	}
+	if len(contributing) == 0 {
+		return rho, 0, nil
+	}
+	last := contributing[len(contributing)-1]
+	prefix := [][]int32{nil}
+	for _, i := range contributing[:len(contributing)-1] {
+		csets, err := enumerateRows(poll, comps[i].Fam.Rows, comps[i].Fam.N, rhos[i], maxSets, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		next := make([][]int32, 0, len(prefix)*len(csets))
+	cross:
+		for _, base := range prefix {
+			for _, cs := range csets {
+				merged := make([]int32, 0, len(base)+len(cs))
+				merged = append(append(merged, base...), comps[i].ToGlobal(cs)...)
+				next = append(next, merged)
+				if maxSets > 0 && len(next) >= maxSets {
+					break cross
+				}
+			}
+		}
+		prefix = next
+	}
+
+	c := comps[last]
+	count := 0
+	var emitErr error
+	_, err := enumerateRows(poll, c.Fam.Rows, c.Fam.N, rhos[last], 0, func(cs []int32) bool {
+		for _, base := range prefix {
+			// The prefix cross product can dwarf the recursion between
+			// emissions (2^components sets from one local set), so
+			// cancellation is polled per emission, not just per search
+			// node.
+			if poll.Cancelled() {
+				return false
+			}
+			merged := make([]int32, 0, len(base)+len(cs))
+			merged = append(append(merged, base...), c.ToGlobal(cs)...)
+			sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+			if emitErr = emit(rho, inst.TupleSet(merged)); emitErr != nil {
+				return false
+			}
+			count++
+			if maxSets > 0 && count >= maxSets {
+				return false
+			}
+		}
+		return true
+	})
+	if emitErr != nil {
+		return 0, count, emitErr
+	}
+	if err != nil {
+		return 0, count, err
+	}
+	return rho, count, nil
 }
 
 // enumerateFamily returns a family's minimum hitting set size together with
@@ -115,7 +224,7 @@ func enumerateFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Fami
 	if rho == 0 {
 		return 0, nil, nil
 	}
-	sets, err := enumerateRows(poll, fam.Rows, fam.N, rho, maxSets)
+	sets, err := enumerateRows(poll, fam.Rows, fam.N, rho, maxSets, nil)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -124,9 +233,13 @@ func enumerateFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Fami
 
 // enumerateRows visits every hitting set of rows with exactly rho elements
 // by branching on the first unhit row (any optimal set must intersect it),
-// deduplicating sets that different branch orders reach. Returned sets are
-// sorted id slices in a deterministic order.
-func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n, rho, maxSets int) ([][]int32, error) {
+// deduplicating sets that different branch orders reach. With a nil visit,
+// sets are collected and returned as sorted id slices in a deterministic
+// order, capped at maxSets (0 = no cap). With a non-nil visit, each
+// deduplicated set is passed to it as the recursion finds it — the
+// streaming mode — and a false return stops the search; the returned slice
+// is then nil and capping is the visitor's business.
+func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n, rho, maxSets int, visit func([]int32) bool) ([][]int32, error) {
 	chosen := witset.NewBits(n)
 	var cur []int32
 	seen := map[string]bool{}
@@ -140,6 +253,9 @@ func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n, rho, maxSets int) ([
 			return true
 		}
 		seen[k] = true
+		if visit != nil {
+			return visit(set)
+		}
 		out = append(out, set)
 		return maxSets == 0 || len(out) < maxSets
 	}

@@ -1,37 +1,20 @@
 package server
 
-import (
-	"fmt"
-	"strings"
+// The wire types of the legacy (pre-v1) HTTP/JSON API. These shapes are
+// frozen: the handlers behind them are shims over the v1 Session, and the
+// parity test suite pins each field against its v1 counterpart. Facts and
+// tuples travel as strings in the same "R(a,b)" notation the CLI uses, so
+// curl transcripts and fact files stay interchangeable.
+//
+// The v1 surface has no hand-rolled types here: it speaks api.Task,
+// api.Result, api.BatchRequest/Response, api.Job and api.ErrorBody
+// directly.
 
-	"repro/internal/db"
-)
-
-// The wire types of the HTTP/JSON API. Every request body is a single
-// JSON object; every response is a single JSON object (or an errorBody
-// with a non-2xx status). Facts and tuples travel as strings in the same
-// "R(a,b)" notation the CLI uses, so curl transcripts and fact files stay
-// interchangeable.
-
-// putDBRequest is the body of PUT /db/{name}.
+// putDBRequest is the body of PUT /db/{name} and PUT /v1/db/{name}.
 type putDBRequest struct {
 	// Facts holds one fact per entry, e.g. "R(1,2)". Blank entries are
 	// rejected (unlike fact files there is no comment syntax here).
 	Facts []string `json:"facts"`
-}
-
-// dbInfo describes a registered database (PUT /db/{name}, GET /db/{name},
-// and the elements of GET /db).
-type dbInfo struct {
-	Name string `json:"name"`
-	// Tuples and Constants are totals; Relations maps relation name to its
-	// tuple count.
-	Tuples    int            `json:"tuples"`
-	Constants int            `json:"constants"`
-	Relations map[string]int `json:"relations"`
-	// Version is the database's mutation counter; together with the name
-	// it identifies the contents a cached IR was built from.
-	Version uint64 `json:"version"`
 }
 
 // solveRequest is the body of POST /solve.
@@ -152,68 +135,7 @@ type responsibilityResponse struct {
 	NotCounterfactual bool `json:"not_counterfactual,omitempty"`
 }
 
-// errorBody accompanies every non-2xx response.
+// errorBody accompanies every non-2xx legacy response.
 type errorBody struct {
 	Error string `json:"error"`
-}
-
-// parseFact splits "R(a,b)" into its relation name and argument names.
-// It is strict — unlike the CLI's forgiving fact-file reader, a malformed
-// wire fact is a client error: the closing parenthesis must end the fact,
-// and the relation and every argument must be non-empty.
-func parseFact(text string) (rel string, args []string, err error) {
-	text = strings.TrimSpace(text)
-	open := strings.IndexByte(text, '(')
-	if open <= 0 || !strings.HasSuffix(text, ")") || open >= len(text)-1 {
-		return "", nil, fmt.Errorf("malformed fact %q (want R(a,b))", text)
-	}
-	rel = strings.TrimSpace(text[:open])
-	if rel == "" {
-		return "", nil, fmt.Errorf("malformed fact %q (empty relation name)", text)
-	}
-	for _, part := range strings.Split(text[open+1:len(text)-1], ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			return "", nil, fmt.Errorf("malformed fact %q (empty argument)", text)
-		}
-		args = append(args, part)
-	}
-	return rel, args, nil
-}
-
-// lookupTuple resolves a fact string against d without interning: the
-// tuple must already exist in d (the serving layer never mutates a
-// registered database).
-func lookupTuple(d *db.Database, text string) (db.Tuple, error) {
-	rel, args, err := parseFact(text)
-	if err != nil {
-		return db.Tuple{}, err
-	}
-	if len(args) == 0 || len(args) > db.MaxArity {
-		return db.Tuple{}, fmt.Errorf("fact %q has arity %d, want 1..%d", text, len(args), db.MaxArity)
-	}
-	t := db.Tuple{Rel: rel, Arity: uint8(len(args))}
-	for i, a := range args {
-		v, ok := d.LookupConst(a)
-		if !ok {
-			return db.Tuple{}, fmt.Errorf("fact %s not in database (unknown constant %q)", text, a)
-		}
-		t.Args[i] = v
-	}
-	if !d.Has(t) {
-		return db.Tuple{}, fmt.Errorf("fact %s not in database", text)
-	}
-	return t, nil
-}
-
-// tupleStrings renders a contingency set with constant names resolved.
-func tupleStrings(d *db.Database, ts []db.Tuple) []string {
-	if len(ts) == 0 {
-		return nil
-	}
-	out := make([]string, len(ts))
-	for i, t := range ts {
-		out[i] = d.TupleString(t)
-	}
-	return out
 }

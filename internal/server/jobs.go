@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+)
+
+// jobManager runs async v1 jobs: a bounded queue feeding a small worker
+// pool, with a capped store of job records for polling. It exists so
+// long-running tasks (big enumerations, NP-hard solves with generous
+// timeouts) do not have to hold an HTTP connection — submit, poll, cancel.
+//
+// Lifecycle: queued → running → done | failed | canceled. Cancellation of
+// a running job cancels its context; the ctx-polling solver loops observe
+// it and stop burning CPU. Terminal jobs stay in the store until evicted
+// (oldest-terminal-first once the store cap is hit) or removed by a
+// DELETE.
+type jobManager struct {
+	sess *api.Session
+
+	mu     sync.Mutex
+	jobs   map[string]*jobEntry
+	order  []string // insertion order: list output and eviction scan
+	closed bool     // close() has run; reject new submissions
+
+	queue     chan *jobEntry
+	maxStored int
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	counter   atomic.Int64
+	submitted atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+}
+
+// jobEntry is one job record. The embedded api.Job and cancel func are
+// guarded by the manager's mutex; workers mutate state only through it.
+type jobEntry struct {
+	job    api.Job
+	cancel context.CancelFunc // non-nil while running
+}
+
+func newJobManager(sess *api.Session, workers, queueCap, maxStored int) *jobManager {
+	ctx, stop := context.WithCancel(context.Background())
+	m := &jobManager{
+		sess:      sess,
+		jobs:      map[string]*jobEntry{},
+		queue:     make(chan *jobEntry, queueCap),
+		maxStored: maxStored,
+		baseCtx:   ctx,
+		stop:      stop,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// close stops the workers and cancels any running job. The queue channel
+// is never closed — a concurrent submit may still be sending on it — the
+// workers exit through the cancelled base context, and submissions after
+// close are rejected via the closed flag. Jobs that never got to run are
+// stamped canceled so pollers see a terminal state.
+func (m *jobManager) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, je := range m.jobs {
+		if !je.job.State.Terminal() {
+			m.finishLocked(je, api.JobCanceled, nil, api.Errorf(api.CodeCanceled, "job manager shut down"))
+		}
+	}
+}
+
+type jobStats struct {
+	submitted, done, failed, canceled int64
+	active                            int
+}
+
+func (m *jobManager) stats() jobStats {
+	m.mu.Lock()
+	active := 0
+	for _, je := range m.jobs {
+		if !je.job.State.Terminal() {
+			active++
+		}
+	}
+	m.mu.Unlock()
+	return jobStats{
+		submitted: m.submitted.Load(),
+		done:      m.done.Load(),
+		failed:    m.failed.Load(),
+		canceled:  m.canceled.Load(),
+		active:    active,
+	}
+}
+
+// submit validates the task envelope, stores a queued job, and enqueues
+// it. A full queue or a store full of unfinished jobs rejects with
+// overload — the async counterpart of admission control.
+func (m *jobManager) submit(task api.Task) (*api.Job, error) {
+	if err := task.Validate(true); err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("job-%d", m.counter.Add(1))
+	je := &jobEntry{job: api.Job{
+		ID:      id,
+		State:   api.JobQueued,
+		Task:    task,
+		Created: time.Now().UTC(),
+	}}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, api.Errorf(api.CodeOverload, "server shutting down")
+	}
+	if len(m.jobs) >= m.maxStored && !m.evictOneLocked() {
+		return nil, api.Errorf(api.CodeOverload, "job store full (%d unfinished jobs)", m.maxStored)
+	}
+	// Store and enqueue under one critical section: the non-blocking send
+	// cannot deadlock (workers never need the mutex to receive), and
+	// holding it keeps close() from slipping between the closed check and
+	// the send. The snapshot is taken before the send — the moment the
+	// entry hits the queue a worker may start mutating it.
+	m.jobs[id] = je
+	m.order = append(m.order, id)
+	snap := je.job
+	select {
+	case m.queue <- je:
+	default:
+		// Roll back this entry only — under concurrent submits the tail
+		// of m.order may belong to someone else.
+		delete(m.jobs, id)
+		for i := len(m.order) - 1; i >= 0; i-- {
+			if m.order[i] == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		return nil, api.Errorf(api.CodeOverload, "job queue full (%d queued)", cap(m.queue))
+	}
+	m.submitted.Add(1)
+	return &snap, nil
+}
+
+// evictOneLocked drops the oldest terminal job, reporting whether one was
+// found. Callers hold m.mu.
+func (m *jobManager) evictOneLocked() bool {
+	for i, id := range m.order {
+		if je, ok := m.jobs[id]; ok && je.job.State.Terminal() {
+			delete(m.jobs, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *jobManager) get(id string) (*api.Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	je, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	snap := je.job
+	return &snap, true
+}
+
+func (m *jobManager) list() []*api.Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*api.Job, 0, len(m.order))
+	for _, id := range m.order {
+		if je, ok := m.jobs[id]; ok {
+			snap := je.job
+			out = append(out, &snap)
+		}
+	}
+	return out
+}
+
+// cancel cancels a queued or running job; on a terminal job it removes
+// the record instead (DELETE semantics for finished work). The returned
+// snapshot reflects the state after the call.
+func (m *jobManager) cancel(id string) (*api.Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	je, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case je.job.State.Terminal():
+		delete(m.jobs, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	case je.job.State == api.JobQueued:
+		// The worker that eventually pops this entry sees the terminal
+		// state and skips it.
+		m.finishLocked(je, api.JobCanceled, nil, api.Errorf(api.CodeCanceled, "job canceled before start"))
+	default: // running
+		je.job.State = api.JobCanceled
+		if je.cancel != nil {
+			je.cancel() // the worker fills in Finished when the solver stops
+		}
+	}
+	snap := je.job
+	return &snap, true
+}
+
+// finishLocked stamps a terminal state. Callers hold m.mu.
+func (m *jobManager) finishLocked(je *jobEntry, state api.JobState, res *api.Result, jerr *api.Error) {
+	now := time.Now().UTC()
+	je.job.State = state
+	je.job.Result = res
+	je.job.Error = jerr
+	je.job.Finished = &now
+	je.cancel = nil
+	switch state {
+	case api.JobDone:
+		m.done.Add(1)
+	case api.JobFailed:
+		m.failed.Add(1)
+	case api.JobCanceled:
+		m.canceled.Add(1)
+	}
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case je := <-m.queue:
+			m.run(je)
+		}
+	}
+}
+
+func (m *jobManager) run(je *jobEntry) {
+	m.mu.Lock()
+	if je.job.State != api.JobQueued {
+		m.mu.Unlock() // canceled while queued
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	now := time.Now().UTC()
+	je.job.State = api.JobRunning
+	je.job.Started = &now
+	je.cancel = cancel
+	task := je.job.Task
+	m.mu.Unlock()
+	defer cancel()
+
+	// The task's own timeout_ms (applied by the Session) is the only
+	// deadline: jobs exist precisely for work that outlives the
+	// synchronous per-request budget.
+	res, err := m.sess.Do(ctx, task)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if je.job.State == api.JobCanceled {
+		// Canceled mid-run: record when the solver actually stopped and
+		// keep the cancellation state, whatever the solver returned.
+		m.finishLocked(je, api.JobCanceled, nil, api.Errorf(api.CodeCanceled, "job canceled"))
+		return
+	}
+	if err != nil {
+		if m.baseCtx.Err() != nil {
+			// Interrupted by manager shutdown, not a solver failure: the
+			// lifecycle contract says cancellation yields "canceled".
+			m.finishLocked(je, api.JobCanceled, nil, api.Errorf(api.CodeCanceled, "job manager shut down"))
+			return
+		}
+		m.finishLocked(je, api.JobFailed, nil, api.Wrap(err))
+		return
+	}
+	m.finishLocked(je, api.JobDone, res, nil)
+}

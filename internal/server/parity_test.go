@@ -1,0 +1,198 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/api"
+	"repro/internal/datagen"
+	"repro/internal/db"
+)
+
+// The legacy ↔ v1 parity suite: every legacy endpoint is a shim over the
+// Session, and these tests pin that the shim translation loses nothing —
+// on differential-suite-style random instances, the legacy response and
+// the v1 api.Result agree field for field (answers, not timings).
+
+func renderDB(d *db.Database) []string {
+	ts := d.AllTuples()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = d.TupleString(t)
+	}
+	return out
+}
+
+// parityInstances spans the PTIME and NP-hard solver families the
+// differential suite exercises.
+func parityInstances(rng *rand.Rand) []struct {
+	name  string
+	query string
+	facts []string
+} {
+	return []struct {
+		name  string
+		query string
+		facts []string
+	}{
+		{"chain", "qchain :- R(x,y), R(y,z)", renderDB(datagen.ChainDB(rng, 10, 5))},
+		{"mcomp", "qm :- R(x,y), R(y,z)", renderDB(datagen.ManyComponentChainDB(rng, 4, 3, 6))},
+		{"conf", "qc :- A(x), R(x,y), R(z,y), C(z)", renderDB(datagen.ConfluenceDB(rng, 3, 3, 2))},
+		{"perm", "qperm :- R(x,y), R(y,x)", renderDB(datagen.PermDB(rng, 12, 4, 20))},
+		{"linear", "qlin :- A(x), R1(x,y), R2(y,z), C(z)", renderDB(datagen.LinearSJFreeDB(rng, 8, 20))},
+	}
+}
+
+func TestLegacyV1Parity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(321))
+
+	for _, inst := range parityInstances(rng) {
+		if status := doJSON(t, http.MethodPut, ts.URL+"/db/"+inst.name,
+			putDBRequest{Facts: inst.facts}, nil); status != http.StatusOK {
+			t.Fatalf("PUT %s: status %d", inst.name, status)
+		}
+
+		// Solve parity.
+		var leg solveResponse
+		if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+			solveRequest{Query: inst.query, DB: inst.name}, &leg); status != 200 {
+			t.Fatalf("%s: legacy solve status %d", inst.name, status)
+		}
+		var v1 api.Result
+		if status := doJSON(t, http.MethodPost, ts.URL+"/v1/tasks",
+			api.Task{Kind: api.KindSolve, Query: inst.query, DB: inst.name}, &v1); status != 200 {
+			t.Fatalf("%s: v1 solve status %d", inst.name, status)
+		}
+		if leg.Rho != v1.Rho || leg.Method != v1.Method || leg.Witnesses != v1.Witnesses ||
+			leg.Verdict != v1.Verdict || leg.Rule != v1.Rule || leg.Unbreakable != v1.Unbreakable ||
+			!reflect.DeepEqual(leg.Contingency, v1.Contingency) {
+			t.Errorf("%s: solve parity broken:\nlegacy %+v\nv1     %+v", inst.name, leg, v1)
+		}
+
+		// Enumerate parity: set lists must be byte-identical (same
+		// canonical order).
+		var legEnum enumerateResponse
+		if status := doJSON(t, http.MethodPost, ts.URL+"/enumerate",
+			enumerateRequest{Query: inst.query, DB: inst.name, MaxSets: 64}, &legEnum); status != 200 {
+			t.Fatalf("%s: legacy enumerate status %d", inst.name, status)
+		}
+		var v1Enum api.Result
+		if status := doJSON(t, http.MethodPost, ts.URL+"/v1/tasks",
+			api.Task{Kind: api.KindEnumerate, Query: inst.query, DB: inst.name, MaxSets: 64}, &v1Enum); status != 200 {
+			t.Fatalf("%s: v1 enumerate status %d", inst.name, status)
+		}
+		if legEnum.Rho != v1Enum.Rho || legEnum.Unbreakable != v1Enum.Unbreakable {
+			t.Errorf("%s: enumerate rho/unbreakable parity broken: %+v vs %+v", inst.name, legEnum, v1Enum)
+		}
+		v1Sets := v1Enum.Sets
+		if v1Sets == nil {
+			v1Sets = [][]string{}
+		}
+		if !reflect.DeepEqual(legEnum.Sets, v1Sets) {
+			t.Errorf("%s: enumerate sets parity broken:\nlegacy %v\nv1     %v", inst.name, legEnum.Sets, v1Sets)
+		}
+
+		// Classify parity.
+		var legCl classifyResponse
+		if status := doJSON(t, http.MethodPost, ts.URL+"/classify",
+			classifyRequest{Query: inst.query}, &legCl); status != 200 {
+			t.Fatalf("%s: legacy classify status %d", inst.name, status)
+		}
+		var v1Cl api.Result
+		if status := doJSON(t, http.MethodPost, ts.URL+"/v1/tasks",
+			api.Task{Kind: api.KindClassify, Query: inst.query}, &v1Cl); status != 200 {
+			t.Fatalf("%s: v1 classify status %d", inst.name, status)
+		}
+		if legCl.Verdict != v1Cl.Verdict || legCl.Rule != v1Cl.Rule ||
+			legCl.Normalized != v1Cl.Normalized || legCl.Algorithm != v1Cl.Algorithm ||
+			legCl.Certificate != v1Cl.Certificate {
+			t.Errorf("%s: classify parity broken:\nlegacy %+v\nv1     %+v", inst.name, legCl, v1Cl)
+		}
+
+		// Responsibility parity, probing the first fact of the (single
+		// endogenous) relation R when the query has one.
+		probe := ""
+		for _, f := range inst.facts {
+			if f[0] == 'R' && f[1] == '(' {
+				probe = f
+				break
+			}
+		}
+		if probe != "" {
+			var legResp responsibilityResponse
+			legStatus := doJSON(t, http.MethodPost, ts.URL+"/responsibility",
+				responsibilityRequest{Query: inst.query, DB: inst.name, Tuple: probe}, &legResp)
+			var v1Resp api.Result
+			v1Status := doJSON(t, http.MethodPost, ts.URL+"/v1/tasks",
+				api.Task{Kind: api.KindResponsibility, Query: inst.query, DB: inst.name, Tuple: probe}, &v1Resp)
+			if legStatus != v1Status {
+				t.Errorf("%s: responsibility status %d vs %d", inst.name, legStatus, v1Status)
+			} else if legStatus == 200 {
+				if legResp.Tuple != v1Resp.Tuple || legResp.K != v1Resp.K ||
+					legResp.Responsibility != v1Resp.Responsibility ||
+					legResp.NotCounterfactual != v1Resp.NotCounterfactual ||
+					!reflect.DeepEqual(legResp.Contingency, v1Resp.Contingency) {
+					t.Errorf("%s: responsibility parity broken:\nlegacy %+v\nv1     %+v", inst.name, legResp, v1Resp)
+				}
+			}
+		}
+
+		// Batch parity: the legacy batch shim must agree with /v1/batch on
+		// the same instances.
+		var legBatch batchResponse
+		if status := doJSON(t, http.MethodPost, ts.URL+"/batch", batchRequest{
+			DB: inst.name,
+			Instances: []batchInstance{
+				{ID: "one", Query: inst.query},
+				{ID: "two", Query: inst.query},
+			},
+		}, &legBatch); status != 200 {
+			t.Fatalf("%s: legacy batch status %d", inst.name, status)
+		}
+		var v1Batch api.BatchResponse
+		if status := doJSON(t, http.MethodPost, ts.URL+"/v1/batch", api.BatchRequest{
+			Tasks: []api.Task{
+				{ID: "one", Kind: api.KindSolve, Query: inst.query, DB: inst.name},
+				{ID: "two", Kind: api.KindSolve, Query: inst.query, DB: inst.name},
+			},
+		}, &v1Batch); status != 200 {
+			t.Fatalf("%s: v1 batch status %d", inst.name, status)
+		}
+		for i := range legBatch.Results {
+			lb, vb := legBatch.Results[i], v1Batch.Results[i]
+			if lb.ID != vb.ID || lb.Rho != vb.Rho || lb.Method != vb.Method ||
+				lb.Verdict != vb.Verdict || lb.Unbreakable != vb.Unbreakable ||
+				!reflect.DeepEqual(lb.Contingency, vb.Contingency) {
+				t.Errorf("%s: batch item %d parity broken:\nlegacy %+v\nv1     %+v", inst.name, i, lb, vb)
+			}
+		}
+	}
+}
+
+// TestLegacyV1ErrorParity: the legacy endpoints keep their historical
+// statuses for the common failure classes while v1 uses the typed
+// mapping.
+func TestLegacyV1ErrorParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putToy(t, ts.URL)
+
+	// Bad query: 400 on both surfaces.
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "broken(", DB: "toy"}, nil); status != 400 {
+		t.Fatalf("legacy bad query: %d", status)
+	}
+	// Unknown database: 404 on both surfaces.
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "q :- R(x,y)", DB: "ghost"}, nil); status != 404 {
+		t.Fatalf("legacy unknown db: %d", status)
+	}
+	// Legacy error bodies keep the flat {"error": "..."} shape.
+	var eb errorBody
+	if status := doJSON(t, http.MethodPost, ts.URL+"/solve",
+		solveRequest{Query: "q :- R(x,y)", DB: "ghost"}, &eb); status != 404 || eb.Error == "" {
+		t.Fatalf("legacy error body = %+v (status %d)", eb, status)
+	}
+}

@@ -1,85 +1,118 @@
 // Package server is the resilience-as-a-service layer: a long-running
-// HTTP/JSON front end over the concurrent engine, turning the one-shot
+// HTTP front end over the api.Session orchestrator, turning the one-shot
 // solver stack into a stateful service.
+//
+// # Surfaces
+//
+// The primary surface is the versioned v1 task API: one generic dispatch
+// endpoint (POST /v1/tasks) accepting the api.Task envelope for all six
+// task kinds, a concurrent batch endpoint (POST /v1/batch), NDJSON
+// streaming for batch and enumeration responses, and an async job
+// lifecycle (POST /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id}).
+// Database management lives at /v1/db/{name}.
+//
+// The pre-v1 endpoints (/solve, /batch, /classify, /enumerate,
+// /responsibility, /db/{name}) remain as thin shims over the same
+// Session: they translate their legacy request bodies into api.Tasks and
+// the api.Result back into their historical response shapes, with parity
+// pinned by tests.
 //
 // # Request lifecycle
 //
-// Databases are uploaded once (PUT /db/{name}), frozen, and registered
-// under a name; queries then arrive as small JSON bodies naming the
+// Databases are uploaded once (PUT /v1/db/{name}), frozen, and registered
+// under a name; tasks then arrive as small JSON bodies naming the
 // database they target. Solver endpoints pass through admission control —
 // a bounded in-flight slot pool that rejects excess load with 429 rather
-// than queueing unboundedly — then run on the shared engine with a
-// per-request deadline (the smaller of the client's timeout_ms and the
+// than queueing unboundedly — then run on the shared Session with a
+// per-request deadline (the smaller of the task's timeout_ms and the
 // server's configured default) plumbed down into the cancellable solvers.
 //
 // # Key invariants
 //
-//   - Registered databases are immutable: the registry freezes them at
-//     upload and nothing on the serving path ever mutates one (tuple
-//     probes use read-only lookups; the engine clones around the one
-//     mutating PTIME solver). A re-upload installs a fresh database
-//     object, so in-flight requests finish against the contents they
-//     resolved.
+//   - Registered databases are immutable: the Session freezes them at
+//     upload and nothing on the serving path ever mutates one. A
+//     re-upload installs a fresh database object, so in-flight requests
+//     finish against the contents they resolved.
 //   - The engine runs in NoClone mode, which enables its cross-request
 //     witness-IR cache: concurrent and repeated requests against the same
 //     (query class, database version) enumerate witnesses exactly once.
 //   - Every solver endpoint is cancellable: client disconnects and
 //     deadline expiries propagate through context into ctxpoll-polling
-//     search loops.
+//     search loops. On streaming endpoints a dropped connection stops the
+//     underlying search — the NDJSON writer runs under r.Context() and a
+//     failed write aborts the emit chain.
+//   - Errors are typed end to end: every failure is an api.Error whose
+//     code maps to exactly one HTTP status on the v1 surface; context
+//     cancellation surfaces as timeout/canceled codes, never a generic
+//     500.
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/api"
 	"repro/internal/cq"
-	"repro/internal/db"
 	"repro/internal/engine"
-	"repro/internal/resilience"
 )
 
 // Config tunes a Server. The zero value is usable: engine defaults,
-// 64 in-flight requests, 30s per-request budget, 32 MiB upload cap.
+// 64 in-flight requests, no default per-request budget, 32 MiB upload
+// cap, 2 job workers.
 type Config struct {
 	// Engine configures the embedded solving engine (workers, portfolio,
-	// cache sizes). NoClone is forced on: the registry owns frozen
-	// databases, which is exactly the sharing mode NoClone exists for.
+	// cache sizes). NoClone is forced on by the Session: the registry owns
+	// frozen databases, which is exactly the sharing mode NoClone exists
+	// for.
 	Engine engine.Config
-	// MaxInFlight bounds concurrently executing solver requests
-	// (solve/batch/enumerate/responsibility). Excess requests are rejected
-	// with 429 and a Retry-After header. <= 0 means the default 64.
+	// MaxInFlight bounds concurrently executing solver requests (v1 tasks
+	// and batches, and the legacy solver endpoints). Excess requests are
+	// rejected with 429 and a Retry-After header. <= 0 means the default
+	// 64.
 	MaxInFlight int
 	// RequestTimeout is the default per-request wall-time budget for
-	// solver endpoints. A request's timeout_ms can only tighten it.
-	// <= 0 means no server-side default.
+	// synchronous solver endpoints. A task's timeout_ms can only tighten
+	// it. <= 0 means no server-side default. Async jobs are exempt: a job
+	// runs until done, canceled, or its own timeout_ms expires.
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies (database uploads dominate).
 	// <= 0 means the default 32 MiB.
 	MaxBodyBytes int64
+	// JobWorkers is the number of async-job executor goroutines; jobs
+	// queue beyond it. <= 0 means the default 2.
+	JobWorkers int
+	// JobQueue bounds queued-but-not-running jobs; submissions beyond it
+	// are rejected with 429/overload. <= 0 means the default 64.
+	JobQueue int
+	// MaxJobs caps stored job records; finished jobs are evicted oldest
+	// first to admit new submissions. <= 0 means the default 256.
+	MaxJobs int
 }
 
 const (
 	defaultMaxInFlight  = 64
 	defaultMaxBodyBytes = 32 << 20
+	defaultJobWorkers   = 2
+	defaultJobQueue     = 64
+	defaultMaxJobs      = 256
 )
 
 // Server is the HTTP serving layer. Create with New, expose with Handler
-// (or use it directly as an http.Handler), and flip SetDraining(true)
-// before shutdown so health checks start failing ahead of the listener.
+// (or use it directly as an http.Handler), flip SetDraining(true) before
+// shutdown so health checks start failing ahead of the listener, and call
+// Close to stop the job workers.
 type Server struct {
-	cfg Config
-	eng *engine.Engine
-	reg *registry
-	mux *http.ServeMux
+	cfg  Config
+	sess *api.Session
+	jobs *jobManager
+	mux  *http.ServeMux
 
 	// sem is the admission-control slot pool; a slot is held for the full
-	// solver-endpoint lifetime.
+	// solver-endpoint lifetime (streaming responses included).
 	sem chan struct{}
 
 	start    time.Time
@@ -90,7 +123,7 @@ type Server struct {
 	failures atomic.Int64 // solver requests that returned 5xx
 }
 
-// New returns a Server over a fresh engine.
+// New returns a Server over a fresh Session (engine + database registry).
 func New(cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = defaultMaxInFlight
@@ -98,12 +131,20 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	ecfg := cfg.Engine
-	ecfg.NoClone = true // registry databases are frozen and shared; see Config.Engine
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = defaultJobWorkers
+	}
+	if cfg.JobQueue <= 0 {
+		cfg.JobQueue = defaultJobQueue
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = defaultMaxJobs
+	}
+	sess := api.NewSession(api.Config{Engine: cfg.Engine})
 	s := &Server{
 		cfg:   cfg,
-		eng:   engine.New(ecfg),
-		reg:   newRegistry(),
+		sess:  sess,
+		jobs:  newJobManager(sess, cfg.JobWorkers, cfg.JobQueue, cfg.MaxJobs),
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
@@ -112,9 +153,16 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Engine exposes the embedded engine (stats, direct batch access) to
-// in-process callers such as tests and the daemon's logging.
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// Session exposes the embedded orchestrator to in-process callers such as
+// tests and the daemon's logging.
+func (s *Server) Session() *api.Session { return s.sess }
+
+// Engine exposes the embedded engine (stats, direct batch access).
+func (s *Server) Engine() *engine.Engine { return s.sess.Engine() }
+
+// Close stops the async-job workers, cancelling any running job. It does
+// not affect synchronous requests in flight.
+func (s *Server) Close() { s.jobs.close() }
 
 // Handler returns the route table as an http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -130,6 +178,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 func (s *Server) routes() {
+	// v1: the versioned task API. One generic dispatch endpoint, batch,
+	// async jobs, and database management.
+	s.mux.HandleFunc("POST /v1/tasks", s.admitted(s.handleV1Task))
+	s.mux.HandleFunc("POST /v1/batch", s.admitted(s.handleV1Batch))
+	s.mux.HandleFunc("POST /v1/jobs", s.handleV1SubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleV1ListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleV1GetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleV1CancelJob)
+	s.mux.HandleFunc("PUT /v1/db/{name}", s.handleV1PutDB)
+	s.mux.HandleFunc("GET /v1/db/{name}", s.handleV1GetDB)
+	s.mux.HandleFunc("DELETE /v1/db/{name}", s.handleV1DeleteDB)
+	s.mux.HandleFunc("GET /v1/db", s.handleListDBs)
+
+	// Legacy surface: thin shims over the same Session, response shapes
+	// unchanged (parity pinned by tests).
 	s.mux.HandleFunc("PUT /db/{name}", s.handlePutDB)
 	s.mux.HandleFunc("GET /db/{name}", s.handleGetDB)
 	s.mux.HandleFunc("DELETE /db/{name}", s.handleDeleteDB)
@@ -139,6 +202,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /batch", s.admitted(s.handleBatch))
 	s.mux.HandleFunc("POST /enumerate", s.admitted(s.handleEnumerate))
 	s.mux.HandleFunc("POST /responsibility", s.admitted(s.handleResponsibility))
+
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
@@ -156,7 +220,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			s.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusTooManyRequests,
-				fmt.Errorf("server at capacity (%d requests in flight)", cap(s.sem)))
+				api.Errorf(api.CodeOverload, "server at capacity (%d requests in flight)", cap(s.sem)))
 			return
 		}
 		s.requests.Add(1)
@@ -164,8 +228,10 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// requestCtx derives the request's working context: the client's
-// timeout_ms can only tighten the server's configured budget.
+// requestCtx derives the request's working context from r.Context() — so
+// client disconnects cancel everything downstream — bounded by the
+// server's default budget. Task-level timeout_ms is applied later by the
+// Session and can only tighten this.
 func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
 	budget := s.cfg.RequestTimeout
 	if timeoutMS > 0 {
@@ -179,12 +245,22 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 	return context.WithTimeout(r.Context(), budget)
 }
 
+// decode reads a JSON request body strictly, answering a legacy-shaped
+// 400 on failure; decodeV1 answers the typed v1 body instead.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	return s.decodeWith(w, r, into, s.legacyError)
+}
+
+func (s *Server) decodeV1(w http.ResponseWriter, r *http.Request, into any) bool {
+	return s.decodeWith(w, r, into, s.writeV1Error)
+}
+
+func (s *Server) decodeWith(w http.ResponseWriter, r *http.Request, into any, fail func(http.ResponseWriter, error)) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		fail(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
 		return false
 	}
 	return true
@@ -198,98 +274,117 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc.Encode(body) //nolint:errcheck // nothing to do about a failed write
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+// writeError emits a legacy-shaped error body ({"error": "message"}) with
+// the given status. The message is the api.Error's message, keeping
+// legacy bodies byte-compatible with the pre-v1 server.
+func (s *Server) writeError(w http.ResponseWriter, status int, err *api.Error) {
 	if status >= 500 {
 		s.failures.Add(1)
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Message})
 }
 
-// solveStatus maps a solver error to an HTTP status.
-func solveStatus(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
+// writeV1Error emits the typed v1 error body with the code's canonical
+// status.
+func (s *Server) writeV1Error(w http.ResponseWriter, err error) {
+	ae := api.Wrap(err)
+	status := ae.HTTPStatus()
+	if status >= 500 {
+		s.failures.Add(1)
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, api.ErrorBody{Error: ae})
+}
+
+// legacyStatus maps an api.Error code to the status the pre-v1 endpoints
+// used. The one divergence from the v1 mapping: a client cancellation
+// surfaces as 504, the legacy behavior ("client went away mid-solve").
+func legacyStatus(err error) int {
+	ae := api.Wrap(err)
+	if ae.Code == api.CodeCanceled {
 		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusGatewayTimeout // client went away mid-solve
-	default:
-		return http.StatusInternalServerError
 	}
+	return ae.HTTPStatus()
 }
 
-// parseQuery parses the request's query text, answering 400 on failure.
-func (s *Server) parseQuery(w http.ResponseWriter, text string) *cq.Query {
-	q, err := cq.Parse(text)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return nil
-	}
-	return q
+// legacyError writes err with the legacy status mapping and body shape.
+func (s *Server) legacyError(w http.ResponseWriter, err error) {
+	s.writeError(w, legacyStatus(err), api.Wrap(err))
 }
 
-// lookupDB resolves a database name, answering 404 on failure.
-func (s *Server) lookupDB(w http.ResponseWriter, name string) *db.Database {
-	if name == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("missing db name"))
-		return nil
-	}
-	d := s.reg.lookup(name)
-	if d == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no database %q registered", name))
-	}
-	return d
-}
-
+// The database-management handlers come in two flavors sharing one core:
+// the legacy routes answer legacy-shaped error bodies, the /v1 routes the
+// typed api.ErrorBody, per the v1 contract that every non-2xx body
+// carries a code.
 func (s *Server) handlePutDB(w http.ResponseWriter, r *http.Request) {
+	s.putDB(w, r, s.decode, s.legacyError)
+}
+
+func (s *Server) handleV1PutDB(w http.ResponseWriter, r *http.Request) {
+	s.putDB(w, r, s.decodeV1, s.writeV1Error)
+}
+
+func (s *Server) putDB(w http.ResponseWriter, r *http.Request,
+	decode func(http.ResponseWriter, *http.Request, any) bool,
+	fail func(http.ResponseWriter, error)) {
 	name := r.PathValue("name")
 	var req putDBRequest
-	if !s.decode(w, r, &req) {
+	if !decode(w, r, &req) {
 		return
 	}
-	if len(req.Facts) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("facts must be non-empty"))
-		return
-	}
-	d, replaced, err := s.reg.register(name, req.Facts)
+	info, err := s.sess.RegisterFacts(name, req.Facts)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		fail(w, err)
 		return
 	}
-	if replaced != nil {
-		// The replaced database is unreachable from now on; retire its
-		// cached IRs so they stop holding cache capacity.
-		s.eng.ForgetDatabase(replaced)
-	}
-	writeJSON(w, http.StatusOK, info(name, d))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleGetDB(w http.ResponseWriter, r *http.Request) {
+	s.getDB(w, r, s.legacyError)
+}
+
+func (s *Server) handleV1GetDB(w http.ResponseWriter, r *http.Request) {
+	s.getDB(w, r, s.writeV1Error)
+}
+
+func (s *Server) getDB(w http.ResponseWriter, r *http.Request, fail func(http.ResponseWriter, error)) {
 	name := r.PathValue("name")
-	d := s.lookupDB(w, name)
-	if d == nil {
+	info, ok := s.sess.Info(name)
+	if !ok {
+		fail(w, api.Errorf(api.CodeUnknownDB, "no database %q registered", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, info(name, d))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
-	dropped := s.reg.drop(r.PathValue("name"))
-	if dropped == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no database %q registered", r.PathValue("name")))
+	s.deleteDB(w, r, s.legacyError)
+}
+
+func (s *Server) handleV1DeleteDB(w http.ResponseWriter, r *http.Request) {
+	s.deleteDB(w, r, s.writeV1Error)
+}
+
+func (s *Server) deleteDB(w http.ResponseWriter, r *http.Request, fail func(http.ResponseWriter, error)) {
+	name := r.PathValue("name")
+	if !s.sess.DropDB(name) {
+		fail(w, api.Errorf(api.CodeUnknownDB, "no database %q registered", name))
 		return
 	}
-	s.eng.ForgetDatabase(dropped)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
 	type listResponse struct {
-		Databases []dbInfo `json:"databases"`
+		Databases []api.DBInfo `json:"databases"`
 	}
 	var resp listResponse
-	for _, name := range s.reg.names() {
-		if d := s.reg.lookup(name); d != nil {
-			resp.Databases = append(resp.Databases, info(name, d))
+	for _, name := range s.sess.DBNames() {
+		if info, ok := s.sess.Info(name); ok {
+			resp.Databases = append(resp.Databases, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -300,25 +395,23 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	q := s.parseQuery(w, req.Query)
-	if q == nil {
+	res, err := s.sess.Do(r.Context(), api.Task{Kind: api.KindClassify, Query: req.Query})
+	if err != nil {
+		s.legacyError(w, err)
 		return
 	}
-	cl := core.Classify(q)
 	resp := classifyResponse{
-		Query:       q.String(),
-		Normalized:  cl.Normalized.String(),
-		Verdict:     cl.Verdict.String(),
-		Rule:        cl.Rule,
-		Algorithm:   cl.Algorithm.String(),
-		Certificate: cl.Certificate,
+		// The legacy body echoed the parsed query's canonical rendering,
+		// which the envelope does not carry; re-derive it.
+		Query:       canonicalQuery(req.Query),
+		Normalized:  res.Normalized,
+		Verdict:     res.Verdict,
+		Rule:        res.Rule,
+		Algorithm:   res.Algorithm,
+		Certificate: res.Certificate,
 	}
-	for _, sub := range cl.Components {
-		resp.Components = append(resp.Components, classifyComponent{
-			Normalized: sub.Normalized.String(),
-			Verdict:    sub.Verdict.String(),
-			Rule:       sub.Rule,
-		})
+	for _, sub := range res.Components {
+		resp.Components = append(resp.Components, classifyComponent(sub))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -328,39 +421,29 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	q := s.parseQuery(w, req.Query)
-	if q == nil {
-		return
-	}
-	d := s.lookupDB(w, req.DB)
-	if d == nil {
-		return
-	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-
-	br := s.eng.SolveOne(ctx, engine.Instance{Query: q, DB: d})
-	resp := solveResponse{
-		CacheHit:  br.CacheHit,
-		ElapsedMS: float64(br.Elapsed) / float64(time.Millisecond),
-	}
-	if br.Classification != nil {
-		resp.Verdict = br.Classification.Verdict.String()
-		resp.Rule = br.Classification.Rule
-	}
-	switch {
-	case br.Err == resilience.ErrUnbreakable:
-		resp.Unbreakable = true
-	case br.Err != nil:
-		s.writeError(w, solveStatus(br.Err), br.Err)
+	res, err := s.sess.Do(ctx, api.Task{
+		Kind:      api.KindSolve,
+		Query:     req.Query,
+		DB:        req.DB,
+		TimeoutMS: req.TimeoutMS,
+	})
+	if err != nil {
+		s.legacyError(w, err)
 		return
-	default:
-		resp.Rho = br.Res.Rho
-		resp.Method = br.Res.Method
-		resp.Witnesses = br.Res.Witnesses
-		resp.Contingency = tupleStrings(d, br.Res.ContingencySet)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, solveResponse{
+		Rho:         res.Rho,
+		Method:      res.Method,
+		Witnesses:   res.Witnesses,
+		Contingency: res.Contingency,
+		Verdict:     res.Verdict,
+		Rule:        res.Rule,
+		Unbreakable: res.Unbreakable,
+		CacheHit:    res.CacheHit,
+		ElapsedMS:   res.ElapsedMS,
+	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -369,54 +452,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Instances) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("instances must be non-empty"))
+		s.writeError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "instances must be non-empty"))
 		return
 	}
-	insts := make([]engine.Instance, len(req.Instances))
+	// Legacy semantics: any malformed instance fails the whole request up
+	// front (400 for a bad query, 404 for an unknown database).
+	tasks := make([]api.Task, len(req.Instances))
 	for i, bi := range req.Instances {
-		q, err := cq.Parse(bi.Query)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
-			return
-		}
 		name := bi.DB
 		if name == "" {
 			name = req.DB
-		}
-		d := s.lookupDB(w, name)
-		if d == nil {
-			return
 		}
 		id := bi.ID
 		if id == "" {
 			id = fmt.Sprintf("#%d", i)
 		}
-		insts[i] = engine.Instance{ID: id, Query: q, DB: d}
+		tasks[i] = api.Task{ID: id, Kind: api.KindSolve, Query: bi.Query, DB: name}
+		if _, err := cq.Parse(bi.Query); err != nil {
+			s.writeError(w, http.StatusBadRequest, api.Errorf(api.CodeBadQuery, "instance %d: %v", i, err))
+			return
+		}
+		if s.sess.DB(name) == nil {
+			if name == "" {
+				s.writeError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "missing db name"))
+				return
+			}
+			s.writeError(w, http.StatusNotFound, api.Errorf(api.CodeUnknownDB, "no database %q registered", name))
+			return
+		}
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
-	results := s.eng.SolveBatch(ctx, insts)
+	results := s.sess.DoBatch(ctx, tasks, 0)
 	resp := batchResponse{Results: make([]batchResult, len(results))}
-	for i, br := range results {
-		out := batchResult{
-			ID:        br.ID,
-			ElapsedMS: float64(br.Elapsed) / float64(time.Millisecond),
-		}
-		if br.Classification != nil {
-			out.Verdict = br.Classification.Verdict.String()
-		}
+	for i, res := range results {
+		out := batchResult{ID: res.ID, ElapsedMS: res.ElapsedMS}
+		out.Verdict = res.Verdict
 		switch {
-		case br.Err == resilience.ErrUnbreakable:
+		case res.Error != nil:
+			out.Error = res.Error.Message
+		case res.Unbreakable:
 			out.Unbreakable = true
-		case br.Err != nil:
-			out.Error = br.Err.Error()
 		default:
-			out.Rho = br.Res.Rho
-			out.Method = br.Res.Method
-			// Results are index-aligned with insts, so the instance's own
-			// database resolves the contingency tuples' constant names.
-			out.Contingency = tupleStrings(insts[i].DB, br.Res.ContingencySet)
+			out.Rho = res.Rho
+			out.Method = res.Method
+			out.Contingency = res.Contingency
 		}
 		resp.Results[i] = out
 	}
@@ -428,34 +509,26 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	q := s.parseQuery(w, req.Query)
-	if q == nil {
-		return
-	}
-	d := s.lookupDB(w, req.DB)
-	if d == nil {
-		return
-	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-
-	inst, err := s.eng.InstanceFor(ctx, q, d)
+	res, err := s.sess.Do(ctx, api.Task{
+		Kind:      api.KindEnumerate,
+		Query:     req.Query,
+		DB:        req.DB,
+		MaxSets:   req.MaxSets,
+		TimeoutMS: req.TimeoutMS,
+	})
 	if err != nil {
-		s.writeError(w, solveStatus(err), err)
+		s.legacyError(w, err)
 		return
 	}
-	rho, sets, err := resilience.EnumerateMinimumOnInstance(ctx, inst, d, req.MaxSets)
-	if err == resilience.ErrUnbreakable {
+	if res.Unbreakable {
 		writeJSON(w, http.StatusOK, enumerateResponse{Unbreakable: true})
 		return
 	}
-	if err != nil {
-		s.writeError(w, solveStatus(err), err)
-		return
-	}
-	resp := enumerateResponse{Rho: rho, Sets: make([][]string, len(sets))}
-	for i, set := range sets {
-		resp.Sets[i] = tupleStrings(d, set)
+	resp := enumerateResponse{Rho: res.Rho, Sets: res.Sets}
+	if resp.Sets == nil {
+		resp.Sets = [][]string{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -465,46 +538,26 @@ func (s *Server) handleResponsibility(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	q := s.parseQuery(w, req.Query)
-	if q == nil {
-		return
-	}
-	d := s.lookupDB(w, req.DB)
-	if d == nil {
-		return
-	}
-	t, err := lookupTuple(d, req.Tuple)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if q.IsExogenous(t.Rel) {
-		// A client input error, not a solver failure: only endogenous
-		// tuples can be causes.
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("%s is exogenous in the query; only endogenous tuples can be causes", req.Tuple))
-		return
-	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-
-	inst, err := s.eng.InstanceFor(ctx, q, d)
+	res, err := s.sess.Do(ctx, api.Task{
+		Kind:      api.KindResponsibility,
+		Query:     req.Query,
+		DB:        req.DB,
+		Tuple:     req.Tuple,
+		TimeoutMS: req.TimeoutMS,
+	})
 	if err != nil {
-		s.writeError(w, solveStatus(err), err)
+		s.legacyError(w, err)
 		return
 	}
-	k, gamma, err := resilience.ResponsibilityOnInstance(ctx, inst, d, t)
-	resp := responsibilityResponse{Tuple: d.TupleString(t)}
-	switch {
-	case err == resilience.ErrNotCounterfactual:
+	resp := responsibilityResponse{Tuple: res.Tuple}
+	if res.NotCounterfactual {
 		resp.NotCounterfactual = true
-	case err != nil:
-		s.writeError(w, solveStatus(err), err)
-		return
-	default:
-		resp.K = k
-		resp.Responsibility = 1.0 / float64(1+k)
-		resp.Contingency = tupleStrings(d, gamma)
+	} else {
+		resp.K = res.K
+		resp.Responsibility = res.Responsibility
+		resp.Contingency = res.Contingency
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -521,6 +574,12 @@ type metricsResponse struct {
 	Requests    int64 `json:"requests"`
 	Rejected    int64 `json:"rejected"`
 	Failures    int64 `json:"failures"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsActive    int   `json:"jobs_active"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
 
 	Solved             int64 `json:"solved"`
 	Timeouts           int64 `json:"timeouts"`
@@ -540,17 +599,24 @@ type metricsResponse struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
+	st := s.Engine().Stats()
+	js := s.jobs.stats()
 	writeJSON(w, http.StatusOK, metricsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
-		Databases:     s.reg.len(),
+		Databases:     len(s.sess.DBNames()),
 
 		InFlight:    len(s.sem),
 		MaxInFlight: cap(s.sem),
 		Requests:    s.requests.Load(),
 		Rejected:    s.rejected.Load(),
 		Failures:    s.failures.Load(),
+
+		JobsSubmitted: js.submitted,
+		JobsActive:    js.active,
+		JobsDone:      js.done,
+		JobsFailed:    js.failed,
+		JobsCanceled:  js.canceled,
 
 		Solved:             st.Solved,
 		Timeouts:           st.Timeouts,
@@ -576,4 +642,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// canonicalQuery re-renders a query text the way the parser prints it; it
+// only runs after the Session has already parsed the same text, so the
+// error case is unreachable and falls back to the input.
+func canonicalQuery(text string) string {
+	q, err := cq.Parse(text)
+	if err != nil {
+		return text
+	}
+	return q.String()
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/api"
 	"repro/internal/cq"
 	"repro/internal/engine"
 	"repro/internal/resilience"
@@ -21,6 +22,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -97,7 +99,7 @@ func TestServerConcurrentSolvesShareIR(t *testing.T) {
 	want := map[string]int{}
 	for _, name := range []string{"day1", "day2"} {
 		q := cq.MustParse("qchain :- R(x,y), R(y,z)")
-		res, _, err := resilience.Solve(q, s.reg.lookup(name).Clone())
+		res, _, err := resilience.Solve(q, s.sess.DB(name).Clone())
 		if err != nil {
 			t.Fatalf("reference solve %s: %v", name, err)
 		}
@@ -180,7 +182,7 @@ func TestServerRegistryLifecycle(t *testing.T) {
 		t.Fatalf("GET unknown db: status %d, want 404", status)
 	}
 
-	var put dbInfo
+	var put api.DBInfo
 	if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy",
 		putDBRequest{Facts: []string{"R(1,2)", "R(2,3)", "R(3,3)", "R(1,2)"}}, &put); status != http.StatusOK {
 		t.Fatalf("PUT: status %d", status)
@@ -189,14 +191,14 @@ func TestServerRegistryLifecycle(t *testing.T) {
 		t.Fatalf("PUT info = %+v, want 3 distinct tuples over 3 constants", put)
 	}
 
-	var got dbInfo
+	var got api.DBInfo
 	if status := doJSON(t, http.MethodGet, ts.URL+"/db/toy", nil, &got); status != http.StatusOK ||
 		got.Name != put.Name || got.Tuples != put.Tuples || got.Version != put.Version {
 		t.Fatalf("GET info = %+v (status %d), want %+v", got, status, put)
 	}
 
 	var list struct {
-		Databases []dbInfo `json:"databases"`
+		Databases []api.DBInfo `json:"databases"`
 	}
 	if status := doJSON(t, http.MethodGet, ts.URL+"/db", nil, &list); status != http.StatusOK || len(list.Databases) != 1 {
 		t.Fatalf("GET /db = %+v (status %d), want exactly the toy db", list, status)

@@ -36,7 +36,9 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"repro/api"
 	"repro/internal/cnfenc"
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -86,6 +88,60 @@ const (
 // query (some witness consists purely of exogenous tuples).
 var ErrUnbreakable = resilience.ErrUnbreakable
 
+// The unified v1 task API (package repro/api), re-exported: one typed
+// request envelope — Task, a tagged union over TaskKind — shared by the
+// facade, the CLIs, the HTTP server and the client SDK, with typed error
+// codes and a Session orchestration object behind all of them.
+type (
+	// Task is the single request envelope of the v1 API.
+	Task = api.Task
+	// TaskKind discriminates the task union (classify, solve, enumerate,
+	// responsibility, decide, verify_contingency).
+	TaskKind = api.Kind
+	// TaskResult is the single response envelope.
+	TaskResult = api.Result
+	// TaskError is the typed error of the v1 API; its Code maps 1:1 to an
+	// HTTP status, and the api package's sentinels (api.ErrTimeout, ...)
+	// match by code under errors.Is.
+	TaskError = api.Error
+	// Session is the orchestration object wrapping engine + database
+	// registry that every surface of the system delegates to.
+	Session = api.Session
+	// SessionConfig tunes a Session.
+	SessionConfig = api.Config
+)
+
+// Task kinds, re-exported.
+const (
+	TaskClassify          = api.KindClassify
+	TaskSolve             = api.KindSolve
+	TaskEnumerate         = api.KindEnumerate
+	TaskResponsibility    = api.KindResponsibility
+	TaskDecide            = api.KindDecide
+	TaskVerifyContingency = api.KindVerifyContingency
+)
+
+// NewSession returns a task-API Session over a fresh engine: the
+// programmatic equivalent of a resilserverd instance, and the object the
+// package-level convenience functions below delegate to.
+func NewSession(cfg SessionConfig) *Session { return api.NewSession(cfg) }
+
+// facadeSession is the shared Session behind the package-level functions:
+// Resilience, EnumerateMinimum, Responsibility, Decide and
+// VerifyContingency all dispatch through it, so the facade, the CLIs and
+// the server run the same orchestration path (classification cache,
+// cross-request witness-IR cache) and return the same answers by
+// construction.
+var (
+	facadeOnce    sync.Once
+	facadeSession *Session
+)
+
+func sessionDefault() *Session {
+	facadeOnce.Do(func() { facadeSession = api.NewSession(api.Config{}) })
+	return facadeSession
+}
+
 // Parse parses a query in Datalog-like notation, e.g.
 // "q :- A(x), R(x,y), S(y,z)^x". See cq.Parse for the grammar.
 func Parse(s string) (*Query, error) { return cq.Parse(s) }
@@ -102,14 +158,16 @@ func Classify(q *Query) *Classification { return core.Classify(q) }
 
 // Resilience computes ρ(q, D) using the algorithm selected by the
 // classifier (network flow / specialized PTIME solvers / exact search).
+// It delegates to the shared task-API Session, so repeated calls amortize
+// query classification and witness enumeration across the process.
 func Resilience(q *Query, d *Database) (*Result, *Classification, error) {
-	return resilience.Solve(q, d)
+	return ResilienceCtx(context.Background(), q, d)
 }
 
 // ResilienceCtx is Resilience with cooperative cancellation: the exact
 // search polls ctx and aborts with ctx.Err() once it is done.
 func ResilienceCtx(ctx context.Context, q *Query, d *Database) (*Result, *Classification, error) {
-	return resilience.SolveCtx(ctx, q, d)
+	return sessionDefault().SolveQuery(ctx, q, d)
 }
 
 // Engine is the concurrent solving service: a worker-pool batch API with
@@ -145,12 +203,15 @@ type BatchResult = engine.BatchResult
 // Engine amortizes query classification across every batch it serves.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
-// Server is the resilience-as-a-service HTTP layer: a long-running
-// HTTP/JSON front end over an Engine with a named-database registry
-// (upload once via PUT /db/{name}, solve many queries against it), a
-// cross-request witness-IR cache, admission control with 429 backpressure,
-// per-request timeouts, and /metrics + /healthz endpoints. It implements
+// Server is the resilience-as-a-service HTTP layer: a long-running front
+// end over a task-API Session with a named-database registry (upload once
+// via PUT /v1/db/{name}, solve many queries against it), the versioned
+// /v1 task surface (generic dispatch over the Task envelope, NDJSON
+// streaming, async jobs), legacy endpoint shims, a cross-request
+// witness-IR cache, admission control with 429 backpressure, per-request
+// timeouts, and /metrics + /healthz endpoints. It implements
 // http.Handler; cmd/resilserverd is the ready-made daemon around it.
+// Call Close on shutdown to stop the async-job workers.
 //
 //	srv := repro.NewServer(repro.ServerConfig{
 //	    Engine:      repro.EngineConfig{Portfolio: true},
@@ -177,9 +238,10 @@ func ResilienceExact(q *Query, d *Database) (*Result, error) {
 }
 
 // Decide reports whether (D, k) ∈ RES(q): D |= q and at most k endogenous
-// deletions falsify q (Definition 1).
+// deletions falsify q (Definition 1). It delegates to the shared task-API
+// Session and reuses its cached witness IR when one exists.
 func Decide(q *Query, d *Database, k int) (bool, error) {
-	return resilience.Decide(q, d, k)
+	return sessionDefault().DecideQuery(context.Background(), q, d, k)
 }
 
 // Satisfied reports whether D |= q, i.e. whether q has at least one
@@ -199,7 +261,7 @@ func Witnesses(q *Query, d *Database) []Witness { return eval.Witnesses(q, d) }
 // restored before returning, so d is unchanged on success and failure
 // alike. It must not be called concurrently with other users of d.
 func VerifyContingency(q *Query, d *Database, gamma []Tuple) error {
-	return resilience.VerifyContingency(q, d, gamma)
+	return sessionDefault().VerifyQuery(context.Background(), q, d, gamma)
 }
 
 // DeletionPropagation solves deletion propagation with source side-effects
@@ -275,7 +337,7 @@ func SearchHardnessProof(q *Query, maxJoins, maxConsts int) (*ChainableIJP, int,
 // resilience.ErrNotCounterfactual when no contingency makes t a
 // counterfactual cause.
 func Responsibility(q *Query, d *Database, t Tuple) (int, []Tuple, error) {
-	return resilience.Responsibility(q, d, t)
+	return sessionDefault().ResponsibilityQuery(context.Background(), q, d, t)
 }
 
 // EnumerateMinimum returns ρ(q, D) with every minimum contingency set (up
@@ -283,7 +345,7 @@ func Responsibility(q *Query, d *Database, t Tuple) (int, []Tuple, error) {
 // explanation and repair applications that need more than one witness of
 // optimality.
 func EnumerateMinimum(q *Query, d *Database, maxSets int) (int, [][]Tuple, error) {
-	return resilience.EnumerateMinimum(q, d, maxSets)
+	return sessionDefault().EnumerateQuery(context.Background(), q, d, maxSets)
 }
 
 // HardnessReduction is an executable NP-hardness reduction for a query:

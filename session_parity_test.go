@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/resilience"
+)
+
+// TestFacadeSessionParity pins the api_redesign invariant: the facade
+// functions (which now delegate to the shared task-API Session) and the
+// wire-typed Session.Do return the same answers as the direct solver
+// stack on differential-suite-style random instances, for every task
+// kind the facade exposes.
+func TestFacadeSessionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	families := []struct {
+		query string
+		gen   func() *Database
+	}{
+		{"qchain :- R(x,y), R(y,z)", func() *Database { return datagen.ChainDB(rng, 9, 4) }},
+		{"qm :- R(x,y), R(y,z)", func() *Database { return datagen.ManyComponentChainDB(rng, 3, 3, 6) }},
+		{"qperm :- R(x,y), R(y,x)", func() *Database { return datagen.PermDB(rng, 10, 3, 16) }},
+	}
+	for fi, fam := range families {
+		q := MustParse(fam.query)
+		for round := 0; round < 3; round++ {
+			d := fam.gen()
+
+			// Reference: the raw solver stack on a private clone.
+			want, _, err := resilience.Solve(q, d.Clone())
+			if err != nil {
+				t.Fatalf("family %d round %d: reference: %v", fi, round, err)
+			}
+
+			// Facade (shared Session).
+			res, _, err := Resilience(q, d)
+			if err != nil {
+				t.Fatalf("family %d round %d: facade: %v", fi, round, err)
+			}
+			if res.Rho != want.Rho {
+				t.Fatalf("family %d round %d: facade ρ=%d, reference ρ=%d", fi, round, res.Rho, want.Rho)
+			}
+			if err := VerifyContingency(q, d, res.ContingencySet); err != nil {
+				t.Fatalf("family %d round %d: facade contingency invalid: %v", fi, round, err)
+			}
+			if holds, err := Decide(q, d, want.Rho); err != nil || !holds {
+				t.Fatalf("family %d round %d: Decide(ρ) = %v, %v", fi, round, holds, err)
+			}
+			if want.Rho > 0 {
+				if holds, err := Decide(q, d, want.Rho-1); err != nil || holds {
+					t.Fatalf("family %d round %d: Decide(ρ-1) = %v, %v", fi, round, holds, err)
+				}
+			}
+			rho, sets, err := EnumerateMinimum(q, d, 32)
+			if err != nil {
+				t.Fatalf("family %d round %d: enumerate: %v", fi, round, err)
+			}
+			if rho != want.Rho {
+				t.Fatalf("family %d round %d: enumerate ρ=%d, want %d", fi, round, rho, want.Rho)
+			}
+			for _, set := range sets {
+				if err := VerifyContingency(q, d, set); err != nil {
+					t.Fatalf("family %d round %d: enumerated set invalid: %v", fi, round, err)
+				}
+			}
+
+			// Wire-typed Session on the same database.
+			sess := NewSession(SessionConfig{})
+			name := fmt.Sprintf("f%d-r%d", fi, round)
+			sess.Register(name, d)
+			wire, err := sess.Do(context.Background(), Task{Kind: TaskSolve, Query: fam.query, DB: name})
+			if err != nil {
+				t.Fatalf("family %d round %d: session: %v", fi, round, err)
+			}
+			if wire.Rho != want.Rho {
+				t.Fatalf("family %d round %d: session ρ=%d, want %d", fi, round, wire.Rho, want.Rho)
+			}
+		}
+	}
+}
