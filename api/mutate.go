@@ -1,0 +1,97 @@
+package api
+
+import (
+	"context"
+
+	"repro/internal/db"
+	"repro/internal/witset"
+)
+
+// MutateDB applies an ordered batch of tuple mutations to the database
+// registered under name and returns its post-batch info. The batch is
+// atomic: it is validated and applied against a private clone, and only a
+// fully successful batch replaces the registration — any bad mutation
+// (malformed fact, arity mismatch, inserting a present tuple, deleting an
+// absent one) rejects the whole batch with a typed error naming the
+// offending index, leaving the registered contents untouched.
+//
+// Writers to the same name serialize on the Session's per-name writer
+// lock; readers are never blocked — in-flight tasks keep solving against
+// the database they resolved, and the version bump keys their caches.
+// Before the swap, the engine delta-migrates its cached IRs across the
+// mutation (Engine.MigrateIRs), so the next solve against the new version
+// re-solves only the components the batch dirtied. After the swap, the
+// name's watch hub is woken and watchers re-solve.
+func (s *Session) MutateDB(ctx context.Context, name string, muts []Mutation) (DBInfo, error) {
+	if len(muts) == 0 {
+		return DBInfo{}, Errorf(CodeBadRequest, "mutations must be non-empty")
+	}
+	lock := s.writerLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	if err := ctx.Err(); err != nil {
+		return DBInfo{}, Wrap(err)
+	}
+	old := s.DB(name)
+	if old == nil {
+		return DBInfo{}, Errorf(CodeUnknownDB, "no database %q registered", name)
+	}
+
+	// Clone preserves the version, so the lineage old → next has strictly
+	// increasing versions (each applied mutation bumps it once).
+	next := old.Clone()
+	resolved := make([]witset.Mutation, 0, len(muts))
+	for i, m := range muts {
+		rel, args, err := ParseFact(m.Fact)
+		if err != nil {
+			return DBInfo{}, Errorf(CodeBadTuple, "mutation %d: %v", i, err)
+		}
+		if len(args) > db.MaxArity {
+			return DBInfo{}, Errorf(CodeBadTuple, "mutation %d: %q has arity %d, want 1..%d", i, m.Fact, len(args), db.MaxArity)
+		}
+		if have := next.Rel(rel); have != nil && have.Arity != len(args) {
+			return DBInfo{}, Errorf(CodeBadTuple, "mutation %d: %q has arity %d but relation %s was used with arity %d", i, m.Fact, len(args), rel, have.Arity)
+		}
+		switch m.Op {
+		case MutationInsert:
+			// Interning new constants into the discarded-on-error clone is
+			// harmless; the registered database is never touched.
+			t := db.Tuple{Rel: rel, Arity: uint8(len(args))}
+			for j, a := range args {
+				t.Args[j] = next.Const(a)
+			}
+			if next.Has(t) {
+				return DBInfo{}, Errorf(CodeBadTuple, "mutation %d: %s already present", i, m.Fact)
+			}
+			next.AddTuple(t)
+			resolved = append(resolved, witset.Mutation{Insert: true, Tuple: t})
+		case MutationDelete:
+			t := db.Tuple{Rel: rel, Arity: uint8(len(args))}
+			missing := false
+			for j, a := range args {
+				v, ok := next.LookupConst(a)
+				if !ok {
+					missing = true
+					break
+				}
+				t.Args[j] = v
+			}
+			if missing || !next.Has(t) {
+				return DBInfo{}, Errorf(CodeBadTuple, "mutation %d: %s not in database", i, m.Fact)
+			}
+			next.Remove(t)
+			resolved = append(resolved, witset.Mutation{Tuple: t})
+		default:
+			return DBInfo{}, Errorf(CodeBadRequest, "mutation %d: unknown op %q (want %q or %q)", i, m.Op, MutationInsert, MutationDelete)
+		}
+	}
+	next.Freeze()
+	s.eng.MigrateIRs(ctx, old, next, resolved)
+
+	s.mu.Lock()
+	s.dbs[name] = next
+	s.mu.Unlock()
+	s.eng.ForgetDatabase(old)
+	s.hub(name).broadcast()
+	return dbInfo(name, next), nil
+}

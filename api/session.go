@@ -32,7 +32,7 @@ type Config struct {
 // task execution to a Session. It wraps the concurrent engine (worker
 // pool, classification cache, cross-request witness-IR cache, optional
 // exact-vs-SAT portfolio) and a named-database registry, and dispatches
-// the six task kinds of the v1 API through one code path.
+// the task kinds of the v1 API through one code path.
 //
 // Tasks arrive either fully wire-typed — Do resolves the Task's query text
 // and database name — or with in-process objects via the *Query methods,
@@ -44,6 +44,12 @@ type Session struct {
 
 	mu  sync.RWMutex
 	dbs map[string]*db.Database
+
+	// wmu guards the per-name writer locks and watch hubs, which are
+	// created lazily and never removed (names are few and long-lived).
+	wmu   sync.Mutex
+	locks map[string]*sync.Mutex
+	hubs  map[string]*watchHub
 }
 
 // NewSession returns a Session over a fresh engine.
@@ -51,9 +57,39 @@ func NewSession(cfg Config) *Session {
 	ecfg := cfg.Engine
 	ecfg.NoClone = true // see Config.Engine
 	return &Session{
-		eng: engine.New(ecfg),
-		dbs: map[string]*db.Database{},
+		eng:   engine.New(ecfg),
+		dbs:   map[string]*db.Database{},
+		locks: map[string]*sync.Mutex{},
+		hubs:  map[string]*watchHub{},
 	}
+}
+
+// writerLock returns the mutex serializing writers (Register, MutateDB,
+// DropDB) of the named registry entry. Mutations must read-modify-write
+// the registration atomically; per-name locks keep independent databases
+// from contending.
+func (s *Session) writerLock(name string) *sync.Mutex {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	l := s.locks[name]
+	if l == nil {
+		l = &sync.Mutex{}
+		s.locks[name] = l
+	}
+	return l
+}
+
+// hub returns the watch hub of the named registry entry, creating it on
+// first use. Watchers wait on it; every registry write broadcasts.
+func (s *Session) hub(name string) *watchHub {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	h := s.hubs[name]
+	if h == nil {
+		h = newWatchHub()
+		s.hubs[name] = h
+	}
+	return h
 }
 
 // Engine exposes the embedded engine (stats, direct batch access) to
@@ -66,6 +102,9 @@ func (s *Session) Engine() *engine.Engine { return s.eng }
 // task the Session runs; the replaced database's cached IRs are retired
 // from the engine. It returns the registration metadata.
 func (s *Session) Register(name string, d *db.Database) DBInfo {
+	lock := s.writerLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	d.Freeze()
 	s.mu.Lock()
 	replaced := s.dbs[name]
@@ -76,6 +115,7 @@ func (s *Session) Register(name string, d *db.Database) DBInfo {
 		// cached IRs so they stop holding cache capacity.
 		s.eng.ForgetDatabase(replaced)
 	}
+	s.hub(name).broadcast()
 	return dbInfo(name, d)
 }
 
@@ -106,6 +146,9 @@ func (s *Session) RegisterFacts(name string, facts []string) (DBInfo, error) {
 // DropDB removes the database registered under name, retiring its cached
 // IRs. It reports whether a registration existed.
 func (s *Session) DropDB(name string) bool {
+	lock := s.writerLock(name)
+	lock.Lock()
+	defer lock.Unlock()
 	s.mu.Lock()
 	d := s.dbs[name]
 	delete(s.dbs, name)
@@ -114,6 +157,7 @@ func (s *Session) DropDB(name string) bool {
 		return false
 	}
 	s.eng.ForgetDatabase(d)
+	s.hub(name).broadcast()
 	return true
 }
 
@@ -441,6 +485,14 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 		}
 		res.Holds = holds
 		res.K = t.K
+		return finish()
+
+	case KindWatch:
+		wres, err := s.watch(ctx, t, q, emit)
+		if err != nil {
+			return nil, err
+		}
+		res = wres
 		return finish()
 
 	case KindVerifyContingency:

@@ -3,7 +3,7 @@ package api
 import "time"
 
 // Kind discriminates the task union. Every paper-level workload the system
-// serves is one of these six kinds; new workloads add a Kind here and a
+// serves is one of these kinds; new workloads add a Kind here and a
 // case in the Session dispatcher, and every surface (facade, CLIs, HTTP,
 // client SDK) picks it up at once.
 type Kind string
@@ -26,12 +26,18 @@ const (
 	// KindVerifyContingency checks a claimed contingency set: every tuple
 	// endogenous and present, and the query falsified after deletion.
 	KindVerifyContingency Kind = "verify_contingency"
+	// KindWatch holds a stream open over a registered database and emits a
+	// line whenever a mutation changes ρ(q, D) — the live-monitoring kind.
+	// It requires a streaming transport (NDJSON): each emitted line carries
+	// Version, Rho and ChangedComponents; FromVersion suppresses the
+	// initial snapshot on reconnect and MaxEvents bounds the subscription.
+	KindWatch Kind = "watch"
 )
 
 // Kinds lists every task kind, in the order they are documented.
 var Kinds = []Kind{
 	KindClassify, KindSolve, KindEnumerate,
-	KindResponsibility, KindDecide, KindVerifyContingency,
+	KindResponsibility, KindDecide, KindVerifyContingency, KindWatch,
 }
 
 // Valid reports whether k is a known task kind.
@@ -71,6 +77,15 @@ type Task struct {
 	Tuple string `json:"tuple,omitempty"`
 	// Gamma is the claimed contingency set of a verify_contingency task.
 	Gamma []string `json:"gamma,omitempty"`
+	// FromVersion resumes a watch task: when the database is already at
+	// exactly this version, the initial snapshot line is suppressed and
+	// only subsequent changes are emitted (reconnecting clients have seen
+	// that state). 0 (or any non-matching version) emits the snapshot.
+	FromVersion uint64 `json:"from_version,omitempty"`
+	// MaxEvents, when positive, ends a watch task after that many emitted
+	// change lines (the final line then carries the totals). 0 watches
+	// until the connection or context ends.
+	MaxEvents int `json:"max_events,omitempty"`
 	// TimeoutMS, when positive, bounds the task's wall time. Servers may
 	// only tighten it (their per-request budget wins when smaller).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -98,6 +113,10 @@ func (t Task) Validate(needDB bool) *Error {
 	case KindDecide:
 		if t.K < 0 {
 			return Errorf(CodeBadRequest, "decide task: k must be >= 0")
+		}
+	case KindWatch:
+		if t.MaxEvents < 0 {
+			return Errorf(CodeBadRequest, "watch task: max_events must be >= 0")
 		}
 	}
 	return nil
@@ -176,6 +195,15 @@ type Result struct {
 	Valid  bool   `json:"valid,omitempty"`
 	Reason string `json:"reason,omitempty"`
 
+	// Version is the database version a watch line reflects; with the
+	// database name it identifies the exact contents behind the answer.
+	Version uint64 `json:"version,omitempty"`
+	// ChangedComponents counts the connected components of the witness
+	// hypergraph with no content-identical counterpart before the mutation
+	// — the components the delta actually dirtied. 0 when no comparison
+	// was possible (first snapshot, or no cached IR to diff against).
+	ChangedComponents int `json:"changed_components,omitempty"`
+
 	// CacheHit reports whether the classification came from the engine's
 	// isomorphism cache; ElapsedMS is the task's wall time.
 	CacheHit  bool    `json:"cache_hit,omitempty"`
@@ -219,6 +247,42 @@ type DBInfo struct {
 	// Version is the database's mutation counter; together with the name
 	// it identifies the contents a cached IR was built from.
 	Version uint64 `json:"version"`
+}
+
+// MutationOp discriminates the two tuple-level database changes.
+type MutationOp string
+
+const (
+	// MutationInsert adds a tuple; inserting a tuple already present is a
+	// bad_tuple error (the batch is rejected atomically).
+	MutationInsert MutationOp = "insert"
+	// MutationDelete removes a tuple; deleting a tuple not present is a
+	// bad_tuple error (the batch is rejected atomically).
+	MutationDelete MutationOp = "delete"
+)
+
+// Mutation is one tuple-level change in a PATCH /v1/db/{name} batch.
+type Mutation struct {
+	// Op is "insert" or "delete".
+	Op MutationOp `json:"op"`
+	// Fact is the tuple in fact notation, e.g. "R(a,b)".
+	Fact string `json:"fact"`
+}
+
+// MutateRequest is the body of PATCH /v1/db/{name}: an ordered batch of
+// mutations applied atomically — either every mutation applies and the
+// database moves to a new version, or none do and the registered contents
+// are unchanged.
+type MutateRequest struct {
+	Mutations []Mutation `json:"mutations"`
+}
+
+// MutateResponse is the success body of PATCH /v1/db/{name}: the database's
+// post-batch info (its Version reflects every applied mutation) plus the
+// number of mutations applied.
+type MutateResponse struct {
+	DBInfo
+	Applied int `json:"applied"`
 }
 
 // JobState is the lifecycle state of an async job.

@@ -1,0 +1,132 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/resilience"
+	"repro/internal/witset"
+)
+
+// watchHub fans registry writes out to watchers with a closed-channel
+// broadcast: waiters grab the current generation's channel, and each write
+// closes it (waking everyone) and installs a fresh one. Grabbing the
+// channel *before* reading the registry state is what makes the loop
+// race-free: a write landing between the read and the wait has already
+// closed the grabbed channel, so the waiter wakes immediately instead of
+// sleeping through the change.
+type watchHub struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{ch: make(chan struct{})}
+}
+
+// wait returns the channel that the next broadcast closes.
+func (h *watchHub) wait() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ch
+}
+
+// broadcast wakes every current waiter.
+func (h *watchHub) broadcast() {
+	h.mu.Lock()
+	close(h.ch)
+	h.ch = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// watch is the KindWatch implementation: it holds the stream open over the
+// named database and emits a Partial line whenever a registry write
+// changes the answer. Each line carries the database Version, the new Rho
+// (or Unbreakable), and — when the engine's cached IRs span the mutation —
+// ChangedComponents, the number of hypergraph components the delta dirtied.
+//
+// Lifecycle: an initial snapshot line is emitted on subscribe, unless the
+// task's FromVersion equals the current version (a reconnecting client
+// that has already seen this state). Writes that do not change ρ (or
+// unbreakability) are absorbed silently. With MaxEvents > 0 the watch ends
+// after that many lines with a final totals Result; otherwise it runs
+// until its context ends (client disconnect, task timeout) and surfaces
+// the context error. Dropping the watched database ends the watch with
+// CodeUnknownDB.
+func (s *Session) watch(ctx context.Context, t Task, q *cq.Query, emit func(*Result) error) (*Result, error) {
+	if emit == nil {
+		return nil, Errorf(CodeBadRequest, "watch task requires a streaming transport (request ?stream=ndjson)")
+	}
+	hub := s.hub(t.DB)
+	var (
+		events   int
+		have     bool
+		lastVer  uint64
+		lastRho  int
+		lastUnbr bool
+		prevInst *witset.Instance
+	)
+	for {
+		wake := hub.wait()
+		d := s.DB(t.DB)
+		if d == nil {
+			return nil, Errorf(CodeUnknownDB, "no database %q registered", t.DB)
+		}
+		ver := d.Version()
+		if !have || ver != lastVer {
+			br := s.eng.SolveOne(ctx, engine.Instance{ID: t.ID, Query: q, DB: d})
+			rho := 0
+			unbr := false
+			switch {
+			case errors.Is(br.Err, resilience.ErrUnbreakable):
+				unbr = true
+			case br.Err != nil:
+				return nil, br.Err
+			default:
+				rho = br.Res.Rho
+			}
+			inst := s.eng.PeekInstance(q, d)
+			changed := !have || rho != lastRho || unbr != lastUnbr
+			skipSnapshot := !have && t.FromVersion != 0 && ver == t.FromVersion
+			if changed && !skipSnapshot {
+				line := &Result{
+					ID:          t.ID,
+					Kind:        KindWatch,
+					Partial:     true,
+					Rho:         rho,
+					Unbreakable: unbr,
+					Version:     ver,
+				}
+				if prevInst != nil && inst != nil {
+					line.ChangedComponents = witset.DiffComponents(prevInst, inst)
+				}
+				if err := emit(line); err != nil {
+					return nil, err
+				}
+				events++
+			}
+			have, lastVer, lastRho, lastUnbr = true, ver, rho, unbr
+			if inst != nil {
+				prevInst = inst
+			}
+			if t.MaxEvents > 0 && events >= t.MaxEvents {
+				return &Result{
+					ID:          t.ID,
+					Kind:        KindWatch,
+					Rho:         lastRho,
+					Unbreakable: lastUnbr,
+					Version:     lastVer,
+					Total:       events,
+				}, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-wake:
+		}
+	}
+}

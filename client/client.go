@@ -197,6 +197,29 @@ func (c *Client) PutDB(ctx context.Context, name string, facts []string) (*api.D
 	return &info, nil
 }
 
+// MutateDB applies an atomic insert/delete batch to the database
+// registered under name via PATCH /v1/db/{name} and returns its
+// post-batch info (new version included). Unlike the rest of the client,
+// mutation requests are never retried: the batch is not idempotent — a
+// replay after an ambiguous transport failure could apply it twice — so
+// an error here means the caller must check the database version before
+// resending.
+func (c *Client) MutateDB(ctx context.Context, name string, muts []api.Mutation) (*api.DBInfo, error) {
+	payload, err := json.Marshal(api.MutateRequest{Mutations: muts})
+	if err != nil {
+		return nil, api.Errorf(api.CodeBadRequest, "encoding request: %v", err)
+	}
+	resp, err := c.send(ctx, http.MethodPatch, "/v1/db/"+name, payload)
+	if err != nil {
+		return nil, api.Wrap(err)
+	}
+	var mr api.MutateResponse
+	if _, err := c.finish(resp, &mr); err != nil {
+		return nil, err
+	}
+	return &mr.DBInfo, nil
+}
+
 // DBs lists the registered databases.
 func (c *Client) DBs(ctx context.Context) ([]api.DBInfo, error) {
 	var resp struct {

@@ -30,4 +30,10 @@
 //     moment the server finds it.
 //   - Async jobs: Submit / Job / Wait / Cancel drive the /v1/jobs
 //     lifecycle for work that should not hold an HTTP connection open.
+//   - Mutations: MutateDB applies an atomic insert/delete batch
+//     (PATCH /v1/db/{name}); it is the one call that is never retried,
+//     because replaying a possibly-applied batch is not idempotent.
+//   - Watching: Watch holds a streaming watch task open over a database
+//     and reconnects across connection loss, resuming from the last
+//     delivered version so no change is reported twice.
 package client

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/api"
+)
+
+// Watch subscribes to answer changes on t.DB: it opens a streaming watch
+// task and calls emit for every line the server sends — one Partial line
+// per ρ change (the initial snapshot included), plus a final totals line
+// when t.MaxEvents is set. Unlike Stream, Watch survives the connection:
+// when the stream drops mid-watch (server restart, load balancer churn,
+// transient overload) it reconnects with FromVersion set to the last
+// version it delivered, so the new stream suppresses the snapshot the
+// caller has already seen and no change is reported twice. MaxEvents
+// budgets carry across reconnects: events already delivered are
+// subtracted from the resumed task.
+//
+// Watch returns nil once a MaxEvents-bounded watch completes, the emit
+// error if emit fails (which also closes the stream), and a *api.Error
+// for permanent failures — a malformed task, an unknown database, or a
+// server-imposed timeout are not retried. Everything else (transport
+// failures, overload, a draining server) is retried with the client's
+// backoff until ctx ends.
+func (c *Client) Watch(ctx context.Context, t api.Task, emit func(*api.Result) error) error {
+	if t.Kind == "" {
+		t.Kind = api.KindWatch
+	}
+	if t.Kind != api.KindWatch {
+		return api.Errorf(api.CodeBadRequest, "Watch requires a %q task, got %q", api.KindWatch, t.Kind)
+	}
+	var (
+		events   int    // Partial lines delivered across all connections
+		lastVer  uint64 // version of the last delivered line
+		haveVer  bool
+		attempt  int // consecutive reconnects without progress
+		finished bool
+		emitErr  error
+	)
+	for {
+		cur := t
+		if haveVer {
+			cur.FromVersion = lastVer
+		}
+		if t.MaxEvents > 0 {
+			cur.MaxEvents = t.MaxEvents - events
+		}
+		err := c.stream(ctx, "/v1/tasks?stream=ndjson", cur, func(res *api.Result) error {
+			if res.Partial {
+				events++
+				attempt = 0
+			} else {
+				finished = true
+			}
+			lastVer, haveVer = res.Version, true
+			if e := emit(res); e != nil {
+				emitErr = e
+				return e
+			}
+			return nil
+		}, true)
+		switch {
+		case emitErr != nil:
+			return emitErr
+		case err == nil && finished:
+			return nil
+		case err != nil:
+			if ctx.Err() != nil {
+				return api.Wrap(ctx.Err())
+			}
+			var ae *api.Error
+			if errors.As(err, &ae) && permanentWatchFailure(ae.Code) {
+				return err
+			}
+		}
+		// err == nil && !finished is a clean EOF without a totals line:
+		// the server closed the stream mid-watch (shutdown) — reconnect.
+		attempt++
+		if !c.sleep(ctx, c.watchBackoff(attempt)) {
+			return api.Wrap(ctx.Err())
+		}
+	}
+}
+
+// permanentWatchFailure reports whether a failed watch attempt would fail
+// identically on reconnect. Overload, cancellation (a draining server),
+// and internal errors are transient; everything about the request itself
+// — and a server-enforced time budget — is permanent.
+func permanentWatchFailure(code api.Code) bool {
+	switch code {
+	case api.CodeBadRequest, api.CodeBadQuery, api.CodeBadTuple,
+		api.CodeUnknownDB, api.CodeUnknownJob, api.CodeTimeout:
+		return true
+	}
+	return false
+}
+
+// watchBackoff caps the reconnect backoff at 64× the configured base so a
+// long-lived watch against a down server retries steadily instead of
+// stretching toward infinity.
+func (c *Client) watchBackoff(attempt int) time.Duration {
+	if attempt > 6 {
+		attempt = 6
+	}
+	return c.backoff << attempt
+}

@@ -10,6 +10,15 @@
 //	resil responsibility 'q :- R(x,y), R(y,z)' facts.txt 'R(1,2)'
 //	resil ijp 'q :- R(x), S(x,y), R(y)'
 //	resil hardness 'q :- A(x), R(x,y), R(y,z)'
+//	resil -addr http://host:8080 watch 'q :- R(x,y), R(y,z)' mydb
+//	resil -addr http://host:8080 mutate mydb '+R(1,2)' '-R(2,3)'
+//
+// watch and mutate are remote subcommands: they speak to a resilserverd
+// at -addr through the Go SDK. mutate applies an atomic batch — each
+// argument is a fact prefixed with + (insert) or - (delete) — and prints
+// the database's new version. watch holds an NDJSON watch stream open and
+// prints one line per ρ change until interrupted (or after -max-events
+// changes), reconnecting with resume-from-version across connection loss.
 //
 // Flags:
 //
@@ -18,7 +27,11 @@
 //	-portfolio    race exact branch-and-bound against SAT binary search
 //	              on NP-hard instances
 //	-json         render results as the v1 api.Result JSON encoding
-//	              (classify, solve, batch, enumerate, responsibility)
+//	              (classify, solve, batch, enumerate, responsibility,
+//	              watch, mutate)
+//	-addr URL     resilserverd base URL for the remote subcommands
+//	-max-events N end a watch after N change events (default: run until
+//	              interrupted)
 //
 // The solver subcommands all run through a task-API Session — the same
 // orchestration object behind the repro facade and resilserverd — so a
@@ -48,13 +61,16 @@ import (
 // options are the flag-configurable knobs shared by the solver
 // subcommands.
 type options struct {
-	engine repro.EngineConfig
-	json   bool
+	engine    repro.EngineConfig
+	json      bool
+	addr      string
+	maxEvents int
 }
 
 // engineFlagSet declares the engine-tuning flags shared by solve and
 // batch (-workers, -timeout, -portfolio) plus -json, bound to an options
-// value.
+// value. The remote subcommands (watch, mutate) add -addr and
+// -max-events.
 func engineFlagSet(errOut io.Writer) (*flag.FlagSet, *options) {
 	opts := &options{}
 	fs := flag.NewFlagSet("resil", flag.ContinueOnError)
@@ -64,6 +80,8 @@ func engineFlagSet(errOut io.Writer) (*flag.FlagSet, *options) {
 	fs.DurationVar(&opts.engine.Timeout, "timeout", 0, "per-instance timeout (0 = none)")
 	fs.BoolVar(&opts.engine.Portfolio, "portfolio", false, "race exact vs SAT on NP-hard instances")
 	fs.BoolVar(&opts.json, "json", false, "render results as api.Result JSON")
+	fs.StringVar(&opts.addr, "addr", "", "resilserverd base URL for the remote subcommands (watch, mutate)")
+	fs.IntVar(&opts.maxEvents, "max-events", 0, "end a watch after this many change events (0 = run until interrupted)")
 	return fs, opts
 }
 
@@ -89,7 +107,25 @@ func main() {
 	if len(args) < 2 {
 		usage()
 	}
-	cmd, queryText := args[0], args[1]
+	cmd := args[0]
+	// The remote subcommands speak to a resilserverd via -addr and take no
+	// local query parse: mutate has no query at all, and watch lets the
+	// server own parsing so its typed errors surface as-is.
+	switch cmd {
+	case "watch":
+		if len(args) < 3 {
+			usage()
+		}
+		watchRemote(opts, args[1], args[2])
+		return
+	case "mutate":
+		if len(args) < 3 {
+			usage()
+		}
+		mutateRemote(opts, args[1], args[2:])
+		return
+	}
+	queryText := args[1]
 	q, err := repro.Parse(queryText)
 	if err != nil {
 		fatal(err)
@@ -388,6 +424,8 @@ func usage() {
 
 func fprintUsage(out io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintln(out, "usage: resil [-workers N] [-timeout D] [-portfolio] [-json] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
+	fmt.Fprintln(out, "       resil -addr URL watch 'query' dbname")
+	fmt.Fprintln(out, "       resil -addr URL mutate dbname +R(1,2) -S(3) ...")
 	if fs != nil {
 		fs.PrintDefaults()
 	}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/api"
+	"repro/client"
+)
+
+// remoteClient builds the SDK client for the remote subcommands, which
+// require -addr.
+func remoteClient(opts options) *client.Client {
+	if opts.addr == "" {
+		fatal(fmt.Errorf("watch and mutate need -addr (a resilserverd base URL)"))
+	}
+	return client.New(opts.addr)
+}
+
+// watchRemote holds a watch stream open over dbName, printing one line
+// per answer change until the watch completes (-max-events) or the user
+// interrupts it. Reconnection and resume-from-version live in the SDK.
+func watchRemote(opts options, queryText, dbName string) {
+	c := remoteClient(opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	t := api.Task{
+		Kind:      api.KindWatch,
+		Query:     queryText,
+		DB:        dbName,
+		MaxEvents: opts.maxEvents,
+	}
+	err := c.Watch(ctx, t, func(res *api.Result) error {
+		if opts.json {
+			printJSON(os.Stdout, res)
+			return nil
+		}
+		switch {
+		case !res.Partial:
+			fmt.Printf("watch done after %d events (version %d)\n", res.Total, res.Version)
+		case res.Unbreakable:
+			fmt.Printf("version %-6d unbreakable  components changed: %d\n", res.Version, res.ChangedComponents)
+		default:
+			fmt.Printf("version %-6d ρ=%-6d     components changed: %d\n", res.Version, res.Rho, res.ChangedComponents)
+		}
+		return nil
+	})
+	// ^C is how an unbounded watch ends; report it as a clean exit.
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+}
+
+// mutateRemote applies one atomic mutation batch: each spec is a fact
+// prefixed with + (insert) or - (delete).
+func mutateRemote(opts options, dbName string, specs []string) {
+	muts := make([]api.Mutation, len(specs))
+	for i, s := range specs {
+		switch {
+		case strings.HasPrefix(s, "+"):
+			muts[i] = api.Mutation{Op: api.MutationInsert, Fact: s[1:]}
+		case strings.HasPrefix(s, "-"):
+			muts[i] = api.Mutation{Op: api.MutationDelete, Fact: s[1:]}
+		default:
+			fatal(fmt.Errorf("mutation %q must start with + (insert) or - (delete)", s))
+		}
+	}
+	info, err := remoteClient(opts).MutateDB(context.Background(), dbName, muts)
+	if err != nil {
+		fatal(err)
+	}
+	if opts.json {
+		printJSON(os.Stdout, info)
+		return
+	}
+	fmt.Printf("%s: applied %d mutations; %d tuples, version %d\n",
+		info.Name, len(muts), info.Tuples, info.Version)
+}

@@ -23,11 +23,16 @@
 //	-requests N      total solve requests to issue (default 1000)
 //	-concurrency C   concurrent client workers (default 16)
 //	-scenarios LIST  comma-separated subset of
-//	                 chain,components,confluence,perm,linear (default all)
+//	                 chain,components,confluence,perm,linear,mutate
+//	                 (default: all but mutate)
 //	-scale N         database size multiplier (default 1)
 //	-timeout-ms T    per-request timeout_ms forwarded to the server
 //	                 (default 10000)
 //	-seed S          RNG seed for the scenario databases (default 1)
+//	-watchers N      watch streams held open by the mutate scenario
+//	                 (default 4)
+//	-mutations N     PATCH batches issued by the mutate scenario
+//	                 (default 200)
 //
 // Each scenario is one (query, database) family from internal/datagen:
 // chain and confluence exercise the NP-hard portfolio path, components
@@ -40,6 +45,16 @@
 // throughput, and the server's /metrics snapshot — the IR-cache hit
 // counters are the quickest way to confirm the enumerate-once behavior is
 // working across requests.
+//
+// The mutate scenario is different in shape: instead of riding the solve
+// mix it parks -watchers watch streams on a many-component database and
+// drives -mutations serialized PATCH batches against it, each changing
+// the answer. It reports update-to-notification latency percentiles —
+// PATCH issued to watch line received — which covers the atomic apply,
+// the IR delta-migration, the dirty-component re-solve, and the stream
+// flush. The ir_migrations and comp_cache_hits counters in the closing
+// /metrics snapshot confirm the incremental path (not a full rebuild)
+// served the notifications.
 package main
 
 import (
@@ -77,12 +92,18 @@ func main() {
 		scale       = flag.Int("scale", 1, "database size multiplier")
 		timeoutMS   = flag.Int64("timeout-ms", 10000, "per-request timeout_ms forwarded to the server")
 		seed        = flag.Int64("seed", 1, "RNG seed for scenario databases")
+		watchers    = flag.Int("watchers", 4, "watch streams held open by the mutate scenario")
+		mutations   = flag.Int("mutations", 200, "PATCH batches issued by the mutate scenario")
 	)
 	flag.Parse()
 
-	mix, err := buildScenarios(*scenarios, *scale, *seed)
-	if err != nil {
-		fatal(err)
+	solveList, doMutate := splitMutate(*scenarios)
+	var mix []scenario
+	if solveList != "" {
+		var err error
+		if mix, err = buildScenarios(solveList, *scale, *seed); err != nil {
+			fatal(err)
+		}
 	}
 	// Retries off: resilload counts 429s itself — the load generator must
 	// observe shedding, not paper over it.
@@ -91,6 +112,46 @@ func main() {
 		client.WithHTTPClient(&http.Client{Timeout: 2 * time.Duration(*timeoutMS) * time.Millisecond}))
 	ctx := context.Background()
 
+	var solveFailed int64
+	if len(mix) > 0 {
+		solveFailed = runSolvePhase(ctx, cl, mix, *addr, *requests, *concurrency, *timeoutMS)
+	}
+	if doMutate {
+		if err := runMutateScenario(ctx, cl, *scale, *seed, *watchers, *mutations); err != nil {
+			fatal(err)
+		}
+	}
+
+	if err := printMetrics(cl); err != nil {
+		fmt.Fprintf(os.Stderr, "resilload: metrics: %v\n", err)
+	}
+	if solveFailed > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitMutate pulls the special "mutate" scenario out of the scenario
+// list: it has its own driver (serialized PATCH batches under watch
+// streams) rather than riding the solve request mix.
+func splitMutate(list string) (solveList string, doMutate bool) {
+	var rest []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "mutate" {
+			doMutate = true
+			continue
+		}
+		if name != "" {
+			rest = append(rest, name)
+		}
+	}
+	return strings.Join(rest, ","), doMutate
+}
+
+// runSolvePhase registers the scenario databases and fires the solve
+// request mix, printing per-scenario latency percentiles. It returns the
+// number of failed (non-429) requests.
+func runSolvePhase(ctx context.Context, cl *client.Client, mix []scenario, addr string, requests, concurrency int, timeoutMS int64) int64 {
 	for _, sc := range mix {
 		if _, err := cl.PutDB(ctx, sc.name, sc.facts); err != nil {
 			fatal(fmt.Errorf("registering %s: %w", sc.name, err))
@@ -98,7 +159,7 @@ func main() {
 		fmt.Printf("registered db %-12s %5d facts  query %s\n", sc.name, len(sc.facts), sc.query)
 	}
 
-	fmt.Printf("\nfiring %d requests at %s with %d workers...\n", *requests, *addr, *concurrency)
+	fmt.Printf("\nfiring %d requests at %s with %d workers...\n", requests, addr, concurrency)
 	lats := make(map[string][]time.Duration, len(mix))
 	for _, sc := range mix {
 		lats[sc.name] = nil
@@ -111,13 +172,13 @@ func main() {
 		wg       sync.WaitGroup
 	)
 	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
+	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= *requests {
+				if i >= requests {
 					return
 				}
 				sc := mix[i%len(mix)]
@@ -126,7 +187,7 @@ func main() {
 					Kind:      api.KindSolve,
 					Query:     sc.query,
 					DB:        sc.name,
-					TimeoutMS: *timeoutMS,
+					TimeoutMS: timeoutMS,
 				})
 				took := time.Since(t0)
 				switch {
@@ -162,13 +223,7 @@ func main() {
 	fmt.Printf("\n%d ok, %d rejected (429), %d failed in %v (%.0f req/s)\n",
 		total, rejected.Load(), failed.Load(), wall.Round(time.Millisecond),
 		float64(total)/wall.Seconds())
-
-	if err := printMetrics(cl); err != nil {
-		fmt.Fprintf(os.Stderr, "resilload: metrics: %v\n", err)
-	}
-	if failed.Load() > 0 {
-		os.Exit(1)
-	}
+	return failed.Load()
 }
 
 // buildScenarios materializes the requested scenario mix at the given

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/datagen"
+)
+
+// obs is one watcher notification: which watcher saw which database
+// version, and when.
+type obs struct {
+	watcher int
+	version uint64
+	at      time.Time
+}
+
+// runMutateScenario measures the live-update path end to end: it parks
+// `watchers` watch streams on a many-component database, then drives
+// serialized PATCH batches against it — alternating inserting a fresh
+// two-tuple chain component (ρ+1) and deleting one of its tuples (ρ−1),
+// so every batch changes the answer and must produce one notification
+// per watcher. The reported latency is update-to-notification: PATCH
+// issued to watch line received, covering the mutation apply, the IR
+// delta-migration, the dirty-component re-solve, and the stream flush.
+func runMutateScenario(ctx context.Context, cl *client.Client, scale int, seed int64, watchers, mutations int) error {
+	const dbName = "mutate"
+	rng := rand.New(rand.NewSource(seed))
+	facts := renderFacts(datagen.ManyComponentChainDB(rng, 8*scale, 3, 14))
+	info, err := cl.PutDB(ctx, dbName, facts)
+	if err != nil {
+		return fmt.Errorf("registering %s: %w", dbName, err)
+	}
+	query := "qmut :- R(x,y), R(y,z)"
+	fmt.Printf("\nmutate scenario: %d facts, %d watchers, %d serialized mutation batches\n",
+		len(facts), watchers, mutations)
+
+	wctx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	events := make(chan obs, watchers*4)
+	var wg sync.WaitGroup
+	watchErrs := make([]error, watchers)
+	for w := 0; w < watchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := cl.Watch(wctx, api.Task{Kind: api.KindWatch, Query: query, DB: dbName},
+				func(res *api.Result) error {
+					select {
+					case events <- obs{watcher: w, version: res.Version, at: time.Now()}:
+					case <-wctx.Done():
+					}
+					return nil
+				})
+			if err != nil && wctx.Err() == nil {
+				watchErrs[w] = err
+			}
+		}(w)
+	}
+
+	// await blocks until every watcher has reported a version >= v. Seen
+	// versions persist across calls: a fast watcher's notification for
+	// this batch may land before the PATCH response does.
+	lastVer := make([]uint64, watchers)
+	lastAt := make([]time.Time, watchers)
+	await := func(v uint64) ([]time.Time, error) {
+		timer := time.NewTimer(30 * time.Second)
+		defer timer.Stop()
+		for {
+			ready := true
+			for w := 0; w < watchers; w++ {
+				if lastVer[w] < v {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out := make([]time.Time, watchers)
+				copy(out, lastAt)
+				return out, nil
+			}
+			select {
+			case e := <-events:
+				if e.version > lastVer[e.watcher] {
+					lastVer[e.watcher], lastAt[e.watcher] = e.version, e.at
+				}
+			case <-timer.C:
+				for w := 0; w < watchers; w++ {
+					if err := watchErrs[w]; err != nil {
+						return nil, fmt.Errorf("watcher %d: %w", w, err)
+					}
+				}
+				return nil, fmt.Errorf("timed out waiting for watchers to reach version %d", v)
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+
+	// Wait for every watcher's initial snapshot before mutating, so the
+	// first batch's latency is not inflated by subscription setup.
+	if _, err := await(info.Version); err != nil {
+		return err
+	}
+
+	var (
+		lats      []time.Duration
+		inserted  []string // facts eligible for deletion
+		nextConst int
+	)
+	start := time.Now()
+	for i := 0; i < mutations; i++ {
+		var muts []api.Mutation
+		if i%2 == 0 || len(inserted) == 0 {
+			a := fmt.Sprintf("w%d", nextConst)
+			b := fmt.Sprintf("w%d", nextConst+1)
+			c := fmt.Sprintf("w%d", nextConst+2)
+			nextConst += 3
+			f1 := fmt.Sprintf("R(%s,%s)", a, b)
+			f2 := fmt.Sprintf("R(%s,%s)", b, c)
+			muts = []api.Mutation{
+				{Op: api.MutationInsert, Fact: f1},
+				{Op: api.MutationInsert, Fact: f2},
+			}
+			inserted = append(inserted, f1)
+		} else {
+			f := inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+			muts = []api.Mutation{{Op: api.MutationDelete, Fact: f}}
+		}
+		t0 := time.Now()
+		ninfo, err := cl.MutateDB(ctx, dbName, muts)
+		if err != nil {
+			return fmt.Errorf("mutation batch %d: %w", i, err)
+		}
+		times, err := await(ninfo.Version)
+		if err != nil {
+			return err
+		}
+		for _, at := range times {
+			d := at.Sub(t0)
+			if d < 0 {
+				d = 0
+			}
+			lats = append(lats, d)
+		}
+	}
+	wall := time.Since(start)
+	stopWatch()
+	wg.Wait()
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	fmt.Printf("%-12s %8d %10v %10v %10v %10v\n", "update→notify", len(lats),
+		pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[len(lats)-1])
+	fmt.Printf("%d mutation batches in %v (%.0f batches/s), db version %d → %d\n",
+		mutations, wall.Round(time.Millisecond), float64(mutations)/wall.Seconds(),
+		info.Version, lastVer[0])
+	return nil
+}

@@ -21,20 +21,25 @@
 //	-grace D             shutdown grace period: time to let in-flight
 //	                     requests finish after SIGINT/SIGTERM (default 10s)
 //	-job-workers N       async-job executor goroutines (default 2)
+//	-disable-legacy      serve only the /v1 surface; the deprecated flat
+//	                     routes answer 404
 //
 // Endpoints (see README.md for curl transcripts):
 //
-//	POST   /v1/tasks       generic dispatch: one api.Task envelope, all six
+//	POST   /v1/tasks       generic dispatch: one api.Task envelope, all
 //	                       kinds (classify, solve, enumerate,
-//	                       responsibility, decide, verify_contingency);
-//	                       ?stream=ndjson streams results as found
+//	                       responsibility, decide, verify_contingency,
+//	                       watch); ?stream=ndjson streams results as found
 //	POST   /v1/batch       many tasks on the worker pool; NDJSON streaming
 //	                       emits each result in completion order
 //	POST   /v1/jobs        async job submission (202 + job record)
 //	GET    /v1/jobs        list jobs
 //	GET    /v1/jobs/{id}   poll a job
 //	DELETE /v1/jobs/{id}   cancel a queued/running job, drop a finished one
-//	PUT    /v1/db/{name}   register a database from a JSON fact list
+//	PUT    /v1/db/{name}   register a database from a JSON fact list;
+//	                       answers the registration info, version included
+//	PATCH  /v1/db/{name}   apply an atomic insert/delete batch; cached IRs
+//	                       are delta-migrated and watchers notified
 //	GET    /v1/db          list registered databases
 //	GET    /v1/db/{name}   registration metadata
 //	DELETE /v1/db/{name}   unregister
@@ -43,7 +48,8 @@
 //
 // The pre-v1 endpoints (/solve, /batch, /classify, /enumerate,
 // /responsibility, /db/{name}) remain as shims over the v1 Session with
-// their historical response shapes.
+// their historical response shapes. They answer with a Deprecation header
+// pointing at the v1 successor and disappear under -disable-legacy.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, fails its
 // health checks, and gives in-flight requests the grace period to finish;
@@ -78,6 +84,7 @@ func main() {
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 		jobWorkers  = flag.Int("job-workers", 0, "async-job executor goroutines (0 = default 2)")
 		drainDelay  = flag.Duration("drain-delay", 5*time.Second, "time between failing /healthz and closing the listener, so load balancers observe the 503 and stop routing here")
+		noLegacy    = flag.Bool("disable-legacy", false, "serve only the /v1 surface; the deprecated flat routes answer 404")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -94,6 +101,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
 		JobWorkers:     *jobWorkers,
+		DisableLegacy:  *noLegacy,
 	})
 	defer srv.Close() // stop async-job workers on the way out
 

@@ -143,6 +143,38 @@ func ManyComponentChainDB(rng *rand.Rand, components, minLen, maxLen int) *db.Da
 	return d
 }
 
+// ManyComponentDenseDB builds a database for qchain-shaped queries whose
+// witness hypergraph splits into `components` disjoint dense clusters:
+// each cluster is a directed ring on n nodes plus `extra` random chords
+// drawn inside the cluster's own constant pool. Where
+// ManyComponentChainDB's sparse rings kernelize down to near-trivial
+// residues, a dense cluster carries on the order of n·((n+extra)/n)²
+// overlapping length-2 paths, so every component costs the solver real
+// search effort. That makes this the workload that separates a full
+// rebuild — which re-enumerates and re-solves every component — from
+// delta maintenance, which re-solves only the components a mutation
+// dirtied and answers the rest from the component cache.
+func ManyComponentDenseDB(rng *rand.Rand, components, n, extra int) *db.Database {
+	if n < 3 {
+		n = 3
+	}
+	d := db.New()
+	base := 0
+	for c := 0; c < components; c++ {
+		for i := 0; i < n; i++ {
+			d.AddNames("R", ConstName(base+i), ConstName(base+(i+1)%n))
+		}
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				d.AddNames("R", ConstName(base+u), ConstName(base+v))
+			}
+		}
+		base += n // disjoint constant pools keep clusters disconnected
+	}
+	return d
+}
+
 // ConfluenceDB builds databases for qACconf-shaped queries: nA sources with
 // A-tuples fanning into shared middles, mirrored by nC sinks, scaled by
 // fanout. Every witness is an A–R–R–C path through a shared middle value.

@@ -322,9 +322,13 @@ func (d *Database) AllTuples() []Tuple {
 	return out
 }
 
-// Clone returns a deep copy sharing no mutable state with d.
+// Clone returns a deep copy sharing no mutable state with d. The copy
+// keeps d's version (so a mutation lineage built by clone-then-mutate has
+// monotonically increasing versions, which the watch surface relies on)
+// but gets a fresh identity (UID), so cache keys never conflate the two.
 func (d *Database) Clone() *Database {
 	c := New()
+	c.version = d.version
 	c.names = append([]string(nil), d.names...)
 	for n, v := range d.index {
 		c.index[n] = v

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/witset"
+)
+
+// The incremental-mutation benchmark pair: the same single-tuple mutation
+// stream over the same many-component database, answered once by the
+// delta path (MigrateIRs + cached components) and once by a cold engine
+// rebuilding the IR from scratch. The workload toggles one edge on and
+// off next to a pre-seeded partner edge, so every mutation creates or
+// destroys exactly one witness while the dense clusters stay untouched —
+// the shape delta maintenance exists for: the rebuild re-enumerates and
+// re-solves every cluster per mutation, the delta path semi-joins the one
+// changed tuple and answers the untouched clusters from the component
+// cache.
+
+func incrementalBenchSetup(b *testing.B) (*cq.Query, *db.Database) {
+	b.Helper()
+	q := cq.MustParse("qmchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(99))
+	d := datagen.ManyComponentDenseDB(rng, 64, 12, 34)
+	d.AddNames("R", "m1", "m2") // partner edge for the toggled tuple
+	d.Freeze()
+	return q, d
+}
+
+// toggleMutation builds iteration i's mutation against next: inserting
+// R(m2,m3) on even iterations (one new witness m1→m2→m3), deleting it on
+// odd ones.
+func toggleMutation(next *db.Database, i int) witset.Mutation {
+	tup := db.Tuple{Rel: "R", Arity: 2}
+	tup.Args[0] = next.Const("m2")
+	tup.Args[1] = next.Const("m3")
+	return witset.Mutation{Insert: i%2 == 0, Tuple: tup}
+}
+
+func BenchmarkIncrementalMutationDelta(b *testing.B) {
+	q, d := incrementalBenchSetup(b)
+	e := New(Config{Workers: 4, NoClone: true})
+	ctx := context.Background()
+	if _, _, err := e.Solve(ctx, q, d); err != nil {
+		b.Fatal(err)
+	}
+	cur := d
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := cur.Clone()
+		m := toggleMutation(next, i)
+		applyMuts(next, []witset.Mutation{m})
+		next.Freeze()
+		if e.MigrateIRs(ctx, cur, next, []witset.Mutation{m}) != 1 {
+			b.Fatal("IR did not migrate")
+		}
+		if _, _, err := e.Solve(ctx, q, next); err != nil {
+			b.Fatal(err)
+		}
+		e.ForgetDatabase(cur)
+		cur = next
+	}
+}
+
+func BenchmarkIncrementalMutationRebuild(b *testing.B) {
+	q, d := incrementalBenchSetup(b)
+	ctx := context.Background()
+	cur := d
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := cur.Clone()
+		m := toggleMutation(next, i)
+		applyMuts(next, []witset.Mutation{m})
+		next.Freeze()
+		// A cold engine per iteration: the pre-incremental world pays a
+		// full witness enumeration, kernelization, and per-component solve
+		// for every mutation.
+		cold := New(Config{Workers: 4, NoClone: true})
+		if _, _, err := cold.Solve(ctx, q, next); err != nil {
+			b.Fatal(err)
+		}
+		cur = next
+	}
+}

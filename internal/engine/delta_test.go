@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/witset"
+)
+
+// applyMuts plays a mutation batch onto a mutable database (the
+// engine-test stand-in for api.Session.MutateDB's resolved batch).
+func applyMuts(d *db.Database, muts []witset.Mutation) {
+	for _, m := range muts {
+		if m.Insert {
+			d.AddTuple(m.Tuple)
+		} else {
+			d.Remove(m.Tuple)
+		}
+	}
+}
+
+// randomEngineBatch builds 1–3 mutations over relation R with arguments
+// drawn from a small domain interned into next: inserts of absent tuples,
+// deletes of present ones, no same-tuple conflicts within a batch.
+func randomEngineBatch(rng *rand.Rand, next *db.Database) []witset.Mutation {
+	tracked := next.Clone()
+	n := 1 + rng.Intn(3)
+	var out []witset.Mutation
+	for len(out) < n {
+		tup := db.Tuple{Rel: "R", Arity: 2}
+		for i := 0; i < 2; i++ {
+			tup.Args[i] = tracked.Const(fmt.Sprint(rng.Intn(9)))
+		}
+		if tracked.Has(tup) {
+			tracked.Remove(tup)
+			out = append(out, witset.Mutation{Tuple: tup})
+		} else {
+			tracked.AddTuple(tup)
+			out = append(out, witset.Mutation{Insert: true, Tuple: tup})
+		}
+	}
+	return out
+}
+
+// TestMigrateIRsDifferential is the engine-level half of the delta
+// differential suite: across a long interleaved insert/delete sequence,
+// an engine that delta-migrates its cached IR must report the same ρ as a
+// cold engine building the IR from scratch over the same database — and
+// must do it without ever rebuilding (IRBuilds stays 1, IRMigrations
+// counts the steps).
+func TestMigrateIRsDifferential(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(42))
+	d := datagen.Random(rng, q, 9, 16, 0.25)
+	d.Freeze()
+
+	e := New(Config{Workers: 4, NoClone: true})
+	ctx := context.Background()
+	if _, _, err := e.Solve(ctx, q, d); err != nil {
+		t.Fatal(err)
+	}
+
+	const steps = 25
+	for step := 0; step < steps; step++ {
+		next := d.Clone()
+		muts := randomEngineBatch(rng, next)
+		applyMuts(next, muts)
+		next.Freeze()
+
+		if migrated := e.MigrateIRs(ctx, d, next, muts); migrated != 1 {
+			t.Fatalf("step %d: MigrateIRs = %d entries, want 1", step, migrated)
+		}
+		if e.PeekInstance(q, next) == nil {
+			t.Fatalf("step %d: no cached IR for the new version after migration", step)
+		}
+		res, _, err := e.Solve(ctx, q, next)
+		if err != nil {
+			t.Fatalf("step %d: delta engine: %v", step, err)
+		}
+
+		cold := New(Config{Workers: 4, NoClone: true})
+		want, _, err := cold.Solve(ctx, q, next)
+		if err != nil {
+			t.Fatalf("step %d: cold engine: %v", step, err)
+		}
+		if res.Rho != want.Rho {
+			t.Fatalf("step %d: delta ρ = %d, scratch ρ = %d (muts %v)", step, res.Rho, want.Rho, muts)
+		}
+		d = next
+	}
+
+	st := e.Stats()
+	if st.IRBuilds != 1 {
+		t.Fatalf("IRBuilds = %d, want 1: every step should migrate, not rebuild", st.IRBuilds)
+	}
+	if st.IRMigrations != steps {
+		t.Fatalf("IRMigrations = %d, want %d", st.IRMigrations, steps)
+	}
+}
+
+// TestMigrateIRsComponentCache pins the dirty-component re-solve: after a
+// mutation that adds one fresh component to a many-component database,
+// the next solve reuses every untouched component's cached optimum and
+// runs the solver only on the new one.
+func TestMigrateIRsComponentCache(t *testing.T) {
+	q := cq.MustParse("qmchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(5))
+	d := datagen.ManyComponentChainDB(rng, 24, 3, 12)
+	d.Freeze()
+
+	e := New(Config{Workers: 4, NoClone: true})
+	ctx := context.Background()
+	base, _, err := e.Solve(ctx, q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsAfterWarm := e.Stats().SolverRuns
+
+	// One fresh 3-cycle: a new component that survives kernelization with
+	// ρ = 2; everything else is untouched.
+	next := d.Clone()
+	a, b, c := next.Const("za"), next.Const("zb"), next.Const("zc")
+	muts := []witset.Mutation{
+		{Insert: true, Tuple: db.Tuple{Rel: "R", Arity: 2, Args: [db.MaxArity]db.Value{a, b}}},
+		{Insert: true, Tuple: db.Tuple{Rel: "R", Arity: 2, Args: [db.MaxArity]db.Value{b, c}}},
+		{Insert: true, Tuple: db.Tuple{Rel: "R", Arity: 2, Args: [db.MaxArity]db.Value{c, a}}},
+	}
+	applyMuts(next, muts)
+	next.Freeze()
+	if migrated := e.MigrateIRs(ctx, d, next, muts); migrated != 1 {
+		t.Fatalf("MigrateIRs = %d entries, want 1", migrated)
+	}
+
+	res, _, err := e.Solve(ctx, q, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != base.Rho+2 {
+		t.Fatalf("ρ after adding a 3-cycle = %d, want %d", res.Rho, base.Rho+2)
+	}
+	st := e.Stats()
+	if st.CompCacheHits == 0 {
+		t.Fatal("CompCacheHits = 0: untouched components should hit the cache")
+	}
+	if extra := st.SolverRuns - runsAfterWarm; extra != 1 {
+		t.Fatalf("solver ran %d times after the delta, want 1 (only the new component)", extra)
+	}
+}

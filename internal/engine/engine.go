@@ -72,6 +72,11 @@ type Config struct {
 	// 256). The IR cache is only consulted under NoClone, because cloning
 	// gives every instance a fresh database identity that can never hit.
 	IRCacheSize int
+	// CompCacheSize caps the component-result cache (0 = default 4096),
+	// which remembers solved kernel components by content fingerprint so
+	// delta-maintained mutations re-solve only the components they dirtied.
+	// Like the IR cache it is only consulted under NoClone.
+	CompCacheSize int
 	// NoClone skips the defensive per-instance database clone. It is the
 	// serving-layer mode: callers pass long-lived (typically frozen)
 	// databases, which makes the cross-request IR cache effective — the
@@ -92,6 +97,7 @@ type Engine struct {
 	cfg   Config
 	cache *classCache
 	irs   *irCache
+	comps *compCache
 
 	solved             atomic.Int64
 	timeouts           atomic.Int64
@@ -103,6 +109,7 @@ type Engine struct {
 	kernelDominated    atomic.Int64
 	componentsSolved   atomic.Int64
 	multiComponent     atomic.Int64
+	irMigrations       atomic.Int64
 }
 
 // Stats is a snapshot of an Engine's counters.
@@ -124,11 +131,15 @@ type Stats struct {
 	// them. One portfolio-raced hypergraph component = two solver runs (the
 	// enumerate-once invariant is IRBuilds == instances raced, not one per
 	// run: SolverRuns == 2×ComponentsSolved on a pure portfolio workload);
-	// without the portfolio an exact instance is one build + one run. Under
+	// without the portfolio each solved component is one run. Under
 	// NoClone, IR-cache hits reuse an earlier build, so IRBuilds counts
-	// misses only.
+	// misses only, and component-cache hits skip solver runs entirely.
 	IRBuilds   int64
 	SolverRuns int64
+	// IRMigrations counts cached IRs carried across a database mutation by
+	// delta maintenance (Engine.MigrateIRs) instead of being rebuilt from
+	// scratch on the next request.
+	IRMigrations int64
 	// KernelForcedTuples / KernelDominatedTuples count the work done by the
 	// instance-level kernelization on exact-path solves: tuples forced into
 	// every minimum contingency set by unit witnesses, and tuples dropped
@@ -148,6 +159,13 @@ type Stats struct {
 	// a hit per waiter.
 	IRCacheHits   int64
 	IRCacheMisses int64
+	// CompCacheHits / CompCacheMisses count component-result cache
+	// outcomes (always zero unless Config.NoClone enables the cache). A
+	// hit means a kernel component was answered from a previous solve —
+	// after a mutation, hits are exactly the components the delta did not
+	// dirty.
+	CompCacheHits   int64
+	CompCacheMisses int64
 }
 
 // New returns an Engine with the given configuration.
@@ -156,6 +174,7 @@ func New(cfg Config) *Engine {
 		cfg:   cfg,
 		cache: newClassCache(cfg.CacheSize),
 		irs:   newIRCache(cfg.IRCacheSize),
+		comps: newCompCache(cfg.CompCacheSize),
 	}
 }
 
@@ -163,6 +182,7 @@ func New(cfg Config) *Engine {
 func (e *Engine) Stats() Stats {
 	hits, misses := e.cache.stats()
 	irHits, irMisses := e.irs.stats()
+	compHits, compMisses := e.comps.stats()
 	return Stats{
 		Solved:             e.solved.Load(),
 		Timeouts:           e.timeouts.Load(),
@@ -172,8 +192,11 @@ func (e *Engine) Stats() Stats {
 		PortfolioSATWins:   e.portfolioSATWins.Load(),
 		IRBuilds:           e.irBuilds.Load(),
 		SolverRuns:         e.solverRuns.Load(),
+		IRMigrations:       e.irMigrations.Load(),
 		IRCacheHits:        irHits,
 		IRCacheMisses:      irMisses,
+		CompCacheHits:      compHits,
+		CompCacheMisses:    compMisses,
 
 		KernelForcedTuples:      e.kernelForced.Load(),
 		KernelDominatedTuples:   e.kernelDominated.Load(),
@@ -201,22 +224,6 @@ func (e *Engine) componentWorkers() int {
 		w = 4
 	}
 	return w
-}
-
-// noteKernel records the kernelization and decomposition counters for one
-// exact-path solve and returns the kernel's components. The kernel and the
-// split are sync.Once-cached on the instance, so calling this on a
-// cache-shared IR re-counts the (cheap) statistics but never re-runs the
-// pipeline.
-func (e *Engine) noteKernel(kern *witset.Kernel) []*witset.Component {
-	comps := kern.Components()
-	e.kernelForced.Add(int64(len(kern.Forced)))
-	e.kernelDominated.Add(int64(kern.Dominated))
-	e.componentsSolved.Add(int64(len(comps)))
-	if len(comps) > 1 {
-		e.multiComponent.Add(1)
-	}
-	return comps
 }
 
 // SolveBatch solves every instance concurrently on the engine's worker
@@ -322,14 +329,7 @@ func (e *Engine) solveComponent(ctx context.Context, cl *core.Classification, d 
 		if inst.NumWitnesses() == 0 {
 			return &resilience.Result{Rho: 0, Method: method, Witnesses: 0}, nil
 		}
-		if e.cfg.Portfolio {
-			return e.raceOnInstance(ctx, inst)
-		}
-		// ExactOnInstance runs the same kernel+decompose pipeline
-		// internally (sequentially); surface its counters here too.
-		e.noteKernel(inst.Kernel())
-		e.solverRuns.Add(1)
-		return resilience.ExactOnInstance(ctx, inst, -1)
+		return e.pipelineOnInstance(ctx, inst, e.cfg.Portfolio)
 	}
 	if e.cfg.NoClone && cl.Algorithm == core.AlgPerm3Flow {
 		// The one PTIME solver that temporarily deletes tuples. Under
@@ -367,4 +367,59 @@ func (e *Engine) InstanceFor(ctx context.Context, q *cq.Query, d *db.Database) (
 		return build()
 	}
 	return e.irs.get(ctx, q, d, build)
+}
+
+// PeekInstance returns the cached IR for (q, d) if one is ready, without
+// building anything. The watch surface uses this to diff component
+// fingerprints across versions; a nil return just means no diff is
+// available. Always nil unless NoClone enables the IR cache.
+func (e *Engine) PeekInstance(q *cq.Query, d *db.Database) *witset.Instance {
+	if !e.cfg.NoClone {
+		return nil
+	}
+	return e.irs.peek(q, d)
+}
+
+// MigrateIRs carries every cached IR of the old database over to the new
+// one by delta maintenance: instead of invalidating the IRs (the version
+// bump already makes them unreachable) and re-enumerating the full witness
+// join on the next request, each IR is patched with the witnesses the
+// mutation batch touched — a semi-join against the delta — and re-cached
+// under the new database's identity. Combined with the component-result
+// cache, the next solve then re-runs solvers only on the components the
+// mutations dirtied.
+//
+// old must be the pre-batch database the IRs were built against, new the
+// post-batch database (typically a mutated clone of old), and muts the
+// batch that takes old to new, with tuples resolved against new's
+// interner. IRs that cannot be delta-maintained (unbreakable, or built
+// differently than Build would) are skipped and simply rebuilt from
+// scratch on demand. Returns the number of IRs migrated. No-op unless
+// NoClone enables the IR cache.
+func (e *Engine) MigrateIRs(ctx context.Context, old, new *db.Database, muts []witset.Mutation) int {
+	if !e.cfg.NoClone || len(muts) == 0 {
+		return 0
+	}
+	migrated := 0
+	for _, en := range e.irs.entriesFor(old.UID(), old.Version()) {
+		if ctx.Err() != nil {
+			break
+		}
+		// Each migration needs a private pre-batch database to replay the
+		// batch against, with an interner covering any constants the batch
+		// introduced (clone interners share old's prefix; new appended).
+		work := old.Clone()
+		for v := work.NumConsts(); v < new.NumConsts(); v++ {
+			work.Const(new.ConstName(db.Value(v)))
+		}
+		inst, _, err := witset.ApplyDelta(ctx, en.inst, work, muts)
+		if err != nil {
+			continue
+		}
+		if e.irs.put(en.q, new.UID(), new.Version(), inst) {
+			e.irMigrations.Add(1)
+			migrated++
+		}
+	}
+	return migrated
 }

@@ -123,6 +123,71 @@ func (c *irCache) get(ctx context.Context, q *cq.Query, d *db.Database, build fu
 	return inst, err
 }
 
+// peek returns the ready, successfully built IR for (q, d), or nil. It
+// never waits on an in-flight build and never counts a hit or miss.
+func (c *irCache) peek(q *cq.Query, d *db.Database) *witset.Instance {
+	key := irKey{dbUID: d.UID(), dbVersion: d.Version(), sig: signature(q)}
+	c.mu.Lock()
+	e := c.lookup(key, q)
+	c.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	select {
+	case <-e.ready:
+		if e.err == nil {
+			return e.inst
+		}
+	default:
+	}
+	return nil
+}
+
+// entriesFor snapshots the completed, successfully built entries keyed to
+// the given database identity and version. MigrateIRs walks these to carry
+// IRs across a mutation.
+func (c *irCache) entriesFor(dbUID, dbVersion uint64) []*irEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*irEntry
+	for k, bucket := range c.buckets {
+		if k.dbUID != dbUID || k.dbVersion != dbVersion {
+			continue
+		}
+		for _, e := range bucket {
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					out = append(out, e)
+				}
+			default:
+			}
+		}
+	}
+	return out
+}
+
+// put inserts a prebuilt IR under (q, database identity), for MigrateIRs.
+// Respects the capacity cap and the single-entry-per-equivalent-query
+// rule; reports whether the instance was stored.
+func (c *irCache) put(q *cq.Query, dbUID, dbVersion uint64, inst *witset.Instance) bool {
+	key := irKey{dbUID: dbUID, dbVersion: dbVersion, sig: signature(q)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lookup(key, q) != nil {
+		return false
+	}
+	if c.size >= c.max {
+		return false
+	}
+	c.evictStaleLocked(dbUID, dbVersion)
+	e := &irEntry{q: q.Clone(), ready: make(chan struct{}), inst: inst}
+	close(e.ready)
+	c.buckets[key] = append(c.buckets[key], e)
+	c.size++
+	return true
+}
+
 // lookup scans the bucket for an alpha-equivalent entry. Callers hold c.mu.
 func (c *irCache) lookup(key irKey, q *cq.Query) *irEntry {
 	for _, e := range c.buckets[key] {

@@ -5,21 +5,38 @@ import (
 	"sync"
 
 	"repro/internal/cnfenc"
+	"repro/internal/db"
 	"repro/internal/resilience"
 	"repro/internal/witset"
 )
 
-// raceOnInstance attacks one NP-hard (or unclassified) instance through the
-// kernel+decompose pipeline: the witness family is kernelized (unit-row
-// forcing, dominated-tuple elimination), split into connected components,
-// and each component is raced independently by two solvers on a bounded
-// intra-instance worker pool — ρ is the forced-deletion count plus the sum
-// of component minima. Small components mean exponentially smaller searches
-// and smaller CNF counters, and independent components mean the races run
-// in parallel instead of one monolithic search.
+// pipelineOnInstance attacks one NP-hard (or unclassified) instance
+// through the decompose+kernel pipeline: the normalized witness family is
+// first split into the connected components of its row-intersection graph,
+// then each component is kernelized (unit-row forcing, dominated-tuple
+// elimination) and solved independently on a bounded intra-instance worker
+// pool — ρ is the sum over components of forced deletions plus kernel
+// minima. Small components mean exponentially smaller searches and smaller
+// CNF counters, and independent components mean the solves run in parallel
+// instead of one monolithic search.
 //
-// Each component race pits two solvers against each other, cancelling the
-// loser:
+// Decomposing before kernelizing is sound because both kernelization rules
+// are component-local: a unit row forces an element of its own component,
+// and a dominating element must co-occur with the dominated one, so the
+// union of per-component kernels is exactly the kernel of the whole
+// family. The order matters for incremental solves: each raw component is
+// looked up in the engine's component-result cache by content fingerprint
+// (NoClone mode only) BEFORE any kernelization runs, so after a
+// delta-maintained mutation the untouched components skip kernelize and
+// solver alike and contribute their remembered minima for free — only the
+// dirtied components pay for the pipeline. Cache hits do not touch the
+// portfolio win counters (nothing raced) but carry their recorded winners
+// into the method string and their recorded kernel counters into the
+// stats, so a partially-cached solve reports the same method and
+// comparable statistics to the all-fresh solve it shortcuts.
+//
+// With race set, each fresh kernel sub-component is raced by two solvers,
+// cancelling the loser:
 //
 //   - exact branch-and-bound over the component's hitting-set family
 //     (resilience.SolveFamily), strongest when the packing lower bound
@@ -30,32 +47,29 @@ import (
 //
 // The two racers dominate on different instance families, so a race is
 // never slower than the better solver by more than scheduling noise, and
-// is often dramatically faster than a fixed choice.
+// is often dramatically faster than a fixed choice. Without race (the
+// plain exact configuration), each fresh sub-component runs the exact
+// solver alone and the method is reported as "exact".
 //
-// The witness hypergraph comes in prebuilt (once per race, or shared
-// across races by the engine's cross-request IR cache under NoClone) and
-// is immutable (derived families, the kernel and the component split are
-// sync.Once-guarded), so no racer touches the database and no defensive
+// The witness hypergraph comes in prebuilt (once per solve, or shared
+// across solves by the engine's cross-request IR cache under NoClone) and
+// is immutable (the derived family and the component split are computed
+// once and shared), so no solver touches the database and no defensive
 // clone is needed. Unbreakability and the zero-witness case are properties
-// of the IR and short-circuit in solveComponent before any racer starts.
-func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*resilience.Result, error) {
-	kern := inst.Kernel()
-	comps := e.noteKernel(kern)
+// of the IR and short-circuit in solveComponent before any solver starts.
+func (e *Engine) pipelineOnInstance(ctx context.Context, inst *witset.Instance, race bool) (*resilience.Result, error) {
+	comps := inst.Components()
+	useCache := e.cfg.NoClone
 
-	rho := len(kern.Forced)
-	ids := append([]int32(nil), kern.Forced...)
-	exactWins, satWins := 0, 0
+	rho := 0
+	var tuples []db.Tuple
+	exactFlags, satFlags := 0, 0 // method reconstruction: all components
+	totalSubs := 0               // kernel sub-components, cached ones included
 
 	if len(comps) > 0 {
 		rctx, cancel := context.WithCancel(ctx)
 		defer cancel()
 
-		type compOut struct {
-			size int
-			ids  []int32 // global ids
-			sat  bool
-			err  error
-		}
 		workers := e.componentWorkers()
 		if workers > len(comps) {
 			workers = len(comps)
@@ -68,9 +82,7 @@ func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*re
 			go func() {
 				defer wg.Done()
 				for i := range idxCh {
-					c := comps[i]
-					size, local, viaSAT, err := e.raceComponent(rctx, c.Fam)
-					outCh <- compOut{size: size, ids: c.ToGlobal(local), sat: viaSAT, err: err}
+					outCh <- e.solveRawComponent(rctx, inst, comps[i], race, useCache)
 				}
 			}()
 		}
@@ -90,11 +102,19 @@ func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*re
 				continue
 			}
 			rho += out.size
-			ids = append(ids, out.ids...)
+			tuples = append(tuples, out.tuples...)
+			totalSubs += out.subs
+			e.kernelForced.Add(int64(out.forced))
+			e.kernelDominated.Add(int64(out.dominated))
+			if out.exact {
+				exactFlags++
+			}
 			if out.sat {
-				satWins++
-			} else {
-				exactWins++
+				satFlags++
+			}
+			if race {
+				e.portfolioExactWins.Add(int64(out.exactWins))
+				e.portfolioSATWins.Add(int64(out.satWins))
 			}
 		}
 		if firstErr != nil {
@@ -105,26 +125,113 @@ func (e *Engine) raceOnInstance(ctx context.Context, inst *witset.Instance) (*re
 			}
 			return nil, firstErr
 		}
-		e.portfolioExactWins.Add(int64(exactWins))
-		e.portfolioSATWins.Add(int64(satWins))
+	}
+	e.componentsSolved.Add(int64(totalSubs))
+	if totalSubs > 1 {
+		e.multiComponent.Add(1)
 	}
 
-	method := "portfolio/"
-	switch {
-	case len(comps) == 0:
-		method += "kernel" // the kernel solved the instance outright
-	case satWins == 0:
-		method += "exact"
-	case exactWins == 0:
-		method += "sat-binary-search"
-	default:
-		method += "mixed"
+	method := "exact"
+	if race {
+		method = "portfolio/"
+		switch {
+		case exactFlags == 0 && satFlags == 0:
+			method += "kernel" // the kernels solved the instance outright
+		case satFlags == 0:
+			method += "exact"
+		case exactFlags == 0:
+			method += "sat-binary-search"
+		default:
+			method += "mixed"
+		}
 	}
 	res := &resilience.Result{Rho: rho, Method: method, Witnesses: inst.NumWitnesses()}
 	if rho > 0 {
-		res.ContingencySet = inst.TupleSet(ids)
+		db.SortTuples(tuples)
+		res.ContingencySet = tuples
 	}
 	return res, nil
+}
+
+// compOut is the outcome of one raw component: its contribution to ρ and
+// the contingency set, which solver kinds contributed (for the method
+// string), the portfolio win counts of the freshly raced sub-components,
+// and the kernelization statistics (recorded from the cache entry on a
+// hit, so stats are comparable either way).
+type compOut struct {
+	size      int
+	tuples    []db.Tuple
+	exact     bool
+	sat       bool
+	subs      int
+	forced    int
+	dominated int
+	exactWins int
+	satWins   int
+	hit       bool
+	err       error
+}
+
+// solveRawComponent answers one raw (un-kernelized) component: from the
+// component cache when its content fingerprint is known, otherwise by
+// kernelizing the component's family and solving each kernel sub-component
+// — raced under race, plain exact otherwise. Fresh results are cached
+// under the raw fingerprint so the next solve of an identical component
+// (typically: the same component after a delta elsewhere in the database)
+// skips both kernelization and solvers.
+func (e *Engine) solveRawComponent(ctx context.Context, inst *witset.Instance, c *witset.Component, race, useCache bool) compOut {
+	var key string
+	if useCache {
+		key = inst.ComponentKey(c)
+		if ent, ok := e.comps.get(key); ok {
+			return compOut{size: ent.rho, tuples: ent.tuples, exact: ent.exact, sat: ent.sat,
+				subs: ent.subs, forced: ent.forced, dominated: ent.dominated, hit: true}
+		}
+	}
+	kern, err := witset.KernelizeCtx(ctx, c.Fam)
+	if err != nil {
+		return compOut{err: err}
+	}
+	out := compOut{
+		size:      len(kern.Forced),
+		tuples:    inst.TupleSet(c.ToGlobal(kern.Forced)),
+		forced:    len(kern.Forced),
+		dominated: kern.Dominated,
+	}
+	subs := kern.Components()
+	out.subs = len(subs)
+	for _, sub := range subs {
+		var (
+			size   int
+			local  []int32
+			viaSAT bool
+		)
+		if race {
+			size, local, viaSAT, err = e.raceComponent(ctx, sub.Fam)
+		} else {
+			e.solverRuns.Add(1)
+			size, local, err = resilience.SolveFamily(ctx, sub.Fam, -1)
+		}
+		if err != nil {
+			return compOut{err: err}
+		}
+		out.size += size
+		// Solver ids are local to the sub-component's family; lift them
+		// through the sub-component's and the raw component's remaps.
+		out.tuples = append(out.tuples, inst.TupleSet(c.ToGlobal(sub.ToGlobal(local)))...)
+		if viaSAT {
+			out.sat = true
+			out.satWins++
+		} else {
+			out.exact = true
+			out.exactWins++
+		}
+	}
+	if key != "" {
+		e.comps.put(key, compEntry{rho: out.size, tuples: out.tuples, exact: out.exact, sat: out.sat,
+			subs: out.subs, forced: out.forced, dominated: out.dominated})
+	}
+	return out
 }
 
 // raceComponent races the exact branch-and-bound against SAT binary search

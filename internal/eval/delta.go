@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Delta enumeration: the incremental-maintenance primitive. Instead of
+// re-joining the whole database after a tuple insert or delete, the delta
+// rule from incremental view maintenance applies — the witnesses affected
+// by tuple t are exactly those that use t in at least one atom position,
+// and they can be enumerated by pinning one atom to t and joining only the
+// remaining atoms (a semi-join of the query against the one-tuple delta).
+// Summed over atoms this costs O(Σ_i |join of q minus atom i, seeded by
+// t|), independent of the witnesses that do not touch t.
+
+// ForEachDeltaWitness calls fn for every witness of q over d that maps at
+// least one atom to tuple t, exactly once per witness. t must be present
+// in d (for inserts, call after adding t; for deletes, before removing
+// it). fn returning false stops the enumeration. The Witness slice passed
+// to fn is reused across calls; copy it if retained.
+//
+// Exactly-once is achieved with the standard counting trick: witness w is
+// reported by the pinned-atom enumeration of the *smallest* atom index
+// that w maps to t, and suppressed for larger pin indexes.
+func ForEachDeltaWitness(q *cq.Query, d *db.Database, t db.Tuple, fn func(Witness) bool) {
+	n := len(q.Atoms)
+	if n == 0 {
+		return
+	}
+	assign := make([]db.Value, q.NumVars())
+	bound := make([]bool, q.NumVars())
+	stopped := false
+	for pin := 0; pin < n && !stopped; pin++ {
+		a := q.Atoms[pin]
+		if a.Rel != t.Rel || len(a.Args) != int(t.Arity) {
+			continue
+		}
+		// Bind the pinned atom's variables to t, rejecting the pin when a
+		// repeated variable would need two different constants.
+		var seeded []cq.Var
+		ok := true
+		for p, v := range a.Args {
+			if bound[v] {
+				if assign[v] != t.Args[p] {
+					ok = false
+					break
+				}
+				continue
+			}
+			assign[v] = t.Args[p]
+			bound[v] = true
+			seeded = append(seeded, v)
+		}
+		if ok {
+			order := planOrderSkip(q, pin)
+			joinOver(q, d, order, assign, bound, func(w Witness) bool {
+				if earlierAtomUses(q, w, t, pin) {
+					return true // already reported under a smaller pin
+				}
+				if !fn(w) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		}
+		for _, v := range seeded {
+			bound[v] = false
+		}
+	}
+}
+
+// earlierAtomUses reports whether witness w maps some atom with index < pin
+// to tuple t.
+func earlierAtomUses(q *cq.Query, w Witness, t db.Tuple, pin int) bool {
+	for j := 0; j < pin; j++ {
+		a := q.Atoms[j]
+		if a.Rel != t.Rel || len(a.Args) != int(t.Arity) {
+			continue
+		}
+		match := true
+		for p, v := range a.Args {
+			if w[v] != t.Args[p] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// planOrderSkip orders all atoms except skip greedily for index probes,
+// treating skip's variables as already bound (they seed the connectivity).
+func planOrderSkip(q *cq.Query, skip int) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	used[skip] = true
+	seen := map[cq.Var]bool{}
+	for _, v := range q.Atoms[skip].Args {
+		seen[v] = true
+	}
+	order := make([]int, 0, n-1)
+	for len(order) < n-1 {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			connected := false
+			for _, v := range q.Atoms[i].Args {
+				if seen[v] {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				best = i
+				break
+			}
+			if best == -1 {
+				best = i
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range q.Atoms[best].Args {
+			seen[v] = true
+		}
+	}
+	return order
+}

@@ -42,13 +42,20 @@ func Satisfied(q *cq.Query, d *db.Database) bool {
 // enumeration. The Witness slice passed to fn is reused across calls; copy
 // it if retained.
 func ForEachWitness(q *cq.Query, d *db.Database, fn func(Witness) bool) {
-	n := len(q.Atoms)
-	if n == 0 {
+	if len(q.Atoms) == 0 {
 		return
 	}
-	order := planOrder(q)
-	assign := make([]db.Value, q.NumVars())
-	bound := make([]bool, q.NumVars())
+	joinOver(q, d, planOrder(q), make([]db.Value, q.NumVars()), make([]bool, q.NumVars()), fn)
+}
+
+// joinOver is the backtracking-join core shared by the full and the delta
+// enumeration: it extends the partial valuation (assign, bound) over the
+// atoms listed in order, calling fn with the completed witness. Variables
+// already bound on entry act as seeds (the delta enumerator binds the
+// pinned atom's variables first); on return assign/bound are restored to
+// their entry state.
+func joinOver(q *cq.Query, d *db.Database, order []int, assign []db.Value, bound []bool, fn func(Witness) bool) {
+	n := len(order)
 	stopped := false
 
 	var rec func(k int)

@@ -104,7 +104,10 @@ func solveInstance(ctx context.Context, inst *witset.Instance, budget int, metho
 		return res, nil
 	}
 
-	kern := inst.Kernel()
+	kern, err := inst.KernelCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	chosen := append([]int32(nil), kern.Forced...)
 	rho := len(chosen)
 	over := func() *Result {

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/api"
+)
+
+// solveRho runs a synchronous v1 solve and returns ρ.
+func solveRho(t *testing.T, ts, db string) int {
+	t.Helper()
+	var res api.Result
+	status := doJSON(t, http.MethodPost, ts+"/v1/tasks",
+		api.Task{Kind: api.KindSolve, Query: "qchain :- R(x,y), R(y,z)", DB: db}, &res)
+	if status != http.StatusOK {
+		t.Fatalf("solve %s: status %d", db, status)
+	}
+	return res.Rho
+}
+
+func patchDB(t *testing.T, ts, name string, muts []api.Mutation, out any) int {
+	t.Helper()
+	return doJSON(t, http.MethodPatch, ts+"/v1/db/"+name, api.MutateRequest{Mutations: muts}, out)
+}
+
+// TestV1MutateDBEndpoint drives the PATCH surface end to end: an applied
+// batch answers the post-batch DBInfo (version bumped, counts updated) and
+// changes the solve answer; the server's mutation counter tracks applied
+// batches.
+func TestV1MutateDBEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putToy(t, ts.URL)
+
+	var before api.DBInfo
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/db/toy", nil, &before); status != http.StatusOK {
+		t.Fatalf("GET toy: status %d", status)
+	}
+	if got := solveRho(t, ts.URL, "toy"); got != 2 {
+		t.Fatalf("ρ before mutation = %d, want 2", got)
+	}
+
+	// Insert a disjoint chain component: one more witness, ρ 2 → 3.
+	var resp api.MutateResponse
+	status := patchDB(t, ts.URL, "toy", []api.Mutation{
+		{Op: api.MutationInsert, Fact: "R(5,6)"},
+		{Op: api.MutationInsert, Fact: "R(6,7)"},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("PATCH insert: status %d", status)
+	}
+	if resp.Applied != 2 || resp.Version <= before.Version || resp.Tuples != before.Tuples+2 {
+		t.Fatalf("mutate response = %+v, want applied=2, version > %d, %d tuples",
+			resp, before.Version, before.Tuples+2)
+	}
+	if got := solveRho(t, ts.URL, "toy"); got != 3 {
+		t.Fatalf("ρ after insert = %d, want 3", got)
+	}
+
+	// GET reflects the new version; delete brings the answer back.
+	var cur api.DBInfo
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/db/toy", nil, &cur); status != http.StatusOK || cur.Version != resp.Version {
+		t.Fatalf("GET after patch = %+v (status %d), want version %d", cur, status, resp.Version)
+	}
+	if status := patchDB(t, ts.URL, "toy",
+		[]api.Mutation{{Op: api.MutationDelete, Fact: "R(6,7)"}}, &resp); status != http.StatusOK {
+		t.Fatalf("PATCH delete: status %d", status)
+	}
+	if got := solveRho(t, ts.URL, "toy"); got != 2 {
+		t.Fatalf("ρ after delete = %d, want 2", got)
+	}
+
+	var m metricsResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if m.Mutations != 2 {
+		t.Fatalf("mutations counter = %d, want 2", m.Mutations)
+	}
+}
+
+// TestV1MutateDBErrors pins the typed failure modes of PATCH: every
+// rejection is atomic (the registration keeps its version) and carries the
+// right v1 code and status.
+func TestV1MutateDBErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putToy(t, ts.URL)
+	var before api.DBInfo
+	doJSON(t, http.MethodGet, ts.URL+"/v1/db/toy", nil, &before)
+
+	var eb api.ErrorBody
+	if status := patchDB(t, ts.URL, "ghost",
+		[]api.Mutation{{Op: api.MutationInsert, Fact: "R(1,9)"}}, &eb); status != 404 || eb.Error == nil || eb.Error.Code != api.CodeUnknownDB {
+		t.Fatalf("ghost db: status %d body %+v, want 404 unknown_db", status, eb)
+	}
+
+	cases := []struct {
+		muts []api.Mutation
+		code api.Code
+	}{
+		{nil, api.CodeBadRequest},
+		{[]api.Mutation{{Op: "replace", Fact: "R(1,2)"}}, api.CodeBadRequest},
+		{[]api.Mutation{{Op: api.MutationInsert, Fact: "R(("}}, api.CodeBadTuple},
+		{[]api.Mutation{{Op: api.MutationInsert, Fact: "R(1,2)"}}, api.CodeBadTuple}, // already present
+		{[]api.Mutation{{Op: api.MutationDelete, Fact: "R(9,9)"}}, api.CodeBadTuple}, // absent
+		{[]api.Mutation{{Op: api.MutationInsert, Fact: "R(1,2,3)"}}, api.CodeBadTuple},
+		// Atomicity: the valid first mutation must not survive the bad second.
+		{[]api.Mutation{
+			{Op: api.MutationInsert, Fact: "R(7,8)"},
+			{Op: api.MutationDelete, Fact: "R(9,9)"},
+		}, api.CodeBadTuple},
+	}
+	for i, c := range cases {
+		eb = api.ErrorBody{}
+		status := patchDB(t, ts.URL, "toy", c.muts, &eb)
+		if status != 400 || eb.Error == nil || eb.Error.Code != c.code {
+			t.Errorf("case %d: status %d body %+v, want 400 %s", i, status, eb.Error, c.code)
+		}
+	}
+
+	// Malformed body (unknown field): the strict v1 decoder rejects it.
+	eb = api.ErrorBody{}
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/db/toy",
+		bytes.NewReader([]byte(`{"ops":[{"op":"insert","fact":"R(1,9)"}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 || eb.Error == nil || eb.Error.Code != api.CodeBadRequest {
+		t.Fatalf("unknown field: status %d body %+v, want 400 bad_request", resp.StatusCode, eb.Error)
+	}
+
+	var after api.DBInfo
+	doJSON(t, http.MethodGet, ts.URL+"/v1/db/toy", nil, &after)
+	if after.Version != before.Version || after.Tuples != before.Tuples {
+		t.Fatalf("rejected batches changed the registration: %+v -> %+v", before, after)
+	}
+}
+
+// TestV1PutDBReturnsVersion pins the upload contract the mutation surface
+// rests on: PUT answers the full DBInfo including the version that cached
+// IRs and watch reconnects (from_version) key on.
+func TestV1PutDBReturnsVersion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var info api.DBInfo
+	if status := doJSON(t, http.MethodPut, ts.URL+"/v1/db/toy",
+		putDBRequest{Facts: []string{"R(1,2)", "R(2,3)", "R(3,3)"}}, &info); status != http.StatusOK {
+		t.Fatalf("PUT toy: status %d", status)
+	}
+	if info.Name != "toy" || info.Tuples != 3 || info.Version == 0 {
+		t.Fatalf("PUT body = %+v, want name=toy, 3 tuples, nonzero version", info)
+	}
+	// A PATCH moves the version strictly past the PUT's.
+	var resp api.MutateResponse
+	if status := patchDB(t, ts.URL, "toy",
+		[]api.Mutation{{Op: api.MutationInsert, Fact: "R(5,6)"}}, &resp); status != http.StatusOK {
+		t.Fatalf("PATCH: status %d", status)
+	}
+	if resp.Version <= info.Version {
+		t.Fatalf("PATCH version %d not past PUT version %d", resp.Version, info.Version)
+	}
+	// The legacy PUT shim answers the same body (version included).
+	var legacy api.DBInfo
+	if status := doJSON(t, http.MethodPut, ts.URL+"/db/toy2",
+		putDBRequest{Facts: []string{"R(1,2)"}}, &legacy); status != http.StatusOK || legacy.Version == 0 {
+		t.Fatalf("legacy PUT body = %+v (status %d), want a nonzero version", legacy, status)
+	}
+}
+
+// TestV1WatchStreamsMutations is the HTTP end of the watch contract: a
+// watch task streamed over NDJSON emits its snapshot line, then one change
+// line per answer-changing PATCH (carrying the PATCH's own version), and —
+// once MaxEvents is reached — a final totals line, after which the
+// connection closes.
+func TestV1WatchStreamsMutations(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putToy(t, ts.URL)
+
+	sc, closeBody := streamLines(t, ts.URL+"/v1/tasks?stream=ndjson", api.Task{
+		Kind: api.KindWatch, Query: "qchain :- R(x,y), R(y,z)", DB: "toy", MaxEvents: 2,
+	})
+	defer closeBody()
+
+	read := func() *api.Result {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var r api.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		return &r
+	}
+
+	snap := read()
+	if !snap.Partial || snap.Rho != 2 || snap.Version == 0 {
+		t.Fatalf("snapshot = %+v, want Partial ρ=2 with a version", snap)
+	}
+
+	var resp api.MutateResponse
+	if status := patchDB(t, ts.URL, "toy", []api.Mutation{
+		{Op: api.MutationInsert, Fact: "R(5,6)"},
+		{Op: api.MutationInsert, Fact: "R(6,7)"},
+	}, &resp); status != http.StatusOK {
+		t.Fatalf("PATCH: status %d", status)
+	}
+	change := read()
+	if !change.Partial || change.Rho != 3 || change.Version != resp.Version {
+		t.Fatalf("change line = %+v, want Partial ρ=3 at version %d", change, resp.Version)
+	}
+
+	final := read()
+	if final.Partial || final.Total != 2 || final.Rho != 3 {
+		t.Fatalf("final line = %+v, want non-partial totals with 2 events at ρ=3", final)
+	}
+	if sc.Scan() {
+		t.Fatalf("stream kept going after the totals line: %q", sc.Text())
+	}
+}
+
+// TestLegacyDeprecationHeaders pins the migration signal: every mounted
+// legacy route answers with the standard Deprecation header and a Link to
+// its v1 successor, while v1 routes stay unmarked.
+func TestLegacyDeprecationHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putToy(t, ts.URL)
+
+	check := func(method, path string, body any, wantDeprecated bool) {
+		t.Helper()
+		var rd *bytes.Reader
+		if body != nil {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(buf)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s %s: status %d", method, path, resp.StatusCode)
+		}
+		dep := resp.Header.Get("Deprecation")
+		link := resp.Header.Get("Link")
+		if wantDeprecated {
+			if dep != "true" || link != `</v1/tasks>; rel="successor-version"` {
+				t.Errorf("%s %s: Deprecation=%q Link=%q, want the deprecation pair", method, path, dep, link)
+			}
+		} else if dep != "" {
+			t.Errorf("%s %s: unexpected Deprecation header %q on a v1 route", method, path, dep)
+		}
+	}
+
+	check(http.MethodGet, "/db/toy", nil, true)
+	check(http.MethodPost, "/solve", solveRequest{Query: "qchain :- R(x,y), R(y,z)", DB: "toy"}, true)
+	check(http.MethodPost, "/classify", classifyRequest{Query: "qchain :- R(x,y), R(y,z)"}, true)
+	check(http.MethodGet, "/v1/db/toy", nil, false)
+	check(http.MethodPost, "/v1/tasks", api.Task{Kind: api.KindSolve, Query: "qchain :- R(x,y), R(y,z)", DB: "toy"}, false)
+}
+
+// TestDisableLegacyUnmountsRoutes: with DisableLegacy the pre-v1 block is
+// absent from the route table (404, not a deprecated 200), and the v1
+// surface is unaffected.
+func TestDisableLegacyUnmountsRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{DisableLegacy: true})
+	putToy(t, ts.URL) // v1 upload still works
+
+	legacy := []struct {
+		method, path string
+		body         any
+	}{
+		{http.MethodPut, "/db/x", putDBRequest{Facts: []string{"R(1,2)"}}},
+		{http.MethodGet, "/db/toy", nil},
+		{http.MethodDelete, "/db/toy", nil},
+		{http.MethodGet, "/db", nil},
+		{http.MethodPost, "/classify", classifyRequest{Query: "q :- R(x,y)"}},
+		{http.MethodPost, "/solve", solveRequest{Query: "q :- R(x,y)", DB: "toy"}},
+		{http.MethodPost, "/batch", batchRequest{Instances: []batchInstance{{Query: "q :- R(x,y)", DB: "toy"}}}},
+		{http.MethodPost, "/enumerate", enumerateRequest{Query: "q :- R(x,y)", DB: "toy"}},
+		{http.MethodPost, "/responsibility", responsibilityRequest{Query: "q :- R(x,y)", DB: "toy", Tuple: "R(1,2)"}},
+	}
+	for _, c := range legacy {
+		if status := doJSON(t, c.method, ts.URL+c.path, c.body, nil); status != http.StatusNotFound {
+			t.Errorf("%s %s with DisableLegacy: status %d, want 404", c.method, c.path, status)
+		}
+	}
+
+	// The v1 surface — including the mutation path — is untouched.
+	if got := solveRho(t, ts.URL, "toy"); got != 2 {
+		t.Fatalf("v1 solve under DisableLegacy: ρ = %d, want 2", got)
+	}
+	var resp api.MutateResponse
+	if status := patchDB(t, ts.URL, "toy",
+		[]api.Mutation{{Op: api.MutationInsert, Fact: "R(5,6)"}}, &resp); status != http.StatusOK || resp.Applied != 1 {
+		t.Fatalf("v1 PATCH under DisableLegacy: status %d resp %+v", status, resp)
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, nil); status != http.StatusOK {
+		t.Fatalf("metrics under DisableLegacy: status %d", status)
+	}
+}

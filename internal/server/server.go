@@ -5,17 +5,22 @@
 // # Surfaces
 //
 // The primary surface is the versioned v1 task API: one generic dispatch
-// endpoint (POST /v1/tasks) accepting the api.Task envelope for all six
-// task kinds, a concurrent batch endpoint (POST /v1/batch), NDJSON
-// streaming for batch and enumeration responses, and an async job
+// endpoint (POST /v1/tasks) accepting the api.Task envelope for every
+// task kind, a concurrent batch endpoint (POST /v1/batch), NDJSON
+// streaming for batch, enumeration and watch responses, and an async job
 // lifecycle (POST /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id}).
-// Database management lives at /v1/db/{name}.
+// Database management lives at /v1/db/{name}: upload (PUT), inspect
+// (GET), delete (DELETE), and in-place mutation (PATCH, a typed
+// insert/delete batch applied atomically — see api.MutateRequest). A
+// watch task (kind "watch", streamed) then follows ρ across mutations.
 //
 // The pre-v1 endpoints (/solve, /batch, /classify, /enumerate,
 // /responsibility, /db/{name}) remain as thin shims over the same
 // Session: they translate their legacy request bodies into api.Tasks and
 // the api.Result back into their historical response shapes, with parity
-// pinned by tests.
+// pinned by tests. They are deprecated — responses carry a Deprecation
+// header — and Config.DisableLegacy removes them from the route table
+// entirely (404) for deployments that have finished migrating.
 //
 // # Request lifecycle
 //
@@ -91,6 +96,11 @@ type Config struct {
 	// MaxJobs caps stored job records; finished jobs are evicted oldest
 	// first to admit new submissions. <= 0 means the default 256.
 	MaxJobs int
+	// DisableLegacy removes the deprecated pre-v1 routes (/solve, /batch,
+	// /classify, /enumerate, /responsibility, /db...) from the route
+	// table; requests to them answer 404. Default off: the legacy shims
+	// stay mounted and merely advertise their deprecation via headers.
+	DisableLegacy bool
 }
 
 const (
@@ -118,9 +128,10 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
-	requests atomic.Int64 // solver requests admitted
-	rejected atomic.Int64 // solver requests refused with 429
-	failures atomic.Int64 // solver requests that returned 5xx
+	requests  atomic.Int64 // solver requests admitted
+	rejected  atomic.Int64 // solver requests refused with 429
+	failures  atomic.Int64 // solver requests that returned 5xx
+	mutations atomic.Int64 // PATCH batches applied successfully
 }
 
 // New returns a Server over a fresh Session (engine + database registry).
@@ -187,24 +198,39 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleV1GetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleV1CancelJob)
 	s.mux.HandleFunc("PUT /v1/db/{name}", s.handleV1PutDB)
+	s.mux.HandleFunc("PATCH /v1/db/{name}", s.admitted(s.handleV1MutateDB))
 	s.mux.HandleFunc("GET /v1/db/{name}", s.handleV1GetDB)
 	s.mux.HandleFunc("DELETE /v1/db/{name}", s.handleV1DeleteDB)
 	s.mux.HandleFunc("GET /v1/db", s.handleListDBs)
 
 	// Legacy surface: thin shims over the same Session, response shapes
-	// unchanged (parity pinned by tests).
-	s.mux.HandleFunc("PUT /db/{name}", s.handlePutDB)
-	s.mux.HandleFunc("GET /db/{name}", s.handleGetDB)
-	s.mux.HandleFunc("DELETE /db/{name}", s.handleDeleteDB)
-	s.mux.HandleFunc("GET /db", s.handleListDBs)
-	s.mux.HandleFunc("POST /classify", s.handleClassify)
-	s.mux.HandleFunc("POST /solve", s.admitted(s.handleSolve))
-	s.mux.HandleFunc("POST /batch", s.admitted(s.handleBatch))
-	s.mux.HandleFunc("POST /enumerate", s.admitted(s.handleEnumerate))
-	s.mux.HandleFunc("POST /responsibility", s.admitted(s.handleResponsibility))
+	// unchanged (parity pinned by tests), every response marked with a
+	// Deprecation header. DisableLegacy unmounts the whole block.
+	if !s.cfg.DisableLegacy {
+		s.mux.HandleFunc("PUT /db/{name}", s.deprecated(s.handlePutDB))
+		s.mux.HandleFunc("GET /db/{name}", s.deprecated(s.handleGetDB))
+		s.mux.HandleFunc("DELETE /db/{name}", s.deprecated(s.handleDeleteDB))
+		s.mux.HandleFunc("GET /db", s.deprecated(s.handleListDBs))
+		s.mux.HandleFunc("POST /classify", s.deprecated(s.handleClassify))
+		s.mux.HandleFunc("POST /solve", s.admitted(s.deprecated(s.handleSolve)))
+		s.mux.HandleFunc("POST /batch", s.admitted(s.deprecated(s.handleBatch)))
+		s.mux.HandleFunc("POST /enumerate", s.admitted(s.deprecated(s.handleEnumerate)))
+		s.mux.HandleFunc("POST /responsibility", s.admitted(s.deprecated(s.handleResponsibility)))
+	}
 
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// deprecated marks a legacy endpoint's responses with the standard
+// Deprecation header and a pointer at the v1 replacement, so migrating
+// clients can find every remaining legacy call in their own telemetry.
+func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/tasks>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // admitted wraps a solver endpoint with admission control: acquire an
@@ -340,6 +366,30 @@ func (s *Server) putDB(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleV1MutateDB applies a typed insert/delete batch to a registered
+// database: PATCH /v1/db/{name} with an api.MutateRequest body. The batch
+// is atomic — any bad mutation rejects it whole with a typed error naming
+// the offending index — and a success answers the post-batch DBInfo (new
+// version included) plus the applied count. The endpoint holds an
+// admission slot: applying a batch delta-migrates cached IRs, which is
+// solver-adjacent work.
+func (s *Server) handleV1MutateDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.MutateRequest
+	if !s.decodeV1(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	info, err := s.sess.MutateDB(ctx, name, req.Mutations)
+	if err != nil {
+		s.writeV1Error(w, err)
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, api.MutateResponse{DBInfo: info, Applied: len(req.Mutations)})
 }
 
 func (s *Server) handleGetDB(w http.ResponseWriter, r *http.Request) {
@@ -574,6 +624,7 @@ type metricsResponse struct {
 	Requests    int64 `json:"requests"`
 	Rejected    int64 `json:"rejected"`
 	Failures    int64 `json:"failures"`
+	Mutations   int64 `json:"mutations"`
 
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsActive    int   `json:"jobs_active"`
@@ -591,6 +642,9 @@ type metricsResponse struct {
 	SolverRuns         int64 `json:"solver_runs"`
 	IRCacheHits        int64 `json:"ir_cache_hits"`
 	IRCacheMisses      int64 `json:"ir_cache_misses"`
+	IRMigrations       int64 `json:"ir_migrations"`
+	CompCacheHits      int64 `json:"comp_cache_hits"`
+	CompCacheMisses    int64 `json:"comp_cache_misses"`
 
 	KernelForcedTuples      int64 `json:"kernel_forced_tuples"`
 	KernelDominatedTuples   int64 `json:"kernel_dominated_tuples"`
@@ -611,6 +665,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Requests:    s.requests.Load(),
 		Rejected:    s.rejected.Load(),
 		Failures:    s.failures.Load(),
+		Mutations:   s.mutations.Load(),
 
 		JobsSubmitted: js.submitted,
 		JobsActive:    js.active,
@@ -628,6 +683,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SolverRuns:         st.SolverRuns,
 		IRCacheHits:        st.IRCacheHits,
 		IRCacheMisses:      st.IRCacheMisses,
+		IRMigrations:       st.IRMigrations,
+		CompCacheHits:      st.CompCacheHits,
+		CompCacheMisses:    st.CompCacheMisses,
 
 		KernelForcedTuples:      st.KernelForcedTuples,
 		KernelDominatedTuples:   st.KernelDominatedTuples,

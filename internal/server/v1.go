@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -65,7 +66,14 @@ func (s *Server) handleV1Task(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeV1(w, r, &task) {
 		return
 	}
-	ctx, cancel := s.requestCtx(r, 0)
+	// A watch is long-lived by design: the server's default request budget
+	// would kill every subscription at the budget mark, so only an explicit
+	// task timeout_ms (applied by the Session) and the client disconnect
+	// bound it.
+	ctx, cancel := r.Context(), context.CancelFunc(func() {})
+	if task.Kind != api.KindWatch {
+		ctx, cancel = s.requestCtx(r, 0)
+	}
 	defer cancel()
 
 	if wantsStream(r) {

@@ -1,0 +1,237 @@
+package witset
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/ctxpoll"
+	"repro/internal/db"
+	"repro/internal/eval"
+)
+
+// Delta IR maintenance. A tuple insert or delete touches only the
+// witnesses that use that tuple, and eval.ForEachDeltaWitness enumerates
+// exactly those (semi-join against the one-tuple delta). ApplyDelta
+// therefore patches an existing instance instead of re-enumerating the
+// whole join: inserts append the new witnesses' rows (interning any tuples
+// first seen now), deletes remove one row per vanished witness, and every
+// derived structure (family, kernel, components) is left to be recomputed
+// lazily on the *new* instance — the old instance, which may be shared by
+// in-flight solvers, is never modified. Component-level reuse across the
+// mutation happens downstream: the engine fingerprints kernel components
+// by content, so components whose rows did not change hit the
+// component-result cache and only dirtied components are re-solved.
+
+// Mutation is one tuple-level database change, already resolved against
+// the post-mutation database's interner.
+type Mutation struct {
+	// Insert distinguishes an insert from a delete.
+	Insert bool
+	// Tuple is the changed tuple.
+	Tuple db.Tuple
+}
+
+// DeltaStats reports what a delta application touched.
+type DeltaStats struct {
+	// RowsAdded counts witness rows appended by inserts.
+	RowsAdded int
+	// RowsRemoved counts witness rows removed by deletes.
+	RowsRemoved int
+	// NewTuples counts tuples first interned by this delta.
+	NewTuples int
+}
+
+// ErrNeedRebuild reports that an instance cannot be delta-maintained and
+// must be rebuilt from scratch with Build. The two causes: the base
+// instance is unbreakable (its row set is partial — enumeration stopped at
+// the first fully-exogenous witness), or the maintained rows drifted from
+// the base in a way the delta bookkeeping cannot reconcile.
+var ErrNeedRebuild = errors.New("witset: instance requires a full rebuild")
+
+// ApplyDelta maintains base under a batch of tuple mutations and returns a
+// new instance equivalent to Build over the post-mutation database. work
+// must be a mutable database in the pre-batch state whose constant
+// interner extends base's (clone the old database and sync any new
+// constants); ApplyDelta applies the mutations to work as it goes and
+// leaves it in the post-batch state. base is never modified and stays
+// valid for concurrent readers.
+//
+// The new instance preserves base's tuple interning (ids of surviving
+// tuples are stable) and appends ids for tuples first seen by inserted
+// witnesses. Deleted tuples keep their id in the universe but occur in no
+// row — exactly like a tuple whose witnesses all vanished under Build's
+// keep filter — so families and bitsets stay well-formed.
+//
+// Built instances with a keep filter must not be delta-maintained: the
+// filter is not recorded, so ApplyDelta would resurrect filtered
+// witnesses.
+func ApplyDelta(ctx context.Context, base *Instance, work *db.Database, muts []Mutation) (*Instance, *DeltaStats, error) {
+	if base.unbreakable {
+		// rows is partial (enumeration stopped early): nothing to patch.
+		return nil, nil, ErrNeedRebuild
+	}
+	q := base.query
+	poll := ctxpoll.New(ctx)
+	st := &DeltaStats{}
+
+	// Copy-on-write universe and rows: the base's slices are shared with
+	// every consumer of the base instance, so grow private copies.
+	tuples := append(make([]db.Tuple, 0, len(base.tuples)+len(muts)), base.tuples...)
+	idOf := make(map[db.Tuple]int32, len(base.idOf)+len(muts))
+	for t, id := range base.idOf {
+		idOf[t] = id
+	}
+	rows := append(make([][]int32, 0, len(base.rows)+len(muts)), base.rows...)
+	alive := make([]bool, len(rows))
+	for i := range alive {
+		alive[i] = true
+	}
+	liveCount := len(rows)
+
+	intern := func(t db.Tuple) int32 {
+		id, ok := idOf[t]
+		if !ok {
+			id = int32(len(tuples))
+			idOf[t] = id
+			tuples = append(tuples, t)
+		}
+		return id
+	}
+
+	// byKey indexes live row contents for deletes (multiset semantics: one
+	// row per witness, identical contents kept separately). Built lazily on
+	// the first delete, maintained across subsequent inserts.
+	var byKey map[string][]int
+	rowKey := func(row []int32) string {
+		b := make([]byte, 0, len(row)*4)
+		for _, e := range row {
+			b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+		}
+		return string(b)
+	}
+	buildIndex := func() {
+		byKey = make(map[string][]int, len(rows))
+		for i, row := range rows {
+			if alive[i] {
+				k := rowKey(row)
+				byKey[k] = append(byKey[k], i)
+			}
+		}
+	}
+
+	unbreakable := false
+	for _, m := range muts {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if m.Insert {
+			if work.Has(m.Tuple) {
+				continue // no-op insert: no new witnesses
+			}
+			work.AddTuple(m.Tuple)
+			eval.ForEachDeltaWitness(q, work, m.Tuple, func(w eval.Witness) bool {
+				if poll.Cancelled() {
+					return false
+				}
+				ts := eval.WitnessTuples(q, w, true)
+				if len(ts) == 0 {
+					unbreakable = true
+					return false
+				}
+				row := make([]int32, len(ts))
+				for j, t := range ts {
+					row[j] = intern(t)
+				}
+				sortIDs(row)
+				rows = append(rows, row)
+				alive = append(alive, true)
+				liveCount++
+				st.RowsAdded++
+				if byKey != nil {
+					k := rowKey(row)
+					byKey[k] = append(byKey[k], len(rows)-1)
+				}
+				return true
+			})
+			if err := poll.Err(); err != nil {
+				return nil, nil, err
+			}
+			if unbreakable {
+				break
+			}
+			continue
+		}
+		// Delete: the vanishing witnesses are those of the pre-state that
+		// use the tuple, so enumerate before removing it.
+		if !work.Has(m.Tuple) {
+			continue // no-op delete
+		}
+		if byKey == nil {
+			buildIndex()
+		}
+		failed := false
+		eval.ForEachDeltaWitness(q, work, m.Tuple, func(w eval.Witness) bool {
+			if poll.Cancelled() {
+				return false
+			}
+			ts := eval.WitnessTuples(q, w, true)
+			if len(ts) == 0 {
+				// A fully-exogenous witness existed, yet base was not marked
+				// unbreakable: the base predates some exogenous change we
+				// cannot reconcile. Rebuild from scratch.
+				failed = true
+				return false
+			}
+			row := make([]int32, len(ts))
+			for j, t := range ts {
+				id, ok := idOf[t]
+				if !ok {
+					failed = true
+					return false
+				}
+				row[j] = id
+			}
+			sortIDs(row)
+			k := rowKey(row)
+			idxs := byKey[k]
+			found := false
+			for len(idxs) > 0 {
+				i := idxs[len(idxs)-1]
+				idxs = idxs[:len(idxs)-1]
+				if alive[i] {
+					alive[i] = false
+					liveCount--
+					st.RowsRemoved++
+					found = true
+					break
+				}
+			}
+			byKey[k] = idxs
+			if !found {
+				failed = true
+				return false
+			}
+			return true
+		})
+		if err := poll.Err(); err != nil {
+			return nil, nil, err
+		}
+		if failed {
+			return nil, nil, ErrNeedRebuild
+		}
+		work.Remove(m.Tuple)
+	}
+
+	st.NewTuples = len(tuples) - len(base.tuples)
+	out := &Instance{query: q, tuples: tuples, idOf: idOf, unbreakable: unbreakable}
+	if unbreakable {
+		return out, st, nil
+	}
+	out.rows = make([][]int32, 0, liveCount)
+	for i, row := range rows {
+		if alive[i] {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, st, nil
+}

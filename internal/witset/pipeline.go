@@ -1,9 +1,12 @@
 package witset
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 	"sync"
+
+	"repro/internal/ctxpoll"
 )
 
 // This file is the instance-level preprocessing pipeline shared by every
@@ -61,22 +64,40 @@ func (k *Kernel) Components() []*Component {
 // when no rule fires at all it is returned unchanged inside the kernel, so
 // the quiescent case costs detection passes and no second family.
 func Kernelize(f *Family) *Kernel {
+	k, _ := KernelizeCtx(context.Background(), f)
+	return k
+}
+
+// KernelizeCtx is Kernelize with cancellation: the fixpoint loop, the
+// dominated-tuple scan, and the per-round family re-normalization all poll
+// ctx (throttled via ctxpoll), so a long kernelization over a large family
+// stops within microseconds of cancellation instead of running the round
+// to completion. On cancellation it returns ctx's error and no kernel.
+func KernelizeCtx(ctx context.Context, f *Family) (*Kernel, error) {
+	poll := ctxpoll.New(ctx)
 	var forced []int32
 	dominated := 0
 	cur := f
 	for {
 		rows := cur.Rows
 		newForced := forceUnits(f.N, &rows)
-		drops := dropDominated(f.N, &rows)
+		drops := dropDominated(f.N, &rows, poll)
+		if err := poll.Err(); err != nil {
+			return nil, err
+		}
 		if len(newForced) == 0 && drops == 0 {
 			break
 		}
 		forced = append(forced, newForced...)
 		dominated += drops
-		cur = NewFamily(rows, f.N, false)
+		var err error
+		cur, err = newFamilyPolled(rows, f.N, false, poll)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sortIDs(forced)
-	return &Kernel{Forced: forced, Dominated: dominated, Fam: cur}
+	return &Kernel{Forced: forced, Dominated: dominated, Fam: cur}, nil
 }
 
 // forceUnits forces the element of every singleton row and removes the rows
@@ -123,8 +144,9 @@ func forceUnits(n int, rows *[][]int32) []int32 {
 // co-occurring element b (occurrence-set inclusion, with an id tie-break on
 // equality so exactly one of two interchangeable elements survives) and
 // returns the number of elements dropped. *rows is replaced, never mutated
-// in place.
-func dropDominated(n int, rows *[][]int32) int {
+// in place. A cancelled poll aborts the scan early; the caller must check
+// poll.Err() and discard the (partial) result.
+func dropDominated(n int, rows *[][]int32, poll *ctxpoll.Poller) int {
 	cur := *rows
 	if len(cur) == 0 {
 		return 0
@@ -134,6 +156,9 @@ func dropDominated(n int, rows *[][]int32) int {
 	occ := make([]Bits, n)
 	present := make([]int32, 0, 64)
 	for ri, row := range cur {
+		if poll.Cancelled() {
+			return 0
+		}
 		for _, e := range row {
 			if occ[e] == nil {
 				occ[e] = NewBits(len(cur))
@@ -147,6 +172,9 @@ func dropDominated(n int, rows *[][]int32) int {
 	var dropped Bits
 	nDropped := 0
 	for _, a := range present {
+		if poll.Cancelled() {
+			return nDropped
+		}
 		if dropped != nil && dropped.Has(a) {
 			continue
 		}

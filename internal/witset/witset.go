@@ -30,7 +30,10 @@ type Instance struct {
 	rawOnce sync.Once
 	raw     *Family // family without elimination (ablation)
 
-	kernOnce  sync.Once
+	// The kernel is cached under a mutex rather than a sync.Once so that a
+	// cancelled kernelization does not poison the cache: only successful
+	// results are stored, and the next caller simply retries.
+	kernMu    sync.Mutex
 	kern      *Kernel // kernelized normalized family (solve pipeline)
 	compsOnce sync.Once
 	comps     []*Component // components of the un-kernelized normalized family
@@ -143,17 +146,47 @@ func (in *Instance) Family(keepSupersets bool) *Family {
 // one optimum but not the full set of optima; the enumerator uses
 // Components instead.
 func (in *Instance) Kernel() *Kernel {
-	in.kernOnce.Do(func() { in.kern = Kernelize(in.Family(false)) })
-	return in.kern
+	k, _ := in.KernelCtx(context.Background())
+	return k
 }
 
-// Components returns the connected components of the instance's normalized
-// (but un-kernelized) family, computed at most once. This is the
-// decomposition the all-optima enumerator and responsibility use: it
-// preserves the full set of minimum hitting sets, which kernelization's
-// domination rule does not.
+// KernelCtx is Kernel with cancellation: the underlying kernelization
+// polls ctx, and a cancelled run returns ctx's error without caching
+// anything, so a later call with a live context computes the kernel
+// normally. Concurrent callers serialize on the computation; the first
+// success is shared by all.
+func (in *Instance) KernelCtx(ctx context.Context) (*Kernel, error) {
+	in.kernMu.Lock()
+	defer in.kernMu.Unlock()
+	if in.kern != nil {
+		return in.kern, nil
+	}
+	k, err := KernelizeCtx(ctx, in.Family(false))
+	if err != nil {
+		return nil, err
+	}
+	in.kern = k
+	return k, nil
+}
+
+// Components returns the connected components of the instance's raw
+// (un-kernelized) family, computed at most once. This is the decomposition
+// the all-optima enumerator, responsibility, and the engine's solve
+// pipeline use: it preserves the full set of minimum hitting sets, which
+// kernelization's domination rule does not.
+//
+// The split runs on the raw family — linear to build, where the globally
+// normalized family pays a quadratic superset scan over every witness row
+// — and Decompose then normalizes each component over its own small local
+// universe. Superset rows can only relate rows of one raw component (a
+// superset contains its subset's elements), so the union of the
+// per-component normalized rows equals the globally normalized family;
+// the partition itself can only be coarser (a dropped superset row may be
+// the sole bridge between two finer groups), which every consumer
+// tolerates: components only need to be element-disjoint for their minima
+// and optima to combine.
 func (in *Instance) Components() []*Component {
-	in.compsOnce.Do(func() { in.comps = Decompose(in.Family(false)) })
+	in.compsOnce.Do(func() { in.comps = Decompose(in.Family(true)) })
 	return in.comps
 }
 
@@ -175,6 +208,15 @@ type Family struct {
 // keepSupersets — duplicate rows and supersets are dropped. The input rows
 // are not modified.
 func NewFamily(raw [][]int32, n int, keepSupersets bool) *Family {
+	f, _ := newFamilyPolled(raw, n, keepSupersets, nil)
+	return f
+}
+
+// newFamilyPolled is NewFamily with an optional cancellation poll: the
+// quadratic superset-elimination scan checks poll and aborts with the
+// context's error, which is what makes KernelizeCtx's per-round
+// re-normalization promptly cancellable. A nil poll never cancels.
+func newFamilyPolled(raw [][]int32, n int, keepSupersets bool, poll *ctxpoll.Poller) (*Family, error) {
 	rows := make([][]int32, len(raw))
 	for i, s := range raw {
 		cp := append([]int32(nil), s...)
@@ -185,6 +227,9 @@ func NewFamily(raw [][]int32, n int, keepSupersets bool) *Family {
 
 	f := &Family{N: n}
 	for _, s := range rows {
+		if poll.Cancelled() {
+			return nil, poll.Err()
+		}
 		b := NewBits(n)
 		for _, e := range s {
 			b.Set(e)
@@ -192,6 +237,9 @@ func NewFamily(raw [][]int32, n int, keepSupersets bool) *Family {
 		redundant := false
 		if !keepSupersets {
 			for _, kb := range f.Bits {
+				if poll.Cancelled() {
+					return nil, poll.Err()
+				}
 				// Rows arrive in increasing size, so any containment is
 				// kept ⊆ candidate; equality also lands here (dedup).
 				if SubsetOf(kb, b) {
@@ -211,7 +259,7 @@ func NewFamily(raw [][]int32, n int, keepSupersets bool) *Family {
 			f.Occ[e] = append(f.Occ[e], int32(i))
 		}
 	}
-	return f
+	return f, nil
 }
 
 func sortIDs(s []int32) {

@@ -96,7 +96,7 @@ type (
 	// Task is the single request envelope of the v1 API.
 	Task = api.Task
 	// TaskKind discriminates the task union (classify, solve, enumerate,
-	// responsibility, decide, verify_contingency).
+	// responsibility, decide, verify_contingency, watch).
 	TaskKind = api.Kind
 	// TaskResult is the single response envelope.
 	TaskResult = api.Result
@@ -109,6 +109,9 @@ type (
 	Session = api.Session
 	// SessionConfig tunes a Session.
 	SessionConfig = api.Config
+	// Mutation is one tuple-level change in a Session.MutateDB batch (and
+	// the element of a PATCH /v1/db/{name} request).
+	Mutation = api.Mutation
 )
 
 // Task kinds, re-exported.
@@ -119,6 +122,13 @@ const (
 	TaskResponsibility    = api.KindResponsibility
 	TaskDecide            = api.KindDecide
 	TaskVerifyContingency = api.KindVerifyContingency
+	TaskWatch             = api.KindWatch
+)
+
+// Mutation ops, re-exported.
+const (
+	MutationInsert = api.MutationInsert
+	MutationDelete = api.MutationDelete
 )
 
 // NewSession returns a task-API Session over a fresh engine: the
