@@ -1,7 +1,21 @@
 GO ?= go
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test race bench bench-json lint docs-check staticcheck test-differential api-check api-surface
+.PHONY: all build test race bench bench-json bench-gate bench-baseline lint docs-check staticcheck test-differential api-check api-surface
+
+# The perf gate's benchmark selection and the packages that define them:
+# the exact-pipeline and portfolio component benchmarks (root package) and
+# the incremental-SAT binary-search pair (internal/cnfenc).
+BENCH_GATE := ^Benchmark(ExactComponents|Portfolio|SATIncremental|GateCalibrate)
+BENCH_GATE_PKGS := . ./internal/cnfenc/
+# Allowed slowdown factor before the gate fails. cmd/benchgate's own default
+# is 1.20 (the >20% contract for a quiet reference machine); shared CI
+# runners add cache/GC co-tenant noise beyond what the calibration scale can
+# cancel, so the default margin here is wider. Algorithmic regressions of
+# the kind the gate exists to catch (e.g. losing incremental solving is a
+# >2.5x slowdown on BenchmarkSATIncrementalAssume) still trip it. Tighten
+# per-run with: make bench-gate BENCH_GATE_THRESHOLD=1.2
+BENCH_GATE_THRESHOLD ?= 1.8
 
 # The packages whose exported surface is pinned by API_SURFACE.txt: the
 # public facade, the v1 task API, and the client SDK.
@@ -37,6 +51,26 @@ bench:
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./... | $(GO) run ./cmd/benchjson > BENCH_$(STAMP).json
 	@echo "wrote BENCH_$(STAMP).json"
+
+# CI perf gate: re-time the solver-critical benchmarks (0.5s × 5 runs, so
+# sub-millisecond benchmarks get thousands of iterations; cmd/benchgate
+# collapses the runs to the per-benchmark median and scales by the
+# machine-speed calibration) and fail past BENCH_GATE_THRESHOLD against the
+# committed bench_baseline.json. The fresh document keeps the ignored
+# BENCH_ prefix so gate runs never dirty the tree.
+bench-gate:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=0.5s -count=5 $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchjson > BENCH_gate_fresh.json
+	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -fresh BENCH_gate_fresh.json \
+		-bench '$(BENCH_GATE)' -threshold $(BENCH_GATE_THRESHOLD)
+
+# Refresh the committed perf-gate baseline. Run on the reference machine
+# after an intentional perf change (or to start gating a new benchmark) and
+# commit the result; bench-gate compares every future run against it.
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=0.5s -count=5 $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchjson > bench_baseline.json
+	@echo "wrote bench_baseline.json"
 
 lint:
 	$(GO) vet ./...

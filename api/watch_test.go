@@ -63,9 +63,9 @@ func TestSessionMutateDB(t *testing.T) {
 		{nil, ErrBadRequest},
 		{[]Mutation{{Op: "replace", Fact: "R(1,2)"}}, ErrBadRequest},
 		{[]Mutation{{Op: MutationInsert, Fact: "R(("}}, ErrBadTuple},
-		{[]Mutation{{Op: MutationInsert, Fact: "R(1,2)"}}, ErrBadTuple},       // already present
-		{[]Mutation{{Op: MutationDelete, Fact: "R(9,9)"}}, ErrBadTuple},       // absent
-		{[]Mutation{{Op: MutationInsert, Fact: "R(1,2,3)"}}, ErrBadTuple},     // arity clash
+		{[]Mutation{{Op: MutationInsert, Fact: "R(1,2)"}}, ErrBadTuple},                                       // already present
+		{[]Mutation{{Op: MutationDelete, Fact: "R(9,9)"}}, ErrBadTuple},                                       // absent
+		{[]Mutation{{Op: MutationInsert, Fact: "R(1,2,3)"}}, ErrBadTuple},                                     // arity clash
 		{[]Mutation{{Op: MutationInsert, Fact: "R(7,8)"}, {Op: MutationDelete, Fact: "R(9,9)"}}, ErrBadTuple}, // atomic: good prefix discarded
 	}
 	for i, c := range bad {

@@ -218,6 +218,10 @@ func BenchmarkAblationExactNoLowerBound(b *testing.B) {
 	benchAblation(b, resilience.Options{DisableLowerBound: true})
 }
 
+func BenchmarkAblationExactNoLPBound(b *testing.B) {
+	benchAblation(b, resilience.Options{DisableLPBound: true})
+}
+
 func BenchmarkAblationExactKeepSupersets(b *testing.B) {
 	benchAblation(b, resilience.Options{KeepSupersets: true})
 }
@@ -402,3 +406,27 @@ func BenchmarkPortfolioComponents12Workers1(b *testing.B) { benchPortfolioCompon
 func BenchmarkPortfolioComponents12Workers4(b *testing.B) { benchPortfolioComponents(b, 12, 4) }
 func BenchmarkPortfolioComponents24Workers1(b *testing.B) { benchPortfolioComponents(b, 24, 1) }
 func BenchmarkPortfolioComponents24Workers4(b *testing.B) { benchPortfolioComponents(b, 24, 4) }
+
+// gateCalibrateSink defeats dead-code elimination in BenchmarkGateCalibrate.
+var gateCalibrateSink uint64
+
+// BenchmarkGateCalibrate is the perf gate's machine-speed probe: a fixed
+// pure-arithmetic workload (xorshift accumulation) that never touches
+// repository code, so its ns/op moves only with the machine — CPU clock,
+// container quota, co-tenant load — never with the changes under review.
+// cmd/benchgate divides every gated benchmark's fresh/baseline ratio by
+// this benchmark's ratio, cancelling sustained throughput differences
+// between the baseline machine-state and the gate run.
+func BenchmarkGateCalibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(88172645463325252)
+		var acc uint64
+		for j := 0; j < 40_000_000; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			acc += x
+		}
+		gateCalibrateSink = acc
+	}
+}

@@ -1,0 +1,205 @@
+// Command benchgate compares a fresh benchjson report against a committed
+// baseline and fails when any gated benchmark regressed beyond the allowed
+// threshold. It is the CI perf gate for the solver-critical benchmarks: the
+// exact-pipeline, portfolio, and incremental-SAT timings that the design
+// chapters budget against.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.json -fresh BENCH_gate_fresh.json
+//
+// Both files are benchjson documents. For every baseline benchmark whose
+// name matches -bench, the gate takes the median ns/op across the report's
+// entries (repeated -count runs collapse to the middle observation — robust
+// both to a single slow outlier and, unlike the minimum, to one
+// unrepresentatively fast sample poisoning the baseline) and fails when
+//
+//	fresh_median > threshold × scale × baseline_median
+//
+// or when a gated baseline benchmark is missing from the fresh run (a
+// deleted benchmark must be removed from the baseline deliberately, not
+// silently). Benchmarks present only in the fresh report are listed as new
+// and pass; refresh the baseline with `make bench-baseline` to start gating
+// them.
+//
+// scale is the machine-speed correction: the ratio of the calibration
+// benchmark (-calibrate, a fixed pure-arithmetic workload that never
+// touches repository code) between the fresh and baseline reports. It
+// cancels sustained throughput differences — CPU clock, container quota,
+// co-tenant load — between the run that produced the committed baseline and
+// the gate run, which is what makes an absolute-ns/op baseline portable
+// across runners. When either report lacks the calibration benchmark the
+// scale falls back to 1 with a warning, degrading to a raw comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Result and Report mirror cmd/benchjson's output document.
+type Result struct {
+	Name    string  `json:"name"`
+	Package string  `json:"package,omitempty"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type Report struct {
+	Stamp   string   `json:"stamp"`
+	Results []Result `json:"results"`
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// medians collapses a report to the median ns/op per gated benchmark. The
+// key includes the package so same-named benchmarks in different packages
+// gate independently.
+func medians(rep *Report, gate *regexp.Regexp) map[string]float64 {
+	samples := make(map[string][]float64)
+	for _, r := range rep.Results {
+		if !gate.MatchString(r.Name) || r.NsPerOp <= 0 {
+			continue
+		}
+		key := r.Name
+		if r.Package != "" {
+			key = r.Package + "." + r.Name
+		}
+		samples[key] = append(samples[key], r.NsPerOp)
+	}
+	out := make(map[string]float64, len(samples))
+	for key, s := range samples {
+		sort.Float64s(s)
+		mid := len(s) / 2
+		if len(s)%2 == 0 {
+			out[key] = (s[mid-1] + s[mid]) / 2
+		} else {
+			out[key] = s[mid]
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline benchjson document")
+	freshPath := flag.String("fresh", "", "freshly generated benchjson document (required)")
+	benchRe := flag.String("bench", "^Benchmark(ExactComponents|Portfolio|SATIncremental)",
+		"regexp selecting the gated benchmark names")
+	threshold := flag.Float64("threshold", 1.20, "fail when fresh exceeds baseline by this factor")
+	calibrate := flag.String("calibrate", "BenchmarkGateCalibrate",
+		"name of the machine-speed calibration benchmark")
+	flag.Parse()
+
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: bad -bench regexp:", err)
+		os.Exit(2)
+	}
+	baseRep, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	freshRep, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	base := medians(baseRep, gate)
+	fresh := medians(freshRep, gate)
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s has no benchmarks matching %q\n", *baselinePath, *benchRe)
+		os.Exit(2)
+	}
+
+	// Machine-speed correction from the calibration benchmark, and drop it
+	// from the gated set — it measures the machine, not the code.
+	scale := 1.0
+	cal := regexp.MustCompile("^" + regexp.QuoteMeta(*calibrate) + "$")
+	baseCal := medians(baseRep, cal)
+	freshCal := medians(freshRep, cal)
+	if len(baseCal) == 1 && len(freshCal) == 1 {
+		var b, f float64
+		for _, v := range baseCal {
+			b = v
+		}
+		for _, v := range freshCal {
+			f = v
+		}
+		scale = f / b
+		fmt.Printf("calibration %s: %12.0f -> %12.0f ns/op, machine-speed scale %.3fx\n", *calibrate, b, f, scale)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchgate: calibration benchmark %q missing from %s; comparing raw ns/op\n",
+			*calibrate, map[bool]string{len(baseCal) != 1: *baselinePath, len(freshCal) != 1: *freshPath}[true])
+	}
+	for key := range base {
+		if cal.MatchString(key[strings.LastIndex(key, ".")+1:]) {
+			delete(base, key)
+		}
+	}
+	for key := range fresh {
+		if cal.MatchString(key[strings.LastIndex(key, ".")+1:]) {
+			delete(fresh, key)
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s baseline %12.0f ns/op, absent from fresh run\n", name, b)
+			failed = true
+			continue
+		}
+		ratio := f / (b * scale)
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-60s %12.0f -> %12.0f ns/op  (%.2fx scaled, limit %.2fx)\n",
+			verdict, name, b, f, ratio, *threshold)
+	}
+	var added []string
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("NEW      %-60s %12.0f ns/op (not gated; refresh baseline to gate)\n", name, fresh[name])
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: perf gate failed against %s\n", *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gated benchmarks within %.2fx of %s\n", len(names), *threshold, *baselinePath)
+}

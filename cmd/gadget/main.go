@@ -110,7 +110,7 @@ func main() {
 }
 
 func emit(dbs string, k int, psi *sat.Formula) {
-	fmt.Printf("# kψ = %d; ψ ∈ 3SAT (DPLL): %v — so (D, kψ) ∈ RES(q) iff satisfiable\n", k, psi.Satisfiable())
+	fmt.Printf("# kψ = %d; ψ ∈ 3SAT (SAT oracle): %v — so (D, kψ) ∈ RES(q) iff satisfiable\n", k, psi.Satisfiable())
 	fmt.Print(dbs)
 }
 

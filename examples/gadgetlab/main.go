@@ -8,7 +8,7 @@
 //   - Theorems 27/28:             Vertex Cover → RES(q) for any ssj query
 //     with a path, via the generic reduction.
 //
-// Every instance is solved twice — once by the source oracle (DPLL or
+// Every instance is solved twice — once by the source oracle (CDCL SAT or
 // exact vertex cover) and once by the resilience solver on the gadget
 // database — and the answers must agree.
 package main
@@ -36,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  ψ (n=%d, m=%d): DPLL says sat=%v; gadget (%d tuples, k=%d) says (D,k)∈RES: %v\n",
+		fmt.Printf("  ψ (n=%d, m=%d): SAT oracle says sat=%v; gadget (%d tuples, k=%d) says (D,k)∈RES: %v\n",
 			psi.NumVars, len(psi.Clauses), psi.Satisfiable(), red.DB.Len(), red.K, inRES)
 	}
 
@@ -51,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  ψ (n=%d, m=%d): DPLL says sat=%v; gadget (%d tuples, k=%d) says (D,k)∈RES: %v\n",
+		fmt.Printf("  ψ (n=%d, m=%d): SAT oracle says sat=%v; gadget (%d tuples, k=%d) says (D,k)∈RES: %v\n",
 			psi.NumVars, len(psi.Clauses), psi.Satisfiable(), red.DB.Len(), red.K, inRES)
 	}
 

@@ -72,7 +72,7 @@ func NewEncoder(inst *witset.Instance) *Encoder {
 }
 
 // Encode returns the encoding for budget k. The witness clauses are shared
-// between encodings (the DPLL search never mutates clauses).
+// between encodings (the solver copies clauses it loads).
 func (e *Encoder) Encode(k int) *Encoding {
 	return &Encoding{
 		Formula:   e.fe.Encode(k),
@@ -197,9 +197,12 @@ func Decide(q *cq.Query, d *db.Database, k int) (bool, []db.Tuple, error) {
 	return DecideCtx(context.Background(), q, d, k)
 }
 
-// DecideCtx is Decide with cooperative cancellation: the DPLL search polls
+// DecideCtx is Decide with cooperative cancellation: the CDCL search polls
 // ctx and aborts with ctx.Err() once it is done, which is what lets the
-// engine's portfolio cancel a losing SAT attempt promptly.
+// engine's portfolio cancel a losing SAT attempt promptly. The instance is
+// rendered through the persistent-solver path (row clauses plus an
+// assumption-gated counter capped at k), the same machinery the engine's
+// budget binary search probes repeatedly.
 func DecideCtx(ctx context.Context, q *cq.Query, d *db.Database, k int) (bool, []db.Tuple, error) {
 	if !eval.Satisfied(q, d) {
 		return false, nil, nil
@@ -214,13 +217,18 @@ func DecideCtx(ctx context.Context, q *cq.Query, d *db.Database, k int) (bool, [
 	if inst.Unbreakable() {
 		return false, nil, ErrUnbreakable
 	}
-	enc := EncodeInstance(inst, k)
-	assign, ok, err := enc.Formula.SolveCtx(ctx)
+	inc := newIncrementalFromRows(inst.Rows(), inst.NumTuples(), k)
+	assign, ok, err := inc.SolveBudget(ctx, k)
 	if err != nil {
 		return false, nil, err
 	}
 	if !ok {
 		return false, nil, nil
 	}
-	return true, enc.Gamma(assign), nil
+	var gamma []db.Tuple
+	for _, id := range inc.Chosen(assign) {
+		gamma = append(gamma, inst.Tuple(id))
+	}
+	db.SortTuples(gamma)
+	return true, gamma, nil
 }

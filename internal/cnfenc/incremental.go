@@ -1,0 +1,120 @@
+package cnfenc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sat"
+	"repro/internal/witset"
+)
+
+// IncrementalSolver renders one set family into a single persistent CDCL
+// clause database and answers "is there a hitting set of size ≤ k?" for
+// many budgets k over it. The witness row clauses are loaded once and the
+// Sinz sequential counter is emitted once at the maximum budget, with
+// per-budget assumption literals gating the "≤ k" outputs — so a budget
+// probe is one sat.Solver.SolveAssume call and every lemma the solver
+// learns while refuting one budget keeps pruning all later budgets. This
+// is the Eén–Sörensson incremental interface applied to the engine's SAT
+// binary search: one clause database per component, budgets driven purely
+// by assumptions.
+//
+// Encoding: element e of the family is CNF variable e+1 (exactly like
+// FamilyEncoder), and register s(i,j) — "at least j of x₁..x_i are true" —
+// is a variable above the element range. Only the upward implications are
+// emitted (x_i ∧ s(i−1,j−1) → s(i,j) and friends), which keeps every
+// register free to be false in intended models; Assume(k) then assumes
+// ¬s(n,k+1), which by those implications is exactly "at most k elements
+// chosen".
+type IncrementalSolver struct {
+	n     int // element universe size; elements are variables 1..n
+	kcap  int // largest budget with a gating register (k > kcap must be ≥ n)
+	width int // registers per counter stage: kcap+1
+	base  int // register variables start at base+1
+	s     *sat.Solver
+}
+
+// NewIncrementalSolver builds the persistent clause database for fam with
+// budget registers up to kcap (values ≥ n-1 are clamped: budgets ≥ n are
+// trivially satisfiable and need no register). The engine's binary search
+// passes kcap = fam.N-1 so every probe in [1, N] is covered; single-probe
+// callers pass their one budget and get a counter no wider than the old
+// per-k encoding.
+func NewIncrementalSolver(fam *witset.Family, kcap int) *IncrementalSolver {
+	return newIncrementalFromRows(fam.Rows, fam.N, kcap)
+}
+
+func newIncrementalFromRows(rows [][]int32, n, kcap int) *IncrementalSolver {
+	if kcap > n-1 {
+		kcap = n - 1
+	}
+	if kcap < 0 {
+		kcap = 0
+	}
+	inc := &IncrementalSolver{n: n, kcap: kcap, width: kcap + 1, base: n}
+	s := sat.NewSolver(n + n*inc.width)
+	inc.s = s
+	for _, row := range rows {
+		clause := make(sat.Clause, len(row))
+		for j, id := range row {
+			clause[j] = sat.Literal(int(id) + 1)
+		}
+		s.AddClause(clause)
+	}
+	// Sinz sequential counter, upward implications only.
+	for i := 2; i <= n; i++ {
+		s.AddClause(sat.Clause{-inc.x(i), inc.reg(i, 1)})
+		s.AddClause(sat.Clause{-inc.reg(i-1, 1), inc.reg(i, 1)})
+		for j := 2; j <= inc.width; j++ {
+			s.AddClause(sat.Clause{-inc.x(i), -inc.reg(i-1, j-1), inc.reg(i, j)})
+			s.AddClause(sat.Clause{-inc.reg(i-1, j), inc.reg(i, j)})
+		}
+	}
+	if n >= 1 {
+		s.AddClause(sat.Clause{-inc.x(1), inc.reg(1, 1)})
+	}
+	return inc
+}
+
+func (inc *IncrementalSolver) x(i int) sat.Literal { return sat.Literal(i) }
+
+func (inc *IncrementalSolver) reg(i, j int) sat.Literal {
+	return sat.Literal(inc.base + (i-1)*inc.width + j)
+}
+
+// Assume returns the assumption literals that gate the encoding to budget
+// k: ¬s(n, k+1) for k < n, nothing for k ≥ n (deleting every element hits
+// every row). Budgets above the register cap but below n have no gate and
+// panic — a caller bug, since the cap is chosen from the probe range.
+func (inc *IncrementalSolver) Assume(k int) []sat.Literal {
+	if k >= inc.n {
+		return nil
+	}
+	if k < 0 || k > inc.kcap {
+		panic(fmt.Sprintf("cnfenc: budget %d outside encoder cap %d", k, inc.kcap))
+	}
+	return []sat.Literal{-inc.reg(inc.n, k+1)}
+}
+
+// SolveBudget reports whether the family has a hitting set of size ≤ k,
+// returning the solver's model when it does. Learned clauses persist into
+// the next call.
+func (inc *IncrementalSolver) SolveBudget(ctx context.Context, k int) (assign []bool, ok bool, err error) {
+	return inc.s.SolveAssumeCtx(ctx, inc.Assume(k))
+}
+
+// Chosen projects a satisfying assignment back to the chosen element ids,
+// sorted ascending (the element block of the model is variables 1..n).
+func (inc *IncrementalSolver) Chosen(assign []bool) []int32 {
+	var out []int32
+	for i := 0; i < inc.n; i++ {
+		if assign[i+1] {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Solver exposes the underlying persistent solver, for callers that layer
+// extra assumptions or clauses on top of the budgeted encoding.
+func (inc *IncrementalSolver) Solver() *sat.Solver { return inc.s }

@@ -1,5 +1,5 @@
 // Package ctxpoll throttles context-cancellation checks in solver inner
-// loops. The exact branch-and-bound and the DPLL search expand millions of
+// loops. The exact branch-and-bound and the SAT search expand millions of
 // nodes per second; consulting ctx.Done() at every node would dominate the
 // search, so a Poller checks the channel once every Interval calls. This
 // is the one copy of that throttle, shared by every cancellable solver.

@@ -281,29 +281,38 @@ func (e *Engine) raceComponent(ctx context.Context, fam *witset.Family) (int, []
 }
 
 // satFamilySearch computes a component's minimum hitting set size by
-// binary-searching the smallest k whose CNF encoding is satisfiable. The
-// component's local universe bounds the search: deleting every element
-// hits every row, so the minimum lies in [1, N] (component families are
-// non-empty by construction).
+// binary-searching the smallest k whose CNF encoding is satisfiable. A
+// greedy cover seeds the search: its size ub is an achievable incumbent, so
+// the minimum lies in [1, ub] and the probes only ever ask budgets below
+// ub — which also caps the incremental counter's register block at width
+// ub instead of the whole universe, keeping the clause database near the
+// size a single scratch encoding at the optimum would have been.
+//
+// The whole search runs against one persistent CDCL clause database
+// (cnfenc.IncrementalSolver): the row clauses and the cardinality counter
+// are loaded once, each probe is a SolveAssume call on the budget's gating
+// literal, and the clauses learned while refuting one budget keep pruning
+// every later probe — the incremental replacement for the old
+// re-encode-and-resolve-from-scratch loop.
 func satFamilySearch(ctx context.Context, fam *witset.Family) (int, []int32, error) {
-	lo, hi := 1, fam.N
-	best := hi
-	var ids []int32
-	encoder := cnfenc.NewFamilyEncoder(fam)
+	ids := witset.GreedyHittingSet(fam)
+	best := len(ids)
+	lo, hi := 1, best-1
+	if lo > hi {
+		return best, ids, nil
+	}
+	inc := cnfenc.NewIncrementalSolver(fam, hi)
 	for lo <= hi {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
 		mid := lo + (hi-lo)/2
-		// The row clauses are rendered once by the encoder; per probe only
-		// the cardinality counter of the encoding changes.
-		f := encoder.Encode(mid)
-		assign, ok, err := f.SolveCtx(ctx)
+		assign, ok, err := inc.SolveBudget(ctx, mid)
 		if err != nil {
 			return 0, nil, err
 		}
 		if ok {
-			best, ids = mid, encoder.Chosen(assign)
+			best, ids = mid, inc.Chosen(assign)
 			hi = mid - 1
 		} else {
 			lo = mid + 1

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/datagen"
 	"repro/internal/resilience"
+	"repro/internal/witset"
 )
 
 // TestPortfolioBuildsIROnce pins the enumerate-once contract: one portfolio
@@ -96,6 +97,64 @@ func TestPortfolioSharedIRConcurrent(t *testing.T) {
 	st := e.Stats()
 	if st.SolverRuns != 2*st.ComponentsSolved {
 		t.Fatalf("SolverRuns = %d, want 2×ComponentsSolved = %d", st.SolverRuns, 2*st.ComponentsSolved)
+	}
+}
+
+// TestSATFamilySearchMatchesExact pins the assumption-driven SAT binary
+// search — one persistent clause database per component, budgets selected
+// purely by assumptions — against the exact branch-and-bound on random
+// component families. This is the racer-level differential for the
+// incremental-solver rebase: if learned clauses ever leaked across budgets
+// unsoundly, the searches would disagree here before any portfolio race
+// noticed.
+func TestSATFamilySearchMatchesExact(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(91))
+	ctx := context.Background()
+	checked := 0
+	for round := 0; round < 12; round++ {
+		d := datagen.ChainDB(rng, 8+round, 6)
+		inst, err := witset.Build(ctx, q, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range inst.Components() {
+			wantSize, _, err := resilience.SolveFamily(ctx, c.Fam, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSize, ids, err := satFamilySearch(ctx, c.Fam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotSize != wantSize {
+				t.Fatalf("round %d: satFamilySearch = %d, exact = %d (N=%d rows=%d)",
+					round, gotSize, wantSize, c.Fam.N, len(c.Fam.Rows))
+			}
+			if len(ids) != gotSize {
+				t.Fatalf("round %d: satFamilySearch returned %d ids for size %d", round, len(ids), gotSize)
+			}
+			hit := make([]bool, c.Fam.N)
+			for _, e := range ids {
+				hit[e] = true
+			}
+			for _, row := range c.Fam.Rows {
+				rowHit := false
+				for _, e := range row {
+					if hit[e] {
+						rowHit = true
+						break
+					}
+				}
+				if !rowHit {
+					t.Fatalf("round %d: satFamilySearch set misses row %v", round, row)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no component actually checked")
 	}
 }
 

@@ -63,7 +63,7 @@ func classify(qs string) string {
 	return core.Classify(cq.MustParse(qs)).Verdict.String()
 }
 
-// runF10 verifies the chain gadget on a battery of formulas against DPLL.
+// runF10 verifies the chain gadget on a battery of formulas against the SAT oracle.
 func runF10(rng *rand.Rand) *Report {
 	rep := &Report{}
 	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
@@ -137,7 +137,7 @@ func runF14(rng *rand.Rand) *Report {
 }
 
 // runF16 verifies the triangle gadget of Proposition 56 (Figure 16) and
-// its self-join variations (Lemmas 50-51) against DPLL: ψ ∈ 3SAT iff the
+// its self-join variations (Lemmas 50-51) against the SAT oracle: ψ ∈ 3SAT iff the
 // gadget database admits a contingency set of size kψ = 6mn.
 func runF16(rng *rand.Rand) *Report {
 	rep := &Report{}

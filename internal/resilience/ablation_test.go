@@ -19,8 +19,11 @@ func TestAblationOptionsPreserveAnswers(t *testing.T) {
 	configs := []Options{
 		{},
 		{DisableLowerBound: true},
+		{DisableLPBound: true},
+		{DisableLowerBound: true, DisableLPBound: true},
 		{KeepSupersets: true},
 		{DisableLowerBound: true, KeepSupersets: true},
+		{DisableLowerBound: true, DisableLPBound: true, KeepSupersets: true},
 	}
 	rng := rand.New(rand.NewSource(71))
 	for _, q := range queries {

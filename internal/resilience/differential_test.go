@@ -115,8 +115,11 @@ func TestDifferentialRandomInstances(t *testing.T) {
 			// Ablation variants search differently but answer identically.
 			for _, opts := range []Options{
 				{DisableLowerBound: true},
+				{DisableLPBound: true},
+				{DisableLowerBound: true, DisableLPBound: true},
 				{KeepSupersets: true},
 				{DisableLowerBound: true, KeepSupersets: true},
+				{DisableLPBound: true, KeepSupersets: true},
 			} {
 				ab, err := ExactWithOptions(q, d, opts)
 				if err != nil {
@@ -234,6 +237,21 @@ func TestDifferentialPipelineVsMonolithic(t *testing.T) {
 			}
 			if want, _ := referenceRho(q, d); want != pipe.Rho {
 				t.Fatalf("%s round %d: pipeline ρ = %d, reference ρ = %d", name, round, pipe.Rho, want)
+			}
+			// LP-bound ablation: with the dual-greedy bound off — in both
+			// the pipeline and the monolithic search — the optimum must not
+			// move, pinning the bound as prune-only.
+			for _, opts := range []Options{
+				{DisableLPBound: true},
+				{DisableLPBound: true, Monolithic: true},
+			} {
+				ab, err := ExactWithOptions(q, d, opts)
+				if err != nil {
+					t.Fatalf("%s round %d: ablation %+v: %v", name, round, opts, err)
+				}
+				if ab.Rho != pipe.Rho {
+					t.Fatalf("%s round %d: ablation %+v ρ = %d, want %d", name, round, opts, ab.Rho, pipe.Rho)
+				}
 			}
 			if pipe.Rho > 0 {
 				if err := VerifyContingency(q, d, pipe.ContingencySet); err != nil {

@@ -136,7 +136,7 @@ func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Data
 	rho := 0
 	rhos := make([]int, len(comps))
 	for i, c := range comps {
-		crho, _, err := solveFamily(ctx, c.Fam, -1, false)
+		crho, _, err := solveFamily(ctx, c.Fam, -1, Options{})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -217,7 +217,7 @@ func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Data
 // its minimum hitting sets (up to maxSets when maxSets > 0), as sorted
 // local-id sets in a deterministic order.
 func enumerateFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Family, maxSets int) (int, [][]int32, error) {
-	rho, _, err := solveFamily(ctx, fam, -1, false)
+	rho, _, err := solveFamily(ctx, fam, -1, Options{})
 	if err != nil {
 		return 0, nil, err
 	}

@@ -93,7 +93,7 @@ func solveInstance(ctx context.Context, inst *witset.Instance, budget int, metho
 	if opts.Monolithic || opts.KeepSupersets {
 		// KeepSupersets measures the raw family, which the kernel would
 		// immediately re-normalize, so it implies the monolithic path.
-		size, chosen, err := solveFamily(ctx, inst.Family(opts.KeepSupersets), budget, opts.DisableLowerBound)
+		size, chosen, err := solveFamily(ctx, inst.Family(opts.KeepSupersets), budget, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +128,7 @@ func solveInstance(ctx context.Context, inst *witset.Instance, budget int, metho
 				return over(), nil
 			}
 		}
-		size, ids, err := solveFamily(ctx, c.Fam, b, opts.DisableLowerBound)
+		size, ids, err := solveFamily(ctx, c.Fam, b, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -154,6 +154,11 @@ type Options struct {
 	// bound 1 (applies to the monolithic search and to every per-component
 	// search alike).
 	DisableLowerBound bool
+	// DisableLPBound turns off the LP-relaxation dual-greedy bound, leaving
+	// whatever DisableLowerBound left of the packing bound. The two switches
+	// are independent, so the ablation matrix covers all four corners of the
+	// bound hierarchy.
+	DisableLPBound bool
 	// KeepSupersets skips the superset-elimination preprocessing. It
 	// implies Monolithic: the kernel starts from the normalized family.
 	KeepSupersets bool

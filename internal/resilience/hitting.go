@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"math"
 
 	"repro/internal/ctxpoll"
 	"repro/internal/witset"
@@ -9,10 +10,13 @@ import (
 
 // solveFamily runs the branch-and-bound once over one family. If budget >= 0
 // and the minimum exceeds it, the returned size is budget+1 with a nil set
-// (sufficient for callers that only need the "over budget" verdict).
-func solveFamily(ctx context.Context, fam *witset.Family, budget int, noLowerBound bool) (int, []int32, error) {
+// (sufficient for callers that only need the "over budget" verdict). Only the
+// bound ablation switches of opts apply here; decomposition switches are the
+// caller's concern.
+func solveFamily(ctx context.Context, fam *witset.Family, budget int, opts Options) (int, []int32, error) {
 	hs := newHittingSet(fam)
-	hs.noLowerBound = noLowerBound
+	hs.noLowerBound = opts.DisableLowerBound
+	hs.noLPBound = opts.DisableLPBound
 	hs.poll = ctxpoll.New(ctx)
 	size, chosen := hs.solve(budget)
 	if err := hs.poll.Err(); err != nil {
@@ -28,7 +32,7 @@ func solveFamily(ctx context.Context, fam *witset.Family, budget int, noLowerBou
 // each component). If budget >= 0 and the minimum exceeds it, it returns
 // (budget+1, nil, nil).
 func SolveFamily(ctx context.Context, fam *witset.Family, budget int) (int, []int32, error) {
-	return solveFamily(ctx, fam, budget, false)
+	return solveFamily(ctx, fam, budget, Options{})
 }
 
 // hittingSet solves minimum hitting set exactly by branch and bound over a
@@ -56,9 +60,16 @@ type hittingSet struct {
 	// far. One allocation per solve, cleared per call.
 	pack witset.Bits
 
-	// Ablation switch (see Options): disable the packing lower bound to
-	// measure its contribution.
+	// lpCap and lpDeg are the LP bound's scratch: the remaining dual
+	// capacity of each element and each element's occurrence count among
+	// the unhit rows. One allocation per solve, reset per call.
+	lpCap []float64
+	lpDeg []int32
+
+	// Ablation switches (see Options): disable the packing lower bound
+	// and/or the LP dual-greedy bound to measure their contributions.
 	noLowerBound bool
+	noLPBound    bool
 
 	// poll, when non-nil, lets callers cancel long searches; its Err
 	// records why the search stopped early (the best found so far is then
@@ -73,6 +84,8 @@ func newHittingSet(fam *witset.Family) *hittingSet {
 		chosen:   witset.NewBits(fam.N),
 		numUnhit: len(fam.Rows),
 		pack:     witset.NewBits(fam.N),
+		lpCap:    make([]float64, fam.N),
+		lpDeg:    make([]int32, fam.N),
 		limit:    -1,
 	}
 }
@@ -90,48 +103,27 @@ func (h *hittingSet) solve(limit int) (int, []int32) {
 		h.bestChosen = nil
 	}
 	var cur []int32
-	h.branch(cur)
+	h.branch(cur, 0)
 	return h.best, h.bestChosen
 }
 
+// greedy computes the max-coverage upper bound that seeds the incumbent.
+// The shared implementation maintains element-occurrence counts
+// decrementally — built once, then selecting an element pays only for the
+// rows it newly hits — instead of recounting every unhit row per iteration;
+// values and tie-breaking are identical to a full recount, so the bound
+// (and therefore the search it seeds) is unchanged.
 func (h *hittingSet) greedy() []int32 {
-	hit := make([]bool, len(h.fam.Rows))
-	remaining := len(h.fam.Rows)
-	var out []int32
-	count := make([]int, h.fam.N)
-	for remaining > 0 {
-		for i := range count {
-			count[i] = 0
-		}
-		for si, s := range h.fam.Rows {
-			if hit[si] {
-				continue
-			}
-			for _, e := range s {
-				count[e]++
-			}
-		}
-		bestE, bestC := -1, 0
-		for e, c := range count {
-			if c > bestC {
-				bestE, bestC = e, c
-			}
-		}
-		if bestE < 0 {
-			break
-		}
-		out = append(out, int32(bestE))
-		for _, si := range h.fam.Occ[bestE] {
-			if !hit[si] {
-				hit[si] = true
-				remaining--
-			}
-		}
-	}
-	return out
+	return witset.GreedyHittingSet(h.fam)
 }
 
-func (h *hittingSet) branch(cur []int32) {
+// branch explores extensions of cur. from is the lowest row index that may
+// still be unhit: every row before it was hit when this node was entered,
+// and choose() only ever adds hits down the tree, so those rows stay hit in
+// the whole subtree and the smallest-unhit-row scan can skip them. The pick
+// is exactly the one a from-zero scan would make; only the rescan cost
+// changes (amortized O(1) per node instead of O(rows)).
+func (h *hittingSet) branch(cur []int32, from int) {
 	if h.poll.Cancelled() {
 		return
 	}
@@ -149,10 +141,18 @@ func (h *hittingSet) branch(cur []int32) {
 	if len(cur)+lb >= h.best {
 		return
 	}
+	// The packing bound failed to prune; try the (costlier) LP-relaxation
+	// bound before committing to a branch. Taking the max keeps the bound
+	// hierarchy monotone: the node survives only if both bounds allow it.
+	if !h.noLPBound {
+		if lp := h.lpBound(); len(cur)+lp >= h.best {
+			return
+		}
+	}
 	// Branch on the smallest unhit row; rows are sorted by size, so the
-	// first unhit one is a smallest.
+	// first unhit one is a smallest — and rows before from are known hit.
 	pick := -1
-	for si := range h.fam.Rows {
+	for si := from; si < len(h.fam.Rows); si++ {
 		if h.hitCount[si] == 0 {
 			pick = si
 			break
@@ -163,7 +163,9 @@ func (h *hittingSet) branch(cur []int32) {
 			continue
 		}
 		h.choose(e)
-		h.branch(append(cur, e))
+		// Choosing e hits row pick, so the child's first candidate unhit
+		// row is pick+1.
+		h.branch(append(cur, e), pick+1)
 		h.unchoose(e)
 	}
 }
@@ -205,4 +207,79 @@ func (h *hittingSet) lowerBound() int {
 		}
 	}
 	return lb
+}
+
+// lpBound is a dual feasible bound on the LP relaxation of hitting set over
+// the unhit rows — a fractional packing: assign each unhit row a dual value
+// y_row with Σ_{row ∋ e} y_row ≤ 1 for every element e; any such assignment
+// has Σ y_row ≤ LP optimum ≤ integral minimum. Two phases build the duals:
+//
+//  1. Uniform split: y_row = min_{e ∈ row} 1/deg(e), where deg counts the
+//     element's occurrences among unhit rows. Feasible because each row
+//     through e contributes at most 1/deg(e), and there are deg(e) of them.
+//     This is where the bound gets genuinely fractional strength — on an
+//     odd cycle of 2-rows every element has degree 2, the duals are all
+//     1/2, and their sum rounds up past anything integral duals (and hence
+//     the disjoint-packing bound, whose duals are 0/1) can certify.
+//  2. Greedy saturation: sweep the unhit rows (smallest first — rows are
+//     size-sorted) raising each y_row by the minimum remaining capacity of
+//     its elements, recovering the packing-like strength phase 1 leaves on
+//     the table when degrees are unbalanced.
+//
+// The epsilon absorbs accumulated float error in the conservative direction
+// before rounding up, keeping the bound admissible.
+func (h *hittingSet) lpBound() int {
+	for i := range h.lpCap {
+		h.lpCap[i] = 1
+		h.lpDeg[i] = 0
+	}
+	for si, row := range h.fam.Rows {
+		if h.hitCount[si] > 0 {
+			continue
+		}
+		for _, e := range row {
+			h.lpDeg[e]++
+		}
+	}
+	total := 0.0
+	for si, row := range h.fam.Rows {
+		if h.hitCount[si] > 0 {
+			continue
+		}
+		y := 1.0
+		for _, e := range row {
+			if v := 1 / float64(h.lpDeg[e]); v < y {
+				y = v
+			}
+			if c := h.lpCap[e]; c < y {
+				y = c
+			}
+		}
+		if y <= 0 {
+			continue
+		}
+		for _, e := range row {
+			h.lpCap[e] -= y
+		}
+		total += y
+	}
+	for si, row := range h.fam.Rows {
+		if h.hitCount[si] > 0 {
+			continue
+		}
+		y := 1.0
+		for _, e := range row {
+			if c := h.lpCap[e]; c < y {
+				y = c
+			}
+		}
+		if y <= 0 {
+			continue
+		}
+		for _, e := range row {
+			h.lpCap[e] -= y
+		}
+		total += y
+	}
+	return int(math.Ceil(total - 1e-9))
 }

@@ -126,7 +126,7 @@ func ResponsibilityOnInstance(ctx context.Context, inst *witset.Instance, d *db.
 		if c == home {
 			continue
 		}
-		size, ids, err := solveFamily(ctx, c.Fam, -1, false)
+		size, ids, err := solveFamily(ctx, c.Fam, -1, Options{})
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,0 +1,550 @@
+package sat
+
+import (
+	"context"
+
+	"repro/internal/ctxpoll"
+)
+
+// Solver is an iterative CDCL SAT solver with a persistent clause database:
+// two-watched-literal propagation, first-UIP conflict analysis with clause
+// learning, VSIDS-style activity branching with phase saving, and a Luby
+// restart policy. Clauses are added once with AddClause and every
+// SolveAssume call reuses — and extends — the learned-clause database, so a
+// sequence of queries over the same clauses (the engine's budget binary
+// search) shares all derived lemmas instead of re-deriving them per call.
+//
+// Assumptions follow the MiniSat interface (Eén & Sörensson): SolveAssume
+// decides the given literals first, at decision levels below every search
+// decision, and reports satisfiability *under* them. Learned clauses are
+// consequences of the clause database alone — assumption literals appear in
+// lemmas as ordinary literals — so learning under one assumption set never
+// changes satisfiability under another.
+type Solver struct {
+	numVars int
+	ok      bool // false once the database is unsatisfiable at the root
+
+	clauses []*cdclClause // problem clauses (len >= 2)
+	learnts []*cdclClause // learned clauses (len >= 2)
+	units   []Literal     // learned unit facts, re-asserted at level 0 per solve
+
+	// watches[litCode(l)] lists the clauses currently watching l; a clause
+	// is inspected only when one of its two watched literals becomes false.
+	watches [][]*cdclClause
+
+	assigns []int8        // var -> 0 unknown, 1 true, -1 false
+	phase   []int8        // var -> last assigned sign (phase saving); 0 = never
+	level   []int32       // var -> decision level of its assignment
+	reason  []*cdclClause // var -> antecedent clause (nil for decisions)
+	active  []bool        // var occurs in some clause (decision candidates)
+
+	trail    []Literal
+	trailLim []int // trail length at each decision level
+	qhead    int   // propagation queue head (index into trail)
+
+	activity []float64
+	varInc   float64
+
+	seen      []bool // analyze scratch, cleared after each conflict
+	rootLevel int    // decision level holding the current assumptions
+
+	conflicts int64 // lifetime conflict count (restart pacing, stats)
+}
+
+type cdclClause struct {
+	lits    []Literal
+	learnt  bool
+	deleted bool // lazily unlinked from watch lists during propagation
+}
+
+// litCode maps a literal to its dense watch-list index.
+func litCode(l Literal) int {
+	v := int(l)
+	if v < 0 {
+		return -v<<1 | 1
+	}
+	return v << 1
+}
+
+// NewSolver returns an empty solver over variables 1..numVars. AddClause
+// grows the variable range on demand, so numVars is a capacity hint more
+// than a bound.
+func NewSolver(numVars int) *Solver {
+	s := &Solver{ok: true, varInc: 1}
+	s.ensureVars(numVars)
+	return s
+}
+
+func (s *Solver) ensureVars(n int) {
+	if n <= s.numVars {
+		return
+	}
+	grow := n + 1
+	for len(s.assigns) < grow {
+		s.assigns = append(s.assigns, 0)
+		s.phase = append(s.phase, 0)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.active = append(s.active, false)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
+	}
+	for len(s.watches) < 2*grow {
+		s.watches = append(s.watches, nil)
+	}
+	s.numVars = n
+}
+
+// NumVars returns the current variable range.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumLearnts returns the number of retained learned clauses (unit facts
+// included), exposed for tests and benchmarks of incrementality.
+func (s *Solver) NumLearnts() int { return len(s.learnts) + len(s.units) }
+
+// Conflicts returns the lifetime conflict count.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+func (s *Solver) value(l Literal) int8 {
+	v := s.assigns[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause to the database, simplifying it against the
+// root-level assignment. It reports whether the database is still possibly
+// satisfiable: false means unsatisfiability was detected at the root, after
+// which every solve reports unsat. Tautologies and duplicate literals are
+// removed; the caller's slice is not retained.
+func (s *Solver) AddClause(c Clause) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	for _, l := range c {
+		if l == 0 {
+			panic("sat: zero literal in clause")
+		}
+		s.ensureVars(l.Var())
+	}
+	// Dedup and tautology elimination on a private copy.
+	lits := make([]Literal, 0, len(c))
+outer:
+	for _, l := range c {
+		switch s.value(l) {
+		case 1:
+			if s.level[l.Var()] == 0 {
+				return true // satisfied at the root: no-op
+			}
+		case -1:
+			if s.level[l.Var()] == 0 {
+				continue // false at the root: drop the literal
+			}
+		}
+		for _, k := range lits {
+			if k == l {
+				continue outer
+			}
+			if k == -l {
+				return true // tautology
+			}
+		}
+		lits = append(lits, l)
+	}
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueueRoot(lits[0]) {
+			return false
+		}
+		return true
+	}
+	cl := &cdclClause{lits: lits}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+// enqueueRoot asserts a literal at level 0 and propagates; false on
+// root-level conflict (database unsatisfiable).
+func (s *Solver) enqueueRoot(l Literal) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		s.ok = false
+		return false
+	}
+	s.uncheckedEnqueue(l, nil)
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	return true
+}
+
+func (s *Solver) attach(c *cdclClause) {
+	for _, l := range c.lits {
+		s.active[l.Var()] = true
+	}
+	s.watches[litCode(c.lits[0])] = append(s.watches[litCode(c.lits[0])], c)
+	s.watches[litCode(c.lits[1])] = append(s.watches[litCode(c.lits[1])], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Literal, from *cdclClause) {
+	v := l.Var()
+	if l > 0 {
+		s.assigns[v] = 1
+		s.phase[v] = 1
+	} else {
+		s.assigns[v] = -1
+		s.phase[v] = -1
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs two-watched-literal unit propagation to fixpoint and
+// returns the conflicting clause, or nil. On conflict the propagation
+// queue is flushed; the trail is left for analyze.
+func (s *Solver) propagate() *cdclClause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		fl := -p // literal that just became false
+		code := litCode(fl)
+		ws := s.watches[code]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if c.deleted {
+				continue // lazily unlink
+			}
+			if c.lits[0] == fl {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// Invariant: c.lits[1] == fl.
+			if s.value(c.lits[0]) == 1 {
+				ws[j] = c
+				j++
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					wc := litCode(c.lits[1])
+					s.watches[wc] = append(s.watches[wc], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // watch migrated off fl
+			}
+			// Clause is unit or conflicting under the current assignment.
+			ws[j] = c
+			j++
+			if s.value(c.lits[0]) == -1 {
+				for i++; i < len(ws); i++ {
+					if !ws[i].deleted {
+						ws[j] = ws[i]
+						j++
+					}
+				}
+				s.watches[code] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[code] = ws[:j]
+	}
+	return nil
+}
+
+// analyze derives the first-UIP clause from a conflict. It returns the
+// learned clause — asserting literal first, a deepest remaining literal
+// second (the backjump watch) — and the backtrack level.
+func (s *Solver) analyze(confl *cdclClause) ([]Literal, int) {
+	learnt := []Literal{0}
+	idx := len(s.trail) - 1
+	var p Literal
+	pathC := 0
+	for {
+		start := 0
+		if p != 0 {
+			start = 1 // reason[v].lits[0] is the implied literal itself
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = -p
+
+	bt := 0
+	maxAt := -1
+	for i := 1; i < len(learnt); i++ {
+		s.seen[learnt[i].Var()] = false
+		if l := int(s.level[learnt[i].Var()]); l > bt {
+			bt = l
+			maxAt = i
+		}
+	}
+	if maxAt > 1 {
+		// The deepest non-asserting literal is the last to be unassigned on
+		// backjump: watch it.
+		learnt[1], learnt[maxAt] = learnt[maxAt], learnt[1]
+	}
+	return learnt, bt
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+const varDecay = 0.95
+
+func (s *Solver) decayActivity() { s.varInc /= varDecay }
+
+// record installs a learned clause and asserts its first literal.
+func (s *Solver) record(lits []Literal) {
+	if len(lits) == 1 {
+		// A formula-level fact: remember it so future solves can re-assert
+		// it at level 0 (it may currently be asserted above level 0 when
+		// assumptions are active).
+		s.units = append(s.units, lits[0])
+		s.uncheckedEnqueue(lits[0], nil)
+		return
+	}
+	c := &cdclClause{lits: append([]Literal(nil), lits...), learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.uncheckedEnqueue(c.lits[0], c)
+}
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+// cancelUntil backtracks to the given decision level, keeping assignments
+// made at or below it.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	back := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= back; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = 0
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:back]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar returns the unassigned active variable with the highest
+// VSIDS activity (lowest index on ties), or 0 when every active variable is
+// assigned — i.e. the clause database is satisfied.
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.numVars; v++ {
+		if s.assigns[v] == 0 && s.active[v] && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// maxLearnts bounds the retained learned-clause database; above it, long
+// unlocked lemmas from the older half are dropped (binary lemmas and
+// current antecedents are always kept).
+const maxLearnts = 8000
+
+func (s *Solver) reduceDB() {
+	if len(s.learnts) <= maxLearnts {
+		return
+	}
+	kept := s.learnts[:0]
+	drop := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		locked := s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == 1
+		if i < drop && len(c.lits) > 2 && !locked {
+			c.deleted = true
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+type searchStatus int8
+
+const (
+	stSat searchStatus = iota
+	stUnsat
+	stRestart
+)
+
+// search runs CDCL until a model, an assumption-level conflict, or the
+// restart budget; maxConfl < 0 disables the restart budget.
+func (s *Solver) search(poll *ctxpoll.Poller, maxConfl int64) (searchStatus, error) {
+	var nConfl int64
+	for {
+		if confl := s.propagate(); confl != nil {
+			s.conflicts++
+			nConfl++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return stUnsat, nil
+			}
+			if s.decisionLevel() <= s.rootLevel {
+				// The conflict depends only on assumptions: unsat under them.
+				return stUnsat, nil
+			}
+			learnt, bt := s.analyze(confl)
+			if bt < s.rootLevel {
+				bt = s.rootLevel
+			}
+			s.cancelUntil(bt)
+			s.record(learnt)
+			s.decayActivity()
+			continue
+		}
+		if poll.Cancelled() {
+			return stRestart, poll.Err()
+		}
+		if maxConfl >= 0 && nConfl >= maxConfl {
+			s.cancelUntil(s.rootLevel)
+			return stRestart, nil
+		}
+		s.reduceDB()
+		v := s.pickBranchVar()
+		if v == 0 {
+			return stSat, nil
+		}
+		l := Literal(v)
+		if s.phase[v] != 1 {
+			l = -l // saved phase, defaulting to false (delete nothing)
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// SolveAssume decides satisfiability of the clause database under the given
+// assumption literals, returning a model (1-based, like Formula.Solve) when
+// satisfiable. Learned clauses persist into subsequent calls.
+func (s *Solver) SolveAssume(assumptions []Literal) (assign []bool, sat bool) {
+	assign, sat, _ = s.SolveAssumeCtx(context.Background(), assumptions)
+	return assign, sat
+}
+
+// SolveAssumeCtx is SolveAssume with cooperative cancellation: the search
+// polls ctx between conflicts and aborts with ctx.Err() when it is done. A
+// non-nil error means the verdict is meaningless.
+func (s *Solver) SolveAssumeCtx(ctx context.Context, assumptions []Literal) (assign []bool, sat bool, err error) {
+	if !s.ok {
+		return nil, false, nil
+	}
+	poll := ctxpoll.New(ctx)
+	defer s.cancelUntil(0)
+	s.cancelUntil(0)
+	// Re-assert unit lemmas from earlier assumption-level solves, then
+	// reach the root fixpoint.
+	for _, u := range s.units {
+		if !s.enqueueRoot(u) {
+			return nil, false, nil
+		}
+	}
+	s.units = s.units[:0]
+	if s.propagate() != nil {
+		s.ok = false
+		return nil, false, nil
+	}
+	// Establish assumptions as the bottom decision levels.
+	for _, a := range assumptions {
+		if a == 0 {
+			panic("sat: zero assumption literal")
+		}
+		s.ensureVars(a.Var())
+		switch s.value(a) {
+		case 1:
+			continue // already implied
+		case -1:
+			return nil, false, nil // contradicts the database or earlier assumptions
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(a, nil)
+		if s.propagate() != nil {
+			return nil, false, nil
+		}
+	}
+	s.rootLevel = s.decisionLevel()
+
+	for try := int64(0); ; try++ {
+		status, err := s.search(poll, 100*luby(try))
+		if err != nil {
+			return nil, false, err
+		}
+		switch status {
+		case stSat:
+			model := make([]bool, s.numVars+1)
+			for v := 1; v <= s.numVars; v++ {
+				model[v] = s.assigns[v] == 1
+			}
+			return model, true, nil
+		case stUnsat:
+			return nil, false, nil
+		}
+	}
+}
+
+// luby is the Luby restart sequence 1,1,2,1,1,2,4,1,1,2,...
+func luby(i int64) int64 {
+	// Walk down the complete subsequences (of lengths 2^k - 1) containing
+	// index i; the value is 2^seq at the subsequence's last position.
+	var size, seq int64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return 1 << seq
+}

@@ -1,0 +1,250 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCDCLvsDPLLRandom pins the CDCL rewrite against the legacy DPLL on
+// random 3SAT and 2SAT: the verdicts must agree and every returned model
+// must actually satisfy the formula.
+func TestCDCLvsDPLLRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 400; trial++ {
+		var f *Formula
+		if trial%2 == 0 {
+			f = Random3SAT(rng, 3+rng.Intn(8), 1+rng.Intn(30))
+		} else {
+			f = Random2SAT(rng, 2+rng.Intn(8), 1+rng.Intn(20))
+		}
+		gotAssign, got := f.Solve()
+		_, want := f.SolveDPLL()
+		if got != want {
+			t.Fatalf("trial %d: CDCL=%v DPLL=%v formula=%v", trial, got, want, f.Clauses)
+		}
+		if got && !f.Eval(gotAssign) {
+			t.Fatalf("trial %d: CDCL returned non-model for %v", trial, f.Clauses)
+		}
+	}
+}
+
+// TestCDCLvsDPLLEnumerated sweeps every 2-clause 3CNF shape over 3
+// variables — the exhaustive slice of formula space the gadget verifiers
+// live in.
+func TestCDCLvsDPLLEnumerated(t *testing.T) {
+	EnumerateAll3SAT(3, 2, func(f *Formula) bool {
+		gotAssign, got := f.Solve()
+		_, want := f.SolveDPLL()
+		if got != want {
+			t.Fatalf("CDCL=%v DPLL=%v formula=%v", got, want, f.Clauses)
+		}
+		if got && !f.Eval(gotAssign) {
+			t.Fatalf("non-model for %v", f.Clauses)
+		}
+		return true
+	})
+}
+
+// dpllWithUnits is the assumption-semantics oracle: satisfiability under
+// assumptions A equals satisfiability of the formula extended with a unit
+// clause per assumption.
+func dpllWithUnits(f *Formula, assumps []Literal) bool {
+	g := &Formula{NumVars: f.NumVars, Clauses: append([]Clause(nil), f.Clauses...)}
+	for _, a := range assumps {
+		g.Clauses = append(g.Clauses, Clause{a})
+	}
+	_, sat := g.SolveDPLL()
+	return sat
+}
+
+// TestSolveAssumeMatchesUnitOracle probes one persistent Solver with many
+// random assumption sets and pins each verdict against the DPLL-with-units
+// oracle — including that learned clauses carried across probes never leak
+// one probe's assumptions into the next.
+func TestSolveAssumeMatchesUnitOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for round := 0; round < 40; round++ {
+		n := 3 + rng.Intn(7)
+		f := Random3SAT(rng, n, 2+rng.Intn(4*n))
+		s := f.Solver()
+		for probe := 0; probe < 12; probe++ {
+			var assumps []Literal
+			for v := 1; v <= n; v++ {
+				switch rng.Intn(4) {
+				case 0:
+					assumps = append(assumps, Literal(v))
+				case 1:
+					assumps = append(assumps, Literal(-v))
+				}
+			}
+			assign, got := s.SolveAssume(assumps)
+			want := dpllWithUnits(f, assumps)
+			if got != want {
+				t.Fatalf("round %d probe %d: SolveAssume=%v oracle=%v assumps=%v formula=%v",
+					round, probe, got, want, assumps, f.Clauses)
+			}
+			if got {
+				if !f.Eval(assign[:f.NumVars+1]) {
+					t.Fatalf("round %d probe %d: model does not satisfy formula", round, probe)
+				}
+				for _, a := range assumps {
+					if assign[a.Var()] != a.Positive() {
+						t.Fatalf("round %d probe %d: model violates assumption %d", round, probe, a)
+					}
+				}
+			}
+		}
+		// After arbitrary assumption probes, the unconditional question must
+		// still match a fresh solve: learning preserved satisfiability.
+		_, got := s.SolveAssume(nil)
+		_, want := f.SolveDPLL()
+		if got != want {
+			t.Fatalf("round %d: post-probe SolveAssume(nil)=%v fresh=%v", round, got, want)
+		}
+	}
+}
+
+// TestSolveAssumeContradictoryAndSubset pins two assumption laws: directly
+// contradictory assumptions are unsat regardless of the clauses, and
+// unsatisfiability is monotone under assumption supersets.
+func TestSolveAssumeContradictoryAndSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for round := 0; round < 30; round++ {
+		n := 3 + rng.Intn(6)
+		f := Random3SAT(rng, n, 1+rng.Intn(3*n))
+		s := f.Solver()
+
+		v := Literal(1 + rng.Intn(n))
+		if _, sat := s.SolveAssume([]Literal{v, -v}); sat {
+			t.Fatalf("round %d: contradictory assumptions {%d,%d} reported sat", round, v, -v)
+		}
+
+		// Grow a random assumption chain; once unsat, every extension must
+		// stay unsat on the same (learning) solver.
+		var chain []Literal
+		unsatAt := -1
+		for v := 1; v <= n; v++ {
+			l := Literal(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			chain = append(chain, l)
+			_, sat := s.SolveAssume(chain)
+			if !sat && unsatAt < 0 {
+				unsatAt = len(chain)
+			}
+			if sat && unsatAt >= 0 {
+				t.Fatalf("round %d: chain %v sat again after unsat at prefix %d", round, chain, unsatAt)
+			}
+		}
+	}
+}
+
+// TestSolverIncrementalAddClause interleaves AddClause with solves: the
+// solver must track the growing clause set exactly, and once the database
+// is root-unsatisfiable it must stay unsat.
+func TestSolverIncrementalAddClause(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for round := 0; round < 40; round++ {
+		n := 3 + rng.Intn(6)
+		full := Random3SAT(rng, n, 6+rng.Intn(3*n))
+		s := NewSolver(n)
+		seen := &Formula{NumVars: n}
+		dead := false
+		for _, c := range full.Clauses {
+			if !s.AddClause(c) {
+				dead = true
+			}
+			seen.Clauses = append(seen.Clauses, c)
+			assign, got := s.SolveAssume(nil)
+			_, want := seen.SolveDPLL()
+			if dead && got {
+				t.Fatalf("round %d: solver sat after AddClause reported root unsat", round)
+			}
+			if got != want {
+				t.Fatalf("round %d after %d clauses: CDCL=%v DPLL=%v", round, len(seen.Clauses), got, want)
+			}
+			if got && !seen.Eval(assign[:n+1]) {
+				t.Fatalf("round %d: non-model after %d clauses", round, len(seen.Clauses))
+			}
+		}
+	}
+}
+
+// TestSolverUnitAndEmptyEdge covers the degenerate shapes the encoders
+// produce: unit clauses, duplicate literals, tautologies, and empty
+// formulas.
+func TestSolverUnitAndEmptyEdge(t *testing.T) {
+	s := NewSolver(3)
+	if assign, sat := s.SolveAssume(nil); !sat || len(assign) != 4 {
+		t.Fatal("empty database must be sat")
+	}
+	if !s.AddClause(Clause{1, 1, 1}) {
+		t.Fatal("duplicate-literal unit rejected")
+	}
+	if !s.AddClause(Clause{2, -2}) {
+		t.Fatal("tautology rejected")
+	}
+	if assign, sat := s.SolveAssume(nil); !sat || !assign[1] {
+		t.Fatalf("unit clause not honored: %v", assign)
+	}
+	if _, sat := s.SolveAssume([]Literal{-1}); sat {
+		t.Fatal("assumption against a root unit must be unsat")
+	}
+	if assign, sat := s.SolveAssume(nil); !sat || !assign[1] {
+		t.Fatal("solver must recover after failed assumption")
+	}
+	if s.AddClause(Clause{-1, -1}) {
+		t.Fatal("contradiction with root unit must report false")
+	}
+	if _, sat := s.SolveAssume(nil); sat {
+		t.Fatal("root-unsat solver reported sat")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// FuzzCDCL cross-checks CDCL against DPLL on formulas decoded from raw
+// bytes: every byte triple becomes a clause over a small variable range, so
+// the fuzzer explores unit chains, contradictions, duplicates and
+// tautologies that random k-SAT never generates.
+func FuzzCDCL(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 255, 255, 255})
+	f.Add([]byte{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18})
+	f.Add([]byte{1, 1, 1, 128, 128, 128, 2, 3, 130})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 5
+		if len(data) > 60 {
+			data = data[:60]
+		}
+		frm := &Formula{NumVars: n}
+		for i := 0; i+2 < len(data); i += 3 {
+			c := make(Clause, 3)
+			for j := 0; j < 3; j++ {
+				b := data[i+j]
+				l := Literal(int(b)%n + 1)
+				if b >= 128 {
+					l = -l
+				}
+				c[j] = l
+			}
+			frm.Clauses = append(frm.Clauses, c)
+		}
+		assign, got := frm.Solve()
+		_, want := frm.SolveDPLL()
+		if got != want {
+			t.Fatalf("CDCL=%v DPLL=%v formula=%v", got, want, frm.Clauses)
+		}
+		if got && !frm.Eval(assign) {
+			t.Fatalf("CDCL returned non-model for %v", frm.Clauses)
+		}
+	})
+}

@@ -1,0 +1,36 @@
+// Package sat provides the repository's SAT machinery: an incremental CDCL
+// solver, one-shot CNF oracles, a Max 2SAT brute-force oracle, and random
+// formula generators.
+//
+// # Roles
+//
+// The package serves two very different consumers:
+//
+//   - The paper's NP-hardness gadget verifiers. A reduction is correct iff
+//     for every formula ψ, ψ ∈ 3SAT ⇔ ρ(Dψ) = kψ (Propositions 10, 34, 56,
+//     Lemmas 52–54) and analogously for Max 2SAT (Proposition 39). These
+//     callers solve each formula once, through Formula.Solve / SolveCtx /
+//     MaxSat.
+//   - The engine's SAT-side resilience solver, which binary-searches the
+//     deletion budget k over one CNF rendering of a hitting-set component.
+//     These callers hold a Solver and probe it repeatedly through
+//     SolveAssume, so every probe reuses the clause database — problem
+//     clauses and learned lemmas alike.
+//
+// # The CDCL Solver
+//
+// Solver is an iterative conflict-driven clause-learning solver in the
+// MiniSat lineage (Eén & Sörensson): two-watched-literal propagation,
+// first-UIP conflict analysis, VSIDS-style variable activities with phase
+// saving, Luby restarts, and assumption literals. AddClause loads clauses
+// incrementally; SolveAssume(assumptions) decides satisfiability under the
+// assumptions while keeping every learned clause for the next call. Learned
+// clauses are consequences of the clause database only — never of the
+// assumptions — so a Solver shared across budget probes is sound: the
+// lemmas derived while refuting budget k prune the search at budget k+1.
+//
+// Formula.Solve and Formula.SolveCtx remain the one-shot entry points and
+// are thin wrappers that load a fresh Solver per call. The pre-CDCL
+// recursive DPLL survives as Formula.SolveDPLL, the independent reference
+// the differential suite pins the CDCL solver against.
+package sat

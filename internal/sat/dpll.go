@@ -1,0 +1,147 @@
+package sat
+
+import (
+	"context"
+
+	"repro/internal/ctxpoll"
+)
+
+// SolveDPLL decides satisfiability with the pre-CDCL recursive DPLL (unit
+// propagation + chronological backtracking). It is retained as the
+// independent reference implementation for the CDCL differential suite: the
+// two solvers share no search code, so agreement on random and enumerated
+// formulas pins the CDCL rewrite to the legacy semantics.
+func (f *Formula) SolveDPLL() (assign []bool, sat bool) {
+	assign, sat, _ = f.SolveDPLLCtx(context.Background())
+	return assign, sat
+}
+
+// SolveDPLLCtx is SolveDPLL with cooperative cancellation, mirroring
+// SolveCtx: a non-nil error means the search was cut short and the sat
+// result is meaningless.
+func (f *Formula) SolveDPLLCtx(ctx context.Context) (assign []bool, sat bool, err error) {
+	// values: 0 unknown, 1 true, -1 false.
+	values := make([]int8, f.NumVars+1)
+	cc := ctxpoll.New(ctx)
+	if !dpll(f, values, cc) {
+		if err := cc.Err(); err != nil {
+			return nil, false, err
+		}
+		return nil, false, nil
+	}
+	assign = make([]bool, f.NumVars+1)
+	// Normalize: unknown variables default to false.
+	for v := 1; v <= f.NumVars; v++ {
+		assign[v] = values[v] == 1
+	}
+	return assign, true, nil
+}
+
+func dpll(f *Formula, values []int8, cc *ctxpoll.Poller) bool {
+	if cc.Cancelled() {
+		return false
+	}
+	// Unit propagation and conflict detection.
+	type undoRec struct{ v int }
+	var undo []undoRec
+	setLit := func(l Literal) bool {
+		v := l.Var()
+		want := int8(1)
+		if !l.Positive() {
+			want = -1
+		}
+		if values[v] == 0 {
+			values[v] = want
+			undo = append(undo, undoRec{v})
+			return true
+		}
+		return values[v] == want
+	}
+	litVal := func(l Literal) int8 {
+		v := values[l.Var()]
+		if l.Positive() {
+			return v
+		}
+		return -v
+	}
+
+	for {
+		progressed := false
+		for _, c := range f.Clauses {
+			unassigned := 0
+			var unit Literal
+			satisfied := false
+			for _, l := range c {
+				switch litVal(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					unassigned++
+					unit = l
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				for _, u := range undo {
+					values[u.v] = 0
+				}
+				return false
+			}
+			if unassigned == 1 {
+				if !setLit(unit) {
+					for _, u := range undo {
+						values[u.v] = 0
+					}
+					return false
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Find an unassigned variable appearing in an unsatisfied clause.
+	branch := 0
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if litVal(l) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if litVal(l) == 0 {
+				branch = l.Var()
+				break
+			}
+		}
+		if branch != 0 {
+			break
+		}
+	}
+	if branch == 0 {
+		return true // all clauses satisfied
+	}
+	for _, try := range []int8{1, -1} {
+		values[branch] = try
+		if dpll(f, values, cc) {
+			return true
+		}
+		if cc.Err() != nil {
+			break
+		}
+	}
+	values[branch] = 0
+	for _, u := range undo {
+		values[u.v] = 0
+	}
+	return false
+}

@@ -1,17 +1,8 @@
-// Package sat provides exact solvers for 3SAT (DPLL) and Max 2SAT
-// (branch and bound), plus random formula generators.
-//
-// These are the oracles that the paper's NP-hardness gadgets are verified
-// against: a reduction is correct iff for every formula ψ,
-// ψ ∈ 3SAT ⇔ ρ(Dψ) = kψ (Propositions 10, 34, 56, Lemmas 52-54) and
-// analogously for Max 2SAT (Proposition 39).
 package sat
 
 import (
 	"context"
 	"math/rand"
-
-	"repro/internal/ctxpoll"
 )
 
 // Literal is a signed variable reference: +v means variable v (1-based)
@@ -58,30 +49,43 @@ func (f *Formula) CountSatisfied(assign []bool) int {
 	return n
 }
 
-// Solve decides satisfiability with DPLL (unit propagation + pure-literal
-// elimination) and returns a satisfying assignment when one exists.
+// Solver returns a fresh CDCL Solver loaded with the formula's clauses.
+// When the clauses are contradictory at the root the solver is returned
+// already-unsat (every SolveAssume reports unsat), which is exactly what
+// the one-shot wrappers below need.
+func (f *Formula) Solver() *Solver {
+	s := NewSolver(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClause(c) {
+			break
+		}
+	}
+	return s
+}
+
+// Solve decides satisfiability and returns a satisfying assignment when one
+// exists. It is a thin one-shot wrapper over the CDCL Solver — the gadget
+// verification oracles solve each formula once, so they get a fresh clause
+// database per call; callers probing one clause set repeatedly should hold
+// a Solver (or a cnfenc incremental encoder) instead.
 func (f *Formula) Solve() (assign []bool, sat bool) {
 	assign, sat, _ = f.SolveCtx(context.Background())
 	return assign, sat
 }
 
-// SolveCtx is Solve with cooperative cancellation: the DPLL search polls
-// ctx periodically and aborts with ctx.Err() when it is done. A non-nil
-// error means the search was cut short and the sat result is meaningless.
+// SolveCtx is Solve with cooperative cancellation: the CDCL search polls
+// ctx between conflicts and aborts with ctx.Err() when it is done. A
+// non-nil error means the search was cut short and the sat result is
+// meaningless.
 func (f *Formula) SolveCtx(ctx context.Context) (assign []bool, sat bool, err error) {
-	// values: 0 unknown, 1 true, -1 false.
-	values := make([]int8, f.NumVars+1)
-	cc := ctxpoll.New(ctx)
-	if !dpll(f, values, cc) {
-		if err := cc.Err(); err != nil {
-			return nil, false, err
-		}
-		return nil, false, nil
+	assign, sat, err = f.Solver().SolveAssumeCtx(ctx, nil)
+	if err != nil || !sat {
+		return nil, sat, err
 	}
-	assign = make([]bool, f.NumVars+1)
-	// Normalize: unknown variables default to false.
-	for v := 1; v <= f.NumVars; v++ {
-		assign[v] = values[v] == 1
+	// The solver's variable range equals the formula's, but keep the
+	// contract independent of that detail.
+	if len(assign) > f.NumVars+1 {
+		assign = assign[:f.NumVars+1]
 	}
 	return assign, true, nil
 }
@@ -90,115 +94,6 @@ func (f *Formula) SolveCtx(ctx context.Context) (assign []bool, sat bool, err er
 func (f *Formula) Satisfiable() bool {
 	_, ok := f.Solve()
 	return ok
-}
-
-func dpll(f *Formula, values []int8, cc *ctxpoll.Poller) bool {
-	if cc.Cancelled() {
-		return false
-	}
-	// Unit propagation and conflict detection.
-	type undoRec struct{ v int }
-	var undo []undoRec
-	setLit := func(l Literal) bool {
-		v := l.Var()
-		want := int8(1)
-		if !l.Positive() {
-			want = -1
-		}
-		if values[v] == 0 {
-			values[v] = want
-			undo = append(undo, undoRec{v})
-			return true
-		}
-		return values[v] == want
-	}
-	litVal := func(l Literal) int8 {
-		v := values[l.Var()]
-		if l.Positive() {
-			return v
-		}
-		return -v
-	}
-
-	for {
-		progressed := false
-		for _, c := range f.Clauses {
-			unassigned := 0
-			var unit Literal
-			satisfied := false
-			for _, l := range c {
-				switch litVal(l) {
-				case 1:
-					satisfied = true
-				case 0:
-					unassigned++
-					unit = l
-				}
-			}
-			if satisfied {
-				continue
-			}
-			if unassigned == 0 {
-				for _, u := range undo {
-					values[u.v] = 0
-				}
-				return false
-			}
-			if unassigned == 1 {
-				if !setLit(unit) {
-					for _, u := range undo {
-						values[u.v] = 0
-					}
-					return false
-				}
-				progressed = true
-			}
-		}
-		if !progressed {
-			break
-		}
-	}
-
-	// Find an unassigned variable appearing in an unsatisfied clause.
-	branch := 0
-	for _, c := range f.Clauses {
-		satisfied := false
-		for _, l := range c {
-			if litVal(l) == 1 {
-				satisfied = true
-				break
-			}
-		}
-		if satisfied {
-			continue
-		}
-		for _, l := range c {
-			if litVal(l) == 0 {
-				branch = l.Var()
-				break
-			}
-		}
-		if branch != 0 {
-			break
-		}
-	}
-	if branch == 0 {
-		return true // all clauses satisfied
-	}
-	for _, try := range []int8{1, -1} {
-		values[branch] = try
-		if dpll(f, values, cc) {
-			return true
-		}
-		if cc.Err() != nil {
-			break
-		}
-	}
-	values[branch] = 0
-	for _, u := range undo {
-		values[u.v] = 0
-	}
-	return false
 }
 
 // MaxSat returns the maximum number of simultaneously satisfiable clauses,
@@ -224,18 +119,25 @@ func (f *Formula) MaxSat() int {
 	return best
 }
 
-// Random3SAT generates a random 3CNF formula with n variables and m
-// clauses; each clause has three distinct variables.
-func Random3SAT(rng *rand.Rand, n, m int) *Formula {
-	if n < 3 {
-		panic("sat: Random3SAT needs n >= 3")
-	}
+// randomKSAT generates a random kCNF formula: each clause has k distinct
+// variables drawn by a partial Fisher–Yates shuffle — O(k) work per clause
+// instead of the full rng.Perm(n) the old generators paid, which is what
+// keeps the fuzz and differential suites fast at large n.
+func randomKSAT(rng *rand.Rand, n, m, k int) *Formula {
 	f := &Formula{NumVars: n}
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i + 1
+	}
+	f.Clauses = make([]Clause, 0, m)
 	for i := 0; i < m; i++ {
-		vars := rng.Perm(n)[:3]
-		c := make(Clause, 3)
-		for j, v := range vars {
-			l := Literal(v + 1)
+		c := make(Clause, k)
+		for j := 0; j < k; j++ {
+			// Swap a uniform pick from the unchosen suffix into position j;
+			// the prefix vars[:j] holds this clause's distinct variables.
+			r := j + rng.Intn(n-j)
+			vars[j], vars[r] = vars[r], vars[j]
+			l := Literal(vars[j])
 			if rng.Intn(2) == 0 {
 				l = -l
 			}
@@ -246,26 +148,22 @@ func Random3SAT(rng *rand.Rand, n, m int) *Formula {
 	return f
 }
 
+// Random3SAT generates a random 3CNF formula with n variables and m
+// clauses; each clause has three distinct variables.
+func Random3SAT(rng *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sat: Random3SAT needs n >= 3")
+	}
+	return randomKSAT(rng, n, m, 3)
+}
+
 // Random2SAT generates a random 2CNF formula with n variables and m
 // clauses over distinct variables.
 func Random2SAT(rng *rand.Rand, n, m int) *Formula {
 	if n < 2 {
 		panic("sat: Random2SAT needs n >= 2")
 	}
-	f := &Formula{NumVars: n}
-	for i := 0; i < m; i++ {
-		vars := rng.Perm(n)[:2]
-		c := make(Clause, 2)
-		for j, v := range vars {
-			l := Literal(v + 1)
-			if rng.Intn(2) == 0 {
-				l = -l
-			}
-			c[j] = l
-		}
-		f.Clauses = append(f.Clauses, c)
-	}
-	return f
+	return randomKSAT(rng, n, m, 2)
 }
 
 // EnumerateAll3SAT yields every 3CNF formula shape over n variables with m

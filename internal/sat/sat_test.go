@@ -160,7 +160,7 @@ func bruteMaxSat(f *Formula) int {
 	return best
 }
 
-func BenchmarkDPLLRandom(b *testing.B) {
+func BenchmarkCDCLRandom(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	formulas := make([]*Formula, 32)
 	for i := range formulas {
@@ -169,5 +169,17 @@ func BenchmarkDPLLRandom(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		formulas[i%len(formulas)].Satisfiable()
+	}
+}
+
+func BenchmarkDPLLRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	formulas := make([]*Formula, 32)
+	for i := range formulas {
+		formulas[i] = Random3SAT(rng, 12, 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		formulas[i%len(formulas)].SolveDPLL()
 	}
 }

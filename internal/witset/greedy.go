@@ -1,0 +1,45 @@
+package witset
+
+// GreedyHittingSet returns a hitting set of the family built by repeatedly
+// taking the element covering the most still-unhit rows (ties to the lowest
+// element id). Its size is the cheap upper bound the solvers seed their
+// searches with: the exact branch-and-bound uses it as the initial
+// incumbent, and the engine's SAT binary search uses it to cap both the
+// probe range and the width of the incremental cardinality counter — a
+// counter gated at greedy-1 budgets is all any probe can ask for, and is
+// dramatically smaller than one sized to the whole universe when the
+// optimum is small. Element-occurrence counts are maintained decrementally:
+// selecting an element pays only for the rows it newly hits.
+func GreedyHittingSet(fam *Family) []int32 {
+	hit := make([]bool, len(fam.Rows))
+	remaining := len(fam.Rows)
+	var out []int32
+	count := make([]int, fam.N)
+	for _, row := range fam.Rows {
+		for _, e := range row {
+			count[e]++
+		}
+	}
+	for remaining > 0 {
+		bestE, bestC := -1, 0
+		for e, c := range count {
+			if c > bestC {
+				bestE, bestC = e, c
+			}
+		}
+		if bestE < 0 {
+			break
+		}
+		out = append(out, int32(bestE))
+		for _, si := range fam.Occ[bestE] {
+			if !hit[si] {
+				hit[si] = true
+				remaining--
+				for _, e := range fam.Rows[si] {
+					count[e]--
+				}
+			}
+		}
+	}
+	return out
+}

@@ -373,7 +373,7 @@ func BuildHardness(q *Query) (*HardnessReduction, error) { return hardness.Build
 
 // DecideSAT answers the RES(q, D, k) decision problem with the
 // independently implemented SAT oracle (CNF encoding with a sequential
-// cardinality counter, solved by DPLL). It cross-checks the
+// cardinality counter, solved by CDCL). It cross-checks the
 // branch-and-bound solver and additionally returns a verified contingency
 // set of size ≤ k when the answer is yes.
 func DecideSAT(q *Query, d *Database, k int) (bool, []Tuple, error) {
