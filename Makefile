@@ -1,12 +1,13 @@
 GO ?= go
 STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: all build test race bench bench-json bench-gate bench-baseline lint docs-check staticcheck test-differential api-check api-surface
+.PHONY: all build test race bench bench-json bench-gate bench-baseline lint docs-check staticcheck test-differential fuzz-smoke api-check api-surface
 
 # The perf gate's benchmark selection and the packages that define them:
-# the exact-pipeline and portfolio component benchmarks (root package) and
-# the incremental-SAT binary-search pair (internal/cnfenc).
-BENCH_GATE := ^Benchmark(ExactComponents|Portfolio|SATIncremental|GateCalibrate)
+# the exact-pipeline, portfolio, weighted min-cost, and top-k ranking
+# benchmarks (root package) and the incremental-SAT binary-search pair
+# (internal/cnfenc).
+BENCH_GATE := ^Benchmark(ExactComponents|Portfolio|SATIncremental|GateCalibrate|WeightedComponents|TopKResponsibility)
 BENCH_GATE_PKGS := . ./internal/cnfenc/
 # Allowed slowdown factor before the gate fails. cmd/benchgate's own default
 # is 1.20 (the >20% contract for a quiet reference machine); shared CI
@@ -40,6 +41,16 @@ race:
 test-differential:
 	$(GO) test -race -run 'TestDifferential|TestPortfolio|TestDecideAndVerifyViaIR' \
 		./internal/resilience/ ./internal/engine/
+
+# Short fuzz bursts over the three fuzzed boundaries: the CQ parser, the
+# PATCH wire decoder, and the CDCL core. Each target's seed corpus already
+# runs in `make test`; this explores beyond it briefly, so CI catches
+# shallow crashers without fuzz-farm runtimes.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseCQ -fuzztime=$(FUZZTIME) ./internal/cq/
+	$(GO) test -fuzz=FuzzMutateDecode -fuzztime=$(FUZZTIME) ./api/
+	$(GO) test -fuzz=FuzzCDCL -fuzztime=$(FUZZTIME) ./internal/sat/
 
 # Benchmark smoke run: one iteration of every benchmark, enough to catch
 # bit-rot in the harness without CI-length timings.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/engine"
 	"repro/internal/resilience"
+	"repro/internal/witset"
 )
 
 // Config tunes a Session. The zero value is usable: engine defaults with
@@ -398,6 +399,25 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 		return finish()
 
 	case KindSolve:
+		if len(t.Weights) > 0 {
+			// Weights break the PTIME specializations (they answer the
+			// cardinality question), so weighted solves bypass classification
+			// and go straight to the weighted pipeline.
+			wres, err := s.SolveWeightedQuery(ctx, q, d, t.Weights)
+			if errors.Is(err, resilience.ErrUnbreakable) {
+				res.Unbreakable = true
+				return finish()
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Rho = int(wres.Cost)
+			res.Cost = wres.Cost
+			res.Method = wres.Method
+			res.Witnesses = wres.Witnesses
+			res.Contingency = TupleStrings(d, wres.ContingencySet)
+			return finish()
+		}
 		br := s.eng.SolveOne(ctx, engine.Instance{ID: t.ID, Query: q, DB: d})
 		res.CacheHit = br.CacheHit
 		res.ElapsedMS = float64(br.Elapsed) / float64(time.Millisecond)
@@ -419,8 +439,9 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 		return res, nil
 
 	case KindEnumerate:
+		weighted := len(t.Weights) > 0
 		if emit == nil {
-			rho, sets, err := s.EnumerateQuery(ctx, q, d, t.MaxSets)
+			cost, sets, err := s.EnumerateWeightedQuery(ctx, q, d, t.MaxSets, t.Weights)
 			if errors.Is(err, resilience.ErrUnbreakable) {
 				res.Unbreakable = true
 				return finish()
@@ -428,7 +449,10 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 			if err != nil {
 				return nil, err
 			}
-			res.Rho = rho
+			res.Rho = int(cost)
+			if weighted {
+				res.Cost = cost
+			}
 			res.Sets = make([][]string, len(sets))
 			for i, set := range sets {
 				res.Sets[i] = TupleStrings(d, set)
@@ -436,7 +460,7 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 			res.Total = len(sets)
 			return finish()
 		}
-		rho, total, err := s.enumerateStream(ctx, t, q, d, emit)
+		cost, total, err := s.enumerateStream(ctx, t, q, d, emit)
 		if errors.Is(err, resilience.ErrUnbreakable) {
 			res.Unbreakable = true
 			return finish()
@@ -444,7 +468,10 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 		if err != nil {
 			return nil, err
 		}
-		res.Rho = rho
+		res.Rho = int(cost)
+		if weighted {
+			res.Cost = cost
+		}
 		res.Total = total
 		return finish()
 
@@ -458,6 +485,22 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 			// tuples can be causes.
 			return nil, Errorf(CodeBadTuple,
 				"%s is exogenous in the query; only endogenous tuples can be causes", t.Tuple)
+		}
+		if len(t.Weights) > 0 {
+			k, gamma, err := s.ResponsibilityWeightedQuery(ctx, q, d, probe, t.Weights)
+			res.Tuple = d.TupleString(probe)
+			switch {
+			case errors.Is(err, resilience.ErrNotCounterfactual):
+				res.NotCounterfactual = true
+			case err != nil:
+				return nil, err
+			default:
+				res.K = int(k)
+				res.Cost = k
+				res.Responsibility = 1.0 / float64(1+k)
+				res.Contingency = TupleStrings(d, gamma)
+			}
+			return finish()
 		}
 		k, gamma, err := s.ResponsibilityQuery(ctx, q, d, probe)
 		res.Tuple = d.TupleString(probe)
@@ -485,6 +528,45 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 		}
 		res.Holds = holds
 		res.K = t.K
+		return finish()
+
+	case KindTopKResponsibility:
+		inst, err := s.weightedInstanceFor(ctx, q, d, t.Weights)
+		if err != nil {
+			return nil, err
+		}
+		if emit == nil {
+			ranked, err := resilience.TopKResponsibilityOnInstance(ctx, inst, d, t.K)
+			if errors.Is(err, resilience.ErrUnbreakable) {
+				res.Unbreakable = true
+				return finish()
+			}
+			if err != nil {
+				return nil, err
+			}
+			for i, rt := range ranked {
+				res.Ranked = append(res.Ranked, rankedEntry(d, i, rt))
+			}
+			res.Total = len(ranked)
+			return finish()
+		}
+		total, err := resilience.TopKResponsibilityFunc(ctx, inst, d, t.K,
+			func(rank int, rt resilience.RankedTuple) error {
+				return emit(&Result{
+					ID:      t.ID,
+					Kind:    KindTopKResponsibility,
+					Partial: true,
+					Ranked:  []RankedTuple{rankedEntry(d, rank, rt)},
+				})
+			})
+		if errors.Is(err, resilience.ErrUnbreakable) {
+			res.Unbreakable = true
+			return finish()
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Total = total
 		return finish()
 
 	case KindWatch:
@@ -528,22 +610,75 @@ func (s *Session) run(ctx context.Context, t Task, q *cq.Query, d *db.Database, 
 }
 
 // enumerateStream runs the streaming enumeration, emitting one Partial
-// Result per set.
-func (s *Session) enumerateStream(ctx context.Context, t Task, q *cq.Query, d *db.Database, emit func(*Result) error) (int, int, error) {
-	inst, err := s.eng.InstanceFor(ctx, q, d)
+// Result per set. It is the weighted streaming path too: a task carrying
+// weights streams minimum-cost sets, with Cost set on every line.
+func (s *Session) enumerateStream(ctx context.Context, t Task, q *cq.Query, d *db.Database, emit func(*Result) error) (int64, int, error) {
+	inst, err := s.weightedInstanceFor(ctx, q, d, t.Weights)
 	if err != nil {
 		return 0, 0, err
 	}
-	return resilience.EnumerateMinimumFunc(ctx, inst, d, t.MaxSets,
-		func(rho int, set []db.Tuple) error {
-			return emit(&Result{
+	weighted := len(t.Weights) > 0
+	return resilience.EnumerateMinimumWeightedFunc(ctx, inst, d, t.MaxSets,
+		func(cost int64, set []db.Tuple) error {
+			r := &Result{
 				ID:      t.ID,
 				Kind:    KindEnumerate,
 				Partial: true,
-				Rho:     rho,
+				Rho:     int(cost),
 				Sets:    [][]string{TupleStrings(d, set)},
-			})
+			}
+			if weighted {
+				r.Cost = cost
+			}
+			return emit(r)
 		})
+}
+
+// rankedEntry renders one resilience ranking entry onto the wire, with the
+// same field semantics as a responsibility Result (score 1/(1+K), rendered
+// contingency set, none when K == 0). The solver's 0-based rank becomes
+// 1-based on the wire.
+func rankedEntry(d *db.Database, rank int, rt resilience.RankedTuple) RankedTuple {
+	return RankedTuple{
+		Rank:           rank + 1,
+		Tuple:          d.TupleString(rt.Tuple),
+		K:              rt.K,
+		Responsibility: 1.0 / float64(1+rt.K),
+		Contingency:    TupleStrings(d, rt.Gamma),
+	}
+}
+
+// weightedInstanceFor resolves the task's weight map into a per-tuple cost
+// vector over the engine's cached IR and returns a derived weighted
+// instance sharing that IR's enumeration (the cache keeps the unweighted
+// base; the derived instance only re-runs the cheap lazy family/component
+// caches). With no weights it returns the cached instance itself. Every
+// fact named in the map must exist in the database (CodeBadTuple
+// otherwise); facts outside the witness universe are inert — no solver can
+// delete them, so their cost never matters. Unlisted tuples cost 1.
+func (s *Session) weightedInstanceFor(ctx context.Context, q *cq.Query, d *db.Database, weights map[string]int64) (*witset.Instance, error) {
+	inst, err := s.eng.InstanceFor(ctx, q, d)
+	if err != nil || len(weights) == 0 {
+		return inst, err
+	}
+	wv := make([]int64, inst.NumTuples())
+	for i := range wv {
+		wv[i] = 1
+	}
+	for fact, cost := range weights {
+		tup, aerr := LookupTuple(d, fact)
+		if aerr != nil {
+			return nil, aerr
+		}
+		if id, ok := inst.ID(tup); ok {
+			wv[id] = cost
+		}
+	}
+	winst, werr := inst.WithWeights(wv)
+	if werr != nil {
+		return nil, Errorf(CodeBadRequest, "%v", werr)
+	}
+	return winst, nil
 }
 
 // The typed task methods below are the in-process halves of the six kinds:
@@ -574,6 +709,51 @@ func (s *Session) ResponsibilityQuery(ctx context.Context, q *cq.Query, d *db.Da
 		return 0, nil, err
 	}
 	return resilience.ResponsibilityOnInstance(ctx, inst, d, t)
+}
+
+// SolveWeightedQuery computes ρ_w(q, d) under the given per-fact deletion
+// costs (unlisted facts cost 1; a nil/empty map is the plain cardinality
+// solve routed through the weighted pipeline). Classification is bypassed:
+// the PTIME specializations answer only the cardinality question.
+func (s *Session) SolveWeightedQuery(ctx context.Context, q *cq.Query, d *db.Database, weights map[string]int64) (*resilience.WeightedResult, error) {
+	inst, err := s.weightedInstanceFor(ctx, q, d, weights)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.SolveWeightedInstance(ctx, inst)
+}
+
+// EnumerateWeightedQuery returns ρ_w(q, d) with every minimum-cost
+// contingency set (up to maxSets; 0 = no cap) under the given per-fact
+// costs, reusing the engine's cached IR when available.
+func (s *Session) EnumerateWeightedQuery(ctx context.Context, q *cq.Query, d *db.Database, maxSets int, weights map[string]int64) (int64, [][]db.Tuple, error) {
+	inst, err := s.weightedInstanceFor(ctx, q, d, weights)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resilience.EnumerateMinimumWeightedOnInstance(ctx, inst, d, maxSets)
+}
+
+// ResponsibilityWeightedQuery computes the min-cost responsibility of tuple
+// t for q on d under the given per-fact costs, reusing the engine's cached
+// IR when available.
+func (s *Session) ResponsibilityWeightedQuery(ctx context.Context, q *cq.Query, d *db.Database, t db.Tuple, weights map[string]int64) (int64, []db.Tuple, error) {
+	inst, err := s.weightedInstanceFor(ctx, q, d, weights)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resilience.WeightedResponsibilityOnInstance(ctx, inst, d, t)
+}
+
+// TopKResponsibilityQuery ranks the k most responsible tuples of (q, d),
+// optionally under per-fact deletion costs, reusing the engine's cached IR
+// when available.
+func (s *Session) TopKResponsibilityQuery(ctx context.Context, q *cq.Query, d *db.Database, k int, weights map[string]int64) ([]resilience.RankedTuple, error) {
+	inst, err := s.weightedInstanceFor(ctx, q, d, weights)
+	if err != nil {
+		return nil, err
+	}
+	return resilience.TopKResponsibilityOnInstance(ctx, inst, d, k)
 }
 
 // DecideQuery answers (d, k) ∈ RES(q), reusing the engine's cached IR when

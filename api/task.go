@@ -32,12 +32,19 @@ const (
 	// Version, Rho and ChangedComponents; FromVersion suppresses the
 	// initial snapshot on reconnect and MaxEvents bounds the subscription.
 	KindWatch Kind = "watch"
+	// KindTopKResponsibility ranks the K most responsible tuples of the
+	// instance off one shared witness IR — higher responsibility (smaller
+	// minimum contingency) first, ties broken by the rendered tuple. It
+	// streams one ranked tuple per line; with k=1 budgets its per-tuple
+	// payload is byte-identical to a responsibility result's.
+	KindTopKResponsibility Kind = "top_k_responsibility"
 )
 
 // Kinds lists every task kind, in the order they are documented.
 var Kinds = []Kind{
 	KindClassify, KindSolve, KindEnumerate,
 	KindResponsibility, KindDecide, KindVerifyContingency, KindWatch,
+	KindTopKResponsibility,
 }
 
 // Valid reports whether k is a known task kind.
@@ -75,6 +82,13 @@ type Task struct {
 	MaxSets int `json:"max_sets,omitempty"`
 	// Tuple is the responsibility probe, e.g. "R(1,2)".
 	Tuple string `json:"tuple,omitempty"`
+	// Weights maps fact strings (e.g. "R(1,2)") to positive integer
+	// deletion costs, turning solve/enumerate/responsibility into their
+	// min-cost generalizations (ρ_w, minimum-cost contingency sets,
+	// min-cost responsibility). Unlisted tuples cost 1, so a nil/empty map
+	// is the plain cardinality task. Every named tuple must exist in the
+	// database; every cost must be >= 1.
+	Weights map[string]int64 `json:"weights,omitempty"`
 	// Gamma is the claimed contingency set of a verify_contingency task.
 	Gamma []string `json:"gamma,omitempty"`
 	// FromVersion resumes a watch task: when the database is already at
@@ -118,6 +132,22 @@ func (t Task) Validate(needDB bool) *Error {
 		if t.MaxEvents < 0 {
 			return Errorf(CodeBadRequest, "watch task: max_events must be >= 0")
 		}
+	case KindTopKResponsibility:
+		if t.K < 1 {
+			return Errorf(CodeBadRequest, "top_k_responsibility task: k must be >= 1")
+		}
+	}
+	if len(t.Weights) > 0 {
+		switch t.Kind {
+		case KindSolve, KindEnumerate, KindResponsibility, KindTopKResponsibility:
+		default:
+			return Errorf(CodeBadRequest, "%s task: weights are not supported for this kind", t.Kind)
+		}
+		for fact, w := range t.Weights {
+			if w < 1 {
+				return Errorf(CodeBadRequest, "%s task: weight of %s must be >= 1, got %d", t.Kind, fact, w)
+			}
+		}
 	}
 	return nil
 }
@@ -151,8 +181,12 @@ type Result struct {
 
 	// Rho is ρ(q, D) (solve, enumerate) or the minimum contingency size
 	// context of the kind; it is always encoded because 0 is a valid
-	// answer.
+	// answer. On a weighted task it is ρ_w, the minimum total cost (int64
+	// Cost truncated to int — Cost is authoritative for weighted answers).
 	Rho int `json:"rho"`
+	// Cost is ρ_w, the minimum total deletion cost of a weighted solve or
+	// enumerate (equal to Rho on unweighted tasks, where it is omitted).
+	Cost int64 `json:"cost,omitempty"`
 	// Method names the algorithm that produced a solve result.
 	Method string `json:"method,omitempty"`
 	// Witnesses is the number of witnesses enumerated by a solve.
@@ -187,6 +221,11 @@ type Result struct {
 	Responsibility    float64 `json:"responsibility,omitempty"`
 	NotCounterfactual bool    `json:"not_counterfactual,omitempty"`
 
+	// Ranked holds the ranked tuples of a top_k_responsibility task. A
+	// streamed partial line carries exactly one entry; the final line
+	// carries none and Total counts what was streamed.
+	Ranked []RankedTuple `json:"ranked,omitempty"`
+
 	// Holds answers a decide task: (D, K) ∈ RES(q).
 	Holds bool `json:"holds,omitempty"`
 
@@ -212,6 +251,24 @@ type Result struct {
 	// Error carries a per-task failure inside batch and stream responses,
 	// where the transport status covers the envelope, not each task.
 	Error *Error `json:"error,omitempty"`
+}
+
+// RankedTuple is one entry of a top_k_responsibility ranking. Field names
+// mirror the responsibility Result fields (tuple, k, responsibility,
+// contingency) so a rank-1 entry under unit weights reads exactly like the
+// corresponding responsibility answer.
+type RankedTuple struct {
+	// Rank is the 0-based position in the ranking.
+	Rank int `json:"rank"`
+	// Tuple is the ranked tuple in fact notation.
+	Tuple string `json:"tuple"`
+	// K is the tuple's minimum contingency size (total cost on weighted
+	// tasks); it is always encoded because 0 is a valid answer.
+	K int64 `json:"k"`
+	// Responsibility is the score 1/(1+K).
+	Responsibility float64 `json:"responsibility"`
+	// Contingency is one optimal contingency set (omitted when K == 0).
+	Contingency []string `json:"contingency,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: many tasks solved

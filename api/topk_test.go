@@ -1,0 +1,149 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestTopKK1UniformMatchesResponsibility pins the acceptance contract:
+// a top_k_responsibility task with k=1 and uniform (absent) weights must
+// agree byte-for-byte — same K, same score encoding, same rendered
+// contingency — with the responsibility kind run on the top tuple.
+func TestTopKK1UniformMatchesResponsibility(t *testing.T) {
+	s := newToySession(t)
+	ctx := context.Background()
+	const chain = "qchain :- R(x,y), R(y,z)"
+
+	top, err := s.Do(ctx, Task{Kind: KindTopKResponsibility, Query: chain, DB: "toy", K: 1})
+	if err != nil {
+		t.Fatalf("topk: %v", err)
+	}
+	if len(top.Ranked) != 1 || top.Ranked[0].Rank != 1 {
+		t.Fatalf("topk = %+v, want exactly one rank-1 entry", top)
+	}
+	best := top.Ranked[0]
+
+	resp, err := s.Do(ctx, Task{Kind: KindResponsibility, Query: chain, DB: "toy", Tuple: best.Tuple})
+	if err != nil {
+		t.Fatalf("responsibility(%s): %v", best.Tuple, err)
+	}
+
+	// Byte-for-byte on the shared fields: marshal the comparable subset
+	// of both envelopes and compare the encodings.
+	type shared struct {
+		Tuple          string   `json:"tuple"`
+		K              int64    `json:"k"`
+		Responsibility float64  `json:"responsibility"`
+		Contingency    []string `json:"contingency"`
+	}
+	fromTop, err := json.Marshal(shared{best.Tuple, best.K, best.Responsibility, best.Contingency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromResp, err := json.Marshal(shared{resp.Tuple, int64(resp.K), resp.Responsibility, resp.Contingency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fromTop) != string(fromResp) {
+		t.Fatalf("top-1 entry and responsibility result differ:\ntopk:           %s\nresponsibility: %s", fromTop, fromResp)
+	}
+}
+
+// TestTopKStreamMatchesCollected: the streamed partial lines carry exactly
+// the collected ranking in rank order, and the final line carries the
+// total with no ranked entries of its own.
+func TestTopKStreamMatchesCollected(t *testing.T) {
+	s := newToySession(t)
+	ctx := context.Background()
+	task := Task{Kind: KindTopKResponsibility, Query: "qchain :- R(x,y), R(y,z)", DB: "toy", K: 10}
+
+	collected, err := s.Do(ctx, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collected.Ranked) == 0 {
+		t.Fatalf("collected = %+v, want ranked entries", collected)
+	}
+
+	var streamed []RankedTuple
+	var final *Result
+	err = s.Stream(ctx, task, func(r *Result) error {
+		if r.Partial {
+			streamed = append(streamed, r.Ranked...)
+			return nil
+		}
+		final = r
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.Total != collected.Total || len(final.Ranked) != 0 {
+		t.Fatalf("final line = %+v, want total %d with no ranked entries", final, collected.Total)
+	}
+	a, _ := json.Marshal(streamed)
+	b, _ := json.Marshal(collected.Ranked)
+	if string(a) != string(b) {
+		t.Fatalf("streamed ranking differs from collected:\n%s\n%s", a, b)
+	}
+}
+
+// TestTopKValidate pins the envelope contract: k must be >= 1, weights are
+// accepted on exactly the four weighted kinds, and weight values must be
+// positive.
+func TestTopKValidate(t *testing.T) {
+	const chain = "qchain :- R(x,y), R(y,z)"
+	bad := []Task{
+		{Kind: KindTopKResponsibility, Query: chain, DB: "toy"},        // k missing
+		{Kind: KindTopKResponsibility, Query: chain, DB: "toy", K: -1}, // k negative
+		{Kind: KindClassify, Query: chain, Weights: map[string]int64{"R(1,2)": 2}},
+		{Kind: KindDecide, Query: chain, DB: "toy", K: 1, Weights: map[string]int64{"R(1,2)": 2}},
+		{Kind: KindSolve, Query: chain, DB: "toy", Weights: map[string]int64{"R(1,2)": 0}},
+		{Kind: KindSolve, Query: chain, DB: "toy", Weights: map[string]int64{"R(1,2)": -3}},
+	}
+	for i, task := range bad {
+		if err := task.Validate(false); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, task)
+		}
+	}
+	good := []Task{
+		{Kind: KindTopKResponsibility, Query: chain, DB: "toy", K: 1},
+		{Kind: KindTopKResponsibility, Query: chain, DB: "toy", K: 5, Weights: map[string]int64{"R(1,2)": 9}},
+		{Kind: KindSolve, Query: chain, DB: "toy", Weights: map[string]int64{"R(1,2)": 2}},
+		{Kind: KindEnumerate, Query: chain, DB: "toy", Weights: map[string]int64{"R(1,2)": 2}},
+		{Kind: KindResponsibility, Query: chain, DB: "toy", Tuple: "R(1,2)", Weights: map[string]int64{"R(1,2)": 2}},
+	}
+	for i, task := range good {
+		if err := task.Validate(false); err != nil {
+			t.Errorf("case %d: Validate(%+v) = %v, want nil", i, task, err)
+		}
+	}
+}
+
+// TestTopKUnbreakableAndBadFacts: an unbreakable database reports
+// Unbreakable rather than an error; a weight key that parses but names no
+// fact of the database is rejected as a bad tuple.
+func TestTopKUnbreakableAndBadFacts(t *testing.T) {
+	s := NewSession(Config{})
+	if _, err := s.RegisterFacts("exo", []string{"R(a,b)"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := s.Do(ctx, Task{Kind: KindTopKResponsibility, Query: "q :- R(x,y)^x", DB: "exo", K: 1})
+	if err != nil {
+		t.Fatalf("unbreakable topk: %v", err)
+	}
+	if !res.Unbreakable || len(res.Ranked) != 0 {
+		t.Fatalf("unbreakable topk = %+v, want Unbreakable with no ranking", res)
+	}
+
+	s2 := newToySession(t)
+	_, err = s2.Do(ctx, Task{Kind: KindSolve, Query: "qchain :- R(x,y), R(y,z)", DB: "toy",
+		Weights: map[string]int64{"R(7,7)": 3}})
+	var terr *Error
+	if !errors.As(err, &terr) || terr.Code != CodeBadTuple {
+		t.Fatalf("weights on a missing fact: err = %v, want %s", err, CodeBadTuple)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/reduction"
 	"repro/internal/resilience"
 	"repro/internal/sat"
+	"repro/internal/witset"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -406,6 +407,71 @@ func BenchmarkPortfolioComponents12Workers1(b *testing.B) { benchPortfolioCompon
 func BenchmarkPortfolioComponents12Workers4(b *testing.B) { benchPortfolioComponents(b, 12, 4) }
 func BenchmarkPortfolioComponents24Workers1(b *testing.B) { benchPortfolioComponents(b, 24, 1) }
 func BenchmarkPortfolioComponents24Workers4(b *testing.B) { benchPortfolioComponents(b, 24, 4) }
+
+// Weighted resilience and top-k responsibility, both on the perf gate:
+// WeightedComponents* times the min-cost pipeline (weighted branch-and-
+// bound per component, optionally raced against the weighted SAT binary
+// search) on the same many-component hypergraphs as ExactComponents*, and
+// TopKResponsibility* times the full ranking, which amortizes one shared
+// witness IR across every per-tuple responsibility solve.
+
+func weightedComponentInstance(b *testing.B, components int) *witset.Instance {
+	b.Helper()
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := manyComponentDB(components)
+	base, err := witset.Build(context.Background(), q, d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2031))
+	wv := make([]int64, base.NumTuples())
+	for i := range wv {
+		wv[i] = 1 + rng.Int63n(9)
+	}
+	inst, err := base.WithWeights(wv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func benchWeightedComponents(b *testing.B, components int, portfolio bool) {
+	inst := weightedComponentInstance(b, components)
+	eng := engine.New(engine.Config{Workers: 1, Portfolio: portfolio})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SolveWeightedInstance(context.Background(), inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedComponents12Exact(b *testing.B) {
+	benchWeightedComponents(b, 12, false)
+}
+
+func BenchmarkWeightedComponents12Portfolio(b *testing.B) {
+	benchWeightedComponents(b, 12, true)
+}
+
+func BenchmarkWeightedComponents24Exact(b *testing.B) {
+	benchWeightedComponents(b, 24, false)
+}
+
+func benchTopKResponsibility(b *testing.B, components int) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	d := manyComponentDB(components)
+	eng := engine.New(engine.Config{Workers: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.TopKResponsibility(context.Background(), q, d, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKResponsibility6(b *testing.B)  { benchTopKResponsibility(b, 6) }
+func BenchmarkTopKResponsibility12(b *testing.B) { benchTopKResponsibility(b, 12) }
 
 // gateCalibrateSink defeats dead-code elimination in BenchmarkGateCalibrate.
 var gateCalibrateSink uint64

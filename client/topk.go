@@ -1,0 +1,58 @@
+package client
+
+import (
+	"context"
+
+	"repro/api"
+)
+
+// TopKResponsibility runs a top_k_responsibility task synchronously and
+// returns the ranking (highest responsibility first). t.Kind may be left
+// empty; t.K is the ranking size and t.Weights, when set, rank by min-cost
+// responsibility. An unbreakable instance returns an empty ranking with no
+// error — check the Result via Do directly when that distinction matters.
+func (c *Client) TopKResponsibility(ctx context.Context, t api.Task) ([]api.RankedTuple, error) {
+	if t.Kind == "" {
+		t.Kind = api.KindTopKResponsibility
+	}
+	if t.Kind != api.KindTopKResponsibility {
+		return nil, api.Errorf(api.CodeBadRequest,
+			"TopKResponsibility requires a %q task, got %q", api.KindTopKResponsibility, t.Kind)
+	}
+	res, err := c.Do(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return res.Ranked, nil
+}
+
+// StreamTopKResponsibility runs a top_k_responsibility task over an NDJSON
+// stream, calling emit for every ranked tuple as the server flushes it (in
+// rank order), and returns the final totals line. An emit error aborts the
+// stream — and, through the dropped connection, the server-side ranking.
+func (c *Client) StreamTopKResponsibility(ctx context.Context, t api.Task, emit func(api.RankedTuple) error) (*api.Result, error) {
+	if t.Kind == "" {
+		t.Kind = api.KindTopKResponsibility
+	}
+	if t.Kind != api.KindTopKResponsibility {
+		return nil, api.Errorf(api.CodeBadRequest,
+			"StreamTopKResponsibility requires a %q task, got %q", api.KindTopKResponsibility, t.Kind)
+	}
+	var final *api.Result
+	err := c.Stream(ctx, t, func(res *api.Result) error {
+		if !res.Partial {
+			final = res
+			return nil
+		}
+		for _, rt := range res.Ranked {
+			if err := emit(rt); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return final, nil
+}

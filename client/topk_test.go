@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/api"
+)
+
+// TestClientTopKResponsibility: the typed helper round-trips a ranking
+// through the live server, the streaming variant delivers the same
+// entries in order plus the final totals line, and a weighted task moves
+// the ranking (the helpers are thin over Do/Stream, so weights ride the
+// same envelope).
+func TestClientTopKResponsibility(t *testing.T) {
+	_, c := newServerAndClient(t)
+	putToy(t, c)
+	ctx := context.Background()
+	task := api.Task{Query: "qchain :- R(x,y), R(y,z)", DB: "toy", K: 10}
+
+	ranked, err := c.TopKResponsibility(ctx, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 || ranked[0].Rank != 1 || ranked[0].Responsibility <= 0 {
+		t.Fatalf("ranking = %+v, want 3 entries starting at rank 1", ranked)
+	}
+
+	var streamed []api.RankedTuple
+	final, err := c.StreamTopKResponsibility(ctx, task, func(rt api.RankedTuple) error {
+		streamed = append(streamed, rt)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.Total != 3 {
+		t.Fatalf("final = %+v, want total 3", final)
+	}
+	a, _ := json.Marshal(streamed)
+	b, _ := json.Marshal(ranked)
+	if string(a) != string(b) {
+		t.Fatalf("streamed ranking differs from synchronous:\n%s\n%s", a, b)
+	}
+
+	// A wrong kind is rejected client-side, before any request is sent.
+	if _, err := c.TopKResponsibility(ctx, api.Task{Kind: api.KindSolve, Query: task.Query, DB: "toy"}); err == nil {
+		t.Fatal("TopKResponsibility accepted a solve task")
+	}
+
+	// Weighted: the loop R(3,3) is the cheap contingency for both other
+	// edges, so pricing it at 7 pushes their k to 7 and promotes R(3,3)
+	// (whose own contingency R(1,2) still costs 1) to rank 1.
+	weighted, err := c.TopKResponsibility(ctx, api.Task{
+		Query: task.Query, DB: "toy", K: 10,
+		Weights: map[string]int64{"R(3,3)": 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weighted) != 3 {
+		t.Fatalf("weighted ranking = %+v, want 3 entries", weighted)
+	}
+	moved := false
+	for i := range weighted {
+		if weighted[i].K != ranked[i].K || weighted[i].Tuple != ranked[i].Tuple {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("weights did not move the ranking: %+v", weighted)
+	}
+}

@@ -8,6 +8,7 @@
 //	resil witnesses 'q :- R(x,y), R(y,z)' facts.txt
 //	resil enumerate 'q :- R(x,y), R(y,z)' facts.txt
 //	resil responsibility 'q :- R(x,y), R(y,z)' facts.txt 'R(1,2)'
+//	resil topk 'q :- R(x,y), R(y,z)' facts.txt 5
 //	resil ijp 'q :- R(x), S(x,y), R(y)'
 //	resil hardness 'q :- A(x), R(x,y), R(y,z)'
 //	resil -addr http://host:8080 watch 'q :- R(x,y), R(y,z)' mydb
@@ -28,7 +29,11 @@
 //	              on NP-hard instances
 //	-json         render results as the v1 api.Result JSON encoding
 //	              (classify, solve, batch, enumerate, responsibility,
-//	              watch, mutate)
+//	              topk, watch, mutate)
+//	-weights F    per-tuple deletion costs for solve, enumerate,
+//	              responsibility and topk: one "R(a,b)=5" line per tuple
+//	              (cost >= 1; unlisted tuples cost 1), switching those
+//	              subcommands to min-cost semantics
 //	-addr URL     resilserverd base URL for the remote subcommands
 //	-max-events N end a watch after N change events (default: run until
 //	              interrupted)
@@ -52,6 +57,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,10 +67,11 @@ import (
 // options are the flag-configurable knobs shared by the solver
 // subcommands.
 type options struct {
-	engine    repro.EngineConfig
-	json      bool
-	addr      string
-	maxEvents int
+	engine      repro.EngineConfig
+	json        bool
+	addr        string
+	maxEvents   int
+	weightsFile string
 }
 
 // engineFlagSet declares the engine-tuning flags shared by solve and
@@ -80,6 +87,7 @@ func engineFlagSet(errOut io.Writer) (*flag.FlagSet, *options) {
 	fs.DurationVar(&opts.engine.Timeout, "timeout", 0, "per-instance timeout (0 = none)")
 	fs.BoolVar(&opts.engine.Portfolio, "portfolio", false, "race exact vs SAT on NP-hard instances")
 	fs.BoolVar(&opts.json, "json", false, "render results as api.Result JSON")
+	fs.StringVar(&opts.weightsFile, "weights", "", "per-tuple cost file (R(a,b)=5 per line) for solve/enumerate/responsibility/topk")
 	fs.StringVar(&opts.addr, "addr", "", "resilserverd base URL for the remote subcommands (watch, mutate)")
 	fs.IntVar(&opts.maxEvents, "max-events", 0, "end a watch after this many change events (0 = run until interrupted)")
 	return fs, opts
@@ -180,6 +188,19 @@ func main() {
 			fatal(err)
 		}
 		responsibility(opts, q, queryText, d, args[3])
+	case "topk":
+		if len(args) < 4 {
+			usage()
+		}
+		d, err := loadFacts(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		k, err := strconv.Atoi(args[3])
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("topk: k must be a positive integer, got %q", args[3]))
+		}
+		topK(opts, q, queryText, d, k)
 	case "ijp":
 		searchIJP(q)
 	case "hardness":
@@ -192,6 +213,55 @@ func main() {
 // session builds the task-API Session the solver subcommands run on.
 func session(opts options) *repro.Session {
 	return repro.NewSession(repro.SessionConfig{Engine: opts.engine})
+}
+
+// taskWeights loads the -weights file into the Task.Weights map, or nil
+// when the flag is unset. Exits via fatal on a malformed file, so the
+// subcommands can call it unconditionally.
+func taskWeights(opts options) map[string]int64 {
+	if opts.weightsFile == "" {
+		return nil
+	}
+	w, err := loadWeights(opts.weightsFile)
+	if err != nil {
+		fatal(err)
+	}
+	return w
+}
+
+// loadWeights parses a per-tuple cost file: one "R(a,b)=5" line per
+// tuple, blank lines and # comments ignored. Costs must be integers >= 1;
+// tuples not listed keep the default cost 1.
+func loadWeights(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		eq := strings.LastIndexByte(text, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("%s:%d: malformed weight %q (want R(a,b)=5)", path, line, text)
+		}
+		fact := strings.TrimSpace(text[:eq])
+		cost, err := strconv.ParseInt(strings.TrimSpace(text[eq+1:]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed cost in %q: %v", path, line, text, err)
+		}
+		if cost < 1 {
+			return nil, fmt.Errorf("%s:%d: cost of %s must be >= 1, got %d", path, line, fact, cost)
+		}
+		w[fact] = cost
+	}
+	return w, sc.Err()
 }
 
 // printJSON renders a task result (or any envelope) the way the v1 wire
@@ -262,7 +332,7 @@ func batchRun(opts options, queryText string, paths []string, out io.Writer) (fa
 func enumerate(opts options, q *repro.Query, queryText string, d *repro.Database) {
 	const maxSets = 50
 	res, err := session(opts).DoQuery(context.Background(),
-		repro.Task{Kind: repro.TaskEnumerate, Query: queryText, MaxSets: maxSets}, q, d)
+		repro.Task{Kind: repro.TaskEnumerate, Query: queryText, MaxSets: maxSets, Weights: taskWeights(opts)}, q, d)
 	if err != nil {
 		fatal(err)
 	}
@@ -273,7 +343,11 @@ func enumerate(opts options, q *repro.Query, queryText string, d *repro.Database
 	if res.Unbreakable {
 		fatal(repro.ErrUnbreakable)
 	}
-	fmt.Printf("resilience: %d\n", res.Rho)
+	if res.Cost > 0 {
+		fmt.Printf("min cost: %d\n", res.Cost)
+	} else {
+		fmt.Printf("resilience: %d\n", res.Rho)
+	}
 	fmt.Printf("minimum contingency sets (showing up to %d):\n", maxSets)
 	for i, s := range res.Sets {
 		fmt.Printf("  %2d: {%s}\n", i+1, strings.Join(s, ", "))
@@ -282,7 +356,7 @@ func enumerate(opts options, q *repro.Query, queryText string, d *repro.Database
 
 func responsibility(opts options, q *repro.Query, queryText string, d *repro.Database, factText string) {
 	res, err := session(opts).DoQuery(context.Background(),
-		repro.Task{Kind: repro.TaskResponsibility, Query: queryText, Tuple: factText}, q, d)
+		repro.Task{Kind: repro.TaskResponsibility, Query: queryText, Tuple: factText, Weights: taskWeights(opts)}, q, d)
 	if err != nil {
 		fatal(err)
 	}
@@ -298,6 +372,32 @@ func responsibility(opts options, q *repro.Query, queryText string, d *repro.Dat
 	fmt.Printf("responsibility: 1/%d\n", 1+res.K)
 	for _, t := range res.Contingency {
 		fmt.Printf("  contingency tuple: %s\n", t)
+	}
+}
+
+// topK ranks the k most responsible tuples, most responsible (smallest
+// contingency) first; under -weights the ranking is by min-cost
+// contingency. Ties on k are broken by the tuples' rendered form.
+func topK(opts options, q *repro.Query, queryText string, d *repro.Database, k int) {
+	res, err := session(opts).DoQuery(context.Background(),
+		repro.Task{Kind: repro.TaskTopKResponsibility, Query: queryText, K: k, Weights: taskWeights(opts)}, q, d)
+	if err != nil {
+		fatal(err)
+	}
+	if opts.json {
+		printJSON(os.Stdout, res)
+		return
+	}
+	if res.Unbreakable {
+		fatal(repro.ErrUnbreakable)
+	}
+	fmt.Printf("%d counterfactual tuples, showing top %d:\n", res.Total, len(res.Ranked))
+	for _, rt := range res.Ranked {
+		fmt.Printf("  %2d: %-20s k=%-4d responsibility=%.4f", rt.Rank, rt.Tuple, rt.K, rt.Responsibility)
+		if len(rt.Contingency) > 0 {
+			fmt.Printf("  Γ={%s}", strings.Join(rt.Contingency, ", "))
+		}
+		fmt.Println()
 	}
 }
 
@@ -335,7 +435,7 @@ func classify(opts options, q *repro.Query, queryText string) {
 
 func solve(opts options, q *repro.Query, queryText string, d *repro.Database) {
 	res, err := session(opts).DoQuery(context.Background(),
-		repro.Task{Kind: repro.TaskSolve, Query: queryText}, q, d)
+		repro.Task{Kind: repro.TaskSolve, Query: queryText, Weights: taskWeights(opts)}, q, d)
 	if err != nil {
 		fatal(err)
 	}
@@ -346,10 +446,16 @@ func solve(opts options, q *repro.Query, queryText string, d *repro.Database) {
 	if res.Unbreakable {
 		fatal(repro.ErrUnbreakable)
 	}
-	fmt.Printf("complexity:  %s (%s)\n", res.Verdict, res.Rule)
+	if res.Verdict != "" {
+		fmt.Printf("complexity:  %s (%s)\n", res.Verdict, res.Rule)
+	}
 	fmt.Printf("method:      %s\n", res.Method)
 	fmt.Printf("witnesses:   %d\n", res.Witnesses)
-	fmt.Printf("resilience:  %d\n", res.Rho)
+	if res.Cost > 0 {
+		fmt.Printf("min cost:    %d\n", res.Cost)
+	} else {
+		fmt.Printf("resilience:  %d\n", res.Rho)
+	}
 	if len(res.Contingency) > 0 {
 		fmt.Println("contingency set:")
 		for _, t := range res.Contingency {
@@ -423,7 +529,8 @@ func usage() {
 }
 
 func fprintUsage(out io.Writer, fs *flag.FlagSet) {
-	fmt.Fprintln(out, "usage: resil [-workers N] [-timeout D] [-portfolio] [-json] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
+	fmt.Fprintln(out, "usage: resil [-workers N] [-timeout D] [-portfolio] [-json] [-weights file] classify|solve|batch|witnesses|enumerate|responsibility|ijp|hardness 'query' [facts-file...]")
+	fmt.Fprintln(out, "       resil [flags] topk 'query' facts-file K")
 	fmt.Fprintln(out, "       resil -addr URL watch 'query' dbname")
 	fmt.Fprintln(out, "       resil -addr URL mutate dbname +R(1,2) -S(3) ...")
 	if fs != nil {

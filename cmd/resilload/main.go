@@ -23,8 +23,8 @@
 //	-requests N      total solve requests to issue (default 1000)
 //	-concurrency C   concurrent client workers (default 16)
 //	-scenarios LIST  comma-separated subset of
-//	                 chain,components,confluence,perm,linear,mutate
-//	                 (default: all but mutate)
+//	                 chain,components,confluence,perm,linear,weighted,
+//	                 topk,mutate (default: all but mutate)
 //	-scale N         database size multiplier (default 1)
 //	-timeout-ms T    per-request timeout_ms forwarded to the server
 //	                 (default 10000)
@@ -38,7 +38,8 @@
 // chain and confluence exercise the NP-hard portfolio path, components
 // the many-component heavy-tailed hypergraphs the kernel+decompose
 // pipeline splits and solves in parallel, perm and linear the specialized
-// PTIME solvers. The databases are registered once via PUT /v1/db/{name};
+// PTIME solvers, weighted the min-cost pipeline under skewed per-tuple
+// deletion costs, and topk the shared-IR top-k responsibility ranking. The databases are registered once via PUT /v1/db/{name};
 // the request mix then cycles through the scenarios, so server-side
 // caches see a realistic mixture of repeated query classes. After the
 // run, resilload prints per-scenario latency percentiles, the overall
@@ -78,9 +79,12 @@ import (
 )
 
 type scenario struct {
-	name  string
-	query string
-	facts []string
+	name    string
+	query   string
+	facts   []string
+	kind    api.Kind         // task kind; empty means solve
+	k       int              // ranking size for top_k_responsibility
+	weights map[string]int64 // per-tuple costs; nil means cardinality
 }
 
 func main() {
@@ -88,7 +92,7 @@ func main() {
 		addr        = flag.String("addr", "http://localhost:8080", "base URL of the server")
 		requests    = flag.Int("requests", 1000, "total solve requests to issue")
 		concurrency = flag.Int("concurrency", 16, "concurrent client workers")
-		scenarios   = flag.String("scenarios", "chain,components,confluence,perm,linear", "comma-separated scenario subset")
+		scenarios   = flag.String("scenarios", "chain,components,confluence,perm,linear,weighted,topk", "comma-separated scenario subset")
 		scale       = flag.Int("scale", 1, "database size multiplier")
 		timeoutMS   = flag.Int64("timeout-ms", 10000, "per-request timeout_ms forwarded to the server")
 		seed        = flag.Int64("seed", 1, "RNG seed for scenario databases")
@@ -182,11 +186,17 @@ func runSolvePhase(ctx context.Context, cl *client.Client, mix []scenario, addr 
 					return
 				}
 				sc := mix[i%len(mix)]
+				kind := sc.kind
+				if kind == "" {
+					kind = api.KindSolve
+				}
 				t0 := time.Now()
 				_, err := cl.Do(ctx, api.Task{
-					Kind:      api.KindSolve,
+					Kind:      kind,
 					Query:     sc.query,
 					DB:        sc.name,
+					K:         sc.k,
+					Weights:   sc.weights,
 					TimeoutMS: timeoutMS,
 				})
 				took := time.Since(t0)
@@ -278,6 +288,30 @@ func buildScenarios(list string, scale int, seed int64) ([]scenario, error) {
 				facts: renderFacts(datagen.LinearSJFreeDB(rng, 30*scale, 80*scale)),
 			}
 		},
+		// Min-cost: the chain workload under skewed per-tuple deletion
+		// costs, exercising the weighted pipeline (weight-aware kernel,
+		// weighted branch-and-bound vs weighted SAT race).
+		"weighted": func() scenario {
+			d := datagen.ChainDB(rng, 28*scale, 10*scale)
+			return scenario{
+				name:    "weighted",
+				query:   "qwchain :- R(x,y), R(y,z)",
+				facts:   renderFacts(d),
+				weights: datagen.SkewedWeights(rng, d, 0.3, 9),
+			}
+		},
+		// Ranking: top-k responsibility over the many-component database —
+		// the per-component minima behind the ranking are solved once per
+		// request and shared across every candidate tuple.
+		"topk": func() scenario {
+			return scenario{
+				name:  "topk",
+				query: "qtkchain :- R(x,y), R(y,z)",
+				facts: renderFacts(datagen.ManyComponentChainDB(rng, 6*scale, 3, 12)),
+				kind:  api.KindTopKResponsibility,
+				k:     10,
+			}
+		},
 	}
 	var out []scenario
 	for _, name := range strings.Split(list, ",") {
@@ -287,7 +321,7 @@ func buildScenarios(list string, scale int, seed int64) ([]scenario, error) {
 		}
 		build, ok := all[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q (have chain, components, confluence, perm, linear)", name)
+			return nil, fmt.Errorf("unknown scenario %q (have chain, components, confluence, perm, linear, weighted, topk)", name)
 		}
 		out = append(out, build())
 	}

@@ -1,0 +1,170 @@
+package cnfenc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/sat"
+	"repro/internal/witset"
+)
+
+// MaxWeightedWidth caps the register width of the weighted incremental
+// encoding. The counter needs one register per unit of budget, so skewed
+// weight vectors with a large minimum cost would blow the CNF up
+// quadratically; above this width the constructor refuses with
+// ErrWidthTooLarge and the engine's race simply lets the branch-and-bound
+// side win.
+const MaxWeightedWidth = 4096
+
+// ErrWidthTooLarge reports that a weighted encoding would need more
+// registers per stage than MaxWeightedWidth allows.
+var ErrWidthTooLarge = errors.New("cnfenc: weighted counter width exceeds cap")
+
+// WeightedIncrementalSolver generalizes IncrementalSolver to per-element
+// integer costs: it answers "is there a hitting set of total cost ≤ k?" for
+// many budgets k over one persistent clause database. Register s(i,j) means
+// "the total cost of the chosen elements among x₁..x_i is at least j", with
+// j saturating at the width — a sorted-weight Sinz counter where element i
+// advances the register index by its cost w_i instead of by 1.
+//
+// Clauses, for P_i the true prefix cost and width = kcap+1:
+//
+//	base:  x_i → s(i, min(w_i, width))
+//	carry: s(i−1, j) → s(i, j)
+//	add:   x_i ∧ s(i−1, j) → s(i, min(j+w_i, width))
+//	mono:  s(i, j) → s(i, j−1)
+//
+// base/carry/add force s(i, min(P_i, width)) by induction on i, and unlike
+// the unit counter the downward-monotone clauses are load-bearing: weighted
+// increments land between consecutive partial sums, so the budget gate
+// s(n, k+1) sits below the forced register and is only reached by walking
+// down. Assume(k) = ¬s(n, k+1) is then exactly "total cost ≤ k": forcing
+// makes any costlier choice conflict, and the intended model
+// s(i,j) ⇔ j ≤ min(P_i, width) satisfies every clause, so no cost-≤-k
+// choice is excluded. With unit weights the encoding degenerates to the
+// unit counter plus the (redundant there) monotone clauses.
+type WeightedIncrementalSolver struct {
+	n     int     // element universe size; elements are variables 1..n
+	w     []int64 // per-element costs, all >= 1
+	wsum  int64   // total cost of the universe
+	kcap  int64   // largest budget with a gating register
+	width int     // registers per counter stage: kcap+1
+	base  int     // register variables start at base+1
+	s     *sat.Solver
+}
+
+// NewWeightedIncrementalSolver builds the persistent weighted clause
+// database for fam, with costs from fam.W (1 each when nil) and budget
+// registers up to kcap. Budgets ≥ the total universe cost are trivially
+// satisfiable and need no register, so kcap is clamped to wsum−1. Returns
+// ErrWidthTooLarge when the clamped counter would be wider than
+// MaxWeightedWidth.
+func NewWeightedIncrementalSolver(fam *witset.Family, kcap int64) (*WeightedIncrementalSolver, error) {
+	n := fam.N
+	w := fam.W
+	if w == nil {
+		w = make([]int64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	wsum := int64(0)
+	for _, wi := range w {
+		wsum += wi
+	}
+	if kcap > wsum-1 {
+		kcap = wsum - 1
+	}
+	if kcap < 0 {
+		kcap = 0
+	}
+	if kcap+1 > MaxWeightedWidth {
+		return nil, fmt.Errorf("%w: need %d registers per stage, cap %d", ErrWidthTooLarge, kcap+1, MaxWeightedWidth)
+	}
+	inc := &WeightedIncrementalSolver{n: n, w: w, wsum: wsum, kcap: kcap, width: int(kcap) + 1, base: n}
+	s := sat.NewSolver(n + n*inc.width)
+	inc.s = s
+	for _, row := range fam.Rows {
+		clause := make(sat.Clause, len(row))
+		for j, id := range row {
+			clause[j] = sat.Literal(int(id) + 1)
+		}
+		s.AddClause(clause)
+	}
+	// sat64 saturates a register index at the width.
+	sat64 := func(j int64) int {
+		if j > int64(inc.width) {
+			return inc.width
+		}
+		return int(j)
+	}
+	for i := 1; i <= n; i++ {
+		s.AddClause(sat.Clause{-inc.x(i), inc.reg(i, sat64(w[i-1]))})
+		if i >= 2 {
+			for j := 1; j <= inc.width; j++ {
+				s.AddClause(sat.Clause{-inc.reg(i-1, j), inc.reg(i, j)})
+				s.AddClause(sat.Clause{-inc.x(i), -inc.reg(i-1, j), inc.reg(i, sat64(int64(j)+w[i-1]))})
+			}
+		}
+		for j := 2; j <= inc.width; j++ {
+			s.AddClause(sat.Clause{-inc.reg(i, j), inc.reg(i, j-1)})
+		}
+	}
+	return inc, nil
+}
+
+func (inc *WeightedIncrementalSolver) x(i int) sat.Literal { return sat.Literal(i) }
+
+func (inc *WeightedIncrementalSolver) reg(i, j int) sat.Literal {
+	return sat.Literal(inc.base + (i-1)*inc.width + j)
+}
+
+// Assume returns the assumption literals that gate the encoding to total
+// cost ≤ k: ¬s(n, k+1) for k < wsum, nothing for k ≥ wsum (deleting every
+// element hits every row). Budgets above the register cap but below wsum
+// have no gate and panic — a caller bug, since the cap is chosen from the
+// probe range.
+func (inc *WeightedIncrementalSolver) Assume(k int64) []sat.Literal {
+	if k >= inc.wsum {
+		return nil
+	}
+	if k < 0 || k > inc.kcap {
+		panic(fmt.Sprintf("cnfenc: weighted budget %d outside encoder cap %d", k, inc.kcap))
+	}
+	return []sat.Literal{-inc.reg(inc.n, int(k)+1)}
+}
+
+// SolveBudget reports whether the family has a hitting set of total cost
+// ≤ k, returning the solver's model when it does. Learned clauses persist
+// into the next call.
+func (inc *WeightedIncrementalSolver) SolveBudget(ctx context.Context, k int64) (assign []bool, ok bool, err error) {
+	return inc.s.SolveAssumeCtx(ctx, inc.Assume(k))
+}
+
+// Chosen projects a satisfying assignment back to the chosen element ids,
+// sorted ascending (the element block of the model is variables 1..n).
+func (inc *WeightedIncrementalSolver) Chosen(assign []bool) []int32 {
+	var out []int32
+	for i := 0; i < inc.n; i++ {
+		if assign[i+1] {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Cost sums the chosen elements' costs of a satisfying assignment.
+func (inc *WeightedIncrementalSolver) Cost(assign []bool) int64 {
+	total := int64(0)
+	for i := 0; i < inc.n; i++ {
+		if assign[i+1] {
+			total += inc.w[i]
+		}
+	}
+	return total
+}
+
+// Solver exposes the underlying persistent solver, for callers that layer
+// extra assumptions or clauses on top of the budgeted encoding.
+func (inc *WeightedIncrementalSolver) Solver() *sat.Solver { return inc.s }

@@ -222,6 +222,32 @@ func PermDB(rng *rand.Rand, nPairs, nLoops, domain int, unaryRels ...string) *db
 	return d
 }
 
+// SkewedWeights draws heavy-tailed integer deletion costs for a database's
+// tuples: a hotFrac fraction of tuples get a Zipf-distributed cost in
+// [2, maxCost] (most of them cheap, a few near the cap), the rest keep the
+// default cost 1 by being left out of the map. The result is keyed by the
+// tuples' rendered form — exactly the api.Task.Weights encoding — so it
+// can be attached to a weighted solve/enumerate/responsibility/topk task
+// or fed to the -weights file format of cmd/resil.
+//
+// Skewed costs are the adversarial shape for the weighted solvers: the
+// greedy upper bound chases cheap tuples with poor coverage, the weighted
+// SAT counter's width grows with the optimum in cost units, and min-cost
+// optima diverge from minimum-cardinality ones.
+func SkewedWeights(rng *rand.Rand, d *db.Database, hotFrac float64, maxCost int64) map[string]int64 {
+	if maxCost < 2 {
+		maxCost = 2
+	}
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(maxCost-2))
+	w := map[string]int64{}
+	for _, t := range d.AllTuples() {
+		if rng.Float64() < hotFrac {
+			w[d.TupleString(t)] = 2 + int64(zipf.Uint64())
+		}
+	}
+	return w
+}
+
 // LinearSJFreeDB builds databases for the linear query
 // A(x), R1(x,y), R2(y,z), C(z): layered random bipartite links. Used to
 // bench the flow solver on sj-free linear queries.

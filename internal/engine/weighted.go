@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/cnfenc"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/resilience"
+	"repro/internal/witset"
+)
+
+// SolveWeightedInstance computes ρ_w over a (typically weighted) witness
+// IR through the same decompose+kernel pipeline as the cardinality solver:
+// components are kernelized with the weight-aware domination rule and
+// solved independently on the intra-instance worker pool, with each kernel
+// sub-component raced — weighted branch-and-bound against weighted SAT
+// binary search — when the portfolio is enabled.
+//
+// Two deliberate differences from the cardinality pipeline:
+//
+//   - the component-result cache is skipped: its fingerprints hash only a
+//     component's rows, and the same rows under a different weight vector
+//     have a different minimum, so weighted results must never share
+//     entries with (or poison) cardinality ones;
+//   - the SAT racer can decline. The weighted counter's register block
+//     grows with the budget in cost units, so a skewed weight vector can
+//     push the encoding past cnfenc.MaxWeightedWidth — the racer then
+//     reports ErrWidthTooLarge, which the race treats as "no contender"
+//     rather than a failure, and the branch-and-bound side wins by default.
+func (e *Engine) SolveWeightedInstance(ctx context.Context, inst *witset.Instance) (*resilience.WeightedResult, error) {
+	if inst.Unbreakable() {
+		return nil, resilience.ErrUnbreakable
+	}
+	race := e.cfg.Portfolio
+	method := "weighted-exact"
+	if race {
+		method = "weighted-portfolio/"
+	}
+	if inst.NumWitnesses() == 0 {
+		if race {
+			method += "kernel"
+		}
+		return &resilience.WeightedResult{Cost: 0, Method: method, Witnesses: 0}, nil
+	}
+
+	comps := inst.Components()
+	cost := int64(0)
+	var tuples []db.Tuple
+	exactFlags, satFlags := 0, 0
+	totalSubs := 0
+
+	if len(comps) > 0 {
+		idxCh := make(chan int)
+		outCh := make(chan weightedCompOut, len(comps))
+		workers := e.componentWorkers()
+		if workers > len(comps) {
+			workers = len(comps)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					outCh <- e.solveWeightedComponent(ctx, inst, comps[i], race)
+				}
+			}()
+		}
+		for i := range comps {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+		close(outCh)
+
+		var firstErr error
+		for out := range outCh {
+			if out.err != nil {
+				if firstErr == nil {
+					firstErr = out.err
+				}
+				continue
+			}
+			cost += out.cost
+			tuples = append(tuples, out.tuples...)
+			totalSubs += out.subs
+			e.kernelForced.Add(int64(out.forced))
+			e.kernelDominated.Add(int64(out.dominated))
+			if out.exact {
+				exactFlags++
+			}
+			if out.sat {
+				satFlags++
+			}
+			if race {
+				e.portfolioExactWins.Add(int64(out.exactWins))
+				e.portfolioSATWins.Add(int64(out.satWins))
+			}
+		}
+		if firstErr != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, firstErr
+		}
+	}
+	e.componentsSolved.Add(int64(totalSubs))
+	if totalSubs > 1 {
+		e.multiComponent.Add(1)
+	}
+
+	if race {
+		switch {
+		case exactFlags == 0 && satFlags == 0:
+			method += "kernel"
+		case satFlags == 0:
+			method += "exact"
+		case exactFlags == 0:
+			method += "sat-binary-search"
+		default:
+			method += "mixed"
+		}
+	}
+	res := &resilience.WeightedResult{Cost: cost, Method: method, Witnesses: inst.NumWitnesses()}
+	if cost > 0 {
+		db.SortTuples(tuples)
+		res.ContingencySet = tuples
+	}
+	return res, nil
+}
+
+type weightedCompOut struct {
+	cost      int64
+	tuples    []db.Tuple
+	exact     bool
+	sat       bool
+	subs      int
+	forced    int
+	dominated int
+	exactWins int
+	satWins   int
+	err       error
+}
+
+// solveWeightedComponent kernelizes one raw component (the domination rule
+// is weight-aware when the family carries costs) and solves each kernel
+// sub-component, raced under race, weighted branch-and-bound alone
+// otherwise.
+func (e *Engine) solveWeightedComponent(ctx context.Context, inst *witset.Instance, c *witset.Component, race bool) weightedCompOut {
+	kern, err := witset.KernelizeCtx(ctx, c.Fam)
+	if err != nil {
+		return weightedCompOut{err: err}
+	}
+	out := weightedCompOut{
+		tuples:    inst.TupleSet(c.ToGlobal(kern.Forced)),
+		forced:    len(kern.Forced),
+		dominated: kern.Dominated,
+	}
+	for _, id := range kern.Forced {
+		out.cost += famWeight(c.Fam, id)
+	}
+	subs := kern.Components()
+	out.subs = len(subs)
+	for _, sub := range subs {
+		var (
+			size   int64
+			local  []int32
+			viaSAT bool
+		)
+		if race {
+			size, local, viaSAT, err = e.raceWeightedComponent(ctx, sub.Fam)
+		} else {
+			e.solverRuns.Add(1)
+			size, local, err = resilience.SolveFamilyWeighted(ctx, sub.Fam, -1)
+		}
+		if err != nil {
+			return weightedCompOut{err: err}
+		}
+		out.cost += size
+		out.tuples = append(out.tuples, inst.TupleSet(c.ToGlobal(sub.ToGlobal(local)))...)
+		if viaSAT {
+			out.sat = true
+			out.satWins++
+		} else {
+			out.exact = true
+			out.exactWins++
+		}
+	}
+	return out
+}
+
+func famWeight(fam *witset.Family, id int32) int64 {
+	if fam.W == nil {
+		return 1
+	}
+	return fam.W[id]
+}
+
+// raceWeightedComponent races the weighted branch-and-bound against the
+// weighted SAT binary search on one component family. A SAT racer that
+// declines with ErrWidthTooLarge is not an error: the race keeps waiting
+// for the exact side instead of cancelling it.
+func (e *Engine) raceWeightedComponent(ctx context.Context, fam *witset.Family) (int64, []int32, bool, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type racerOut struct {
+		cost int64
+		ids  []int32
+		sat  bool
+		err  error
+	}
+	ch := make(chan racerOut, 2)
+	e.solverRuns.Add(2)
+	go func() {
+		cost, ids, err := resilience.SolveFamilyWeighted(rctx, fam, -1)
+		ch <- racerOut{cost: cost, ids: ids, err: err}
+	}()
+	go func() {
+		cost, ids, err := weightedSATFamilySearch(rctx, fam)
+		ch <- racerOut{cost: cost, ids: ids, sat: true, err: err}
+	}()
+
+	var firstErr error
+	drained := 0
+	for i := 0; i < 2; i++ {
+		out := <-ch
+		drained++
+		if out.err == nil {
+			cancel()
+			// Drain the loser so both goroutines are done before return.
+			for ; drained < 2; drained++ {
+				<-ch
+			}
+			return out.cost, out.ids, out.sat, nil
+		}
+		if errors.Is(out.err, cnfenc.ErrWidthTooLarge) {
+			continue // SAT declined the instance; let the exact side finish
+		}
+		if firstErr == nil {
+			firstErr = out.err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, false, err
+	}
+	return 0, nil, false, firstErr
+}
+
+// weightedSATFamilySearch computes a component's minimum hitting-set cost
+// by binary-searching the smallest satisfiable total-cost budget over one
+// persistent weighted counter (cnfenc.WeightedIncrementalSolver).
+//
+// Costs are first normalized by the gcd of the occurring elements' weights:
+// the encoding's register block is one register per cost unit, so dividing
+// out a common factor shrinks the counter by that factor — and makes the
+// search invariant under uniform weight scaling, probing the exact same
+// budgets for w and c·w. The weighted greedy cover seeds the search as in
+// the unit case; each satisfiable probe additionally tightens the incumbent
+// to the model's true cost (a model at budget k may cost less than k),
+// skipping the budgets in between. Returns ErrWidthTooLarge (wrapped) when
+// even the normalized counter would exceed the width cap.
+func weightedSATFamilySearch(ctx context.Context, fam *witset.Family) (int64, []int32, error) {
+	if fam.W == nil {
+		size, ids, err := satFamilySearch(ctx, fam)
+		return int64(size), ids, err
+	}
+	// gcd over elements that occur in some row; absent elements are never
+	// chosen, so their weights are irrelevant (set to 1 in the normalized
+	// vector to keep it valid).
+	g := int64(0)
+	for e, occ := range fam.Occ {
+		if len(occ) == 0 {
+			continue
+		}
+		g = gcd64(g, fam.W[e])
+	}
+	if g == 0 {
+		g = 1
+	}
+	nf := *fam
+	nw := make([]int64, fam.N)
+	for e := range nw {
+		if len(fam.Occ[e]) == 0 {
+			nw[e] = 1
+		} else {
+			nw[e] = fam.W[e] / g
+		}
+	}
+	nf.W = nw
+
+	ids := witset.GreedyHittingSetWeighted(&nf)
+	best := int64(0)
+	for _, e := range ids {
+		best += nw[e]
+	}
+	lo, hi := int64(1), best-1
+	if lo > hi {
+		return best * g, ids, nil
+	}
+	inc, err := cnfenc.NewWeightedIncrementalSolver(&nf, hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	for lo <= hi {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		mid := lo + (hi-lo)/2
+		assign, ok, err := inc.SolveBudget(ctx, mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			best, ids = inc.Cost(assign), inc.Chosen(assign)
+			hi = best - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best * g, ids, nil
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TopKResponsibility ranks the k most responsible tuples of (q, d) off the
+// engine's shared IR: the same cached instance that serves solve, enumerate
+// and responsibility traffic backs the whole ranking, and the per-component
+// minima inside it are solved once for all tuples.
+func (e *Engine) TopKResponsibility(ctx context.Context, q *cq.Query, d *db.Database, k int) ([]resilience.RankedTuple, error) {
+	inst, err := e.InstanceFor(ctx, q, d)
+	if err != nil {
+		return nil, err
+	}
+	return resilience.TopKResponsibilityOnInstance(ctx, inst, d, k)
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnfenc"
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/resilience"
+	"repro/internal/witset"
+)
+
+// randomWeightedFamily draws a random hitting-set family over n elements
+// with per-element costs in [1, maxW].
+func randomWeightedFamily(rng *rand.Rand, n, rows, maxW int) *witset.Family {
+	raw := make([][]int32, rows)
+	for i := range raw {
+		size := 1 + rng.Intn(3)
+		row := make([]int32, size)
+		for j := range row {
+			row[j] = int32(rng.Intn(n))
+		}
+		raw[i] = row
+	}
+	fam := witset.NewFamily(raw, n, false)
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1 + rng.Int63n(int64(maxW))
+	}
+	fam.W = w
+	return fam
+}
+
+// TestDifferentialWeightedSATVsExact pins the two weighted per-component
+// oracles against each other: the weighted SAT binary search (gcd-
+// normalized incremental counter) and the weighted branch-and-bound must
+// report the same minimum cost on random weighted families, and the SAT
+// side's chosen set must actually cost what it claims.
+func TestDifferentialWeightedSATVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4001))
+	families := 0
+	for round := 0; round < 350; round++ {
+		fam := randomWeightedFamily(rng, 5+rng.Intn(6), 4+rng.Intn(7), 7)
+		if len(fam.Rows) == 0 {
+			continue
+		}
+		families++
+		want, _, err := resilience.SolveFamilyWeighted(context.Background(), fam, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ids, err := weightedSATFamilySearch(context.Background(), fam)
+		if err != nil {
+			t.Fatalf("round %d: weighted SAT search: %v", round, err)
+		}
+		if got != want {
+			t.Fatalf("round %d: SAT cost = %d, branch-and-bound cost = %d", round, got, want)
+		}
+		cost := int64(0)
+		hit := make([]bool, len(fam.Rows))
+		for _, e := range ids {
+			cost += fam.W[e]
+			for _, si := range fam.Occ[e] {
+				hit[si] = true
+			}
+		}
+		if cost != got {
+			t.Fatalf("round %d: SAT chosen set costs %d, reported %d", round, cost, got)
+		}
+		for si, ok := range hit {
+			if !ok {
+				t.Fatalf("round %d: SAT chosen set leaves row %d unhit", round, si)
+			}
+		}
+	}
+	if families < 300 {
+		t.Fatalf("only %d families generated, want >= 300", families)
+	}
+}
+
+// TestDifferentialWeightedPortfolioAgreement pins the engine-level race:
+// SolveWeightedInstance with the portfolio on and off must report the same
+// minimum cost on random weighted instances (the racers are the two
+// oracles of TestDifferentialWeightedSATVsExact plus kernelization).
+func TestDifferentialWeightedPortfolioAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4002))
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	plain := New(Config{})
+	raced := New(Config{Portfolio: true})
+	for round := 0; round < 30; round++ {
+		d := datagen.ManyComponentChainDB(rng, 2+round%4, 3, 9)
+		base, err := witset.Build(context.Background(), q, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv := make([]int64, base.NumTuples())
+		for i := range wv {
+			wv[i] = 1 + rng.Int63n(6)
+		}
+		inst, err := base.WithWeights(wv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := plain.SolveWeightedInstance(context.Background(), inst)
+		got, gotErr := raced.SolveWeightedInstance(context.Background(), inst)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("round %d: exact err = %v, portfolio err = %v", round, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("round %d: portfolio cost = %d, exact cost = %d", round, got.Cost, want.Cost)
+		}
+	}
+}
+
+// TestWeightedSATWidthCapDecline pins the decline protocol: a weight
+// vector whose normalized counter would exceed cnfenc.MaxWeightedWidth
+// makes the SAT search refuse with ErrWidthTooLarge, and the race treats
+// that as a missing contender — the exact side still answers.
+func TestWeightedSATWidthCapDecline(t *testing.T) {
+	// Two disjoint unit rows with huge coprime costs: the optimum is
+	// 4999+5003, the gcd is 1, so the counter would need ~10000 registers.
+	fam := witset.NewFamily([][]int32{{0}, {1}}, 2, false)
+	fam.W = []int64{4999, 5003}
+	if _, _, err := weightedSATFamilySearch(context.Background(), fam); !errors.Is(err, cnfenc.ErrWidthTooLarge) {
+		t.Fatalf("weightedSATFamilySearch err = %v, want ErrWidthTooLarge", err)
+	}
+	e := New(Config{Portfolio: true})
+	cost, ids, viaSAT, err := e.raceWeightedComponent(context.Background(), fam)
+	if err != nil {
+		t.Fatalf("raceWeightedComponent: %v", err)
+	}
+	if viaSAT {
+		t.Fatal("race reports a SAT win after the SAT side declined")
+	}
+	if cost != 4999+5003 || len(ids) != 2 {
+		t.Fatalf("race cost = %d (%d ids), want %d (2 ids)", cost, len(ids), 4999+5003)
+	}
+}
+
+// TestWeightedSATScalingProbesIdentical pins the gcd normalization: the
+// search for c·w probes the exact same budgets as for w, so uniform
+// scaling can never flip satisfiability — costs scale by exactly c.
+func TestWeightedSATScalingProbesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4003))
+	for round := 0; round < 40; round++ {
+		fam := randomWeightedFamily(rng, 6, 6, 5)
+		if len(fam.Rows) == 0 {
+			continue
+		}
+		base, _, err := weightedSATFamilySearch(context.Background(), fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []int64{3, 7} {
+			scaled := *fam
+			sw := make([]int64, len(fam.W))
+			for i := range sw {
+				sw[i] = c * fam.W[i]
+			}
+			scaled.W = sw
+			got, _, err := weightedSATFamilySearch(context.Background(), &scaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c*base {
+				t.Fatalf("round %d: scale %d cost = %d, want %d", round, c, got, c*base)
+			}
+		}
+	}
+}

@@ -37,16 +37,30 @@ func EnumerateMinimumCtx(ctx context.Context, q *cq.Query, d *db.Database, maxSe
 // prebuilt witness-hypergraph IR, which is how the serving layer reuses one
 // cached IR across many enumerate requests. d must be the database the
 // instance was built from (it resolves constant names for the canonical
-// ordering of the returned sets).
+// ordering of the returned sets). On a weighted instance the returned size
+// is the total cost ρ_w truncated to int; weighted callers should use
+// EnumerateMinimumWeightedOnInstance directly.
+func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
+	cost, sets, err := EnumerateMinimumWeightedOnInstance(ctx, inst, d, maxSets)
+	return int(cost), sets, err
+}
+
+// EnumerateMinimumWeightedOnInstance enumerates every minimum-COST
+// contingency set of a weighted instance (every minimum-cardinality one
+// when the instance is unweighted — the unit APIs are thin wrappers over
+// this function), up to maxSets of them, in the same deterministic order.
+// Minimum-cost sets are all minimal (costs are >= 1: a redundant element
+// could be dropped for a cheaper hitting set), so the branch-on-first-unhit
+// recursion still visits every one of them.
 //
 // The enumeration is component-parallel in structure: the normalized family
 // is split into connected components, each component's minimum hitting sets
 // are enumerated locally, and the global optima are exactly the unions of
-// one minimum set per component — so the result is the (capped) cross
-// product of the per-component enumerations. Kernelization's domination
-// rule is deliberately not applied: it preserves one optimum but discards
-// others, which is precisely what this API must not do.
-func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int, [][]db.Tuple, error) {
+// one minimum set per component — additivity of disjoint costs makes a
+// union optimal iff every part is. Kernelization's domination rule is
+// deliberately not applied: it preserves one optimum but discards others,
+// which is precisely what this API must not do.
+func EnumerateMinimumWeightedOnInstance(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int64, [][]db.Tuple, error) {
 	if inst.Unbreakable() {
 		return 0, nil, ErrUnbreakable
 	}
@@ -55,15 +69,15 @@ func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *d
 		return 0, nil, nil // no witnesses, or every row empty — ρ = 0
 	}
 	poll := ctxpoll.New(ctx)
-	rho := 0
+	cost := int64(0)
 	sets := [][]int32{nil} // running cross product, global ids
 	for _, c := range comps {
-		crho, csets, err := enumerateFamily(ctx, poll, c.Fam, maxSets)
+		ccost, csets, err := enumerateFamily(ctx, poll, c.Fam, maxSets)
 		if err != nil {
 			return 0, nil, err
 		}
-		rho += crho
-		if crho == 0 {
+		cost += ccost
+		if ccost == 0 {
 			continue // cannot happen (components have rows), but harmless
 		}
 		next := make([][]int32, 0, len(sets)*len(csets))
@@ -80,7 +94,7 @@ func EnumerateMinimumOnInstance(ctx context.Context, inst *witset.Instance, d *d
 		}
 		sets = next
 	}
-	return rho, finishSets(inst, d, sets), nil
+	return cost, finishSets(inst, d, sets), nil
 }
 
 // enumerateMinimumMonolithic is the pre-pipeline enumeration over the whole
@@ -97,30 +111,63 @@ func enumerateMinimumMonolithic(ctx context.Context, inst *witset.Instance, d *d
 		return 0, nil, nil
 	}
 	poll := ctxpoll.New(ctx)
-	sets, err := enumerateRows(poll, inst.Rows(), inst.NumTuples(), base.Rho, maxSets, nil)
+	sets, err := enumerateRows(poll, inst.Rows(), inst.NumTuples(), nil, int64(base.Rho), maxSets, nil)
 	if err != nil {
 		return 0, nil, err
 	}
 	return base.Rho, finishSets(inst, d, sets), nil
 }
 
+// enumerateMinimumWeightedMonolithic is the weighted oracle twin of
+// enumerateMinimumMonolithic: one monolithic weighted solve for ρ_w, then
+// the same whole-instance recursion with per-tuple costs.
+func enumerateMinimumWeightedMonolithic(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int) (int64, [][]db.Tuple, error) {
+	base, err := solveWeightedInstance(ctx, inst, -1, "weighted-exact", Options{Monolithic: true})
+	if err != nil {
+		return 0, nil, err
+	}
+	if base.Cost == 0 {
+		return 0, nil, nil
+	}
+	poll := ctxpoll.New(ctx)
+	sets, err := enumerateRows(poll, inst.Rows(), inst.NumTuples(), inst.Weights(), base.Cost, maxSets, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return base.Cost, finishSets(inst, d, sets), nil
+}
+
 // EnumerateMinimumFunc is the streaming form of EnumerateMinimumOnInstance:
 // every minimum contingency set is passed to emit as the search discovers
 // it, so a serving layer can flush the first set to a client long before
 // the enumeration finishes. It returns ρ and the number of sets emitted.
+// On a weighted instance the emitted rho is ρ_w truncated to int; weighted
+// callers should use EnumerateMinimumWeightedFunc directly.
+func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int, emit func(rho int, set []db.Tuple) error) (int, int, error) {
+	cost, count, err := EnumerateMinimumWeightedFunc(ctx, inst, d, maxSets, func(c int64, set []db.Tuple) error {
+		return emit(int(c), set)
+	})
+	return int(cost), count, err
+}
+
+// EnumerateMinimumWeightedFunc is the streaming all-optima enumeration in
+// total-cost terms (the unit EnumerateMinimumFunc wraps it): every
+// minimum-cost contingency set is passed to emit as the search discovers
+// it. It returns ρ_w and the number of sets emitted.
 //
-// ρ is computed first (one hitting-set solve per component), so emit
-// always receives the final ρ; sets then arrive in discovery order — NOT
-// the canonical sorted order of EnumerateMinimumOnInstance — with each
-// set's tuples sorted by instance id. maxSets caps emission (0 = no cap).
-// An error returned by emit aborts the search and is returned unchanged.
+// ρ_w is computed first (one hitting-set solve per component), so emit
+// always receives the final cost; sets then arrive in discovery order — NOT
+// the canonical sorted order of EnumerateMinimumWeightedOnInstance — with
+// each set's tuples sorted by instance id. maxSets caps emission (0 = no
+// cap). An error returned by emit aborts the search and is returned
+// unchanged.
 //
 // Structure: all components but the last are enumerated into the running
 // cross-product prefix; the last component's enumeration is then streamed,
 // each newly found local set completing len(prefix) global sets. On
 // single-component instances (the common case) this degenerates to pure
 // streaming of the branch-and-enumerate recursion.
-func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int, emit func(rho int, set []db.Tuple) error) (int, int, error) {
+func EnumerateMinimumWeightedFunc(ctx context.Context, inst *witset.Instance, d *db.Database, maxSets int, emit func(cost int64, set []db.Tuple) error) (int64, int, error) {
 	if inst.Unbreakable() {
 		return 0, 0, ErrUnbreakable
 	}
@@ -130,37 +177,37 @@ func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Data
 	}
 	poll := ctxpoll.New(ctx)
 
-	// Solve every component up front: ρ is the sum of the component minima
+	// Solve every component up front: ρ_w is the sum of the component minima
 	// (additivity over disjoint tuple universes), and streaming can only
 	// start once it is known.
-	rho := 0
-	rhos := make([]int, len(comps))
+	cost := int64(0)
+	costs := make([]int64, len(comps))
 	for i, c := range comps {
-		crho, _, err := solveFamily(ctx, c.Fam, -1, Options{})
+		ccost, _, err := solveComponentFamily(ctx, c.Fam)
 		if err != nil {
 			return 0, 0, err
 		}
-		rhos[i] = crho
-		rho += crho
+		costs[i] = ccost
+		cost += ccost
 	}
 
 	// Cross-product prefix over all components but the last contributing
-	// one. Components with crho == 0 cannot happen (components have rows)
+	// one. Components with cost == 0 cannot happen (components have rows)
 	// but are skipped like in the non-streaming path, keeping both
 	// enumerations total on the same inputs.
 	contributing := make([]int, 0, len(comps))
 	for i := range comps {
-		if rhos[i] > 0 {
+		if costs[i] > 0 {
 			contributing = append(contributing, i)
 		}
 	}
 	if len(contributing) == 0 {
-		return rho, 0, nil
+		return cost, 0, nil
 	}
 	last := contributing[len(contributing)-1]
 	prefix := [][]int32{nil}
 	for _, i := range contributing[:len(contributing)-1] {
-		csets, err := enumerateRows(poll, comps[i].Fam.Rows, comps[i].Fam.N, rhos[i], maxSets, nil)
+		csets, err := enumerateRows(poll, comps[i].Fam.Rows, comps[i].Fam.N, comps[i].Fam.W, costs[i], maxSets, nil)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -182,7 +229,7 @@ func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Data
 	c := comps[last]
 	count := 0
 	var emitErr error
-	_, err := enumerateRows(poll, c.Fam.Rows, c.Fam.N, rhos[last], 0, func(cs []int32) bool {
+	_, err := enumerateRows(poll, c.Fam.Rows, c.Fam.N, c.Fam.W, costs[last], 0, func(cs []int32) bool {
 		for _, base := range prefix {
 			// The prefix cross product can dwarf the recursion between
 			// emissions (2^components sets from one local set), so
@@ -194,7 +241,7 @@ func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Data
 			merged := make([]int32, 0, len(base)+len(cs))
 			merged = append(append(merged, base...), c.ToGlobal(cs)...)
 			sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
-			if emitErr = emit(rho, inst.TupleSet(merged)); emitErr != nil {
+			if emitErr = emit(cost, inst.TupleSet(merged)); emitErr != nil {
 				return false
 			}
 			count++
@@ -210,40 +257,66 @@ func EnumerateMinimumFunc(ctx context.Context, inst *witset.Instance, d *db.Data
 	if err != nil {
 		return 0, count, err
 	}
-	return rho, count, nil
+	return cost, count, nil
 }
 
-// enumerateFamily returns a family's minimum hitting set size together with
+// solveComponentFamily solves one component family for its minimum in
+// total-cost terms, dispatching on whether the family carries weights so
+// the unit path keeps its int-typed hot loop.
+func solveComponentFamily(ctx context.Context, fam *witset.Family) (int64, []int32, error) {
+	if fam.W == nil {
+		rho, ids, err := solveFamily(ctx, fam, -1, Options{})
+		return int64(rho), ids, err
+	}
+	return solveFamilyWeighted(ctx, fam, -1, Options{})
+}
+
+// enumerateFamily returns a family's minimum hitting set cost together with
 // its minimum hitting sets (up to maxSets when maxSets > 0), as sorted
-// local-id sets in a deterministic order.
-func enumerateFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Family, maxSets int) (int, [][]int32, error) {
-	rho, _, err := solveFamily(ctx, fam, -1, Options{})
+// local-id sets in a deterministic order. On an unweighted family the cost
+// is the cardinality.
+func enumerateFamily(ctx context.Context, poll *ctxpoll.Poller, fam *witset.Family, maxSets int) (int64, [][]int32, error) {
+	cost, _, err := solveComponentFamily(ctx, fam)
 	if err != nil {
 		return 0, nil, err
 	}
-	if rho == 0 {
+	if cost == 0 {
 		return 0, nil, nil
 	}
-	sets, err := enumerateRows(poll, fam.Rows, fam.N, rho, maxSets, nil)
+	sets, err := enumerateRows(poll, fam.Rows, fam.N, fam.W, cost, maxSets, nil)
 	if err != nil {
 		return 0, nil, err
 	}
-	return rho, sets, nil
+	return cost, sets, nil
 }
 
-// enumerateRows visits every hitting set of rows with exactly rho elements
-// by branching on the first unhit row (any optimal set must intersect it),
-// deduplicating sets that different branch orders reach. With a nil visit,
-// sets are collected and returned as sorted id slices in a deterministic
-// order, capped at maxSets (0 = no cap). With a non-nil visit, each
-// deduplicated set is passed to it as the recursion finds it — the
-// streaming mode — and a false return stops the search; the returned slice
-// is then nil and capping is the visitor's business.
-func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n, rho, maxSets int, visit func([]int32) bool) ([][]int32, error) {
+// enumerateRows visits every hitting set of rows with total cost exactly
+// cost (element costs from w; 1 each when w is nil, making cost the
+// cardinality) by branching on the first unhit row (any optimal set must
+// intersect it), deduplicating sets that different branch orders reach.
+// cost must be the minimum hitting-set cost: sets cheaper than it cannot
+// exist, and branches at or above it with a row still unhit are dead (every
+// further element costs >= 1). All recorded sets are minimal — dropping a
+// redundant element would give a hitting set cheaper than the minimum.
+//
+// With a nil visit, sets are collected and returned as sorted id slices in
+// a deterministic order, capped at maxSets (0 = no cap). With a non-nil
+// visit, each deduplicated set is passed to it as the recursion finds it —
+// the streaming mode — and a false return stops the search; the returned
+// slice is then nil and capping is the visitor's business.
+func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n int, w []int64, cost int64, maxSets int, visit func([]int32) bool) ([][]int32, error) {
 	chosen := witset.NewBits(n)
 	var cur []int32
+	curW := int64(0)
 	seen := map[string]bool{}
 	var out [][]int32
+
+	weight := func(e int32) int64 {
+		if w == nil {
+			return 1
+		}
+		return w[e]
+	}
 
 	record := func() bool {
 		set := append([]int32(nil), cur...)
@@ -281,18 +354,20 @@ func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n, rho, maxSets int, vi
 			}
 		}
 		if unhit == nil {
-			if len(cur) == rho {
+			if curW == cost {
 				return record()
 			}
-			return true // smaller than ρ is impossible; larger is pruned below
+			return true // cheaper than the minimum is impossible; pricier is pruned below
 		}
-		if len(cur) == rho {
+		if curW >= cost {
 			return true // budget spent, row unhit: dead branch
 		}
 		for _, e := range unhit {
 			chosen.Set(e)
 			cur = append(cur, e)
+			curW += weight(e)
 			ok := rec()
+			curW -= weight(e)
 			cur = cur[:len(cur)-1]
 			chosen.Unset(e)
 			if !ok {

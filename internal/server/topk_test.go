@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// TestV1TopKStream drives a top_k_responsibility task through the NDJSON
+// stream: one partial line per ranked tuple in rank order, then a final
+// line carrying the total and no entries of its own — and the streamed
+// entries equal the synchronous result byte-for-byte.
+func TestV1TopKStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putToy(t, ts.URL)
+	task := api.Task{Kind: api.KindTopKResponsibility, Query: "qchain :- R(x,y), R(y,z)", DB: "toy", K: 10}
+
+	var sync api.Result
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/tasks", task, &sync); status != 200 {
+		t.Fatalf("sync topk: status %d", status)
+	}
+	if len(sync.Ranked) != 3 || sync.Total != 3 {
+		t.Fatalf("sync topk = %+v, want 3 ranked tuples", &sync)
+	}
+
+	sc, closeBody := streamLines(t, ts.URL+"/v1/tasks?stream=ndjson", task)
+	defer closeBody()
+	var streamed []api.RankedTuple
+	var final *api.Result
+	for sc.Scan() {
+		var line api.Result
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if line.Partial {
+			if len(line.Ranked) != 1 || line.Ranked[0].Rank != len(streamed)+1 {
+				t.Fatalf("partial line = %+v, want single entry with rank %d", &line, len(streamed)+1)
+			}
+			streamed = append(streamed, line.Ranked...)
+			continue
+		}
+		final = &line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.Total != 3 || len(final.Ranked) != 0 {
+		t.Fatalf("final line = %+v, want total 3 with no entries", final)
+	}
+	a, _ := json.Marshal(streamed)
+	b, _ := json.Marshal(sync.Ranked)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("streamed ranking differs from sync:\n%s\n%s", a, b)
+	}
+}
+
+// TestV1TopKDisconnectCancelsSolver: a client that abandons a streaming
+// top-k request while the ranking is still being computed must cancel the
+// underlying per-tuple solves — the admission slot drains instead of the
+// server burning CPU on a ranking nobody will read.
+func TestV1TopKDisconnectCancelsSolver(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(7))
+	if status := doJSON(t, http.MethodPut, ts.URL+"/v1/db/big",
+		putDBRequest{Facts: chainFacts(rng, 1200, 1200)}, nil); status != http.StatusOK {
+		t.Fatalf("PUT big: status %d", status)
+	}
+
+	// The ranking computes per-tuple responsibilities before the first
+	// line is emitted, so the disconnect arrives mid-compute: cancel the
+	// request context rather than waiting for a line that may never come.
+	body, err := json.Marshal(api.Task{
+		Kind: api.KindTopKResponsibility, Query: "qchain :- R(x,y), R(y,z)", DB: "big", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/tasks?stream=ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Let the request land and start computing, then walk away.
+	deadline := time.Now().Add(5 * time.Second)
+	for inFlight(t, ts.URL) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if inFlight(t, ts.URL) == 0 {
+			return // solver cancelled, slot released
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("request still in flight 10s after client disconnect: top-k solver not cancelled")
+}

@@ -224,6 +224,15 @@ func ApplyDelta(ctx context.Context, base *Instance, work *db.Database, muts []M
 
 	st.NewTuples = len(tuples) - len(base.tuples)
 	out := &Instance{query: q, tuples: tuples, idOf: idOf, unbreakable: unbreakable}
+	if base.weights != nil {
+		// Surviving tuples keep their cost (ids are stable); tuples first
+		// interned by this delta get the default cost 1.
+		w := append(make([]int64, 0, len(tuples)), base.weights...)
+		for len(w) < len(tuples) {
+			w = append(w, 1)
+		}
+		out.weights = w
+	}
 	if unbreakable {
 		return out, st, nil
 	}

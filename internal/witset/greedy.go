@@ -43,3 +43,53 @@ func GreedyHittingSet(fam *Family) []int32 {
 	}
 	return out
 }
+
+// GreedyHittingSetWeighted is the min-cost generalization of
+// GreedyHittingSet: it repeatedly takes the element with the best
+// coverage-per-cost ratio among the still-unhit rows (ties to the lowest
+// element id), which is the classic weighted set-cover greedy. Its total
+// cost seeds the weighted branch-and-bound's incumbent and caps the
+// weighted SAT search's budget range. On an unweighted family (W == nil) it
+// is exactly GreedyHittingSet.
+func GreedyHittingSetWeighted(fam *Family) []int32 {
+	if fam.W == nil {
+		return GreedyHittingSet(fam)
+	}
+	hit := make([]bool, len(fam.Rows))
+	remaining := len(fam.Rows)
+	var out []int32
+	count := make([]int64, fam.N)
+	for _, row := range fam.Rows {
+		for _, e := range row {
+			count[e]++
+		}
+	}
+	for remaining > 0 {
+		// Maximize count[e]/W[e]; the cross-multiplied comparison avoids
+		// float ties, and strict > keeps the lowest id on equal ratios.
+		bestE := -1
+		var bestC int64
+		for e, c := range count {
+			if c == 0 {
+				continue
+			}
+			if bestE < 0 || c*fam.W[bestE] > bestC*fam.W[e] {
+				bestE, bestC = e, c
+			}
+		}
+		if bestE < 0 {
+			break
+		}
+		out = append(out, int32(bestE))
+		for _, si := range fam.Occ[bestE] {
+			if !hit[si] {
+				hit[si] = true
+				remaining--
+				for _, e := range fam.Rows[si] {
+					count[e]--
+				}
+			}
+		}
+	}
+	return out
+}

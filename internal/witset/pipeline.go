@@ -81,7 +81,7 @@ func KernelizeCtx(ctx context.Context, f *Family) (*Kernel, error) {
 	for {
 		rows := cur.Rows
 		newForced := forceUnits(f.N, &rows)
-		drops := dropDominated(f.N, &rows, poll)
+		drops := dropDominated(f.N, f.W, &rows, poll)
 		if err := poll.Err(); err != nil {
 			return nil, err
 		}
@@ -95,6 +95,8 @@ func KernelizeCtx(ctx context.Context, f *Family) (*Kernel, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Re-normalization preserves the universe, so the weights carry over.
+		cur.W = f.W
 	}
 	sortIDs(forced)
 	return &Kernel{Forced: forced, Dominated: dominated, Fam: cur}, nil
@@ -146,7 +148,14 @@ func forceUnits(n int, rows *[][]int32) []int32 {
 // returns the number of elements dropped. *rows is replaced, never mutated
 // in place. A cancelled poll aborts the scan early; the caller must check
 // poll.Err() and discard the (partial) result.
-func dropDominated(n int, rows *[][]int32, poll *ctxpoll.Poller) int {
+//
+// With weights (w non-nil, indexed like the universe) the rule additionally
+// requires the dominator to be no more expensive: replacing a by b in any
+// hitting set keeps it hitting (b covers all of a's rows) and never raises
+// its cost only when w[b] <= w[a], so some minimum-cost hitting set avoids
+// a. On fully interchangeable elements (equal occurrence sets AND equal
+// weights) the id tie-break keeps exactly one of the pair, as before.
+func dropDominated(n int, w []int64, rows *[][]int32, poll *ctxpoll.Poller) int {
 	cur := *rows
 	if len(cur) == 0 {
 		return 0
@@ -189,9 +198,13 @@ func dropDominated(n int, rows *[][]int32, poll *ctxpoll.Poller) int {
 			if !SubsetOf(ab, bb) {
 				continue
 			}
-			// Occ(a) ⊆ Occ(b): strict inclusion always drops a; on equality
-			// drop the larger id so exactly one of the pair survives.
-			if Equal(ab, bb) && a < b {
+			if w != nil && w[b] > w[a] {
+				continue // b covers a's rows but costs more: no domination
+			}
+			// Occ(a) ⊆ Occ(b) and w[b] <= w[a]: strict inclusion or a strictly
+			// cheaper b always drops a; on full equality (same rows, same
+			// cost) drop the larger id so exactly one of the pair survives.
+			if Equal(ab, bb) && (w == nil || w[a] == w[b]) && a < b {
 				continue
 			}
 			if dropped == nil {
@@ -331,8 +344,16 @@ func Decompose(f *Family) []*Component {
 			sort.Slice(lr, func(a, b int) bool { return lr[a] < lr[b] })
 			lrows[i] = lr
 		}
+		cf := NewFamily(lrows, len(global), false)
+		if f.W != nil {
+			lw := make([]int64, len(global))
+			for li, e := range global {
+				lw[li] = f.W[e]
+			}
+			cf.W = lw
+		}
 		out = append(out, &Component{
-			Fam:    NewFamily(lrows, len(global), false),
+			Fam:    cf,
 			Global: global,
 		})
 	}

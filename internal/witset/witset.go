@@ -2,6 +2,7 @@ package witset
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -24,6 +25,10 @@ type Instance struct {
 	// deletion set can falsify the query (infinite resilience). Enumeration
 	// stops at the first such witness, so rows is then partial.
 	unbreakable bool
+	// weights holds per-tuple deletion costs, indexed by tuple id. nil means
+	// every tuple costs 1 (the cardinality case); non-nil weights are all
+	// >= 1, which every weighted bound and budget computation relies on.
+	weights []int64
 
 	minOnce sync.Once
 	min     *Family // superset-eliminated family
@@ -114,6 +119,46 @@ func (in *Instance) ID(t db.Tuple) (int32, bool) {
 // Read-only, like Tuples.
 func (in *Instance) Rows() [][]int32 { return in.rows }
 
+// Weights returns the per-tuple deletion costs, indexed by tuple id, or nil
+// when every tuple costs 1 (the cardinality case). Read-only, like Tuples.
+func (in *Instance) Weights() []int64 { return in.weights }
+
+// Weight returns the deletion cost of the tuple with the given id; 1 on an
+// unweighted instance.
+func (in *Instance) Weight(id int32) int64 {
+	if in.weights == nil {
+		return 1
+	}
+	return in.weights[id]
+}
+
+// WithWeights returns a derived instance over the same witness hypergraph
+// with per-tuple deletion costs attached: the tuple universe and rows are
+// shared (witness enumeration is never repaid), while every lazily derived
+// structure — family, kernel, components — is private to the weighted view,
+// because kernelization's domination rule is weight-sensitive. weights is
+// indexed by tuple id, must cover the whole universe, and every cost must
+// be >= 1. The base instance is not modified; cached unweighted IRs stay
+// valid for concurrent requests.
+func (in *Instance) WithWeights(weights []int64) (*Instance, error) {
+	if len(weights) != len(in.tuples) {
+		return nil, fmt.Errorf("witset: %d weights for a universe of %d tuples", len(weights), len(in.tuples))
+	}
+	for _, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("witset: tuple weight %d is below 1", w)
+		}
+	}
+	return &Instance{
+		query:       in.query,
+		tuples:      in.tuples,
+		idOf:        in.idOf,
+		rows:        in.rows,
+		unbreakable: in.unbreakable,
+		weights:     weights,
+	}, nil
+}
+
 // TupleSet projects a set of ids back to tuples, sorted.
 func (in *Instance) TupleSet(ids []int32) []db.Tuple {
 	out := make([]db.Tuple, len(ids))
@@ -133,10 +178,16 @@ func (in *Instance) TupleSet(ids []int32) []db.Tuple {
 // instance and may be requested from multiple goroutines.
 func (in *Instance) Family(keepSupersets bool) *Family {
 	if keepSupersets {
-		in.rawOnce.Do(func() { in.raw = NewFamily(in.rows, len(in.tuples), true) })
+		in.rawOnce.Do(func() {
+			in.raw = NewFamily(in.rows, len(in.tuples), true)
+			in.raw.W = in.weights
+		})
 		return in.raw
 	}
-	in.minOnce.Do(func() { in.min = NewFamily(in.rows, len(in.tuples), false) })
+	in.minOnce.Do(func() {
+		in.min = NewFamily(in.rows, len(in.tuples), false)
+		in.min.W = in.weights
+	})
 	return in.min
 }
 
@@ -201,6 +252,12 @@ type Family struct {
 	Bits []Bits
 	// Occ[e] lists the indexes of the rows containing element e.
 	Occ [][]int32
+	// W holds per-element deletion costs (all >= 1), indexed like the
+	// universe, or nil when every element costs 1. Row elimination is
+	// weight-oblivious — only chosen elements cost anything — so W rides
+	// along unchanged through every re-normalization over the same
+	// universe; Kernelize's domination rule and Decompose consult it.
+	W []int64
 }
 
 // NewFamily normalizes raw rows over a universe of n elements: each row is

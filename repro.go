@@ -112,17 +112,20 @@ type (
 	// Mutation is one tuple-level change in a Session.MutateDB batch (and
 	// the element of a PATCH /v1/db/{name} request).
 	Mutation = api.Mutation
+	// RankedTuple is one entry of a top_k_responsibility ranking.
+	RankedTuple = api.RankedTuple
 )
 
 // Task kinds, re-exported.
 const (
-	TaskClassify          = api.KindClassify
-	TaskSolve             = api.KindSolve
-	TaskEnumerate         = api.KindEnumerate
-	TaskResponsibility    = api.KindResponsibility
-	TaskDecide            = api.KindDecide
-	TaskVerifyContingency = api.KindVerifyContingency
-	TaskWatch             = api.KindWatch
+	TaskClassify           = api.KindClassify
+	TaskSolve              = api.KindSolve
+	TaskEnumerate          = api.KindEnumerate
+	TaskResponsibility     = api.KindResponsibility
+	TaskDecide             = api.KindDecide
+	TaskVerifyContingency  = api.KindVerifyContingency
+	TaskWatch              = api.KindWatch
+	TaskTopKResponsibility = api.KindTopKResponsibility
 )
 
 // Mutation ops, re-exported.
@@ -348,6 +351,20 @@ func SearchHardnessProof(q *Query, maxJoins, maxConsts int) (*ChainableIJP, int,
 // counterfactual cause.
 func Responsibility(q *Query, d *Database, t Tuple) (int, []Tuple, error) {
 	return sessionDefault().ResponsibilityQuery(context.Background(), q, d, t)
+}
+
+// TopKResponsibility ranks the k most responsible endogenous tuples of
+// (q, D): each entry carries the tuple, its minimum contingency size (or
+// cost, under weights passed via the task API), the responsibility score
+// 1/(1+k), and one optimal contingency set. Ties are broken by the tuples'
+// rendered form, so the ranking is deterministic. The per-component minima
+// behind every entry are solved once and shared across the whole ranking.
+func TopKResponsibility(q *Query, d *Database, k int) ([]RankedTuple, error) {
+	res, err := sessionDefault().DoQuery(context.Background(), Task{Kind: TaskTopKResponsibility, K: k}, q, d)
+	if err != nil {
+		return nil, err
+	}
+	return res.Ranked, nil
 }
 
 // EnumerateMinimum returns ρ(q, D) with every minimum contingency set (up
