@@ -4,10 +4,10 @@ STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 .PHONY: all build test race bench bench-json bench-gate bench-baseline lint docs-check staticcheck test-differential fuzz-smoke api-check api-surface
 
 # The perf gate's benchmark selection and the packages that define them:
-# the exact-pipeline, portfolio, weighted min-cost, and top-k ranking
-# benchmarks (root package) and the incremental-SAT binary-search pair
-# (internal/cnfenc).
-BENCH_GATE := ^Benchmark(ExactComponents|Portfolio|SATIncremental|GateCalibrate|WeightedComponents|TopKResponsibility)
+# the exact-pipeline, portfolio, weighted min-cost, top-k ranking, and
+# witness-IR build/join-plan benchmarks (root package) and the
+# incremental-SAT binary-search pair (internal/cnfenc).
+BENCH_GATE := ^Benchmark(ExactComponents|Portfolio|SATIncremental|GateCalibrate|WeightedComponents|TopKResponsibility|IRBuild|JoinPlan)
 BENCH_GATE_PKGS := . ./internal/cnfenc/
 # Allowed slowdown factor before the gate fails. cmd/benchgate's own default
 # is 1.20 (the >20% contract for a quiet reference machine); shared CI

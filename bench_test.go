@@ -10,12 +10,15 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cnfenc"
 	"repro/internal/cq"
 	"repro/internal/datagen"
+	"repro/internal/db"
 	"repro/internal/engine"
+	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/hardness"
 	"repro/internal/ijp"
@@ -472,6 +475,73 @@ func benchTopKResponsibility(b *testing.B, components int) {
 
 func BenchmarkTopKResponsibility6(b *testing.B)  { benchTopKResponsibility(b, 6) }
 func BenchmarkTopKResponsibility12(b *testing.B) { benchTopKResponsibility(b, 12) }
+
+// IR-build benchmarks: the polynomial witness-enumeration side the PR-9
+// planner and sharded build optimise. Seq vs Parallel is the headline pair
+// (same database, workers 1 vs 4); the allocation column (-benchmem) tracks
+// the arena + scratch design. The benchmarks pin GOMAXPROCS to at least 4
+// for both variants, so the pair measures the intended multi-core frame
+// even on CI containers that default to 1.
+
+func benchIRBuild(b *testing.B, workers int) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(2033))
+	d := datagen.ManyComponentDenseDB(rng, 24, 30, 90)
+	d.Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, _, err := witset.BuildWith(context.Background(), q, d, witset.BuildOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if inst.NumWitnesses() == 0 {
+			b.Fatal("empty instance")
+		}
+	}
+}
+
+func BenchmarkIRBuildSeq(b *testing.B)      { benchIRBuild(b, 1) }
+func BenchmarkIRBuildParallel(b *testing.B) { benchIRBuild(b, 4) }
+
+// Join-plan benchmarks: enumeration throughput alone (no interning).
+// Dense exercises the self-join inner loop; Skewed is the shape the
+// cost-based planner exists for — a 20-tuple relation joined against a
+// 4000-tuple one, where starting from the small side turns a full scan of
+// the large relation into a handful of index probes.
+
+func benchJoinPlan(b *testing.B, q *cq.Query, d *db.Database) {
+	d.Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eval.CountWitnesses(q, d) == 0 {
+			b.Fatal("no witnesses")
+		}
+	}
+}
+
+func BenchmarkJoinPlanDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(2033))
+	benchJoinPlan(b, cq.MustParse("qchain :- R(x,y), R(y,z)"),
+		datagen.ManyComponentDenseDB(rng, 24, 30, 90))
+}
+
+func BenchmarkJoinPlanSkewed(b *testing.B) {
+	d := db.New()
+	for i := 0; i < 4000; i++ {
+		d.AddNames("R", datagen.ConstName(i), datagen.ConstName(i+1))
+	}
+	for i := 1; i <= 20; i++ {
+		d.AddNames("S", datagen.ConstName(i*37), datagen.ConstName(i))
+	}
+	benchJoinPlan(b, cq.MustParse("qskew :- R(x,y), S(y,z)"), d)
+}
 
 // gateCalibrateSink defeats dead-code elimination in BenchmarkGateCalibrate.
 var gateCalibrateSink uint64

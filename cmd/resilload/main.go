@@ -45,7 +45,9 @@
 // run, resilload prints per-scenario latency percentiles, the overall
 // throughput, and the server's /metrics snapshot — the IR-cache hit
 // counters are the quickest way to confirm the enumerate-once behavior is
-// working across requests.
+// working across requests, and ir_build_ns / parallel_ir_builds /
+// ir_build_shards show how much wall time the witness enumerations cost
+// and how often the sharded parallel build engaged.
 //
 // The mutate scenario is different in shape: instead of riding the solve
 // mix it parks -watchers watch streams on a many-component database and

@@ -11,7 +11,12 @@
 //
 //	-addr :8080          listen address
 //	-workers N           engine worker-pool size (default GOMAXPROCS)
+//	-build-workers N     sharded witness-enumeration workers per IR build
+//	                     (default min(4, GOMAXPROCS); 1 = sequential)
 //	-portfolio           race exact vs SAT on NP-hard instances (default true)
+//	-pprof               register net/http/pprof under /debug/pprof/
+//	                     (off by default: the profiling surface exposes
+//	                     heap and goroutine internals)
 //	-max-inflight N      concurrently executing solver requests before
 //	                     shedding with 429 (default 64)
 //	-request-timeout D   default per-request wall-time budget; a request's
@@ -75,16 +80,18 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		portfolio   = flag.Bool("portfolio", true, "race exact vs SAT on NP-hard instances")
-		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing solver requests (0 = default 64)")
-		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "default per-request wall-time budget (0 = none)")
-		maxBody     = flag.Int64("max-body", 0, "request-body byte cap (0 = default 32 MiB)")
-		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
-		jobWorkers  = flag.Int("job-workers", 0, "async-job executor goroutines (0 = default 2)")
-		drainDelay  = flag.Duration("drain-delay", 5*time.Second, "time between failing /healthz and closing the listener, so load balancers observe the 503 and stop routing here")
-		noLegacy    = flag.Bool("disable-legacy", false, "serve only the /v1 surface; the deprecated flat routes answer 404")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		portfolio    = flag.Bool("portfolio", true, "race exact vs SAT on NP-hard instances")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing solver requests (0 = default 64)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "default per-request wall-time budget (0 = none)")
+		maxBody      = flag.Int64("max-body", 0, "request-body byte cap (0 = default 32 MiB)")
+		grace        = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		jobWorkers   = flag.Int("job-workers", 0, "async-job executor goroutines (0 = default 2)")
+		drainDelay   = flag.Duration("drain-delay", 5*time.Second, "time between failing /healthz and closing the listener, so load balancers observe the 503 and stop routing here")
+		noLegacy     = flag.Bool("disable-legacy", false, "serve only the /v1 surface; the deprecated flat routes answer 404")
+		buildWorkers = flag.Int("build-workers", 0, "sharded witness-enumeration workers per IR build (0 = min(4, GOMAXPROCS), 1 = sequential)")
+		pprofOn      = flag.Bool("pprof", false, "register net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -94,8 +101,9 @@ func main() {
 
 	srv := repro.NewServer(repro.ServerConfig{
 		Engine: repro.EngineConfig{
-			Workers:   *workers,
-			Portfolio: *portfolio,
+			Workers:      *workers,
+			Portfolio:    *portfolio,
+			BuildWorkers: *buildWorkers,
 		},
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
@@ -111,7 +119,7 @@ func main() {
 	defer cancelBase()
 	httpSrv := &http.Server{
 		Addr:        *addr,
-		Handler:     srv,
+		Handler:     withPProf(srv, *pprofOn),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 
@@ -148,6 +156,7 @@ func main() {
 	_ = httpSrv.Close()
 
 	st := srv.Engine().Stats()
-	log.Printf("resilserverd: stopped; solved=%d timeouts=%d ir-builds=%d ir-cache-hits=%d",
-		st.Solved, st.Timeouts, st.IRBuilds, st.IRCacheHits)
+	log.Printf("resilserverd: stopped; solved=%d timeouts=%d ir-builds=%d (parallel=%d, %.1fms total) ir-cache-hits=%d",
+		st.Solved, st.Timeouts, st.IRBuilds, st.ParallelIRBuilds,
+		float64(st.IRBuildNs)/1e6, st.IRCacheHits)
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// withPProf wraps the API handler with the net/http/pprof surface under
+// /debug/pprof/ when enabled. The default is off: profiling endpoints leak
+// heap contents, goroutine stacks and CPU behaviour, so they are opt-in
+// (the -pprof flag) and meant for trusted networks only. When disabled the
+// API handler serves everything, so /debug/pprof/ falls through to its 404
+// like any other unknown route.
+//
+// The handlers are registered on a private mux rather than
+// http.DefaultServeMux so that importing pprof here can never leak the
+// profiling surface into another server in this process.
+func withPProf(api http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

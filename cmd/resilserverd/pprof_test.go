@@ -1,0 +1,51 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+)
+
+// TestPProfGating checks the -pprof wiring: with the flag off the profiling
+// endpoints must be indistinguishable from unknown routes (404), with it on
+// they must answer, and in both cases the API underneath keeps serving.
+func TestPProfGating(t *testing.T) {
+	srv := repro.NewServer(repro.ServerConfig{})
+	defer srv.Close()
+
+	get := func(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	t.Run("off", func(t *testing.T) {
+		h := withPProf(srv, false)
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+			if rec := get(t, h, path); rec.Code != http.StatusNotFound {
+				t.Errorf("GET %s with pprof off: got %d, want 404", path, rec.Code)
+			}
+		}
+		if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+			t.Errorf("GET /healthz with pprof off: got %d, want 200", rec.Code)
+		}
+	})
+
+	t.Run("on", func(t *testing.T) {
+		h := withPProf(srv, true)
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+			if rec := get(t, h, path); rec.Code != http.StatusOK {
+				t.Errorf("GET %s with pprof on: got %d, want 200", path, rec.Code)
+			}
+		}
+		if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+			t.Errorf("GET /healthz with pprof on: got %d, want 200", rec.Code)
+		}
+		if rec := get(t, h, "/no/such/route"); rec.Code != http.StatusNotFound {
+			t.Errorf("GET unknown route with pprof on: got %d, want 404", rec.Code)
+		}
+	})
+}

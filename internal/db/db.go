@@ -2,7 +2,7 @@ package db
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -130,6 +130,15 @@ func (r *Relation) rebuild() {
 func (r *Relation) Lookup(p int, v Value) []Tuple {
 	r.rebuild()
 	return r.index[p][v]
+}
+
+// DistinctAt returns the number of distinct values occurring at argument
+// position p, i.e. the number of index buckets there. Len()/DistinctAt(p)
+// is the average fanout of a position-p probe — the selectivity statistic
+// the cost-based join planner uses. Like Lookup it materialises the index.
+func (r *Relation) DistinctAt(p int) int {
+	r.rebuild()
+	return len(r.index[p])
 }
 
 // Database is a set of relations plus a string-to-constant interner.
@@ -309,7 +318,7 @@ func (d *Database) RelationNames() []string {
 	for n := range d.rels {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -372,7 +381,7 @@ func (d *Database) String() string {
 // SortTuples sorts ts in place by relation name, then lexicographically by
 // arguments.
 func SortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return CompareTuples(ts[i], ts[j]) < 0 })
+	slices.SortFunc(ts, CompareTuples)
 }
 
 // CompareTuples gives a total order over tuples.

@@ -59,6 +59,13 @@ type Config struct {
 	// Instances go through the kernel+decompose pipeline first, and each
 	// connected component of the witness hypergraph is raced independently.
 	Portfolio bool
+	// BuildWorkers bounds the sharded witness-enumeration pool used when
+	// the engine constructs a witness IR (witset.BuildWith): the first join
+	// step's candidate tuples are partitioned across this many goroutines,
+	// with a deterministic merge keeping the result identical to a
+	// sequential build. <= 0 means min(4, GOMAXPROCS); 1 forces sequential
+	// builds.
+	BuildWorkers int
 	// ComponentWorkers bounds the intra-instance worker pool that solves
 	// the connected components of one instance's witness hypergraph in
 	// parallel on the portfolio path. <= 0 means min(4, GOMAXPROCS), a
@@ -104,6 +111,9 @@ type Engine struct {
 	portfolioExactWins atomic.Int64
 	portfolioSATWins   atomic.Int64
 	irBuilds           atomic.Int64
+	irBuildNs          atomic.Int64
+	parallelIRBuilds   atomic.Int64
+	irBuildShards      atomic.Int64
 	solverRuns         atomic.Int64
 	kernelForced       atomic.Int64
 	kernelDominated    atomic.Int64
@@ -136,6 +146,18 @@ type Stats struct {
 	// misses only, and component-cache hits skip solver runs entirely.
 	IRBuilds   int64
 	SolverRuns int64
+	// IRBuildNs is the cumulative wall time spent constructing witness IRs
+	// (the polynomial enumeration side), in nanoseconds. With IRBuilds it
+	// gives the average build latency the join planner and the sharded
+	// enumeration are optimising.
+	IRBuildNs int64
+	// ParallelIRBuilds counts the IR constructions that ran sharded
+	// (more than one enumeration worker), and IRBuildShards the total
+	// shards across them — IRBuildShards/ParallelIRBuilds is the average
+	// effective fan-out, which drops below Config.BuildWorkers when first-
+	// step candidate lists are too short to split.
+	ParallelIRBuilds int64
+	IRBuildShards    int64
 	// IRMigrations counts cached IRs carried across a database mutation by
 	// delta maintenance (Engine.MigrateIRs) instead of being rebuilt from
 	// scratch on the next request.
@@ -192,6 +214,9 @@ func (e *Engine) Stats() Stats {
 		PortfolioSATWins:   e.portfolioSATWins.Load(),
 		IRBuilds:           e.irBuilds.Load(),
 		SolverRuns:         e.solverRuns.Load(),
+		IRBuildNs:          e.irBuildNs.Load(),
+		ParallelIRBuilds:   e.parallelIRBuilds.Load(),
+		IRBuildShards:      e.irBuildShards.Load(),
 		IRMigrations:       e.irMigrations.Load(),
 		IRCacheHits:        irHits,
 		IRCacheMisses:      irMisses,
@@ -218,6 +243,17 @@ func (e *Engine) Workers() int {
 func (e *Engine) componentWorkers() int {
 	if e.cfg.ComponentWorkers > 0 {
 		return e.cfg.ComponentWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+func (e *Engine) buildWorkers() int {
+	if e.cfg.BuildWorkers > 0 {
+		return e.cfg.BuildWorkers
 	}
 	w := runtime.GOMAXPROCS(0)
 	if w > 4 {
@@ -357,9 +393,15 @@ func (e *Engine) ForgetDatabase(d *db.Database) { e.irs.evictUID(d.UID()) }
 // enumerate and responsibility traffic alike.
 func (e *Engine) InstanceFor(ctx context.Context, q *cq.Query, d *db.Database) (*witset.Instance, error) {
 	build := func() (*witset.Instance, error) {
-		inst, err := witset.Build(ctx, q, d, nil)
+		start := time.Now()
+		inst, info, err := witset.BuildWith(ctx, q, d, witset.BuildOptions{Workers: e.buildWorkers()})
 		if err == nil {
 			e.irBuilds.Add(1)
+			e.irBuildNs.Add(time.Since(start).Nanoseconds())
+			if info.Shards > 1 {
+				e.parallelIRBuilds.Add(1)
+				e.irBuildShards.Add(int64(info.Shards))
+			}
 		}
 		return inst, err
 	}

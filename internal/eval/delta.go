@@ -28,8 +28,8 @@ func ForEachDeltaWitness(q *cq.Query, d *db.Database, t db.Tuple, fn func(Witnes
 	if n == 0 {
 		return
 	}
-	assign := make([]db.Value, q.NumVars())
-	bound := make([]bool, q.NumVars())
+	assign := make(Witness, q.NumVars())
+	seed := make([]bool, q.NumVars())
 	stopped := false
 	for pin := 0; pin < n && !stopped; pin++ {
 		a := q.Atoms[pin]
@@ -38,10 +38,12 @@ func ForEachDeltaWitness(q *cq.Query, d *db.Database, t db.Tuple, fn func(Witnes
 		}
 		// Bind the pinned atom's variables to t, rejecting the pin when a
 		// repeated variable would need two different constants.
-		var seeded []cq.Var
+		for i := range seed {
+			seed[i] = false
+		}
 		ok := true
 		for p, v := range a.Args {
-			if bound[v] {
+			if seed[v] {
 				if assign[v] != t.Args[p] {
 					ok = false
 					break
@@ -49,25 +51,25 @@ func ForEachDeltaWitness(q *cq.Query, d *db.Database, t db.Tuple, fn func(Witnes
 				continue
 			}
 			assign[v] = t.Args[p]
-			bound[v] = true
-			seeded = append(seeded, v)
+			seed[v] = true
 		}
-		if ok {
-			order := planOrderSkip(q, pin)
-			joinOver(q, d, order, assign, bound, func(w Witness) bool {
-				if earlierAtomUses(q, w, t, pin) {
-					return true // already reported under a smaller pin
-				}
-				if !fn(w) {
-					stopped = true
-					return false
-				}
-				return true
-			})
+		if !ok {
+			continue
 		}
-		for _, v := range seeded {
-			bound[v] = false
-		}
+		// The remaining atoms get the same cost-based planner as the full
+		// enumeration, with the pinned variables seeding the selectivity
+		// estimates.
+		plan := newPlanSeeded(q, d, seed, pin)
+		plan.forEachSeeded(assign, func(w Witness, _ []db.Tuple) bool {
+			if earlierAtomUses(q, w, t, pin) {
+				return true // already reported under a smaller pin
+			}
+			if !fn(w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
 	}
 }
 
@@ -91,45 +93,4 @@ func earlierAtomUses(q *cq.Query, w Witness, t db.Tuple, pin int) bool {
 		}
 	}
 	return false
-}
-
-// planOrderSkip orders all atoms except skip greedily for index probes,
-// treating skip's variables as already bound (they seed the connectivity).
-func planOrderSkip(q *cq.Query, skip int) []int {
-	n := len(q.Atoms)
-	used := make([]bool, n)
-	used[skip] = true
-	seen := map[cq.Var]bool{}
-	for _, v := range q.Atoms[skip].Args {
-		seen[v] = true
-	}
-	order := make([]int, 0, n-1)
-	for len(order) < n-1 {
-		best := -1
-		for i := 0; i < n; i++ {
-			if used[i] {
-				continue
-			}
-			connected := false
-			for _, v := range q.Atoms[i].Args {
-				if seen[v] {
-					connected = true
-					break
-				}
-			}
-			if connected {
-				best = i
-				break
-			}
-			if best == -1 {
-				best = i
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		for _, v := range q.Atoms[best].Args {
-			seen[v] = true
-		}
-	}
-	return order
 }

@@ -40,118 +40,13 @@ func Satisfied(q *cq.Query, d *db.Database) bool {
 
 // ForEachWitness calls fn for every witness; fn returning false stops the
 // enumeration. The Witness slice passed to fn is reused across calls; copy
-// it if retained.
+// it if retained. The enumeration order is the cost-based plan order and
+// is deterministic for a given database (see NewPlan).
 func ForEachWitness(q *cq.Query, d *db.Database, fn func(Witness) bool) {
 	if len(q.Atoms) == 0 {
 		return
 	}
-	joinOver(q, d, planOrder(q), make([]db.Value, q.NumVars()), make([]bool, q.NumVars()), fn)
-}
-
-// joinOver is the backtracking-join core shared by the full and the delta
-// enumeration: it extends the partial valuation (assign, bound) over the
-// atoms listed in order, calling fn with the completed witness. Variables
-// already bound on entry act as seeds (the delta enumerator binds the
-// pinned atom's variables first); on return assign/bound are restored to
-// their entry state.
-func joinOver(q *cq.Query, d *db.Database, order []int, assign []db.Value, bound []bool, fn func(Witness) bool) {
-	n := len(order)
-	stopped := false
-
-	var rec func(k int)
-	rec = func(k int) {
-		if stopped {
-			return
-		}
-		if k == n {
-			if !fn(assign) {
-				stopped = true
-			}
-			return
-		}
-		a := q.Atoms[order[k]]
-		rel := d.Rel(a.Rel)
-		if rel == nil || rel.Len() == 0 {
-			return
-		}
-		// Pick a bound position to use as index probe if one exists.
-		probe := -1
-		for p, v := range a.Args {
-			if bound[v] {
-				probe = p
-				break
-			}
-		}
-		var candidates []db.Tuple
-		if probe >= 0 {
-			candidates = rel.Lookup(probe, assign[a.Args[probe]])
-		} else {
-			candidates = rel.Tuples()
-		}
-		for _, t := range candidates {
-			var newly []cq.Var
-			ok := true
-			for p, v := range a.Args {
-				if bound[v] {
-					if assign[v] != t.Args[p] {
-						ok = false
-						break
-					}
-				} else {
-					assign[v] = t.Args[p]
-					bound[v] = true
-					newly = append(newly, v)
-				}
-			}
-			if ok {
-				rec(k + 1)
-			}
-			for _, v := range newly {
-				bound[v] = false
-			}
-			if stopped {
-				return
-			}
-		}
-	}
-	rec(0)
-}
-
-// planOrder orders atoms greedily so each atom shares a variable with an
-// earlier one whenever possible, enabling index probes.
-func planOrder(q *cq.Query) []int {
-	n := len(q.Atoms)
-	used := make([]bool, n)
-	seen := map[cq.Var]bool{}
-	order := make([]int, 0, n)
-	for len(order) < n {
-		best := -1
-		for i := 0; i < n; i++ {
-			if used[i] {
-				continue
-			}
-			connected := false
-			for _, v := range q.Atoms[i].Args {
-				if seen[v] {
-					connected = true
-					break
-				}
-			}
-			if connected {
-				best = i
-				break
-			}
-			if best == -1 {
-				best = i
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		for _, v := range q.Atoms[best].Args {
-			seen[v] = true
-		}
-	}
-	return order
+	NewPlan(q, d).ForEach(func(w Witness, _ []db.Tuple) bool { return fn(w) })
 }
 
 // WitnessTuples returns, for a witness w, the set of distinct tuples the
@@ -159,19 +54,28 @@ func planOrder(q *cq.Query) []int {
 // self-joins, the same tuple can serve several atoms and is reported once
 // (the paper's "set of at most m tuples").
 func WitnessTuples(q *cq.Query, w Witness, endoOnly bool) []db.Tuple {
-	seen := map[db.Tuple]bool{}
-	var out []db.Tuple
-	for _, a := range q.Atoms {
+	out := make([]db.Tuple, 0, len(q.Atoms))
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
 		if endoOnly && q.IsExogenous(a.Rel) {
 			continue
 		}
-		args := make([]db.Value, len(a.Args))
-		for i, v := range a.Args {
-			args[i] = w[v]
+		var t db.Tuple
+		t.Rel = a.Rel
+		t.Arity = uint8(len(a.Args))
+		for p, v := range a.Args {
+			t.Args[p] = w[v]
 		}
-		t := db.NewTuple(a.Rel, args...)
-		if !seen[t] {
-			seen[t] = true
+		// Linear dedup: a witness uses at most len(q.Atoms) tuples, so
+		// scanning beats a map allocation.
+		dup := false
+		for _, prev := range out {
+			if prev == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, t)
 		}
 	}

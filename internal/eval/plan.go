@@ -1,0 +1,279 @@
+package eval
+
+import (
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Cost-based join planning. planOrder's first-connected-wins heuristic
+// ignores relation sizes entirely: on a query like q :- R(x,y), S(y,z)
+// with |R| = 10^5 and |S| = 10 it happily starts from R. NewPlan instead
+// orders atoms greedily by estimated cost — the expected number of
+// candidate tuples the backtracking join will scan at that step, i.e.
+// |rel| when no variable is bound yet, and |rel| / distinct(p) for the
+// most selective position p whose variable is bound (index fanout). The
+// estimate uses only frozen-index statistics (Relation.Len and
+// Relation.DistinctAt), so the order is deterministic for a given
+// database.
+//
+// The plan is also *compiled*: for a fixed atom order, the role of every
+// atom position is static — it either probes/checks a variable bound by an
+// earlier step, checks an intra-atom repeat, or binds a fresh variable.
+// Precomputing that split removes the per-candidate bookkeeping (the
+// `newly []cq.Var` allocation and the bound[] updates) from the inner
+// loop: enumeration binds into a flat assign slice and never needs to
+// unbind, because a position is read only when the compile-time analysis
+// proved an earlier bind wrote it.
+
+// planStep is one compiled join step.
+type planStep struct {
+	atomIdx int          // index into q.Atoms
+	args    []cq.Var     // q.Atoms[atomIdx].Args
+	rel     *db.Relation // nil when the relation is absent from d
+	probe   []int8       // positions whose variable is bound at entry (index-probe candidates)
+	check   []int8       // positions to verify by equality (entry-bound or intra-atom repeats)
+	bind    []int8       // positions that bind a fresh variable
+	scan    []db.Tuple   // full candidate list, set iff probe is empty
+}
+
+// Plan is a compiled, cost-ordered join plan for one query over one
+// database. Building it reads index statistics, so the database's indexes
+// are materialised as a side effect; the plan itself is immutable and safe
+// for concurrent ForEachRange calls over a frozen database.
+type Plan struct {
+	q          *cq.Query
+	steps      []planStep
+	order      []int
+	numVars    int
+	impossible bool // some atom's relation is absent or empty
+}
+
+// NewPlan compiles a cost-ordered plan for enumerating all witnesses of q
+// over d.
+func NewPlan(q *cq.Query, d *db.Database) *Plan {
+	return newPlanSeeded(q, d, nil, -1)
+}
+
+// newPlanSeeded compiles a plan over the atoms of q excluding skip
+// (skip < 0 keeps all atoms), treating variables marked in seed as bound
+// before the first step. The delta enumerator uses this to pin one atom to
+// a changed tuple.
+func newPlanSeeded(q *cq.Query, d *db.Database, seed []bool, skip int) *Plan {
+	p := &Plan{q: q, numVars: q.NumVars()}
+	bnd := make([]bool, p.numVars)
+	copy(bnd, seed)
+	p.order = costOrder(q, d, bnd, skip)
+	p.steps = make([]planStep, 0, len(p.order))
+	for i := range bnd {
+		bnd[i] = false
+	}
+	copy(bnd, seed)
+	for _, ai := range p.order {
+		a := &q.Atoms[ai]
+		st := planStep{atomIdx: ai, args: a.Args, rel: d.Rel(a.Rel)}
+		if st.rel == nil || st.rel.Len() == 0 {
+			p.impossible = true
+		}
+		inAtom := make(map[cq.Var]bool, len(a.Args))
+		for pos, v := range a.Args {
+			switch {
+			case bnd[v]:
+				st.probe = append(st.probe, int8(pos))
+				st.check = append(st.check, int8(pos))
+			case inAtom[v]:
+				st.check = append(st.check, int8(pos))
+			default:
+				st.bind = append(st.bind, int8(pos))
+				inAtom[v] = true
+			}
+		}
+		if len(st.probe) == 0 && st.rel != nil {
+			st.scan = st.rel.Tuples()
+		}
+		for _, v := range a.Args {
+			bnd[v] = true
+		}
+		p.steps = append(p.steps, st)
+	}
+	return p
+}
+
+// costOrder greedily orders the atoms of q (excluding skip) by estimated
+// step cost, lowest first, given the variables already bound in bnd. Ties
+// break toward the smaller atom index, so the order is deterministic.
+// bnd is updated to the all-bound state as a side effect.
+func costOrder(q *cq.Query, d *db.Database, bnd []bool, skip int) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	if skip >= 0 {
+		used[skip] = true
+	}
+	total := n
+	if skip >= 0 {
+		total--
+	}
+	order := make([]int, 0, total)
+	for len(order) < total {
+		best, bestCost := -1, 0.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			c := estStepCost(&q.Atoms[i], d, bnd)
+			if best < 0 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range q.Atoms[best].Args {
+			bnd[v] = true
+		}
+	}
+	return order
+}
+
+// estStepCost estimates the candidates scanned when atom a is joined next:
+// the full relation size with nothing bound, or size/distinct(p) for the
+// most selective bound position p (the index bucket the runtime probe
+// would pick on average).
+func estStepCost(a *cq.Atom, d *db.Database, bnd []bool) float64 {
+	rel := d.Rel(a.Rel)
+	if rel == nil || rel.Len() == 0 {
+		return 0 // dead step: scheduling it first kills the join immediately
+	}
+	size := float64(rel.Len())
+	best := size
+	for pos, v := range a.Args {
+		if !bnd[v] {
+			continue
+		}
+		if k := rel.DistinctAt(pos); k > 0 {
+			if f := size / float64(k); f < best {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+// Order returns the atom indexes in join order (for tests and diagnostics).
+func (p *Plan) Order() []int { return p.order }
+
+// NumFirstCandidates returns the number of candidate tuples of the first
+// join step, i.e. the grain available for sharding ForEachRange.
+func (p *Plan) NumFirstCandidates() int {
+	if p.impossible || len(p.steps) == 0 {
+		return 0
+	}
+	return len(p.steps[0].scan)
+}
+
+// ForEach enumerates every witness of the plan. fn receives the witness
+// valuation and, aligned with q.Atoms, the tuple each atom matched; both
+// slices are reused across calls — copy them if retained. fn returning
+// false stops the enumeration.
+func (p *Plan) ForEach(fn func(Witness, []db.Tuple) bool) {
+	p.ForEachRange(0, p.NumFirstCandidates(), fn)
+}
+
+// ForEachRange enumerates the witnesses whose first-step candidate tuple
+// lies in [lo, hi) of the first step's scan list. Disjoint ranges
+// partition the witness set, and concatenating the sub-enumerations in
+// range order replays exactly the ForEach order — the property the
+// sharded IR build relies on. Only valid on unseeded plans (the first
+// step of a seeded plan may probe rather than scan).
+func (p *Plan) ForEachRange(lo, hi int, fn func(Witness, []db.Tuple) bool) {
+	if p.impossible || len(p.steps) == 0 || lo >= hi {
+		return
+	}
+	r := &planRun{
+		p:      p,
+		assign: make(Witness, p.numVars),
+		tup:    make([]db.Tuple, len(p.q.Atoms)),
+		fn:     fn,
+	}
+	s := &p.steps[0]
+	for _, t := range s.scan[lo:hi] {
+		r.step(s, t, 1)
+		if r.stopped {
+			return
+		}
+	}
+}
+
+// forEachSeeded runs a seeded plan: assign must hold the seed values for
+// the variables the plan was compiled with (it is used as the run's
+// scratch and overwritten beyond the seeds). The pinned atom's slot in the
+// tuple slice passed to fn is left zero.
+func (p *Plan) forEachSeeded(assign Witness, fn func(Witness, []db.Tuple) bool) {
+	if p.impossible {
+		return
+	}
+	r := &planRun{
+		p:      p,
+		assign: assign,
+		tup:    make([]db.Tuple, len(p.q.Atoms)),
+		fn:     fn,
+	}
+	r.rec(0)
+}
+
+// planRun is the per-enumeration mutable state: one flat valuation, the
+// per-atom matched tuples, and the stop flag.
+type planRun struct {
+	p       *Plan
+	assign  Witness
+	tup     []db.Tuple
+	fn      func(Witness, []db.Tuple) bool
+	stopped bool
+}
+
+func (r *planRun) rec(k int) {
+	if k == len(r.p.steps) {
+		if !r.fn(r.assign, r.tup) {
+			r.stopped = true
+		}
+		return
+	}
+	s := &r.p.steps[k]
+	var cands []db.Tuple
+	if len(s.probe) > 0 {
+		// Probe the most selective bound position: the shortest index
+		// bucket among the entry-bound positions.
+		pos := s.probe[0]
+		cands = s.rel.Lookup(int(pos), r.assign[s.args[pos]])
+		for _, alt := range s.probe[1:] {
+			if b := s.rel.Lookup(int(alt), r.assign[s.args[alt]]); len(b) < len(cands) {
+				cands = b
+			}
+		}
+	} else {
+		cands = s.scan
+	}
+	for i := range cands {
+		r.step(s, cands[i], k+1)
+		if r.stopped {
+			return
+		}
+	}
+}
+
+// step binds candidate t at step s and recurses to depth next on success.
+// Binds run before checks so intra-atom repeats compare against the value
+// just written; entry-bound positions are untouched by binds, so their
+// checks still see the earlier step's value. Failed candidates need no
+// unbinding: a stale assign slot is only ever read after a later bind
+// overwrites it.
+func (r *planRun) step(s *planStep, t db.Tuple, next int) {
+	for _, pos := range s.bind {
+		r.assign[s.args[pos]] = t.Args[pos]
+	}
+	for _, pos := range s.check {
+		if r.assign[s.args[pos]] != t.Args[pos] {
+			return
+		}
+	}
+	r.tup[s.atomIdx] = t
+	r.rec(next)
+}

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"slices"
 	"sort"
 
 	"repro/internal/cq"
@@ -240,7 +241,7 @@ func EnumerateMinimumWeightedFunc(ctx context.Context, inst *witset.Instance, d 
 			}
 			merged := make([]int32, 0, len(base)+len(cs))
 			merged = append(append(merged, base...), c.ToGlobal(cs)...)
-			sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+			slices.Sort(merged)
 			if emitErr = emit(cost, inst.TupleSet(merged)); emitErr != nil {
 				return false
 			}
@@ -320,7 +321,7 @@ func enumerateRows(poll *ctxpoll.Poller, rows [][]int32, n int, w []int64, cost 
 
 	record := func() bool {
 		set := append([]int32(nil), cur...)
-		sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+		slices.Sort(set)
 		k := idKey(set)
 		if seen[k] {
 			return true

@@ -2,7 +2,8 @@ package resilience
 
 import (
 	"context"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/internal/ctxpoll"
 	"repro/internal/db"
@@ -274,11 +275,14 @@ func TopKResponsibilityFunc(ctx context.Context, inst *witset.Instance, d *db.Da
 		}
 	}
 
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].K != entries[b].K {
-			return entries[a].K < entries[b].K
+	slices.SortFunc(entries, func(a, b RankedTuple) int {
+		if a.K != b.K {
+			if a.K < b.K {
+				return -1
+			}
+			return 1
 		}
-		return keys[entries[a].Tuple] < keys[entries[b].Tuple]
+		return strings.Compare(keys[a.Tuple], keys[b.Tuple])
 	})
 	if k > 0 && k < len(entries) {
 		entries = entries[:k]

@@ -639,6 +639,9 @@ type metricsResponse struct {
 	PortfolioExactWins int64 `json:"portfolio_exact_wins"`
 	PortfolioSATWins   int64 `json:"portfolio_sat_wins"`
 	IRBuilds           int64 `json:"ir_builds"`
+	IRBuildNs          int64 `json:"ir_build_ns"`
+	ParallelIRBuilds   int64 `json:"parallel_ir_builds"`
+	IRBuildShards      int64 `json:"ir_build_shards"`
 	SolverRuns         int64 `json:"solver_runs"`
 	IRCacheHits        int64 `json:"ir_cache_hits"`
 	IRCacheMisses      int64 `json:"ir_cache_misses"`
@@ -680,6 +683,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PortfolioExactWins: st.PortfolioExactWins,
 		PortfolioSATWins:   st.PortfolioSATWins,
 		IRBuilds:           st.IRBuilds,
+		IRBuildNs:          st.IRBuildNs,
+		ParallelIRBuilds:   st.ParallelIRBuilds,
+		IRBuildShards:      st.IRBuildShards,
 		SolverRuns:         st.SolverRuns,
 		IRCacheHits:        st.IRCacheHits,
 		IRCacheMisses:      st.IRCacheMisses,

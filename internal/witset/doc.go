@@ -27,6 +27,10 @@
 //   - Build is the single place the database is read; it freezes d's
 //     relation indexes up front, so sharing the instance never contends
 //     on lazy index rebuilds.
+//   - Build is deterministic regardless of parallelism: BuildWith may
+//     shard the enumeration across workers, but the merge reproduces
+//     the sequential tuple ids, row contents and row order byte for
+//     byte (DESIGN.md §12), which ApplyDelta's stable ids rely on.
 //   - Family(false) preserves the hitting-set optimum: rows are deduped
 //     and superset-eliminated only (hitting a subset always hits its
 //     supersets), and rows are ordered by increasing size so the first

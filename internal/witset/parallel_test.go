@@ -1,0 +1,169 @@
+package witset
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/zoo"
+)
+
+// instancesEqual fails the test unless a and b are byte-identical on the
+// id-universe, the rows (contents and order), and the unbreakable flag —
+// the exact contract mergeShards promises.
+func instancesEqual(t *testing.T, label string, a, b *Instance) {
+	t.Helper()
+	if a.Unbreakable() != b.Unbreakable() {
+		t.Errorf("%s: unbreakable %v vs %v", label, a.Unbreakable(), b.Unbreakable())
+		return
+	}
+	if a.NumTuples() != b.NumTuples() {
+		t.Errorf("%s: %d vs %d tuples", label, a.NumTuples(), b.NumTuples())
+		return
+	}
+	for i, tup := range a.Tuples() {
+		if b.Tuples()[i] != tup {
+			t.Errorf("%s: tuple id %d is %v vs %v", label, i, tup, b.Tuples()[i])
+			return
+		}
+	}
+	ar, br := a.Rows(), b.Rows()
+	if len(ar) != len(br) {
+		t.Errorf("%s: %d vs %d rows", label, len(ar), len(br))
+		return
+	}
+	for i := range ar {
+		if len(ar[i]) != len(br[i]) {
+			t.Errorf("%s: row %d has %d vs %d ids", label, i, len(ar[i]), len(br[i]))
+			return
+		}
+		for j := range ar[i] {
+			if ar[i][j] != br[i][j] {
+				t.Errorf("%s: row %d differs at %d: %d vs %d", label, i, j, ar[i][j], br[i][j])
+				return
+			}
+		}
+	}
+}
+
+// TestParallelBuildMatchesSequential is the randomized differential suite
+// for the sharded build: across the query zoo on random databases, plus
+// the structured datagen families, the parallel build must be
+// byte-identical to the sequential one (ids, row contents, row order,
+// unbreakable flag) for every worker count. Run under -race this also
+// checks the shard workers share nothing they should not.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	workerCounts := []int{1, 2, 4, 8}
+
+	check := func(t *testing.T, label string, q *cq.Query, d *db.Database) {
+		t.Helper()
+		seq, info, err := BuildWith(ctx, q, d, BuildOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential build: %v", label, err)
+		}
+		if info.Shards != 1 {
+			t.Fatalf("%s: sequential build reported %d shards", label, info.Shards)
+		}
+		for _, w := range workerCounts {
+			par, _, err := BuildWith(ctx, q, d, BuildOptions{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", label, w, err)
+			}
+			instancesEqual(t, label+" workers="+string(rune('0'+w)), seq, par)
+		}
+	}
+
+	t.Run("zoo", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for _, e := range zoo.Queries() {
+			d := datagen.Random(rng, e.Query, 12, 60, 0.3)
+			check(t, e.Name, e.Query, d)
+			dl := datagen.RandomWithLoops(rng, e.Query, 10, 50, 0.2)
+			check(t, e.Name+"/loops", e.Query, dl)
+		}
+	})
+
+	t.Run("structured", func(t *testing.T) {
+		qchain := cq.MustParse("qchain :- R(x,y), R(y,z)")
+		rng := rand.New(rand.NewSource(11))
+		check(t, "chain", qchain, datagen.ChainDB(rng, 400, 80))
+		check(t, "many-chain", qchain, datagen.ManyComponentChainDB(rng, 30, 3, 9))
+		check(t, "dense", qchain, datagen.ManyComponentDenseDB(rng, 12, 20, 40))
+	})
+
+	// An unbreakable witness (every atom over an exogenous relation, so
+	// the endogenous tuple set is empty) stops enumeration on the spot;
+	// the merge must truncate at the same point and report the flag
+	// exactly like the sequential build, discarding any work later shards
+	// did.
+	t.Run("unbreakable", func(t *testing.T) {
+		q := cq.MustParse("qx :- R(x,y)^x, S(y,z)^x")
+		d := db.New()
+		for i := 0; i < 50; i++ {
+			d.AddNames("R", datagen.ConstName(i), datagen.ConstName(i+1))
+			d.AddNames("S", datagen.ConstName(i+1), datagen.ConstName(i+2))
+		}
+		check(t, "unbreakable", q, d)
+	})
+}
+
+// TestBuildAllocs pins the sequential build's allocation behaviour on a
+// fixed instance. The arena + scratch design needs a handful of
+// allocations per build (plan, builder, map growth, slabs) but must not
+// allocate per witness: this database has ~10k witnesses, so the bound
+// below fails loudly if a per-witness allocation (the old per-witness map,
+// tuple slice or row copy) ever creeps back in.
+func TestBuildAllocs(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(2033))
+	d := datagen.ManyComponentDenseDB(rng, 24, 30, 90)
+	d.Freeze()
+	ctx := context.Background()
+
+	inst, err := Build(ctx, q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witnesses := inst.NumWitnesses()
+	if witnesses < 5000 {
+		t.Fatalf("database too small to be meaningful: %d witnesses", witnesses)
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := BuildWith(ctx, q, d, BuildOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The budget is dominated by idOf map growth and arena slabs, both
+	// logarithmic-ish in instance size; 600 gives headroom for map-resize
+	// jitter while sitting two orders of magnitude below one-per-witness.
+	if limit := 600.0; allocs > limit {
+		t.Errorf("sequential build of %d witnesses did %.0f allocs/op, want <= %.0f", witnesses, allocs, limit)
+	}
+}
+
+// TestBuildKeepParity checks that the keep filter (which forces the
+// sequential path) sees witnesses under the same enumeration the plain
+// build uses: filtering to "everything" must reproduce the unfiltered
+// instance exactly.
+func TestBuildKeepParity(t *testing.T) {
+	q := cq.MustParse("qchain :- R(x,y), R(y,z)")
+	rng := rand.New(rand.NewSource(5))
+	d := datagen.ChainDB(rng, 200, 40)
+	ctx := context.Background()
+
+	plain, err := Build(ctx, q, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := Build(ctx, q, d, func(eval.Witness) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	instancesEqual(t, "keep-all", plain, kept)
+}

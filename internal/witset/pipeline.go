@@ -3,7 +3,7 @@ package witset
 import (
 	"context"
 	"math/bits"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/ctxpoll"
@@ -341,7 +341,10 @@ func Decompose(f *Family) []*Component {
 			for j, e := range row {
 				lr[j] = local[e]
 			}
-			sort.Slice(lr, func(a, b int) bool { return lr[a] < lr[b] })
+			// Family rows are sorted and the global->local remap is
+			// monotone, so lr is already strictly increasing; slices.Sort
+			// is a near-free guard against that invariant ever changing.
+			slices.Sort(lr)
 			lrows[i] = lr
 		}
 		cf := NewFamily(lrows, len(global), false)

@@ -3,7 +3,7 @@ package witset
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cq"
@@ -46,46 +46,11 @@ type Instance struct {
 
 // Build enumerates the witnesses of q over d and interns their endogenous
 // tuple sets, skipping witnesses rejected by keep (nil keeps all). It polls
-// ctx during enumeration and returns ctx.Err() once cancelled.
-//
-// Build is the single place the database is read; it freezes d's relation
-// indexes up front so the instance can later be shared with code that still
-// holds d (concurrent index rebuilds are also individually safe, Freeze
-// just does the work eagerly and once).
+// ctx during enumeration and returns ctx.Err() once cancelled. Build is
+// BuildWith with default options; see there for the enumeration contract.
 func Build(ctx context.Context, q *cq.Query, d *db.Database, keep func(eval.Witness) bool) (*Instance, error) {
-	d.Freeze()
-	inst := &Instance{query: q, idOf: map[db.Tuple]int32{}}
-	poll := ctxpoll.New(ctx)
-	eval.ForEachWitness(q, d, func(w eval.Witness) bool {
-		if poll.Cancelled() {
-			return false
-		}
-		if keep != nil && !keep(w) {
-			return true
-		}
-		ts := eval.WitnessTuples(q, w, true)
-		if len(ts) == 0 {
-			inst.unbreakable = true
-			return false
-		}
-		row := make([]int32, len(ts))
-		for j, t := range ts {
-			id, ok := inst.idOf[t]
-			if !ok {
-				id = int32(len(inst.tuples))
-				inst.idOf[t] = id
-				inst.tuples = append(inst.tuples, t)
-			}
-			row[j] = id
-		}
-		sortIDs(row)
-		inst.rows = append(inst.rows, row)
-		return true
-	})
-	if err := poll.Err(); err != nil {
-		return nil, err
-	}
-	return inst, nil
+	inst, _, err := BuildWith(ctx, q, d, BuildOptions{Keep: keep})
+	return inst, err
 }
 
 // Query returns the query the instance was built for.
@@ -276,11 +241,19 @@ func NewFamily(raw [][]int32, n int, keepSupersets bool) *Family {
 func newFamilyPolled(raw [][]int32, n int, keepSupersets bool, poll *ctxpoll.Poller) (*Family, error) {
 	rows := make([][]int32, len(raw))
 	for i, s := range raw {
+		// Build and the kernelization rounds hand over rows that are
+		// already strictly increasing; those are shared as-is (rows are
+		// read-only everywhere downstream) instead of paying the defensive
+		// copy + sort + dedup per row.
+		if isSortedSet(s) {
+			rows[i] = s
+			continue
+		}
 		cp := append([]int32(nil), s...)
 		sortIDs(cp)
 		rows[i] = dedupSorted(cp)
 	}
-	sort.SliceStable(rows, func(a, b int) bool { return len(rows[a]) < len(rows[b]) })
+	slices.SortStableFunc(rows, func(a, b []int32) int { return len(a) - len(b) })
 
 	f := &Family{N: n}
 	for _, s := range rows {
@@ -320,7 +293,18 @@ func newFamilyPolled(raw [][]int32, n int, keepSupersets bool, poll *ctxpoll.Pol
 }
 
 func sortIDs(s []int32) {
-	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	slices.Sort(s)
+}
+
+// isSortedSet reports whether s is strictly increasing, i.e. already
+// sorted and duplicate-free.
+func isSortedSet(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func dedupSorted(s []int32) []int32 {
