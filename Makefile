@@ -42,15 +42,17 @@ test-differential:
 	$(GO) test -race -run 'TestDifferential|TestPortfolio|TestDecideAndVerifyViaIR' \
 		./internal/resilience/ ./internal/engine/
 
-# Short fuzz bursts over the three fuzzed boundaries: the CQ parser, the
-# PATCH wire decoder, and the CDCL core. Each target's seed corpus already
-# runs in `make test`; this explores beyond it briefly, so CI catches
-# shallow crashers without fuzz-farm runtimes.
+# Short fuzz bursts over the four fuzzed boundaries: the CQ parser, the
+# PATCH wire decoder, the CDCL core, and the WAL frame/op decoder that
+# crash recovery trusts. Each target's seed corpus already runs in
+# `make test`; this explores beyond it briefly, so CI catches shallow
+# crashers without fuzz-farm runtimes.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseCQ -fuzztime=$(FUZZTIME) ./internal/cq/
 	$(GO) test -fuzz=FuzzMutateDecode -fuzztime=$(FUZZTIME) ./api/
 	$(GO) test -fuzz=FuzzCDCL -fuzztime=$(FUZZTIME) ./internal/sat/
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/store/
 
 # Benchmark smoke run: one iteration of every benchmark, enough to catch
 # bit-rot in the harness without CI-length timings.

@@ -38,6 +38,12 @@ const (
 	// CodeCanceled means the caller went away mid-task (client disconnect,
 	// context cancellation, job cancellation).
 	CodeCanceled Code = "canceled"
+	// CodeRestart means a server restart interrupted the work: an async
+	// job that was running when the process died is stamped failed with
+	// this code on recovery, and a recovering or draining replica
+	// answers it as 503 — a retriable condition, unlike the other
+	// failure codes.
+	CodeRestart Code = "restart"
 	// CodeInternal is an unexpected solver or server failure.
 	CodeInternal Code = "internal"
 )
@@ -61,6 +67,7 @@ var (
 	ErrOverload   = &Error{Code: CodeOverload, Message: "server at capacity"}
 	ErrTimeout    = &Error{Code: CodeTimeout, Message: "deadline exceeded"}
 	ErrCanceled   = &Error{Code: CodeCanceled, Message: "request canceled"}
+	ErrRestart    = &Error{Code: CodeRestart, Message: "interrupted by server restart"}
 	ErrInternal   = &Error{Code: CodeInternal, Message: "internal error"}
 )
 
@@ -105,6 +112,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusGatewayTimeout
 	case CodeCanceled:
 		return StatusClientClosedRequest
+	case CodeRestart:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -125,6 +134,8 @@ func CodeForStatus(status int) Code {
 		return CodeTimeout
 	case StatusClientClosedRequest:
 		return CodeCanceled
+	case http.StatusServiceUnavailable:
+		return CodeRestart
 	default:
 		return CodeInternal
 	}

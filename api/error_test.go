@@ -58,7 +58,8 @@ func TestWrapClassifiesContextErrors(t *testing.T) {
 func TestErrorHTTPStatusRoundTrip(t *testing.T) {
 	codes := []Code{
 		CodeBadRequest, CodeBadQuery, CodeBadTuple, CodeUnknownDB,
-		CodeUnknownJob, CodeOverload, CodeTimeout, CodeCanceled, CodeInternal,
+		CodeUnknownJob, CodeOverload, CodeTimeout, CodeCanceled,
+		CodeRestart, CodeInternal,
 	}
 	for _, code := range codes {
 		status := (&Error{Code: code}).HTTPStatus()

@@ -86,6 +86,22 @@ func (s *Session) MutateDB(ctx context.Context, name string, muts []Mutation) (D
 		}
 	}
 	next.Freeze()
+	// Log the batch before any shared state changes: the store records
+	// the resolved mutations in canonical fact notation (insert facts may
+	// have interned new constants, so render against next) plus the
+	// post-batch version. A store failure rejects the batch with the
+	// registration, the engine's caches, and the watchers all untouched.
+	logMuts := make([]Mutation, len(resolved))
+	for i, rm := range resolved {
+		op := MutationDelete
+		if rm.Insert {
+			op = MutationInsert
+		}
+		logMuts[i] = Mutation{Op: op, Fact: next.TupleString(rm.Tuple)}
+	}
+	if err := s.store.MutateDB(name, logMuts, next.Version()); err != nil {
+		return DBInfo{}, Errorf(CodeInternal, "durable store: %v", err)
+	}
 	s.eng.MigrateIRs(ctx, old, next, resolved)
 
 	s.mu.Lock()

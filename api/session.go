@@ -26,6 +26,10 @@ type Config struct {
 	// NoClone exists for; the engine still clones around the one mutating
 	// PTIME solver, so databases handed to a Session are never mutated.
 	Engine engine.Config
+	// Store receives every acknowledged registry write (Register,
+	// MutateDB, DropDB) before it takes effect, the durability hook
+	// behind -data-dir. nil means NopStore: in-memory state only.
+	Store Store
 }
 
 // Session is the one orchestration object behind every surface of the
@@ -41,7 +45,8 @@ type Config struct {
 // a facade call and a wire request with the same inputs produce the same
 // answer by construction.
 type Session struct {
-	eng *engine.Engine
+	eng   *engine.Engine
+	store Store
 
 	mu  sync.RWMutex
 	dbs map[string]*db.Database
@@ -57,8 +62,13 @@ type Session struct {
 func NewSession(cfg Config) *Session {
 	ecfg := cfg.Engine
 	ecfg.NoClone = true // see Config.Engine
+	st := cfg.Store
+	if st == nil {
+		st = NopStore{}
+	}
 	return &Session{
 		eng:   engine.New(ecfg),
+		store: st,
 		dbs:   map[string]*db.Database{},
 		locks: map[string]*sync.Mutex{},
 		hubs:  map[string]*watchHub{},
@@ -101,12 +111,25 @@ func (s *Session) Engine() *engine.Engine { return s.eng }
 // Register freezes d and installs it under name, replacing any previous
 // registration. Registered databases are shared read-only across every
 // task the Session runs; the replaced database's cached IRs are retired
-// from the engine. It returns the registration metadata.
-func (s *Session) Register(name string, d *db.Database) DBInfo {
+// from the engine. The registration is logged to the Session's Store
+// before it takes effect — a store failure rejects it with the registry
+// untouched — and the returned metadata describes the installed state.
+func (s *Session) Register(name string, d *db.Database) (DBInfo, error) {
 	lock := s.writerLock(name)
 	lock.Lock()
 	defer lock.Unlock()
 	d.Freeze()
+	if err := s.store.PutDB(name, allFactStrings(d), d.Version()); err != nil {
+		return DBInfo{}, Errorf(CodeInternal, "durable store: %v", err)
+	}
+	s.install(name, d)
+	return dbInfo(name, d), nil
+}
+
+// install swaps d into the registry under name, retires the replaced
+// database's cached IRs, and wakes the name's watchers. Callers hold the
+// name's writer lock.
+func (s *Session) install(name string, d *db.Database) {
 	s.mu.Lock()
 	replaced := s.dbs[name]
 	s.dbs[name] = d
@@ -117,7 +140,6 @@ func (s *Session) Register(name string, d *db.Database) DBInfo {
 		s.eng.ForgetDatabase(replaced)
 	}
 	s.hub(name).broadcast()
-	return dbInfo(name, d)
 }
 
 // RegisterFacts parses facts ("R(a,b)", one per entry) into a fresh
@@ -127,39 +149,90 @@ func (s *Session) RegisterFacts(name string, facts []string) (DBInfo, error) {
 	if len(facts) == 0 {
 		return DBInfo{}, Errorf(CodeBadRequest, "facts must be non-empty")
 	}
+	d, aerr := parseFactDB(facts)
+	if aerr != nil {
+		return DBInfo{}, aerr
+	}
+	return s.Register(name, d)
+}
+
+// RestoreDB rebuilds a database from recovered state — canonical facts
+// plus the persisted mutation counter — and installs it under name
+// WITHOUT logging to the store: the store already holds this state;
+// re-logging it on every boot would double the log. The rebuilt database
+// has a fresh UID (engine caches start cold) but the recovered Version,
+// so watchers and version-keyed clients resume the same lineage.
+func (s *Session) RestoreDB(name string, facts []string, version uint64) (DBInfo, error) {
+	if len(facts) == 0 {
+		return DBInfo{}, Errorf(CodeBadRequest, "facts must be non-empty")
+	}
+	d, aerr := parseFactDB(facts)
+	if aerr != nil {
+		return DBInfo{}, aerr
+	}
+	d.SetVersion(version)
+	lock := s.writerLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	d.Freeze()
+	s.install(name, d)
+	return dbInfo(name, d), nil
+}
+
+// parseFactDB interns a fact list into a fresh database, the shared
+// parser behind RegisterFacts and RestoreDB.
+func parseFactDB(facts []string) (*db.Database, *Error) {
 	d := db.New()
 	for i, f := range facts {
 		rel, args, err := ParseFact(f)
 		if err != nil {
-			return DBInfo{}, Errorf(CodeBadRequest, "fact %d: %v", i, err)
+			return nil, Errorf(CodeBadRequest, "fact %d: %v", i, err)
 		}
 		if len(args) > db.MaxArity {
-			return DBInfo{}, Errorf(CodeBadRequest, "fact %d: %q has arity %d, want 1..%d", i, f, len(args), db.MaxArity)
+			return nil, Errorf(CodeBadRequest, "fact %d: %q has arity %d, want 1..%d", i, f, len(args), db.MaxArity)
 		}
 		if have := d.Rel(rel); have != nil && have.Arity != len(args) {
-			return DBInfo{}, Errorf(CodeBadRequest, "fact %d: %q has arity %d but relation %s was used with arity %d", i, f, len(args), rel, have.Arity)
+			return nil, Errorf(CodeBadRequest, "fact %d: %q has arity %d but relation %s was used with arity %d", i, f, len(args), rel, have.Arity)
 		}
 		d.AddNames(rel, args...)
 	}
-	return s.Register(name, d), nil
+	return d, nil
+}
+
+// allFactStrings renders d's full contents in canonical fact notation,
+// sorted — the put_db log payload.
+func allFactStrings(d *db.Database) []string {
+	ts := d.AllTuples()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = d.TupleString(t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DropDB removes the database registered under name, retiring its cached
-// IRs. It reports whether a registration existed.
-func (s *Session) DropDB(name string) bool {
+// IRs. It reports whether a registration existed; the drop is logged to
+// the Store first, and a store failure leaves the registration in place.
+func (s *Session) DropDB(name string) (bool, error) {
 	lock := s.writerLock(name)
 	lock.Lock()
 	defer lock.Unlock()
-	s.mu.Lock()
+	s.mu.RLock()
 	d := s.dbs[name]
+	s.mu.RUnlock()
+	if d == nil {
+		return false, nil
+	}
+	if err := s.store.DropDB(name); err != nil {
+		return false, Errorf(CodeInternal, "durable store: %v", err)
+	}
+	s.mu.Lock()
 	delete(s.dbs, name)
 	s.mu.Unlock()
-	if d == nil {
-		return false
-	}
 	s.eng.ForgetDatabase(d)
 	s.hub(name).broadcast()
-	return true
+	return true, nil
 }
 
 // DB returns the database registered under name, or nil.

@@ -1,0 +1,49 @@
+package api
+
+import "time"
+
+// Store is the durability hook of the registry and job lifecycle: the
+// Session logs every database write through it, and the serving layer's
+// job manager logs every job transition. Each method must make the
+// operation durable (to whatever degree the implementation promises)
+// before returning — the caller acknowledges the operation to its client
+// only after the log call succeeds, so "acknowledged" always implies
+// "recoverable". A returned error aborts the operation before it takes
+// effect.
+//
+// Facts and mutation batches arrive in canonical fact notation
+// ("R(a,b)", constants rendered by name), the same encoding the wire
+// uses, so recovery replays them through the ordinary registration
+// parser. internal/store.DiskStore is the snapshot+WAL implementation;
+// NopStore is the in-memory default.
+type Store interface {
+	// PutDB logs a registration: the database's full contents and its
+	// version at install time.
+	PutDB(name string, facts []string, version uint64) error
+	// DropDB logs an unregistration.
+	DropDB(name string) error
+	// MutateDB logs an applied mutation batch (canonical facts, resolved
+	// ops) and the post-batch version.
+	MutateDB(name string, muts []Mutation, version uint64) error
+	// SubmitJob journals a queued job before its 202 is returned.
+	SubmitJob(job *Job) error
+	// StartJob stamps a job running at time at.
+	StartJob(id string, at time.Time) error
+	// FinishJob replaces a job record with its terminal snapshot.
+	FinishJob(job *Job) error
+	// RemoveJob deletes a job record (explicit DELETE or store
+	// eviction).
+	RemoveJob(id string) error
+}
+
+// NopStore is the in-memory default Store: state lives only in the
+// process, exactly the pre-durability behavior.
+type NopStore struct{}
+
+func (NopStore) PutDB(string, []string, uint64) error      { return nil }
+func (NopStore) DropDB(string) error                       { return nil }
+func (NopStore) MutateDB(string, []Mutation, uint64) error { return nil }
+func (NopStore) SubmitJob(*Job) error                      { return nil }
+func (NopStore) StartJob(string, time.Time) error          { return nil }
+func (NopStore) FinishJob(*Job) error                      { return nil }
+func (NopStore) RemoveJob(string) error                    { return nil }

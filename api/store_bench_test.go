@@ -1,0 +1,69 @@
+package api_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/api"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+// BenchmarkDurableMutationOverhead prices the durability tax on the
+// serving layer's hot write path: the engine's incremental-mutation
+// workload (one edge toggled next to a pre-seeded partner edge in a
+// many-component dense database, solve after every batch) driven through
+// Session.MutateDB + Session.Do, once with the in-memory NopStore and
+// once journaling every batch through a DiskStore in fsync=batch mode.
+// The acceptance bar is < 20% overhead for the durable run: one small
+// WAL append + write() per mutation against a clone+migrate+solve
+// pipeline.
+func BenchmarkDurableMutationOverhead(b *testing.B) {
+	b.Run("memory", func(b *testing.B) {
+		benchMutateSolve(b, nil)
+	})
+	b.Run("fsync-batch", func(b *testing.B) {
+		ds, _, err := store.Open(b.TempDir(), store.Options{Fsync: store.FsyncBatch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		benchMutateSolve(b, ds)
+	})
+}
+
+func benchMutateSolve(b *testing.B, st api.Store) {
+	sess := api.NewSession(api.Config{Store: st})
+	rng := rand.New(rand.NewSource(99))
+	d := datagen.ManyComponentDenseDB(rng, 64, 12, 34)
+	d.AddNames("R", "m1", "m2") // partner edge for the toggled tuple
+	if _, err := sess.Register("bench", d); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	task := api.Task{Kind: api.KindSolve, Query: "qmchain :- R(x,y), R(y,z)", DB: "bench"}
+	if _, err := sess.Do(ctx, task); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := api.MutationInsert
+		if i%2 == 1 {
+			op = api.MutationDelete
+		}
+		muts := []api.Mutation{{Op: op, Fact: "R(m2,m3)"}}
+		if _, err := sess.MutateDB(ctx, "bench", muts); err != nil {
+			b.Fatalf("mutation %d: %v", i, err)
+		}
+		if _, err := sess.Do(ctx, task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ds, ok := st.(*store.DiskStore); ok {
+		if stats := ds.Stats(); stats.Appends < int64(b.N) {
+			b.Fatalf("durable run journaled %d appends for %d mutations", stats.Appends, b.N)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -19,7 +20,8 @@ import (
 // Client speaks the v1 task API of a resilserverd instance. The zero
 // Option set gives sensible production behavior: requests propagate the
 // caller's context deadline into the task's timeout_ms, and overload
-// responses (429) are retried with Retry-After-aware backoff.
+// (429) and restarting-server (503) responses are retried with
+// Retry-After-aware backoff.
 type Client struct {
 	base    string
 	httpc   *http.Client
@@ -141,10 +143,32 @@ func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
 	return &job, nil
 }
 
-// Jobs lists every stored job.
-func (c *Client) Jobs(ctx context.Context) ([]*api.Job, error) {
+// JobsOption narrows a Jobs listing.
+type JobsOption func(url.Values)
+
+// JobsWithState keeps only jobs in the given lifecycle state.
+func JobsWithState(state api.JobState) JobsOption {
+	return func(q url.Values) { q.Set("state", string(state)) }
+}
+
+// JobsWithLimit keeps only the n most recent matches.
+func JobsWithLimit(n int) JobsOption {
+	return func(q url.Values) { q.Set("limit", strconv.Itoa(n)) }
+}
+
+// Jobs lists stored jobs in submission order via GET /v1/jobs,
+// optionally filtered by state and truncated to the most recent matches.
+func (c *Client) Jobs(ctx context.Context, opts ...JobsOption) ([]*api.Job, error) {
+	path := "/v1/jobs"
+	if len(opts) > 0 {
+		q := url.Values{}
+		for _, o := range opts {
+			o(q)
+		}
+		path += "?" + q.Encode()
+	}
 	var list api.JobList
-	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &list); err != nil {
 		return nil, err
 	}
 	return list.Jobs, nil
@@ -307,7 +331,10 @@ func (c *Client) send(ctx context.Context, method, path string, payload []byte) 
 
 // finish consumes one response: 2xx decodes into out, everything else
 // becomes a *api.Error (from the typed v1 body when present, else from
-// the status). It reports whether the failure is retriable (429 only).
+// the status). It reports whether the failure is retriable: 429
+// (overload) and 503 (a restarting or draining server — with durable
+// state it comes back with the registry intact, so waiting it out is
+// the right default).
 func (c *Client) finish(resp *http.Response, out any) (retriable bool, err error) {
 	defer resp.Body.Close()
 	raw, readErr := io.ReadAll(resp.Body)
@@ -323,7 +350,9 @@ func (c *Client) finish(resp *http.Response, out any) (retriable bool, err error
 		}
 		return false, nil
 	}
-	return resp.StatusCode == http.StatusTooManyRequests, decodeError(resp.StatusCode, raw)
+	retriable = resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+	return retriable, decodeError(resp.StatusCode, raw)
 }
 
 // decodeError reconstructs the server's *api.Error from a non-2xx body,

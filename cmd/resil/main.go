@@ -285,7 +285,9 @@ func batchRun(opts options, queryText string, paths []string, out io.Writer) (fa
 		if err != nil {
 			return 0, err
 		}
-		sess.Register(path, d)
+		if _, err := sess.Register(path, d); err != nil {
+			return 0, err
+		}
 		tasks[i] = repro.Task{ID: path, Kind: repro.TaskSolve, Query: queryText, DB: path}
 	}
 	start := time.Now()

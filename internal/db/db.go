@@ -184,6 +184,13 @@ func (d *Database) UID() uint64 { return d.uid }
 // rebuilds, Freeze) do not change the version.
 func (d *Database) Version() uint64 { return d.version }
 
+// SetVersion overrides the mutation counter. It exists for durable-state
+// recovery, which rebuilds a registered database from persisted facts
+// (each insertion bumping the counter from zero) and must then resume
+// the persisted version lineage that watchers and version-keyed clients
+// observe; nothing else should call it.
+func (d *Database) SetVersion(v uint64) { d.version = v }
+
 // Const interns the constant with the given name.
 func (d *Database) Const(name string) Value {
 	if v, ok := d.index[name]; ok {

@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,8 +22,20 @@ import (
 // it and stop burning CPU. Terminal jobs stay in the store until evicted
 // (oldest-terminal-first once the store cap is hit) or removed by a
 // DELETE.
+//
+// Durability: every lifecycle transition is journaled through the store
+// — submit before the 202 leaves the server (so an acknowledged job is
+// recoverable by construction), start/finish/remove as they happen. On
+// boot, recovered jobs are seeded back: queued jobs re-enqueue and run,
+// jobs that were mid-run when the process died are stamped failed with
+// the typed restart code, and terminal jobs reinstall as-is for polling.
 type jobManager struct {
-	sess *api.Session
+	sess  *api.Session
+	store api.Store
+	// durable distinguishes a real store from the nop default: with one,
+	// close() leaves queued jobs queued — they survive the restart and
+	// re-enqueue on boot — instead of stamping them canceled.
+	durable bool
 
 	mu     sync.Mutex
 	jobs   map[string]*jobEntry
@@ -40,6 +54,12 @@ type jobManager struct {
 	done      atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	storeErrs atomic.Int64
+
+	// Recovery outcomes, fixed at construction: jobs re-enqueued and
+	// jobs stamped failed/restart.
+	requeued    int
+	interrupted int
 }
 
 // jobEntry is one job record. The embedded api.Job and cancel func are
@@ -49,16 +69,25 @@ type jobEntry struct {
 	cancel context.CancelFunc // non-nil while running
 }
 
-func newJobManager(sess *api.Session, workers, queueCap, maxStored int) *jobManager {
+// newJobManager seeds recovered jobs (may be nil), then starts workers.
+// workers < 0 starts none — jobs queue forever, which recovery tests use
+// to observe pre-run state; store nil means in-memory only.
+func newJobManager(sess *api.Session, store api.Store, workers, queueCap, maxStored int, recovered []*api.Job) *jobManager {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &jobManager{
 		sess:      sess,
+		store:     store,
+		durable:   store != nil,
 		jobs:      map[string]*jobEntry{},
 		queue:     make(chan *jobEntry, queueCap),
 		maxStored: maxStored,
 		baseCtx:   ctx,
 		stop:      stop,
 	}
+	if m.store == nil {
+		m.store = api.NopStore{}
+	}
+	m.seed(recovered)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -66,11 +95,64 @@ func newJobManager(sess *api.Session, workers, queueCap, maxStored int) *jobMana
 	return m
 }
 
+// seed installs recovered job records before any worker or request can
+// race them. Queued jobs re-enqueue (journaled queued before their 202,
+// so they must still run); running jobs were interrupted mid-solve — the
+// work is gone, so they finish failed with the typed restart code, which
+// the journal records so the next recovery sees them terminal; terminal
+// jobs install as-is. The id counter resumes past every recovered id so
+// new submissions never collide.
+func (m *jobManager) seed(recovered []*api.Job) {
+	var maxSeq int64
+	for _, j := range recovered {
+		if seq, ok := parseJobSeq(j.ID); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+		je := &jobEntry{job: *j}
+		m.jobs[je.job.ID] = je
+		m.order = append(m.order, je.job.ID)
+		switch {
+		case je.job.State == api.JobQueued:
+			select {
+			case m.queue <- je:
+				m.requeued++
+			default:
+				// A queue smaller than the recovered backlog cannot hold
+				// the job; failing it (journaled) beats silently dropping
+				// an acknowledged submission.
+				m.finishLocked(je, api.JobFailed,
+					nil, api.Errorf(api.CodeRestart, "job queue full after restart"))
+				m.interrupted++
+			}
+		case je.job.State == api.JobRunning:
+			m.finishLocked(je, api.JobFailed,
+				nil, api.Errorf(api.CodeRestart, "job interrupted by server restart"))
+			m.interrupted++
+		}
+	}
+	m.counter.Store(maxSeq)
+}
+
+// parseJobSeq extracts N from a "job-N" id.
+func parseJobSeq(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 // close stops the workers and cancels any running job. The queue channel
 // is never closed — a concurrent submit may still be sending on it — the
 // workers exit through the cancelled base context, and submissions after
-// close are rejected via the closed flag. Jobs that never got to run are
-// stamped canceled so pollers see a terminal state.
+// close are rejected via the closed flag. With a durable store, jobs
+// that never got to run stay queued: they are journaled, survive the
+// restart, and re-enqueue on the next boot. In-memory jobs have no next
+// boot, so they are stamped canceled and pollers see a terminal state.
 func (m *jobManager) close() {
 	m.mu.Lock()
 	m.closed = true
@@ -80,15 +162,20 @@ func (m *jobManager) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, je := range m.jobs {
-		if !je.job.State.Terminal() {
-			m.finishLocked(je, api.JobCanceled, nil, api.Errorf(api.CodeCanceled, "job manager shut down"))
+		if je.job.State.Terminal() {
+			continue
 		}
+		if m.durable && je.job.State == api.JobQueued {
+			continue
+		}
+		m.finishLocked(je, api.JobCanceled, nil, api.Errorf(api.CodeCanceled, "job manager shut down"))
 	}
 }
 
 type jobStats struct {
-	submitted, done, failed, canceled int64
-	active                            int
+	submitted, done, failed, canceled, storeErrs int64
+	active                                       int
+	requeued, interrupted                        int
 }
 
 func (m *jobManager) stats() jobStats {
@@ -101,17 +188,23 @@ func (m *jobManager) stats() jobStats {
 	}
 	m.mu.Unlock()
 	return jobStats{
-		submitted: m.submitted.Load(),
-		done:      m.done.Load(),
-		failed:    m.failed.Load(),
-		canceled:  m.canceled.Load(),
-		active:    active,
+		submitted:   m.submitted.Load(),
+		done:        m.done.Load(),
+		failed:      m.failed.Load(),
+		canceled:    m.canceled.Load(),
+		storeErrs:   m.storeErrs.Load(),
+		active:      active,
+		requeued:    m.requeued,
+		interrupted: m.interrupted,
 	}
 }
 
-// submit validates the task envelope, stores a queued job, and enqueues
-// it. A full queue or a store full of unfinished jobs rejects with
-// overload — the async counterpart of admission control.
+// submit validates the task envelope, journals and stores a queued job,
+// and enqueues it. A full queue or a store full of unfinished jobs
+// rejects with overload — the async counterpart of admission control.
+// The journal write precedes visibility: by the time the 202 (built from
+// the returned snapshot) reaches the client, the queued record is as
+// durable as the store's fsync mode promises.
 func (m *jobManager) submit(task api.Task) (*api.Job, error) {
 	if err := task.Validate(true); err != nil {
 		return nil, err
@@ -132,6 +225,9 @@ func (m *jobManager) submit(task api.Task) (*api.Job, error) {
 	if len(m.jobs) >= m.maxStored && !m.evictOneLocked() {
 		return nil, api.Errorf(api.CodeOverload, "job store full (%d unfinished jobs)", m.maxStored)
 	}
+	if err := m.store.SubmitJob(&je.job); err != nil {
+		return nil, api.Errorf(api.CodeInternal, "durable store: %v", err)
+	}
 	// Store and enqueue under one critical section: the non-blocking send
 	// cannot deadlock (workers never need the mutex to receive), and
 	// holding it keeps close() from slipping between the closed check and
@@ -144,7 +240,10 @@ func (m *jobManager) submit(task api.Task) (*api.Job, error) {
 	case m.queue <- je:
 	default:
 		// Roll back this entry only — under concurrent submits the tail
-		// of m.order may belong to someone else.
+		// of m.order may belong to someone else. The journaled submit is
+		// rolled back too; a crash between the two writes recovers a
+		// queued job that re-enqueues, which is correct (the client got
+		// an overload, retrying is idempotent-safe for solve tasks).
 		delete(m.jobs, id)
 		for i := len(m.order) - 1; i >= 0; i-- {
 			if m.order[i] == id {
@@ -152,10 +251,21 @@ func (m *jobManager) submit(task api.Task) (*api.Job, error) {
 				break
 			}
 		}
+		m.logStore(m.store.RemoveJob(id))
 		return nil, api.Errorf(api.CodeOverload, "job queue full (%d queued)", cap(m.queue))
 	}
 	m.submitted.Add(1)
 	return &snap, nil
+}
+
+// logStore counts a best-effort store failure. Post-acknowledgment
+// transitions (start, finish, evict) cannot un-acknowledge the job, so a
+// failed journal write degrades recovery fidelity rather than failing
+// the operation; the counter surfaces it in /metrics.
+func (m *jobManager) logStore(err error) {
+	if err != nil {
+		m.storeErrs.Add(1)
+	}
 }
 
 // evictOneLocked drops the oldest terminal job, reporting whether one was
@@ -165,6 +275,7 @@ func (m *jobManager) evictOneLocked() bool {
 		if je, ok := m.jobs[id]; ok && je.job.State.Terminal() {
 			delete(m.jobs, id)
 			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.logStore(m.store.RemoveJob(id))
 			return true
 		}
 	}
@@ -182,15 +293,24 @@ func (m *jobManager) get(id string) (*api.Job, bool) {
 	return &snap, true
 }
 
-func (m *jobManager) list() []*api.Job {
+// list returns stored jobs in submission order. state, when non-empty,
+// keeps only jobs in that state; limit, when positive, keeps only the
+// most recent matches (the tail — the freshest jobs are the ones a
+// post-restart inspection wants).
+func (m *jobManager) list(state api.JobState, limit int) []*api.Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]*api.Job, 0, len(m.order))
 	for _, id := range m.order {
-		if je, ok := m.jobs[id]; ok {
-			snap := je.job
-			out = append(out, &snap)
+		je, ok := m.jobs[id]
+		if !ok || (state != "" && je.job.State != state) {
+			continue
 		}
+		snap := je.job
+		out = append(out, &snap)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
 	}
 	return out
 }
@@ -214,6 +334,7 @@ func (m *jobManager) cancel(id string) (*api.Job, bool) {
 				break
 			}
 		}
+		m.logStore(m.store.RemoveJob(id))
 	case je.job.State == api.JobQueued:
 		// The worker that eventually pops this entry sees the terminal
 		// state and skips it.
@@ -228,7 +349,7 @@ func (m *jobManager) cancel(id string) (*api.Job, bool) {
 	return &snap, true
 }
 
-// finishLocked stamps a terminal state. Callers hold m.mu.
+// finishLocked stamps a terminal state and journals it. Callers hold m.mu.
 func (m *jobManager) finishLocked(je *jobEntry, state api.JobState, res *api.Result, jerr *api.Error) {
 	now := time.Now().UTC()
 	je.job.State = state
@@ -244,6 +365,7 @@ func (m *jobManager) finishLocked(je *jobEntry, state api.JobState, res *api.Res
 	case api.JobCanceled:
 		m.canceled.Add(1)
 	}
+	m.logStore(m.store.FinishJob(&je.job))
 }
 
 func (m *jobManager) worker() {
@@ -270,6 +392,7 @@ func (m *jobManager) run(je *jobEntry) {
 	je.job.Started = &now
 	je.cancel = cancel
 	task := je.job.Task
+	m.logStore(m.store.StartJob(je.job.ID, now))
 	m.mu.Unlock()
 	defer cancel()
 

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/store"
+)
+
+// openDurable opens a durable server over dir with no job workers, so
+// recovered and submitted jobs stay observable in their pre-run state.
+func openDurable(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := Open(Config{DataDir: dir, Fsync: "batch", JobWorkers: -1})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// sessionState dumps a session's registered databases as (name, version,
+// sorted canonical facts) — the comparable essence of the registry. UIDs
+// are deliberately excluded: they are process-unique and not recovered.
+func sessionState(sess *api.Session) map[string]store.DBState {
+	out := map[string]store.DBState{}
+	for _, name := range sess.DBNames() {
+		d := sess.DB(name)
+		facts := make([]string, 0, d.Len())
+		for _, tup := range d.AllTuples() {
+			facts = append(facts, d.TupleString(tup))
+		}
+		sort.Strings(facts)
+		out[name] = store.DBState{Name: name, Facts: facts, Version: d.Version()}
+	}
+	return out
+}
+
+// driveState applies a representative write sequence: registrations,
+// atomic mutation batches, a replacement upload, and a drop.
+func driveState(t *testing.T, sess *api.Session) {
+	t.Helper()
+	ctx := context.Background()
+	must := func(_ api.DBInfo, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sess.RegisterFacts("net", []string{"R(a,b)", "R(b,c)", "R(c,d)"}))
+	must(sess.RegisterFacts("tmp", []string{"S(x)"}))
+	must(sess.MutateDB(ctx, "net", []api.Mutation{
+		{Op: api.MutationInsert, Fact: "R(d,e)"},
+		{Op: api.MutationDelete, Fact: "R(a,b)"},
+	}))
+	must(sess.MutateDB(ctx, "net", []api.Mutation{
+		{Op: api.MutationInsert, Fact: "R(a,b)"},
+	}))
+	must(sess.RegisterFacts("stable", []string{"T(u,v)"}))
+	if _, err := sess.DropDB("tmp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRegistryGracefulClose pins the snapshot-on-drain path: a
+// graceful Close snapshots, so the next Open loads the snapshot with an
+// empty WAL tail and reconstructs the identical registry.
+func TestRecoverRegistryGracefulClose(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir)
+	driveState(t, s1.sess)
+	want := sessionState(s1.sess)
+	s1.Close()
+
+	s2 := openDurable(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if !rec.Enabled || !rec.SnapshotLoaded {
+		t.Fatalf("graceful close must recover via snapshot: %+v", rec)
+	}
+	if rec.WALRecords != 0 {
+		t.Fatalf("drain snapshot should leave an empty WAL tail, replayed %d records", rec.WALRecords)
+	}
+	if got := sessionState(s2.sess); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered registry diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRecoverRegistryWALReplay pins the crash path: the first server is
+// abandoned without Close, so the second Open reconstructs the registry
+// purely by replaying the WAL. The recovered session must be
+// indistinguishable (names, versions, contents) from a memory-only
+// session that applied the same sequence.
+func TestRecoverRegistryWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir)
+	driveState(t, s1.sess)
+	want := sessionState(s1.sess)
+	// No Close: the process "crashed". The abandoned store's file handle
+	// stays open, but it writes nothing further.
+
+	mem := api.NewSession(api.Config{})
+	driveState(t, mem)
+	if memState := sessionState(mem); !reflect.DeepEqual(memState, want) {
+		t.Fatalf("differential baseline broken: %+v vs %+v", memState, want)
+	}
+
+	s2 := openDurable(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.SnapshotLoaded {
+		t.Fatalf("nothing snapshotted, yet recovery loaded one: %+v", rec)
+	}
+	if rec.WALRecords == 0 {
+		t.Fatal("crash recovery replayed no WAL records")
+	}
+	if got := sessionState(s2.sess); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered registry diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRecoverJobs pins the job state machine across restart: queued jobs
+// re-enqueue, the mid-run job fails with the typed restart code, terminal
+// jobs reinstall as-is, and the id counter resumes past every recovered
+// id.
+func TestRecoverJobs(t *testing.T) {
+	dir := t.TempDir()
+	ds, _, err := store.Open(dir, store.Options{Fsync: store.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	task := api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "net"}
+	queued := &api.Job{ID: "job-1", State: api.JobQueued, Task: task, Created: now}
+	running := &api.Job{ID: "job-2", State: api.JobQueued, Task: task, Created: now}
+	doneJob := &api.Job{ID: "job-3", State: api.JobQueued, Task: task, Created: now}
+	for _, j := range []*api.Job{queued, running, doneJob} {
+		if err := ds.SubmitJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.StartJob("job-2", now); err != nil {
+		t.Fatal(err)
+	}
+	fin := *doneJob
+	fin.State = api.JobDone
+	fin.Result = &api.Result{Rho: 2}
+	fin.Finished = &now
+	if err := ds.FinishJob(&fin); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openDurable(t, dir)
+	defer s.Close()
+	rec := s.Recovery()
+	if rec.Jobs != 3 || rec.JobsRequeued != 1 || rec.JobsInterrupted != 1 {
+		t.Fatalf("recovery = %+v, want 3 jobs, 1 requeued, 1 interrupted", rec)
+	}
+	j1, ok := s.jobs.get("job-1")
+	if !ok || j1.State != api.JobQueued {
+		t.Fatalf("job-1 = %+v, want queued", j1)
+	}
+	j2, ok := s.jobs.get("job-2")
+	if !ok || j2.State != api.JobFailed {
+		t.Fatalf("job-2 = %+v, want failed", j2)
+	}
+	if j2.Error == nil || !errors.Is(j2.Error, api.ErrRestart) {
+		t.Fatalf("job-2 error = %v, want the typed restart code", j2.Error)
+	}
+	j3, ok := s.jobs.get("job-3")
+	if !ok || j3.State != api.JobDone || j3.Result == nil || j3.Result.Rho != 2 {
+		t.Fatalf("job-3 = %+v, want done with ρ=2", j3)
+	}
+	// The counter resumed: a fresh submission must not collide.
+	nj, err := s.jobs.submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nj.ID != "job-4" {
+		t.Fatalf("post-recovery submission got id %s, want job-4", nj.ID)
+	}
+}
+
+// TestDurableCloseKeepsQueuedJobs pins the restart-safe shutdown
+// contract: a durable server's Close leaves never-run jobs queued — they
+// are journaled and will re-enqueue — where a memory-only server stamps
+// them canceled.
+func TestDurableCloseKeepsQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir)
+	if _, err := s1.sess.RegisterFacts("net", []string{"R(a,b)"}); err != nil {
+		t.Fatal(err)
+	}
+	task := api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "net"}
+	submitted, err := s1.jobs.submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2 := openDurable(t, dir)
+	defer s2.Close()
+	if got := s2.Recovery().JobsRequeued; got != 1 {
+		t.Fatalf("requeued = %d, want the closed-while-queued job back on the queue", got)
+	}
+	j, ok := s2.jobs.get(submitted.ID)
+	if !ok || j.State != api.JobQueued {
+		t.Fatalf("job %s = %+v, want queued after restart", submitted.ID, j)
+	}
+	if !reflect.DeepEqual(j.Task, task) {
+		t.Fatalf("recovered task %+v, want %+v", j.Task, task)
+	}
+
+	// Contrast: the in-memory manager cancels queued jobs at close.
+	mem := New(Config{JobWorkers: -1})
+	mj, err := mem.jobs.submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Close()
+	got, _ := mem.jobs.get(mj.ID)
+	if got.State != api.JobCanceled {
+		t.Fatalf("memory-only close left job %s, want canceled", got.State)
+	}
+}
+
+// TestV1ListJobsFilterLimit exercises the listing endpoint: state filter,
+// most-recent-limit, and 400s on bad parameters.
+func TestV1ListJobsFilterLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: -1})
+
+	status := doJSON(t, http.MethodPut, ts.URL+"/v1/db/net",
+		putDBRequest{Facts: []string{"R(a,b)"}}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("PUT /v1/db/net: status %d", status)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		var job api.Job
+		status := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+			api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "net"}, &job)
+		if status != http.StatusAccepted {
+			t.Fatalf("POST /v1/jobs: status %d", status)
+		}
+		ids = append(ids, job.ID)
+	}
+	// Cancel one so the queued filter has something to exclude.
+	if status := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+ids[0], nil, nil); status != http.StatusOK {
+		t.Fatalf("DELETE job: status %d", status)
+	}
+
+	var all api.JobList
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &all); status != http.StatusOK || len(all.Jobs) != 5 {
+		t.Fatalf("GET /v1/jobs: status %d, %d jobs (want 5)", status, len(all.Jobs))
+	}
+	var queued api.JobList
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=queued", nil, &queued); status != http.StatusOK || len(queued.Jobs) != 4 {
+		t.Fatalf("GET /v1/jobs?state=queued: status %d, %d jobs (want 4)", status, len(queued.Jobs))
+	}
+	var tail api.JobList
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=queued&limit=2", nil, &tail); status != http.StatusOK {
+		t.Fatalf("GET with limit: status %d", status)
+	}
+	if len(tail.Jobs) != 2 || tail.Jobs[0].ID != ids[3] || tail.Jobs[1].ID != ids[4] {
+		t.Fatalf("limit=2 returned %+v, want the two most recent (%s, %s)", tail.Jobs, ids[3], ids[4])
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=nope", nil, nil); status != http.StatusBadRequest {
+		t.Fatalf("bad state: status %d, want 400", status)
+	}
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?limit=-3", nil, nil); status != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", status)
+	}
+}
+
+// TestMetricsStoreCounters spot-checks the durable fields of /metrics.
+func TestMetricsStoreCounters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Fsync: "off", JobWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if _, err := s.sess.RegisterFacts("net", []string{"R(a,b)"}); err != nil {
+		t.Fatal(err)
+	}
+	ss := s.StoreStats()
+	if !ss.Enabled || ss.Appends != 1 {
+		t.Fatalf("store stats after one registration: %+v", ss)
+	}
+	if !s.Recovery().Enabled {
+		t.Fatal("Recovery().Enabled false on a durable server")
+	}
+}

@@ -57,12 +57,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/api"
 	"repro/internal/cq"
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable: engine defaults,
@@ -88,7 +90,9 @@ type Config struct {
 	// <= 0 means the default 32 MiB.
 	MaxBodyBytes int64
 	// JobWorkers is the number of async-job executor goroutines; jobs
-	// queue beyond it. <= 0 means the default 2.
+	// queue beyond it. 0 means the default 2; < 0 starts none, so jobs
+	// stay queued forever — recovery tests use it to observe pre-run
+	// state.
 	JobWorkers int
 	// JobQueue bounds queued-but-not-running jobs; submissions beyond it
 	// are rejected with 429/overload. <= 0 means the default 64.
@@ -101,6 +105,19 @@ type Config struct {
 	// table; requests to them answer 404. Default off: the legacy shims
 	// stay mounted and merely advertise their deprecation via headers.
 	DisableLegacy bool
+	// DataDir, when set, makes state durable: the database registry and
+	// the job store are journaled to a snapshot+WAL store in this
+	// directory and recovered on the next Open against it. Empty means
+	// in-memory only (every prior release's behavior).
+	DataDir string
+	// Fsync selects the WAL durability policy when DataDir is set:
+	// "always", "batch" (the default — kill -9 safe, power failure may
+	// lose the last ~2ms), or "off". See internal/store.FsyncMode.
+	Fsync string
+	// SnapshotEvery, when DataDir is set, takes an automatic snapshot
+	// (compacting the WAL) every that many journaled records. 0 means
+	// the store's default (4096); < 0 disables automatic snapshots.
+	SnapshotEvery int
 }
 
 const (
@@ -116,17 +133,20 @@ const (
 // shutdown so health checks start failing ahead of the listener, and call
 // Close to stop the job workers.
 type Server struct {
-	cfg  Config
-	sess *api.Session
-	jobs *jobManager
-	mux  *http.ServeMux
+	cfg     Config
+	sess    *api.Session
+	jobs    *jobManager
+	mux     *http.ServeMux
+	durable *store.DiskStore // nil without DataDir
 
 	// sem is the admission-control slot pool; a slot is held for the full
 	// solver-endpoint lifetime (streaming responses included).
 	sem chan struct{}
 
-	start    time.Time
-	draining atomic.Bool
+	start     time.Time
+	draining  atomic.Bool
+	closeOnce sync.Once
+	recovery  RecoveryInfo
 
 	requests  atomic.Int64 // solver requests admitted
 	rejected  atomic.Int64 // solver requests refused with 429
@@ -134,15 +154,49 @@ type Server struct {
 	mutations atomic.Int64 // PATCH batches applied successfully
 }
 
+// RecoveryInfo summarizes what Open recovered from the data directory;
+// the daemon's startup line prints it and /metrics carries the counts.
+type RecoveryInfo struct {
+	// Enabled reports whether a durable store is attached at all.
+	Enabled bool
+	// SnapshotLoaded/SnapshotSeq describe the snapshot recovery started
+	// from; WALRecords and TornBytes the log tail replayed over it.
+	SnapshotLoaded bool
+	SnapshotSeq    uint64
+	WALRecords     int
+	TornBytes      int64
+	// DBs and Jobs are the recovered totals; JobsRequeued of those jobs
+	// went back on the queue, JobsInterrupted were stamped
+	// failed/restart.
+	DBs             int
+	Jobs            int
+	JobsRequeued    int
+	JobsInterrupted int
+}
+
 // New returns a Server over a fresh Session (engine + database registry).
+// With Config.DataDir set it panics on a store-open failure; durable
+// deployments should use Open and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server: opening durable store: %v", err))
+	}
+	return s
+}
+
+// Open returns a Server over a fresh Session. When cfg.DataDir is set it
+// opens (or creates) the snapshot+WAL store there, recovers the database
+// registry and job store — replaying the WAL tail and truncating any
+// torn final record — and journals every subsequent state change.
+func Open(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = defaultMaxInFlight
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	if cfg.JobWorkers <= 0 {
+	if cfg.JobWorkers == 0 {
 		cfg.JobWorkers = defaultJobWorkers
 	}
 	if cfg.JobQueue <= 0 {
@@ -151,17 +205,77 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = defaultMaxJobs
 	}
-	sess := api.NewSession(api.Config{Engine: cfg.Engine})
-	s := &Server{
-		cfg:   cfg,
-		sess:  sess,
-		jobs:  newJobManager(sess, cfg.JobWorkers, cfg.JobQueue, cfg.MaxJobs),
-		mux:   http.NewServeMux(),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		start: time.Now(),
+
+	var (
+		durable *store.DiskStore
+		rec     *store.Recovery
+		sstore  api.Store
+	)
+	if cfg.DataDir != "" {
+		mode, err := store.ParseFsyncMode(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		durable, rec, err = store.Open(cfg.DataDir, store.Options{
+			Fsync:         mode,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sstore = durable
 	}
+
+	sess := api.NewSession(api.Config{Engine: cfg.Engine, Store: sstore})
+	var recoveredJobs []*api.Job
+	info := RecoveryInfo{Enabled: durable != nil}
+	if rec != nil {
+		for _, d := range rec.DBs {
+			if _, err := sess.RestoreDB(d.Name, d.Facts, d.Version); err != nil {
+				durable.Close()
+				return nil, fmt.Errorf("server: restoring database %q: %w", d.Name, err)
+			}
+		}
+		recoveredJobs = rec.Jobs
+		info.SnapshotLoaded = rec.Stats.SnapshotLoaded
+		info.SnapshotSeq = rec.Stats.SnapshotSeq
+		info.WALRecords = rec.Stats.WALRecords
+		info.TornBytes = rec.Stats.TornBytes
+		info.DBs = len(rec.DBs)
+		info.Jobs = len(rec.Jobs)
+	}
+
+	workers := cfg.JobWorkers
+	if workers < 0 {
+		workers = 0
+	}
+	s := &Server{
+		cfg:     cfg,
+		sess:    sess,
+		jobs:    newJobManager(sess, sstore, workers, cfg.JobQueue, cfg.MaxJobs, recoveredJobs),
+		mux:     http.NewServeMux(),
+		durable: durable,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		start:   time.Now(),
+	}
+	info.JobsRequeued = s.jobs.requeued
+	info.JobsInterrupted = s.jobs.interrupted
+	s.recovery = info
 	s.routes()
-	return s
+	return s, nil
+}
+
+// Recovery reports what Open recovered (the zero RecoveryInfo without a
+// data directory).
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// StoreStats snapshots the durable store's counters; Enabled is false
+// without a data directory.
+func (s *Server) StoreStats() store.Stats {
+	if s.durable == nil {
+		return store.Stats{}
+	}
+	return s.durable.Stats()
 }
 
 // Session exposes the embedded orchestrator to in-process callers such as
@@ -172,8 +286,19 @@ func (s *Server) Session() *api.Session { return s.sess }
 func (s *Server) Engine() *engine.Engine { return s.sess.Engine() }
 
 // Close stops the async-job workers, cancelling any running job. It does
-// not affect synchronous requests in flight.
-func (s *Server) Close() { s.jobs.close() }
+// not affect synchronous requests in flight. With a durable store it
+// then snapshots the final state (so the next boot replays an empty WAL
+// tail) and closes the store; queued jobs stay journaled queued and
+// re-enqueue on the next Open. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.jobs.close()
+		if s.durable != nil {
+			s.durable.Snapshot() //nolint:errcheck // WAL still holds the state; counted in store errors
+			s.durable.Close()    //nolint:errcheck // nothing left to do on the way out
+		}
+	})
+}
 
 // Handler returns the route table as an http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -420,7 +545,12 @@ func (s *Server) handleV1DeleteDB(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) deleteDB(w http.ResponseWriter, r *http.Request, fail func(http.ResponseWriter, error)) {
 	name := r.PathValue("name")
-	if !s.sess.DropDB(name) {
+	existed, err := s.sess.DropDB(name)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if !existed {
 		fail(w, api.Errorf(api.CodeUnknownDB, "no database %q registered", name))
 		return
 	}
@@ -632,6 +762,24 @@ type metricsResponse struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
 
+	StoreEnabled     bool  `json:"store_enabled"`
+	StoreSeq         int64 `json:"store_seq"`
+	StoreWALRecords  int64 `json:"store_wal_records"`
+	StoreAppends     int64 `json:"store_appends"`
+	StoreAppendBytes int64 `json:"store_append_bytes"`
+	StoreFsyncs      int64 `json:"store_fsyncs"`
+	StoreSnapshots   int64 `json:"store_snapshots"`
+	StoreCompacted   int64 `json:"store_compacted_records"`
+	// StoreErrors sums the store's own error counter with the job
+	// manager's best-effort journal failures.
+	StoreErrors        int64 `json:"store_errors"`
+	RecoveredDBs       int   `json:"recovered_dbs"`
+	RecoveredJobs      int   `json:"recovered_jobs"`
+	JobsRequeued       int   `json:"jobs_requeued"`
+	JobsInterrupted    int   `json:"jobs_interrupted"`
+	RecoveredWALRecs   int64 `json:"recovered_wal_records"`
+	RecoveredTornBytes int64 `json:"recovered_torn_bytes"`
+
 	Solved             int64 `json:"solved"`
 	Timeouts           int64 `json:"timeouts"`
 	ClassCacheHits     int64 `json:"class_cache_hits"`
@@ -658,6 +806,7 @@ type metricsResponse struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Engine().Stats()
 	js := s.jobs.stats()
+	ss := s.StoreStats()
 	writeJSON(w, http.StatusOK, metricsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
@@ -675,6 +824,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsDone:      js.done,
 		JobsFailed:    js.failed,
 		JobsCanceled:  js.canceled,
+
+		StoreEnabled:       ss.Enabled,
+		StoreSeq:           int64(ss.Seq),
+		StoreWALRecords:    ss.WALRecords,
+		StoreAppends:       ss.Appends,
+		StoreAppendBytes:   ss.AppendBytes,
+		StoreFsyncs:        ss.Fsyncs,
+		StoreSnapshots:     ss.Snapshots,
+		StoreCompacted:     ss.CompactedRecords,
+		StoreErrors:        ss.Errors + js.storeErrs,
+		RecoveredDBs:       s.recovery.DBs,
+		RecoveredJobs:      s.recovery.Jobs,
+		JobsRequeued:       js.requeued,
+		JobsInterrupted:    js.interrupted,
+		RecoveredWALRecs:   int64(s.recovery.WALRecords),
+		RecoveredTornBytes: s.recovery.TornBytes,
 
 		Solved:             st.Solved,
 		Timeouts:           st.Timeouts,

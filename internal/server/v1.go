@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/api"
@@ -140,8 +141,29 @@ func (s *Server) handleV1SubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
+// handleV1ListJobs answers the stored jobs in submission order:
+// GET /v1/jobs?state=queued&limit=10. state keeps only jobs in that
+// lifecycle state; limit keeps only the most recent matches.
 func (s *Server) handleV1ListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.jobs.list()})
+	q := r.URL.Query()
+	state := api.JobState(q.Get("state"))
+	switch state {
+	case "", api.JobQueued, api.JobRunning, api.JobDone, api.JobFailed, api.JobCanceled:
+	default:
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest,
+			"unknown state %q (want queued, running, done, failed or canceled)", state))
+		return
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad limit %q", raw))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.jobs.list(state, limit)})
 }
 
 func (s *Server) handleV1GetJob(w http.ResponseWriter, r *http.Request) {

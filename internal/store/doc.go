@@ -1,0 +1,53 @@
+// Package store is the durability subsystem behind a Session's database
+// registry and the server's async-job store: an append-only write-ahead
+// log of state-changing operations plus periodic snapshots, with
+// crash recovery that loads the latest snapshot, replays the WAL tail,
+// and truncates any torn final record.
+//
+// # What is logged
+//
+// Every acknowledged state change is one Op appended to the WAL before
+// the acknowledgment leaves the process: database registrations
+// (put_db, the full fact list), drops (drop_db), mutation batches
+// (mutate_db, the canonical insert/delete list plus the post-batch
+// version), and the async-job lifecycle (job_submit, job_start,
+// job_finish, job_remove). The store keeps its own in-memory mirror of
+// the state these ops produce — fact sets as canonical "R(a,b)" strings,
+// versions, and api.Job records — so a snapshot never has to query the
+// live Session.
+//
+// # On-disk layout
+//
+// A data directory holds one generation at a time: snap-<seq>.snap (a
+// JSON dump of the mirror, written atomically via tmp+fsync+rename) and
+// wal-<seq>.log (the framed ops appended since that snapshot). Taking a
+// snapshot writes snap-<seq+1>, starts wal-<seq+1>, and deletes the
+// previous generation — compaction and checkpointing are the same
+// operation. Each WAL record is framed as
+//
+//	[length uint32 LE][crc32 uint32 LE][JSON payload]
+//
+// so a torn final write (crash mid-append) is detected by length or
+// checksum and truncated on recovery; everything before it is intact by
+// construction because records are appended in commit order.
+//
+// # Fsync modes
+//
+// FsyncAlways fsyncs after every append: no acknowledged write is lost
+// even to power failure. FsyncBatch (the default) write()s every record
+// before acknowledging — surviving any process death, kill -9 included,
+// because the OS page cache outlives the process — and a background
+// syncer fsyncs shortly after, bounding loss on power failure to a few
+// milliseconds. FsyncOff never fsyncs explicitly; the same process-death
+// guarantee holds, power failure may lose the unflushed tail.
+//
+// # Recovery invariants
+//
+// Open returns exactly the acknowledged state: for every operation whose
+// log append returned before the crash, its effect is present after
+// recovery; for the at-most-one torn record, the operation was never
+// acknowledged, so dropping it is correct. Database UIDs are
+// process-unique and are NOT recovered — recovery compares registrations
+// by name, version, and fact contents, and rebuilt databases get fresh
+// UIDs (cold caches, correct answers).
+package store

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/api"
+)
+
+// OpKind discriminates the WAL record union.
+type OpKind string
+
+const (
+	// OpPutDB registers (or replaces) a named database: the full fact
+	// list in canonical "R(a,b)" form plus its version.
+	OpPutDB OpKind = "put_db"
+	// OpDropDB unregisters a named database.
+	OpDropDB OpKind = "drop_db"
+	// OpMutateDB applies an atomic insert/delete batch to a named
+	// database; Version is the post-batch mutation counter.
+	OpMutateDB OpKind = "mutate_db"
+	// OpJobSubmit journals a queued job (before the 202 is returned).
+	OpJobSubmit OpKind = "job_submit"
+	// OpJobStart stamps a job running at time At.
+	OpJobStart OpKind = "job_start"
+	// OpJobFinish replaces a job record with its terminal snapshot
+	// (done/failed/canceled, result or error included).
+	OpJobFinish OpKind = "job_finish"
+	// OpJobRemove deletes a job record (DELETE of a terminal job, or
+	// store eviction).
+	OpJobRemove OpKind = "job_remove"
+)
+
+// opKinds is the closed set DecodeOp accepts.
+var opKinds = map[OpKind]bool{
+	OpPutDB: true, OpDropDB: true, OpMutateDB: true,
+	OpJobSubmit: true, OpJobStart: true, OpJobFinish: true, OpJobRemove: true,
+}
+
+// Op is the single WAL record payload: a tagged union over OpKind,
+// JSON-encoded inside the frame. Facts and mutation batches carry
+// canonical fact strings (db.Database.TupleString renderings), the same
+// encoding the wire uses, so replay goes through the ordinary
+// registration/mutation fact parser.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// Name is the database name (put_db, drop_db, mutate_db).
+	Name string `json:"name,omitempty"`
+	// Facts is a put_db's full contents in canonical fact notation.
+	Facts []string `json:"facts,omitempty"`
+	// Version is the database's mutation counter after this op.
+	Version uint64 `json:"version,omitempty"`
+	// Muts is a mutate_db's ordered batch, facts in canonical notation.
+	Muts []api.Mutation `json:"muts,omitempty"`
+	// ID is the job id (job_start, job_remove).
+	ID string `json:"id,omitempty"`
+	// At is the job_start timestamp.
+	At *time.Time `json:"at,omitempty"`
+	// Job is the full job record (job_submit: queued; job_finish:
+	// terminal).
+	Job *api.Job `json:"job,omitempty"`
+}
+
+// Encode renders the op as a WAL payload. Marshalling the Op types
+// cannot fail (no channels, funcs, or NaNs reach them), so Encode has no
+// error return; the impossible case panics loudly instead of silently
+// logging a broken record.
+func (op Op) Encode() []byte {
+	b, err := json.Marshal(op)
+	if err != nil {
+		panic(fmt.Sprintf("store: encoding %s op: %v", op.Kind, err))
+	}
+	return b
+}
+
+// DecodeOp parses a WAL payload back into an Op, rejecting unknown
+// kinds: a record that decodes as JSON but names no known operation is
+// corruption, and recovery truncates the log there.
+func DecodeOp(b []byte) (Op, error) {
+	var op Op
+	if err := json.Unmarshal(b, &op); err != nil {
+		return Op{}, fmt.Errorf("store: decoding op: %w", err)
+	}
+	if !opKinds[op.Kind] {
+		return Op{}, fmt.Errorf("store: unknown op kind %q", op.Kind)
+	}
+	return op, nil
+}

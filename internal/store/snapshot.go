@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/api"
+)
+
+// DBState is one database's recovered registration: its name, full
+// contents in canonical fact notation (sorted, so two dumps of the same
+// contents are byte-identical), and mutation counter.
+type DBState struct {
+	Name    string   `json:"name"`
+	Facts   []string `json:"facts"`
+	Version uint64   `json:"version"`
+}
+
+// snapshotFile is the JSON body of a snap-<seq>.snap file: the full
+// mirror at the moment wal-<seq>.log started.
+type snapshotFile struct {
+	Seq  uint64     `json:"seq"`
+	DBs  []DBState  `json:"dbs"`
+	Jobs []*api.Job `json:"jobs"`
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.snap", seq) }
+func walName(seq uint64) string  { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSeq extracts the generation number from a snap-/wal- file name,
+// reporting whether name is one of ours with the given prefix/suffix.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// writeSnapshot atomically installs snap-<seq>.snap: write to a tmp file
+// in the same directory, fsync it, rename over the final name, fsync the
+// directory. A crash at any point leaves either no snapshot or a
+// complete one — never a torn file under the final name.
+func writeSnapshot(dir string, snap snapshotFile) error {
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(body); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	final := filepath.Join(dir, snapName(snap.Seq))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadLatestSnapshot scans dir for the newest decodable snapshot. A
+// snapshot that fails to decode (crashed before its fsync under
+// FsyncOff, external damage) is skipped in favor of the next older one;
+// with none usable, recovery starts from the empty state at seq 0.
+func loadLatestSnapshot(dir string) (snapshotFile, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return snapshotFile{}, false
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		raw, err := os.ReadFile(filepath.Join(dir, snapName(seq)))
+		if err != nil {
+			continue
+		}
+		var snap snapshotFile
+		if err := json.Unmarshal(raw, &snap); err != nil || snap.Seq != seq {
+			continue
+		}
+		return snap, true
+	}
+	return snapshotFile{}, false
+}
+
+// removeBelow deletes snapshot, WAL, and leftover tmp files of
+// generations older than keep — compaction, and cleanup of the debris a
+// crash mid-rotation can leave. Best-effort: a file that will not delete
+// costs disk, not correctness.
+func removeBelow(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, "snap-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseSeq(name, "snap-", ".snap"); ok && seq < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+		if seq, ok := parseSeq(name, "wal-", ".log"); ok && seq < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry is
+// durable. Some platforms refuse to fsync directories; that degrades the
+// rename's durability, not its atomicity, so the error is ignored.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	f.Sync() //nolint:errcheck // see above
+	return nil
+}

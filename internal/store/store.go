@@ -1,0 +1,546 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+)
+
+// FsyncMode selects when WAL appends reach stable storage; see the
+// package comment for the guarantee each mode gives.
+type FsyncMode string
+
+const (
+	// FsyncAlways fsyncs after every append.
+	FsyncAlways FsyncMode = "always"
+	// FsyncBatch write()s every append before acknowledging (process
+	// death loses nothing) and fsyncs in the background (power failure
+	// loses at most the last batch interval). The default.
+	FsyncBatch FsyncMode = "batch"
+	// FsyncOff never fsyncs explicitly.
+	FsyncOff FsyncMode = "off"
+)
+
+// ParseFsyncMode maps the -fsync flag value to a mode; "" means the
+// default FsyncBatch.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch FsyncMode(s) {
+	case "", FsyncBatch:
+		return FsyncBatch, nil
+	case FsyncAlways:
+		return FsyncAlways, nil
+	case FsyncOff:
+		return FsyncOff, nil
+	}
+	return "", fmt.Errorf("store: unknown fsync mode %q (want always, batch, or off)", s)
+}
+
+// Options tunes a DiskStore; the zero value is usable (fsync=batch,
+// snapshot every 4096 records, 2ms batch-sync interval).
+type Options struct {
+	// Fsync is the append durability policy; "" means FsyncBatch.
+	Fsync FsyncMode
+	// SnapshotEvery takes an automatic snapshot (and compacts the WAL)
+	// after that many appended records. 0 means the default 4096; < 0
+	// disables automatic snapshots (explicit Snapshot calls still work).
+	SnapshotEvery int
+	// BatchInterval is the background fsync cadence under FsyncBatch.
+	// 0 means the default 2ms.
+	BatchInterval time.Duration
+}
+
+const (
+	defaultSnapshotEvery = 4096
+	defaultBatchInterval = 2 * time.Millisecond
+)
+
+// RecoveryStats describes what Open found and repaired; the daemon's
+// startup line prints it.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a snapshot was found and decoded;
+	// SnapshotSeq is its generation (0 with no snapshot), SnapshotDBs
+	// and SnapshotJobs its contents.
+	SnapshotLoaded bool
+	SnapshotSeq    uint64
+	SnapshotDBs    int
+	SnapshotJobs   int
+	// WALRecords is the number of intact records replayed from the WAL
+	// tail; TornBytes is how much of a torn final record (or trailing
+	// garbage) was truncated away.
+	WALRecords int
+	TornBytes  int64
+}
+
+// Recovery is the state Open reconstructed: the databases to re-register
+// (sorted by name), the job records to seed the job store with (in
+// submission order), and the stats behind both.
+type Recovery struct {
+	DBs   []DBState
+	Jobs  []*api.Job
+	Stats RecoveryStats
+}
+
+// Stats is a point-in-time snapshot of a DiskStore's counters, exposed
+// through the server's /metrics and the daemon's shutdown line.
+type Stats struct {
+	// Enabled distinguishes a live store from the zero Stats a
+	// store-less server reports.
+	Enabled bool
+	// Seq is the current generation; WALRecords counts records in the
+	// current WAL (reset by each snapshot).
+	Seq        uint64
+	WALRecords int64
+	// Appends and AppendBytes count WAL writes since Open; Fsyncs counts
+	// explicit syncs; Snapshots counts snapshots taken; CompactedRecords
+	// counts WAL records folded into snapshots.
+	Appends          int64
+	AppendBytes      int64
+	Fsyncs           int64
+	Snapshots        int64
+	CompactedRecords int64
+	// Errors counts non-fatal internal failures (background sync,
+	// best-effort snapshot, mirror inconsistencies).
+	Errors int64
+}
+
+// errClosed rejects appends after Close.
+var errClosed = errors.New("store: closed")
+
+// mirrorDB is the store's own view of one registered database: contents
+// as canonical fact strings plus the mutation counter. It exists so
+// snapshots never have to query the live Session.
+type mirrorDB struct {
+	facts   map[string]struct{}
+	version uint64
+}
+
+// DiskStore is the durable api.Store: every logged operation is framed,
+// appended to the current WAL, applied to the in-memory mirror, and made
+// durable per the fsync mode before the call returns. It implements
+// api.Store.
+type DiskStore struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File // current WAL, nil after Close
+	seq        uint64
+	walRecords int64
+	sinceSnap  int64
+	buf        []byte // frame scratch, reused across appends
+
+	dbs      map[string]*mirrorDB
+	jobs     map[string]*api.Job
+	jobOrder []string
+
+	dirty    atomic.Bool // FsyncBatch: records written since last sync
+	stopSync chan struct{}
+	syncWG   sync.WaitGroup
+
+	appends     atomic.Int64
+	appendBytes atomic.Int64
+	fsyncs      atomic.Int64
+	snapshots   atomic.Int64
+	compacted   atomic.Int64
+	errs        atomic.Int64
+}
+
+// Open opens (or creates) the data directory, recovers its state —
+// latest snapshot, WAL tail replay, torn-record truncation — and returns
+// the store ready for appends plus what it recovered.
+func Open(dir string, opts Options) (*DiskStore, *Recovery, error) {
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncBatch
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if opts.BatchInterval <= 0 {
+		opts.BatchInterval = defaultBatchInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &DiskStore{
+		dir:      dir,
+		opts:     opts,
+		dbs:      map[string]*mirrorDB{},
+		jobs:     map[string]*api.Job{},
+		stopSync: make(chan struct{}),
+	}
+
+	snap, loaded := loadLatestSnapshot(dir)
+	s.seq = snap.Seq
+	for _, d := range snap.DBs {
+		facts := make(map[string]struct{}, len(d.Facts))
+		for _, f := range d.Facts {
+			facts[f] = struct{}{}
+		}
+		s.dbs[d.Name] = &mirrorDB{facts: facts, version: d.Version}
+	}
+	for _, j := range snap.Jobs {
+		jc := *j
+		s.jobs[jc.ID] = &jc
+		s.jobOrder = append(s.jobOrder, jc.ID)
+	}
+
+	// Replay the WAL tail of the loaded generation. A record whose frame
+	// is intact but whose payload does not decode is corruption too:
+	// scan stops there and the truncate below removes it.
+	walPath := filepath.Join(dir, walName(s.seq))
+	raw, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	records := 0
+	valid, _ := ScanFrames(raw, func(payload []byte) error {
+		op, derr := DecodeOp(payload)
+		if derr != nil {
+			return derr
+		}
+		s.applyLocked(op)
+		records++
+		return nil
+	})
+	torn := int64(len(raw)) - valid
+	if torn > 0 {
+		if err := os.Truncate(walPath, valid); err != nil {
+			return nil, nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	s.walRecords = int64(records)
+	s.sinceSnap = int64(records)
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.f = f
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Generations older than the one recovered are compacted history (or
+	// rotation debris from a crash between snapshot and cleanup).
+	removeBelow(dir, s.seq)
+
+	if opts.Fsync == FsyncBatch {
+		s.syncWG.Add(1)
+		go s.batchSyncer()
+	}
+
+	rec := &Recovery{
+		DBs:  s.dbStatesLocked(),
+		Jobs: s.jobListLocked(),
+		Stats: RecoveryStats{
+			SnapshotLoaded: loaded,
+			SnapshotSeq:    snap.Seq,
+			SnapshotDBs:    len(snap.DBs),
+			SnapshotJobs:   len(snap.Jobs),
+			WALRecords:     records,
+			TornBytes:      torn,
+		},
+	}
+	return s, rec, nil
+}
+
+// append frames, writes, mirrors, and (per the fsync mode) syncs one op.
+// It is the single commit point: when it returns nil the operation is as
+// durable as the configured mode promises.
+func (s *DiskStore) append(op Op) error {
+	payload := op.Encode()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	s.buf = AppendFrame(s.buf[:0], payload)
+	if _, err := s.f.Write(s.buf); err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("store: appending %s op: %w", op.Kind, err)
+	}
+	s.appends.Add(1)
+	s.appendBytes.Add(int64(len(s.buf)))
+	s.walRecords++
+	s.sinceSnap++
+	s.applyLocked(op)
+	switch s.opts.Fsync {
+	case FsyncAlways:
+		if err := s.f.Sync(); err != nil {
+			s.errs.Add(1)
+			return fmt.Errorf("store: syncing %s op: %w", op.Kind, err)
+		}
+		s.fsyncs.Add(1)
+	case FsyncBatch:
+		s.dirty.Store(true)
+	}
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= int64(s.opts.SnapshotEvery) {
+		// A failed automatic snapshot costs compaction, not durability —
+		// the WAL still holds everything — so it only counts an error.
+		if err := s.snapshotLocked(); err != nil {
+			s.errs.Add(1)
+		}
+	}
+	return nil
+}
+
+// applyLocked folds one op into the mirror. Replay and the live append
+// path share it, which is what makes "recovered state ≡ logged state"
+// structural rather than re-implemented. Ops that reference unknown
+// names (possible only via external file damage that still checksums)
+// are dropped with an error count. Callers hold s.mu (or own s
+// exclusively, as Open does).
+func (s *DiskStore) applyLocked(op Op) {
+	switch op.Kind {
+	case OpPutDB:
+		facts := make(map[string]struct{}, len(op.Facts))
+		for _, f := range op.Facts {
+			facts[f] = struct{}{}
+		}
+		s.dbs[op.Name] = &mirrorDB{facts: facts, version: op.Version}
+	case OpDropDB:
+		delete(s.dbs, op.Name)
+	case OpMutateDB:
+		md := s.dbs[op.Name]
+		if md == nil {
+			s.errs.Add(1)
+			return
+		}
+		for _, m := range op.Muts {
+			if m.Op == api.MutationInsert {
+				md.facts[m.Fact] = struct{}{}
+			} else {
+				delete(md.facts, m.Fact)
+			}
+		}
+		md.version = op.Version
+	case OpJobSubmit, OpJobFinish:
+		if op.Job == nil {
+			s.errs.Add(1)
+			return
+		}
+		jc := *op.Job
+		if _, ok := s.jobs[jc.ID]; !ok {
+			s.jobOrder = append(s.jobOrder, jc.ID)
+		}
+		s.jobs[jc.ID] = &jc
+	case OpJobStart:
+		if j := s.jobs[op.ID]; j != nil {
+			j.State = api.JobRunning
+			j.Started = op.At
+		}
+	case OpJobRemove:
+		if _, ok := s.jobs[op.ID]; !ok {
+			return
+		}
+		delete(s.jobs, op.ID)
+		for i, id := range s.jobOrder {
+			if id == op.ID {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// dbStatesLocked dumps the mirror's databases, names and fact lists
+// sorted for deterministic snapshots. Callers hold s.mu (or own s).
+func (s *DiskStore) dbStatesLocked() []DBState {
+	out := make([]DBState, 0, len(s.dbs))
+	for name, md := range s.dbs {
+		facts := make([]string, 0, len(md.facts))
+		for f := range md.facts {
+			facts = append(facts, f)
+		}
+		sort.Strings(facts)
+		out = append(out, DBState{Name: name, Facts: facts, Version: md.version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// jobListLocked dumps the mirror's jobs in submission order, copied so
+// callers never alias mirror records. Callers hold s.mu (or own s).
+func (s *DiskStore) jobListLocked() []*api.Job {
+	out := make([]*api.Job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		if j, ok := s.jobs[id]; ok {
+			jc := *j
+			out = append(out, &jc)
+		}
+	}
+	return out
+}
+
+// snapshotLocked writes generation seq+1 — snapshot, fresh WAL — and
+// deletes the old generation. Ordering is what makes a crash at any
+// point recoverable: the new snapshot is durably installed before the
+// new WAL exists, and the old files are removed only after both; Open
+// always finds either the old complete generation or the new one.
+// Callers hold s.mu.
+func (s *DiskStore) snapshotLocked() error {
+	if s.f == nil {
+		return errClosed
+	}
+	newSeq := s.seq + 1
+	snap := snapshotFile{Seq: newSeq, DBs: s.dbStatesLocked(), Jobs: s.jobListLocked()}
+	if err := writeSnapshot(s.dir, snap); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(filepath.Join(s.dir, walName(newSeq)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		// Without the new WAL the new snapshot must not win recovery:
+		// remove it and keep appending to the current generation.
+		os.Remove(filepath.Join(s.dir, snapName(newSeq)))
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		nf.Close()
+		os.Remove(filepath.Join(s.dir, snapName(newSeq)))
+		os.Remove(filepath.Join(s.dir, walName(newSeq)))
+		return err
+	}
+	old := s.f
+	s.f = nf
+	old.Sync() //nolint:errcheck // superseded by the snapshot just written
+	old.Close()
+	s.compacted.Add(s.walRecords)
+	s.walRecords = 0
+	s.sinceSnap = 0
+	s.seq = newSeq
+	s.snapshots.Add(1)
+	removeBelow(s.dir, newSeq)
+	return nil
+}
+
+// Snapshot checkpoints the current state and compacts the WAL. The
+// daemon calls it on drain so the next boot replays an empty tail.
+func (s *DiskStore) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// batchSyncer is the FsyncBatch background goroutine: every interval
+// with dirty records it fsyncs the current WAL, bounding power-failure
+// loss to roughly the interval.
+func (s *DiskStore) batchSyncer() {
+	defer s.syncWG.Done()
+	t := time.NewTicker(s.opts.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSync:
+			return
+		case <-t.C:
+			if !s.dirty.Swap(false) {
+				continue
+			}
+			// Sync outside the mutex so a slow fsync never stalls the
+			// append path. Grabbing the handle under mu and syncing after
+			// is safe against Close: it nils s.f, then waits for this
+			// goroutine to exit before closing the file, so an in-flight
+			// Sync always sees an open descriptor.
+			s.mu.Lock()
+			f := s.f
+			s.mu.Unlock()
+			if f == nil {
+				continue
+			}
+			if err := f.Sync(); err != nil {
+				s.errs.Add(1)
+			} else {
+				s.fsyncs.Add(1)
+			}
+		}
+	}
+}
+
+// Close stops the background syncer, syncs the WAL one last time, and
+// closes it. Idempotent; appends after Close fail with an internal
+// error.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	f := s.f
+	s.f = nil
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	close(s.stopSync)
+	s.syncWG.Wait()
+	var err error
+	if s.opts.Fsync != FsyncOff {
+		if err = f.Sync(); err == nil {
+			s.fsyncs.Add(1)
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the counters.
+func (s *DiskStore) Stats() Stats {
+	s.mu.Lock()
+	seq, walRecords := s.seq, s.walRecords
+	s.mu.Unlock()
+	return Stats{
+		Enabled:          true,
+		Seq:              seq,
+		WALRecords:       walRecords,
+		Appends:          s.appends.Load(),
+		AppendBytes:      s.appendBytes.Load(),
+		Fsyncs:           s.fsyncs.Load(),
+		Snapshots:        s.snapshots.Load(),
+		CompactedRecords: s.compacted.Load(),
+		Errors:           s.errs.Load(),
+	}
+}
+
+// The api.Store methods: each builds the matching Op and commits it.
+
+// PutDB logs a database registration (full contents).
+func (s *DiskStore) PutDB(name string, facts []string, version uint64) error {
+	return s.append(Op{Kind: OpPutDB, Name: name, Facts: facts, Version: version})
+}
+
+// DropDB logs an unregistration.
+func (s *DiskStore) DropDB(name string) error {
+	return s.append(Op{Kind: OpDropDB, Name: name})
+}
+
+// MutateDB logs an applied mutation batch and the post-batch version.
+func (s *DiskStore) MutateDB(name string, muts []api.Mutation, version uint64) error {
+	return s.append(Op{Kind: OpMutateDB, Name: name, Muts: muts, Version: version})
+}
+
+// SubmitJob journals a queued job record.
+func (s *DiskStore) SubmitJob(job *api.Job) error {
+	jc := *job
+	return s.append(Op{Kind: OpJobSubmit, Job: &jc})
+}
+
+// StartJob stamps a job running.
+func (s *DiskStore) StartJob(id string, at time.Time) error {
+	return s.append(Op{Kind: OpJobStart, ID: id, At: &at})
+}
+
+// FinishJob replaces a job record with its terminal snapshot.
+func (s *DiskStore) FinishJob(job *api.Job) error {
+	jc := *job
+	return s.append(Op{Kind: OpJobFinish, Job: &jc})
+}
+
+// RemoveJob deletes a job record.
+func (s *DiskStore) RemoveJob(id string) error {
+	return s.append(Op{Kind: OpJobRemove, ID: id})
+}

@@ -1,0 +1,335 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// openT opens a store in dir, failing the test on error.
+func openT(t *testing.T, dir string, opts Options) (*DiskStore, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openT(t, dir, Options{Fsync: FsyncOff})
+	defer s.Close()
+	if rec.Stats.SnapshotLoaded || rec.Stats.WALRecords != 0 || rec.Stats.TornBytes != 0 {
+		t.Fatalf("empty dir recovered %+v, want nothing", rec.Stats)
+	}
+	if len(rec.DBs) != 0 || len(rec.Jobs) != 0 {
+		t.Fatalf("empty dir recovered %d dbs, %d jobs", len(rec.DBs), len(rec.Jobs))
+	}
+}
+
+// TestReplayAcrossReopen commits a representative op of every kind,
+// reopens, and checks the recovered state — the basic WAL replay path,
+// no snapshot involved.
+func TestReplayAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncAlways, SnapshotEvery: -1})
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.PutDB("a", []string{"R(x,y)"}, 1))
+	must(s.PutDB("b", []string{"S(u)"}, 1))
+	must(s.MutateDB("a", []api.Mutation{
+		{Op: api.MutationInsert, Fact: "R(y,z)"},
+		{Op: api.MutationDelete, Fact: "R(x,y)"},
+	}, 3))
+	must(s.DropDB("b"))
+
+	now := time.Now().UTC().Truncate(time.Second)
+	job1 := &api.Job{ID: "job-1", State: api.JobQueued, Task: api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "a"}, Created: now}
+	job2 := &api.Job{ID: "job-2", State: api.JobQueued, Task: api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "a"}, Created: now}
+	job3 := &api.Job{ID: "job-3", State: api.JobQueued, Task: api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "a"}, Created: now}
+	must(s.SubmitJob(job1))
+	must(s.SubmitJob(job2))
+	must(s.SubmitJob(job3))
+	must(s.StartJob("job-1", now))
+	fin := *job2
+	fin.State = api.JobDone
+	fin.Finished = &now
+	must(s.FinishJob(&fin))
+	must(s.RemoveJob("job-3"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec := openT(t, dir, Options{Fsync: FsyncOff})
+	defer s2.Close()
+	if rec.Stats.SnapshotLoaded {
+		t.Fatal("no snapshot was written, but one loaded")
+	}
+	if rec.Stats.TornBytes != 0 {
+		t.Fatalf("clean close left %d torn bytes", rec.Stats.TornBytes)
+	}
+	wantDBs := []DBState{{Name: "a", Facts: []string{"R(y,z)"}, Version: 3}}
+	if !reflect.DeepEqual(rec.DBs, wantDBs) {
+		t.Fatalf("recovered DBs %+v, want %+v", rec.DBs, wantDBs)
+	}
+	if len(rec.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(rec.Jobs))
+	}
+	if rec.Jobs[0].ID != "job-1" || rec.Jobs[0].State != api.JobRunning {
+		t.Fatalf("job-1 recovered as %s/%s, want running", rec.Jobs[0].ID, rec.Jobs[0].State)
+	}
+	if rec.Jobs[1].ID != "job-2" || rec.Jobs[1].State != api.JobDone {
+		t.Fatalf("job-2 recovered as %s/%s, want done", rec.Jobs[1].ID, rec.Jobs[1].State)
+	}
+}
+
+// TestSnapshotRotationAndCompaction drives the automatic snapshot: after
+// enough appends the store must rotate to a new generation, delete the
+// old one, and recover identically from the compact form.
+func TestSnapshotRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: 8})
+
+	if err := s.PutDB("d", []string{"R(f0,f0)"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		m := []api.Mutation{{Op: api.MutationInsert, Fact: fmt.Sprintf("R(f%d,f%d)", i, i)}}
+		if err := s.MutateDB("d", m, uint64(1+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Snapshots == 0 || st.Seq == 0 {
+		t.Fatalf("no automatic snapshot after 21 appends with SnapshotEvery=8: %+v", st)
+	}
+	if st.CompactedRecords == 0 {
+		t.Fatalf("rotation compacted nothing: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the newest generation's files survive.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && seq < st.Seq {
+			t.Fatalf("stale snapshot %s survived compaction", e.Name())
+		}
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < st.Seq {
+			t.Fatalf("stale WAL %s survived compaction", e.Name())
+		}
+	}
+
+	s2, rec := openT(t, dir, Options{Fsync: FsyncOff})
+	defer s2.Close()
+	if !rec.Stats.SnapshotLoaded || rec.Stats.SnapshotSeq != st.Seq {
+		t.Fatalf("recovery loaded snapshot=%v seq=%d, want seq %d", rec.Stats.SnapshotLoaded, rec.Stats.SnapshotSeq, st.Seq)
+	}
+	if len(rec.DBs) != 1 || rec.DBs[0].Version != 21 || len(rec.DBs[0].Facts) != 21 {
+		t.Fatalf("recovered %+v, want d@v21 with 21 facts", rec.DBs)
+	}
+}
+
+// TestCrashBetweenSnapshotAndCleanup simulates the worst rotation crash:
+// the new snapshot and WAL exist but the old generation was never
+// removed. Recovery must pick the NEW generation and clean up the old.
+func TestCrashBetweenSnapshotAndCleanup(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	if err := s.PutDB("d", []string{"R(a,b)"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MutateDB("d", []api.Mutation{{Op: api.MutationInsert, Fact: "R(b,c)"}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect generation-0 debris as a crash mid-cleanup would leave it:
+	// an older snapshot and WAL alongside the live generation 1.
+	if err := os.WriteFile(filepath.Join(dir, snapName(0)), []byte(`{"seq":0,"dbs":[{"name":"stale","facts":["X(a)"],"version":9}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName(0)), AppendFrame(nil, Op{Kind: OpDropDB, Name: "stale"}.Encode()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openT(t, dir, Options{Fsync: FsyncOff})
+	defer s2.Close()
+	if rec.Stats.SnapshotSeq != 1 {
+		t.Fatalf("recovered from seq %d, want the newest generation 1", rec.Stats.SnapshotSeq)
+	}
+	wantDBs := []DBState{{Name: "d", Facts: []string{"R(a,b)", "R(b,c)"}, Version: 2}}
+	if !reflect.DeepEqual(rec.DBs, wantDBs) {
+		t.Fatalf("recovered %+v, want %+v", rec.DBs, wantDBs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName(0))); !os.IsNotExist(err) {
+		t.Fatal("generation-0 snapshot survived recovery cleanup")
+	}
+	if _, err := os.Stat(filepath.Join(dir, walName(0))); !os.IsNotExist(err) {
+		t.Fatal("generation-0 WAL survived recovery cleanup")
+	}
+}
+
+// modelDB is the reference implementation the differential test compares
+// recovery against: plain maps, no files.
+type modelDB struct {
+	facts   map[string]bool
+	version uint64
+}
+
+// TestRandomizedModelDifferential runs a random op sequence against the
+// store and an in-memory model, reopening the store at random points
+// (snapshot sometimes forced in between): after every reopen the
+// recovered DB states must equal the model exactly.
+func TestRandomizedModelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	opts := Options{Fsync: FsyncOff, SnapshotEvery: 16}
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: 16})
+	model := map[string]*modelDB{}
+	names := []string{"a", "b", "c"}
+
+	check := func(rec *Recovery) {
+		t.Helper()
+		want := make([]DBState, 0, len(model))
+		for name, md := range model {
+			facts := make([]string, 0, len(md.facts))
+			for f := range md.facts {
+				facts = append(facts, f)
+			}
+			sort.Strings(facts)
+			want = append(want, DBState{Name: name, Facts: facts, Version: md.version})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Name < want[j].Name })
+		if len(want) == 0 {
+			want = nil
+		}
+		var got []DBState
+		if len(rec.DBs) > 0 {
+			got = rec.DBs
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("recovered state diverged from model:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		name := names[rng.Intn(len(names))]
+		md := model[name]
+		switch op := rng.Intn(10); {
+		case op < 3 || md == nil: // put (always valid)
+			n := rng.Intn(4)
+			facts := map[string]bool{}
+			for i := 0; i < n; i++ {
+				facts[fmt.Sprintf("R(k%d,k%d)", rng.Intn(6), rng.Intn(6))] = true
+			}
+			v := uint64(rng.Intn(50))
+			list := make([]string, 0, len(facts))
+			for f := range facts {
+				list = append(list, f)
+			}
+			if err := s.PutDB(name, list, v); err != nil {
+				t.Fatal(err)
+			}
+			model[name] = &modelDB{facts: facts, version: v}
+		case op < 5: // drop
+			if err := s.DropDB(name); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, name)
+		default: // mutate
+			var muts []api.Mutation
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				f := fmt.Sprintf("R(k%d,k%d)", rng.Intn(6), rng.Intn(6))
+				if md.facts[f] {
+					muts = append(muts, api.Mutation{Op: api.MutationDelete, Fact: f})
+					delete(md.facts, f)
+				} else {
+					muts = append(muts, api.Mutation{Op: api.MutationInsert, Fact: f})
+					md.facts[f] = true
+				}
+			}
+			md.version++
+			if err := s.MutateDB(name, muts, md.version); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if rng.Intn(25) == 0 {
+			if rng.Intn(2) == 0 {
+				if err := s.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			var rec *Recovery
+			s, rec = openT(t, dir, opts)
+			check(rec)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	check(rec)
+}
+
+// TestAppendAfterCloseFails pins the closed-store contract.
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.PutDB("d", nil, 0); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("Snapshot after Close succeeded")
+	}
+}
+
+// TestParseFsyncMode pins the flag surface.
+func TestParseFsyncMode(t *testing.T) {
+	for in, want := range map[string]FsyncMode{
+		"": FsyncBatch, "batch": FsyncBatch, "always": FsyncAlways, "off": FsyncOff,
+	} {
+		got, err := ParseFsyncMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Fatal("ParseFsyncMode accepted garbage")
+	}
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// WAL record framing: [length uint32 LE][crc32 uint32 LE][payload].
+// The length is of the payload alone; the checksum is crc32 IEEE over the
+// payload. A record is intact iff the full frame is present and the
+// checksum matches — a torn final write fails one of the two and ends the
+// intact prefix.
+const frameHeader = 8
+
+// MaxRecord caps a single WAL record's payload. Nothing the system logs
+// comes near it (the largest op is a put_db carrying a full fact list);
+// it exists so a corrupt length field in a damaged file reads as "torn
+// here" instead of a multi-gigabyte allocation.
+const MaxRecord = 64 << 20
+
+// AppendFrame appends the framed payload to buf and returns the extended
+// slice, the allocation-free encoder for the append path.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// ScanFrames walks raw, calling fn on each intact record payload in
+// order, and returns the byte length of the intact prefix. A torn or
+// corrupt record (short frame, oversized length, checksum mismatch)
+// simply ends the scan — it is never an error, because the append
+// discipline makes "torn tail" the only way a WAL gets damaged short of
+// external corruption, and both truncate identically. fn returning an
+// error aborts the scan; the returned prefix then ends before the record
+// fn rejected, so the caller can truncate the rejected record away too.
+func ScanFrames(raw []byte, fn func(payload []byte) error) (int64, error) {
+	off := int64(0)
+	for {
+		rest := raw[off:]
+		if len(rest) < frameHeader {
+			return off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > MaxRecord || n > int64(len(rest))-frameHeader {
+			return off, nil
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return off, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, err
+			}
+		}
+		off += frameHeader + n
+	}
+}

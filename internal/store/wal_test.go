@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/api"
+)
+
+// TestFrameRoundTrip pins the framing: AppendFrame output scans back to
+// the same payloads, in order, with the full buffer as the intact prefix.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"kind":"drop_db","name":"d"}`),
+		{},
+		[]byte("not json at all"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	var got [][]byte
+	valid, err := ScanFrames(buf, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanFrames: %v", err)
+	}
+	if valid != int64(len(buf)) {
+		t.Fatalf("intact prefix = %d, want the whole buffer (%d)", valid, len(buf))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("scanned %d payloads, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+// TestScanFramesTornTailEveryOffset is the torn-write battery at the
+// framing layer: a log of three records cut at EVERY byte offset inside
+// the final record must scan back exactly the first two, with the intact
+// prefix ending where the complete records do.
+func TestScanFramesTornTailEveryOffset(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPutDB, Name: "d", Facts: []string{"R(a,b)", "R(b,c)"}, Version: 2},
+		{Kind: OpMutateDB, Name: "d", Muts: []api.Mutation{{Op: api.MutationInsert, Fact: "R(c,d)"}}, Version: 3},
+		{Kind: OpDropDB, Name: "d"},
+	}
+	var buf []byte
+	var ends []int64
+	for _, op := range ops {
+		buf = AppendFrame(buf, op.Encode())
+		ends = append(ends, int64(len(buf)))
+	}
+	keep := ends[1] // the first two records stay intact
+
+	for cut := keep; cut < int64(len(buf)); cut++ {
+		count := 0
+		valid, err := ScanFrames(buf[:cut], func(p []byte) error {
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: ScanFrames: %v", cut, err)
+		}
+		if count != 2 {
+			t.Fatalf("cut %d: scanned %d records, want 2", cut, count)
+		}
+		if valid != keep {
+			t.Fatalf("cut %d: intact prefix = %d, want %d", cut, valid, keep)
+		}
+	}
+}
+
+// TestScanFramesCorruptChecksum flips one payload byte of the middle
+// record: the scan must stop before it even though the tail frame behind
+// it is intact — a checksum break ends the trusted prefix.
+func TestScanFramesCorruptChecksum(t *testing.T) {
+	var buf []byte
+	var ends []int64
+	for i := 0; i < 3; i++ {
+		buf = AppendFrame(buf, Op{Kind: OpDropDB, Name: fmt.Sprintf("d%d", i)}.Encode())
+		ends = append(ends, int64(len(buf)))
+	}
+	buf[ends[0]+frameHeader+2] ^= 0xFF
+	count := 0
+	valid, err := ScanFrames(buf, func(p []byte) error { count++; return nil })
+	if err != nil {
+		t.Fatalf("ScanFrames: %v", err)
+	}
+	if count != 1 || valid != ends[0] {
+		t.Fatalf("scanned %d records to offset %d, want 1 record to %d", count, valid, ends[0])
+	}
+}
+
+// TestScanFramesFnAbort pins the contract recovery depends on: when fn
+// rejects a record (undecodable payload behind a valid checksum), the
+// returned prefix ends BEFORE that record, so truncation removes it.
+func TestScanFramesFnAbort(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, Op{Kind: OpDropDB, Name: "d"}.Encode())
+	keep := int64(len(buf))
+	buf = AppendFrame(buf, []byte("valid frame, invalid op"))
+
+	valid, err := ScanFrames(buf, func(p []byte) error {
+		_, derr := DecodeOp(p)
+		return derr
+	})
+	if err == nil {
+		t.Fatal("ScanFrames: want the decode error back, got nil")
+	}
+	if valid != keep {
+		t.Fatalf("intact prefix = %d, want %d (ending before the rejected record)", valid, keep)
+	}
+}
+
+// TestOpenTornTailEveryOffset is the torn-write battery at the store
+// layer: a WAL holding a registration and two mutation batches, cut at
+// every byte offset of the final record, must recover the state as of
+// the second record at every single cut, and Open must physically
+// truncate the torn bytes so the next append produces a clean log.
+func TestOpenTornTailEveryOffset(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPutDB, Name: "d", Facts: []string{"R(a,b)"}, Version: 1},
+		{Kind: OpMutateDB, Name: "d", Muts: []api.Mutation{{Op: api.MutationInsert, Fact: "R(b,c)"}}, Version: 2},
+		{Kind: OpMutateDB, Name: "d", Muts: []api.Mutation{{Op: api.MutationDelete, Fact: "R(a,b)"}}, Version: 3},
+	}
+	var buf []byte
+	var ends []int64
+	for _, op := range ops {
+		buf = AppendFrame(buf, op.Encode())
+		ends = append(ends, int64(len(buf)))
+	}
+	keep := ends[1]
+
+	for cut := keep; cut < int64(len(buf)); cut++ {
+		dir := t.TempDir()
+		walPath := filepath.Join(dir, walName(0))
+		if err := os.WriteFile(walPath, buf[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, rec, err := Open(dir, Options{Fsync: FsyncOff})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if rec.Stats.WALRecords != 2 {
+			t.Fatalf("cut %d: replayed %d records, want 2", cut, rec.Stats.WALRecords)
+		}
+		if want := cut - keep; rec.Stats.TornBytes != want {
+			t.Fatalf("cut %d: torn bytes = %d, want %d", cut, rec.Stats.TornBytes, want)
+		}
+		if len(rec.DBs) != 1 {
+			t.Fatalf("cut %d: recovered %d databases, want 1", cut, len(rec.DBs))
+		}
+		d := rec.DBs[0]
+		if d.Name != "d" || d.Version != 2 {
+			t.Fatalf("cut %d: recovered %s@v%d, want d@v2", cut, d.Name, d.Version)
+		}
+		wantFacts := []string{"R(a,b)", "R(b,c)"}
+		if len(d.Facts) != 2 || d.Facts[0] != wantFacts[0] || d.Facts[1] != wantFacts[1] {
+			t.Fatalf("cut %d: recovered facts %v, want %v", cut, d.Facts, wantFacts)
+		}
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatalf("cut %d: stat WAL: %v", cut, err)
+		}
+		if fi.Size() != keep {
+			t.Fatalf("cut %d: WAL size after Open = %d, want truncated to %d", cut, fi.Size(), keep)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+	}
+}

@@ -241,8 +241,16 @@ type ServerConfig = server.Config
 
 // NewServer returns the HTTP serving layer over a fresh Engine. The
 // returned Server is an http.Handler ready to mount on any mux or
-// http.Server.
+// http.Server. With ServerConfig.DataDir set it panics if the durable
+// store cannot be opened; use OpenServer to handle that error.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// OpenServer is NewServer with the durable-store error surfaced: when
+// cfg.DataDir is set it opens (or creates) the snapshot+WAL store there,
+// recovers the database registry and job store from the last run, and
+// journals every subsequent state change. Server.Recovery reports what
+// was recovered.
+func OpenServer(cfg ServerConfig) (*Server, error) { return server.Open(cfg) }
 
 // ResilienceExact computes ρ(q, D) with the exact branch-and-bound solver,
 // which is sound for every conjunctive query.

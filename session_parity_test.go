@@ -71,7 +71,9 @@ func TestFacadeSessionParity(t *testing.T) {
 			// Wire-typed Session on the same database.
 			sess := NewSession(SessionConfig{})
 			name := fmt.Sprintf("f%d-r%d", fi, round)
-			sess.Register(name, d)
+			if _, err := sess.Register(name, d); err != nil {
+				t.Fatalf("family %d round %d: register: %v", fi, round, err)
+			}
 			wire, err := sess.Do(context.Background(), Task{Kind: TaskSolve, Query: fam.query, DB: name})
 			if err != nil {
 				t.Fatalf("family %d round %d: session: %v", fi, round, err)
