@@ -161,11 +161,11 @@ func (s *Session) RegisterFacts(name string, facts []string) (DBInfo, error) {
 // WITHOUT logging to the store: the store already holds this state;
 // re-logging it on every boot would double the log. The rebuilt database
 // has a fresh UID (engine caches start cold) but the recovered Version,
-// so watchers and version-keyed clients resume the same lineage.
+// so watchers and version-keyed clients resume the same lineage. Unlike
+// RegisterFacts, an empty fact list is accepted: MutateDB can delete
+// every tuple of a registered database, and that emptied-but-registered
+// state must survive a restart.
 func (s *Session) RestoreDB(name string, facts []string, version uint64) (DBInfo, error) {
-	if len(facts) == 0 {
-		return DBInfo{}, Errorf(CodeBadRequest, "facts must be non-empty")
-	}
 	d, aerr := parseFactDB(facts)
 	if aerr != nil {
 		return DBInfo{}, aerr

@@ -71,8 +71,10 @@ type jobEntry struct {
 
 // newJobManager seeds recovered jobs (may be nil), then starts workers.
 // workers < 0 starts none — jobs queue forever, which recovery tests use
-// to observe pre-run state; store nil means in-memory only.
-func newJobManager(sess *api.Session, store api.Store, workers, queueCap, maxStored int, recovered []*api.Job) *jobManager {
+// to observe pre-run state; store nil means in-memory only. seqFloor is
+// the store's persisted job-id high-water mark: the counter resumes past
+// it so ids of jobs removed before the restart are never reissued.
+func newJobManager(sess *api.Session, store api.Store, workers, queueCap, maxStored int, recovered []*api.Job, seqFloor uint64) *jobManager {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &jobManager{
 		sess:      sess,
@@ -87,7 +89,7 @@ func newJobManager(sess *api.Session, store api.Store, workers, queueCap, maxSto
 	if m.store == nil {
 		m.store = api.NopStore{}
 	}
-	m.seed(recovered)
+	m.seed(recovered, seqFloor)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -100,10 +102,13 @@ func newJobManager(sess *api.Session, store api.Store, workers, queueCap, maxSto
 // so they must still run); running jobs were interrupted mid-solve — the
 // work is gone, so they finish failed with the typed restart code, which
 // the journal records so the next recovery sees them terminal; terminal
-// jobs install as-is. The id counter resumes past every recovered id so
-// new submissions never collide.
-func (m *jobManager) seed(recovered []*api.Job) {
-	var maxSeq int64
+// jobs install as-is. The id counter resumes past every recovered id AND
+// past the store's persisted high-water mark (seqFloor), which covers
+// ids whose records were removed via DELETE or eviction before the
+// restart — reissuing one of those would hand a new submission an id an
+// old client may still be polling or canceling.
+func (m *jobManager) seed(recovered []*api.Job, seqFloor uint64) {
+	maxSeq := int64(min(seqFloor, 1<<62)) // clamp: a corrupt mark must not go negative
 	for _, j := range recovered {
 		if seq, ok := parseJobSeq(j.ID); ok && seq > maxSeq {
 			maxSeq = seq

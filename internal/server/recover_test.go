@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"reflect"
 	"sort"
@@ -297,5 +298,113 @@ func TestMetricsStoreCounters(t *testing.T) {
 	}
 	if !s.Recovery().Enabled {
 		t.Fatal("Recovery().Enabled false on a durable server")
+	}
+}
+
+// TestRecoverEmptiedDB pins the regression where a database whose facts
+// were all deleted via PATCH mutations bricked recovery: the snapshot
+// recorded zero facts and RestoreDB rejected the empty list, so every
+// subsequent boot failed. An emptied-but-registered database must
+// survive a restart with its name and version intact, on both the
+// snapshot path (graceful close) and the pure WAL-replay path (crash).
+func TestRecoverEmptiedDB(t *testing.T) {
+	empty := func(t *testing.T, sess *api.Session) {
+		t.Helper()
+		if _, err := sess.RegisterFacts("net", []string{"R(a,b)"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.MutateDB(context.Background(), "net", []api.Mutation{
+			{Op: api.MutationDelete, Fact: "R(a,b)"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(t *testing.T, s *Server) {
+		t.Helper()
+		d := s.sess.DB("net")
+		if d == nil {
+			t.Fatal("emptied database vanished across restart")
+		}
+		if d.Len() != 0 || d.Version() != 2 {
+			t.Fatalf("recovered %d tuples at version %d, want 0 tuples at version 2", d.Len(), d.Version())
+		}
+	}
+
+	t.Run("snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		s1 := openDurable(t, dir)
+		empty(t, s1.sess)
+		s1.Close()
+		s2, err := Open(Config{DataDir: dir, Fsync: "batch", JobWorkers: -1})
+		if err != nil {
+			t.Fatalf("reopen after emptying a database: %v", err)
+		}
+		defer s2.Close()
+		check(t, s2)
+	})
+	t.Run("wal-replay", func(t *testing.T) {
+		dir := t.TempDir()
+		s1 := openDurable(t, dir)
+		empty(t, s1.sess)
+		// No Close: the process "crashed"; recovery replays the WAL.
+		s2, err := Open(Config{DataDir: dir, Fsync: "batch", JobWorkers: -1})
+		if err != nil {
+			t.Fatalf("reopen after emptying a database: %v", err)
+		}
+		defer s2.Close()
+		check(t, s2)
+	})
+}
+
+// TestJobIDsNotReusedAfterRestart pins the id high-water mark: a job id
+// consumed and then DELETEd before a restart must not be reissued to a
+// new submission — a client still holding the old id would silently
+// observe (and could cancel) an unrelated job. Covered across both a
+// crash (WAL replay of the removed job's submit) and a graceful close
+// (snapshot with the remove compacted away).
+func TestJobIDsNotReusedAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir)
+	task := api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "net"}
+	for want := 1; want <= 2; want++ {
+		j, err := s1.jobs.submit(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.ID != fmt.Sprintf("job-%d", want) {
+			t.Fatalf("submitted id %s, want job-%d", j.ID, want)
+		}
+	}
+	// First DELETE cancels the queued job-2; the second removes its record.
+	if _, ok := s1.jobs.cancel("job-2"); !ok {
+		t.Fatal("cancel job-2 failed")
+	}
+	if _, ok := s1.jobs.cancel("job-2"); !ok {
+		t.Fatal("delete job-2 failed")
+	}
+	if _, ok := s1.jobs.get("job-2"); ok {
+		t.Fatal("job-2 still stored after delete")
+	}
+	// Crash: recovery sees only job-1 surviving, but the WAL still holds
+	// job-2's submit — the counter must resume past it.
+	s2 := openDurable(t, dir)
+	j, err := s2.jobs.submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "job-3" {
+		t.Fatalf("post-crash submission got id %s, want job-3 (job-2 was deleted, not released)", j.ID)
+	}
+	// Graceful close: the snapshot compacts away job-2's records entirely;
+	// the persisted high-water mark alone must carry the consumed ids.
+	s2.Close()
+	s3 := openDurable(t, dir)
+	defer s3.Close()
+	j, err = s3.jobs.submit(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "job-4" {
+		t.Fatalf("post-snapshot submission got id %s, want job-4", j.ID)
 	}
 }

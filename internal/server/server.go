@@ -228,8 +228,10 @@ func Open(cfg Config) (*Server, error) {
 
 	sess := api.NewSession(api.Config{Engine: cfg.Engine, Store: sstore})
 	var recoveredJobs []*api.Job
+	var jobSeqFloor uint64
 	info := RecoveryInfo{Enabled: durable != nil}
 	if rec != nil {
+		jobSeqFloor = rec.MaxJobSeq
 		for _, d := range rec.DBs {
 			if _, err := sess.RestoreDB(d.Name, d.Facts, d.Version); err != nil {
 				durable.Close()
@@ -252,7 +254,7 @@ func Open(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		sess:    sess,
-		jobs:    newJobManager(sess, sstore, workers, cfg.JobQueue, cfg.MaxJobs, recoveredJobs),
+		jobs:    newJobManager(sess, sstore, workers, cfg.JobQueue, cfg.MaxJobs, recoveredJobs, jobSeqFloor),
 		mux:     http.NewServeMux(),
 		durable: durable,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
@@ -770,6 +772,9 @@ type metricsResponse struct {
 	StoreFsyncs      int64 `json:"store_fsyncs"`
 	StoreSnapshots   int64 `json:"store_snapshots"`
 	StoreCompacted   int64 `json:"store_compacted_records"`
+	// StoreWedged reports the store hit an unrecoverable write failure
+	// and is rejecting all state changes — page on this.
+	StoreWedged bool `json:"store_wedged"`
 	// StoreErrors sums the store's own error counter with the job
 	// manager's best-effort journal failures.
 	StoreErrors        int64 `json:"store_errors"`
@@ -833,6 +838,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		StoreFsyncs:        ss.Fsyncs,
 		StoreSnapshots:     ss.Snapshots,
 		StoreCompacted:     ss.CompactedRecords,
+		StoreWedged:        ss.Wedged,
 		StoreErrors:        ss.Errors + js.storeErrs,
 		RecoveredDBs:       s.recovery.DBs,
 		RecoveredJobs:      s.recovery.Jobs,

@@ -22,11 +22,15 @@ type DBState struct {
 }
 
 // snapshotFile is the JSON body of a snap-<seq>.snap file: the full
-// mirror at the moment wal-<seq>.log started.
+// mirror at the moment wal-<seq>.log started, plus the job-id high-water
+// mark (the highest "job-N" ever journaled, including jobs since removed
+// — compaction must not forget consumed ids, or a restart would reissue
+// them).
 type snapshotFile struct {
-	Seq  uint64     `json:"seq"`
-	DBs  []DBState  `json:"dbs"`
-	Jobs []*api.Job `json:"jobs"`
+	Seq       uint64     `json:"seq"`
+	DBs       []DBState  `json:"dbs"`
+	Jobs      []*api.Job `json:"jobs"`
+	MaxJobSeq uint64     `json:"max_job_seq,omitempty"`
 }
 
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.snap", seq) }

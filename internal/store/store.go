@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,11 +82,15 @@ type RecoveryStats struct {
 
 // Recovery is the state Open reconstructed: the databases to re-register
 // (sorted by name), the job records to seed the job store with (in
-// submission order), and the stats behind both.
+// submission order), and the stats behind both. MaxJobSeq is the highest
+// "job-N" sequence number ever journaled — not just the max among the
+// surviving Jobs — so the job-id counter resumes past ids whose records
+// were DELETEd or evicted and never hands a client a recycled id.
 type Recovery struct {
-	DBs   []DBState
-	Jobs  []*api.Job
-	Stats RecoveryStats
+	DBs       []DBState
+	Jobs      []*api.Job
+	MaxJobSeq uint64
+	Stats     RecoveryStats
 }
 
 // Stats is a point-in-time snapshot of a DiskStore's counters, exposed
@@ -108,10 +114,23 @@ type Stats struct {
 	// Errors counts non-fatal internal failures (background sync,
 	// best-effort snapshot, mirror inconsistencies).
 	Errors int64
+	// Wedged reports that the store hit an unrecoverable write failure
+	// and now rejects every append (see DiskStore.wedge).
+	Wedged bool
 }
 
 // errClosed rejects appends after Close.
 var errClosed = errors.New("store: closed")
+
+// walFile is what the append path needs from the WAL handle. It is an
+// interface (always an *os.File in production) so tests can inject
+// write/sync/truncate failures and exercise the repair and wedge paths.
+type walFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
 
 // mirrorDB is the store's own view of one registered database: contents
 // as canonical fact strings plus the mutation counter. It exists so
@@ -130,15 +149,18 @@ type DiskStore struct {
 	opts Options
 
 	mu         sync.Mutex
-	f          *os.File // current WAL, nil after Close
+	f          walFile // current WAL (an *os.File in production), nil after Close
+	off        int64   // bytes of acknowledged frames in the current WAL
+	wedged     error   // first unrecoverable write failure; non-nil rejects all appends
 	seq        uint64
 	walRecords int64
 	sinceSnap  int64
 	buf        []byte // frame scratch, reused across appends
 
-	dbs      map[string]*mirrorDB
-	jobs     map[string]*api.Job
-	jobOrder []string
+	dbs       map[string]*mirrorDB
+	jobs      map[string]*api.Job
+	jobOrder  []string
+	maxJobSeq uint64 // highest "job-N" seq ever logged, surviving removal and compaction
 
 	dirty    atomic.Bool // FsyncBatch: records written since last sync
 	stopSync chan struct{}
@@ -178,6 +200,7 @@ func Open(dir string, opts Options) (*DiskStore, *Recovery, error) {
 
 	snap, loaded := loadLatestSnapshot(dir)
 	s.seq = snap.Seq
+	s.maxJobSeq = snap.MaxJobSeq
 	for _, d := range snap.DBs {
 		facts := make(map[string]struct{}, len(d.Facts))
 		for _, f := range d.Facts {
@@ -189,6 +212,7 @@ func Open(dir string, opts Options) (*DiskStore, *Recovery, error) {
 		jc := *j
 		s.jobs[jc.ID] = &jc
 		s.jobOrder = append(s.jobOrder, jc.ID)
+		s.raiseJobSeq(jc.ID)
 	}
 
 	// Replay the WAL tail of the loaded generation. A record whose frame
@@ -223,6 +247,7 @@ func Open(dir string, opts Options) (*DiskStore, *Recovery, error) {
 		return nil, nil, err
 	}
 	s.f = f
+	s.off = valid
 	if err := syncDir(dir); err != nil {
 		f.Close()
 		return nil, nil, err
@@ -237,8 +262,9 @@ func Open(dir string, opts Options) (*DiskStore, *Recovery, error) {
 	}
 
 	rec := &Recovery{
-		DBs:  s.dbStatesLocked(),
-		Jobs: s.jobListLocked(),
+		DBs:       s.dbStatesLocked(),
+		Jobs:      s.jobListLocked(),
+		MaxJobSeq: s.maxJobSeq,
 		Stats: RecoveryStats{
 			SnapshotLoaded: loaded,
 			SnapshotSeq:    snap.Seq,
@@ -251,9 +277,13 @@ func Open(dir string, opts Options) (*DiskStore, *Recovery, error) {
 	return s, rec, nil
 }
 
-// append frames, writes, mirrors, and (per the fsync mode) syncs one op.
+// append frames, writes, syncs (per the fsync mode), and mirrors one op.
 // It is the single commit point: when it returns nil the operation is as
-// durable as the configured mode promises.
+// durable as the configured mode promises, and when it returns an error
+// the operation is fully rolled back — not in the WAL (the tail is
+// truncated to the last acknowledged frame), not in the mirror (the
+// apply happens only after every durability step succeeded) — so a
+// client-rejected op can never resurface on replay.
 func (s *DiskStore) append(op Op) error {
 	payload := op.Encode()
 	s.mu.Lock()
@@ -261,24 +291,36 @@ func (s *DiskStore) append(op Op) error {
 	if s.f == nil {
 		return errClosed
 	}
+	if s.wedged != nil {
+		return fmt.Errorf("store: wedged by earlier unrecoverable failure: %w", s.wedged)
+	}
 	s.buf = AppendFrame(s.buf[:0], payload)
 	if _, err := s.f.Write(s.buf); err != nil {
 		s.errs.Add(1)
+		s.repairTailLocked()
 		return fmt.Errorf("store: appending %s op: %w", op.Kind, err)
 	}
+	if s.opts.Fsync == FsyncAlways {
+		if err := s.f.Sync(); err != nil {
+			// After a failed fsync the kernel's view of the just-written
+			// frame is undefined (dirty pages may have been dropped or may
+			// still land on disk), so no later append can be trusted on
+			// top of it: best-effort truncate the frame away so recovery
+			// does not replay the rejected op, then wedge regardless.
+			s.errs.Add(1)
+			s.repairTailLocked()
+			s.wedgeLocked(fmt.Errorf("fsync failed: %w", err))
+			return fmt.Errorf("store: syncing %s op: %w", op.Kind, err)
+		}
+		s.fsyncs.Add(1)
+	}
+	s.off += int64(len(s.buf))
 	s.appends.Add(1)
 	s.appendBytes.Add(int64(len(s.buf)))
 	s.walRecords++
 	s.sinceSnap++
 	s.applyLocked(op)
-	switch s.opts.Fsync {
-	case FsyncAlways:
-		if err := s.f.Sync(); err != nil {
-			s.errs.Add(1)
-			return fmt.Errorf("store: syncing %s op: %w", op.Kind, err)
-		}
-		s.fsyncs.Add(1)
-	case FsyncBatch:
+	if s.opts.Fsync == FsyncBatch {
 		s.dirty.Store(true)
 	}
 	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= int64(s.opts.SnapshotEvery) {
@@ -289,6 +331,33 @@ func (s *DiskStore) append(op Op) error {
 		}
 	}
 	return nil
+}
+
+// repairTailLocked restores the WAL to the last acknowledged frame
+// boundary after a failed append. Without it the O_APPEND descriptor
+// would keep writing past the partial frame, and recovery — which stops
+// at the first torn frame — would silently discard every acknowledged op
+// after it (e.g. a transient ENOSPC followed by successful writes would
+// lose all subsequent durable state). If the truncate itself fails the
+// file cannot be restored to a known-good state, so the store wedges:
+// all later appends fail instead of acknowledging unrecoverable ops.
+// Callers hold s.mu.
+func (s *DiskStore) repairTailLocked() {
+	if err := s.f.Truncate(s.off); err != nil {
+		s.errs.Add(1)
+		s.wedgeLocked(fmt.Errorf("truncating torn WAL tail to %d: %w", s.off, err))
+	}
+}
+
+// wedgeLocked marks the store permanently failed: the WAL's on-disk
+// state can no longer be proven to match what was acknowledged, so every
+// later append (and snapshot) is rejected rather than risking divergence
+// between acknowledged and recovered state. The first cause wins.
+// Callers hold s.mu.
+func (s *DiskStore) wedgeLocked(cause error) {
+	if s.wedged == nil {
+		s.wedged = cause
+	}
 }
 
 // applyLocked folds one op into the mirror. Replay and the live append
@@ -331,6 +400,7 @@ func (s *DiskStore) applyLocked(op Op) {
 			s.jobOrder = append(s.jobOrder, jc.ID)
 		}
 		s.jobs[jc.ID] = &jc
+		s.raiseJobSeq(jc.ID)
 	case OpJobStart:
 		if j := s.jobs[op.ID]; j != nil {
 			j.State = api.JobRunning
@@ -348,6 +418,30 @@ func (s *DiskStore) applyLocked(op Op) {
 			}
 		}
 	}
+}
+
+// raiseJobSeq folds a job id into the high-water mark. "job-N" is the
+// server's id scheme (visible on the wire, so stable); ids in any other
+// shape are simply not tracked. The mark only ever rises — a removed
+// job's seq stays consumed — which is what keeps ids from being reissued
+// to a new submission after a restart. Callers hold s.mu (or own s).
+func (s *DiskStore) raiseJobSeq(id string) {
+	if seq, ok := jobSeq(id); ok && seq > s.maxJobSeq {
+		s.maxJobSeq = seq
+	}
+}
+
+// jobSeq extracts N from a "job-N" id.
+func jobSeq(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // dbStatesLocked dumps the mirror's databases, names and fact lists
@@ -389,8 +483,14 @@ func (s *DiskStore) snapshotLocked() error {
 	if s.f == nil {
 		return errClosed
 	}
+	if s.wedged != nil {
+		// A wedged store's mirror still matches the acknowledged state,
+		// but installing a snapshot would discard the (uncertain) WAL and
+		// silently un-wedge the next boot; refuse and keep the evidence.
+		return fmt.Errorf("store: wedged by earlier unrecoverable failure: %w", s.wedged)
+	}
 	newSeq := s.seq + 1
-	snap := snapshotFile{Seq: newSeq, DBs: s.dbStatesLocked(), Jobs: s.jobListLocked()}
+	snap := snapshotFile{Seq: newSeq, DBs: s.dbStatesLocked(), Jobs: s.jobListLocked(), MaxJobSeq: s.maxJobSeq}
 	if err := writeSnapshot(s.dir, snap); err != nil {
 		return err
 	}
@@ -409,6 +509,7 @@ func (s *DiskStore) snapshotLocked() error {
 	}
 	old := s.f
 	s.f = nf
+	s.off = 0
 	old.Sync() //nolint:errcheck // superseded by the snapshot just written
 	old.Close()
 	s.compacted.Add(s.walRecords)
@@ -491,12 +592,13 @@ func (s *DiskStore) Close() error {
 // Stats snapshots the counters.
 func (s *DiskStore) Stats() Stats {
 	s.mu.Lock()
-	seq, walRecords := s.seq, s.walRecords
+	seq, walRecords, wedged := s.seq, s.walRecords, s.wedged != nil
 	s.mu.Unlock()
 	return Stats{
 		Enabled:          true,
 		Seq:              seq,
 		WALRecords:       walRecords,
+		Wedged:           wedged,
 		Appends:          s.appends.Load(),
 		AppendBytes:      s.appendBytes.Load(),
 		Fsyncs:           s.fsyncs.Load(),

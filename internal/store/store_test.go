@@ -333,3 +333,201 @@ func TestParseFsyncMode(t *testing.T) {
 		t.Fatal("ParseFsyncMode accepted garbage")
 	}
 }
+
+// flakyWAL wraps the real WAL handle and fails a scripted number of
+// upcoming Write/Sync/Truncate calls, so tests can drive the append
+// path's repair and wedge logic against a real file underneath.
+type flakyWAL struct {
+	walFile
+	failWrites   int // fail the next N writes...
+	partialBytes int // ...after leaking this many bytes of each to disk
+	failSyncs    int
+	failTruncs   int
+}
+
+var errInjected = fmt.Errorf("injected I/O failure")
+
+func (f *flakyWAL) Write(p []byte) (int, error) {
+	if f.failWrites > 0 {
+		f.failWrites--
+		n := f.partialBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			f.walFile.Write(p[:n]) //nolint:errcheck // best-effort torn bytes
+		}
+		return n, errInjected
+	}
+	return f.walFile.Write(p)
+}
+
+func (f *flakyWAL) Sync() error {
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		return errInjected
+	}
+	return f.walFile.Sync()
+}
+
+func (f *flakyWAL) Truncate(size int64) error {
+	if f.failTruncs > 0 {
+		f.failTruncs--
+		return errInjected
+	}
+	return f.walFile.Truncate(size)
+}
+
+// injectWAL splices fw over s's live WAL handle.
+func injectWAL(s *DiskStore, fw *flakyWAL) {
+	s.mu.Lock()
+	fw.walFile = s.f
+	s.f = fw
+	s.mu.Unlock()
+}
+
+// recoveredDBNames reopens dir and returns the sorted recovered names.
+func recoveredDBNames(t *testing.T, dir string) []string {
+	t.Helper()
+	s, rec := openT(t, dir, Options{Fsync: FsyncOff})
+	defer s.Close()
+	names := make([]string, 0, len(rec.DBs))
+	for _, d := range rec.DBs {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// TestWriteErrorRepairsTornTail pins the partial-write repair: a failed
+// append that leaks half a frame to disk must not strand later
+// acknowledged ops behind the torn bytes — the tail is truncated back to
+// the last good frame and appends continue, so recovery sees every op
+// that was acknowledged and only those.
+func TestWriteErrorRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	if err := s.PutDB("a", []string{"R(x)"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	injectWAL(s, &flakyWAL{failWrites: 1, partialBytes: 5})
+	if err := s.PutDB("b", []string{"R(y)"}, 1); err == nil {
+		t.Fatal("append over a failing write succeeded")
+	}
+	// The store repaired the tail: later appends must be acknowledged AND
+	// recoverable.
+	if err := s.PutDB("c", []string{"R(z)"}, 1); err != nil {
+		t.Fatalf("append after repaired write failure: %v", err)
+	}
+	if s.Stats().Wedged {
+		t.Fatal("a repairable write failure wedged the store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := recoveredDBNames(t, dir); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("recovered %v, want [a c]: the op after the torn frame was lost", got)
+	}
+}
+
+// TestSyncFailureWedges pins the fsync=always contract: a post-write
+// sync failure rejects the op, removes its frame (so the rejected op is
+// not replayed on recovery), keeps the mirror at the acknowledged state,
+// and wedges the store against further appends.
+func TestSyncFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncAlways, SnapshotEvery: -1})
+	if err := s.PutDB("a", []string{"R(x)"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	injectWAL(s, &flakyWAL{failSyncs: 1})
+	if err := s.PutDB("b", []string{"R(y)"}, 1); err == nil {
+		t.Fatal("append over a failing fsync succeeded")
+	}
+	if err := s.PutDB("c", []string{"R(z)"}, 1); err == nil {
+		t.Fatal("append on a wedged store succeeded")
+	}
+	if !s.Stats().Wedged {
+		t.Fatal("sync failure did not wedge the store")
+	}
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot on a wedged store succeeded")
+	}
+	s.Close()
+	// Neither the rejected op nor anything after it may resurface.
+	if got := recoveredDBNames(t, dir); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("recovered %v, want [a]: a client-rejected op resurfaced after restart", got)
+	}
+}
+
+// TestTruncateFailureWedges pins the unrepairable case: when the tail
+// cannot be restored after a failed write, the store must wedge rather
+// than acknowledge ops that recovery would discard.
+func TestTruncateFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	if err := s.PutDB("a", []string{"R(x)"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	injectWAL(s, &flakyWAL{failWrites: 1, partialBytes: 5, failTruncs: 1})
+	if err := s.PutDB("b", []string{"R(y)"}, 1); err == nil {
+		t.Fatal("append over a failing write succeeded")
+	}
+	if err := s.PutDB("c", []string{"R(z)"}, 1); err == nil {
+		t.Fatal("append on a wedged store succeeded")
+	}
+	if !s.Stats().Wedged {
+		t.Fatal("truncate failure did not wedge the store")
+	}
+	s.Close()
+	// Recovery's torn-tail scan removes the partial frame; only the
+	// acknowledged prefix survives.
+	if got := recoveredDBNames(t, dir); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("recovered %v, want [a]", got)
+	}
+}
+
+// TestMaxJobSeqSurvivesRemovalAndCompaction pins the job-id high-water
+// mark: removing a job must not release its sequence number, across both
+// a pure WAL replay and a snapshot that compacted the remove away.
+func TestMaxJobSeqSurvivesRemovalAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	now := time.Now().UTC()
+	task := api.Task{Kind: api.KindSolve, Query: "q :- R(x,y)", DB: "net"}
+	for _, id := range []string{"job-1", "job-2"} {
+		if err := s.SubmitJob(&api.Job{ID: id, State: api.JobQueued, Task: task, Created: now}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RemoveJob("job-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL replay: the submit of job-2 is still in the log.
+	s2, rec := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "job-1" {
+		t.Fatalf("recovered jobs %+v, want only job-1", rec.Jobs)
+	}
+	if rec.MaxJobSeq != 2 {
+		t.Fatalf("MaxJobSeq after WAL replay = %d, want 2 (job-2 was removed, not released)", rec.MaxJobSeq)
+	}
+	// Snapshot: the remove is compacted away; the mark must persist in
+	// the snapshot itself.
+	if err := s2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, rec3 := openT(t, dir, Options{Fsync: FsyncOff, SnapshotEvery: -1})
+	defer s3.Close()
+	if !rec3.Stats.SnapshotLoaded {
+		t.Fatal("second reopen did not load the snapshot")
+	}
+	if rec3.MaxJobSeq != 2 {
+		t.Fatalf("MaxJobSeq after compaction = %d, want 2", rec3.MaxJobSeq)
+	}
+}
